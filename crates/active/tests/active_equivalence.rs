@@ -1,0 +1,107 @@
+//! The trigger-engine checker must report exactly what the direct
+//! incremental checker reports, on random constraints × random histories.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rtic_active::ActiveChecker;
+use rtic_core::{Checker, IncrementalChecker};
+use rtic_history::Transition;
+use rtic_relation::{tuple, Catalog, Schema, Sort, Update};
+use rtic_temporal::parser::parse_constraint;
+use rtic_temporal::Constraint;
+
+fn catalog() -> Arc<Catalog> {
+    Arc::new(
+        Catalog::new()
+            .with("p", Schema::of(&[("x", Sort::Str)]))
+            .unwrap()
+            .with("q", Schema::of(&[("x", Sort::Str)]))
+            .unwrap()
+            .with("r", Schema::of(&[("x", Sort::Str), ("y", Sort::Str)]))
+            .unwrap(),
+    )
+}
+
+fn interval_text() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just(String::new()),
+        (0u64..4).prop_map(|b| format!("[0,{b}]")),
+        (1u64..4).prop_map(|a| format!("[{a},*]")),
+        (1u64..3, 0u64..3).prop_map(|(a, d)| format!("[{a},{}]", a + d)),
+    ]
+}
+
+const TEMPLATES: &[&str] = &[
+    "p(x) && once{i} q(x)",
+    "q(x) since{i} p(x)",
+    "p(x) && hist{i} q(x)",
+    "q(x) && prev{i} p(x)",
+    "once{i} once{j} p(x)",
+    "r(x, y) && !once{i} q(x)",
+    "(once{i} q(x)) since{j} p(x)",
+    "once{i} (q(x) since{j} p(x))",
+    "p(x) && hist{i} q(x) && !once{j} q(x)",
+];
+
+fn constraint() -> impl Strategy<Value = Constraint> {
+    (0..TEMPLATES.len(), interval_text(), interval_text()).prop_map(|(t, i, j)| {
+        let body = TEMPLATES[t].replace("{i}", &i).replace("{j}", &j);
+        parse_constraint(&format!("deny c: {body}")).expect("template parses")
+    })
+}
+
+fn transitions() -> impl Strategy<Value = Vec<Transition>> {
+    let change = (0u8..3, any::<bool>(), 0u8..2, 0u8..2);
+    proptest::collection::vec((1u64..3, proptest::collection::vec(change, 0..4)), 1..12).prop_map(
+        |steps| {
+            const DOM: [&str; 2] = ["a", "b"];
+            let mut t = 0u64;
+            steps
+                .into_iter()
+                .map(|(gap, changes)| {
+                    t += gap;
+                    let mut u = Update::new();
+                    for (rel, ins, x, y) in changes {
+                        let (name, tup) = match rel {
+                            0 => ("p", tuple![DOM[x as usize]]),
+                            1 => ("q", tuple![DOM[x as usize]]),
+                            _ => ("r", tuple![DOM[x as usize], DOM[y as usize]]),
+                        };
+                        if ins {
+                            u.insert(name, tup);
+                        } else {
+                            u.delete(name, tup);
+                        }
+                    }
+                    Transition::new(t, u)
+                })
+                .collect()
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn active_agrees_with_incremental(c in constraint(), ts in transitions()) {
+        let cat = catalog();
+        let mut act = ActiveChecker::new(c.clone(), Arc::clone(&cat)).unwrap();
+        let mut inc = IncrementalChecker::new(c.clone(), Arc::clone(&cat)).unwrap();
+        for tr in &ts {
+            let a = act.step(tr.time, &tr.update).unwrap();
+            let b = inc.step(tr.time, &tr.update).unwrap();
+            prop_assert_eq!(&a, &b, "active vs incremental diverged on `{}` at {}", c, tr.time);
+        }
+    }
+
+    #[test]
+    fn active_space_stays_bounded(c in constraint(), ts in transitions()) {
+        let cat = catalog();
+        let mut act = ActiveChecker::new(c, Arc::clone(&cat)).unwrap();
+        for tr in &ts {
+            act.step(tr.time, &tr.update).unwrap();
+            let s = act.space();
+            prop_assert!(s.aux_keys <= 128 && s.aux_timestamps <= 512, "table bloat: {}", s);
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! T6 — stamp-specialization ablation: a=0 latest-only vs general deque.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtic_core::{Checker, EncodingOptions, IncrementalChecker};
+use rtic_workload::RandomWorkload;
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t6_ablation");
+    group.sample_size(10);
+    for b_bound in [8u64, 64] {
+        let g = RandomWorkload {
+            steps: 150,
+            bound: b_bound,
+            ..Default::default()
+        }
+        .generate();
+        let constraint = g.constraints[0].clone();
+        group.bench_with_input(
+            BenchmarkId::new("specialized", b_bound),
+            &b_bound,
+            |bch, _| {
+                bch.iter(|| {
+                    let mut ck =
+                        IncrementalChecker::new(constraint.clone(), Arc::clone(&g.catalog))
+                            .unwrap();
+                    for tr in &g.transitions {
+                        ck.step(tr.time, &tr.update).unwrap();
+                    }
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("general_deque", b_bound),
+            &b_bound,
+            |bch, _| {
+                bch.iter(|| {
+                    let mut ck = IncrementalChecker::with_options(
+                        constraint.clone(),
+                        Arc::clone(&g.catalog),
+                        EncodingOptions {
+                            disable_stamp_specialization: true,
+                        },
+                    )
+                    .unwrap();
+                    for tr in &g.transitions {
+                        ck.step(tr.time, &tr.update).unwrap();
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! T5 — constant-factor overhead of the trigger-table realization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtic_active::ActiveChecker;
+use rtic_core::{Checker, IncrementalChecker};
+use rtic_workload::Reservations;
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t5_active_overhead");
+    group.sample_size(10);
+    let g = Reservations {
+        steps: 200,
+        ..Default::default()
+    }
+    .generate();
+    let constraint = g.constraints[0].clone();
+    group.bench_function(BenchmarkId::new("direct", 200), |b| {
+        b.iter(|| {
+            let mut ck =
+                IncrementalChecker::new(constraint.clone(), Arc::clone(&g.catalog)).unwrap();
+            for tr in &g.transitions {
+                ck.step(tr.time, &tr.update).unwrap();
+            }
+        })
+    });
+    group.bench_function(BenchmarkId::new("active", 200), |b| {
+        b.iter(|| {
+            let mut ck = ActiveChecker::new(constraint.clone(), Arc::clone(&g.catalog)).unwrap();
+            for tr in &g.transitions {
+                ck.step(tr.time, &tr.update).unwrap();
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! T2/F2 — scaling in the metric bound: the general deque encoding's
+//! update cost vs the windowed checker's (whose window holds O(b) states).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtic_core::{Checker, IncrementalChecker, WindowedChecker};
+use rtic_workload::Reservations;
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f2_bound_scaling");
+    group.sample_size(10);
+    for d in [4u64, 32] {
+        let g = Reservations {
+            steps: 150,
+            deadline: d,
+            ..Default::default()
+        }
+        .generate();
+        let constraint = g.constraints[0].clone();
+        group.bench_with_input(BenchmarkId::new("incremental", d), &d, |b, _| {
+            b.iter(|| {
+                let mut ck =
+                    IncrementalChecker::new(constraint.clone(), Arc::clone(&g.catalog)).unwrap();
+                for tr in &g.transitions {
+                    ck.step(tr.time, &tr.update).unwrap();
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("windowed", d), &d, |b, _| {
+            b.iter(|| {
+                let mut ck =
+                    WindowedChecker::new(constraint.clone(), Arc::clone(&g.catalog)).unwrap();
+                for tr in &g.transitions {
+                    ck.step(tr.time, &tr.update).unwrap();
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! T3 — scaling in update size / active-domain churn.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rtic_core::{Checker, IncrementalChecker};
+use rtic_workload::RandomWorkload;
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t3_domain_scaling");
+    group.sample_size(10);
+    for u in [8usize, 64] {
+        let g = RandomWorkload {
+            steps: 150,
+            domain: 4 * u,
+            updates_per_step: u,
+            bound: 8,
+            seed: 42,
+            ..Default::default()
+        }
+        .generate();
+        let constraint = g.constraints[0].clone();
+        group.throughput(Throughput::Elements((g.transitions.len() * u) as u64));
+        group.bench_with_input(BenchmarkId::new("incremental", u), &u, |b, _| {
+            b.iter(|| {
+                let mut ck =
+                    IncrementalChecker::new(constraint.clone(), Arc::clone(&g.catalog)).unwrap();
+                for tr in &g.transitions {
+                    ck.step(tr.time, &tr.update).unwrap();
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! T1 — space vs history length. Criterion measures the run time of each
+//! full checker pass; the space figures themselves are printed once per
+//! configuration (Criterion has no space axis).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtic_core::{Checker, IncrementalChecker, NaiveChecker};
+use rtic_workload::Reservations;
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t1_space");
+    group.sample_size(10);
+    for n in [200usize, 800] {
+        let g = Reservations {
+            steps: n,
+            ..Default::default()
+        }
+        .generate();
+        let constraint = g.constraints[0].clone();
+        {
+            let mut inc =
+                IncrementalChecker::new(constraint.clone(), Arc::clone(&g.catalog)).unwrap();
+            let mut nai = NaiveChecker::new(constraint.clone(), Arc::clone(&g.catalog)).unwrap();
+            for tr in &g.transitions {
+                inc.step(tr.time, &tr.update).unwrap();
+                nai.step(tr.time, &tr.update).unwrap();
+            }
+            eprintln!(
+                "t1_space n={n}: incremental={} naive={}",
+                inc.space().retained_units(),
+                nai.space().retained_units()
+            );
+        }
+        group.bench_with_input(BenchmarkId::new("incremental", n), &n, |b, _| {
+            b.iter(|| {
+                let mut ck =
+                    IncrementalChecker::new(constraint.clone(), Arc::clone(&g.catalog)).unwrap();
+                for tr in &g.transitions {
+                    ck.step(tr.time, &tr.update).unwrap();
+                }
+                ck.space().retained_units()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| {
+                let mut ck = NaiveChecker::new(constraint.clone(), Arc::clone(&g.catalog)).unwrap();
+                for tr in &g.transitions {
+                    ck.step(tr.time, &tr.update).unwrap();
+                }
+                ck.space().retained_units()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! F1 — per-step latency vs history length, on the paper's unbounded
+//! motivating constraint: the incremental checker's step time stays flat
+//! while naive re-evaluation grows with the stored history.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtic_core::{Checker, IncrementalChecker, NaiveChecker};
+use rtic_temporal::parser::parse_constraint;
+use rtic_workload::Reservations;
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f1_step_latency");
+    group.sample_size(10);
+    let constraint = parse_constraint(
+        "deny unconfirmed_ever: reserved(p, f) && once[2,*] reserved_at(p, f) \
+         && !once confirmed(p, f)",
+    )
+    .unwrap();
+    for n in [200usize, 800] {
+        let g = Reservations {
+            steps: n,
+            ..Default::default()
+        }
+        .generate();
+        // Benchmark ONE step taken after an n-length warmup, per checker.
+        group.bench_with_input(BenchmarkId::new("incremental_after_n", n), &n, |b, _| {
+            let mut ck =
+                IncrementalChecker::new(constraint.clone(), Arc::clone(&g.catalog)).unwrap();
+            for tr in &g.transitions {
+                ck.step(tr.time, &tr.update).unwrap();
+            }
+            let mut t = g.transitions.last().unwrap().time.0;
+            b.iter(|| {
+                t += 1;
+                ck.step(t.into(), &rtic_relation::Update::new()).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("naive_after_n", n), &n, |b, _| {
+            let mut ck = NaiveChecker::new(constraint.clone(), Arc::clone(&g.catalog)).unwrap();
+            for tr in &g.transitions {
+                ck.step(tr.time, &tr.update).unwrap();
+            }
+            let mut t = g.transitions.last().unwrap().time.0;
+            b.iter(|| {
+                t += 1;
+                ck.step(t.into(), &rtic_relation::Update::new()).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

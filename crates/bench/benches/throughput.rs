@@ -1,0 +1,54 @@
+//! F3 — end-to-end throughput on the three domain workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rtic_core::{Checker, IncrementalChecker};
+use rtic_workload::{Library, Monitor, Reservations};
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f3_throughput");
+    group.sample_size(10);
+    let workloads = vec![
+        (
+            "reservations",
+            Reservations {
+                steps: 200,
+                ..Default::default()
+            }
+            .generate(),
+        ),
+        (
+            "library",
+            Library {
+                steps: 200,
+                ..Default::default()
+            }
+            .generate(),
+        ),
+        (
+            "monitor",
+            Monitor {
+                steps: 200,
+                ..Default::default()
+            }
+            .generate(),
+        ),
+    ];
+    for (name, g) in &workloads {
+        let constraint = g.constraints[0].clone();
+        group.throughput(Throughput::Elements(g.transitions.len() as u64));
+        group.bench_with_input(BenchmarkId::new("incremental", name), name, |b, _| {
+            b.iter(|| {
+                let mut ck =
+                    IncrementalChecker::new(constraint.clone(), Arc::clone(&g.catalog)).unwrap();
+                for tr in &g.transitions {
+                    ck.step(tr.time, &tr.update).unwrap();
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Prints the experiment tables. See EXPERIMENTS.md for the mapping to the
+//! paper's claims.
+
+use rtic_bench::experiments::{self, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { Scale::quick() } else { Scale::full() };
+    let only: Option<String> = args
+        .iter()
+        .position(|a| a == "--table")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.to_lowercase());
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: experiments [--quick] [--table t1|f1|t2|f2|t3|t4|f3|t5|t6|t7]");
+        return;
+    }
+    println!(
+        "rtic experiments — {} scale\n",
+        if quick { "quick" } else { "full" }
+    );
+    #[allow(clippy::type_complexity)]
+    let tables: Vec<(&str, fn(&Scale) -> rtic_bench::table::Table)> = vec![
+        ("t1", experiments::t1_space),
+        ("f1", experiments::f1_step_latency),
+        ("t2", experiments::t2_bound_space),
+        ("f2", experiments::f2_bound_time),
+        ("t3", experiments::t3_domain_scaling),
+        ("t4", experiments::t4_detection),
+        ("f3", experiments::f3_throughput),
+        ("t5", experiments::t5_active_overhead),
+        ("t6", experiments::t6_ablation),
+        ("t7", experiments::t7_adom_bound),
+    ];
+    for (id, f) in tables {
+        if only.as_deref().is_some_and(|o| o != id) {
+            continue;
+        }
+        println!("{}", f(&scale).render());
+    }
+}

@@ -1,0 +1,610 @@
+//! One function per table/figure of EXPERIMENTS.md.
+//!
+//! Each function builds its workload, runs the relevant checkers with
+//! instrumentation, and renders a [`Table`]. The binary
+//! `cargo run -p rtic-bench --release --bin experiments` prints them all;
+//! the Criterion benches in `benches/` sample the same code paths.
+
+use std::sync::Arc;
+
+use rtic_active::ActiveChecker;
+use rtic_core::{Checker, EncodingOptions, IncrementalChecker, NaiveChecker, WindowedChecker};
+use rtic_temporal::parser::parse_constraint;
+use rtic_temporal::Constraint;
+use rtic_workload::{Generated, Library, Monitor, RandomWorkload, Reservations};
+
+use crate::measure::{run_instrumented, RunMeasurement};
+use crate::table::{fmt_micros, Table};
+
+/// Sweep sizes: `quick` for CI-speed runs, `full` for the recorded tables.
+#[derive(Clone, Debug)]
+pub struct Scale {
+    /// History lengths for T1/F1.
+    pub history_lengths: Vec<usize>,
+    /// Largest history the naive checker is asked to process for
+    /// *unbounded* constraints (quadratic cost); longer rows print `—`.
+    pub naive_cap: usize,
+    /// Metric bounds for T2/F2/T6.
+    pub bounds: Vec<u64>,
+    /// Updates-per-step sizes for T3.
+    pub update_sizes: Vec<usize>,
+    /// History length for throughput/overhead runs (F3/T5).
+    pub run_length: usize,
+}
+
+impl Scale {
+    /// The full published sweep.
+    pub fn full() -> Scale {
+        Scale {
+            history_lengths: vec![250, 500, 1000, 2000, 4000, 8000],
+            naive_cap: 2000,
+            bounds: vec![4, 8, 16, 32, 64, 128],
+            update_sizes: vec![4, 8, 16, 32, 64, 128],
+            run_length: 600,
+        }
+    }
+
+    /// A seconds-scale smoke sweep.
+    pub fn quick() -> Scale {
+        Scale {
+            history_lengths: vec![100, 200, 400],
+            naive_cap: 400,
+            bounds: vec![4, 16, 64],
+            update_sizes: vec![4, 16, 64],
+            run_length: 150,
+        }
+    }
+}
+
+fn reservations_at(n: usize) -> Generated {
+    Reservations {
+        steps: n,
+        new_per_step: 2,
+        deadline: 5,
+        violation_rate: 0.02,
+        seed: 42,
+    }
+    .generate()
+}
+
+/// The paper's *motivating* (unbounded-interval) constraint over the
+/// reservations schema — the one that forces naive history scans.
+fn motivating_constraint() -> Constraint {
+    parse_constraint(
+        "deny unconfirmed_ever: reserved(p, f) && once[2,*] reserved_at(p, f) \
+         && !once confirmed(p, f)",
+    )
+    .expect("parses")
+}
+
+fn inc(c: &Constraint, g: &Generated) -> IncrementalChecker {
+    IncrementalChecker::new(c.clone(), Arc::clone(&g.catalog)).expect("compiles")
+}
+
+fn win(c: &Constraint, g: &Generated) -> WindowedChecker {
+    WindowedChecker::new(c.clone(), Arc::clone(&g.catalog)).expect("compiles")
+}
+
+fn nai(c: &Constraint, g: &Generated) -> NaiveChecker {
+    NaiveChecker::new(c.clone(), Arc::clone(&g.catalog)).expect("compiles")
+}
+
+fn act(c: &Constraint, g: &Generated) -> ActiveChecker {
+    ActiveChecker::new(c.clone(), Arc::clone(&g.catalog)).expect("compiles")
+}
+
+/// T1 — retained space vs. history length, bounded constraint.
+pub fn t1_space(scale: &Scale) -> Table {
+    let mut t = Table::new(
+        "T1",
+        "retained space vs history length (bounded constraint; units = aux keys + timestamps + stored tuples)",
+        &["n", "incremental", "windowed", "naive", "naive/incremental"],
+    );
+    t.note("claim: encoding space is independent of history length; naive grows linearly");
+    for &n in &scale.history_lengths {
+        let g = reservations_at(n);
+        let c = &g.constraints[0];
+        let mi = run_instrumented(&mut inc(c, &g), &g.transitions, 16);
+        let mw = run_instrumented(&mut win(c, &g), &g.transitions, 16);
+        let mn = run_instrumented(&mut nai(c, &g), &g.transitions, 16);
+        assert_eq!(mi.violations, mn.violations, "checkers must agree");
+        t.row(vec![
+            n.to_string(),
+            mi.max_retained_units.to_string(),
+            mw.max_retained_units.to_string(),
+            mn.max_retained_units.to_string(),
+            format!(
+                "{:.1}x",
+                mn.max_retained_units as f64 / mi.max_retained_units.max(1) as f64
+            ),
+        ]);
+    }
+    t
+}
+
+/// F1 — per-step latency vs. history length, both constraint classes.
+pub fn f1_step_latency(scale: &Scale) -> Table {
+    let mut t = Table::new(
+        "F1",
+        "tail per-step latency vs history length",
+        &[
+            "n",
+            "inc (bounded)",
+            "naive (bounded)",
+            "inc (unbounded)",
+            "naive (unbounded)",
+        ],
+    );
+    t.note("claim: encoding step time does not grow with history length;");
+    t.note("naive re-evaluation over the full history does (visible on the unbounded constraint)");
+    let unbounded = motivating_constraint();
+    for &n in &scale.history_lengths {
+        let g = reservations_at(n);
+        let bounded = &g.constraints[0];
+        let mib = run_instrumented(&mut inc(bounded, &g), &g.transitions, 0);
+        let mnb = run_instrumented(&mut nai(bounded, &g), &g.transitions, 0);
+        let miu = run_instrumented(&mut inc(&unbounded, &g), &g.transitions, 0);
+        let mnu = if n <= scale.naive_cap {
+            Some(run_instrumented(
+                &mut nai(&unbounded, &g),
+                &g.transitions,
+                0,
+            ))
+        } else {
+            None
+        };
+        t.row(vec![
+            n.to_string(),
+            fmt_micros(mib.tail_step_us),
+            fmt_micros(mnb.tail_step_us),
+            fmt_micros(miu.tail_step_us),
+            mnu.map_or("—".into(), |m| fmt_micros(m.tail_step_us)),
+        ]);
+    }
+    t
+}
+
+/// T2 — aux space vs. metric bound for the general (two-sided) window.
+pub fn t2_bound_space(scale: &Scale) -> Table {
+    let mut t = Table::new(
+        "T2",
+        "aux timestamps vs metric bound b for once[1,b] (general deque encoding)",
+        &[
+            "b",
+            "max aux timestamps",
+            "live keys",
+            "ts per key",
+            "paper bound b+1",
+        ],
+    );
+    t.note("claim: per-key timestamps stay ≤ b+1 on an integer clock");
+    for &b in &scale.bounds {
+        let g = RandomWorkload {
+            steps: scale.run_length,
+            domain: 16,
+            updates_per_step: 8,
+            bound: b,
+            seed: 42,
+            ..Default::default()
+        }
+        .generate();
+        let c = parse_constraint(&format!("deny hit: base(k) && once[1,{b}] ev(k)")).unwrap();
+        let mut checker = inc(&c, &g);
+        let mut max_ts = 0usize;
+        let mut keys_at_max = 1usize;
+        for tr in &g.transitions {
+            checker.step(tr.time, &tr.update).unwrap();
+            let s = checker.space();
+            if s.aux_timestamps > max_ts {
+                max_ts = s.aux_timestamps;
+                keys_at_max = s.aux_keys.max(1);
+            }
+        }
+        let per_key = max_ts as f64 / keys_at_max as f64;
+        assert!(per_key <= (b + 1) as f64 + 1e-9, "paper bound violated");
+        t.row(vec![
+            b.to_string(),
+            max_ts.to_string(),
+            keys_at_max.to_string(),
+            format!("{per_key:.1}"),
+            (b + 1).to_string(),
+        ]);
+    }
+    t
+}
+
+/// F2 — per-step time vs. metric bound (deadline), three checkers.
+pub fn f2_bound_time(scale: &Scale) -> Table {
+    let mut t = Table::new(
+        "F2",
+        "tail per-step latency vs deadline d (reservations, bounded constraint)",
+        &["d", "incremental", "windowed", "naive"],
+    );
+    t.note("claim: windowed degrades with the bound (window holds O(d) states);");
+    t.note("the encoding pays only for what changes");
+    for &d in &scale.bounds {
+        let g = Reservations {
+            steps: scale.run_length,
+            new_per_step: 2,
+            deadline: d.max(2),
+            violation_rate: 0.02,
+            seed: 42,
+        }
+        .generate();
+        let c = &g.constraints[0];
+        let mi = run_instrumented(&mut inc(c, &g), &g.transitions, 0);
+        let mw = run_instrumented(&mut win(c, &g), &g.transitions, 0);
+        let mn = run_instrumented(&mut nai(c, &g), &g.transitions, 0);
+        t.row(vec![
+            d.to_string(),
+            fmt_micros(mi.tail_step_us),
+            fmt_micros(mw.tail_step_us),
+            fmt_micros(mn.tail_step_us),
+        ]);
+    }
+    t
+}
+
+/// T3 — scaling in update size (active-domain churn).
+pub fn t3_domain_scaling(scale: &Scale) -> Table {
+    let mut t = Table::new(
+        "T3",
+        "tail per-step latency and aux keys vs update size u (random workload)",
+        &["u", "inc step", "win step", "naive step", "inc aux keys"],
+    );
+    t.note("claim: encoding step cost scales with the update/state, not the history");
+    for &u in &scale.update_sizes {
+        let g = RandomWorkload {
+            steps: scale.run_length,
+            domain: 4 * u,
+            updates_per_step: u,
+            bound: 8,
+            seed: 42,
+            ..Default::default()
+        }
+        .generate();
+        let c = &g.constraints[0];
+        let mi = run_instrumented(&mut inc(c, &g), &g.transitions, 16);
+        let mw = run_instrumented(&mut win(c, &g), &g.transitions, 0);
+        let mn = run_instrumented(&mut nai(c, &g), &g.transitions, 0);
+        t.row(vec![
+            u.to_string(),
+            fmt_micros(mi.tail_step_us),
+            fmt_micros(mw.tail_step_us),
+            fmt_micros(mn.tail_step_us),
+            mi.final_space.aux_keys.to_string(),
+        ]);
+    }
+    t
+}
+
+/// T4 — detection exactness on the three domain workloads.
+pub fn t4_detection(scale: &Scale) -> Table {
+    let mut t = Table::new(
+        "T4",
+        "injected violations vs detections (incremental checker)",
+        &[
+            "workload",
+            "constraint",
+            "injected",
+            "found at deadline",
+            "exact",
+        ],
+    );
+    t.note("claim: every violation is reported at the earliest state where it is definite");
+    let n = scale.run_length;
+    let res = Reservations {
+        steps: n,
+        violation_rate: 0.08,
+        ..Default::default()
+    }
+    .generate();
+    let lib = Library {
+        steps: n,
+        violation_rate: 0.08,
+        ..Default::default()
+    }
+    .generate();
+    let mon = Monitor {
+        steps: n,
+        violation_rate: 0.2,
+        spike_rate: 0.02,
+        ..Default::default()
+    }
+    .generate();
+    for g in [&res, &lib, &mon] {
+        for c in &g.constraints {
+            let relevant: Vec<_> = g
+                .expected
+                .iter()
+                .filter(|e| e.constraint == c.name)
+                .collect();
+            let mut checker = inc(c, g);
+            let reports: Vec<_> = g
+                .transitions
+                .iter()
+                .map(|tr| checker.step(tr.time, &tr.update).unwrap())
+                .collect();
+            let found = relevant
+                .iter()
+                .filter(|e| reports.iter().any(|r| e.found_in(r)))
+                .count();
+            t.row(vec![
+                match g.constraints[0].name.as_str() {
+                    "unconfirmed" => "reservations".into(),
+                    "overdue" => "library".into(),
+                    _ => "monitor".into(),
+                },
+                c.name.to_string(),
+                relevant.len().to_string(),
+                found.to_string(),
+                if found == relevant.len() {
+                    "yes".into()
+                } else {
+                    "NO".to_string()
+                },
+            ]);
+        }
+    }
+    t
+}
+
+/// F3 — steady-state throughput across workloads and checkers.
+pub fn f3_throughput(scale: &Scale) -> Table {
+    let mut t = Table::new(
+        "F3",
+        "steady-state throughput (states/second, tail mean)",
+        &["workload", "incremental", "windowed", "naive", "active"],
+    );
+    let n = scale.run_length;
+    let workloads: Vec<(&str, Generated)> = vec![
+        (
+            "reservations",
+            Reservations {
+                steps: n,
+                ..Default::default()
+            }
+            .generate(),
+        ),
+        (
+            "library",
+            Library {
+                steps: n,
+                ..Default::default()
+            }
+            .generate(),
+        ),
+        (
+            "monitor",
+            Monitor {
+                steps: n,
+                ..Default::default()
+            }
+            .generate(),
+        ),
+    ];
+    for (name, g) in &workloads {
+        let c = &g.constraints[0];
+        let mi = run_instrumented(&mut inc(c, g), &g.transitions, 0);
+        let mw = run_instrumented(&mut win(c, g), &g.transitions, 0);
+        let mn = run_instrumented(&mut nai(c, g), &g.transitions, 0);
+        let ma = run_instrumented(&mut act(c, g), &g.transitions, 0);
+        let fmt = |m: &RunMeasurement| format!("{:.0}", m.tail_throughput());
+        t.row(vec![
+            name.to_string(),
+            fmt(&mi),
+            fmt(&mw),
+            fmt(&mn),
+            fmt(&ma),
+        ]);
+    }
+    t
+}
+
+/// T5 — trigger-engine overhead vs. the direct encoding.
+pub fn t5_active_overhead(scale: &Scale) -> Table {
+    let mut t = Table::new(
+        "T5",
+        "active (trigger-table) realization vs direct encoding (reservations)",
+        &[
+            "n",
+            "direct step",
+            "active step",
+            "overhead",
+            "direct units",
+            "active units",
+        ],
+    );
+    t.note("claim: the encoding is realizable as ECA rules over ordinary tables");
+    t.note("at a constant-factor cost, with the same bounded table sizes");
+    for &n in &scale.history_lengths {
+        if n > 2 * scale.naive_cap {
+            continue;
+        }
+        let g = reservations_at(n);
+        let c = &g.constraints[0];
+        let mi = run_instrumented(&mut inc(c, &g), &g.transitions, 16);
+        let ma = run_instrumented(&mut act(c, &g), &g.transitions, 16);
+        assert_eq!(mi.violations, ma.violations);
+        t.row(vec![
+            n.to_string(),
+            fmt_micros(mi.tail_step_us),
+            fmt_micros(ma.tail_step_us),
+            format!("{:.1}x", ma.tail_step_us / mi.tail_step_us.max(1e-9)),
+            mi.max_retained_units.to_string(),
+            ma.max_retained_units.to_string(),
+        ]);
+    }
+    t
+}
+
+/// T6 — the stamp-specialization ablation.
+pub fn t6_ablation(scale: &Scale) -> Table {
+    let mut t = Table::new(
+        "T6",
+        "one-timestamp specialization (a=0 keeps latest) vs general deque, once[0,b]",
+        &["b", "spec ts", "plain ts", "spec step", "plain step"],
+    );
+    t.note("claim: the a=0 / b=∞ specializations cut per-key storage to 1 timestamp");
+    t.note("with identical semantics (equivalence is property-tested)");
+    for &b in &scale.bounds {
+        let g = RandomWorkload {
+            steps: scale.run_length,
+            domain: 16,
+            updates_per_step: 8,
+            bound: b,
+            seed: 42,
+            ..Default::default()
+        }
+        .generate();
+        let c = &g.constraints[0];
+        let mut spec = inc(c, &g);
+        let mut plain = IncrementalChecker::with_options(
+            c.clone(),
+            Arc::clone(&g.catalog),
+            EncodingOptions {
+                disable_stamp_specialization: true,
+            },
+        )
+        .unwrap();
+        let ms = run_instrumented(&mut spec, &g.transitions, 4);
+        let mut max_plain_ts = 0usize;
+        let mut plain_times = Vec::new();
+        for tr in &g.transitions {
+            let s = std::time::Instant::now();
+            plain.step(tr.time, &tr.update).unwrap();
+            plain_times.push(s.elapsed().as_secs_f64() * 1e6);
+            max_plain_ts = max_plain_ts.max(plain.space().aux_timestamps);
+        }
+        let tail_from = plain_times.len() - plain_times.len() / 4 - 1;
+        let plain_tail =
+            plain_times[tail_from..].iter().sum::<f64>() / (plain_times.len() - tail_from) as f64;
+        let mut max_spec_ts = 0usize;
+        {
+            // Re-run spec with per-step space polling for a fair maximum.
+            let mut s2 = inc(c, &g);
+            for tr in &g.transitions {
+                s2.step(tr.time, &tr.update).unwrap();
+                max_spec_ts = max_spec_ts.max(s2.space().aux_timestamps);
+            }
+        }
+        t.row(vec![
+            b.to_string(),
+            max_spec_ts.to_string(),
+            max_plain_ts.to_string(),
+            fmt_micros(ms.tail_step_us),
+            fmt_micros(plain_tail),
+        ]);
+    }
+    t
+}
+
+/// T7 — unbounded intervals: space bounded by the *active domain*, not the
+/// history.
+pub fn t7_adom_bound(scale: &Scale) -> Table {
+    let mut t = Table::new(
+        "T7",
+        "aux space for an unbounded constraint vs history length (fixed key domain)",
+        &[
+            "n",
+            "inc aux keys",
+            "domain",
+            "inc step",
+            "naive stored tuples",
+        ],
+    );
+    t.note("claim: with b = ∞ the aux relations grow with the active domain and then stop;");
+    t.note("the naive checker's footprint keeps growing with the history regardless");
+    let domain = 24usize;
+    let c = parse_constraint("deny hit: base(k) && once[1,*] ev(k)").unwrap();
+    for &n in &scale.history_lengths {
+        let g = RandomWorkload {
+            steps: n,
+            domain,
+            updates_per_step: 8,
+            bound: 8, // unused by this constraint
+            seed: 42,
+            ..Default::default()
+        }
+        .generate();
+        let mi = run_instrumented(&mut inc(&c, &g), &g.transitions, 0);
+        let naive_tuples = if n <= scale.naive_cap {
+            let mn = run_instrumented(&mut nai(&c, &g), &g.transitions, 0);
+            mn.final_space.stored_tuples.to_string()
+        } else {
+            "—".into()
+        };
+        assert!(
+            mi.final_space.aux_keys <= domain,
+            "aux keys exceeded the domain: {}",
+            mi.final_space.aux_keys
+        );
+        t.row(vec![
+            n.to_string(),
+            mi.final_space.aux_keys.to_string(),
+            domain.to_string(),
+            fmt_micros(mi.tail_step_us),
+            naive_tuples,
+        ]);
+    }
+    t
+}
+
+/// Runs every experiment at `scale`, in id order.
+pub fn all_tables(scale: &Scale) -> Vec<Table> {
+    vec![
+        t1_space(scale),
+        f1_step_latency(scale),
+        t2_bound_space(scale),
+        f2_bound_time(scale),
+        t3_domain_scaling(scale),
+        t4_detection(scale),
+        f3_throughput(scale),
+        t5_active_overhead(scale),
+        t6_ablation(scale),
+        t7_adom_bound(scale),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Smoke: every experiment runs at tiny scale and produces rows.
+    #[test]
+    fn all_experiments_run_at_tiny_scale() {
+        let scale = Scale {
+            history_lengths: vec![40, 80],
+            naive_cap: 80,
+            bounds: vec![3, 6],
+            update_sizes: vec![4, 8],
+            run_length: 50,
+        };
+        for table in all_tables(&scale) {
+            assert!(!table.rows.is_empty(), "{} has no rows", table.id);
+            let rendered = table.render();
+            assert!(rendered.contains(table.id));
+        }
+    }
+
+    #[test]
+    fn t1_shows_the_separation() {
+        let scale = Scale {
+            history_lengths: vec![50, 200],
+            naive_cap: 200,
+            bounds: vec![],
+            update_sizes: vec![],
+            run_length: 50,
+        };
+        let t = t1_space(&scale);
+        let small: usize = t.rows[0][3].parse().unwrap();
+        let large: usize = t.rows[1][3].parse().unwrap();
+        assert!(large > 2 * small, "naive space must grow with n");
+        let inc_small: usize = t.rows[0][1].parse().unwrap();
+        let inc_large: usize = t.rows[1][1].parse().unwrap();
+        assert!(
+            inc_large <= inc_small * 2,
+            "encoding space must not grow with n ({inc_small} -> {inc_large})"
+        );
+    }
+}

@@ -1,0 +1,18 @@
+//! # rtic-bench — experiment harness
+//!
+//! Regenerates every table and figure of EXPERIMENTS.md:
+//!
+//! * [`experiments`] — one function per experiment (T1–T6, F1–F3);
+//! * [`measure`] — instrumented checker runs (per-step timing, space polls);
+//! * [`table`] — plain-text table rendering.
+//!
+//! `cargo run -p rtic-bench --release --bin experiments` prints every
+//! table (`--quick` for a smoke-scale sweep, `--table t1` for one);
+//! `cargo bench` runs the Criterion benches sampling the same code paths.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod measure;
+pub mod table;

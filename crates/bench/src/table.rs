@@ -1,0 +1,123 @@
+//! Plain-text table rendering for the experiment harness.
+
+use std::fmt::Write as _;
+
+/// A rendered experiment table (one per table/figure of EXPERIMENTS.md).
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Experiment id, e.g. `"T1"`.
+    pub id: &'static str,
+    /// One-line title.
+    pub title: String,
+    /// Free-form notes printed under the title.
+    pub notes: Vec<String>,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts an empty table.
+    pub fn new(id: &'static str, title: impl Into<String>, header: &[&str]) -> Table {
+        Table {
+            id,
+            title: title.into(),
+            notes: Vec::new(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Adds a row; pads or truncates to the header width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        let mut cells = cells;
+        cells.resize(self.header.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        for n in &self.notes {
+            let _ = writeln!(out, "   {n}");
+        }
+        let line = |cells: &[String], widths: &[usize]| {
+            let mut s = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    s.push_str("  ");
+                }
+                let _ = write!(s, "{:>width$}", c, width = widths[i]);
+            }
+            s
+        };
+        let _ = writeln!(out, "{}", line(&self.header, &widths));
+        let _ = writeln!(
+            out,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+}
+
+/// Formats a duration in adaptive units.
+pub fn fmt_micros(us: f64) -> String {
+    if us < 1_000.0 {
+        format!("{us:.1}µs")
+    } else if us < 1_000_000.0 {
+        format!("{:.2}ms", us / 1_000.0)
+    } else {
+        format!("{:.2}s", us / 1_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("T0", "demo", &["n", "value"]);
+        t.note("a note");
+        t.row(vec!["10".into(), "1.5".into()]);
+        t.row(vec!["10000".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.contains("T0"));
+        assert!(s.contains("a note"));
+        let lines: Vec<&str> = s.lines().collect();
+        let data: Vec<&str> = lines.iter().filter(|l| l.contains("10")).copied().collect();
+        assert_eq!(data.len(), 2);
+        assert_eq!(data[0].len(), data[1].len(), "columns aligned");
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new("T0", "demo", &["a", "b", "c"]);
+        t.row(vec!["1".into()]);
+        assert_eq!(t.rows[0].len(), 3);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_micros(12.34), "12.3µs");
+        assert_eq!(fmt_micros(12_340.0), "12.34ms");
+        assert_eq!(fmt_micros(3_000_000.0), "3.00s");
+    }
+}

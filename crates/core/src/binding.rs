@@ -1,0 +1,527 @@
+//! Sets of variable assignments ("binding relations").
+//!
+//! The first-order evaluator works over [`Bindings`]: a set of rows, each
+//! assigning a value to every variable of a *canonically sorted* variable
+//! list. Keeping columns sorted by variable makes every operation's output
+//! schema deterministic and lets disjunction branches and aux-relation
+//! extensions union without reordering logic at call sites.
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+use rtic_relation::{Relation, Tuple, Value};
+use rtic_temporal::ast::{Term, Var};
+
+/// A finite set of assignments over a sorted variable list.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Bindings {
+    vars: Vec<Var>,
+    rows: BTreeSet<Tuple>,
+}
+
+impl Bindings {
+    /// The unit: no variables, one (empty) row. Identity for joins;
+    /// represents "true".
+    pub fn unit() -> Bindings {
+        let mut rows = BTreeSet::new();
+        rows.insert(Tuple::empty());
+        Bindings {
+            vars: Vec::new(),
+            rows,
+        }
+    }
+
+    /// No rows over the given variables; represents "false".
+    pub fn none(vars: impl IntoIterator<Item = Var>) -> Bindings {
+        let mut vars: Vec<Var> = vars.into_iter().collect();
+        vars.sort_unstable();
+        vars.dedup();
+        Bindings {
+            vars,
+            rows: BTreeSet::new(),
+        }
+    }
+
+    /// Builds from rows whose columns follow `vars` (any order; columns are
+    /// canonicalized).
+    ///
+    /// # Panics
+    /// Panics if `vars` contains duplicates or a row's arity mismatches.
+    pub fn from_rows(vars: Vec<Var>, rows: impl IntoIterator<Item = Tuple>) -> Bindings {
+        let mut order: Vec<usize> = (0..vars.len()).collect();
+        order.sort_unstable_by_key(|&i| vars[i]);
+        let sorted_vars: Vec<Var> = order.iter().map(|&i| vars[i]).collect();
+        assert!(
+            sorted_vars.windows(2).all(|w| w[0] != w[1]),
+            "duplicate variable in Bindings::from_rows"
+        );
+        let rows = rows
+            .into_iter()
+            .map(|t| {
+                assert_eq!(t.arity(), vars.len(), "row arity mismatch");
+                t.project(&order)
+            })
+            .collect();
+        Bindings {
+            vars: sorted_vars,
+            rows,
+        }
+    }
+
+    /// The sorted variable list.
+    pub fn vars(&self) -> &[Var] {
+        &self.vars
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Iterates rows in deterministic order.
+    pub fn rows(&self) -> impl Iterator<Item = &Tuple> {
+        self.rows.iter()
+    }
+
+    /// Membership test for a row in this binding set's column order.
+    pub fn contains(&self, row: &Tuple) -> bool {
+        self.rows.contains(row)
+    }
+
+    /// Position of `v` in the column order.
+    pub fn position(&self, v: Var) -> Option<usize> {
+        self.vars.binary_search(&v).ok()
+    }
+
+    /// The value a row assigns to a term: the constant itself, or the row's
+    /// value for the variable.
+    ///
+    /// # Panics
+    /// Panics when the term is an unbound variable — the safety analysis
+    /// guarantees evaluators never ask for one.
+    pub fn term_value(&self, row: &Tuple, term: &Term) -> Value {
+        match term {
+            Term::Const(c) => *c,
+            Term::Var(v) => {
+                let i = self
+                    .position(*v)
+                    .unwrap_or_else(|| panic!("unbound variable `{v}` (safety analysis bug)"));
+                row[i]
+            }
+        }
+    }
+
+    /// Keeps only rows satisfying `pred`.
+    pub fn filter(&self, mut pred: impl FnMut(&Tuple) -> bool) -> Bindings {
+        Bindings {
+            vars: self.vars.clone(),
+            rows: self.rows.iter().filter(|r| pred(r)).cloned().collect(),
+        }
+    }
+
+    /// Union; both sides must have the same variables.
+    pub fn union(&self, other: &Bindings) -> Bindings {
+        assert_eq!(self.vars, other.vars, "union over different variable sets");
+        Bindings {
+            vars: self.vars.clone(),
+            rows: self.rows.union(&other.rows).cloned().collect(),
+        }
+    }
+
+    /// In-place union; both sides must have the same variables. Use this
+    /// in accumulation loops — repeated [`Bindings::union`] is quadratic.
+    pub fn union_in_place(&mut self, other: &Bindings) {
+        assert_eq!(self.vars, other.vars, "union over different variable sets");
+        self.rows.extend(other.rows.iter().cloned());
+    }
+
+    /// Projection onto `keep` (must be a subset of the variables);
+    /// deduplicates.
+    pub fn project(&self, keep: &[Var]) -> Bindings {
+        let mut keep: Vec<Var> = keep.to_vec();
+        keep.sort_unstable();
+        keep.dedup();
+        let positions: Vec<usize> = keep
+            .iter()
+            .map(|v| self.position(*v).expect("projection variable not present"))
+            .collect();
+        Bindings {
+            vars: keep,
+            rows: self.rows.iter().map(|r| r.project(&positions)).collect(),
+        }
+    }
+
+    /// Drops the variables in `remove` (projection onto the complement).
+    pub fn project_away(&self, remove: &[Var]) -> Bindings {
+        let keep: Vec<Var> = self
+            .vars
+            .iter()
+            .copied()
+            .filter(|v| !remove.contains(v))
+            .collect();
+        self.project(&keep)
+    }
+
+    /// Extends every row with `v = value`. `v` must be new.
+    pub fn extend_const(&self, v: Var, value: Value) -> Bindings {
+        assert!(
+            self.position(v).is_none(),
+            "extend_const: variable already bound"
+        );
+        let mut vars = self.vars.clone();
+        let insert_at = vars.partition_point(|&u| u < v);
+        vars.insert(insert_at, v);
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| {
+                let mut vals: Vec<Value> = r.values().to_vec();
+                vals.insert(insert_at, value);
+                Tuple::new(vals)
+            })
+            .collect();
+        Bindings { vars, rows }
+    }
+
+    /// Extends every row with `v` bound to a row-dependent value. `v` must
+    /// be new.
+    pub fn extend_with(&self, v: Var, mut value: impl FnMut(&Tuple) -> Value) -> Bindings {
+        assert!(
+            self.position(v).is_none(),
+            "extend_with: variable already bound"
+        );
+        let mut vars = self.vars.clone();
+        let insert_at = vars.partition_point(|&u| u < v);
+        vars.insert(insert_at, v);
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| {
+                let mut vals: Vec<Value> = r.values().to_vec();
+                vals.insert(insert_at, value(r));
+                Tuple::new(vals)
+            })
+            .collect();
+        Bindings { vars, rows }
+    }
+
+    /// Natural join on shared variables.
+    pub fn natural_join(&self, other: &Bindings) -> Bindings {
+        // Shared variables and each side's positions for them.
+        let shared: Vec<Var> = self
+            .vars
+            .iter()
+            .copied()
+            .filter(|v| other.position(*v).is_some())
+            .collect();
+        let lpos: Vec<usize> = shared.iter().map(|v| self.position(*v).unwrap()).collect();
+        let rpos: Vec<usize> = shared.iter().map(|v| other.position(*v).unwrap()).collect();
+        let rnew: Vec<usize> = (0..other.vars.len())
+            .filter(|i| !rpos.contains(i))
+            .collect();
+        // Output variables: ours plus the other's new ones, merged sorted.
+        let mut vars = self.vars.clone();
+        for &i in &rnew {
+            let v = other.vars[i];
+            let at = vars.partition_point(|&u| u < v);
+            vars.insert(at, v);
+        }
+        // Column source map for output construction.
+        #[derive(Clone, Copy)]
+        enum Src {
+            Left(usize),
+            Right(usize),
+        }
+        let srcs: Vec<Src> = vars
+            .iter()
+            .map(|v| match self.position(*v) {
+                Some(i) => Src::Left(i),
+                None => Src::Right(other.position(*v).unwrap()),
+            })
+            .collect();
+        let mut table: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::new();
+        for r in &other.rows {
+            table
+                .entry(rpos.iter().map(|&i| r[i]).collect())
+                .or_default()
+                .push(r);
+        }
+        let mut rows = BTreeSet::new();
+        for l in &self.rows {
+            let key: Vec<Value> = lpos.iter().map(|&i| l[i]).collect();
+            if let Some(matches) = table.get(&key) {
+                for r in matches {
+                    rows.insert(
+                        srcs.iter()
+                            .map(|s| match *s {
+                                Src::Left(i) => l[i],
+                                Src::Right(i) => r[i],
+                            })
+                            .collect::<Tuple>(),
+                    );
+                }
+            }
+        }
+        Bindings { vars, rows }
+    }
+
+    /// Anti-semijoin: rows of `self` whose projection onto `other`'s
+    /// variables is **not** in `other`. `other.vars ⊆ self.vars` required.
+    pub fn antijoin(&self, other: &Bindings) -> Bindings {
+        let pos: Vec<usize> = other
+            .vars
+            .iter()
+            .map(|v| self.position(*v).expect("antijoin variables must be bound"))
+            .collect();
+        self.filter(|r| !other.rows.contains(&r.project(&pos)))
+    }
+
+    /// Semijoin: rows of `self` whose projection onto `other`'s variables
+    /// **is** in `other`.
+    pub fn semijoin(&self, other: &Bindings) -> Bindings {
+        let pos: Vec<usize> = other
+            .vars
+            .iter()
+            .map(|v| self.position(*v).expect("semijoin variables must be bound"))
+            .collect();
+        self.filter(|r| other.rows.contains(&r.project(&pos)))
+    }
+
+    /// Joins with a database relation through an atom's term pattern,
+    /// binding the pattern's new variables.
+    ///
+    /// For every input row and every relation tuple that agrees with the
+    /// row on already-bound variables and with the pattern's constants
+    /// (and is self-consistent on repeated new variables), the output
+    /// contains the row extended with the new variables' values.
+    pub fn join_atom(&self, rel: &Relation, terms: &[Term]) -> Bindings {
+        // Classify pattern positions.
+        let mut const_checks: Vec<(usize, Value)> = Vec::new();
+        let mut bound_positions: Vec<(usize, usize)> = Vec::new(); // (atom pos, our col)
+        let mut new_vars: Vec<(Var, Vec<usize>)> = Vec::new(); // var -> atom positions
+        for (i, t) in terms.iter().enumerate() {
+            match t {
+                Term::Const(c) => const_checks.push((i, *c)),
+                Term::Var(v) => match self.position(*v) {
+                    Some(col) => bound_positions.push((i, col)),
+                    None => match new_vars.iter_mut().find(|(u, _)| u == v) {
+                        Some((_, ps)) => ps.push(i),
+                        None => new_vars.push((*v, vec![i])),
+                    },
+                },
+            }
+        }
+        // Probe through the relation's cached index, keyed by the constant
+        // positions followed by the bound-variable positions — the index is
+        // built once per relation version and shared by every atom
+        // evaluation with the same shape.
+        let index_cols: Vec<usize> = const_checks
+            .iter()
+            .map(|&(i, _)| i)
+            .chain(bound_positions.iter().map(|&(i, _)| i))
+            .collect();
+        let index = rel.index_on(&index_cols);
+        let has_repeats = new_vars.iter().any(|(_, ps)| ps.len() > 1);
+        // Output columns.
+        let mut vars = self.vars.clone();
+        for (v, _) in &new_vars {
+            let at = vars.partition_point(|&u| u < *v);
+            vars.insert(at, *v);
+        }
+        let src: Vec<Result<usize, usize>> = vars
+            .iter()
+            .map(|v| match self.position(*v) {
+                Some(i) => Ok(i),
+                None => Err(new_vars.iter().position(|(u, _)| u == v).unwrap()),
+            })
+            .collect();
+        let mut rows = BTreeSet::new();
+        let mut key: Vec<Value> = Vec::with_capacity(const_checks.len() + bound_positions.len());
+        for l in &self.rows {
+            key.clear();
+            key.extend(const_checks.iter().map(|&(_, c)| c));
+            key.extend(bound_positions.iter().map(|&(_, col)| l[col]));
+            let Some(matches) = index.get(&key) else {
+                continue;
+            };
+            for t in matches {
+                if has_repeats
+                    && new_vars
+                        .iter()
+                        .any(|(_, ps)| ps.windows(2).any(|w| t[w[0]] != t[w[1]]))
+                {
+                    continue;
+                }
+                rows.insert(
+                    src.iter()
+                        .map(|s| match *s {
+                            Ok(i) => l[i],
+                            Err(n) => t[new_vars[n].1[0]],
+                        })
+                        .collect::<Tuple>(),
+                );
+            }
+        }
+        Bindings { vars, rows }
+    }
+}
+
+impl fmt::Display for Bindings {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("{")?;
+        for (n, row) in self.rows.iter().enumerate() {
+            if n > 0 {
+                f.write_str(", ")?;
+            }
+            f.write_str("[")?;
+            for (i, v) in self.vars.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{v}={}", row[i])?;
+            }
+            f.write_str("]")?;
+        }
+        f.write_str("}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtic_relation::{tuple, Schema, Sort};
+    use rtic_temporal::var;
+
+    fn b(vars: &[&str], rows: Vec<Tuple>) -> Bindings {
+        Bindings::from_rows(vars.iter().map(|v| var(v)).collect(), rows)
+    }
+
+    #[test]
+    fn unit_and_none() {
+        assert_eq!(Bindings::unit().len(), 1);
+        assert!(Bindings::none([var("x")]).is_empty());
+        assert_eq!(Bindings::none([var("x")]).vars(), &[var("x")]);
+    }
+
+    #[test]
+    fn from_rows_canonicalizes_column_order() {
+        // Note: Symbol order is intern order, so intern in a known order.
+        let (a, z) = (var("col_a"), var("col_z"));
+        let fwd = Bindings::from_rows(vec![a, z], vec![tuple![1, 2]]);
+        let rev = Bindings::from_rows(vec![z, a], vec![tuple![2, 1]]);
+        assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn natural_join_on_shared() {
+        let l = b(&["jx", "jy"], vec![tuple![1, 10], tuple![2, 20]]);
+        let r = b(
+            &["jy", "jz"],
+            vec![tuple![10, 100], tuple![10, 101], tuple![30, 300]],
+        );
+        let j = l.natural_join(&r);
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.vars().len(), 3);
+        let l2 = b(&["jx"], vec![tuple![5]]);
+        let cross = l2.natural_join(&b(&["jw"], vec![tuple![7], tuple![8]]));
+        assert_eq!(cross.len(), 2, "no shared vars means cross product");
+    }
+
+    #[test]
+    fn natural_join_with_unit_is_identity() {
+        let l = b(&["ux"], vec![tuple![1], tuple![2]]);
+        assert_eq!(l.natural_join(&Bindings::unit()), l);
+        assert_eq!(Bindings::unit().natural_join(&l), l);
+    }
+
+    #[test]
+    fn semijoin_antijoin() {
+        let l = b(&["sx", "sy"], vec![tuple![1, 10], tuple![2, 20]]);
+        let keys = b(&["sx"], vec![tuple![1]]);
+        assert_eq!(l.semijoin(&keys).len(), 1);
+        assert_eq!(l.antijoin(&keys).len(), 1);
+    }
+
+    #[test]
+    fn project_and_project_away() {
+        let l = b(&["px", "py"], vec![tuple![1, 10], tuple![2, 10]]);
+        let p = l.project(&[var("py")]);
+        assert_eq!(p.len(), 1, "deduplicated");
+        assert_eq!(l.project_away(&[var("px")]), p);
+    }
+
+    #[test]
+    fn extend_const_inserts_sorted() {
+        let l = b(&["ex"], vec![tuple![1]]);
+        let e = l.extend_const(var("ey"), Value::Int(9));
+        assert_eq!(e.vars().len(), 2);
+        let col = e.position(var("ey")).unwrap();
+        for r in e.rows() {
+            assert_eq!(r[col], Value::Int(9));
+        }
+    }
+
+    fn rel(rows: Vec<Tuple>) -> Relation {
+        Relation::from_tuples(Schema::of(&[("a", Sort::Int), ("b", Sort::Int)]), rows).unwrap()
+    }
+
+    #[test]
+    fn join_atom_binds_new_vars() {
+        let r = rel(vec![tuple![1, 10], tuple![2, 20]]);
+        let out = Bindings::unit().join_atom(&r, &[Term::var("ja"), Term::var("jb")]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.vars().len(), 2);
+    }
+
+    #[test]
+    fn join_atom_respects_bound_vars() {
+        let r = rel(vec![tuple![1, 10], tuple![2, 20]]);
+        let input = b(&["ka"], vec![tuple![1]]);
+        let out = input.join_atom(&r, &[Term::var("ka"), Term::var("kb")]);
+        assert_eq!(out.len(), 1);
+        let row = out.rows().next().unwrap();
+        assert_eq!(row[out.position(var("kb")).unwrap()], Value::Int(10));
+    }
+
+    #[test]
+    fn join_atom_checks_constants() {
+        let r = rel(vec![tuple![1, 10], tuple![2, 20]]);
+        let out = Bindings::unit().join_atom(&r, &[Term::int(2), Term::var("cb")]);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn join_atom_repeated_new_var_requires_equality() {
+        let r = rel(vec![tuple![3, 3], tuple![4, 5]]);
+        let out = Bindings::unit().join_atom(&r, &[Term::var("rv"), Term::var("rv")]);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn term_value_reads_consts_and_columns() {
+        let l = b(&["tx"], vec![tuple![5]]);
+        let row = l.rows().next().unwrap().clone();
+        assert_eq!(l.term_value(&row, &Term::int(9)), Value::Int(9));
+        assert_eq!(l.term_value(&row, &Term::var("tx")), Value::Int(5));
+    }
+
+    #[test]
+    fn union_requires_same_vars() {
+        let a = b(&["uv"], vec![tuple![1]]);
+        let c = b(&["uv"], vec![tuple![2]]);
+        assert_eq!(a.union(&c).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different variable sets")]
+    fn union_panics_on_mismatch() {
+        let a = b(&["u1"], vec![]);
+        let c = b(&["u2"], vec![]);
+        let _ = a.union(&c);
+    }
+}

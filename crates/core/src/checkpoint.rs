@@ -1,0 +1,621 @@
+//! Checkpoint / restore of an [`IncrementalChecker`].
+//!
+//! A real-time checker must survive restarts without replaying the whole
+//! history — and the bounded encoding makes that cheap: the checkpoint is
+//! exactly the current state plus the (bounded) auxiliary relations. This
+//! module serializes both to a line-oriented text format and restores a
+//! checker that continues *identically* to one that never stopped
+//! (property-tested in `tests/checkpoint_props.rs`).
+//!
+//! Format sketch:
+//!
+//! ```text
+//! rtic-checkpoint v1
+//! constraint unconfirmed
+//! body reserved(p, f) && …
+//! time 42
+//! steps 37
+//! rel reserved
+//! | "ann", 17
+//! endrel
+//! node 0 once
+//! 3 9 | "ann", 17
+//! endnode
+//! ```
+//!
+//! Each aux entry line is `«numbers» | «value literals»`: the numeric
+//! prefix (timestamps, flags) never contains strings, so splitting on the
+//! first `|` is unambiguous.
+//!
+//! ```
+//! use rtic_core::checkpoint::{restore, save};
+//! use rtic_core::{Checker, EncodingOptions, IncrementalChecker};
+//! use rtic_relation::{tuple, Catalog, Schema, Sort, Update};
+//! use rtic_temporal::parser::parse_constraint;
+//! use rtic_temporal::TimePoint;
+//! use std::sync::Arc;
+//!
+//! let catalog = Arc::new(
+//!     Catalog::new().with("p", Schema::of(&[("x", Sort::Str)])).unwrap(),
+//! );
+//! let c = parse_constraint("deny d: p(x) && once[2,*] p(x)").unwrap();
+//! let mut checker = IncrementalChecker::new(c.clone(), Arc::clone(&catalog)).unwrap();
+//! checker
+//!     .step(TimePoint(1), &Update::new().with_insert("p", tuple!["a"]))
+//!     .unwrap();
+//! let snapshot = save(&checker); // plain text, a few lines
+//! drop(checker); // "crash"
+//! let mut resumed =
+//!     restore(c, catalog, EncodingOptions::default(), &snapshot).unwrap();
+//! let report = resumed.step(TimePoint(3), &Update::new()).unwrap();
+//! assert_eq!(report.violation_count(), 1); // p(a) is now 2 old — as if never stopped
+//! ```
+
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use rtic_relation::{Catalog, Tuple, Value};
+use rtic_temporal::{Constraint, TimePoint};
+
+use crate::encode::HistInfDump;
+use crate::error::CompileError;
+use crate::incremental::{EncodingOptions, IncrementalChecker, NodeState};
+
+/// A checkpoint failure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CheckpointError {
+    /// The text is not a well-formed checkpoint.
+    Format {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The checkpoint does not belong to the given constraint/catalog.
+    Mismatch {
+        /// What differed.
+        message: String,
+    },
+    /// The constraint failed to compile against the catalog.
+    Compile(CompileError),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Format { line, message } => {
+                write!(f, "checkpoint line {line}: {message}")
+            }
+            CheckpointError::Mismatch { message } => {
+                write!(f, "checkpoint mismatch: {message}")
+            }
+            CheckpointError::Compile(e) => write!(f, "checkpoint constraint: {e}"),
+        }
+    }
+}
+
+impl Error for CheckpointError {}
+
+impl From<CompileError> for CheckpointError {
+    fn from(e: CompileError) -> CheckpointError {
+        CheckpointError::Compile(e)
+    }
+}
+
+fn write_values(out: &mut String, t: &Tuple) {
+    out.push_str("| ");
+    for (i, v) in t.values().iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&v.to_literal());
+    }
+    out.push('\n');
+}
+
+/// Serializes the checker's full state.
+pub fn save(checker: &IncrementalChecker) -> String {
+    let mut out = String::new();
+    let engine = checker.engine();
+    out.push_str("rtic-checkpoint v1\n");
+    let _ = writeln!(out, "constraint {}", engine.compiled.constraint.name);
+    let _ = writeln!(out, "body {}", engine.compiled.body);
+    match engine.last_time {
+        Some(t) => {
+            let _ = writeln!(out, "time {}", t.0);
+        }
+        None => out.push_str("time none\n"),
+    }
+    let _ = writeln!(out, "steps {}", checker.steps());
+    // Current database state.
+    let db = checker.database();
+    for name in db.catalog().names() {
+        let rel = db.relation(name).expect("catalogued");
+        if rel.is_empty() {
+            continue;
+        }
+        let _ = writeln!(out, "rel {name}");
+        for t in rel.iter() {
+            write_values(&mut out, t);
+        }
+        out.push_str("endrel\n");
+    }
+    // Auxiliary node states.
+    for (idx, state) in engine.states.iter().enumerate() {
+        match state {
+            NodeState::Prev(p) => {
+                let _ = writeln!(out, "node {idx} prev");
+                if let Some((t, rows)) = p.dump() {
+                    let _ = writeln!(out, "time {}", t.0);
+                    for r in rows {
+                        write_values(&mut out, &r);
+                    }
+                }
+            }
+            NodeState::Once(w) | NodeState::Since(w) => {
+                let kind = if matches!(state, NodeState::Once(_)) {
+                    "once"
+                } else {
+                    "since"
+                };
+                let _ = writeln!(out, "node {idx} {kind}");
+                for (key, stamps) in w.dump() {
+                    for (i, s) in stamps.iter().enumerate() {
+                        if i > 0 {
+                            out.push(' ');
+                        }
+                        let _ = write!(out, "{}", s.0);
+                    }
+                    out.push(' ');
+                    write_values(&mut out, &key);
+                }
+            }
+            NodeState::HistFinite(h) => {
+                let _ = writeln!(out, "node {idx} histf");
+                let (entries, times) = h.dump();
+                out.push_str("times");
+                for t in &times {
+                    let _ = write!(out, " {}", t.0);
+                }
+                out.push('\n');
+                for (key, runs) in entries {
+                    for (i, (s, e)) in runs.iter().enumerate() {
+                        if i > 0 {
+                            out.push(' ');
+                        }
+                        let _ = write!(out, "{} {}", s.0, e.0);
+                    }
+                    out.push(' ');
+                    write_values(&mut out, &key);
+                }
+            }
+            NodeState::HistInf(h) => {
+                let _ = writeln!(out, "node {idx} histi");
+                let dump = h.dump();
+                let _ = writeln!(out, "started {}", dump.started);
+                match dump.latest_older {
+                    Some(t) => {
+                        let _ = writeln!(out, "older {}", t.0);
+                    }
+                    None => out.push_str("older none\n"),
+                }
+                out.push_str("recent");
+                for t in &dump.recent_times {
+                    let _ = write!(out, " {}", t.0);
+                }
+                out.push('\n');
+                for (key, end, active) in dump.entries {
+                    let _ = write!(out, "{} {} ", end.0, u8::from(active));
+                    write_values(&mut out, &key);
+                }
+            }
+        }
+        out.push_str("endnode\n");
+    }
+    out
+}
+
+struct Reader<'s> {
+    lines: Vec<(usize, &'s str)>,
+    pos: usize,
+}
+
+impl<'s> Reader<'s> {
+    fn new(text: &'s str) -> Reader<'s> {
+        Reader {
+            lines: text
+                .lines()
+                .enumerate()
+                .map(|(i, l)| (i + 1, l.trim()))
+                .filter(|(_, l)| !l.is_empty())
+                .collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&'s str> {
+        self.lines.get(self.pos).map(|(_, l)| *l)
+    }
+
+    fn next(&mut self) -> Option<(usize, &'s str)> {
+        let l = self.lines.get(self.pos).copied();
+        if l.is_some() {
+            self.pos += 1;
+        }
+        l
+    }
+
+    fn line_no(&self) -> usize {
+        self.lines
+            .get(self.pos.saturating_sub(1))
+            .or_else(|| self.lines.last())
+            .map(|(n, _)| *n)
+            .unwrap_or(0)
+    }
+
+    fn err(&self, message: impl Into<String>) -> CheckpointError {
+        CheckpointError::Format {
+            line: self.line_no(),
+            message: message.into(),
+        }
+    }
+
+    fn expect_kv(&mut self, key: &str) -> Result<String, CheckpointError> {
+        match self.next() {
+            Some((_, l)) if l.starts_with(key) && l[key.len()..].starts_with(' ') => {
+                Ok(l[key.len() + 1..].to_string())
+            }
+            Some((_, l)) => Err(self.err(format!("expected `{key} …`, found `{l}`"))),
+            None => Err(self.err(format!("expected `{key} …`, found end of checkpoint"))),
+        }
+    }
+}
+
+fn parse_entry_line(line: &str) -> Result<(Vec<u64>, Tuple), String> {
+    let (nums, vals) = line
+        .split_once('|')
+        .ok_or_else(|| "entry line missing `|`".to_string())?;
+    let numbers: Result<Vec<u64>, _> = nums.split_whitespace().map(str::parse::<u64>).collect();
+    let numbers = numbers.map_err(|e| format!("bad number: {e}"))?;
+    let values = Value::parse_literals(vals)?;
+    Ok((numbers, Tuple::new(values)))
+}
+
+fn parse_times(text: &str) -> Result<Vec<TimePoint>, String> {
+    text.split_whitespace()
+        .map(|w| {
+            w.parse::<u64>()
+                .map(TimePoint)
+                .map_err(|e| format!("bad time: {e}"))
+        })
+        .collect()
+}
+
+/// Restores a checker from checkpoint text. The same `constraint`,
+/// `catalog` and `options` the original was built with must be supplied;
+/// the constraint's compiled body is verified against the checkpoint.
+pub fn restore(
+    constraint: Constraint,
+    catalog: Arc<Catalog>,
+    options: EncodingOptions,
+    text: &str,
+) -> Result<IncrementalChecker, CheckpointError> {
+    let mut checker = IncrementalChecker::with_options(constraint, catalog, options)?;
+    let mut r = Reader::new(text);
+    match r.next() {
+        Some((_, "rtic-checkpoint v1")) => {}
+        _ => return Err(r.err("missing `rtic-checkpoint v1` header")),
+    }
+    let name = r.expect_kv("constraint")?;
+    let body = r.expect_kv("body")?;
+    {
+        let engine = checker.engine();
+        if engine.compiled.constraint.name.as_str() != name {
+            return Err(CheckpointError::Mismatch {
+                message: format!(
+                    "checkpoint is for constraint `{name}`, not `{}`",
+                    engine.compiled.constraint.name
+                ),
+            });
+        }
+        if engine.compiled.body.to_string() != body {
+            return Err(CheckpointError::Mismatch {
+                message: "compiled body differs from the checkpointed one".into(),
+            });
+        }
+    }
+    let time_text = r.expect_kv("time")?;
+    let last_time = if time_text == "none" {
+        None
+    } else {
+        Some(TimePoint(
+            time_text
+                .parse()
+                .map_err(|e| r.err(format!("bad time: {e}")))?,
+        ))
+    };
+    let steps: usize = r
+        .expect_kv("steps")?
+        .parse()
+        .map_err(|e| r.err(format!("bad steps: {e}")))?;
+
+    let (db, engine, steps_slot) = checker.parts_mut();
+    engine.last_time = last_time;
+    *steps_slot = steps;
+    while let Some(line) = r.peek() {
+        if let Some(rel_name) = line.strip_prefix("rel ") {
+            r.next();
+            let sym = rtic_relation::Symbol::intern(rel_name);
+            let rel = db
+                .relation_mut(sym)
+                .map_err(|e| CheckpointError::Mismatch {
+                    message: e.to_string(),
+                })?;
+            loop {
+                match r.next() {
+                    Some((_, "endrel")) => break,
+                    Some((_, l)) => {
+                        let (nums, tuple) = parse_entry_line(l).map_err(|m| r.err(m))?;
+                        if !nums.is_empty() {
+                            return Err(r.err("relation rows carry no numeric prefix"));
+                        }
+                        rel.insert(tuple).map_err(|e| CheckpointError::Mismatch {
+                            message: e.to_string(),
+                        })?;
+                    }
+                    None => return Err(r.err("unterminated `rel` section")),
+                }
+            }
+        } else if let Some(rest) = line.strip_prefix("node ") {
+            r.next();
+            let mut parts = rest.split_whitespace();
+            let idx: usize = parts
+                .next()
+                .and_then(|w| w.parse().ok())
+                .ok_or_else(|| r.err("bad node index"))?;
+            let kind = parts.next().unwrap_or("");
+            let state = engine
+                .states
+                .get_mut(idx)
+                .ok_or_else(|| CheckpointError::Mismatch {
+                    message: format!("checkpoint has node {idx}, constraint does not"),
+                })?;
+            match (kind, state) {
+                ("prev", NodeState::Prev(p)) => {
+                    if r.peek().is_some_and(|l| l.starts_with("time ")) {
+                        let t: u64 = r
+                            .expect_kv("time")?
+                            .parse()
+                            .map_err(|e| r.err(format!("bad prev time: {e}")))?;
+                        let mut rows = Vec::new();
+                        while r.peek().is_some_and(|l| l != "endnode") {
+                            let (_, l) = r.next().expect("peeked");
+                            let (nums, tuple) = parse_entry_line(l).map_err(|m| r.err(m))?;
+                            if !nums.is_empty() {
+                                return Err(r.err("prev rows carry no numeric prefix"));
+                            }
+                            rows.push(tuple);
+                        }
+                        p.restore(TimePoint(t), rows);
+                    }
+                }
+                ("once", NodeState::Once(w)) | ("since", NodeState::Since(w)) => {
+                    while r.peek().is_some_and(|l| l != "endnode") {
+                        let (_, l) = r.next().expect("peeked");
+                        let (nums, key) = parse_entry_line(l).map_err(|m| r.err(m))?;
+                        if nums.is_empty() {
+                            return Err(r.err("window entry needs at least one timestamp"));
+                        }
+                        let stamps: Vec<TimePoint> = nums.into_iter().map(TimePoint).collect();
+                        w.restore_entry(key, &stamps);
+                    }
+                }
+                ("histf", NodeState::HistFinite(h)) => {
+                    let times = parse_times(&r.expect_kv("times").unwrap_or_default())
+                        .map_err(|m| r.err(m))?;
+                    let mut entries = Vec::new();
+                    while r.peek().is_some_and(|l| l != "endnode") {
+                        let (_, l) = r.next().expect("peeked");
+                        let (nums, key) = parse_entry_line(l).map_err(|m| r.err(m))?;
+                        if nums.len() % 2 != 0 {
+                            return Err(r.err("runs come as start/end pairs"));
+                        }
+                        let runs: Vec<(TimePoint, TimePoint)> = nums
+                            .chunks(2)
+                            .map(|c| (TimePoint(c[0]), TimePoint(c[1])))
+                            .collect();
+                        entries.push((key, runs));
+                    }
+                    h.restore(entries, times);
+                }
+                ("histi", NodeState::HistInf(h)) => {
+                    let started = r.expect_kv("started")? == "true";
+                    let older_text = r.expect_kv("older")?;
+                    let latest_older = if older_text == "none" {
+                        None
+                    } else {
+                        Some(TimePoint(
+                            older_text
+                                .parse()
+                                .map_err(|e| r.err(format!("bad older time: {e}")))?,
+                        ))
+                    };
+                    let recent = parse_times(&r.expect_kv("recent").unwrap_or_default())
+                        .map_err(|m| r.err(m))?;
+                    let mut entries = Vec::new();
+                    while r.peek().is_some_and(|l| l != "endnode") {
+                        let (_, l) = r.next().expect("peeked");
+                        let (nums, key) = parse_entry_line(l).map_err(|m| r.err(m))?;
+                        if nums.len() != 2 {
+                            return Err(r.err("histi entries are `end active | key`"));
+                        }
+                        entries.push((key, TimePoint(nums[0]), nums[1] != 0));
+                    }
+                    h.restore(HistInfDump {
+                        started,
+                        entries,
+                        recent_times: recent,
+                        latest_older,
+                    });
+                }
+                (k, _) => {
+                    return Err(CheckpointError::Mismatch {
+                        message: format!("node {idx} kind `{k}` does not match the constraint"),
+                    })
+                }
+            }
+            match r.next() {
+                Some((_, "endnode")) => {}
+                _ => return Err(r.err("expected `endnode`")),
+            }
+        } else {
+            return Err(r.err(format!("unexpected line `{line}`")));
+        }
+    }
+    Ok(checker)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Checker;
+    use rtic_relation::{tuple, Schema, Sort, Update};
+    use rtic_temporal::parser::parse_constraint;
+
+    fn catalog() -> Arc<Catalog> {
+        Arc::new(
+            Catalog::new()
+                .with("p", Schema::of(&[("x", Sort::Str)]))
+                .unwrap()
+                .with("q", Schema::of(&[("x", Sort::Str)]))
+                .unwrap(),
+        )
+    }
+
+    fn constraint() -> Constraint {
+        parse_constraint(
+            "deny d: p(x) && once[1,3] q(x) && !(q(x) since[0,5] p(x)) \
+             && hist[0,2] p(x) || q(x) && prev p(x) && hist[1,*] p(x)",
+        )
+        .unwrap()
+    }
+
+    fn drive(c: &mut IncrementalChecker, from: u64, to: u64) -> Vec<crate::StepReport> {
+        let mut out = Vec::new();
+        for t in from..to {
+            let u = match t % 4 {
+                0 => Update::new()
+                    .with_insert("p", tuple!["a"])
+                    .with_insert("q", tuple!["b"]),
+                1 => Update::new().with_insert("q", tuple!["a"]),
+                2 => Update::new().with_delete("p", tuple!["a"]),
+                _ => Update::new().with_delete("q", tuple!["a"]),
+            };
+            out.push(c.step(TimePoint(t), &u).unwrap());
+        }
+        out
+    }
+
+    #[test]
+    fn save_restore_resumes_identically() {
+        let cat = catalog();
+        // Uninterrupted reference run.
+        let mut reference = IncrementalChecker::new(constraint(), Arc::clone(&cat)).unwrap();
+        let all = drive(&mut reference, 1, 40);
+        // Interrupted run: checkpoint at t=20, restore, continue.
+        let mut first = IncrementalChecker::new(constraint(), Arc::clone(&cat)).unwrap();
+        let head = drive(&mut first, 1, 20);
+        let text = save(&first);
+        let mut resumed = restore(
+            constraint(),
+            Arc::clone(&cat),
+            EncodingOptions::default(),
+            &text,
+        )
+        .unwrap();
+        assert_eq!(resumed.steps(), first.steps());
+        let tail = drive(&mut resumed, 20, 40);
+        let stitched: Vec<_> = head.into_iter().chain(tail).collect();
+        assert_eq!(
+            stitched, all,
+            "restored checker diverged from uninterrupted run"
+        );
+    }
+
+    #[test]
+    fn checkpoint_is_stable_under_round_trip() {
+        let cat = catalog();
+        let mut c = IncrementalChecker::new(constraint(), Arc::clone(&cat)).unwrap();
+        drive(&mut c, 1, 25);
+        let t1 = save(&c);
+        let restored = restore(
+            constraint(),
+            Arc::clone(&cat),
+            EncodingOptions::default(),
+            &t1,
+        )
+        .unwrap();
+        assert_eq!(
+            save(&restored),
+            t1,
+            "save∘restore is the identity on checkpoints"
+        );
+    }
+
+    #[test]
+    fn fresh_checkpoint_restores() {
+        let cat = catalog();
+        let c = IncrementalChecker::new(constraint(), Arc::clone(&cat)).unwrap();
+        let text = save(&c);
+        let restored = restore(
+            constraint(),
+            Arc::clone(&cat),
+            EncodingOptions::default(),
+            &text,
+        )
+        .unwrap();
+        assert_eq!(restored.steps(), 0);
+    }
+
+    #[test]
+    fn wrong_constraint_is_rejected() {
+        let cat = catalog();
+        let mut c = IncrementalChecker::new(constraint(), Arc::clone(&cat)).unwrap();
+        drive(&mut c, 1, 5);
+        let text = save(&c);
+        let other = parse_constraint("deny d: p(x) && q(x)").unwrap();
+        let err = restore(other, Arc::clone(&cat), EncodingOptions::default(), &text).unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch { .. }));
+        let renamed = parse_constraint("deny other: p(x) && q(x)").unwrap();
+        let err =
+            restore(renamed, Arc::clone(&cat), EncodingOptions::default(), &text).unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch { .. }));
+    }
+
+    #[test]
+    fn garbage_is_rejected_with_line_numbers() {
+        let cat = catalog();
+        let err = restore(
+            constraint(),
+            Arc::clone(&cat),
+            EncodingOptions::default(),
+            "not a checkpoint",
+        )
+        .unwrap_err();
+        assert!(matches!(err, CheckpointError::Format { .. }));
+        let mut c = IncrementalChecker::new(constraint(), Arc::clone(&cat)).unwrap();
+        drive(&mut c, 1, 5);
+        let mut text = save(&c);
+        text.push_str("mystery line\n");
+        let err = restore(
+            constraint(),
+            Arc::clone(&cat),
+            EncodingOptions::default(),
+            &text,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CheckpointError::Format { .. }));
+    }
+}

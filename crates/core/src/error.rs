@@ -1,0 +1,59 @@
+//! Error types for constraint compilation.
+
+use std::error::Error;
+use std::fmt;
+
+use rtic_temporal::safety::SafetyError;
+use rtic_temporal::typecheck::TypeError;
+
+/// A constraint failed to compile into a checkable form.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CompileError {
+    /// Sort checking against the catalog failed.
+    Type(TypeError),
+    /// The denial body is not safe-range (or violates an
+    /// encoding-specific restriction).
+    Safety(SafetyError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Type(e) => write!(f, "type error: {e}"),
+            CompileError::Safety(e) => write!(f, "safety error: {e}"),
+        }
+    }
+}
+
+impl Error for CompileError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CompileError::Type(e) => Some(e),
+            CompileError::Safety(e) => Some(e),
+        }
+    }
+}
+
+impl From<TypeError> for CompileError {
+    fn from(e: TypeError) -> CompileError {
+        CompileError::Type(e)
+    }
+}
+
+impl From<SafetyError> for CompileError {
+    fn from(e: SafetyError) -> CompileError {
+        CompileError::Safety(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_wrap_inner_errors() {
+        let e = CompileError::Safety(SafetyError::NotNormalized);
+        assert!(e.to_string().contains("safety error"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

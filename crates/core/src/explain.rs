@@ -1,0 +1,207 @@
+//! Human-readable compilation reports ("explain plans") for constraints.
+//!
+//! Shows what the checker will actually do: the normalized denial body,
+//! the violation-witness schema, the lookback horizon, the auxiliary
+//! strategy chosen per temporal subformula (with the paper's per-key space
+//! bound), and the conjunct evaluation order with generator/filter roles.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use rtic_temporal::analysis::per_key_timestamp_bound;
+use rtic_temporal::ast::{Formula, Var};
+use rtic_temporal::time::UpperBound;
+use rtic_temporal::typecheck::typecheck;
+use rtic_temporal::{safety, Horizon};
+
+use crate::compile::CompiledConstraint;
+use crate::encode::StampPolicy;
+
+fn vars_of(f: &Formula) -> String {
+    let vs: Vec<String> = f.free_vars().iter().map(|v| v.to_string()).collect();
+    if vs.is_empty() {
+        "∅".into()
+    } else {
+        vs.join(", ")
+    }
+}
+
+/// Renders the explain plan for a compiled constraint.
+pub fn explain(compiled: &CompiledConstraint) -> String {
+    let mut out = String::new();
+    let c = &compiled.constraint;
+    let _ = writeln!(out, "constraint : {c}");
+    let _ = writeln!(out, "denial body: {}", compiled.body);
+    // Witness schema.
+    let sorts =
+        typecheck(&compiled.body, &compiled.catalog).expect("compiled constraints typecheck");
+    let witness: Vec<String> = compiled
+        .body
+        .free_vars()
+        .iter()
+        .map(|v| match sorts.get(v) {
+            Some(s) => format!("{v}: {s}"),
+            None => v.to_string(),
+        })
+        .collect();
+    let _ = writeln!(
+        out,
+        "witnesses  : ({})",
+        if witness.is_empty() {
+            "closed — yes/no".into()
+        } else {
+            witness.join(", ")
+        }
+    );
+    let _ = writeln!(
+        out,
+        "horizon    : {}",
+        match compiled.horizon {
+            Horizon::Finite(d) => format!("{d} ticks (windowed checking is exact)"),
+            Horizon::Unbounded => "unbounded (aux space bounded by the active domain)".into(),
+        }
+    );
+    // Temporal nodes.
+    if compiled.nodes.is_empty() {
+        let _ = writeln!(out, "aux state  : none (first-order constraint)");
+    } else {
+        let _ = writeln!(
+            out,
+            "aux state  : {} temporal node(s)",
+            compiled.nodes.len()
+        );
+        for (i, node) in compiled.nodes.iter().enumerate() {
+            let strategy = match node {
+                Formula::Prev(iv, _) => {
+                    format!("previous-state rows, age gate {iv}")
+                }
+                Formula::Once(iv, _) | Formula::Since(iv, _, _) => {
+                    let what = if matches!(node, Formula::Once(..)) {
+                        "witness"
+                    } else {
+                        "anchor"
+                    };
+                    match StampPolicy::for_interval(iv) {
+                        StampPolicy::Latest => {
+                            format!("latest {what} timestamp per key (a = 0 specialization)")
+                        }
+                        StampPolicy::Earliest => {
+                            format!("earliest {what} timestamp per key (b = ∞ specialization)")
+                        }
+                        StampPolicy::Many => {
+                            let bound = match iv.hi() {
+                                UpperBound::Finite(b) => format!("≤ {} stamps/key", b.0 + 1),
+                                UpperBound::Infinite => unreachable!("Many needs finite b"),
+                            };
+                            format!("pruned {what}-timestamp deque per key ({bound})")
+                        }
+                    }
+                }
+                Formula::Hist(iv, _) if iv.is_bounded() => {
+                    "satisfaction runs per key + shared recent-state times (filter)".into()
+                }
+                Formula::Hist(..) => "unbroken-prefix end per key (filter)".into(),
+                other => unreachable!("non-temporal node `{other}`"),
+            };
+            let _ = writeln!(out, "  [{i}] {node}");
+            let _ = writeln!(out, "      keys({}); {strategy}", vars_of(node));
+        }
+        let _ = writeln!(
+            out,
+            "per-key stamp bound: {}",
+            match per_key_timestamp_bound(&compiled.body) {
+                UpperBound::Finite(d) => format!("{d}"),
+                UpperBound::Infinite => "unbounded".into(),
+            }
+        );
+    }
+    // Conjunct plan of the top-level body.
+    let conjuncts = safety::flatten_and(&compiled.body);
+    if conjuncts.len() > 1 {
+        let order = safety::conjunct_order(&conjuncts, &BTreeSet::new())
+            .expect("compiled constraints are safe");
+        let _ = writeln!(out, "evaluation plan:");
+        let mut bound: BTreeSet<Var> = BTreeSet::new();
+        for (step, &i) in order.iter().enumerate() {
+            let f = conjuncts[i];
+            let fresh: Vec<String> = f
+                .free_vars()
+                .difference(&bound)
+                .map(|v| v.to_string())
+                .collect();
+            let role = if fresh.is_empty() {
+                "filter".to_string()
+            } else {
+                format!("generates {}", fresh.join(", "))
+            };
+            let _ = writeln!(out, "  {}. {f}  — {role}", step + 1);
+            bound.extend(f.free_vars());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtic_relation::{Catalog, Schema, Sort};
+    use rtic_temporal::parser::parse_constraint;
+    use std::sync::Arc;
+
+    fn compiled(src: &str) -> CompiledConstraint {
+        let catalog = Arc::new(
+            Catalog::new()
+                .with(
+                    "reserved",
+                    Schema::of(&[("p", Sort::Str), ("f", Sort::Int)]),
+                )
+                .unwrap()
+                .with(
+                    "confirmed",
+                    Schema::of(&[("p", Sort::Str), ("f", Sort::Int)]),
+                )
+                .unwrap(),
+        );
+        CompiledConstraint::compile(parse_constraint(src).unwrap(), catalog).unwrap()
+    }
+
+    #[test]
+    fn explains_the_motivating_constraint() {
+        let text = explain(&compiled(
+            "deny unconfirmed: reserved(p, f) && once[2,*] reserved(p, f) \
+             && !once confirmed(p, f)",
+        ));
+        assert!(text.contains("unbounded"), "horizon note: {text}");
+        assert!(text.contains("b = ∞ specialization"), "{text}");
+        assert!(text.contains("a = 0 specialization"), "{text}");
+        assert!(text.contains("evaluation plan"), "{text}");
+        assert!(text.contains("generates"), "{text}");
+        assert!(text.contains("filter"), "{text}");
+        assert!(text.contains("p: str"), "witness sorts: {text}");
+    }
+
+    #[test]
+    fn explains_general_window_and_hist() {
+        let text = explain(&compiled(
+            "deny d: reserved(p, f) && once[2,9] confirmed(p, f) \
+             && hist[0,4] reserved(p, f)",
+        ));
+        assert!(text.contains("≤ 10 stamps/key"), "{text}");
+        assert!(text.contains("satisfaction runs"), "{text}");
+        assert!(text.contains("9 ticks"), "finite horizon: {text}");
+    }
+
+    #[test]
+    fn first_order_constraint_has_no_aux() {
+        let text = explain(&compiled("deny d: reserved(p, f) && confirmed(p, f)"));
+        assert!(text.contains("none (first-order constraint)"), "{text}");
+    }
+
+    #[test]
+    fn closed_constraint_notes_yes_no() {
+        let text = explain(&compiled(
+            "deny d: exists p, f . reserved(p, f) && confirmed(p, f)",
+        ));
+        assert!(text.contains("closed — yes/no"), "{text}");
+    }
+}

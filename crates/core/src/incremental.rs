@@ -1,0 +1,602 @@
+//! The incremental checker — the paper's contribution.
+//!
+//! Holds only the current database state plus the bounded auxiliary state
+//! of [`crate::encode`]. Each [`IncrementalChecker::step`]:
+//!
+//! 1. applies the update to the current state;
+//! 2. advances every temporal node **children-first**: the node's operand
+//!    extensions at the *new* state are computed by the shared evaluator
+//!    (inner temporal nodes answer from their already-advanced state), then
+//!    the node's auxiliary state absorbs them;
+//! 3. evaluates the denial body over the new state, answering temporal
+//!    subformulas from the auxiliary state (by O(1) membership probes when
+//!    the variables are already bound — see [`crate::eval::Oracle`]); any
+//!    satisfying assignment is a violation witness.
+//!
+//! No past state is read at any point — the update is a function of the
+//! previous auxiliary state and the new database state only, which is what
+//! makes the space bound (experiment T1) and the history-independent step
+//! time (experiment F1) hold.
+//!
+//! The aux machinery lives in [`NodeEngine`] so that a [`crate::ConstraintSet`]
+//! can advance several constraints' engines over one shared database.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rtic_history::HistoryError;
+use rtic_relation::{Catalog, Database, Tuple, Update};
+use rtic_temporal::ast::{Formula, Var};
+use rtic_temporal::{Constraint, TimePoint};
+
+use crate::binding::Bindings;
+use crate::checker::Checker;
+use crate::compile::CompiledConstraint;
+use crate::encode::{HistFiniteState, HistInfState, PrevState, StampPolicy, WindowState};
+use crate::error::CompileError;
+use crate::eval::{eval, Oracle};
+use crate::report::{SpaceStats, StepReport};
+
+/// Auxiliary state of one temporal node.
+#[derive(Clone, Debug)]
+pub(crate) enum NodeState {
+    Prev(PrevState),
+    Once(WindowState),
+    Since(WindowState),
+    HistFinite(HistFiniteState),
+    HistInf(HistInfState),
+}
+
+/// A snapshot of one temporal node's auxiliary footprint
+/// (see [`IncrementalChecker::node_stats`]).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct NodeStat {
+    /// The subformula, pretty-printed.
+    pub formula: String,
+    /// Live keys in the node's auxiliary structure.
+    pub keys: usize,
+    /// Timestamps/endpoints currently stored.
+    pub timestamps: usize,
+}
+
+/// Options tuning the encoding (used by the T6 ablation).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EncodingOptions {
+    /// Disable the one-timestamp specialisations: every `once`/`since`
+    /// node keeps the general pruned deque. Semantics are unchanged; only
+    /// space/time differ.
+    pub disable_stamp_specialization: bool,
+}
+
+fn sorted_free_vars(f: &Formula) -> Vec<Var> {
+    f.free_vars().into_iter().collect()
+}
+
+/// One compiled constraint's bounded auxiliary state, advanced against an
+/// externally-owned database. [`IncrementalChecker`] pairs an engine with
+/// its own database; [`crate::ConstraintSet`] shares one database across
+/// many engines.
+#[derive(Clone, Debug)]
+pub(crate) struct NodeEngine {
+    pub(crate) compiled: CompiledConstraint,
+    pub(crate) states: Vec<NodeState>,
+    /// Cached pre-update extensions for `prev` nodes (`None` for node
+    /// kinds whose extension is answered lazily from their state).
+    extensions: Vec<Option<Bindings>>,
+    pub(crate) last_time: Option<TimePoint>,
+}
+
+impl NodeEngine {
+    pub(crate) fn new(compiled: CompiledConstraint, options: EncodingOptions) -> NodeEngine {
+        let states: Vec<NodeState> = compiled
+            .nodes
+            .iter()
+            .map(|node| {
+                let vars = sorted_free_vars(node);
+                match node {
+                    Formula::Prev(i, _) => NodeState::Prev(PrevState::new(*i, vars)),
+                    Formula::Once(i, _) | Formula::Since(i, _, _) => {
+                        // The general deque cannot prune with b = ∞, so the
+                        // one-timestamp specialisations are mandatory there
+                        // (and exact); the ablation only affects finite b.
+                        let policy = if options.disable_stamp_specialization && i.is_bounded() {
+                            StampPolicy::Many
+                        } else {
+                            StampPolicy::for_interval(i)
+                        };
+                        let w = WindowState::new(*i, vars, policy);
+                        if matches!(node, Formula::Once(..)) {
+                            NodeState::Once(w)
+                        } else {
+                            NodeState::Since(w)
+                        }
+                    }
+                    Formula::Hist(i, _) => {
+                        if i.is_bounded() {
+                            NodeState::HistFinite(HistFiniteState::new(*i, vars))
+                        } else {
+                            NodeState::HistInf(HistInfState::new(*i, vars))
+                        }
+                    }
+                    other => unreachable!("non-temporal node collected: {other}"),
+                }
+            })
+            .collect();
+        let extensions = vec![None; compiled.nodes.len()];
+        NodeEngine {
+            compiled,
+            states,
+            extensions,
+            last_time: None,
+        }
+    }
+
+    /// Advances every node to the new state `(db, t_now)`, children-first,
+    /// then records `t_now`.
+    pub(crate) fn advance(&mut self, db: &Database, t_now: TimePoint) {
+        for idx in 0..self.compiled.nodes.len() {
+            // Inner nodes (indices < idx) are already advanced; the oracle
+            // exposes exactly their new extensions.
+            let node = self.compiled.nodes[idx].clone();
+            match &node {
+                Formula::Prev(_, g) => {
+                    let sat_now = {
+                        let oracle = self.oracle(t_now);
+                        eval(g, db, &oracle, &Bindings::unit())
+                    };
+                    let NodeState::Prev(p) = &mut self.states[idx] else {
+                        unreachable!("node/state kind mismatch")
+                    };
+                    self.extensions[idx] = Some(p.step(sat_now, t_now));
+                }
+                Formula::Once(_, g) => {
+                    let sat_now = {
+                        let oracle = self.oracle(t_now);
+                        eval(g, db, &oracle, &Bindings::unit())
+                    };
+                    let NodeState::Once(w) = &mut self.states[idx] else {
+                        unreachable!("node/state kind mismatch")
+                    };
+                    w.add_and_prune(&sat_now, t_now);
+                    // Extension answered lazily by the oracle.
+                }
+                Formula::Since(_, f, g) => {
+                    let (survivors, anchors, vars) = {
+                        let NodeState::Since(w) = &self.states[idx] else {
+                            unreachable!("node/state kind mismatch")
+                        };
+                        let keys = w.keys();
+                        let vars = w.vars().to_vec();
+                        let oracle = self.oracle(t_now);
+                        // `f` filters the existing anchors' keys…
+                        let survivors = eval(f, db, &oracle, &keys).project(&vars);
+                        // …while `g` creates fresh anchors.
+                        let anchors = eval(g, db, &oracle, &Bindings::unit());
+                        (survivors, anchors, vars)
+                    };
+                    debug_assert_eq!(anchors.vars(), vars.as_slice());
+                    let NodeState::Since(w) = &mut self.states[idx] else {
+                        unreachable!("node/state kind mismatch")
+                    };
+                    w.retain_keys(&survivors);
+                    w.add_and_prune(&anchors, t_now);
+                }
+                Formula::Hist(_, g) => {
+                    let sat_now = {
+                        let oracle = self.oracle(t_now);
+                        eval(g, db, &oracle, &Bindings::unit())
+                    };
+                    match &mut self.states[idx] {
+                        NodeState::HistFinite(h) => h.step(&sat_now, t_now, self.last_time),
+                        NodeState::HistInf(h) => h.step(&sat_now, t_now),
+                        _ => unreachable!("node/state kind mismatch"),
+                    }
+                    // `hist` is a filter; it has no generator extension.
+                }
+                other => unreachable!("non-temporal node: {other}"),
+            }
+        }
+        self.last_time = Some(t_now);
+    }
+
+    /// Evaluates the denial body at `(db, t_now)` (after [`NodeEngine::advance`]).
+    pub(crate) fn violations(&self, db: &Database, t_now: TimePoint) -> Bindings {
+        let oracle = self.oracle(t_now);
+        eval(&self.compiled.body, db, &oracle, &Bindings::unit())
+    }
+
+    fn oracle(&self, t_now: TimePoint) -> IncOracle<'_> {
+        IncOracle {
+            node_ids: &self.compiled.node_ids,
+            states: &self.states,
+            extensions: &self.extensions,
+            t_now,
+        }
+    }
+
+    /// Total auxiliary `(keys, timestamps)` across nodes.
+    pub(crate) fn aux_space(&self) -> (usize, usize) {
+        let mut keys = 0;
+        let mut stamps = 0;
+        for s in &self.states {
+            let (k, t) = match s {
+                NodeState::Prev(p) => p.space(),
+                NodeState::Once(w) | NodeState::Since(w) => w.space(),
+                NodeState::HistFinite(h) => h.space(),
+                NodeState::HistInf(h) => h.space(),
+            };
+            keys += k;
+            stamps += t;
+        }
+        (keys, stamps)
+    }
+}
+
+/// Online checker with bounded history encoding.
+#[derive(Clone, Debug)]
+pub struct IncrementalChecker {
+    db: Database,
+    engine: NodeEngine,
+    steps: usize,
+}
+
+impl IncrementalChecker {
+    /// Compiles and initializes a checker for `constraint`.
+    pub fn new(
+        constraint: Constraint,
+        catalog: Arc<Catalog>,
+    ) -> Result<IncrementalChecker, CompileError> {
+        Self::with_options(constraint, catalog, EncodingOptions::default())
+    }
+
+    /// [`IncrementalChecker::new`] with explicit [`EncodingOptions`].
+    pub fn with_options(
+        constraint: Constraint,
+        catalog: Arc<Catalog>,
+        options: EncodingOptions,
+    ) -> Result<IncrementalChecker, CompileError> {
+        let compiled = CompiledConstraint::compile(constraint, Arc::clone(&catalog))?;
+        Ok(Self::from_compiled(compiled, options))
+    }
+
+    /// Builds a checker from an already-compiled constraint.
+    pub fn from_compiled(
+        compiled: CompiledConstraint,
+        options: EncodingOptions,
+    ) -> IncrementalChecker {
+        let db = Database::new(Arc::clone(&compiled.catalog));
+        IncrementalChecker {
+            db,
+            engine: NodeEngine::new(compiled, options),
+            steps: 0,
+        }
+    }
+
+    /// The compiled form (for inspection and for building siblings).
+    pub fn compiled(&self) -> &CompiledConstraint {
+        &self.engine.compiled
+    }
+
+    /// The current database state.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Number of transitions processed.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    pub(crate) fn engine(&self) -> &NodeEngine {
+        &self.engine
+    }
+
+    /// Per-temporal-node observability: what each auxiliary structure is
+    /// holding right now. Ordered children-first (the update order).
+    pub fn node_stats(&self) -> Vec<NodeStat> {
+        self.engine
+            .compiled
+            .nodes
+            .iter()
+            .zip(&self.engine.states)
+            .map(|(node, state)| {
+                let (keys, timestamps) = match state {
+                    NodeState::Prev(p) => p.space(),
+                    NodeState::Once(w) | NodeState::Since(w) => w.space(),
+                    NodeState::HistFinite(h) => h.space(),
+                    NodeState::HistInf(h) => h.space(),
+                };
+                NodeStat {
+                    formula: node.to_string(),
+                    keys,
+                    timestamps,
+                }
+            })
+            .collect()
+    }
+
+    pub(crate) fn parts_mut(&mut self) -> (&mut Database, &mut NodeEngine, &mut usize) {
+        (&mut self.db, &mut self.engine, &mut self.steps)
+    }
+}
+
+impl Checker for IncrementalChecker {
+    fn constraint(&self) -> &Constraint {
+        &self.engine.compiled.constraint
+    }
+
+    fn step(&mut self, time: TimePoint, update: &Update) -> Result<StepReport, HistoryError> {
+        if let Some(last) = self.engine.last_time {
+            if time <= last {
+                return Err(HistoryError::NonMonotonicTime { last, new: time });
+            }
+        }
+        self.db.apply(update)?;
+        self.engine.advance(&self.db, time);
+        let violations = self.engine.violations(&self.db, time);
+        self.steps += 1;
+        Ok(StepReport {
+            constraint: self.engine.compiled.constraint.name,
+            time,
+            violations,
+        })
+    }
+
+    fn space(&self) -> SpaceStats {
+        let (aux_keys, aux_timestamps) = self.engine.aux_space();
+        SpaceStats {
+            aux_keys,
+            aux_timestamps,
+            stored_states: 1,
+            stored_tuples: self.db.total_tuples(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "incremental"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// Oracle over the already-advanced node states.
+struct IncOracle<'a> {
+    node_ids: &'a HashMap<Formula, usize>,
+    states: &'a [NodeState],
+    extensions: &'a [Option<Bindings>],
+    t_now: TimePoint,
+}
+
+impl IncOracle<'_> {
+    fn idx(&self, node: &Formula) -> usize {
+        *self
+            .node_ids
+            .get(node)
+            .unwrap_or_else(|| panic!("unknown temporal node `{node}`"))
+    }
+}
+
+impl Oracle for IncOracle<'_> {
+    fn extension(&self, node: &Formula) -> Bindings {
+        let idx = self.idx(node);
+        match &self.states[idx] {
+            NodeState::Prev(_) => self.extensions[idx]
+                .clone()
+                .expect("prev extension cached during advance"),
+            NodeState::Once(w) | NodeState::Since(w) => w.extension(self.t_now),
+            _ => unreachable!("extension query against a hist node"),
+        }
+    }
+
+    fn contains(&self, node: &Formula, key: &Tuple) -> bool {
+        let idx = self.idx(node);
+        match &self.states[idx] {
+            NodeState::Prev(_) => self.extensions[idx]
+                .as_ref()
+                .expect("prev extension cached during advance")
+                .contains(key),
+            NodeState::Once(w) | NodeState::Since(w) => w.satisfied(key, self.t_now),
+            _ => unreachable!("containment query against a hist node"),
+        }
+    }
+
+    fn hist_holds(&self, node: &Formula, key: &Tuple) -> bool {
+        let idx = self.idx(node);
+        match &self.states[idx] {
+            NodeState::HistFinite(h) => h.holds(key, self.t_now),
+            NodeState::HistInf(h) => h.holds(key),
+            _ => unreachable!("hist query against non-hist node"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtic_relation::{tuple, Schema, Sort};
+    use rtic_temporal::parser::parse_constraint;
+
+    fn catalog() -> Arc<Catalog> {
+        Arc::new(
+            Catalog::new()
+                .with("reserved", Schema::of(&[("p", Sort::Str)]))
+                .unwrap()
+                .with("confirmed", Schema::of(&[("p", Sort::Str)]))
+                .unwrap(),
+        )
+    }
+
+    fn checker(src: &str) -> IncrementalChecker {
+        IncrementalChecker::new(parse_constraint(src).unwrap(), catalog()).unwrap()
+    }
+
+    #[test]
+    fn nontemporal_denial() {
+        let mut c = checker("deny both: reserved(p) && confirmed(p)");
+        let r = c
+            .step(
+                TimePoint(1),
+                &Update::new().with_insert("reserved", tuple!["ann"]),
+            )
+            .unwrap();
+        assert!(r.ok());
+        let r = c
+            .step(
+                TimePoint(2),
+                &Update::new().with_insert("confirmed", tuple!["ann"]),
+            )
+            .unwrap();
+        assert_eq!(r.violation_count(), 1);
+    }
+
+    #[test]
+    fn unconfirmed_reservation_detected_at_deadline() {
+        // Violated when a reservation is ≥ 2 old and never confirmed.
+        let mut c =
+            checker("deny unconfirmed: once[2,*] reserved(p) && reserved(p) && !once confirmed(p)");
+        assert!(c
+            .step(
+                TimePoint(0),
+                &Update::new().with_insert("reserved", tuple!["ann"])
+            )
+            .unwrap()
+            .ok());
+        assert!(c.step(TimePoint(1), &Update::new()).unwrap().ok());
+        let r = c.step(TimePoint(2), &Update::new()).unwrap();
+        assert_eq!(r.violation_count(), 1, "deadline passed unconfirmed");
+    }
+
+    #[test]
+    fn confirmation_prevents_violation() {
+        let mut c =
+            checker("deny unconfirmed: once[2,*] reserved(p) && reserved(p) && !once confirmed(p)");
+        c.step(
+            TimePoint(0),
+            &Update::new().with_insert("reserved", tuple!["ann"]),
+        )
+        .unwrap();
+        c.step(
+            TimePoint(1),
+            &Update::new().with_insert("confirmed", tuple!["ann"]),
+        )
+        .unwrap();
+        assert!(c.step(TimePoint(2), &Update::new()).unwrap().ok());
+        assert!(c.step(TimePoint(50), &Update::new()).unwrap().ok());
+    }
+
+    #[test]
+    fn monotonic_time_enforced() {
+        let mut c = checker("deny d: reserved(p) && confirmed(p)");
+        c.step(TimePoint(5), &Update::new()).unwrap();
+        assert!(matches!(
+            c.step(TimePoint(5), &Update::new()),
+            Err(HistoryError::NonMonotonicTime { .. })
+        ));
+    }
+
+    #[test]
+    fn space_does_not_grow_with_history() {
+        let mut c = checker("deny d: reserved(p) && once[0,3] confirmed(p)");
+        let mut max_units = 0;
+        for t in 0..200u64 {
+            let upd = if t % 4 == 0 {
+                Update::new()
+                    .with_insert("confirmed", tuple!["x"])
+                    .with_delete("confirmed", tuple!["x"])
+            } else {
+                Update::new()
+            };
+            c.step(TimePoint(t), &upd).unwrap();
+            max_units = max_units.max(c.space().retained_units());
+        }
+        assert!(max_units <= 8, "aux space stayed bounded (got {max_units})");
+    }
+
+    #[test]
+    fn ablation_option_keeps_semantics() {
+        let src = "deny d: reserved(p) && once[0,5] confirmed(p)";
+        let mut spec = checker(src);
+        let mut plain = IncrementalChecker::with_options(
+            parse_constraint(src).unwrap(),
+            catalog(),
+            EncodingOptions {
+                disable_stamp_specialization: true,
+            },
+        )
+        .unwrap();
+        for t in 0..40u64 {
+            let upd = if t % 7 == 0 {
+                Update::new()
+                    .with_insert("confirmed", tuple!["k"])
+                    .with_insert("reserved", tuple!["k"])
+            } else if t % 5 == 0 {
+                Update::new().with_delete("confirmed", tuple!["k"])
+            } else {
+                Update::new()
+            };
+            let a = spec.step(TimePoint(t), &upd).unwrap();
+            let b = plain.step(TimePoint(t), &upd).unwrap();
+            assert_eq!(a, b, "ablation changed semantics at t={t}");
+        }
+    }
+
+    #[test]
+    fn failed_step_leaves_checker_usable() {
+        let mut c = checker("deny d: reserved(p) && once[0,3] confirmed(p)");
+        c.step(
+            TimePoint(1),
+            &Update::new().with_insert("confirmed", tuple!["a"]),
+        )
+        .unwrap();
+        // A bad update fails atomically: no state change, no time advance.
+        assert!(c
+            .step(
+                TimePoint(2),
+                &Update::new().with_insert("nosuchrel", tuple!["a"])
+            )
+            .is_err());
+        assert!(
+            c.step(TimePoint(0), &Update::new()).is_err(),
+            "non-monotonic after failure still rejected vs t=1"
+        );
+        // And a good step at t=2 still works, with consistent aux state.
+        let r = c
+            .step(
+                TimePoint(2),
+                &Update::new().with_insert("reserved", tuple!["a"]),
+            )
+            .unwrap();
+        assert_eq!(
+            r.violation_count(),
+            1,
+            "confirmation at t=1 is age 1, in window"
+        );
+    }
+
+    #[test]
+    fn node_stats_reflect_aux_content() {
+        let mut c = checker("deny d: reserved(p) && once[0,4] confirmed(p)");
+        assert_eq!(c.node_stats().len(), 1);
+        assert_eq!(c.node_stats()[0].keys, 0);
+        c.step(
+            TimePoint(1),
+            &Update::new().with_insert("confirmed", tuple!["a"]),
+        )
+        .unwrap();
+        let stats = c.node_stats();
+        assert_eq!(stats[0].keys, 1);
+        assert_eq!(stats[0].timestamps, 1);
+        assert!(stats[0].formula.contains("once[0,4]"));
+    }
+
+    #[test]
+    fn steps_counter_advances() {
+        let mut c = checker("deny d: reserved(p) && confirmed(p)");
+        assert_eq!(c.steps(), 0);
+        c.step(TimePoint(1), &Update::new()).unwrap();
+        c.step(TimePoint(2), &Update::new()).unwrap();
+        assert_eq!(c.steps(), 2);
+    }
+}

@@ -1,0 +1,74 @@
+//! # rtic-core — bounded history encoding for real-time integrity constraints
+//!
+//! The primary contribution of *Real-Time Integrity Constraints* (Chomicki,
+//! PODS 1992): checking Past Metric Temporal Logic constraints over a
+//! database history **incrementally**, storing only the current state plus
+//! auxiliary relations whose size is bounded by the constraint's metric
+//! bounds and the active domain — independent of history length.
+//!
+//! Three interchangeable [`Checker`] implementations:
+//!
+//! * [`IncrementalChecker`] — the paper's bounded history encoding.
+//! * [`NaiveChecker`] — stores the full history, re-evaluates from scratch
+//!   (the semantics-defining baseline).
+//! * [`WindowedChecker`] — stores only the formula's lookback horizon and
+//!   evaluates naively over the window (the intermediate baseline).
+//!
+//! All three produce identical [`StepReport`]s on identical input — this is
+//! property-tested — and expose [`SpaceStats`] so the paper's space and
+//! time claims can be measured (see `rtic-bench`).
+//!
+//! ```
+//! use rtic_core::{Checker, IncrementalChecker};
+//! use rtic_relation::{tuple, Catalog, Schema, Sort, Update};
+//! use rtic_temporal::parser::parse_constraint;
+//! use rtic_temporal::TimePoint;
+//! use std::sync::Arc;
+//!
+//! let catalog = Arc::new(
+//!     Catalog::new()
+//!         .with("reserved", Schema::of(&[("p", Sort::Str)]))
+//!         .unwrap()
+//!         .with("confirmed", Schema::of(&[("p", Sort::Str)]))
+//!         .unwrap(),
+//! );
+//! let c = parse_constraint(
+//!     "deny unconfirmed: once[2,*] reserved(p) && reserved(p) && !once confirmed(p)",
+//! )
+//! .unwrap();
+//! let mut checker = IncrementalChecker::new(c, catalog).unwrap();
+//! checker
+//!     .step(TimePoint(0), &Update::new().with_insert("reserved", tuple!["ann"]))
+//!     .unwrap();
+//! let report = checker.step(TimePoint(2), &Update::new()).unwrap();
+//! assert_eq!(report.violation_count(), 1); // two ticks passed, never confirmed
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod binding;
+mod checker;
+pub mod checkpoint;
+mod compile;
+pub mod encode;
+mod error;
+pub mod eval;
+pub mod explain;
+mod incremental;
+mod monitor;
+pub mod naive;
+mod report;
+mod set;
+mod windowed;
+
+pub use binding::Bindings;
+pub use checker::Checker;
+pub use compile::CompiledConstraint;
+pub use error::CompileError;
+pub use incremental::{EncodingOptions, IncrementalChecker, NodeStat};
+pub use monitor::QueryMonitor;
+pub use naive::NaiveChecker;
+pub use report::{SpaceStats, StepReport};
+pub use set::ConstraintSet;
+pub use windowed::WindowedChecker;

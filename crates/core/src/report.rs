@@ -1,0 +1,122 @@
+//! Step reports: what a checker says after each transition.
+
+use std::fmt;
+
+use rtic_relation::Symbol;
+use rtic_temporal::TimePoint;
+
+use crate::binding::Bindings;
+
+/// The outcome of checking one transition.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StepReport {
+    /// The constraint this report is about.
+    pub constraint: Symbol,
+    /// The timestamp of the new state.
+    pub time: TimePoint,
+    /// Assignments (over the denial body's free variables) witnessing a
+    /// violation at this state. Empty means the constraint holds here.
+    pub violations: Bindings,
+}
+
+impl StepReport {
+    /// Whether the constraint holds at this state.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Number of violation witnesses.
+    pub fn violation_count(&self) -> usize {
+        self.violations.len()
+    }
+}
+
+impl fmt::Display for StepReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.ok() {
+            write!(f, "{} ok {}", self.time, self.constraint)
+        } else {
+            write!(
+                f,
+                "{} VIOLATION {} x{}: {}",
+                self.time,
+                self.constraint,
+                self.violations.len(),
+                self.violations
+            )
+        }
+    }
+}
+
+/// Space accounting, comparable across checker implementations.
+///
+/// The paper's claim (reproduced by experiment T1) is that for the bounded
+/// encoding `aux_keys`/`aux_timestamps` do not grow with history length,
+/// while the naive checker's `stored_states`/`stored_tuples` grow linearly.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SpaceStats {
+    /// Keys across all auxiliary relations (bounded encoding only).
+    pub aux_keys: usize,
+    /// Timestamps/endpoints stored across all auxiliary relations.
+    pub aux_timestamps: usize,
+    /// Database states retained (1 for the encoding; the whole history for
+    /// the naive checker; the horizon window for the windowed checker).
+    pub stored_states: usize,
+    /// Tuples across all retained states.
+    pub stored_tuples: usize,
+}
+
+impl SpaceStats {
+    /// A single size figure for plotting: everything a checker holds beyond
+    /// the current state.
+    pub fn retained_units(&self) -> usize {
+        self.aux_keys + self.aux_timestamps + self.stored_tuples
+    }
+}
+
+impl fmt::Display for SpaceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "aux_keys={} aux_ts={} states={} stored_tuples={}",
+            self.aux_keys, self.aux_timestamps, self.stored_states, self.stored_tuples
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtic_relation::tuple;
+    use rtic_temporal::var;
+
+    #[test]
+    fn ok_and_violations() {
+        let ok = StepReport {
+            constraint: Symbol::intern("c"),
+            time: TimePoint(3),
+            violations: Bindings::none([var("x")]),
+        };
+        assert!(ok.ok());
+        assert!(ok.to_string().contains("ok"));
+        let bad = StepReport {
+            constraint: Symbol::intern("c"),
+            time: TimePoint(3),
+            violations: Bindings::from_rows(vec![var("x")], [tuple!["a"]]),
+        };
+        assert!(!bad.ok());
+        assert_eq!(bad.violation_count(), 1);
+        assert!(bad.to_string().contains("VIOLATION"));
+    }
+
+    #[test]
+    fn retained_units_sums() {
+        let s = SpaceStats {
+            aux_keys: 2,
+            aux_timestamps: 5,
+            stored_states: 1,
+            stored_tuples: 7,
+        };
+        assert_eq!(s.retained_units(), 14);
+    }
+}

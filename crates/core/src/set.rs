@@ -1,0 +1,290 @@
+//! Checking several constraints over one shared database state.
+//!
+//! A deployment rarely has a single constraint; a [`ConstraintSet`] applies
+//! each transition **once** to one shared database and advances every
+//! constraint's auxiliary engine against it, instead of paying for one
+//! database copy per constraint as separate [`IncrementalChecker`]s would.
+//!
+//! ```
+//! use rtic_core::ConstraintSet;
+//! use rtic_relation::{tuple, Catalog, Schema, Sort, Update};
+//! use rtic_temporal::parser::parse_constraint;
+//! use rtic_temporal::TimePoint;
+//! use std::sync::Arc;
+//!
+//! let catalog = Arc::new(
+//!     Catalog::new()
+//!         .with("job", Schema::of(&[("id", Sort::Int)]))
+//!         .unwrap(),
+//! );
+//! let mut set = ConstraintSet::new(
+//!     vec![
+//!         parse_constraint("deny slow: job(j) && once[3,*] job(j)").unwrap(),
+//!         parse_constraint("deny busy: job(j) && count k . (job(k)) > 1").unwrap(),
+//!     ],
+//!     catalog,
+//! )
+//! .unwrap();
+//! let reports = set
+//!     .step(TimePoint(1), &Update::new().with_insert("job", tuple![7]))
+//!     .unwrap();
+//! assert_eq!(reports.len(), 2);
+//! assert!(reports.iter().all(|r| r.ok()));
+//! assert_eq!(set.space().stored_states, 1); // one shared state copy
+//! ```
+
+use std::sync::Arc;
+
+use rtic_history::HistoryError;
+use rtic_relation::{Catalog, Database, Update};
+use rtic_temporal::{Constraint, TimePoint};
+
+use crate::compile::CompiledConstraint;
+use crate::error::CompileError;
+use crate::incremental::{EncodingOptions, NodeEngine};
+use crate::report::{SpaceStats, StepReport};
+
+/// A set of constraints checked together over one database.
+#[derive(Clone, Debug)]
+pub struct ConstraintSet {
+    db: Database,
+    engines: Vec<NodeEngine>,
+    last_time: Option<TimePoint>,
+    steps: usize,
+}
+
+impl ConstraintSet {
+    /// Compiles every constraint against `catalog`. Fails on the first
+    /// constraint that does not compile (the error names it via the
+    /// returned pair).
+    pub fn new(
+        constraints: impl IntoIterator<Item = Constraint>,
+        catalog: Arc<Catalog>,
+    ) -> Result<ConstraintSet, (Constraint, CompileError)> {
+        let mut engines = Vec::new();
+        for c in constraints {
+            match CompiledConstraint::compile(c.clone(), Arc::clone(&catalog)) {
+                Ok(compiled) => engines.push(NodeEngine::new(compiled, EncodingOptions::default())),
+                Err(e) => return Err((c, e)),
+            }
+        }
+        let db = Database::new(catalog);
+        Ok(ConstraintSet {
+            db,
+            engines,
+            last_time: None,
+            steps: 0,
+        })
+    }
+
+    /// Number of constraints in the set.
+    pub fn len(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.engines.is_empty()
+    }
+
+    /// The constraints, in insertion order.
+    pub fn constraints(&self) -> impl Iterator<Item = &Constraint> {
+        self.engines.iter().map(|e| &e.compiled.constraint)
+    }
+
+    /// The shared current database state.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Number of transitions processed.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Processes one transition; returns one report per constraint, in
+    /// insertion order.
+    pub fn step(
+        &mut self,
+        time: TimePoint,
+        update: &Update,
+    ) -> Result<Vec<StepReport>, HistoryError> {
+        if let Some(last) = self.last_time {
+            if time <= last {
+                return Err(HistoryError::NonMonotonicTime { last, new: time });
+            }
+        }
+        self.db.apply(update)?;
+        let mut reports = Vec::with_capacity(self.engines.len());
+        for engine in &mut self.engines {
+            engine.advance(&self.db, time);
+            let violations = engine.violations(&self.db, time);
+            reports.push(StepReport {
+                constraint: engine.compiled.constraint.name,
+                time,
+                violations,
+            });
+        }
+        self.last_time = Some(time);
+        self.steps += 1;
+        Ok(reports)
+    }
+
+    /// [`ConstraintSet::step`], advancing the constraints' engines on
+    /// scoped worker threads (one per constraint, capped by the engine
+    /// count). Constraints are independent given the shared (immutable
+    /// during the step) database, so this is a pure fan-out; reports are
+    /// identical to the sequential path and returned in insertion order.
+    ///
+    /// Worth it when constraints are many or individually expensive — for a
+    /// handful of cheap constraints the spawn overhead dominates.
+    pub fn step_parallel(
+        &mut self,
+        time: TimePoint,
+        update: &Update,
+    ) -> Result<Vec<StepReport>, HistoryError> {
+        if let Some(last) = self.last_time {
+            if time <= last {
+                return Err(HistoryError::NonMonotonicTime { last, new: time });
+            }
+        }
+        self.db.apply(update)?;
+        let db = &self.db;
+        let reports = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .engines
+                .iter_mut()
+                .map(|engine| {
+                    scope.spawn(move || {
+                        engine.advance(db, time);
+                        StepReport {
+                            constraint: engine.compiled.constraint.name,
+                            time,
+                            violations: engine.violations(db, time),
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("engine thread panicked"))
+                .collect::<Vec<_>>()
+        });
+        self.last_time = Some(time);
+        self.steps += 1;
+        Ok(reports)
+    }
+
+    /// Aggregate space: the single shared state plus every engine's aux.
+    pub fn space(&self) -> SpaceStats {
+        let mut aux_keys = 0;
+        let mut aux_timestamps = 0;
+        for e in &self.engines {
+            let (k, t) = e.aux_space();
+            aux_keys += k;
+            aux_timestamps += t;
+        }
+        SpaceStats {
+            aux_keys,
+            aux_timestamps,
+            stored_states: 1,
+            stored_tuples: self.db.total_tuples(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Checker, IncrementalChecker};
+    use rtic_relation::{tuple, Schema, Sort};
+    use rtic_temporal::parser::parse_constraint;
+
+    fn catalog() -> Arc<Catalog> {
+        Arc::new(
+            Catalog::new()
+                .with("p", Schema::of(&[("x", Sort::Str)]))
+                .unwrap()
+                .with("q", Schema::of(&[("x", Sort::Str)]))
+                .unwrap(),
+        )
+    }
+
+    fn constraints() -> Vec<Constraint> {
+        vec![
+            parse_constraint("deny both: p(x) && q(x)").unwrap(),
+            parse_constraint("deny lingering: p(x) && once[2,4] q(x)").unwrap(),
+            parse_constraint("deny steady: p(x) && hist[0,1] p(x)").unwrap(),
+        ]
+    }
+
+    #[test]
+    fn set_matches_independent_checkers() {
+        let cat = catalog();
+        let mut set = ConstraintSet::new(constraints(), Arc::clone(&cat)).unwrap();
+        let mut singles: Vec<IncrementalChecker> = constraints()
+            .into_iter()
+            .map(|c| IncrementalChecker::new(c, Arc::clone(&cat)).unwrap())
+            .collect();
+        for t in 1..30u64 {
+            let u = match t % 5 {
+                0 => Update::new().with_insert("p", tuple!["a"]),
+                1 => Update::new().with_insert("q", tuple!["a"]),
+                2 => Update::new().with_delete("p", tuple!["a"]),
+                3 => Update::new().with_delete("q", tuple!["a"]),
+                _ => Update::new(),
+            };
+            let set_reports = set.step(TimePoint(t), &u).unwrap();
+            for (i, single) in singles.iter_mut().enumerate() {
+                let r = single.step(TimePoint(t), &u).unwrap();
+                assert_eq!(set_reports[i], r, "constraint {i} diverged at {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_state_is_stored_once() {
+        let cat = catalog();
+        let mut set = ConstraintSet::new(constraints(), Arc::clone(&cat)).unwrap();
+        set.step(TimePoint(1), &Update::new().with_insert("p", tuple!["a"]))
+            .unwrap();
+        assert_eq!(set.space().stored_states, 1);
+        assert_eq!(set.space().stored_tuples, 1, "one copy of the shared db");
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn parallel_step_matches_sequential() {
+        let cat = catalog();
+        let mut seq = ConstraintSet::new(constraints(), Arc::clone(&cat)).unwrap();
+        let mut par = ConstraintSet::new(constraints(), Arc::clone(&cat)).unwrap();
+        for t in 1..40u64 {
+            let u = match t % 4 {
+                0 => Update::new()
+                    .with_insert("p", tuple!["a"])
+                    .with_insert("q", tuple!["b"]),
+                1 => Update::new().with_insert("q", tuple!["a"]),
+                2 => Update::new().with_delete("p", tuple!["a"]),
+                _ => Update::new(),
+            };
+            let a = seq.step(TimePoint(t), &u).unwrap();
+            let b = par.step_parallel(TimePoint(t), &u).unwrap();
+            assert_eq!(a, b, "parallel step diverged at {t}");
+        }
+        assert_eq!(seq.space(), par.space());
+    }
+
+    #[test]
+    fn compile_error_names_the_constraint() {
+        let bad = parse_constraint("deny nope: !p(x)").unwrap();
+        let err = ConstraintSet::new(vec![bad.clone()], catalog()).unwrap_err();
+        assert_eq!(err.0, bad);
+    }
+
+    #[test]
+    fn monotonic_time_shared() {
+        let mut set = ConstraintSet::new(constraints(), catalog()).unwrap();
+        set.step(TimePoint(4), &Update::new()).unwrap();
+        assert!(set.step(TimePoint(4), &Update::new()).is_err());
+    }
+}

@@ -1,0 +1,227 @@
+//! The central correctness property of the reproduction:
+//!
+//! > The incremental checker (bounded history encoding), the naive
+//! > full-history checker, and the windowed checker produce **identical
+//! > violation reports** on every history.
+//!
+//! Exercised over a family of constraint templates covering every temporal
+//! operator, every interval shape (bounded, `a = 0`, `b = ∞`, point), and
+//! their nestings, against random histories with persistence, deletion,
+//! clock gaps, and a small value domain (to force key collisions).
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rtic_core::{Checker, EncodingOptions, IncrementalChecker, NaiveChecker, WindowedChecker};
+use rtic_history::Transition;
+use rtic_relation::{tuple, Catalog, Schema, Sort, Update};
+use rtic_temporal::parser::parse_constraint;
+use rtic_temporal::Constraint;
+
+fn catalog() -> Arc<Catalog> {
+    Arc::new(
+        Catalog::new()
+            .with("p", Schema::of(&[("x", Sort::Str)]))
+            .unwrap()
+            .with("q", Schema::of(&[("x", Sort::Str)]))
+            .unwrap()
+            .with("r", Schema::of(&[("x", Sort::Str), ("y", Sort::Str)]))
+            .unwrap(),
+    )
+}
+
+/// Interval text with all four shapes.
+fn interval_text() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just(String::new()), // omitted = [0,*]
+        (0u64..4).prop_map(|b| format!("[0,{b}]")),
+        (1u64..4).prop_map(|a| format!("[{a},*]")),
+        (1u64..4, 0u64..3).prop_map(|(a, d)| format!("[{a},{}]", a + d)),
+        (0u64..4).prop_map(|k| format!("[{k},{k}]")),
+    ]
+}
+
+/// Constraint templates, safe by construction; `{i}`/`{j}` are replaced by
+/// random intervals.
+const TEMPLATES: &[&str] = &[
+    "p(x) && once{i} q(x)",
+    "p(x) && !once{i} q(x)",
+    "q(x) since{i} p(x)",
+    "p(x) since{i} (p(x) && q(x))",
+    "p(x) && hist{i} q(x)",
+    "q(x) && prev{i} p(x)",
+    "once{i} once{j} p(x)",
+    "r(x, y) && !once{i} q(x)",
+    "exists y . r(x, y) && once{i} p(x)",
+    "once{i} (p(x) && q(x))",
+    "(p(x) since{i} q(x)) && !prev{j} p(x)",
+    "q(x) && hist{i} p(x) && !p(x)",
+    "(once{i} q(x)) since{j} p(x)",
+    "p(x) || q(x)",
+    "once{i} (q(x) since{j} p(x))",
+    "r(x, y) && hist{i} r(x, y)",
+    "prev{i} prev{j} p(x)",
+    "p(x) && !(exists z . r(x, z))",
+    "once{i} exists y . r(x, y)",
+    "(p(x) && !q(x)) since{i} q(x)",
+    // Rewrite triggers and extra shapes for the optimizer/pushdown paths.
+    "once{i} once q(x)",
+    "p(x) && hist{i} once{j} q(x)",
+    "(hist{i} q(x)) since{j} q(x)",
+    "r(x, y) && r(y, z) && once{i} q(x)",
+    "(r(x, y) since{i} r(x, y)) && p(x)",
+    "p(x) && once[0,0] q(x)",
+    // Counting aggregates (state-local, with and without temporal bodies).
+    "p(x) && count y . (r(x, y)) >= 2",
+    "p(x) && count y . (r(x, y)) = 0",
+    "p(x) && count y . (r(x, y) && once{i} q(y)) >= 1",
+    "once{i} (p(x) && count y . (r(x, y)) >= 1)",
+    "(count y . (r(x, y)) >= 1) since{i} p(x)",
+];
+
+fn constraint() -> impl Strategy<Value = Constraint> {
+    (0..TEMPLATES.len(), interval_text(), interval_text()).prop_map(|(t, i, j)| {
+        let body = TEMPLATES[t].replace("{i}", &i).replace("{j}", &j);
+        parse_constraint(&format!("deny prop_c: {body}"))
+            .unwrap_or_else(|e| panic!("template failed to parse: {body}: {e}"))
+    })
+}
+
+/// One random step: time gap 1–3, a few inserts/deletes over a 2-value
+/// domain.
+#[derive(Clone, Debug)]
+struct Step {
+    gap: u64,
+    changes: Vec<(u8, bool, u8, u8)>, // (relation, insert?, value x, value y)
+}
+
+fn step() -> impl Strategy<Value = Step> {
+    let change = (0u8..3, any::<bool>(), 0u8..2, 0u8..2);
+    (1u64..4, proptest::collection::vec(change, 0..4))
+        .prop_map(|(gap, changes)| Step { gap, changes })
+}
+
+fn transitions(steps: &[Step]) -> Vec<Transition> {
+    const DOM: [&str; 2] = ["a", "b"];
+    let mut t = 0u64;
+    steps
+        .iter()
+        .map(|s| {
+            t += s.gap;
+            let mut u = Update::new();
+            for &(rel, ins, x, y) in &s.changes {
+                let (name, tup) = match rel {
+                    0 => ("p", tuple![DOM[x as usize]]),
+                    1 => ("q", tuple![DOM[x as usize]]),
+                    _ => ("r", tuple![DOM[x as usize], DOM[y as usize]]),
+                };
+                if ins {
+                    u.insert(name, tup);
+                } else {
+                    u.delete(name, tup);
+                }
+            }
+            Transition::new(t, u)
+        })
+        .collect()
+}
+
+proptest! {
+    // Case count honors PROPTEST_CASES (default 256).
+
+    #[test]
+    fn all_checkers_agree(
+        c in constraint(),
+        steps in proptest::collection::vec(step(), 1..14),
+    ) {
+        let cat = catalog();
+        let ts = transitions(&steps);
+        let mut inc = IncrementalChecker::new(c.clone(), Arc::clone(&cat)).unwrap();
+        let mut naive = NaiveChecker::new(c.clone(), Arc::clone(&cat)).unwrap();
+        let mut win = WindowedChecker::new(c.clone(), Arc::clone(&cat)).unwrap();
+        for tr in &ts {
+            let a = inc.step(tr.time, &tr.update).unwrap();
+            let b = naive.step(tr.time, &tr.update).unwrap();
+            let w = win.step(tr.time, &tr.update).unwrap();
+            prop_assert_eq!(
+                &a, &b,
+                "incremental vs naive diverged on `{}` at {} (history: {:?})",
+                c, tr.time, ts
+            );
+            prop_assert_eq!(
+                &b, &w,
+                "naive vs windowed diverged on `{}` at {}",
+                c, tr.time
+            );
+        }
+    }
+
+    #[test]
+    fn ablated_encoding_agrees_too(
+        c in constraint(),
+        steps in proptest::collection::vec(step(), 1..10),
+    ) {
+        let cat = catalog();
+        let ts = transitions(&steps);
+        let mut spec = IncrementalChecker::new(c.clone(), Arc::clone(&cat)).unwrap();
+        let mut plain = IncrementalChecker::with_options(
+            c.clone(),
+            Arc::clone(&cat),
+            EncodingOptions { disable_stamp_specialization: true },
+        )
+        .unwrap();
+        for tr in &ts {
+            let a = spec.step(tr.time, &tr.update).unwrap();
+            let b = plain.step(tr.time, &tr.update).unwrap();
+            prop_assert_eq!(&a, &b, "ablation diverged on `{}` at {}", c, tr.time);
+        }
+    }
+
+    #[test]
+    fn peephole_optimizer_preserves_reports(
+        c in constraint(),
+        steps in proptest::collection::vec(step(), 1..12),
+    ) {
+        // The optimizer's rewrites must be invisible in the reports; the
+        // generated intervals include `[0,*]` and `[k,k]`, which are what
+        // trigger them (nested unconstrained once/hist, point windows).
+        use rtic_core::CompiledConstraint;
+        let cat = catalog();
+        let ts = transitions(&steps);
+        let optimized = CompiledConstraint::compile(c.clone(), Arc::clone(&cat)).unwrap();
+        let plain = CompiledConstraint::compile_unoptimized(c.clone(), Arc::clone(&cat)).unwrap();
+        let mut a = IncrementalChecker::from_compiled(optimized, Default::default());
+        let mut b = IncrementalChecker::from_compiled(plain, Default::default());
+        for tr in &ts {
+            let ra = a.step(tr.time, &tr.update).unwrap();
+            let rb = b.step(tr.time, &tr.update).unwrap();
+            prop_assert_eq!(&ra, &rb, "optimizer changed semantics of `{}` at {}", c, tr.time);
+        }
+    }
+
+    #[test]
+    fn incremental_space_is_history_independent(
+        c in constraint(),
+        steps in proptest::collection::vec(step(), 1..10),
+    ) {
+        // Run the same per-step update pattern repeated 1× and 3×: the aux
+        // footprint after the final repetition must not exceed the bound
+        // implied by the constraint (we check it does not keep growing
+        // linearly: footprint(3n) ≤ footprint(n) + slack only for bounded
+        // constraints, so here we just check the hard per-key bound).
+        let cat = catalog();
+        let ts = transitions(&steps);
+        let mut inc = IncrementalChecker::new(c.clone(), Arc::clone(&cat)).unwrap();
+        for tr in &ts {
+            inc.step(tr.time, &tr.update).unwrap();
+            let s = inc.space();
+            // 3 relations × ≤4 keys (2-value domain, ≤2 columns) per node;
+            // stamps per key bounded by max bound + 1 (= 7 here) plus the
+            // shared hist deques.
+            prop_assert!(
+                s.aux_keys <= 64 && s.aux_timestamps <= 512,
+                "aux footprint exploded: {s}"
+            );
+        }
+    }
+}

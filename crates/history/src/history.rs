@@ -1,0 +1,273 @@
+//! Timestamped database histories.
+
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+use rtic_relation::{Catalog, Database, RelationError, Update};
+use rtic_temporal::TimePoint;
+
+/// One step of a history: at `time`, apply `update` to the previous state.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Transition {
+    /// The (strictly increasing) timestamp of the new state.
+    pub time: TimePoint,
+    /// The changes producing the new state.
+    pub update: Update,
+}
+
+impl Transition {
+    /// Builds a transition.
+    pub fn new(time: impl Into<TimePoint>, update: Update) -> Transition {
+        Transition {
+            time: time.into(),
+            update,
+        }
+    }
+}
+
+/// A history error: non-increasing timestamps or a bad update.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum HistoryError {
+    /// Timestamps must strictly increase along a history.
+    NonMonotonicTime {
+        /// Timestamp of the current last state.
+        last: TimePoint,
+        /// The offending new timestamp.
+        new: TimePoint,
+    },
+    /// The update failed to apply (unknown relation / sort error).
+    BadUpdate(RelationError),
+}
+
+impl fmt::Display for HistoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HistoryError::NonMonotonicTime { last, new } => {
+                write!(f, "timestamp {new} does not increase past {last}")
+            }
+            HistoryError::BadUpdate(e) => write!(f, "bad update: {e}"),
+        }
+    }
+}
+
+impl Error for HistoryError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            HistoryError::BadUpdate(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RelationError> for HistoryError {
+    fn from(e: RelationError) -> HistoryError {
+        HistoryError::BadUpdate(e)
+    }
+}
+
+/// A materialized database history: the full sequence of timestamped
+/// states.
+///
+/// This is what the *naive* baseline checker stores (and exactly what the
+/// paper's encoding avoids storing). State 0 is produced by the first
+/// transition applied to the empty database; there is no implicit state
+/// before the first timestamp.
+#[derive(Clone, Debug)]
+pub struct History {
+    catalog: Arc<Catalog>,
+    times: Vec<TimePoint>,
+    states: Vec<Database>,
+}
+
+impl History {
+    /// An empty history over `catalog`.
+    pub fn new(catalog: Arc<Catalog>) -> History {
+        History {
+            catalog,
+            times: Vec::new(),
+            states: Vec::new(),
+        }
+    }
+
+    /// Builds a history by replaying `transitions` from the empty database.
+    pub fn replay(
+        catalog: Arc<Catalog>,
+        transitions: impl IntoIterator<Item = Transition>,
+    ) -> Result<History, HistoryError> {
+        let mut h = History::new(catalog);
+        for t in transitions {
+            h.append(t.time, &t.update)?;
+        }
+        Ok(h)
+    }
+
+    /// The shared catalog.
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the history has no states yet.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// The timestamp of state `i`.
+    pub fn time(&self, i: usize) -> TimePoint {
+        self.times[i]
+    }
+
+    /// The database at state `i`.
+    pub fn state(&self, i: usize) -> &Database {
+        &self.states[i]
+    }
+
+    /// The most recent state, if any.
+    pub fn last(&self) -> Option<(TimePoint, &Database)> {
+        self.states
+            .last()
+            .map(|db| (*self.times.last().expect("parallel vecs"), db))
+    }
+
+    /// Appends a new state: `update` applied to the last state (or the
+    /// empty database), stamped `time`.
+    pub fn append(
+        &mut self,
+        time: impl Into<TimePoint>,
+        update: &Update,
+    ) -> Result<(), HistoryError> {
+        let time = time.into();
+        if let Some(&last) = self.times.last() {
+            if time <= last {
+                return Err(HistoryError::NonMonotonicTime { last, new: time });
+            }
+        }
+        let mut db = match self.states.last() {
+            Some(db) => db.clone(),
+            None => Database::new(Arc::clone(&self.catalog)),
+        };
+        db.apply(update)?;
+        self.times.push(time);
+        self.states.push(db);
+        Ok(())
+    }
+
+    /// Drops states strictly older than `cutoff` **from the front**,
+    /// returning how many were dropped. Used by the windowed baseline.
+    pub fn prune_before(&mut self, cutoff: TimePoint) -> usize {
+        let keep_from = self.times.partition_point(|&t| t < cutoff);
+        self.times.drain(..keep_from);
+        self.states.drain(..keep_from);
+        keep_from
+    }
+
+    /// Iterates `(time, state)` pairs oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = (TimePoint, &Database)> {
+        self.times.iter().copied().zip(self.states.iter())
+    }
+
+    /// Total tuples across all stored states (a space proxy for the naive
+    /// checker).
+    pub fn total_stored_tuples(&self) -> usize {
+        self.states.iter().map(Database::total_tuples).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtic_relation::{tuple, Schema, Sort, Symbol};
+
+    fn catalog() -> Arc<Catalog> {
+        Arc::new(
+            Catalog::new()
+                .with("r", Schema::of(&[("x", Sort::Str)]))
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn append_accumulates_states() {
+        let mut h = History::new(catalog());
+        h.append(1, &Update::new().with_insert("r", tuple!["a"]))
+            .unwrap();
+        h.append(5, &Update::new().with_insert("r", tuple!["b"]))
+            .unwrap();
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.time(0), TimePoint(1));
+        assert_eq!(h.state(0).relation(Symbol::intern("r")).unwrap().len(), 1);
+        assert_eq!(h.state(1).relation(Symbol::intern("r")).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn timestamps_must_strictly_increase() {
+        let mut h = History::new(catalog());
+        h.append(3, &Update::new()).unwrap();
+        assert!(matches!(
+            h.append(3, &Update::new()),
+            Err(HistoryError::NonMonotonicTime { .. })
+        ));
+        assert!(h.append(2, &Update::new()).is_err());
+        assert_eq!(h.len(), 1, "failed append does not extend the history");
+    }
+
+    #[test]
+    fn bad_update_is_reported_and_not_applied() {
+        let mut h = History::new(catalog());
+        assert!(matches!(
+            h.append(1, &Update::new().with_insert("nope", tuple!["a"])),
+            Err(HistoryError::BadUpdate(_))
+        ));
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn replay_matches_manual_appends() {
+        let ts = vec![
+            Transition::new(1, Update::new().with_insert("r", tuple!["a"])),
+            Transition::new(4, Update::new().with_delete("r", tuple!["a"])),
+        ];
+        let h = History::replay(catalog(), ts).unwrap();
+        assert_eq!(h.len(), 2);
+        assert!(h.state(1).relation(Symbol::intern("r")).unwrap().is_empty());
+    }
+
+    #[test]
+    fn prune_before_drops_old_states() {
+        let mut h = History::new(catalog());
+        for t in [1u64, 3, 5, 9] {
+            h.append(t, &Update::new()).unwrap();
+        }
+        let dropped = h.prune_before(TimePoint(5));
+        assert_eq!(dropped, 2);
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.time(0), TimePoint(5));
+    }
+
+    #[test]
+    fn last_and_iter() {
+        let mut h = History::new(catalog());
+        assert!(h.last().is_none());
+        h.append(2, &Update::new()).unwrap();
+        assert_eq!(h.last().unwrap().0, TimePoint(2));
+        assert_eq!(h.iter().count(), 1);
+    }
+
+    #[test]
+    fn total_stored_tuples_grows_with_history() {
+        let mut h = History::new(catalog());
+        h.append(1, &Update::new().with_insert("r", tuple!["a"]))
+            .unwrap();
+        h.append(2, &Update::new()).unwrap();
+        assert_eq!(
+            h.total_stored_tuples(),
+            2,
+            "the persistent tuple is stored twice"
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! # rtic-history — timestamped database histories
+//!
+//! The substrate real-time integrity constraints are interpreted over: a
+//! sequence of database states, each stamped with a strictly increasing
+//! discrete-clock [`TimePoint`](rtic_temporal::TimePoint).
+//!
+//! * [`History`] — a materialized history (every state stored); what the
+//!   naive baseline checker keeps, and what the paper's bounded encoding
+//!   avoids keeping.
+//! * [`Transition`] — one `(time, update)` step; the unit every checker
+//!   consumes online.
+//! * [`log`] — a line-oriented text format for transition logs
+//!   (`@10 +reserved("ann", 17)`), with a round-tripping parser/printer.
+//!
+//! ```
+//! use rtic_history::{log::parse_log, History};
+//! use rtic_relation::{Catalog, Schema, Sort};
+//! use std::sync::Arc;
+//!
+//! let catalog = Arc::new(
+//!     Catalog::new()
+//!         .with("reserved", Schema::of(&[("p", Sort::Str), ("f", Sort::Int)]))
+//!         .unwrap(),
+//! );
+//! let transitions = parse_log("@1 +reserved(\"ann\", 17)\n@4 -reserved(\"ann\", 17)\n").unwrap();
+//! let h = History::replay(catalog, transitions).unwrap();
+//! assert_eq!(h.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod history;
+pub mod log;
+
+pub use history::{History, HistoryError, Transition};

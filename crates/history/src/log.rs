@@ -1,0 +1,442 @@
+//! A line-oriented text format for update logs.
+//!
+//! One line per transition:
+//!
+//! ```text
+//! @10 +reserved("ann", 17) -confirmed("bob", 3)
+//! @12                      # a pure clock tick
+//! ```
+//!
+//! `@T` is the timestamp, `+rel(v…)` inserts, `-rel(v…)` deletes. Values
+//! are integers (`17`, `-3`), quoted strings (`"ann"`), or booleans
+//! (`true`/`false`). Comments run from `#` to end of line. The format
+//! round-trips: `parse_log(format_log(ts)) == ts`.
+
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+use rtic_relation::{Tuple, Update, Value};
+use rtic_temporal::TimePoint;
+
+use crate::history::Transition;
+
+/// A log-parsing failure with its line number.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LogError {
+    /// Human-readable message.
+    pub message: String,
+    /// 1-based line.
+    pub line: usize,
+}
+
+impl fmt::Display for LogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for LogError {}
+
+fn write_value(out: &mut String, v: &Value) {
+    match v {
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::Str(s) => {
+            let _ = write!(out, "{:?}", s.as_str());
+        }
+        Value::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+    }
+}
+
+/// Serializes transitions to the text format.
+pub fn format_log(transitions: &[Transition]) -> String {
+    let mut out = String::new();
+    for t in transitions {
+        let _ = write!(out, "@{}", t.time.0);
+        for (rel, tuples) in t.update.inserts() {
+            for tuple in tuples {
+                let _ = write!(out, " +{rel}(");
+                for (i, v) in tuple.values().iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    write_value(&mut out, v);
+                }
+                out.push(')');
+            }
+        }
+        for (rel, tuples) in t.update.deletes() {
+            for tuple in tuples {
+                let _ = write!(out, " -{rel}(");
+                for (i, v) in tuple.values().iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    write_value(&mut out, v);
+                }
+                out.push(')');
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+struct LineParser<'s> {
+    chars: Vec<char>,
+    pos: usize,
+    line_no: usize,
+    _src: &'s str,
+}
+
+impl<'s> LineParser<'s> {
+    fn err(&self, message: impl Into<String>) -> LogError {
+        LogError {
+            message: message.into(),
+            line: self.line_no,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.chars.len() && self.chars[self.pos].is_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn at_end(&mut self) -> bool {
+        self.skip_ws();
+        self.pos >= self.chars.len() || self.chars[self.pos] == '#'
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), LogError> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected `{c}`, found {}",
+                self.peek()
+                    .map(|c| format!("`{c}`"))
+                    .unwrap_or_else(|| "end of line".into())
+            )))
+        }
+    }
+
+    fn integer(&mut self) -> Result<i64, LogError> {
+        let start = self.pos;
+        if self.peek() == Some('-') {
+            self.pos += 1;
+        }
+        while self.pos < self.chars.len() && self.chars[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        if text.is_empty() || text == "-" {
+            return Err(self.err("expected an integer"));
+        }
+        text.parse()
+            .map_err(|_| self.err(format!("integer `{text}` out of range")))
+    }
+
+    fn ident(&mut self) -> Result<String, LogError> {
+        let start = self.pos;
+        while self.pos < self.chars.len()
+            && (self.chars[self.pos].is_ascii_alphanumeric() || self.chars[self.pos] == '_')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected an identifier"));
+        }
+        Ok(self.chars[start..self.pos].iter().collect())
+    }
+
+    fn value(&mut self) -> Result<Value, LogError> {
+        self.skip_ws();
+        match self.peek() {
+            Some('"') => {
+                self.pos += 1;
+                let mut s = String::new();
+                loop {
+                    match self.peek() {
+                        None => return Err(self.err("unterminated string")),
+                        Some('"') => {
+                            self.pos += 1;
+                            break;
+                        }
+                        Some('\\') => {
+                            self.pos += 1;
+                            match self.peek() {
+                                Some('"') => s.push('"'),
+                                Some('\\') => s.push('\\'),
+                                Some('n') => s.push('\n'),
+                                _ => return Err(self.err("unknown escape")),
+                            }
+                            self.pos += 1;
+                        }
+                        Some(c) => {
+                            s.push(c);
+                            self.pos += 1;
+                        }
+                    }
+                }
+                Ok(Value::str(&s))
+            }
+            Some(c) if c == '-' || c.is_ascii_digit() => Ok(Value::Int(self.integer()?)),
+            Some(c) if c.is_ascii_alphabetic() => {
+                let word = self.ident()?;
+                match word.as_str() {
+                    "true" => Ok(Value::Bool(true)),
+                    "false" => Ok(Value::Bool(false)),
+                    other => Err(self.err(format!(
+                        "unknown bare value `{other}` (strings must be quoted)"
+                    ))),
+                }
+            }
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn change(&mut self, update: &mut Update) -> Result<(), LogError> {
+        let insert = match self.peek() {
+            Some('+') => true,
+            Some('-') => false,
+            _ => return Err(self.err("expected `+rel(…)` or `-rel(…)`")),
+        };
+        self.pos += 1;
+        let rel = self.ident()?;
+        self.expect('(')?;
+        let mut values = Vec::new();
+        self.skip_ws();
+        if self.peek() != Some(')') {
+            loop {
+                values.push(self.value()?);
+                self.skip_ws();
+                if self.peek() == Some(')') {
+                    break;
+                }
+                self.expect(',')?;
+            }
+        }
+        self.expect(')')?;
+        let tuple = Tuple::new(values);
+        if insert {
+            update.insert(rel.as_str(), tuple);
+        } else {
+            update.delete(rel.as_str(), tuple);
+        }
+        Ok(())
+    }
+
+    fn transition(&mut self) -> Result<Transition, LogError> {
+        self.skip_ws();
+        self.expect('@')?;
+        let t = self.integer()?;
+        if t < 0 {
+            return Err(self.err("timestamps are non-negative"));
+        }
+        let mut update = Update::new();
+        while !self.at_end() {
+            self.change(&mut update)?;
+        }
+        Ok(Transition::new(TimePoint(t as u64), update))
+    }
+}
+
+/// Parses the text format into transitions. Blank and comment-only lines
+/// are skipped. Timestamps are *not* checked for monotonicity here — that
+/// happens on replay, where the error can point at the offending state.
+pub fn parse_log(input: &str) -> Result<Vec<Transition>, LogError> {
+    let mut out = Vec::new();
+    for (idx, line) in input.lines().enumerate() {
+        if let Some(t) = parse_line(line, idx + 1)? {
+            out.push(t);
+        }
+    }
+    Ok(out)
+}
+
+/// Parses one log line (1-based `line_no` for errors); `None` for blank
+/// and comment-only lines.
+fn parse_line(line: &str, line_no: usize) -> Result<Option<Transition>, LogError> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') {
+        return Ok(None);
+    }
+    let mut p = LineParser {
+        chars: line.chars().collect(),
+        pos: 0,
+        line_no,
+        _src: line,
+    };
+    p.transition().map(Some)
+}
+
+/// A streaming log reader: yields one [`Transition`] per line from any
+/// [`std::io::BufRead`] source without materializing the whole log. This is what a
+/// deployment tails; [`parse_log`] is the convenience wrapper for in-memory
+/// text.
+///
+/// I/O errors are surfaced as [`LogError`]s carrying the line number.
+pub struct LogReader<R> {
+    source: R,
+    line_no: usize,
+    buf: String,
+}
+
+impl<R: std::io::BufRead> LogReader<R> {
+    /// Wraps a buffered reader.
+    pub fn new(source: R) -> LogReader<R> {
+        LogReader {
+            source,
+            line_no: 0,
+            buf: String::new(),
+        }
+    }
+
+    /// The number of source lines consumed so far.
+    pub fn lines_read(&self) -> usize {
+        self.line_no
+    }
+}
+
+impl<R: std::io::BufRead> Iterator for LogReader<R> {
+    type Item = Result<Transition, LogError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            self.buf.clear();
+            self.line_no += 1;
+            match self.source.read_line(&mut self.buf) {
+                Ok(0) => return None,
+                Ok(_) => {}
+                Err(e) => {
+                    return Some(Err(LogError {
+                        message: format!("I/O error: {e}"),
+                        line: self.line_no,
+                    }))
+                }
+            }
+            match parse_line(self.buf.trim_end_matches(['\n', '\r']), self.line_no) {
+                Ok(Some(t)) => return Some(Ok(t)),
+                Ok(None) => continue,
+                Err(e) => return Some(Err(e)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtic_relation::tuple;
+
+    #[test]
+    fn parse_simple_line() {
+        let ts = parse_log("@10 +r(\"a\", 3) -s(true)").unwrap();
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts[0].time, TimePoint(10));
+        let inserts: Vec<_> = ts[0].update.inserts().collect();
+        assert_eq!(inserts[0].0.as_str(), "r");
+        assert!(inserts[0].1.contains(&tuple!["a", 3]));
+        let deletes: Vec<_> = ts[0].update.deletes().collect();
+        assert!(deletes[0].1.contains(&tuple![true]));
+    }
+
+    #[test]
+    fn pure_tick_and_comments() {
+        let ts = parse_log("# header\n\n@5\n@7 # trailing comment\n").unwrap();
+        assert_eq!(ts.len(), 2);
+        assert!(ts[0].update.is_empty());
+        assert_eq!(ts[1].time, TimePoint(7));
+    }
+
+    #[test]
+    fn nullary_tuples() {
+        let ts = parse_log("@1 +alarm()").unwrap();
+        let (_, tuples) = ts[0].update.inserts().next().unwrap();
+        assert!(tuples.contains(&Tuple::empty()));
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let t = Transition::new(
+            3,
+            Update::new().with_insert("r", tuple!["quote\"and\\slash", 1]),
+        );
+        let text = format_log(std::slice::from_ref(&t));
+        let back = parse_log(&text).unwrap();
+        assert_eq!(back, vec![t]);
+    }
+
+    #[test]
+    fn format_then_parse_round_trips() {
+        let ts = vec![
+            Transition::new(
+                1,
+                Update::new()
+                    .with_insert("r", tuple!["a", 1])
+                    .with_insert("r", tuple!["b", 2])
+                    .with_delete("s", tuple![7]),
+            ),
+            Transition::new(9, Update::new()),
+        ];
+        assert_eq!(parse_log(&format_log(&ts)).unwrap(), ts);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_log("@1 +r(\"a\")\n@2 +r(oops)").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("quoted"));
+    }
+
+    #[test]
+    fn missing_at_sign_is_error() {
+        assert!(parse_log("10 +r(1)").is_err());
+    }
+
+    #[test]
+    fn negative_timestamp_rejected() {
+        assert!(parse_log("@-5").is_err());
+    }
+
+    #[test]
+    fn unterminated_tuple_is_error() {
+        let e = parse_log("@1 +r(1, ").unwrap_err();
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn streaming_reader_matches_batch_parse() {
+        let text = "# header\n@1 +r(\"a\", 3)\n\n@4 -r(\"a\", 3)\n@9\n";
+        let streamed: Result<Vec<Transition>, LogError> =
+            LogReader::new(std::io::Cursor::new(text)).collect();
+        assert_eq!(streamed.unwrap(), parse_log(text).unwrap());
+    }
+
+    #[test]
+    fn streaming_reader_reports_error_line_and_stops() {
+        let text = "@1 +r(1)\n@2 oops\n@3 +r(2)\n";
+        let mut reader = LogReader::new(std::io::Cursor::new(text));
+        assert!(reader.next().unwrap().is_ok());
+        let err = reader.next().unwrap().unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(reader.lines_read(), 2);
+    }
+
+    #[test]
+    fn streaming_reader_handles_crlf() {
+        let text = "@1 +r(1)\r\n@2\r\n";
+        let ts: Result<Vec<Transition>, _> = LogReader::new(std::io::Cursor::new(text)).collect();
+        assert_eq!(ts.unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,73 @@
+//! Property tests for the log text format: round-trips through
+//! format/parse and through the streaming reader.
+
+use proptest::prelude::*;
+use rtic_history::log::{format_log, parse_log, LogReader};
+use rtic_history::Transition;
+use rtic_relation::{Tuple, Update, Value};
+
+fn value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i64>().prop_map(Value::Int),
+        any::<bool>().prop_map(Value::Bool),
+        // Strings with the characters that stress the escaping code.
+        proptest::string::string_regex("[a-z\"\\\\\n ,()@|#0-9]{0,12}")
+            .unwrap()
+            .prop_map(|s| Value::str(&s)),
+    ]
+}
+
+fn tuple() -> impl Strategy<Value = Tuple> {
+    proptest::collection::vec(value(), 0..4).prop_map(Tuple::new)
+}
+
+fn transition_stream() -> impl Strategy<Value = Vec<Transition>> {
+    let change = (
+        proptest::string::string_regex("[a-z_][a-z0-9_]{0,6}").unwrap(),
+        any::<bool>(),
+        tuple(),
+    );
+    proptest::collection::vec((1u64..5, proptest::collection::vec(change, 0..4)), 0..10).prop_map(
+        |steps| {
+            let mut t = 0u64;
+            steps
+                .into_iter()
+                .map(|(gap, changes)| {
+                    t += gap;
+                    let mut u = Update::new();
+                    for (rel, ins, tup) in changes {
+                        if ins {
+                            u.insert(rel.as_str(), tup);
+                        } else {
+                            u.delete(rel.as_str(), tup);
+                        }
+                    }
+                    Transition::new(t, u)
+                })
+                .collect()
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn format_parse_round_trip(ts in transition_stream()) {
+        let text = format_log(&ts);
+        let back = parse_log(&text)
+            .unwrap_or_else(|e| panic!("formatted log failed to parse: {e}\n{text}"));
+        prop_assert_eq!(back, ts);
+    }
+
+    #[test]
+    fn streaming_matches_batch(ts in transition_stream()) {
+        let text = format_log(&ts);
+        let streamed: Result<Vec<Transition>, _> =
+            LogReader::new(std::io::Cursor::new(text.clone())).collect();
+        prop_assert_eq!(streamed.unwrap(), parse_log(&text).unwrap());
+    }
+
+    #[test]
+    fn formatting_is_deterministic(ts in transition_stream()) {
+        prop_assert_eq!(format_log(&ts), format_log(&ts));
+    }
+}

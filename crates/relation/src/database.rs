@@ -1,0 +1,367 @@
+//! Databases: catalogs of named relations, plus transactional updates.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::RelationError;
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::symbol::Symbol;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// A database catalog: the fixed set of relation names and their schemas.
+///
+/// Catalogs are immutable once built and shared (`Arc`) by every state of a
+/// history, so cloning a [`Database`] clones tuples but not schemas.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Catalog {
+    schemas: BTreeMap<Symbol, Schema>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Declares a relation; rejects duplicates.
+    pub fn declare(
+        &mut self,
+        name: impl Into<Symbol>,
+        schema: Schema,
+    ) -> Result<(), RelationError> {
+        let name = name.into();
+        if self.schemas.contains_key(&name) {
+            return Err(RelationError::DuplicateRelation { name });
+        }
+        self.schemas.insert(name, schema);
+        Ok(())
+    }
+
+    /// Builder-style [`Catalog::declare`].
+    pub fn with(
+        mut self,
+        name: impl Into<Symbol>,
+        schema: Schema,
+    ) -> Result<Catalog, RelationError> {
+        self.declare(name, schema)?;
+        Ok(self)
+    }
+
+    /// The schema of `name`, if declared.
+    pub fn schema_of(&self, name: Symbol) -> Option<&Schema> {
+        self.schemas.get(&name)
+    }
+
+    /// All declared relation names, in deterministic order.
+    pub fn names(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.schemas.keys().copied()
+    }
+
+    /// Number of declared relations.
+    pub fn len(&self) -> usize {
+        self.schemas.len()
+    }
+
+    /// Whether no relations are declared.
+    pub fn is_empty(&self) -> bool {
+        self.schemas.is_empty()
+    }
+}
+
+/// A database state: one instance per catalogued relation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Database {
+    catalog: Arc<Catalog>,
+    relations: BTreeMap<Symbol, Relation>,
+}
+
+impl Database {
+    /// An empty database over `catalog`.
+    pub fn new(catalog: Arc<Catalog>) -> Database {
+        let relations = catalog
+            .names()
+            .map(|n| {
+                let schema = catalog
+                    .schema_of(n)
+                    .expect("name comes from catalog")
+                    .clone();
+                (n, Relation::new(schema))
+            })
+            .collect();
+        Database { catalog, relations }
+    }
+
+    /// The shared catalog.
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    /// The instance of `name`.
+    pub fn relation(&self, name: Symbol) -> Result<&Relation, RelationError> {
+        self.relations
+            .get(&name)
+            .ok_or(RelationError::UnknownRelation { name })
+    }
+
+    /// Mutable instance of `name`.
+    pub fn relation_mut(&mut self, name: Symbol) -> Result<&mut Relation, RelationError> {
+        self.relations
+            .get_mut(&name)
+            .ok_or(RelationError::UnknownRelation { name })
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    /// The active domain: every value occurring in any tuple of any
+    /// relation, in deterministic order.
+    pub fn active_domain(&self) -> BTreeSet<Value> {
+        let mut dom = BTreeSet::new();
+        for rel in self.relations.values() {
+            for t in rel.iter() {
+                dom.extend(t.values().iter().copied());
+            }
+        }
+        dom
+    }
+
+    /// Applies `update` transactionally: every referenced relation must
+    /// exist and every inserted tuple must conform before anything changes.
+    ///
+    /// Deletions are applied before insertions, so a tuple both deleted and
+    /// inserted in the same update ends up present. Deleting an absent tuple
+    /// or inserting a present one is a no-op (set semantics).
+    pub fn apply(&mut self, update: &Update) -> Result<(), RelationError> {
+        // Validate first — no partial application on error.
+        for (name, tuples) in &update.inserts {
+            let rel = self.relation(*name)?;
+            for t in tuples {
+                rel.schema().check(t)?;
+            }
+        }
+        for name in update.deletes.keys() {
+            self.relation(*name)?;
+        }
+        for (name, tuples) in &update.deletes {
+            let rel = self.relations.get_mut(name).expect("validated above");
+            for t in tuples {
+                rel.remove(t);
+            }
+        }
+        for (name, tuples) in &update.inserts {
+            let rel = self.relations.get_mut(name).expect("validated above");
+            for t in tuples {
+                rel.insert(t.clone()).expect("validated above");
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, rel) in &self.relations {
+            writeln!(f, "{name}{} = {rel}", rel.schema())?;
+        }
+        Ok(())
+    }
+}
+
+/// A transactional update: sets of tuples to delete and insert, per relation.
+///
+/// This is the unit in which a history advances: one update plus one
+/// timestamp produces the next database state.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Update {
+    inserts: BTreeMap<Symbol, BTreeSet<Tuple>>,
+    deletes: BTreeMap<Symbol, BTreeSet<Tuple>>,
+}
+
+impl Update {
+    /// An empty update (a pure clock tick).
+    pub fn new() -> Update {
+        Update::default()
+    }
+
+    /// Whether the update changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.inserts.values().all(BTreeSet::is_empty)
+            && self.deletes.values().all(BTreeSet::is_empty)
+    }
+
+    /// Records an insertion.
+    pub fn insert(&mut self, relation: impl Into<Symbol>, tuple: Tuple) -> &mut Update {
+        self.inserts
+            .entry(relation.into())
+            .or_default()
+            .insert(tuple);
+        self
+    }
+
+    /// Records a deletion.
+    pub fn delete(&mut self, relation: impl Into<Symbol>, tuple: Tuple) -> &mut Update {
+        self.deletes
+            .entry(relation.into())
+            .or_default()
+            .insert(tuple);
+        self
+    }
+
+    /// Builder-style [`Update::insert`].
+    pub fn with_insert(mut self, relation: impl Into<Symbol>, tuple: Tuple) -> Update {
+        self.insert(relation, tuple);
+        self
+    }
+
+    /// Builder-style [`Update::delete`].
+    pub fn with_delete(mut self, relation: impl Into<Symbol>, tuple: Tuple) -> Update {
+        self.delete(relation, tuple);
+        self
+    }
+
+    /// Insertions, per relation, in deterministic order.
+    pub fn inserts(&self) -> impl Iterator<Item = (Symbol, &BTreeSet<Tuple>)> {
+        self.inserts.iter().map(|(n, s)| (*n, s))
+    }
+
+    /// Deletions, per relation, in deterministic order.
+    pub fn deletes(&self) -> impl Iterator<Item = (Symbol, &BTreeSet<Tuple>)> {
+        self.deletes.iter().map(|(n, s)| (*n, s))
+    }
+
+    /// Total number of tuple insertions and deletions recorded.
+    pub fn len(&self) -> usize {
+        self.inserts.values().map(BTreeSet::len).sum::<usize>()
+            + self.deletes.values().map(BTreeSet::len).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+    use crate::value::Sort;
+
+    fn catalog() -> Arc<Catalog> {
+        Arc::new(
+            Catalog::new()
+                .with("r", Schema::of(&[("x", Sort::Str)]))
+                .unwrap()
+                .with("s", Schema::of(&[("n", Sort::Int), ("x", Sort::Str)]))
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn catalog_rejects_duplicates() {
+        let mut c = Catalog::new();
+        c.declare("r", Schema::empty()).unwrap();
+        assert!(matches!(
+            c.declare("r", Schema::empty()),
+            Err(RelationError::DuplicateRelation { .. })
+        ));
+    }
+
+    #[test]
+    fn new_database_has_all_empty_relations() {
+        let db = Database::new(catalog());
+        assert!(db.relation(Symbol::intern("r")).unwrap().is_empty());
+        assert!(db.relation(Symbol::intern("s")).unwrap().is_empty());
+        assert!(db.relation(Symbol::intern("zzz")).is_err());
+    }
+
+    #[test]
+    fn apply_inserts_and_deletes() {
+        let mut db = Database::new(catalog());
+        db.apply(
+            &Update::new()
+                .with_insert("r", tuple!["a"])
+                .with_insert("r", tuple!["b"]),
+        )
+        .unwrap();
+        assert_eq!(db.relation(Symbol::intern("r")).unwrap().len(), 2);
+        db.apply(&Update::new().with_delete("r", tuple!["a"]))
+            .unwrap();
+        assert_eq!(db.relation(Symbol::intern("r")).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn delete_then_insert_in_same_update_keeps_tuple() {
+        let mut db = Database::new(catalog());
+        db.apply(&Update::new().with_insert("r", tuple!["a"]))
+            .unwrap();
+        db.apply(
+            &Update::new()
+                .with_delete("r", tuple!["a"])
+                .with_insert("r", tuple!["a"]),
+        )
+        .unwrap();
+        assert!(db
+            .relation(Symbol::intern("r"))
+            .unwrap()
+            .contains(&tuple!["a"]));
+    }
+
+    #[test]
+    fn apply_is_atomic_on_error() {
+        let mut db = Database::new(catalog());
+        let bad = Update::new()
+            .with_insert("r", tuple!["ok"])
+            .with_insert("s", tuple!["wrong-sort"]);
+        assert!(db.apply(&bad).is_err());
+        assert!(
+            db.relation(Symbol::intern("r")).unwrap().is_empty(),
+            "nothing applied"
+        );
+    }
+
+    #[test]
+    fn apply_rejects_unknown_relation() {
+        let mut db = Database::new(catalog());
+        assert!(db
+            .apply(&Update::new().with_insert("nope", tuple!["a"]))
+            .is_err());
+        assert!(db
+            .apply(&Update::new().with_delete("nope", tuple!["a"]))
+            .is_err());
+    }
+
+    #[test]
+    fn active_domain_collects_all_values() {
+        let mut db = Database::new(catalog());
+        db.apply(
+            &Update::new()
+                .with_insert("r", tuple!["a"])
+                .with_insert("s", tuple![3, "b"]),
+        )
+        .unwrap();
+        let dom = db.active_domain();
+        assert!(dom.contains(&Value::str("a")));
+        assert!(dom.contains(&Value::str("b")));
+        assert!(dom.contains(&Value::Int(3)));
+        assert_eq!(dom.len(), 3);
+    }
+
+    #[test]
+    fn update_len_and_is_empty() {
+        let u = Update::new();
+        assert!(u.is_empty());
+        let u = u
+            .with_insert("r", tuple!["a"])
+            .with_delete("r", tuple!["b"]);
+        assert!(!u.is_empty());
+        assert_eq!(u.len(), 2);
+    }
+
+    #[test]
+    fn states_share_catalog() {
+        let db = Database::new(catalog());
+        let db2 = db.clone();
+        assert!(Arc::ptr_eq(db.catalog(), db2.catalog()));
+    }
+}

@@ -1,0 +1,50 @@
+//! # rtic-relation — relational storage substrate
+//!
+//! The in-memory relational engine that [`rtic`](https://example.org/rtic)
+//! database histories range over. It provides:
+//!
+//! * interned [`Symbol`]s for names and string data,
+//! * sorted [`Value`]s and schema-checked [`Tuple`]s,
+//! * [`Schema`]/[`Attribute`] metadata with projection/rename/compatibility,
+//! * [`Relation`] instances with deterministic iteration order,
+//! * the classic set-semantics [`algebra`] (σ, π, ρ, ∪, ∩, ∖, ×, ⋈, ⋉, ▷),
+//! * [`Database`] states over a shared immutable [`Catalog`], advanced by
+//!   transactional [`Update`]s.
+//!
+//! Everything is deterministic: relations iterate in tuple order, catalogs
+//! and updates iterate in name order. Determinism is load-bearing — checker
+//! traces, experiment tables and golden tests all rely on it.
+//!
+//! ```
+//! use rtic_relation::{tuple, Catalog, Database, Schema, Sort, Symbol, Update};
+//! use std::sync::Arc;
+//!
+//! let catalog = Arc::new(
+//!     Catalog::new()
+//!         .with("reserved", Schema::of(&[("passenger", Sort::Str), ("flight", Sort::Int)]))
+//!         .unwrap(),
+//! );
+//! let mut db = Database::new(catalog);
+//! db.apply(&Update::new().with_insert("reserved", tuple!["ann", 17])).unwrap();
+//! assert!(db.relation(Symbol::intern("reserved")).unwrap().contains(&tuple!["ann", 17]));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algebra;
+mod database;
+mod error;
+mod relation;
+mod schema;
+mod symbol;
+mod tuple;
+mod value;
+
+pub use database::{Catalog, Database, Update};
+pub use error::RelationError;
+pub use relation::Relation;
+pub use schema::{Attribute, Schema};
+pub use symbol::Symbol;
+pub use tuple::Tuple;
+pub use value::{Sort, Value};

@@ -1,0 +1,246 @@
+//! Relation schemas: named, sorted attribute lists.
+
+use std::fmt;
+
+use crate::error::RelationError;
+use crate::symbol::Symbol;
+use crate::tuple::Tuple;
+use crate::value::Sort;
+
+/// A named, typed attribute of a relation schema.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Attribute {
+    /// Attribute name (unique within a schema).
+    pub name: Symbol,
+    /// Attribute sort.
+    pub sort: Sort,
+}
+
+impl Attribute {
+    /// Builds an attribute.
+    pub fn new(name: impl Into<Symbol>, sort: Sort) -> Attribute {
+        Attribute {
+            name: name.into(),
+            sort,
+        }
+    }
+}
+
+impl fmt::Display for Attribute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.name, self.sort)
+    }
+}
+
+/// The schema of a relation: an ordered list of distinctly-named attributes.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Schema {
+    attrs: Vec<Attribute>,
+}
+
+impl Schema {
+    /// Builds a schema, rejecting duplicate attribute names.
+    pub fn new(attrs: impl IntoIterator<Item = Attribute>) -> Result<Schema, RelationError> {
+        let attrs: Vec<Attribute> = attrs.into_iter().collect();
+        for (i, a) in attrs.iter().enumerate() {
+            if attrs[..i].iter().any(|b| b.name == a.name) {
+                return Err(RelationError::DuplicateAttribute { name: a.name });
+            }
+        }
+        Ok(Schema { attrs })
+    }
+
+    /// Shorthand: a schema from `(name, sort)` pairs.
+    pub fn of(pairs: &[(&str, Sort)]) -> Schema {
+        Schema::new(pairs.iter().map(|&(n, s)| Attribute::new(n, s)))
+            .expect("Schema::of called with duplicate attribute names")
+    }
+
+    /// The empty (arity-0) schema.
+    pub fn empty() -> Schema {
+        Schema { attrs: Vec::new() }
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// The attributes, in order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attrs
+    }
+
+    /// The position of the attribute named `name`, if present.
+    pub fn position_of(&self, name: Symbol) -> Option<usize> {
+        self.attrs.iter().position(|a| a.name == name)
+    }
+
+    /// The sort of the attribute at `pos`.
+    pub fn sort_at(&self, pos: usize) -> Option<Sort> {
+        self.attrs.get(pos).map(|a| a.sort)
+    }
+
+    /// Just the sorts, in order.
+    pub fn sorts(&self) -> impl Iterator<Item = Sort> + '_ {
+        self.attrs.iter().map(|a| a.sort)
+    }
+
+    /// Checks that `tuple` conforms to this schema (arity and sorts).
+    pub fn check(&self, tuple: &Tuple) -> Result<(), RelationError> {
+        if tuple.arity() != self.arity() {
+            return Err(RelationError::ArityMismatch {
+                expected: self.arity(),
+                found: tuple.arity(),
+            });
+        }
+        for (i, a) in self.attrs.iter().enumerate() {
+            let found = tuple[i].sort();
+            if found != a.sort {
+                return Err(RelationError::SortMismatch {
+                    attribute: a.name,
+                    expected: a.sort,
+                    found,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether two schemas are *union-compatible*: same arity and sorts
+    /// (names may differ).
+    pub fn union_compatible(&self, other: &Schema) -> bool {
+        self.arity() == other.arity() && self.sorts().zip(other.sorts()).all(|(a, b)| a == b)
+    }
+
+    /// Schema of the projection onto `positions` (in that order).
+    ///
+    /// Duplicate positions produce a schema with duplicate names, which is
+    /// rejected; projections that duplicate a column must rename. Returns an
+    /// error on out-of-range positions.
+    pub fn project(&self, positions: &[usize]) -> Result<Schema, RelationError> {
+        let mut attrs = Vec::with_capacity(positions.len());
+        for &p in positions {
+            let a = *self.attrs.get(p).ok_or(RelationError::NoSuchPosition {
+                position: p,
+                arity: self.arity(),
+            })?;
+            attrs.push(a);
+        }
+        Schema::new(attrs)
+    }
+
+    /// Schema of the concatenation `self ++ other`, failing on name clashes.
+    pub fn concat(&self, other: &Schema) -> Result<Schema, RelationError> {
+        Schema::new(self.attrs.iter().chain(other.attrs.iter()).copied())
+    }
+
+    /// A copy of this schema with the attribute at `pos` renamed.
+    pub fn rename(&self, pos: usize, name: Symbol) -> Result<Schema, RelationError> {
+        if pos >= self.arity() {
+            return Err(RelationError::NoSuchPosition {
+                position: pos,
+                arity: self.arity(),
+            });
+        }
+        let mut attrs = self.attrs.clone();
+        attrs[pos].name = name;
+        Schema::new(attrs)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("(")?;
+        for (i, a) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn rc() -> Schema {
+        Schema::of(&[("passenger", Sort::Str), ("flight", Sort::Int)])
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = Schema::new([
+            Attribute::new("x", Sort::Int),
+            Attribute::new("x", Sort::Str),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, RelationError::DuplicateAttribute { .. }));
+    }
+
+    #[test]
+    fn position_lookup() {
+        let s = rc();
+        assert_eq!(s.position_of(Symbol::intern("flight")), Some(1));
+        assert_eq!(s.position_of(Symbol::intern("absent")), None);
+    }
+
+    #[test]
+    fn tuple_check_accepts_conforming() {
+        rc().check(&tuple!["ann", 7]).unwrap();
+    }
+
+    #[test]
+    fn tuple_check_rejects_arity() {
+        let err = rc().check(&tuple!["ann"]).unwrap_err();
+        assert!(matches!(
+            err,
+            RelationError::ArityMismatch {
+                expected: 2,
+                found: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn tuple_check_rejects_sort() {
+        let err = rc().check(&tuple![3, 7]).unwrap_err();
+        assert!(matches!(err, RelationError::SortMismatch { .. }));
+    }
+
+    #[test]
+    fn union_compatibility_ignores_names() {
+        let a = Schema::of(&[("x", Sort::Int)]);
+        let b = Schema::of(&[("y", Sort::Int)]);
+        let c = Schema::of(&[("y", Sort::Str)]);
+        assert!(a.union_compatible(&b));
+        assert!(!a.union_compatible(&c));
+    }
+
+    #[test]
+    fn project_and_concat() {
+        let s = rc();
+        let p = s.project(&[1]).unwrap();
+        assert_eq!(p.arity(), 1);
+        assert_eq!(p.attributes()[0].name.as_str(), "flight");
+        assert!(s.project(&[5]).is_err());
+        assert!(s.concat(&rc()).is_err(), "name clash");
+        let q = s.concat(&Schema::of(&[("z", Sort::Bool)])).unwrap();
+        assert_eq!(q.arity(), 3);
+    }
+
+    #[test]
+    fn rename() {
+        let s = rc().rename(0, Symbol::intern("p2")).unwrap();
+        assert_eq!(s.attributes()[0].name.as_str(), "p2");
+        assert!(rc().rename(9, Symbol::intern("x")).is_err());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(rc().to_string(), "(passenger: str, flight: int)");
+    }
+}

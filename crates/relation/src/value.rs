@@ -1,0 +1,297 @@
+//! Data values and their sorts.
+
+use std::fmt;
+
+use crate::symbol::Symbol;
+
+/// The sort (type) of a database value.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Sort {
+    /// 64-bit signed integers.
+    Int,
+    /// Interned strings.
+    Str,
+    /// Booleans.
+    Bool,
+}
+
+impl fmt::Display for Sort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sort::Int => f.write_str("int"),
+            Sort::Str => f.write_str("str"),
+            Sort::Bool => f.write_str("bool"),
+        }
+    }
+}
+
+/// A database value.
+///
+/// `Ord` is derived and therefore only meaningful *within* one sort (the
+/// cross-sort order — `Int < Str < Bool` — is arbitrary but deterministic,
+/// which is all that ordered relation storage needs). Strings order by
+/// intern id, not lexicographically; see [`Symbol`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Value {
+    /// An integer.
+    Int(i64),
+    /// An interned string.
+    Str(Symbol),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// Convenience constructor for string values.
+    pub fn str(s: &str) -> Value {
+        Value::Str(Symbol::intern(s))
+    }
+
+    /// The sort this value belongs to.
+    pub fn sort(&self) -> Sort {
+        match self {
+            Value::Int(_) => Sort::Int,
+            Value::Str(_) => Sort::Str,
+            Value::Bool(_) => Sort::Bool,
+        }
+    }
+
+    /// The integer payload, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The symbol payload, if this is a `Str`.
+    pub fn as_symbol(&self) -> Option<Symbol> {
+        match self {
+            Value::Str(s) => Some(*s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Renders as a self-delimiting literal: integers bare, strings quoted
+    /// with `\"`/`\\`/`\n` escapes, booleans `true`/`false`. The format is
+    /// shared by the history log and checkpoint codecs; it round-trips
+    /// through [`Value::parse_literals`].
+    pub fn to_literal(&self) -> String {
+        match self {
+            Value::Int(i) => i.to_string(),
+            Value::Str(s) => format!("{:?}", s.as_str()),
+            Value::Bool(b) => b.to_string(),
+        }
+    }
+
+    /// Parses a comma-separated list of literals (the inverse of joining
+    /// [`Value::to_literal`] outputs with `", "`). Whitespace around
+    /// literals is ignored; an empty/blank input yields an empty list.
+    pub fn parse_literals(input: &str) -> Result<Vec<Value>, String> {
+        let chars: Vec<char> = input.chars().collect();
+        let mut out = Vec::new();
+        let mut i = 0;
+        let err =
+            |msg: &str, at: usize| Err::<Vec<Value>, String>(format!("{msg} at column {}", at + 1));
+        loop {
+            while i < chars.len() && chars[i].is_whitespace() {
+                i += 1;
+            }
+            if i >= chars.len() {
+                // Clean end of input (a trailing comma is tolerated).
+                return Ok(out);
+            }
+            match chars[i] {
+                '"' => {
+                    i += 1;
+                    let mut s = String::new();
+                    loop {
+                        match chars.get(i) {
+                            None => return err("unterminated string", i),
+                            Some('"') => {
+                                i += 1;
+                                break;
+                            }
+                            Some('\\') => {
+                                i += 1;
+                                match chars.get(i) {
+                                    Some('"') => s.push('"'),
+                                    Some('\\') => s.push('\\'),
+                                    Some('n') => s.push('\n'),
+                                    _ => return err("unknown escape", i),
+                                }
+                                i += 1;
+                            }
+                            Some(&c) => {
+                                s.push(c);
+                                i += 1;
+                            }
+                        }
+                    }
+                    out.push(Value::str(&s));
+                }
+                c if c == '-' || c.is_ascii_digit() => {
+                    let start = i;
+                    if chars[i] == '-' {
+                        i += 1;
+                    }
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let text: String = chars[start..i].iter().collect();
+                    match text.parse() {
+                        Ok(v) => out.push(Value::Int(v)),
+                        Err(_) => return err("bad integer literal", start),
+                    }
+                }
+                c if c.is_ascii_alphabetic() => {
+                    let start = i;
+                    while i < chars.len() && chars[i].is_ascii_alphanumeric() {
+                        i += 1;
+                    }
+                    let word: String = chars[start..i].iter().collect();
+                    match word.as_str() {
+                        "true" => out.push(Value::Bool(true)),
+                        "false" => out.push(Value::Bool(false)),
+                        _ => return err("unknown bare word (strings must be quoted)", start),
+                    }
+                }
+                _ => return err("expected a value literal", i),
+            }
+            while i < chars.len() && chars[i].is_whitespace() {
+                i += 1;
+            }
+            if i >= chars.len() {
+                return Ok(out);
+            }
+            if chars[i] != ',' {
+                return err("expected `,` between literals", i);
+            }
+            i += 1;
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Value {
+        Value::Int(i)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::str(s)
+    }
+}
+
+impl From<Symbol> for Value {
+    fn from(s: Symbol) -> Value {
+        Value::Str(s)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_match_constructors() {
+        assert_eq!(Value::Int(3).sort(), Sort::Int);
+        assert_eq!(Value::str("x").sort(), Sort::Str);
+        assert_eq!(Value::Bool(true).sort(), Sort::Bool);
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Int(7).as_bool(), None);
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::str("a").as_symbol(), Some(Symbol::intern("a")));
+        assert_eq!(Value::str("a").as_int(), None);
+    }
+
+    #[test]
+    fn string_values_compare_by_content() {
+        assert_eq!(Value::str("same"), Value::str("same"));
+        assert_ne!(Value::str("one"), Value::str("two"));
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(4), Value::Int(4));
+        assert_eq!(Value::from("v"), Value::str("v"));
+        assert_eq!(Value::from(false), Value::Bool(false));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Int(-2).to_string(), "-2");
+        assert_eq!(Value::str("abc").to_string(), "abc");
+        assert_eq!(Value::Bool(true).to_string(), "true");
+    }
+
+    #[test]
+    fn ints_order_numerically() {
+        assert!(Value::Int(-5) < Value::Int(3));
+    }
+
+    #[test]
+    fn literal_round_trip() {
+        let vals = vec![
+            Value::Int(-42),
+            Value::str("plain"),
+            Value::str("with \"quotes\" and \\slash\\ and\nnewline"),
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::str(""),
+        ];
+        let text = vals
+            .iter()
+            .map(Value::to_literal)
+            .collect::<Vec<_>>()
+            .join(", ");
+        assert_eq!(Value::parse_literals(&text).unwrap(), vals);
+    }
+
+    #[test]
+    fn parse_literals_empty_and_errors() {
+        assert_eq!(Value::parse_literals("   ").unwrap(), vec![]);
+        assert!(Value::parse_literals("bareword").is_err());
+        assert!(Value::parse_literals("\"open").is_err());
+        assert!(Value::parse_literals("1 2").is_err(), "missing comma");
+        assert!(Value::parse_literals("1,,2").is_err());
+    }
+
+    #[test]
+    fn parse_literals_mixed() {
+        let vs = Value::parse_literals(r#" 1,"a, b" ,true "#).unwrap();
+        assert_eq!(
+            vs,
+            vec![Value::Int(1), Value::str("a, b"), Value::Bool(true)]
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Named integrity constraints in denial or assertion form.
+
+use std::fmt;
+
+use rtic_relation::Symbol;
+
+use crate::ast::Formula;
+use crate::normalize::normalize;
+
+/// How a constraint's body is read.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Mode {
+    /// `deny f` — the constraint is **violated** by every assignment
+    /// satisfying `f` at some state. This is the primitive form.
+    Deny,
+    /// `assert f` — `f` must hold (for all assignments) at every state;
+    /// sugar for `deny !f`.
+    Assert,
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Mode::Deny => "deny",
+            Mode::Assert => "assert",
+        })
+    }
+}
+
+/// A named real-time integrity constraint.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Constraint {
+    /// Constraint name (for reports).
+    pub name: Symbol,
+    /// Denial or assertion reading.
+    pub mode: Mode,
+    /// The body formula as written.
+    pub body: Formula,
+}
+
+impl Constraint {
+    /// A denial constraint: violated by assignments satisfying `body`.
+    pub fn deny(name: impl Into<Symbol>, body: Formula) -> Constraint {
+        Constraint {
+            name: name.into(),
+            mode: Mode::Deny,
+            body,
+        }
+    }
+
+    /// An assertion constraint: violated by assignments *falsifying* `body`.
+    pub fn assert(name: impl Into<Symbol>, body: Formula) -> Constraint {
+        Constraint {
+            name: name.into(),
+            mode: Mode::Assert,
+            body,
+        }
+    }
+
+    /// The normalized denial body: the formula whose satisfying assignments
+    /// are this constraint's violation witnesses. Checkers compile this.
+    pub fn denial_body(&self) -> Formula {
+        match self.mode {
+            Mode::Deny => normalize(&self.body),
+            Mode::Assert => normalize(&self.body.clone().not()),
+        }
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}: {}", self.mode, self.name, self.body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Term;
+
+    fn p() -> Formula {
+        Formula::atom("p", [Term::var("x")])
+    }
+
+    #[test]
+    fn deny_body_is_normalized_identity() {
+        let c = Constraint::deny("c1", p().and(Formula::True));
+        assert_eq!(c.denial_body(), p());
+    }
+
+    #[test]
+    fn assert_negates() {
+        let c = Constraint::assert("c2", p().not());
+        assert_eq!(c.denial_body(), p(), "!!p normalizes to p");
+    }
+
+    #[test]
+    fn display_round_trips_header() {
+        let c = Constraint::deny("noshow", p());
+        assert_eq!(c.to_string(), "deny noshow: p(x)");
+        let a = Constraint::assert("ok", p());
+        assert_eq!(a.to_string(), "assert ok: p(x)");
+    }
+}

@@ -1,0 +1,53 @@
+//! # rtic-temporal — time model and Past Metric Temporal Logic
+//!
+//! The constraint language of *Real-Time Integrity Constraints* (Chomicki,
+//! PODS 1992): first-order logic over database atoms plus the metric past
+//! operators `prev[I]`, `once[I]`, `hist[I]` and `since[I]`, interpreted
+//! over timestamped database histories.
+//!
+//! * [`time`] — the discrete clock: [`TimePoint`], [`Duration`],
+//!   [`Interval`] metric bounds (possibly unbounded above).
+//! * [`ast`] — [`Formula`]/[`Term`]/[`Var`] with an ergonomic builder API.
+//! * [`parser`] — the concrete constraint-file syntax.
+//! * [`normalize`] — desugar `forall`/`->`, boolean simplification.
+//! * [`optimize`] — conservative, gap-safe peephole rewrites.
+//! * [`safety`] — safe-range (domain-independence) analysis plus the
+//!   conjunct ordering shared by all evaluators.
+//! * [`typecheck`] — sort checking against a catalog.
+//! * [`analysis`] — lookback [`Horizon`] and the paper's per-key aux-space
+//!   bound.
+//! * [`constraint`] — named `deny`/`assert` constraints.
+//!
+//! ```
+//! use rtic_temporal::parser::parse_constraint;
+//! use rtic_temporal::{analysis, normalize, safety};
+//!
+//! let c = parse_constraint(
+//!     "deny unconfirmed: once[2,*] reserved(p, f) && reserved(p, f) \
+//!      && !once confirmed(p, f)",
+//! )
+//! .unwrap();
+//! let body = c.denial_body();
+//! safety::check(&body).unwrap();
+//! assert_eq!(analysis::horizon(&body), rtic_temporal::analysis::Horizon::Unbounded);
+//! assert!(normalize::is_normalized(&body));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod ast;
+pub mod constraint;
+pub mod normalize;
+pub mod optimize;
+pub mod parser;
+mod pretty;
+pub mod safety;
+pub mod time;
+pub mod typecheck;
+
+pub use analysis::{horizon, Horizon};
+pub use ast::{var, CmpOp, Formula, Term, Var};
+pub use constraint::{Constraint, Mode};
+pub use time::{Duration, Interval, TimePoint, UpperBound};

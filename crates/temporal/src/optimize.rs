@@ -1,0 +1,176 @@
+//! Peephole optimization of temporal formulas.
+//!
+//! Rewrites that are **provably equivalence-preserving under the
+//! point-based semantics with arbitrary clock gaps** — a deliberately
+//! conservative set, because many "obvious" metric identities fail on
+//! sparse histories. For example, `once[0,a] once[0,b] f` is *not*
+//! `once[0,a+b] f`: collapsing the two hops requires an intermediate
+//! *state* at most `a` old, which a gap can remove. The rules here avoid
+//! any such dependence on state existence:
+//!
+//! * `once[0,∞] once[0,∞] f → once[0,∞] f` (the inner witness state is the
+//!   outer witness; dually for `hist[0,∞]`);
+//! * `once[0,0] f → f` and `hist[0,0] f → f` (the only admissible age is
+//!   now, and the current state always exists);
+//! * `since[0,0]` degenerates to its anchor: `f since[0,0] g → g`;
+//! * `once[0,∞] hist[0,∞]`-style absorption is **not** applied (not an
+//!   identity);
+//! * operand rewrites are applied recursively, after
+//!   [`crate::normalize::normalize`]-style boolean folding has run.
+//!
+//! Every rule is validated two ways: unit tests here, and the randomized
+//! cross-checker equivalence suite in `rtic-core`, which runs optimized
+//! and unoptimized compilations of the same constraint against random
+//! histories.
+
+use crate::ast::Formula;
+use crate::time::Interval;
+
+fn is_all(i: &Interval) -> bool {
+    i.is_unconstrained()
+}
+
+fn is_now(i: &Interval) -> bool {
+    i.lo().0 == 0 && i.hi().finite().is_some_and(|d| d.0 == 0)
+}
+
+/// Applies the proven peephole rewrites bottom-up. Idempotent; preserves
+/// normal form.
+///
+/// Note the rewrites can make a formula *more* permissive to the safety
+/// analysis (e.g. `hist[0,∞] hist[0,∞] f` collapses to a single filter,
+/// and `once[0,0] f` to plain `f`) — optimization runs before the safety
+/// check, so such formulas compile where their unoptimized forms would
+/// not.
+pub fn optimize(f: &Formula) -> Formula {
+    match f {
+        Formula::True | Formula::False | Formula::Atom { .. } | Formula::Cmp(..) => f.clone(),
+        Formula::Not(g) => optimize(g).not(),
+        Formula::And(a, b) => optimize(a).and(optimize(b)),
+        Formula::Or(a, b) => optimize(a).or(optimize(b)),
+        Formula::Implies(a, b) => optimize(a).implies(optimize(b)),
+        Formula::Exists(vs, g) => optimize(g).exists(vs.iter().copied()),
+        Formula::Forall(vs, g) => optimize(g).forall(vs.iter().copied()),
+        Formula::Prev(i, g) => optimize(g).prev(*i),
+        Formula::Once(i, g) => {
+            let g = optimize(g);
+            if is_now(i) {
+                // once[0,0] f ≡ f: only the current state has age 0 … on a
+                // strictly increasing clock.
+                return g;
+            }
+            match (&g, is_all(i)) {
+                // once once f ≡ once f (unconstrained): the inner witness
+                // state serves as the outer one (j = k).
+                (Formula::Once(ii, inner), true) if is_all(ii) => (**inner).clone().once(*i),
+                _ => g.once(*i),
+            }
+        }
+        Formula::Hist(i, g) => {
+            let g = optimize(g);
+            if is_now(i) {
+                // hist[0,0] f ≡ f: the window is exactly the current state.
+                return g;
+            }
+            match (&g, is_all(i)) {
+                // hist hist f ≡ hist f (unconstrained): both say "at every
+                // past state" — the nesting quantifies over a subset.
+                (Formula::Hist(ii, inner), true) if is_all(ii) => (**inner).clone().hist(*i),
+                _ => g.hist(*i),
+            }
+        }
+        Formula::CountCmp {
+            vars,
+            body,
+            op,
+            threshold,
+        } => optimize(body).count_cmp(vars.iter().copied(), *op, *threshold),
+        Formula::Since(i, a, b) => {
+            let a = optimize(a);
+            let b = optimize(b);
+            if is_now(i) {
+                // f since[0,0] g ≡ g: the anchor must be the current state,
+                // and the continuity condition is then vacuous.
+                return b;
+            }
+            a.since(*i, b)
+        }
+    }
+}
+
+/// Whether [`optimize`] would change the formula (for explain output).
+pub fn is_optimized(f: &Formula) -> bool {
+    optimize(f) == *f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Term;
+
+    fn p() -> Formula {
+        Formula::atom("p", [Term::var("x")])
+    }
+
+    #[test]
+    fn unconstrained_once_collapses() {
+        let f = p().once(Interval::all()).once(Interval::all());
+        assert_eq!(optimize(&f), p().once(Interval::all()));
+        // Triple nesting collapses fully (bottom-up).
+        let g = f.once(Interval::all());
+        assert_eq!(optimize(&g), p().once(Interval::all()));
+    }
+
+    #[test]
+    fn metric_once_does_not_collapse() {
+        // once[0,2] once[0,3] p is NOT once[0,5] p on gapped clocks.
+        let f = p().once(Interval::up_to(3)).once(Interval::up_to(2));
+        assert_eq!(optimize(&f), f);
+        // Outer unconstrained over inner metric keeps both too: the inner
+        // bound is relative to the witness state.
+        let g = p().once(Interval::up_to(3)).once(Interval::all());
+        assert_eq!(optimize(&g), g);
+    }
+
+    #[test]
+    fn point_interval_operators_degenerate() {
+        let now = Interval::exactly(0);
+        assert_eq!(optimize(&p().once(now)), p());
+        assert_eq!(optimize(&p().hist(now)), p());
+        let q = Formula::atom("q", [Term::var("x")]);
+        assert_eq!(optimize(&p().since(now, q.clone())), q);
+        // prev[0,0] is NOT rewritten: ages to the previous state are ≥ 1 on
+        // a strictly increasing clock, so it is unsatisfiable — but that is
+        // a vacuity, not an identity we fold (the checker handles it).
+        assert_eq!(optimize(&p().prev(now)), p().prev(now));
+    }
+
+    #[test]
+    fn hist_collapse_mirrors_once() {
+        let f = p().hist(Interval::all()).hist(Interval::all());
+        assert_eq!(optimize(&f), p().hist(Interval::all()));
+        let g = p().hist(Interval::up_to(4)).hist(Interval::all());
+        assert_eq!(optimize(&g), g, "metric inner bound blocks the collapse");
+    }
+
+    #[test]
+    fn rewrites_apply_under_connectives() {
+        let f = p()
+            .once(Interval::all())
+            .once(Interval::all())
+            .and(p().hist(Interval::exactly(0)));
+        assert_eq!(optimize(&f), p().once(Interval::all()).and(p()));
+    }
+
+    #[test]
+    fn optimize_is_idempotent() {
+        let f = p()
+            .once(Interval::all())
+            .once(Interval::all())
+            .since(Interval::up_to(3), p().hist(Interval::exactly(0)));
+        let o = optimize(&f);
+        assert_eq!(optimize(&o), o);
+        assert!(is_optimized(&o));
+        assert!(!is_optimized(&f));
+    }
+}

@@ -1,0 +1,486 @@
+//! Lexer for the constraint language.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Tok {
+    /// Identifier (relation, variable, or constraint name).
+    Ident(String),
+    /// Integer literal (possibly negative).
+    Int(i64),
+    /// Quoted string literal (content, unescaped).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `:`
+    Colon,
+    /// `*`
+    Star,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+    /// `->`
+    Arrow,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// Keywords.
+    Deny,
+    /// `assert`
+    Assert,
+    /// `relation`
+    Relation,
+    /// `exists`
+    Exists,
+    /// `forall`
+    Forall,
+    /// `prev`
+    Prev,
+    /// `once`
+    Once,
+    /// `hist`
+    Hist,
+    /// `since`
+    Since,
+    /// `count`
+    Count,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// sort keyword `int`
+    KwInt,
+    /// sort keyword `str`
+    KwStr,
+    /// sort keyword `bool`
+    KwBool,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Int(i) => write!(f, "integer `{i}`"),
+            Tok::Str(s) => write!(f, "string {s:?}"),
+            Tok::LParen => f.write_str("`(`"),
+            Tok::RParen => f.write_str("`)`"),
+            Tok::LBracket => f.write_str("`[`"),
+            Tok::RBracket => f.write_str("`]`"),
+            Tok::Comma => f.write_str("`,`"),
+            Tok::Dot => f.write_str("`.`"),
+            Tok::Colon => f.write_str("`:`"),
+            Tok::Star => f.write_str("`*`"),
+            Tok::AndAnd => f.write_str("`&&`"),
+            Tok::OrOr => f.write_str("`||`"),
+            Tok::Bang => f.write_str("`!`"),
+            Tok::Arrow => f.write_str("`->`"),
+            Tok::Eq => f.write_str("`=`"),
+            Tok::Ne => f.write_str("`!=`"),
+            Tok::Lt => f.write_str("`<`"),
+            Tok::Le => f.write_str("`<=`"),
+            Tok::Gt => f.write_str("`>`"),
+            Tok::Ge => f.write_str("`>=`"),
+            Tok::Deny => f.write_str("`deny`"),
+            Tok::Assert => f.write_str("`assert`"),
+            Tok::Relation => f.write_str("`relation`"),
+            Tok::Exists => f.write_str("`exists`"),
+            Tok::Forall => f.write_str("`forall`"),
+            Tok::Prev => f.write_str("`prev`"),
+            Tok::Once => f.write_str("`once`"),
+            Tok::Hist => f.write_str("`hist`"),
+            Tok::Since => f.write_str("`since`"),
+            Tok::Count => f.write_str("`count`"),
+            Tok::True => f.write_str("`true`"),
+            Tok::False => f.write_str("`false`"),
+            Tok::KwInt => f.write_str("`int`"),
+            Tok::KwStr => f.write_str("`str`"),
+            Tok::KwBool => f.write_str("`bool`"),
+        }
+    }
+}
+
+/// A token with its source position (1-based line and column).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// A lexing or parsing failure with source position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// Human-readable message.
+    pub message: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn keyword(s: &str) -> Option<Tok> {
+    Some(match s {
+        "deny" => Tok::Deny,
+        "assert" => Tok::Assert,
+        "relation" => Tok::Relation,
+        "exists" => Tok::Exists,
+        "forall" => Tok::Forall,
+        "prev" => Tok::Prev,
+        "once" => Tok::Once,
+        "hist" => Tok::Hist,
+        "since" => Tok::Since,
+        "count" => Tok::Count,
+        "true" => Tok::True,
+        "false" => Tok::False,
+        "int" => Tok::KwInt,
+        "str" => Tok::KwStr,
+        "bool" => Tok::KwBool,
+        _ => return None,
+    })
+}
+
+/// Tokenizes `input`. Comments run from `#` or `//` to end of line.
+pub fn lex(input: &str) -> Result<Vec<Spanned>, ParseError> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+    macro_rules! err {
+        ($($arg:tt)*) => {
+            return Err(ParseError { message: format!($($arg)*), line, col })
+        };
+    }
+    while i < chars.len() {
+        let c = chars[i];
+        let (tline, tcol) = (line, col);
+        let advance = |i: &mut usize, line: &mut u32, col: &mut u32| {
+            if chars[*i] == '\n' {
+                *line += 1;
+                *col = 1;
+            } else {
+                *col += 1;
+            }
+            *i += 1;
+        };
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                advance(&mut i, &mut line, &mut col);
+                continue;
+            }
+            '#' => {
+                while i < chars.len() && chars[i] != '\n' {
+                    advance(&mut i, &mut line, &mut col);
+                }
+                continue;
+            }
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    advance(&mut i, &mut line, &mut col);
+                }
+                continue;
+            }
+            _ => {}
+        }
+        let tok = match c {
+            '(' => {
+                advance(&mut i, &mut line, &mut col);
+                Tok::LParen
+            }
+            ')' => {
+                advance(&mut i, &mut line, &mut col);
+                Tok::RParen
+            }
+            '[' => {
+                advance(&mut i, &mut line, &mut col);
+                Tok::LBracket
+            }
+            ']' => {
+                advance(&mut i, &mut line, &mut col);
+                Tok::RBracket
+            }
+            ',' => {
+                advance(&mut i, &mut line, &mut col);
+                Tok::Comma
+            }
+            '.' => {
+                advance(&mut i, &mut line, &mut col);
+                Tok::Dot
+            }
+            ':' => {
+                advance(&mut i, &mut line, &mut col);
+                Tok::Colon
+            }
+            '*' => {
+                advance(&mut i, &mut line, &mut col);
+                Tok::Star
+            }
+            '&' => {
+                if chars.get(i + 1) != Some(&'&') {
+                    err!("expected `&&`");
+                }
+                advance(&mut i, &mut line, &mut col);
+                advance(&mut i, &mut line, &mut col);
+                Tok::AndAnd
+            }
+            '|' => {
+                if chars.get(i + 1) != Some(&'|') {
+                    err!("expected `||`");
+                }
+                advance(&mut i, &mut line, &mut col);
+                advance(&mut i, &mut line, &mut col);
+                Tok::OrOr
+            }
+            '!' => {
+                advance(&mut i, &mut line, &mut col);
+                if chars.get(i) == Some(&'=') {
+                    advance(&mut i, &mut line, &mut col);
+                    Tok::Ne
+                } else {
+                    Tok::Bang
+                }
+            }
+            '=' => {
+                advance(&mut i, &mut line, &mut col);
+                Tok::Eq
+            }
+            '<' => {
+                advance(&mut i, &mut line, &mut col);
+                if chars.get(i) == Some(&'=') {
+                    advance(&mut i, &mut line, &mut col);
+                    Tok::Le
+                } else {
+                    Tok::Lt
+                }
+            }
+            '>' => {
+                advance(&mut i, &mut line, &mut col);
+                if chars.get(i) == Some(&'=') {
+                    advance(&mut i, &mut line, &mut col);
+                    Tok::Ge
+                } else {
+                    Tok::Gt
+                }
+            }
+            '-' => {
+                advance(&mut i, &mut line, &mut col);
+                match chars.get(i) {
+                    Some(&'>') => {
+                        advance(&mut i, &mut line, &mut col);
+                        Tok::Arrow
+                    }
+                    Some(d) if d.is_ascii_digit() => {
+                        let mut n = String::from("-");
+                        while i < chars.len() && chars[i].is_ascii_digit() {
+                            n.push(chars[i]);
+                            advance(&mut i, &mut line, &mut col);
+                        }
+                        match n.parse() {
+                            Ok(v) => Tok::Int(v),
+                            Err(_) => err!("integer literal `{n}` out of range"),
+                        }
+                    }
+                    _ => err!("expected `->` or a negative integer after `-`"),
+                }
+            }
+            '"' => {
+                advance(&mut i, &mut line, &mut col);
+                let mut s = String::new();
+                loop {
+                    match chars.get(i) {
+                        None | Some(&'\n') => err!("unterminated string literal"),
+                        Some(&'"') => {
+                            advance(&mut i, &mut line, &mut col);
+                            break;
+                        }
+                        Some(&'\\') => {
+                            advance(&mut i, &mut line, &mut col);
+                            match chars.get(i) {
+                                Some(&'"') => s.push('"'),
+                                Some(&'\\') => s.push('\\'),
+                                Some(&'n') => s.push('\n'),
+                                _ => err!("unknown escape in string literal"),
+                            }
+                            advance(&mut i, &mut line, &mut col);
+                        }
+                        Some(&ch) => {
+                            s.push(ch);
+                            advance(&mut i, &mut line, &mut col);
+                        }
+                    }
+                }
+                Tok::Str(s)
+            }
+            d if d.is_ascii_digit() => {
+                let mut n = String::new();
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    n.push(chars[i]);
+                    advance(&mut i, &mut line, &mut col);
+                }
+                match n.parse() {
+                    Ok(v) => Tok::Int(v),
+                    Err(_) => err!("integer literal `{n}` out of range"),
+                }
+            }
+            a if a.is_ascii_alphabetic() || a == '_' => {
+                let mut s = String::new();
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    s.push(chars[i]);
+                    advance(&mut i, &mut line, &mut col);
+                }
+                keyword(&s).unwrap_or(Tok::Ident(s))
+            }
+            other => err!("unexpected character `{other}`"),
+        };
+        out.push(Spanned {
+            tok,
+            line: tline,
+            col: tcol,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Tok> {
+        lex(s).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn operators_and_punctuation() {
+        assert_eq!(
+            toks("&& || ! -> = != < <= > >= ( ) [ ] , . : *"),
+            vec![
+                Tok::AndAnd,
+                Tok::OrOr,
+                Tok::Bang,
+                Tok::Arrow,
+                Tok::Eq,
+                Tok::Ne,
+                Tok::Lt,
+                Tok::Le,
+                Tok::Gt,
+                Tok::Ge,
+                Tok::LParen,
+                Tok::RParen,
+                Tok::LBracket,
+                Tok::RBracket,
+                Tok::Comma,
+                Tok::Dot,
+                Tok::Colon,
+                Tok::Star,
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_vs_identifiers() {
+        assert_eq!(
+            toks("deny denyx since sinces"),
+            vec![
+                Tok::Deny,
+                Tok::Ident("denyx".into()),
+                Tok::Since,
+                Tok::Ident("sinces".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn integers_including_negative() {
+        assert_eq!(
+            toks("0 42 -7"),
+            vec![Tok::Int(0), Tok::Int(42), Tok::Int(-7)]
+        );
+    }
+
+    #[test]
+    fn bang_eq_is_one_token() {
+        assert_eq!(toks("!= ! ="), vec![Tok::Ne, Tok::Bang, Tok::Eq]);
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            toks(r#""jfk" "a\"b" "n\\l""#),
+            vec![
+                Tok::Str("jfk".into()),
+                Tok::Str("a\"b".into()),
+                Tok::Str("n\\l".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(lex("\"oops").is_err());
+        assert!(lex("\"oops\nmore\"").is_err(), "newline ends strings");
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("a # comment\nb // more\nc"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ident("b".into()),
+                Tok::Ident("c".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let ts = lex("ab\n  cd").unwrap();
+        assert_eq!((ts[0].line, ts[0].col), (1, 1));
+        assert_eq!((ts[1].line, ts[1].col), (2, 3));
+    }
+
+    #[test]
+    fn stray_ampersand_is_error() {
+        let e = lex("a & b").unwrap_err();
+        assert!(e.message.contains("&&"));
+    }
+
+    #[test]
+    fn lone_dash_is_error() {
+        assert!(lex("a - b").is_err());
+    }
+}

@@ -1,0 +1,634 @@
+//! Parser for the constraint language.
+//!
+//! # Grammar
+//!
+//! ```text
+//! file        := (relation_decl | constraint)*
+//! relation_decl := "relation" IDENT "(" attr ("," attr)* ")"
+//! attr        := IDENT ":" ("int" | "str" | "bool")
+//! constraint  := ("deny" | "assert") IDENT ":" formula
+//!
+//! formula     := implies
+//! implies     := or ("->" implies)?                 (right-assoc)
+//! or          := and ("||" and)*
+//! and         := since ("&&" since)*
+//! since       := unary ("since" interval? unary)*   (left-assoc)
+//! unary       := "!" unary
+//!              | ("prev" | "once" | "hist") interval? unary
+//!              | ("exists" | "forall") IDENT ("," IDENT)* "." implies
+//!              | "count" IDENT ("," IDENT)* "." "(" formula ")" cmpop INT
+//!              | primary
+//! primary     := "true" | "false"
+//!              | IDENT "(" (term ("," term)*)? ")"  (atom)
+//!              | "(" formula ")"
+//!              | term cmpop term                    (comparison)
+//! term        := IDENT (variable) | INT | STRING
+//! cmpop       := "=" | "!=" | "<" | "<=" | ">" | ">="
+//! interval    := "[" INT "," (INT | "*") "]"
+//! ```
+//!
+//! An omitted interval is `[0,*]`. Comments run from `#` or `//` to the end
+//! of the line.
+
+mod lexer;
+
+pub use lexer::{lex, ParseError, Spanned, Tok};
+
+use rtic_relation::{Attribute, Catalog, Schema, Sort};
+
+use crate::ast::{CmpOp, Formula, Term, Var};
+use crate::constraint::{Constraint, Mode};
+use crate::time::Interval;
+
+/// A parsed constraint file: the declared catalog plus the constraints.
+#[derive(Clone, Debug)]
+pub struct ConstraintFile {
+    /// Relations declared with `relation …`.
+    pub catalog: Catalog,
+    /// Constraints in declaration order.
+    pub constraints: Vec<Constraint>,
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(input: &str) -> Result<Parser, ParseError> {
+        Ok(Parser {
+            toks: lex(input)?,
+            pos: 0,
+        })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn here(&self) -> (u32, u32) {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map(|s| (s.line, s.col))
+            .unwrap_or((1, 1))
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        let (line, col) = self.here();
+        ParseError {
+            message: message.into(),
+            line,
+            col,
+        }
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|s| s.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, want: &Tok) -> bool {
+        if self.peek() == Some(want) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, want: &Tok) -> Result<(), ParseError> {
+        if self.eat(want) {
+            Ok(())
+        } else {
+            match self.peek() {
+                Some(got) => Err(self.error(format!("expected {want}, found {got}"))),
+                None => Err(self.error(format!("expected {want}, found end of input"))),
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(Tok::Ident(_)) => match self.bump() {
+                Some(Tok::Ident(s)) => Ok(s),
+                _ => unreachable!(),
+            },
+            Some(got) => Err(self.error(format!("expected identifier, found {got}"))),
+            None => Err(self.error("expected identifier, found end of input")),
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    // ---- formulas -------------------------------------------------------
+
+    fn formula(&mut self) -> Result<Formula, ParseError> {
+        self.implies()
+    }
+
+    fn implies(&mut self) -> Result<Formula, ParseError> {
+        let lhs = self.or()?;
+        if self.eat(&Tok::Arrow) {
+            let rhs = self.implies()?;
+            Ok(lhs.implies(rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn or(&mut self) -> Result<Formula, ParseError> {
+        let mut f = self.and()?;
+        while self.eat(&Tok::OrOr) {
+            f = f.or(self.and()?);
+        }
+        Ok(f)
+    }
+
+    fn and(&mut self) -> Result<Formula, ParseError> {
+        let mut f = self.since()?;
+        while self.eat(&Tok::AndAnd) {
+            f = f.and(self.since()?);
+        }
+        Ok(f)
+    }
+
+    fn since(&mut self) -> Result<Formula, ParseError> {
+        let mut f = self.unary()?;
+        while self.eat(&Tok::Since) {
+            let i = self.interval_opt()?;
+            let rhs = self.unary()?;
+            f = f.since(i, rhs);
+        }
+        Ok(f)
+    }
+
+    fn unary(&mut self) -> Result<Formula, ParseError> {
+        match self.peek() {
+            Some(Tok::Bang) => {
+                self.bump();
+                Ok(self.unary()?.not())
+            }
+            Some(Tok::Prev) => {
+                self.bump();
+                let i = self.interval_opt()?;
+                Ok(self.unary()?.prev(i))
+            }
+            Some(Tok::Once) => {
+                self.bump();
+                let i = self.interval_opt()?;
+                Ok(self.unary()?.once(i))
+            }
+            Some(Tok::Hist) => {
+                self.bump();
+                let i = self.interval_opt()?;
+                Ok(self.unary()?.hist(i))
+            }
+            Some(Tok::Count) => {
+                self.bump();
+                let mut vars = vec![Var::new(self.expect_ident()?.as_str())];
+                while self.eat(&Tok::Comma) {
+                    vars.push(Var::new(self.expect_ident()?.as_str()));
+                }
+                self.expect(&Tok::Dot)?;
+                self.expect(&Tok::LParen)?;
+                let body = self.formula()?;
+                self.expect(&Tok::RParen)?;
+                let op = match self.bump() {
+                    Some(Tok::Eq) => CmpOp::Eq,
+                    Some(Tok::Ne) => CmpOp::Ne,
+                    Some(Tok::Lt) => CmpOp::Lt,
+                    Some(Tok::Le) => CmpOp::Le,
+                    Some(Tok::Gt) => CmpOp::Gt,
+                    Some(Tok::Ge) => CmpOp::Ge,
+                    Some(got) => {
+                        return Err(self.error(format!(
+                            "expected a comparison operator after `count … . (…)`, found {got}"
+                        )))
+                    }
+                    None => {
+                        return Err(self.error("expected a comparison operator, found end of input"))
+                    }
+                };
+                let threshold = match self.bump() {
+                    Some(Tok::Int(n)) => n,
+                    Some(got) => {
+                        return Err(self.error(format!(
+                            "count compares against an integer constant, found {got}"
+                        )))
+                    }
+                    None => return Err(self.error("expected an integer, found end of input")),
+                };
+                Ok(body.count_cmp(vars, op, threshold))
+            }
+            Some(Tok::Exists) | Some(Tok::Forall) => {
+                let existential = self.peek() == Some(&Tok::Exists);
+                self.bump();
+                let mut vars = vec![Var::new(self.expect_ident()?.as_str())];
+                while self.eat(&Tok::Comma) {
+                    vars.push(Var::new(self.expect_ident()?.as_str()));
+                }
+                self.expect(&Tok::Dot)?;
+                let body = self.implies()?;
+                Ok(if existential {
+                    body.exists(vars)
+                } else {
+                    body.forall(vars)
+                })
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Formula, ParseError> {
+        match self.peek() {
+            Some(Tok::True) => {
+                self.bump();
+                Ok(Formula::True)
+            }
+            Some(Tok::False) => {
+                self.bump();
+                Ok(Formula::False)
+            }
+            Some(Tok::LParen) => {
+                self.bump();
+                let f = self.formula()?;
+                self.expect(&Tok::RParen)?;
+                Ok(f)
+            }
+            Some(Tok::Ident(_)) => {
+                let name = self.expect_ident()?;
+                if self.eat(&Tok::LParen) {
+                    // Atom.
+                    let mut terms = Vec::new();
+                    if !self.eat(&Tok::RParen) {
+                        loop {
+                            terms.push(self.term()?);
+                            if self.eat(&Tok::RParen) {
+                                break;
+                            }
+                            self.expect(&Tok::Comma)?;
+                        }
+                    }
+                    Ok(Formula::atom(name.as_str(), terms))
+                } else {
+                    // Variable as comparison lhs.
+                    self.comparison(Term::var(name.as_str()))
+                }
+            }
+            Some(Tok::Int(_)) | Some(Tok::Str(_)) => {
+                let lhs = self.term()?;
+                self.comparison(lhs)
+            }
+            Some(got) => Err(self.error(format!("expected a formula, found {got}"))),
+            None => Err(self.error("expected a formula, found end of input")),
+        }
+    }
+
+    fn comparison(&mut self, lhs: Term) -> Result<Formula, ParseError> {
+        let op = match self.peek() {
+            Some(Tok::Eq) => CmpOp::Eq,
+            Some(Tok::Ne) => CmpOp::Ne,
+            Some(Tok::Lt) => CmpOp::Lt,
+            Some(Tok::Le) => CmpOp::Le,
+            Some(Tok::Gt) => CmpOp::Gt,
+            Some(Tok::Ge) => CmpOp::Ge,
+            Some(got) => {
+                return Err(self.error(format!("expected a comparison operator, found {got}")))
+            }
+            None => return Err(self.error("expected a comparison operator, found end of input")),
+        };
+        self.bump();
+        let rhs = self.term()?;
+        Ok(Formula::Cmp(op, lhs, rhs))
+    }
+
+    fn term(&mut self) -> Result<Term, ParseError> {
+        match self.bump() {
+            Some(Tok::Ident(s)) => Ok(Term::var(s.as_str())),
+            Some(Tok::Int(i)) => Ok(Term::int(i)),
+            Some(Tok::Str(s)) => Ok(Term::str(&s)),
+            Some(got) => Err(self.error(format!("expected a term, found {got}"))),
+            None => Err(self.error("expected a term, found end of input")),
+        }
+    }
+
+    fn interval_opt(&mut self) -> Result<Interval, ParseError> {
+        if !self.eat(&Tok::LBracket) {
+            return Ok(Interval::all());
+        }
+        let lo = match self.bump() {
+            Some(Tok::Int(i)) if i >= 0 => i as u64,
+            Some(got) => {
+                return Err(self.error(format!("expected a non-negative bound, found {got}")))
+            }
+            None => return Err(self.error("expected a bound, found end of input")),
+        };
+        self.expect(&Tok::Comma)?;
+        let interval = match self.bump() {
+            Some(Tok::Star) => Interval::at_least(lo),
+            Some(Tok::Int(hi)) if hi >= 0 => {
+                Interval::bounded(lo, hi as u64).map_err(|e| self.error(e.to_string()))?
+            }
+            Some(got) => return Err(self.error(format!("expected a bound or `*`, found {got}"))),
+            None => return Err(self.error("expected a bound, found end of input")),
+        };
+        self.expect(&Tok::RBracket)?;
+        Ok(interval)
+    }
+
+    // ---- items ----------------------------------------------------------
+
+    fn sort(&mut self) -> Result<Sort, ParseError> {
+        match self.bump() {
+            Some(Tok::KwInt) => Ok(Sort::Int),
+            Some(Tok::KwStr) => Ok(Sort::Str),
+            Some(Tok::KwBool) => Ok(Sort::Bool),
+            Some(got) => Err(self.error(format!("expected a sort, found {got}"))),
+            None => Err(self.error("expected a sort, found end of input")),
+        }
+    }
+
+    fn relation_decl(&mut self, catalog: &mut Catalog) -> Result<(), ParseError> {
+        let name = self.expect_ident()?;
+        self.expect(&Tok::LParen)?;
+        let mut attrs = Vec::new();
+        loop {
+            let attr = self.expect_ident()?;
+            self.expect(&Tok::Colon)?;
+            let sort = self.sort()?;
+            attrs.push(Attribute::new(attr.as_str(), sort));
+            if self.eat(&Tok::RParen) {
+                break;
+            }
+            self.expect(&Tok::Comma)?;
+        }
+        let schema = Schema::new(attrs).map_err(|e| self.error(e.to_string()))?;
+        catalog
+            .declare(name.as_str(), schema)
+            .map_err(|e| self.error(e.to_string()))
+    }
+
+    fn constraint(&mut self, mode: Mode) -> Result<Constraint, ParseError> {
+        let name = self.expect_ident()?;
+        self.expect(&Tok::Colon)?;
+        let body = self.formula()?;
+        Ok(Constraint {
+            name: name.as_str().into(),
+            mode,
+            body,
+        })
+    }
+
+    fn file(&mut self) -> Result<ConstraintFile, ParseError> {
+        let mut catalog = Catalog::new();
+        let mut constraints = Vec::new();
+        while !self.at_end() {
+            match self.peek() {
+                Some(Tok::Relation) => {
+                    self.bump();
+                    self.relation_decl(&mut catalog)?;
+                }
+                Some(Tok::Deny) => {
+                    self.bump();
+                    constraints.push(self.constraint(Mode::Deny)?);
+                }
+                Some(Tok::Assert) => {
+                    self.bump();
+                    constraints.push(self.constraint(Mode::Assert)?);
+                }
+                Some(got) => {
+                    return Err(self.error(format!(
+                        "expected `relation`, `deny` or `assert`, found {got}"
+                    )))
+                }
+                None => break,
+            }
+        }
+        Ok(ConstraintFile {
+            catalog,
+            constraints,
+        })
+    }
+}
+
+/// Parses a single formula (for tests and embedding).
+pub fn parse_formula(input: &str) -> Result<Formula, ParseError> {
+    let mut p = Parser::new(input)?;
+    let f = p.formula()?;
+    if !p.at_end() {
+        return Err(p.error("trailing input after formula"));
+    }
+    Ok(f)
+}
+
+/// Parses a single `deny name: …` / `assert name: …` constraint.
+pub fn parse_constraint(input: &str) -> Result<Constraint, ParseError> {
+    let mut p = Parser::new(input)?;
+    let mode = if p.eat(&Tok::Deny) {
+        Mode::Deny
+    } else if p.eat(&Tok::Assert) {
+        Mode::Assert
+    } else {
+        return Err(p.error("expected `deny` or `assert`"));
+    };
+    let c = p.constraint(mode)?;
+    if !p.at_end() {
+        return Err(p.error("trailing input after constraint"));
+    }
+    Ok(c)
+}
+
+/// Parses a whole constraint file (relation declarations + constraints).
+pub fn parse_file(input: &str) -> Result<ConstraintFile, ParseError> {
+    Parser::new(input)?.file()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::var;
+
+    #[test]
+    fn atom_and_constants() {
+        let f = parse_formula(r#"reserved(p, "jfk", 3)"#).unwrap();
+        assert_eq!(
+            f,
+            Formula::atom("reserved", [Term::var("p"), Term::str("jfk"), Term::int(3)])
+        );
+    }
+
+    #[test]
+    fn empty_atom() {
+        assert_eq!(
+            parse_formula("alarm()").unwrap(),
+            Formula::atom("alarm", [])
+        );
+    }
+
+    #[test]
+    fn precedence_and_over_or_over_implies() {
+        let f = parse_formula("p() && q() || r() -> s()").unwrap();
+        let expect = Formula::atom("p", [])
+            .and(Formula::atom("q", []))
+            .or(Formula::atom("r", []))
+            .implies(Formula::atom("s", []));
+        assert_eq!(f, expect);
+    }
+
+    #[test]
+    fn implies_right_assoc() {
+        let f = parse_formula("a() -> b() -> c()").unwrap();
+        let expect =
+            Formula::atom("a", []).implies(Formula::atom("b", []).implies(Formula::atom("c", [])));
+        assert_eq!(f, expect);
+    }
+
+    #[test]
+    fn since_binds_tighter_than_and() {
+        let f = parse_formula("p() since q() && r()").unwrap();
+        let expect = Formula::atom("p", [])
+            .since(Interval::all(), Formula::atom("q", []))
+            .and(Formula::atom("r", []));
+        assert_eq!(f, expect);
+    }
+
+    #[test]
+    fn since_left_assoc_with_intervals() {
+        let f = parse_formula("p() since[1,2] q() since[3,*] r()").unwrap();
+        let expect = Formula::atom("p", [])
+            .since(Interval::bounded(1, 2).unwrap(), Formula::atom("q", []))
+            .since(Interval::at_least(3), Formula::atom("r", []));
+        assert_eq!(f, expect);
+    }
+
+    #[test]
+    fn unary_operators_and_default_interval() {
+        let f = parse_formula("once p() && hist[0,4] q() && prev[2,2] r()").unwrap();
+        let expect = Formula::atom("p", [])
+            .once(Interval::all())
+            .and(Formula::atom("q", []).hist(Interval::up_to(4)))
+            .and(Formula::atom("r", []).prev(Interval::exactly(2)));
+        assert_eq!(f, expect);
+    }
+
+    #[test]
+    fn quantifier_body_extends_right() {
+        let f = parse_formula("exists x, y . p(x) && q(y)").unwrap();
+        let expect = Formula::atom("p", [Term::var("x")])
+            .and(Formula::atom("q", [Term::var("y")]))
+            .exists([var("x"), var("y")]);
+        assert_eq!(f, expect);
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(
+            parse_formula("x = 3").unwrap(),
+            Formula::eq(Term::var("x"), Term::int(3))
+        );
+        assert_eq!(
+            parse_formula("3 <= x").unwrap(),
+            Formula::cmp(CmpOp::Le, Term::int(3), Term::var("x"))
+        );
+        assert_eq!(
+            parse_formula(r#"n != "x""#).unwrap(),
+            Formula::cmp(CmpOp::Ne, Term::var("n"), Term::str("x"))
+        );
+    }
+
+    #[test]
+    fn parenthesized_since_rhs() {
+        let f = parse_formula("p() since (q() since r())").unwrap();
+        let inner = Formula::atom("q", []).since(Interval::all(), Formula::atom("r", []));
+        assert_eq!(f, Formula::atom("p", []).since(Interval::all(), inner));
+    }
+
+    #[test]
+    fn error_positions_and_messages() {
+        let e = parse_formula("p( &&").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("term"));
+        let e = parse_formula("p() q()").unwrap_err();
+        assert!(e.message.contains("trailing"));
+        let e = parse_formula("once[5,2] p()").unwrap_err();
+        assert!(e.message.contains("empty"));
+        let e = parse_formula("bare").unwrap_err();
+        assert!(e.message.contains("comparison"));
+    }
+
+    #[test]
+    fn negative_interval_bound_rejected() {
+        assert!(parse_formula("once[-1,2] p()").is_err());
+    }
+
+    #[test]
+    fn count_aggregate_parses() {
+        let f = parse_formula("count j . (reserved(p, j)) >= 3").unwrap();
+        assert_eq!(
+            f,
+            Formula::atom("reserved", [Term::var("p"), Term::var("j")]).count_cmp(
+                [var("j")],
+                CmpOp::Ge,
+                3
+            )
+        );
+        // Binds tighter than && via its mandatory parentheses.
+        let g = parse_formula("p(x) && count y . (q(x, y)) = 0").unwrap();
+        assert!(matches!(g, Formula::And(..)));
+        // Round-trips through the printer.
+        assert_eq!(parse_formula(&f.to_string()).unwrap(), f);
+        // Errors.
+        assert!(
+            parse_formula("count j . reserved(p, j) >= 3").is_err(),
+            "body needs parens"
+        );
+        assert!(
+            parse_formula("count j . (p(j)) >= x").is_err(),
+            "constant threshold only"
+        );
+        assert!(parse_formula("count . (p(j)) >= 1").is_err());
+    }
+
+    #[test]
+    fn parse_constraint_modes() {
+        let c = parse_constraint("deny overdue: loan(b, m) && !ret(b)").unwrap();
+        assert_eq!(c.mode, Mode::Deny);
+        assert_eq!(c.name.as_str(), "overdue");
+        let a = parse_constraint("assert ok: true").unwrap();
+        assert_eq!(a.mode, Mode::Assert);
+    }
+
+    #[test]
+    fn parse_file_with_declarations() {
+        let src = r#"
+            # reservations schema
+            relation reserved(passenger: str, flight: int)
+            relation confirmed(passenger: str, flight: int)
+
+            deny unconfirmed:
+                once[2,*] reserved(p, f) && reserved(p, f) && !once confirmed(p, f)
+            assert sane: true
+        "#;
+        let file = parse_file(src).unwrap();
+        assert_eq!(file.catalog.len(), 2);
+        assert_eq!(file.constraints.len(), 2);
+        assert_eq!(file.constraints[0].name.as_str(), "unconfirmed");
+    }
+
+    #[test]
+    fn duplicate_relation_decl_is_error() {
+        let src = "relation r(x: int) relation r(x: int)";
+        assert!(parse_file(src).is_err());
+    }
+
+    #[test]
+    fn file_rejects_stray_tokens() {
+        assert!(parse_file("relation r(x: int) 42").is_err());
+    }
+}

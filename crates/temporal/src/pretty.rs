@@ -1,0 +1,242 @@
+//! Pretty-printing of formulas in the concrete constraint syntax.
+//!
+//! The printer emits exactly the grammar accepted by [`crate::parser`], with
+//! minimal parentheses, so `parse(print(f))` reproduces `f` up to the
+//! parser's associativity normalization (round-trip is property-tested).
+
+use std::fmt;
+
+use crate::ast::{Formula, Var};
+
+/// Binding strengths, loosest first. Quantifiers print like prefix binders
+/// whose body extends maximally right, so they live at the loosest level.
+const PREC_IMPLIES: u8 = 1;
+const PREC_OR: u8 = 2;
+const PREC_AND: u8 = 3;
+const PREC_SINCE: u8 = 4;
+const PREC_UNARY: u8 = 5;
+
+fn fmt_vars(vs: &[Var], f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    for (i, v) in vs.iter().enumerate() {
+        if i > 0 {
+            f.write_str(", ")?;
+        }
+        write!(f, "{v}")?;
+    }
+    Ok(())
+}
+
+fn fmt_interval(i: &crate::time::Interval, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    if i.is_unconstrained() {
+        Ok(())
+    } else {
+        write!(f, "{i}")
+    }
+}
+
+fn fmt_prec(fla: &Formula, parent: u8, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let own = match fla {
+        Formula::Implies(..) | Formula::Exists(..) | Formula::Forall(..) => PREC_IMPLIES,
+        // The count comparison is self-delimiting on the left (keyword) but
+        // its trailing `⊙ n` must not be captured by a tighter parent.
+        Formula::CountCmp { .. } => PREC_IMPLIES,
+        Formula::Or(..) => PREC_OR,
+        Formula::And(..) => PREC_AND,
+        Formula::Since(..) => PREC_SINCE,
+        Formula::Not(..) | Formula::Prev(..) | Formula::Once(..) | Formula::Hist(..) => PREC_UNARY,
+        _ => u8::MAX,
+    };
+    let parens = own < parent;
+    if parens {
+        f.write_str("(")?;
+    }
+    match fla {
+        Formula::True => f.write_str("true")?,
+        Formula::False => f.write_str("false")?,
+        Formula::Atom { relation, terms } => {
+            write!(f, "{relation}(")?;
+            for (i, t) in terms.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{t}")?;
+            }
+            f.write_str(")")?;
+        }
+        Formula::Cmp(op, a, b) => write!(f, "{a} {op} {b}")?,
+        Formula::Not(g) => {
+            f.write_str("!")?;
+            fmt_prec(g, PREC_UNARY + 1, f)?;
+        }
+        Formula::And(a, b) => {
+            fmt_prec(a, PREC_AND, f)?;
+            f.write_str(" && ")?;
+            fmt_prec(b, PREC_AND + 1, f)?;
+        }
+        Formula::Or(a, b) => {
+            fmt_prec(a, PREC_OR, f)?;
+            f.write_str(" || ")?;
+            fmt_prec(b, PREC_OR + 1, f)?;
+        }
+        Formula::Implies(a, b) => {
+            fmt_prec(a, PREC_IMPLIES + 1, f)?;
+            f.write_str(" -> ")?;
+            fmt_prec(b, PREC_IMPLIES, f)?;
+        }
+        Formula::Exists(vs, g) => {
+            f.write_str("exists ")?;
+            fmt_vars(vs, f)?;
+            f.write_str(" . ")?;
+            fmt_prec(g, PREC_IMPLIES, f)?;
+        }
+        Formula::Forall(vs, g) => {
+            f.write_str("forall ")?;
+            fmt_vars(vs, f)?;
+            f.write_str(" . ")?;
+            fmt_prec(g, PREC_IMPLIES, f)?;
+        }
+        Formula::Prev(i, g) => {
+            f.write_str("prev")?;
+            fmt_interval(i, f)?;
+            f.write_str(" ")?;
+            fmt_prec(g, PREC_UNARY, f)?;
+        }
+        Formula::Once(i, g) => {
+            f.write_str("once")?;
+            fmt_interval(i, f)?;
+            f.write_str(" ")?;
+            fmt_prec(g, PREC_UNARY, f)?;
+        }
+        Formula::Hist(i, g) => {
+            f.write_str("hist")?;
+            fmt_interval(i, f)?;
+            f.write_str(" ")?;
+            fmt_prec(g, PREC_UNARY, f)?;
+        }
+        Formula::Since(i, a, b) => {
+            fmt_prec(a, PREC_SINCE, f)?;
+            f.write_str(" since")?;
+            fmt_interval(i, f)?;
+            f.write_str(" ")?;
+            fmt_prec(b, PREC_SINCE + 1, f)?;
+        }
+        Formula::CountCmp {
+            vars,
+            body,
+            op,
+            threshold,
+        } => {
+            f.write_str("count ")?;
+            fmt_vars(vars, f)?;
+            f.write_str(" . (")?;
+            fmt_prec(body, 0, f)?;
+            write!(f, ") {op} {threshold}")?;
+        }
+    }
+    if parens {
+        f.write_str(")")?;
+    }
+    Ok(())
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_prec(self, 0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ast::{var, Formula, Term};
+    use crate::time::Interval;
+
+    fn p() -> Formula {
+        Formula::atom("p", [Term::var("x")])
+    }
+
+    fn q() -> Formula {
+        Formula::atom("q", [Term::var("x"), Term::str("jfk")])
+    }
+
+    #[test]
+    fn atoms_and_constants() {
+        assert_eq!(q().to_string(), "q(x, \"jfk\")");
+        assert_eq!(
+            Formula::eq(Term::var("x"), Term::int(3)).to_string(),
+            "x = 3"
+        );
+    }
+
+    #[test]
+    fn precedence_omits_redundant_parens() {
+        let f = p().and(q()).or(p());
+        assert_eq!(f.to_string(), "p(x) && q(x, \"jfk\") || p(x)");
+        let g = p().or(q()).and(p());
+        assert_eq!(g.to_string(), "(p(x) || q(x, \"jfk\")) && p(x)");
+    }
+
+    #[test]
+    fn unary_binds_tightest() {
+        assert_eq!(p().not().and(q()).to_string(), "!p(x) && q(x, \"jfk\")");
+        assert_eq!(p().and(q()).not().to_string(), "!(p(x) && q(x, \"jfk\"))");
+    }
+
+    #[test]
+    fn temporal_operators_show_intervals() {
+        assert_eq!(p().once(Interval::up_to(2)).to_string(), "once[0,2] p(x)");
+        assert_eq!(p().once(Interval::all()).to_string(), "once p(x)");
+        assert_eq!(
+            p().since(Interval::bounded(1, 5).unwrap(), q()).to_string(),
+            "p(x) since[1,5] q(x, \"jfk\")"
+        );
+        assert_eq!(
+            p().hist(Interval::at_least(3)).to_string(),
+            "hist[3,*] p(x)"
+        );
+    }
+
+    #[test]
+    fn since_is_left_associative_in_print() {
+        let f = p().since(Interval::all(), q()).since(Interval::all(), p());
+        assert_eq!(f.to_string(), "p(x) since q(x, \"jfk\") since p(x)");
+        let g = p().since(Interval::all(), q().since(Interval::all(), p()));
+        assert_eq!(g.to_string(), "p(x) since (q(x, \"jfk\") since p(x))");
+    }
+
+    #[test]
+    fn quantifiers_extend_right() {
+        let f = p().and(q()).exists([var("x")]);
+        assert_eq!(f.to_string(), "exists x . p(x) && q(x, \"jfk\")");
+        let g = p().exists([var("x")]).and(q());
+        assert_eq!(g.to_string(), "(exists x . p(x)) && q(x, \"jfk\")");
+    }
+
+    #[test]
+    fn count_cmp_prints_with_parenthesized_body() {
+        use crate::ast::{var, CmpOp};
+        let f = Formula::atom("q", [Term::var("x"), Term::var("y")]).count_cmp(
+            [var("y")],
+            CmpOp::Ge,
+            3,
+        );
+        assert_eq!(f.to_string(), "count y . (q(x, y)) >= 3");
+        let g = f.and(p());
+        assert_eq!(g.to_string(), "(count y . (q(x, y)) >= 3) && p(x)");
+    }
+
+    #[test]
+    fn implies_right_assoc() {
+        let f = p().implies(q().implies(p()));
+        assert_eq!(f.to_string(), "p(x) -> q(x, \"jfk\") -> p(x)");
+        let g = p().implies(q()).implies(p());
+        assert_eq!(g.to_string(), "(p(x) -> q(x, \"jfk\")) -> p(x)");
+    }
+
+    #[test]
+    fn unary_over_since_needs_parens() {
+        let f = p().since(Interval::all(), q()).not();
+        assert_eq!(f.to_string(), "!(p(x) since q(x, \"jfk\"))");
+        let g = p().not().since(Interval::all(), q());
+        assert_eq!(g.to_string(), "!p(x) since q(x, \"jfk\")");
+    }
+}

@@ -1,0 +1,322 @@
+//! The discrete real-time model: time points, durations, metric intervals.
+//!
+//! Histories are stamped with strictly increasing [`TimePoint`]s drawn from a
+//! discrete clock (`u64` ticks). Real time is modelled by *gaps*: consecutive
+//! states may be any positive number of ticks apart. Metric temporal
+//! operators carry an [`Interval`] `[a, b]` (`b` possibly `∞`) constraining
+//! the *age* `now − then` of the states they look back at.
+
+use std::fmt;
+
+/// A point on the discrete clock.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct TimePoint(pub u64);
+
+impl TimePoint {
+    /// The age of `earlier` as seen from `self`.
+    ///
+    /// # Panics
+    /// Panics if `earlier` is later than `self`; ages are only meaningful
+    /// looking into the past.
+    pub fn age_of(self, earlier: TimePoint) -> Duration {
+        assert!(earlier <= self, "age_of: {earlier} is later than {self}");
+        Duration(self.0 - earlier.0)
+    }
+
+    /// The time `d` ticks after `self` (saturating).
+    pub fn plus(self, d: Duration) -> TimePoint {
+        TimePoint(self.0.saturating_add(d.0))
+    }
+
+    /// The time `d` ticks before `self`, or `None` if that underflows the
+    /// clock's origin.
+    pub fn minus(self, d: Duration) -> Option<TimePoint> {
+        self.0.checked_sub(d.0).map(TimePoint)
+    }
+}
+
+impl fmt::Display for TimePoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+impl From<u64> for TimePoint {
+    fn from(t: u64) -> TimePoint {
+        TimePoint(t)
+    }
+}
+
+/// A non-negative span of clock ticks.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Duration(pub u64);
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for Duration {
+    fn from(d: u64) -> Duration {
+        Duration(d)
+    }
+}
+
+/// The upper bound of a metric interval: a finite duration or `∞`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum UpperBound {
+    /// A finite inclusive bound.
+    Finite(Duration),
+    /// Unbounded ("any age").
+    Infinite,
+}
+
+impl UpperBound {
+    /// Whether `d` is at or below the bound.
+    pub fn admits(self, d: Duration) -> bool {
+        match self {
+            UpperBound::Finite(b) => d <= b,
+            UpperBound::Infinite => true,
+        }
+    }
+
+    /// The finite payload, if any.
+    pub fn finite(self) -> Option<Duration> {
+        match self {
+            UpperBound::Finite(d) => Some(d),
+            UpperBound::Infinite => None,
+        }
+    }
+}
+
+impl PartialOrd for UpperBound {
+    fn partial_cmp(&self, other: &UpperBound) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for UpperBound {
+    fn cmp(&self, other: &UpperBound) -> std::cmp::Ordering {
+        use UpperBound::*;
+        match (self, other) {
+            (Finite(a), Finite(b)) => a.cmp(b),
+            (Finite(_), Infinite) => std::cmp::Ordering::Less,
+            (Infinite, Finite(_)) => std::cmp::Ordering::Greater,
+            (Infinite, Infinite) => std::cmp::Ordering::Equal,
+        }
+    }
+}
+
+impl fmt::Display for UpperBound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UpperBound::Finite(d) => write!(f, "{d}"),
+            UpperBound::Infinite => f.write_str("*"),
+        }
+    }
+}
+
+/// A metric interval `[lo, hi]` of ages, `0 ≤ lo ≤ hi ≤ ∞`, both ends
+/// inclusive.
+///
+/// Invalid intervals (`lo > hi`) cannot be constructed.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Interval {
+    lo: Duration,
+    hi: UpperBound,
+}
+
+/// Error for an attempted empty interval (`lo > hi`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct EmptyInterval {
+    /// Attempted lower bound.
+    pub lo: Duration,
+    /// Attempted (finite) upper bound.
+    pub hi: Duration,
+}
+
+impl fmt::Display for EmptyInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "empty metric interval [{}, {}]", self.lo, self.hi)
+    }
+}
+
+impl std::error::Error for EmptyInterval {}
+
+impl Interval {
+    /// `[lo, hi]`, rejecting `lo > hi`.
+    pub fn bounded(lo: u64, hi: u64) -> Result<Interval, EmptyInterval> {
+        if lo > hi {
+            Err(EmptyInterval {
+                lo: Duration(lo),
+                hi: Duration(hi),
+            })
+        } else {
+            Ok(Interval {
+                lo: Duration(lo),
+                hi: UpperBound::Finite(Duration(hi)),
+            })
+        }
+    }
+
+    /// `[lo, ∞]`.
+    pub fn at_least(lo: u64) -> Interval {
+        Interval {
+            lo: Duration(lo),
+            hi: UpperBound::Infinite,
+        }
+    }
+
+    /// `[0, hi]`.
+    pub fn up_to(hi: u64) -> Interval {
+        Interval {
+            lo: Duration(0),
+            hi: UpperBound::Finite(Duration(hi)),
+        }
+    }
+
+    /// `[0, ∞]` — the unconstrained interval (plain past operators).
+    pub fn all() -> Interval {
+        Interval {
+            lo: Duration(0),
+            hi: UpperBound::Infinite,
+        }
+    }
+
+    /// `[k, k]`.
+    pub fn exactly(k: u64) -> Interval {
+        Interval {
+            lo: Duration(k),
+            hi: UpperBound::Finite(Duration(k)),
+        }
+    }
+
+    /// Lower bound.
+    pub fn lo(&self) -> Duration {
+        self.lo
+    }
+
+    /// Upper bound.
+    pub fn hi(&self) -> UpperBound {
+        self.hi
+    }
+
+    /// Whether an age lies in the interval.
+    pub fn contains(&self, age: Duration) -> bool {
+        age >= self.lo && self.hi.admits(age)
+    }
+
+    /// Whether the upper bound is finite.
+    pub fn is_bounded(&self) -> bool {
+        matches!(self.hi, UpperBound::Finite(_))
+    }
+
+    /// Whether this is `[0, ∞]` (no metric constraint at all).
+    pub fn is_unconstrained(&self) -> bool {
+        self.lo.0 == 0 && self.hi == UpperBound::Infinite
+    }
+
+    /// The window of time points `[t − hi, t − lo]` whose age from `t` lies
+    /// in the interval, clipped at the clock origin. Empty (`None`) when
+    /// even age `lo` reaches before the origin... never: clipping at origin
+    /// keeps the window nonempty iff `t − lo ≥ 0`; otherwise `None`.
+    pub fn window_at(&self, t: TimePoint) -> Option<(TimePoint, TimePoint)> {
+        let latest = t.minus(self.lo)?;
+        let earliest = match self.hi {
+            UpperBound::Infinite => TimePoint(0),
+            UpperBound::Finite(b) => t.minus(b).unwrap_or(TimePoint(0)),
+        };
+        Some((earliest, latest))
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{},{}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn age_arithmetic() {
+        assert_eq!(TimePoint(10).age_of(TimePoint(3)), Duration(7));
+        assert_eq!(TimePoint(10).age_of(TimePoint(10)), Duration(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "later than")]
+    fn age_of_future_panics() {
+        TimePoint(3).age_of(TimePoint(10));
+    }
+
+    #[test]
+    fn plus_minus() {
+        assert_eq!(TimePoint(5).plus(Duration(3)), TimePoint(8));
+        assert_eq!(TimePoint(5).minus(Duration(3)), Some(TimePoint(2)));
+        assert_eq!(TimePoint(2).minus(Duration(3)), None);
+    }
+
+    #[test]
+    fn empty_interval_rejected() {
+        assert!(Interval::bounded(5, 4).is_err());
+        assert!(Interval::bounded(5, 5).is_ok());
+    }
+
+    #[test]
+    fn containment() {
+        let i = Interval::bounded(2, 5).unwrap();
+        assert!(!i.contains(Duration(1)));
+        assert!(i.contains(Duration(2)));
+        assert!(i.contains(Duration(5)));
+        assert!(!i.contains(Duration(6)));
+        assert!(Interval::at_least(3).contains(Duration(1_000_000)));
+        assert!(!Interval::at_least(3).contains(Duration(2)));
+        assert!(Interval::all().contains(Duration(0)));
+    }
+
+    #[test]
+    fn unconstrained_detection() {
+        assert!(Interval::all().is_unconstrained());
+        assert!(!Interval::up_to(7).is_unconstrained());
+        assert!(!Interval::at_least(1).is_unconstrained());
+    }
+
+    #[test]
+    fn window_at_clips_at_origin() {
+        let i = Interval::bounded(2, 5).unwrap();
+        assert_eq!(
+            i.window_at(TimePoint(10)),
+            Some((TimePoint(5), TimePoint(8)))
+        );
+        assert_eq!(
+            i.window_at(TimePoint(3)),
+            Some((TimePoint(0), TimePoint(1)))
+        );
+        assert_eq!(
+            i.window_at(TimePoint(1)),
+            None,
+            "even the newest admissible age predates the origin"
+        );
+        assert_eq!(
+            Interval::all().window_at(TimePoint(4)),
+            Some((TimePoint(0), TimePoint(4)))
+        );
+    }
+
+    #[test]
+    fn upper_bound_order() {
+        assert!(UpperBound::Finite(Duration(9)) < UpperBound::Infinite);
+        assert!(UpperBound::Finite(Duration(3)) < UpperBound::Finite(Duration(4)));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Interval::bounded(1, 4).unwrap().to_string(), "[1,4]");
+        assert_eq!(Interval::at_least(2).to_string(), "[2,*]");
+        assert_eq!(TimePoint(7).to_string(), "@7");
+    }
+}

@@ -1,0 +1,338 @@
+//! Sort checking of formulas against a database catalog.
+//!
+//! Infers one sort per variable *name* (conservative: reusing a name at two
+//! different sorts is rejected even across disjoint scopes — rename
+//! instead), checks atom arities and argument sorts, and restricts order
+//! comparisons to integers.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use rtic_relation::{Catalog, Sort, Symbol};
+
+use crate::ast::{CmpOp, Formula, Term, Var};
+
+/// A sort-checking failure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TypeError {
+    /// Atom over a relation the catalog does not declare.
+    UnknownRelation {
+        /// The missing name.
+        relation: Symbol,
+    },
+    /// Atom arity differs from the declared schema.
+    ArityMismatch {
+        /// The relation.
+        relation: Symbol,
+        /// Declared arity.
+        expected: usize,
+        /// Arity used in the formula.
+        found: usize,
+    },
+    /// A variable is used at two different sorts.
+    SortConflict {
+        /// The variable.
+        var: Var,
+        /// The sort from an earlier use.
+        first: Sort,
+        /// The conflicting sort.
+        second: Sort,
+    },
+    /// A constant appears where a different sort is required.
+    ConstSortMismatch {
+        /// Required sort.
+        expected: Sort,
+        /// The constant's sort.
+        found: Sort,
+    },
+    /// An order comparison (`<`, `<=`, `>`, `>=`) over non-integers.
+    OrderOnNonInt {
+        /// The offending sort.
+        found: Sort,
+    },
+    /// A comparison between terms whose sorts cannot be reconciled.
+    IncomparableSorts {
+        /// Left sort.
+        left: Sort,
+        /// Right sort.
+        right: Sort,
+    },
+    /// A comparison where neither side's sort is determinable (two
+    /// never-elsewhere-used variables).
+    UndeterminedComparison,
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::UnknownRelation { relation } => {
+                write!(f, "unknown relation `{relation}`")
+            }
+            TypeError::ArityMismatch {
+                relation,
+                expected,
+                found,
+            } => write!(
+                f,
+                "relation `{relation}` has arity {expected}, used with {found} arguments"
+            ),
+            TypeError::SortConflict { var, first, second } => write!(
+                f,
+                "variable `{var}` used at sort {first} and at sort {second}"
+            ),
+            TypeError::ConstSortMismatch { expected, found } => {
+                write!(f, "constant of sort {found} where {expected} is required")
+            }
+            TypeError::OrderOnNonInt { found } => {
+                write!(f, "order comparison over sort {found} (integers only)")
+            }
+            TypeError::IncomparableSorts { left, right } => {
+                write!(f, "comparison between sorts {left} and {right}")
+            }
+            TypeError::UndeterminedComparison => f.write_str(
+                "comparison between variables whose sorts are not determined by any atom",
+            ),
+        }
+    }
+}
+
+impl Error for TypeError {}
+
+struct Env {
+    sorts: BTreeMap<Var, Sort>,
+}
+
+impl Env {
+    fn bind(&mut self, v: Var, sort: Sort) -> Result<(), TypeError> {
+        match self.sorts.get(&v) {
+            Some(&s) if s != sort => Err(TypeError::SortConflict {
+                var: v,
+                first: s,
+                second: sort,
+            }),
+            _ => {
+                self.sorts.insert(v, sort);
+                Ok(())
+            }
+        }
+    }
+
+    fn term_sort(&self, t: &Term) -> Option<Sort> {
+        match t {
+            Term::Var(v) => self.sorts.get(v).copied(),
+            Term::Const(c) => Some(c.sort()),
+        }
+    }
+
+    fn require(&mut self, t: &Term, sort: Sort) -> Result<(), TypeError> {
+        match t {
+            Term::Var(v) => self.bind(*v, sort),
+            Term::Const(c) if c.sort() == sort => Ok(()),
+            Term::Const(c) => Err(TypeError::ConstSortMismatch {
+                expected: sort,
+                found: c.sort(),
+            }),
+        }
+    }
+}
+
+fn walk(f: &Formula, catalog: &Catalog, env: &mut Env) -> Result<(), TypeError> {
+    match f {
+        Formula::True | Formula::False => Ok(()),
+        Formula::Atom { relation, terms } => {
+            let schema = catalog
+                .schema_of(*relation)
+                .ok_or(TypeError::UnknownRelation {
+                    relation: *relation,
+                })?;
+            if schema.arity() != terms.len() {
+                return Err(TypeError::ArityMismatch {
+                    relation: *relation,
+                    expected: schema.arity(),
+                    found: terms.len(),
+                });
+            }
+            for (i, t) in terms.iter().enumerate() {
+                let sort = schema.sort_at(i).expect("arity checked");
+                env.require(t, sort)?;
+            }
+            Ok(())
+        }
+        Formula::Cmp(op, a, b) => {
+            let sa = env.term_sort(a);
+            let sb = env.term_sort(b);
+            match (sa, sb) {
+                (Some(x), Some(y)) if x != y => {
+                    return Err(TypeError::IncomparableSorts { left: x, right: y })
+                }
+                (Some(s), _) => env.require(b, s)?,
+                (_, Some(s)) => env.require(a, s)?,
+                (None, None) => return Err(TypeError::UndeterminedComparison),
+            }
+            if !matches!(op, CmpOp::Eq | CmpOp::Ne) {
+                let s = env.term_sort(a).expect("bound above");
+                if s != Sort::Int {
+                    return Err(TypeError::OrderOnNonInt { found: s });
+                }
+            }
+            Ok(())
+        }
+        Formula::Not(g)
+        | Formula::Exists(_, g)
+        | Formula::Forall(_, g)
+        | Formula::Prev(_, g)
+        | Formula::Once(_, g)
+        | Formula::Hist(_, g) => walk(g, catalog, env),
+        Formula::And(a, b)
+        | Formula::Or(a, b)
+        | Formula::Implies(a, b)
+        | Formula::Since(_, a, b) => {
+            walk(a, catalog, env)?;
+            walk(b, catalog, env)
+        }
+        Formula::CountCmp { body, .. } => walk(body, catalog, env),
+    }
+}
+
+/// Sort-checks `f` against `catalog`, in two passes so that comparisons may
+/// precede the atoms that determine their variables' sorts. Returns the
+/// inferred variable sorts.
+pub fn typecheck(f: &Formula, catalog: &Catalog) -> Result<BTreeMap<Var, Sort>, TypeError> {
+    let mut env = Env {
+        sorts: BTreeMap::new(),
+    };
+    // Pass 1: atoms only, to seed variable sorts.
+    let mut atom_err = None;
+    f.visit(&mut |g| {
+        if atom_err.is_some() {
+            return;
+        }
+        if matches!(g, Formula::Atom { .. }) {
+            if let Err(e) = walk(g, catalog, &mut env) {
+                atom_err = Some(e);
+            }
+        }
+    });
+    if let Some(e) = atom_err {
+        return Err(e);
+    }
+    // Pass 2: the full formula, comparisons included.
+    walk(f, catalog, &mut env)?;
+    Ok(env.sorts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtic_relation::Schema;
+
+    fn catalog() -> Catalog {
+        Catalog::new()
+            .with("p", Schema::of(&[("x", Sort::Int)]))
+            .unwrap()
+            .with("q", Schema::of(&[("a", Sort::Str), ("n", Sort::Int)]))
+            .unwrap()
+    }
+
+    #[test]
+    fn infers_sorts_from_atoms() {
+        let f = Formula::atom("q", [Term::var("a"), Term::var("n")]);
+        let sorts = typecheck(&f, &catalog()).unwrap();
+        assert_eq!(sorts[&Var::new("a")], Sort::Str);
+        assert_eq!(sorts[&Var::new("n")], Sort::Int);
+    }
+
+    #[test]
+    fn unknown_relation_rejected() {
+        let f = Formula::atom("zzz", []);
+        assert!(matches!(
+            typecheck(&f, &catalog()),
+            Err(TypeError::UnknownRelation { .. })
+        ));
+    }
+
+    #[test]
+    fn arity_checked() {
+        let f = Formula::atom("p", [Term::var("x"), Term::var("y")]);
+        assert!(matches!(
+            typecheck(&f, &catalog()),
+            Err(TypeError::ArityMismatch {
+                expected: 1,
+                found: 2,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn sort_conflict_across_atoms() {
+        let f = Formula::atom("p", [Term::var("v")])
+            .and(Formula::atom("q", [Term::var("v"), Term::int(1)]));
+        assert!(matches!(
+            typecheck(&f, &catalog()),
+            Err(TypeError::SortConflict { .. })
+        ));
+    }
+
+    #[test]
+    fn const_sort_checked_in_atom() {
+        let f = Formula::atom("p", [Term::str("oops")]);
+        assert!(matches!(
+            typecheck(&f, &catalog()),
+            Err(TypeError::ConstSortMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn comparison_before_atom_is_fine() {
+        // x = 3 && p(x): two-pass inference seeds x: Int from p.
+        let f = Formula::eq(Term::var("x"), Term::int(3)).and(Formula::atom("p", [Term::var("x")]));
+        typecheck(&f, &catalog()).unwrap();
+    }
+
+    #[test]
+    fn order_comparison_requires_int() {
+        let f = Formula::atom("q", [Term::var("a"), Term::var("n")]).and(Formula::cmp(
+            CmpOp::Lt,
+            Term::var("a"),
+            Term::str("z"),
+        ));
+        assert!(matches!(
+            typecheck(&f, &catalog()),
+            Err(TypeError::OrderOnNonInt { .. })
+        ));
+        let ok = Formula::atom("q", [Term::var("a"), Term::var("n")]).and(Formula::cmp(
+            CmpOp::Lt,
+            Term::var("n"),
+            Term::int(10),
+        ));
+        typecheck(&ok, &catalog()).unwrap();
+    }
+
+    #[test]
+    fn incomparable_sorts_rejected() {
+        let f = Formula::atom("q", [Term::var("a"), Term::var("n")])
+            .and(Formula::eq(Term::var("a"), Term::var("n")));
+        assert!(matches!(
+            typecheck(&f, &catalog()),
+            Err(TypeError::IncomparableSorts { .. })
+        ));
+    }
+
+    #[test]
+    fn undetermined_comparison_rejected() {
+        let f = Formula::eq(Term::var("u"), Term::var("w"));
+        assert_eq!(
+            typecheck(&f, &catalog()),
+            Err(TypeError::UndeterminedComparison)
+        );
+    }
+
+    #[test]
+    fn comparison_binds_via_constant() {
+        let f = Formula::eq(Term::var("u"), Term::int(3));
+        let sorts = typecheck(&f, &catalog()).unwrap();
+        assert_eq!(sorts[&Var::new("u")], Sort::Int);
+    }
+}

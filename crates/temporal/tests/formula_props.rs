@@ -1,0 +1,156 @@
+//! Property tests for the temporal crate: parser/printer round-trip,
+//! normalization invariants, and analysis monotonicity.
+
+use proptest::prelude::*;
+use rtic_temporal::ast::{CmpOp, Formula, Term, Var};
+use rtic_temporal::normalize::{is_normalized, normalize};
+use rtic_temporal::parser::parse_formula;
+use rtic_temporal::time::Interval;
+use rtic_temporal::{horizon, Horizon};
+
+fn interval() -> impl Strategy<Value = Interval> {
+    prop_oneof![
+        Just(Interval::all()),
+        (0u64..6).prop_map(Interval::up_to),
+        (0u64..6).prop_map(Interval::at_least),
+        (0u64..5, 0u64..5).prop_map(|(a, d)| Interval::bounded(a, a + d).unwrap()),
+    ]
+}
+
+fn term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        prop_oneof![Just("x"), Just("y"), Just("z")].prop_map(Term::var),
+        (-3i64..4).prop_map(Term::int),
+        prop_oneof![Just("ann"), Just("bob"), Just("jfk")].prop_map(Term::str),
+    ]
+}
+
+fn atom() -> impl Strategy<Value = Formula> {
+    prop_oneof![
+        Just(Formula::atom("r0", [])),
+        term().prop_map(|t| Formula::atom("p", [t])),
+        (term(), term()).prop_map(|(a, b)| Formula::atom("q", [a, b])),
+    ]
+}
+
+fn formula() -> impl Strategy<Value = Formula> {
+    let leaf = prop_oneof![
+        Just(Formula::True),
+        Just(Formula::False),
+        atom(),
+        (
+            prop_oneof![
+                Just(CmpOp::Eq),
+                Just(CmpOp::Ne),
+                Just(CmpOp::Lt),
+                Just(CmpOp::Le),
+                Just(CmpOp::Gt),
+                Just(CmpOp::Ge)
+            ],
+            term(),
+            term()
+        )
+            .prop_map(|(op, a, b)| Formula::Cmp(op, a, b)),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|f| f.not()),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.implies(b)),
+            (inner.clone(), prop_oneof![Just("x"), Just("y")])
+                .prop_map(|(f, v)| f.exists([Var::new(v)])),
+            (inner.clone(), prop_oneof![Just("x"), Just("y")])
+                .prop_map(|(f, v)| f.forall([Var::new(v)])),
+            (inner.clone(), interval()).prop_map(|(f, i)| f.prev(i)),
+            (inner.clone(), interval()).prop_map(|(f, i)| f.once(i)),
+            (inner.clone(), interval()).prop_map(|(f, i)| f.hist(i)),
+            (inner.clone(), inner, interval()).prop_map(|(a, b, i)| a.since(i, b)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn print_parse_round_trip(f in formula()) {
+        let printed = f.to_string();
+        let reparsed = parse_formula(&printed)
+            .unwrap_or_else(|e| panic!("printed form failed to parse: {printed}\n{e}"));
+        prop_assert_eq!(&reparsed, &f, "round trip changed the formula: {}", printed);
+    }
+
+    #[test]
+    fn normalize_is_idempotent_and_normalizes(f in formula()) {
+        let n = normalize(&f);
+        prop_assert!(is_normalized(&n), "not normalized: {n}");
+        prop_assert_eq!(normalize(&n), n);
+    }
+
+    #[test]
+    fn normalize_never_grows_free_vars(f in formula()) {
+        let n = normalize(&f);
+        // Simplification may *drop* variables (e.g. `p(x) && false`) but
+        // must never invent new ones.
+        let before = f.free_vars();
+        for v in n.free_vars() {
+            prop_assert!(before.contains(&v));
+        }
+    }
+
+    #[test]
+    fn normalized_round_trips_too(f in formula()) {
+        let n = normalize(&f);
+        let reparsed = parse_formula(&n.to_string()).unwrap();
+        prop_assert_eq!(reparsed, n);
+    }
+
+    #[test]
+    fn horizon_of_normalized_never_exceeds_original(f in formula()) {
+        // Normalization only removes lookback (constant folding), never adds.
+        let h_orig = horizon(&f);
+        let h_norm = horizon(&normalize(&f));
+        match (h_norm, h_orig) {
+            (Horizon::Unbounded, Horizon::Finite(_)) => {
+                prop_assert!(false, "normalization increased horizon");
+            }
+            (Horizon::Finite(a), Horizon::Finite(b)) => prop_assert!(a <= b),
+            _ => {}
+        }
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(s in "\\PC*") {
+        // Errors are fine; panics are not.
+        let _ = parse_formula(&s);
+        let _ = rtic_temporal::parser::parse_constraint(&s);
+        let _ = rtic_temporal::parser::parse_file(&s);
+    }
+
+    #[test]
+    fn parser_never_panics_on_formula_like_input(
+        s in "(once|hist|prev|since|exists|deny|\\(|\\)|\\[|\\]|[a-z]|[0-9]|,|\\.|&&|\\|\\||!|<|=|\"| )*"
+    ) {
+        let _ = parse_formula(&s);
+        let _ = rtic_temporal::parser::parse_file(&s);
+    }
+
+    #[test]
+    fn rename_apart_preserves_print_semantics_shape(f in formula()) {
+        use rtic_temporal::normalize::rename_apart;
+        let r = rename_apart(&f);
+        prop_assert_eq!(r.size(), f.size(), "renaming preserves structure");
+        prop_assert_eq!(r.free_vars(), f.free_vars(), "free variables unchanged");
+        // Renamed-apart formulas still round-trip through the parser.
+        prop_assert_eq!(parse_formula(&r.to_string()).unwrap(), r);
+    }
+
+    #[test]
+    fn temporal_depth_bounds_horizon_structure(f in formula()) {
+        // A formula with no temporal operators has zero horizon.
+        if !f.is_temporal() {
+            prop_assert_eq!(horizon(&f), Horizon::Finite(rtic_temporal::Duration(0)));
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Expected-violation bookkeeping for generated workloads.
+
+use rtic_core::StepReport;
+use rtic_relation::{Symbol, Value};
+use rtic_temporal::TimePoint;
+
+/// A violation a generator injected on purpose: at `time`, the named
+/// constraint should report a witness binding the named variables to the
+/// given values.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Expected {
+    /// The constraint expected to fire.
+    pub constraint: Symbol,
+    /// The first state at which the violation becomes definite.
+    pub time: TimePoint,
+    /// `(variable name, value)` pairs identifying the witness.
+    pub witness: Vec<(&'static str, Value)>,
+}
+
+impl Expected {
+    /// Whether `report` contains this witness (looked up by variable name,
+    /// so independent of the checker's internal column order).
+    pub fn found_in(&self, report: &StepReport) -> bool {
+        if report.time != self.time || report.constraint != self.constraint {
+            return false;
+        }
+        let vars = report.violations.vars().to_vec();
+        let positions: Option<Vec<(usize, Value)>> = self
+            .witness
+            .iter()
+            .map(|(name, v)| {
+                vars.iter()
+                    .position(|u| u.name().as_str() == *name)
+                    .map(|i| (i, *v))
+            })
+            .collect();
+        let Some(positions) = positions else {
+            return false;
+        };
+        report
+            .violations
+            .rows()
+            .any(|row| positions.iter().all(|&(i, v)| row[i] == v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtic_core::Bindings;
+    use rtic_relation::{tuple, Symbol};
+    use rtic_temporal::var;
+
+    fn report(time: u64, rows: Vec<rtic_relation::Tuple>) -> StepReport {
+        StepReport {
+            constraint: Symbol::intern("c"),
+            time: TimePoint(time),
+            violations: Bindings::from_rows(vec![var("wp"), var("wf")], rows),
+        }
+    }
+
+    fn exp(time: u64, witness: Vec<(&'static str, Value)>) -> Expected {
+        Expected {
+            constraint: Symbol::intern("c"),
+            time: TimePoint(time),
+            witness,
+        }
+    }
+
+    #[test]
+    fn finds_witness_by_name() {
+        // Rows passed to from_rows follow the *given* var order (wp, wf);
+        // canonicalization is internal, lookup is by name.
+        let r = report(5, vec![tuple!["ann", 17]]);
+        let e = exp(5, vec![("wf", Value::Int(17)), ("wp", Value::str("ann"))]);
+        assert!(e.found_in(&r));
+        let other = Expected {
+            constraint: Symbol::intern("zzz"),
+            ..e.clone()
+        };
+        assert!(!other.found_in(&r), "constraint name must match");
+    }
+
+    #[test]
+    fn wrong_time_or_value_is_not_found() {
+        let r = report(5, vec![tuple!["ann", 17]]);
+        let e = exp(6, vec![("wp", Value::str("ann"))]);
+        assert!(!e.found_in(&r));
+        let e = exp(5, vec![("wp", Value::str("bob"))]);
+        assert!(!e.found_in(&r));
+    }
+
+    #[test]
+    fn unknown_variable_name_is_not_found() {
+        let r = report(5, vec![tuple!["ann", 17]]);
+        let e = exp(5, vec![("zz", Value::str("ann"))]);
+        assert!(!e.found_in(&r));
+    }
+}

@@ -1,0 +1,77 @@
+//! # rtic-workload — deterministic workload generators
+//!
+//! Drives the examples, tests and experiments with three domain scenarios
+//! (one per constraint style the paper motivates) plus a parameterized
+//! random workload for scaling sweeps:
+//!
+//! * [`Reservations`] — confirm-within-deadline (`once` with a bounded
+//!   window, negated `once`);
+//! * [`Library`] — return-within-period (`since` with an unbounded bound);
+//! * [`Monitor`] — acknowledge-within-window and no-spike
+//!   (`hist` + `prev` + order comparisons);
+//! * [`RandomWorkload`] — uniform random churn with tunable domain, update
+//!   size, and metric bound;
+//! * [`Audit`] — transaction auditing (assert-mode constraints, `exists`
+//!   under negation over a temporal operator).
+//!
+//! Every generator is deterministic given its parameters (seeded
+//! [`rand::rngs::StdRng`]), emits transitions one tick apart, and records
+//! the violations it *injects* as [`Expected`] witnesses: a violation is
+//! expected at the first state where it becomes definite (e.g. the
+//! deadline), which the T4 experiment asserts the checkers report exactly.
+//!
+//! ```
+//! use rtic_core::{Checker, IncrementalChecker};
+//! use rtic_workload::Reservations;
+//! use std::sync::Arc;
+//!
+//! let generated = Reservations { steps: 60, violation_rate: 0.2, ..Default::default() }
+//!     .generate();
+//! let mut checker = IncrementalChecker::new(
+//!     generated.constraints[0].clone(),
+//!     Arc::clone(&generated.catalog),
+//! )
+//! .unwrap();
+//! let reports = checker.run(generated.transitions.clone()).unwrap();
+//! // Every injected violation is reported at its deadline state.
+//! for expected in &generated.expected {
+//!     assert!(reports.iter().any(|r| expected.found_in(r)));
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod audit;
+mod expected;
+mod library;
+mod monitor;
+mod random;
+mod reservations;
+
+use std::sync::Arc;
+
+use rtic_history::Transition;
+use rtic_relation::Catalog;
+use rtic_temporal::Constraint;
+
+pub use audit::Audit;
+pub use expected::Expected;
+pub use library::Library;
+pub use monitor::Monitor;
+pub use random::RandomWorkload;
+pub use reservations::Reservations;
+
+/// A generated workload: schema, constraints, the transition stream, and
+/// the injected violations' expected detections.
+#[derive(Clone, Debug)]
+pub struct Generated {
+    /// Relation schemas the transitions use.
+    pub catalog: Arc<Catalog>,
+    /// The constraints this workload is checked against.
+    pub constraints: Vec<Constraint>,
+    /// The transition stream, timestamps strictly increasing.
+    pub transitions: Vec<Transition>,
+    /// Injected violations, each at its first-definite state.
+    pub expected: Vec<Expected>,
+}

@@ -1,0 +1,80 @@
+//! Process monitoring: the "real-time" reading of the title. Two
+//! constraints run side by side over one event stream — alarms must be
+//! acknowledged within a window (`hist` + negated `once`), and sensor
+//! readings must not spike (`prev` + order comparison).
+//!
+//! Run with: `cargo run --example process_monitor`
+
+use std::sync::Arc;
+
+use rtic::core::{Checker, IncrementalChecker};
+use rtic::temporal::{analysis, Horizon};
+use rtic::workload::Monitor;
+
+fn main() {
+    let spec = Monitor {
+        steps: 150,
+        sensors: 8,
+        raise_rate: 0.1,
+        ack_window: 4,
+        violation_rate: 0.15,
+        spike_rate: 0.03,
+        seed: 11,
+    };
+    let generated = spec.generate();
+
+    let mut checkers: Vec<IncrementalChecker> = generated
+        .constraints
+        .iter()
+        .map(|c| {
+            let body = c.denial_body();
+            println!(
+                "constraint {} (horizon {:?}): {}",
+                c.name,
+                match analysis::horizon(&body) {
+                    Horizon::Finite(d) => format!("{d} ticks"),
+                    Horizon::Unbounded => "unbounded".into(),
+                },
+                c
+            );
+            IncrementalChecker::new(c.clone(), Arc::clone(&generated.catalog)).unwrap()
+        })
+        .collect();
+    println!();
+
+    let mut unacked = 0usize;
+    let mut spikes = 0usize;
+    for tr in &generated.transitions {
+        for checker in &mut checkers {
+            let report = checker.step(tr.time, &tr.update).unwrap();
+            if !report.ok() {
+                match report.constraint.as_str() {
+                    "unacked" => {
+                        unacked += report.violation_count();
+                        if unacked <= 4 {
+                            println!("  {report}");
+                        }
+                    }
+                    "spike" => {
+                        spikes += report.violation_count();
+                        if spikes <= 4 {
+                            println!("  {report}");
+                        }
+                    }
+                    other => unreachable!("unknown constraint {other}"),
+                }
+            }
+        }
+    }
+    println!();
+    println!("unacked-alarm reports: {unacked}");
+    println!("spike reports:         {spikes}");
+    println!("injected violations:   {}", generated.expected.len());
+    for (i, checker) in checkers.iter().enumerate() {
+        println!(
+            "space[{}]: {}",
+            generated.constraints[i].name,
+            checker.space()
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! Quickstart: declare a schema, write a real-time constraint, feed a tiny
+//! history, watch the violation fire at the deadline.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use std::sync::Arc;
+
+use rtic::core::{Checker, IncrementalChecker};
+use rtic::relation::{tuple, Catalog, Schema, Sort, Update};
+use rtic::temporal::parser::parse_constraint;
+use rtic::temporal::TimePoint;
+
+fn main() {
+    // 1. The schema: reservations and confirmations.
+    let catalog = Arc::new(
+        Catalog::new()
+            .with(
+                "reserved",
+                Schema::of(&[("passenger", Sort::Str), ("flight", Sort::Int)]),
+            )
+            .unwrap()
+            .with(
+                "confirmed",
+                Schema::of(&[("passenger", Sort::Str), ("flight", Sort::Int)]),
+            )
+            .unwrap(),
+    );
+
+    // 2. The paper's motivating constraint: a reservation still held two or
+    //    more days after it was made must have been confirmed.
+    let constraint = parse_constraint(
+        "deny unconfirmed: reserved(p, f) && once[2,*] reserved(p, f) \
+         && !once confirmed(p, f)",
+    )
+    .unwrap();
+    println!("constraint: {constraint}");
+
+    // 3. The checker holds only the current state + bounded aux state.
+    let mut checker = IncrementalChecker::new(constraint, catalog).unwrap();
+
+    // 4. Drive a little history: Ann reserves on day 0, Bob on day 1; Bob
+    //    confirms on day 2, Ann never does.
+    let days: Vec<(u64, Update)> = vec![
+        (0, Update::new().with_insert("reserved", tuple!["ann", 17])),
+        (1, Update::new().with_insert("reserved", tuple!["bob", 99])),
+        (2, Update::new().with_insert("confirmed", tuple!["bob", 99])),
+        (3, Update::new()),
+        (4, Update::new()),
+    ];
+
+    for (day, update) in days {
+        let report = checker.step(TimePoint(day), &update).unwrap();
+        println!("  {report}");
+        if day == 2 {
+            assert_eq!(
+                report.violation_count(),
+                1,
+                "Ann's reservation turns two days old unconfirmed on day 2"
+            );
+        }
+    }
+
+    // 5. Space: one current state plus a few timestamps — no history.
+    println!("space: {}", checker.space());
+}

@@ -1,0 +1,102 @@
+//! Standing temporal queries: the same bounded encoding, read as *answers*
+//! instead of violations, plus several constraints sharing one database
+//! through a `ConstraintSet`.
+//!
+//! Run with: `cargo run --example standing_query`
+
+use std::sync::Arc;
+
+use rtic::core::{ConstraintSet, QueryMonitor};
+use rtic::relation::{tuple, Catalog, Schema, Sort, Update};
+use rtic::temporal::parser::{parse_constraint, parse_formula};
+use rtic::temporal::TimePoint;
+
+fn main() {
+    let catalog = Arc::new(
+        Catalog::new()
+            .with(
+                "order",
+                Schema::of(&[("id", Sort::Int), ("who", Sort::Str)]),
+            )
+            .unwrap()
+            .with("shipped", Schema::of(&[("id", Sort::Int)]))
+            .unwrap()
+            .with("paid", Schema::of(&[("id", Sort::Int)]))
+            .unwrap(),
+    );
+
+    // A standing query: which open orders shipped within the last 3 ticks?
+    let query = parse_formula("order(id, who) && once[0,3] shipped(id)").unwrap();
+    let mut recent_shipments =
+        QueryMonitor::new("recent_shipments", query, Arc::clone(&catalog)).unwrap();
+    println!(
+        "standing query columns: {:?}",
+        recent_shipments
+            .answer_vars()
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+    );
+
+    // Two constraints checked together over ONE shared state copy.
+    let mut constraints = ConstraintSet::new(
+        vec![
+            parse_constraint("assert pay_before_ship: shipped(id) -> once paid(id)").unwrap(),
+            parse_constraint(
+                "deny stuck: order(id, who) && once[5,*] order(id, who) && !once shipped(id)",
+            )
+            .unwrap(),
+        ],
+        Arc::clone(&catalog),
+    )
+    .unwrap();
+    println!(
+        "constraint set: {} constraints over one shared state\n",
+        constraints.len()
+    );
+
+    // `shipped`/`paid` are transient events (retracted the next day), so
+    // the once[0,3] window genuinely ages them out.
+    let days: Vec<(u64, Update)> = vec![
+        (
+            1,
+            Update::new()
+                .with_insert("order", tuple![1, "ann"])
+                .with_insert("paid", tuple![1]),
+        ),
+        (
+            2,
+            Update::new()
+                .with_insert("shipped", tuple![1])
+                .with_delete("paid", tuple![1]),
+        ),
+        (
+            3,
+            Update::new()
+                .with_insert("order", tuple![2, "bob"])
+                .with_delete("shipped", tuple![1]),
+        ),
+        // Order 2 ships on day 4 WITHOUT payment: pay_before_ship fires.
+        (4, Update::new().with_insert("shipped", tuple![2])),
+        (5, Update::new().with_delete("shipped", tuple![2])),
+        (6, Update::new()),
+        (7, Update::new().with_insert("order", tuple![3, "cal"])),
+        (8, Update::new()),
+        (12, Update::new()),
+        // Order 3 is 5+ old and never shipped: stuck fires.
+    ];
+
+    for (day, update) in days {
+        let answers = recent_shipments.step(TimePoint(day), &update).unwrap();
+        let reports = constraints.step(TimePoint(day), &update).unwrap();
+        print!("@{day}: query answers = {}", answers.len());
+        for r in &reports {
+            if !r.ok() {
+                print!("  [{}: {}]", r.constraint, r.violations);
+            }
+        }
+        println!();
+    }
+    println!("\nshared-state space: {}", constraints.space());
+    println!("query monitor space: {}", recent_shipments.space());
+}

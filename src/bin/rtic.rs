@@ -1,0 +1,18 @@
+//! The `rtic` binary: check constraint files against transition logs,
+//! explain compilation plans, and generate sample workloads.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = String::new();
+    match rtic::cli::run(&args, &mut out) {
+        Ok(code) => {
+            print!("{out}");
+            std::process::exit(code);
+        }
+        Err(message) => {
+            print!("{out}");
+            eprintln!("rtic: {message}");
+            std::process::exit(2);
+        }
+    }
+}

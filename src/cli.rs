@@ -1,0 +1,311 @@
+//! The `rtic` command-line interface.
+//!
+//! Thin, testable argument handling over the library: the binary in
+//! `src/bin/rtic.rs` forwards to [`run`], and the CLI integration tests
+//! call [`run`] directly with captured output.
+//!
+//! ```text
+//! rtic check <constraints.rtic> <log.rticlog> [--checker NAME] [--quiet] [--stats] [--explain]
+//!            [--checkpoint FILE] [--resume FILE]
+//! rtic explain <constraints.rtic>
+//! rtic generate <reservations|library|monitor|audit|random> [--steps N] [--seed N] [--violation-rate R]
+//! ```
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use rtic_active::ActiveChecker;
+use rtic_core::{checkpoint, explain, Checker, CompiledConstraint, EncodingOptions};
+use rtic_core::{IncrementalChecker, NaiveChecker, WindowedChecker};
+use rtic_history::log::{format_log, LogReader};
+use rtic_history::Transition;
+use rtic_temporal::parser::{parse_file, ConstraintFile};
+use rtic_workload::{Audit, Library, Monitor, RandomWorkload, Reservations};
+
+const USAGE: &str = "\
+rtic — real-time integrity constraints (Chomicki, PODS 1992)
+
+USAGE:
+  rtic check <constraints-file> <log-file> [--checker incremental|naive|windowed|active]
+             [--quiet] [--stats] [--explain] [--checkpoint FILE] [--resume FILE]
+  rtic explain <constraints-file>
+  rtic generate <reservations|library|monitor|audit|random> [--steps N] [--seed N]
+             [--violation-rate R]
+
+The constraints file declares relations and deny/assert constraints; the
+log file is one `@time +rel(values…) -rel(values…)` line per transition,
+consumed streaming. `generate` writes a log (plus its constraint file as
+`# commented` header lines) to standard output. `--checkpoint` saves the
+incremental checkers' bounded state after the run; `--resume` restores it
+before the run, so a log can be checked in consecutive segments
+(incremental checker only).";
+
+/// Runs the CLI; returns the process exit code. All output goes through
+/// `out` so tests can capture it.
+pub fn run(args: &[String], out: &mut String) -> Result<i32, String> {
+    match args.first().map(String::as_str) {
+        Some("check") => check(&args[1..], out),
+        Some("explain") => explain_cmd(&args[1..], out),
+        Some("generate") => generate(&args[1..], out),
+        Some("--help") | Some("-h") | None => {
+            let _ = writeln!(out, "{USAGE}");
+            Ok(0)
+        }
+        Some(other) => Err(format!("unknown subcommand `{other}`; try --help")),
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn load_constraints(path: &str) -> Result<ConstraintFile, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read constraints file `{path}`: {e}"))?;
+    parse_file(&text).map_err(|e| format!("{path}:{e}"))
+}
+
+fn check(args: &[String], out: &mut String) -> Result<i32, String> {
+    let positional: Vec<&String> = args.iter().take_while(|a| !a.starts_with("--")).collect();
+    let [constraints_path, log_path] = positional.as_slice() else {
+        return Err("check needs <constraints-file> and <log-file>; try --help".into());
+    };
+    let quiet = args.iter().any(|a| a == "--quiet");
+    let stats = args.iter().any(|a| a == "--stats");
+    let show_explain = args.iter().any(|a| a == "--explain");
+    let checker_name = flag_value(args, "--checker").unwrap_or("incremental");
+    let checkpoint_path = flag_value(args, "--checkpoint");
+    let resume_path = flag_value(args, "--resume");
+    if (checkpoint_path.is_some() || resume_path.is_some()) && checker_name != "incremental" {
+        return Err("--checkpoint/--resume require the incremental checker".into());
+    }
+
+    let file = load_constraints(constraints_path)?;
+    if file.constraints.is_empty() {
+        return Err(format!("`{constraints_path}` declares no constraints"));
+    }
+    let catalog = Arc::new(file.catalog.clone());
+
+    let resume_sections: Vec<String> = match resume_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read checkpoint `{path}`: {e}"))?;
+            split_checkpoints(&text)
+        }
+        None => Vec::new(),
+    };
+
+    let mut checkers: Vec<Box<dyn Checker>> = Vec::new();
+    for c in &file.constraints {
+        let compiled = CompiledConstraint::compile(c.clone(), Arc::clone(&catalog))
+            .map_err(|e| format!("constraint `{}`: {e}", c.name))?;
+        if show_explain {
+            let _ = writeln!(out, "{}", explain::explain(&compiled));
+        }
+        checkers.push(match checker_name {
+            "incremental" => {
+                let section = resume_sections
+                    .iter()
+                    .find(|s| s.lines().any(|l| l == format!("constraint {}", c.name)));
+                match (resume_path, section) {
+                    (Some(path), None) => {
+                        return Err(format!(
+                            "checkpoint `{path}` has no section for constraint `{}`",
+                            c.name
+                        ))
+                    }
+                    (Some(_), Some(section)) => Box::new(
+                        checkpoint::restore(
+                            c.clone(),
+                            Arc::clone(&catalog),
+                            EncodingOptions::default(),
+                            section,
+                        )
+                        .map_err(|e| e.to_string())?,
+                    ),
+                    (None, _) => Box::new(IncrementalChecker::from_compiled(
+                        compiled,
+                        EncodingOptions::default(),
+                    )),
+                }
+            }
+            "naive" => Box::new(NaiveChecker::from_compiled(compiled)),
+            "windowed" => Box::new(WindowedChecker::from_compiled(compiled)),
+            "active" => Box::new(ActiveChecker::from_compiled(compiled)),
+            other => return Err(format!("unknown checker `{other}`")),
+        });
+    }
+
+    // Stream the log: one transition at a time, never the whole file.
+    let log_file = std::fs::File::open(log_path)
+        .map_err(|e| format!("cannot read log file `{log_path}`: {e}"))?;
+    let reader = LogReader::new(std::io::BufReader::new(log_file));
+    let mut total_violations = 0usize;
+    let mut violated_states = 0usize;
+    let mut transitions = 0usize;
+    for item in reader {
+        let tr: Transition = item.map_err(|e| format!("{log_path}:{e}"))?;
+        transitions += 1;
+        let mut state_bad = false;
+        for checker in checkers.iter_mut() {
+            let report = checker
+                .step(tr.time, &tr.update)
+                .map_err(|e| format!("at {}: {e}", tr.time))?;
+            if !report.ok() {
+                total_violations += report.violation_count();
+                state_bad = true;
+                if !quiet {
+                    let _ = writeln!(out, "{report}");
+                }
+            }
+        }
+        if state_bad {
+            violated_states += 1;
+        }
+    }
+    if let Some(path) = checkpoint_path {
+        let mut text = String::new();
+        for checker in &checkers {
+            // Safe: --checkpoint forces the incremental backend.
+            let inc = checker
+                .as_any()
+                .downcast_ref::<IncrementalChecker>()
+                .expect("incremental backend enforced above");
+            text.push_str(&checkpoint::save(inc));
+        }
+        std::fs::write(path, text).map_err(|e| format!("cannot write checkpoint `{path}`: {e}"))?;
+        let _ = writeln!(out, "checkpoint written to {path}");
+    }
+    let _ = writeln!(
+        out,
+        "checked {} transitions against {} constraint(s) [{}]: {} violation witness(es) over {} state(s)",
+        transitions,
+        checkers.len(),
+        checker_name,
+        total_violations,
+        violated_states,
+    );
+    if stats {
+        for checker in &checkers {
+            let _ = writeln!(
+                out,
+                "space[{}]: {}",
+                checker.constraint().name,
+                checker.space()
+            );
+            if let Some(inc) = checker.as_any().downcast_ref::<IncrementalChecker>() {
+                for stat in inc.node_stats() {
+                    let _ = writeln!(
+                        out,
+                        "  node `{}`: {} key(s), {} timestamp(s)",
+                        stat.formula, stat.keys, stat.timestamps
+                    );
+                }
+            }
+        }
+    }
+    Ok(if total_violations > 0 { 1 } else { 0 })
+}
+
+/// Splits a multi-constraint checkpoint file back into per-checker
+/// sections (each starts with the version header).
+fn split_checkpoints(text: &str) -> Vec<String> {
+    let mut sections: Vec<String> = Vec::new();
+    for line in text.lines() {
+        if line == "rtic-checkpoint v1" {
+            sections.push(String::new());
+        }
+        if let Some(current) = sections.last_mut() {
+            current.push_str(line);
+            current.push('\n');
+        }
+    }
+    sections
+}
+
+fn explain_cmd(args: &[String], out: &mut String) -> Result<i32, String> {
+    let [path] = args else {
+        return Err("explain needs <constraints-file>; try --help".into());
+    };
+    let file = load_constraints(path)?;
+    let catalog = Arc::new(file.catalog.clone());
+    for c in &file.constraints {
+        let compiled = CompiledConstraint::compile(c.clone(), Arc::clone(&catalog))
+            .map_err(|e| format!("constraint `{}`: {e}", c.name))?;
+        let _ = writeln!(out, "{}", explain::explain(&compiled));
+    }
+    Ok(0)
+}
+
+fn generate(args: &[String], out: &mut String) -> Result<i32, String> {
+    let Some(kind) = args.first() else {
+        return Err("generate needs a workload name; try --help".into());
+    };
+    let steps: usize = flag_value(args, "--steps")
+        .map(|v| v.parse().map_err(|e| format!("bad --steps: {e}")))
+        .transpose()?
+        .unwrap_or(100);
+    let seed: u64 = flag_value(args, "--seed")
+        .map(|v| v.parse().map_err(|e| format!("bad --seed: {e}")))
+        .transpose()?
+        .unwrap_or(42);
+    let rate: f64 = flag_value(args, "--violation-rate")
+        .map(|v| v.parse().map_err(|e| format!("bad --violation-rate: {e}")))
+        .transpose()?
+        .unwrap_or(0.05);
+
+    let generated = match kind.as_str() {
+        "reservations" => Reservations {
+            steps,
+            seed,
+            violation_rate: rate,
+            ..Default::default()
+        }
+        .generate(),
+        "library" => Library {
+            steps,
+            seed,
+            violation_rate: rate,
+            ..Default::default()
+        }
+        .generate(),
+        "monitor" => Monitor {
+            steps,
+            seed,
+            violation_rate: rate,
+            ..Default::default()
+        }
+        .generate(),
+        "audit" => Audit {
+            steps,
+            seed,
+            unapproved_rate: rate,
+            ..Default::default()
+        }
+        .generate(),
+        "random" => RandomWorkload {
+            steps,
+            seed,
+            ..Default::default()
+        }
+        .generate(),
+        other => return Err(format!("unknown workload `{other}`")),
+    };
+    // Header: the matching constraint file, commented out for reference.
+    let _ = writeln!(out, "# workload: {kind} steps={steps} seed={seed}");
+    let _ = writeln!(out, "# matching constraint file:");
+    for name in generated.catalog.names() {
+        let schema = generated.catalog.schema_of(name).expect("listed");
+        let attrs: Vec<String> = schema.attributes().iter().map(|a| format!("{a}")).collect();
+        let _ = writeln!(out, "#   relation {name}({})", attrs.join(", "));
+    }
+    for c in &generated.constraints {
+        let _ = writeln!(out, "#   {c}");
+    }
+    let _ = writeln!(out, "# injected violations: {}", generated.expected.len());
+    out.push_str(&format_log(&generated.transitions));
+    Ok(0)
+}

@@ -1,0 +1,31 @@
+//! Facade crate: re-exports the whole rtic workspace under one name, and
+//! hosts the `rtic` command-line interface.
+//!
+//! ```
+//! use rtic::core::{Checker, IncrementalChecker};
+//! use rtic::relation::{tuple, Catalog, Schema, Sort, Update};
+//! use rtic::temporal::parser::parse_constraint;
+//! use rtic::temporal::TimePoint;
+//! use std::sync::Arc;
+//!
+//! let catalog = Arc::new(
+//!     Catalog::new().with("p", Schema::of(&[("x", Sort::Str)])).unwrap(),
+//! );
+//! let c = parse_constraint("deny d: p(x) && hist[0,1] p(x)").unwrap();
+//! let mut checker = IncrementalChecker::new(c, catalog).unwrap();
+//! checker
+//!     .step(TimePoint(1), &Update::new().with_insert("p", tuple!["a"]))
+//!     .unwrap();
+//! let report = checker.step(TimePoint(2), &Update::new()).unwrap();
+//! assert_eq!(report.violation_count(), 1); // p(a) held at both recent states
+//! ```
+#![forbid(unsafe_code)]
+
+pub mod cli;
+
+pub use rtic_active as active;
+pub use rtic_core as core;
+pub use rtic_history as history;
+pub use rtic_relation as relation;
+pub use rtic_temporal as temporal;
+pub use rtic_workload as workload;

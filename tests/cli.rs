@@ -1,0 +1,213 @@
+//! CLI integration tests, driving `rtic::cli::run` with captured output.
+
+use std::io::Write as _;
+
+fn run(args: &[&str]) -> (Result<i32, String>, String) {
+    let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let mut out = String::new();
+    let code = rtic::cli::run(&args, &mut out);
+    (code, out)
+}
+
+fn temp_file(name: &str, content: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("rtic-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(content.as_bytes()).unwrap();
+    path
+}
+
+const CONSTRAINTS: &str = r#"
+relation reserved(p: str, f: int)
+relation confirmed(p: str, f: int)
+deny unconfirmed: reserved(p, f) && once[2,*] reserved(p, f) && !once confirmed(p, f)
+"#;
+
+const LOG: &str = r#"
+@0 +reserved("ann", 17)
+@1
+@2
+@3 +confirmed("ann", 17)
+@4
+"#;
+
+#[test]
+fn help_prints_usage() {
+    let (code, out) = run(&["--help"]);
+    assert_eq!(code.unwrap(), 0);
+    assert!(out.contains("USAGE"));
+    let (code, out) = run(&[]);
+    assert_eq!(code.unwrap(), 0);
+    assert!(out.contains("USAGE"));
+}
+
+#[test]
+fn unknown_subcommand_errors() {
+    let (code, _) = run(&["frobnicate"]);
+    assert!(code.unwrap_err().contains("frobnicate"));
+}
+
+#[test]
+fn check_reports_violations_and_exit_code() {
+    let c = temp_file("c.rtic", CONSTRAINTS);
+    let l = temp_file("l.rticlog", LOG);
+    let (code, out) = run(&["check", c.to_str().unwrap(), l.to_str().unwrap()]);
+    assert_eq!(code.unwrap(), 1, "violations → exit 1");
+    assert!(out.contains("VIOLATION"), "{out}");
+    assert!(out.contains("@2"), "flagged at the deadline: {out}");
+    // Ann confirms at 3 — 2 violating states (t=2 only... t=3 confirmed).
+    assert!(out.contains("over 1 state(s)"), "{out}");
+}
+
+#[test]
+fn check_clean_log_exits_zero() {
+    let c = temp_file("c2.rtic", CONSTRAINTS);
+    let l = temp_file(
+        "l2.rticlog",
+        "@0 +reserved(\"bob\", 9)\n@1 +confirmed(\"bob\", 9)\n@5\n",
+    );
+    let (code, out) = run(&["check", c.to_str().unwrap(), l.to_str().unwrap(), "--stats"]);
+    assert_eq!(code.unwrap(), 0);
+    assert!(out.contains("0 violation witness(es)"), "{out}");
+    assert!(out.contains("space[unconfirmed]"), "{out}");
+}
+
+#[test]
+fn all_checker_backends_agree_via_cli() {
+    let c = temp_file("c3.rtic", CONSTRAINTS);
+    let l = temp_file("l3.rticlog", LOG);
+    let mut summaries = Vec::new();
+    for backend in ["incremental", "naive", "windowed", "active"] {
+        let (code, out) = run(&[
+            "check",
+            c.to_str().unwrap(),
+            l.to_str().unwrap(),
+            "--checker",
+            backend,
+            "--quiet",
+        ]);
+        assert_eq!(code.unwrap(), 1, "{backend}");
+        let summary = out
+            .lines()
+            .find(|l| l.contains("violation witness"))
+            .unwrap()
+            .replace(backend, "X");
+        summaries.push(summary);
+    }
+    assert!(summaries.windows(2).all(|w| w[0] == w[1]), "{summaries:?}");
+}
+
+#[test]
+fn check_rejects_bad_inputs() {
+    let c = temp_file("c4.rtic", CONSTRAINTS);
+    let l = temp_file("l4.rticlog", LOG);
+    let (code, _) = run(&["check", "/nonexistent.rtic", l.to_str().unwrap()]);
+    assert!(code.unwrap_err().contains("cannot read"));
+    let (code, _) = run(&["check", c.to_str().unwrap(), "/nonexistent.log"]);
+    assert!(code.unwrap_err().contains("cannot read"));
+    let bad = temp_file("bad.rtic", "relation r(x: int)\ndeny d: !r(x)");
+    let (code, _) = run(&["check", bad.to_str().unwrap(), l.to_str().unwrap()]);
+    assert!(code.unwrap_err().contains("constraint `d`"));
+    let (code, _) = run(&[
+        "check",
+        c.to_str().unwrap(),
+        l.to_str().unwrap(),
+        "--checker",
+        "quantum",
+    ]);
+    assert!(code.unwrap_err().contains("quantum"));
+}
+
+#[test]
+fn explain_describes_the_plan() {
+    let c = temp_file("c5.rtic", CONSTRAINTS);
+    let (code, out) = run(&["explain", c.to_str().unwrap()]);
+    assert_eq!(code.unwrap(), 0);
+    assert!(out.contains("denial body"), "{out}");
+    assert!(out.contains("evaluation plan"), "{out}");
+}
+
+#[test]
+fn generate_emits_replayable_log() {
+    let (code, out) = run(&["generate", "library", "--steps", "25", "--seed", "9"]);
+    assert_eq!(code.unwrap(), 0);
+    // The generated text parses back as a log (comments skipped).
+    let transitions = rtic::history::log::parse_log(&out).unwrap();
+    assert_eq!(transitions.len(), 25);
+    assert!(out.contains("deny overdue"), "constraint header: {out}");
+}
+
+#[test]
+fn checkpoint_and_resume_match_single_pass() {
+    let c = temp_file("ck.rtic", CONSTRAINTS);
+    // A log split into two segments.
+    let full = "@0 +reserved(\"ann\", 17)\n@1 +reserved(\"bob\", 9)\n@2\n@3\n@4 +confirmed(\"bob\", 9)\n@5\n";
+    let l_full = temp_file("ck-full.rticlog", full);
+    let l1 = temp_file(
+        "ck-1.rticlog",
+        "@0 +reserved(\"ann\", 17)\n@1 +reserved(\"bob\", 9)\n@2\n",
+    );
+    let l2 = temp_file("ck-2.rticlog", "@3\n@4 +confirmed(\"bob\", 9)\n@5\n");
+    let ckpt = temp_file("state.ckpt", "");
+    // Single pass.
+    let (_, single) = run(&["check", c.to_str().unwrap(), l_full.to_str().unwrap()]);
+    let single_violations: Vec<&str> = single.lines().filter(|l| l.contains("VIOLATION")).collect();
+    // Segmented pass.
+    let (code1, seg1) = run(&[
+        "check",
+        c.to_str().unwrap(),
+        l1.to_str().unwrap(),
+        "--checkpoint",
+        ckpt.to_str().unwrap(),
+    ]);
+    assert_eq!(code1.unwrap(), 1, "{seg1}");
+    let (code2, seg2) = run(&[
+        "check",
+        c.to_str().unwrap(),
+        l2.to_str().unwrap(),
+        "--resume",
+        ckpt.to_str().unwrap(),
+    ]);
+    assert_eq!(code2.unwrap(), 1, "{seg2}");
+    let seg_violations: Vec<String> = seg1
+        .lines()
+        .chain(seg2.lines())
+        .filter(|l| l.contains("VIOLATION"))
+        .map(str::to_string)
+        .collect();
+    assert_eq!(seg_violations, single_violations, "segmented run diverged");
+}
+
+#[test]
+fn checkpoint_requires_incremental_backend() {
+    let c = temp_file("ck2.rtic", CONSTRAINTS);
+    let l = temp_file("ck2.rticlog", LOG);
+    let (code, _) = run(&[
+        "check",
+        c.to_str().unwrap(),
+        l.to_str().unwrap(),
+        "--checker",
+        "naive",
+        "--checkpoint",
+        "/tmp/nope.ckpt",
+    ]);
+    assert!(code.unwrap_err().contains("incremental"));
+}
+
+#[test]
+fn generate_then_check_round_trip() {
+    let (_, log_text) = run(&["generate", "monitor", "--steps", "40", "--seed", "3"]);
+    // Extract the constraint file from the commented header.
+    let constraint_lines: String = log_text
+        .lines()
+        .filter_map(|l| l.strip_prefix("#   "))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    let c = temp_file("gen.rtic", &constraint_lines);
+    let l = temp_file("gen.rticlog", &log_text);
+    let (code, out) = run(&["check", c.to_str().unwrap(), l.to_str().unwrap(), "--quiet"]);
+    assert!(code.is_ok(), "{out}");
+    assert!(out.contains("40 transitions"), "{out}");
+    assert!(out.contains("2 constraint(s)"), "{out}");
+}

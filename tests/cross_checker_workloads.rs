@@ -1,0 +1,160 @@
+//! All four checker implementations agree on every generated domain
+//! workload, and every injected violation is detected at its
+//! first-definite state — the strong form of experiment T4 run as a test.
+
+use std::sync::Arc;
+
+use rtic::active::ActiveChecker;
+use rtic::core::{Checker, IncrementalChecker, NaiveChecker, StepReport, WindowedChecker};
+use rtic::temporal::Constraint;
+use rtic::workload::{Audit, Generated, Library, Monitor, RandomWorkload, Reservations};
+
+/// Runs one constraint of a workload through all four checkers, asserting
+/// agreement, and returns the (shared) reports.
+fn run_all(generated: &Generated, constraint: &Constraint) -> Vec<StepReport> {
+    let catalog = &generated.catalog;
+    let mut inc = IncrementalChecker::new(constraint.clone(), Arc::clone(catalog)).unwrap();
+    let mut naive = NaiveChecker::new(constraint.clone(), Arc::clone(catalog)).unwrap();
+    let mut win = WindowedChecker::new(constraint.clone(), Arc::clone(catalog)).unwrap();
+    let mut act = ActiveChecker::new(constraint.clone(), Arc::clone(catalog)).unwrap();
+    let mut reports = Vec::new();
+    for tr in &generated.transitions {
+        let a = inc.step(tr.time, &tr.update).unwrap();
+        let b = naive.step(tr.time, &tr.update).unwrap();
+        let c = win.step(tr.time, &tr.update).unwrap();
+        let d = act.step(tr.time, &tr.update).unwrap();
+        assert_eq!(a, b, "incremental vs naive at {}", tr.time);
+        assert_eq!(a, c, "incremental vs windowed at {}", tr.time);
+        assert_eq!(a, d, "incremental vs active at {}", tr.time);
+        reports.push(a);
+    }
+    reports
+}
+
+fn assert_expectations(generated: &Generated, reports: &[StepReport]) {
+    for exp in &generated.expected {
+        assert!(
+            reports.iter().any(|r| exp.found_in(r)),
+            "expected violation at {} not reported",
+            exp.time
+        );
+    }
+}
+
+#[test]
+fn reservations_workload_agrees_and_detects() {
+    let generated = Reservations {
+        steps: 80,
+        new_per_step: 2,
+        deadline: 4,
+        violation_rate: 0.15,
+        seed: 21,
+    }
+    .generate();
+    assert!(!generated.expected.is_empty());
+    let reports = run_all(&generated, &generated.constraints[0]);
+    assert_expectations(&generated, &reports);
+}
+
+#[test]
+fn library_workload_agrees_and_detects() {
+    let generated = Library {
+        steps: 70,
+        checkouts_per_step: 2,
+        period: 6,
+        violation_rate: 0.2,
+        late_by: 2,
+        seed: 22,
+    }
+    .generate();
+    assert!(!generated.expected.is_empty());
+    let reports = run_all(&generated, &generated.constraints[0]);
+    assert_expectations(&generated, &reports);
+}
+
+#[test]
+fn monitor_workload_agrees_and_detects() {
+    let generated = Monitor {
+        steps: 70,
+        sensors: 6,
+        raise_rate: 0.15,
+        ack_window: 3,
+        violation_rate: 0.3,
+        spike_rate: 0.05,
+        seed: 23,
+    }
+    .generate();
+    assert!(!generated.expected.is_empty());
+    let mut all_reports = Vec::new();
+    for constraint in &generated.constraints {
+        all_reports.extend(run_all(&generated, constraint));
+    }
+    assert_expectations(&generated, &all_reports);
+}
+
+#[test]
+fn audit_workload_agrees_and_detects() {
+    let generated = Audit {
+        steps: 80,
+        unapproved_rate: 0.15,
+        flag_rate: 0.08,
+        ..Default::default()
+    }
+    .generate();
+    assert!(!generated.expected.is_empty());
+    let mut all_reports = Vec::new();
+    for constraint in &generated.constraints {
+        all_reports.extend(run_all(&generated, constraint));
+    }
+    assert_expectations(&generated, &all_reports);
+}
+
+#[test]
+fn random_workload_agrees() {
+    for seed in [1u64, 2, 3] {
+        let generated = RandomWorkload {
+            steps: 50,
+            domain: 12,
+            updates_per_step: 6,
+            bound: 4,
+            seed,
+            max_gap: 3, // exercise clock gaps across all four checkers
+        }
+        .generate();
+        run_all(&generated, &generated.constraints[0]);
+    }
+}
+
+#[test]
+fn detections_happen_at_the_earliest_definite_state_not_before() {
+    // For the reservations workload: the first report of each witness is
+    // exactly at its recorded expected time.
+    let generated = Reservations {
+        steps: 60,
+        new_per_step: 1,
+        deadline: 5,
+        violation_rate: 0.5,
+        seed: 99,
+    }
+    .generate();
+    let catalog = &generated.catalog;
+    let mut inc =
+        IncrementalChecker::new(generated.constraints[0].clone(), Arc::clone(catalog)).unwrap();
+    let mut first_seen: std::collections::BTreeMap<Vec<rtic::relation::Value>, u64> =
+        Default::default();
+    for tr in &generated.transitions {
+        let r = inc.step(tr.time, &tr.update).unwrap();
+        for row in r.violations.rows() {
+            first_seen.entry(row.values().to_vec()).or_insert(tr.time.0);
+        }
+    }
+    assert_eq!(first_seen.len(), generated.expected.len());
+    let expected_times: std::collections::BTreeSet<u64> =
+        generated.expected.iter().map(|e| e.time.0).collect();
+    for (_, t) in first_seen {
+        assert!(
+            expected_times.contains(&t),
+            "first detection at unexpected time {t}"
+        );
+    }
+}
