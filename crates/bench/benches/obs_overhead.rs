@@ -1,0 +1,54 @@
+//! Observation hooks must be free when disabled: `step` vs
+//! `step_observed(NopObserver)` on the motivating reservations workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtic_core::{Checker, IncrementalChecker, NopObserver};
+use rtic_temporal::parser::parse_constraint;
+use rtic_workload::Reservations;
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let g = Reservations {
+        steps: 300,
+        new_per_step: 2,
+        deadline: 5,
+        violation_rate: 0.02,
+        seed: 42,
+    }
+    .generate();
+    let constraint = parse_constraint(
+        "deny unconfirmed_ever: reserved(p, f) && once[2,*] reserved_at(p, f) \
+         && !once confirmed(p, f)",
+    )
+    .unwrap();
+
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("plain_step", 300), &g, |b, g| {
+        b.iter(|| {
+            let mut checker =
+                IncrementalChecker::new(constraint.clone(), Arc::clone(&g.catalog)).unwrap();
+            for tr in &g.transitions {
+                checker.step(tr.time, &tr.update).unwrap();
+            }
+            checker.space().retained_units()
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("nop_observed_step", 300), &g, |b, g| {
+        b.iter(|| {
+            let mut checker =
+                IncrementalChecker::new(constraint.clone(), Arc::clone(&g.catalog)).unwrap();
+            let dyn_c: &mut dyn Checker = &mut checker;
+            for tr in &g.transitions {
+                dyn_c
+                    .step_observed(tr.time, &tr.update, &mut NopObserver)
+                    .unwrap();
+            }
+            dyn_c.space().retained_units()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

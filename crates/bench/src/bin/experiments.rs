@@ -13,7 +13,51 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(|s| s.to_lowercase());
     if args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: experiments [--quick] [--table t1|f1|t2|f2|t3|t4|f3|t5|t6|t7]");
+        eprintln!(
+            "usage: experiments [--quick] [--table t1|f1|t2|f2|t3|t4|f3|t5|t6|t7]\n\
+             \x20                  [--metrics FILE] [--trace FILE]"
+        );
+        eprintln!(
+            "--metrics/--trace run the instrumented telemetry pass (motivating\n\
+             constraint, reservations workload) and write the observer output."
+        );
+        return;
+    }
+    let metrics_path = args
+        .iter()
+        .position(|a| a == "--metrics")
+        .and_then(|i| args.get(i + 1));
+    let trace_path = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1));
+    if metrics_path.is_some() || trace_path.is_some() {
+        let mut registry = rtic_obs::MetricsRegistry::new();
+        let mut trace = trace_path.map(|p| {
+            rtic_obs::TraceWriter::to_file(p)
+                .unwrap_or_else(|e| panic!("cannot open trace file `{p}`: {e}"))
+        });
+        let m = {
+            let mut obs = rtic_obs::MultiObserver::new().with(&mut registry);
+            if let Some(t) = trace.as_mut() {
+                obs.push(t);
+            }
+            experiments::telemetry_run(&scale, &mut obs)
+        };
+        println!(
+            "telemetry run [{}]: {} steps, {} violation(s), tail {:.1} us/step",
+            m.checker, m.steps, m.violations, m.tail_step_us
+        );
+        if let Some(p) = metrics_path {
+            std::fs::write(p, registry.render_json())
+                .unwrap_or_else(|e| panic!("cannot write metrics `{p}`: {e}"));
+            println!("metrics written to {p}");
+        }
+        if let Some(t) = trace {
+            let lines = t.lines_written();
+            t.finish().expect("trace flush");
+            println!("trace written to {} ({lines} events)", trace_path.unwrap());
+        }
         return;
     }
     println!(

@@ -550,6 +550,19 @@ pub fn t7_adom_bound(scale: &Scale) -> Table {
     t
 }
 
+/// The motivating-constraint reservations run with an observer attached:
+/// the experiment harness's entry point for external telemetry (`--metrics`
+/// / `--trace` on the experiments binary). Returns the incremental
+/// checker's measurement; every step and space poll also flows to `obs`.
+pub fn telemetry_run(
+    scale: &Scale,
+    obs: &mut dyn rtic_core::observe::StepObserver,
+) -> RunMeasurement {
+    let g = reservations_at(scale.run_length);
+    let c = motivating_constraint();
+    crate::measure::run_instrumented_observed(&mut inc(&c, &g), &g.transitions, 16, obs)
+}
+
 /// Runs every experiment at `scale`, in id order.
 pub fn all_tables(scale: &Scale) -> Vec<Table> {
     vec![

@@ -59,6 +59,7 @@ use std::sync::Arc;
 use rtic_relation::{Catalog, Tuple, Value};
 use rtic_temporal::{Constraint, TimePoint};
 
+use crate::checker::Checker as _;
 use crate::encode::HistInfDump;
 use crate::error::CompileError;
 use crate::incremental::{EncodingOptions, IncrementalChecker, NodeState};
@@ -474,6 +475,39 @@ pub fn restore(
             return Err(r.err(format!("unexpected line `{line}`")));
         }
     }
+    Ok(checker)
+}
+
+/// [`save`] with observation: emits a
+/// [`StepEvent::CheckpointSave`](crate::observe::StepEvent) carrying the
+/// serialized size.
+pub fn save_observed(
+    checker: &IncrementalChecker,
+    obs: &mut dyn crate::observe::StepObserver,
+) -> String {
+    let text = save(checker);
+    obs.observe(&crate::observe::StepEvent::CheckpointSave {
+        constraint: checker.constraint().name,
+        bytes: text.len(),
+    });
+    text
+}
+
+/// [`restore`] with observation: emits a
+/// [`StepEvent::CheckpointRestore`](crate::observe::StepEvent) on success
+/// only — a failed restore produced no usable checker.
+pub fn restore_observed(
+    constraint: Constraint,
+    catalog: Arc<Catalog>,
+    options: EncodingOptions,
+    text: &str,
+    obs: &mut dyn crate::observe::StepObserver,
+) -> Result<IncrementalChecker, CheckpointError> {
+    let checker = restore(constraint, catalog, options, text)?;
+    obs.observe(&crate::observe::StepEvent::CheckpointRestore {
+        constraint: checker.constraint().name,
+        bytes: text.len(),
+    });
     Ok(checker)
 }
 

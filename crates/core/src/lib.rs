@@ -58,6 +58,7 @@ pub mod explain;
 mod incremental;
 mod monitor;
 pub mod naive;
+pub mod observe;
 mod report;
 mod set;
 mod windowed;
@@ -69,6 +70,7 @@ pub use error::CompileError;
 pub use incremental::{EncodingOptions, IncrementalChecker, NodeStat};
 pub use monitor::QueryMonitor;
 pub use naive::NaiveChecker;
+pub use observe::{NopObserver, StepEvent, StepObserver};
 pub use report::{SpaceStats, StepReport};
 pub use set::ConstraintSet;
 pub use windowed::WindowedChecker;

@@ -1,0 +1,499 @@
+//! Step-boundary observation hooks.
+//!
+//! Production monitoring needs visibility into per-step latency,
+//! per-constraint violation rates, and the bounded-space trajectory that is
+//! the paper's central claim — without taxing the hot path when nobody is
+//! watching. This module provides exactly the hook surface; the concrete
+//! observers (metrics registry, structured trace writer, space sampler)
+//! live in the `rtic-obs` crate.
+//!
+//! The design is zero-cost-when-disabled: the plain [`Checker::step`] path
+//! is untouched, and instrumentation only exists on the separate
+//! [`Checker::step_observed`] entry point. Passing [`NopObserver`] there
+//! compiles down to the timing reads plus empty calls; not calling it at
+//! all costs nothing.
+//!
+//! ```
+//! use rtic_core::observe::{CollectingObserver, StepEvent};
+//! use rtic_core::{Checker, IncrementalChecker};
+//! use rtic_relation::{tuple, Catalog, Schema, Sort, Update};
+//! use rtic_temporal::parser::parse_constraint;
+//! use rtic_temporal::TimePoint;
+//! use std::sync::Arc;
+//!
+//! let catalog = Arc::new(
+//!     Catalog::new().with("p", Schema::of(&[("x", Sort::Str)])).unwrap(),
+//! );
+//! let c = parse_constraint("deny d: p(x) && hist[0,1] p(x)").unwrap();
+//! let mut checker = IncrementalChecker::new(c, catalog).unwrap();
+//! let checker: &mut dyn Checker = &mut checker;
+//! let mut obs = CollectingObserver::default();
+//! checker
+//!     .step_observed(
+//!         TimePoint(1),
+//!         &Update::new().with_insert("p", tuple!["a"]),
+//!         &mut obs,
+//!     )
+//!     .unwrap();
+//! assert!(matches!(obs.events[0], StepEvent::StepStart { .. }));
+//! assert!(matches!(obs.events.last(), Some(StepEvent::StepEnd { .. })));
+//! ```
+
+use std::time::Instant;
+
+use rtic_history::HistoryError;
+use rtic_relation::{Symbol, Update};
+use rtic_temporal::TimePoint;
+
+use crate::checker::Checker;
+use crate::report::{SpaceStats, StepReport};
+
+/// One observable event at a step boundary.
+///
+/// Events are delivered in a fixed order per logical step:
+/// `StepStart`, then per constraint `ConstraintEval` (and `Violation` when
+/// witnesses were found), then `StepEnd`. `CheckpointSave`/
+/// `CheckpointRestore` bracket persistence, and `SpaceSample` is emitted by
+/// drivers on their own schedule (e.g. every N steps).
+#[derive(Clone, Debug)]
+pub enum StepEvent<'a> {
+    /// A logical step (one transition) is about to be processed.
+    StepStart {
+        /// Checker implementation name (the run's backend).
+        checker: &'static str,
+        /// Timestamp of the incoming transition.
+        time: TimePoint,
+        /// Tuples inserted + deleted by the update.
+        tuples: usize,
+    },
+    /// One constraint was evaluated against the new state.
+    ConstraintEval {
+        /// Checker implementation name.
+        checker: &'static str,
+        /// The constraint that was evaluated.
+        constraint: Symbol,
+        /// Timestamp of the new state.
+        time: TimePoint,
+        /// Violation witnesses found.
+        violations: usize,
+        /// Wall-clock time of this constraint's step, in nanoseconds.
+        latency_ns: u64,
+    },
+    /// A constraint reported violation witnesses at this state.
+    Violation {
+        /// Checker implementation name.
+        checker: &'static str,
+        /// The full report, including the witness assignments.
+        report: &'a StepReport,
+    },
+    /// The logical step finished.
+    StepEnd {
+        /// Checker implementation name (the run's backend).
+        checker: &'static str,
+        /// Timestamp of the new state.
+        time: TimePoint,
+        /// Violation witnesses across all constraints of the step.
+        violations: usize,
+        /// Wall-clock time of the whole logical step, in nanoseconds.
+        latency_ns: u64,
+    },
+    /// A checkpoint was serialized.
+    CheckpointSave {
+        /// The checkpointed constraint.
+        constraint: Symbol,
+        /// Size of the serialized text.
+        bytes: usize,
+    },
+    /// A checkpoint was restored.
+    CheckpointRestore {
+        /// The restored constraint.
+        constraint: Symbol,
+        /// Size of the serialized text.
+        bytes: usize,
+    },
+    /// A scheduled reading of a checker's space footprint.
+    SpaceSample {
+        /// Checker implementation name.
+        checker: &'static str,
+        /// The constraint whose checker was sampled.
+        constraint: Symbol,
+        /// Timestamp of the state at which the sample was taken.
+        time: TimePoint,
+        /// 0-based index of the step after which the sample was taken.
+        step_index: u64,
+        /// The footprint.
+        stats: SpaceStats,
+    },
+}
+
+impl StepEvent<'_> {
+    /// Short machine-readable event name (used by the trace writer).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            StepEvent::StepStart { .. } => "step_start",
+            StepEvent::ConstraintEval { .. } => "eval",
+            StepEvent::Violation { .. } => "violation",
+            StepEvent::StepEnd { .. } => "step",
+            StepEvent::CheckpointSave { .. } => "checkpoint_save",
+            StepEvent::CheckpointRestore { .. } => "checkpoint_restore",
+            StepEvent::SpaceSample { .. } => "space_sample",
+        }
+    }
+}
+
+/// A sink for [`StepEvent`]s.
+///
+/// Observers must be behavior-neutral: they see borrowed reports and
+/// cannot influence checking (property-tested in
+/// `tests/observer_props.rs`).
+pub trait StepObserver {
+    /// Receives one event.
+    fn observe(&mut self, event: &StepEvent<'_>);
+}
+
+/// The disabled observer: every hook is an empty inlinable call.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NopObserver;
+
+impl StepObserver for NopObserver {
+    #[inline(always)]
+    fn observe(&mut self, _event: &StepEvent<'_>) {}
+}
+
+/// An observer that owns copies of every event it sees — for tests and for
+/// ad-hoc inspection. Violation reports are cloned into owned form.
+#[derive(Clone, Debug, Default)]
+pub struct CollectingObserver {
+    /// The events, in delivery order (with `'static` owned reports).
+    pub events: Vec<StepEvent<'static>>,
+}
+
+impl StepObserver for CollectingObserver {
+    fn observe(&mut self, event: &StepEvent<'_>) {
+        // Re-own the one borrowed variant so the copy is 'static.
+        let owned: StepEvent<'static> = match event {
+            StepEvent::Violation { checker, report } => {
+                let leaked: &'static StepReport = Box::leak(Box::new((*report).clone()));
+                StepEvent::Violation {
+                    checker,
+                    report: leaked,
+                }
+            }
+            StepEvent::StepStart {
+                checker,
+                time,
+                tuples,
+            } => StepEvent::StepStart {
+                checker,
+                time: *time,
+                tuples: *tuples,
+            },
+            StepEvent::ConstraintEval {
+                checker,
+                constraint,
+                time,
+                violations,
+                latency_ns,
+            } => StepEvent::ConstraintEval {
+                checker,
+                constraint: *constraint,
+                time: *time,
+                violations: *violations,
+                latency_ns: *latency_ns,
+            },
+            StepEvent::StepEnd {
+                checker,
+                time,
+                violations,
+                latency_ns,
+            } => StepEvent::StepEnd {
+                checker,
+                time: *time,
+                violations: *violations,
+                latency_ns: *latency_ns,
+            },
+            StepEvent::CheckpointSave { constraint, bytes } => StepEvent::CheckpointSave {
+                constraint: *constraint,
+                bytes: *bytes,
+            },
+            StepEvent::CheckpointRestore { constraint, bytes } => StepEvent::CheckpointRestore {
+                constraint: *constraint,
+                bytes: *bytes,
+            },
+            StepEvent::SpaceSample {
+                checker,
+                constraint,
+                time,
+                step_index,
+                stats,
+            } => StepEvent::SpaceSample {
+                checker,
+                constraint: *constraint,
+                time: *time,
+                step_index: *step_index,
+                stats: *stats,
+            },
+        };
+        self.events.push(owned);
+    }
+}
+
+/// Steps several checkers (one per constraint, sharing a backend) through
+/// one transition as a single logical step, emitting one
+/// `StepStart`/`StepEnd` pair plus per-constraint events.
+///
+/// This is what the CLI and the experiment harness drive; a single checker
+/// can use the equivalent [`Checker::step_observed`].
+pub fn step_all(
+    checkers: &mut [Box<dyn Checker>],
+    time: TimePoint,
+    update: &Update,
+    obs: &mut dyn StepObserver,
+) -> Result<Vec<StepReport>, HistoryError> {
+    let label = checkers.first().map_or("none", |c| c.name());
+    obs.observe(&StepEvent::StepStart {
+        checker: label,
+        time,
+        tuples: update.len(),
+    });
+    let step_start = Instant::now();
+    let mut reports = Vec::with_capacity(checkers.len());
+    let mut total_violations = 0usize;
+    for checker in checkers.iter_mut() {
+        let eval_start = Instant::now();
+        let report = checker.step(time, update)?;
+        let latency_ns = eval_start.elapsed().as_nanos() as u64;
+        total_violations += report.violation_count();
+        obs.observe(&StepEvent::ConstraintEval {
+            checker: checker.name(),
+            constraint: report.constraint,
+            time,
+            violations: report.violation_count(),
+            latency_ns,
+        });
+        if !report.ok() {
+            obs.observe(&StepEvent::Violation {
+                checker: checker.name(),
+                report: &report,
+            });
+        }
+        reports.push(report);
+    }
+    obs.observe(&StepEvent::StepEnd {
+        checker: label,
+        time,
+        violations: total_violations,
+        latency_ns: step_start.elapsed().as_nanos() as u64,
+    });
+    Ok(reports)
+}
+
+/// Emits one [`StepEvent::SpaceSample`] per checker (drivers call this on
+/// their sampling schedule, e.g. every N transitions).
+pub fn sample_space(
+    checkers: &[Box<dyn Checker>],
+    time: TimePoint,
+    step_index: u64,
+    obs: &mut dyn StepObserver,
+) {
+    for checker in checkers {
+        obs.observe(&StepEvent::SpaceSample {
+            checker: checker.name(),
+            constraint: checker.constraint().name,
+            time,
+            step_index,
+            stats: checker.space(),
+        });
+    }
+}
+
+/// Emits one [`StepEvent::SpaceSample`] for a single checker and returns
+/// the stats that were read, so callers polling space anyway don't walk
+/// the aux structures twice.
+pub fn sample_space_one(
+    checker: &dyn Checker,
+    time: TimePoint,
+    step_index: u64,
+    obs: &mut dyn StepObserver,
+) -> SpaceStats {
+    let stats = checker.space();
+    obs.observe(&StepEvent::SpaceSample {
+        checker: checker.name(),
+        constraint: checker.constraint().name,
+        time,
+        step_index,
+        stats,
+    });
+    stats
+}
+
+impl dyn Checker + '_ {
+    /// [`Checker::step`] with observation: emits `StepStart`,
+    /// `ConstraintEval` (+ `Violation` when witnesses were found) and
+    /// `StepEnd` around the step. On error, events after `StepStart` are
+    /// withheld — the step never completed.
+    pub fn step_observed(
+        &mut self,
+        time: TimePoint,
+        update: &Update,
+        obs: &mut dyn StepObserver,
+    ) -> Result<StepReport, HistoryError> {
+        obs.observe(&StepEvent::StepStart {
+            checker: self.name(),
+            time,
+            tuples: update.len(),
+        });
+        let start = Instant::now();
+        let report = self.step(time, update)?;
+        let latency_ns = start.elapsed().as_nanos() as u64;
+        obs.observe(&StepEvent::ConstraintEval {
+            checker: self.name(),
+            constraint: report.constraint,
+            time,
+            violations: report.violation_count(),
+            latency_ns,
+        });
+        if !report.ok() {
+            obs.observe(&StepEvent::Violation {
+                checker: self.name(),
+                report: &report,
+            });
+        }
+        obs.observe(&StepEvent::StepEnd {
+            checker: self.name(),
+            time,
+            violations: report.violation_count(),
+            latency_ns,
+        });
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IncrementalChecker;
+    use rtic_relation::{tuple, Catalog, Schema, Sort};
+    use rtic_temporal::parser::parse_constraint;
+    use std::sync::Arc;
+
+    fn checker() -> IncrementalChecker {
+        let catalog = Arc::new(
+            Catalog::new()
+                .with("p", Schema::of(&[("x", Sort::Str)]))
+                .unwrap(),
+        );
+        IncrementalChecker::new(
+            parse_constraint("deny d: p(x) && hist[0,1] p(x)").unwrap(),
+            catalog,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn step_observed_brackets_the_step() {
+        let mut c = checker();
+        let dyn_c: &mut dyn Checker = &mut c;
+        let mut obs = CollectingObserver::default();
+        dyn_c
+            .step_observed(
+                TimePoint(1),
+                &Update::new().with_insert("p", tuple!["a"]),
+                &mut obs,
+            )
+            .unwrap();
+        let r = dyn_c
+            .step_observed(TimePoint(2), &Update::new(), &mut obs)
+            .unwrap();
+        assert_eq!(r.violation_count(), 1);
+        let kinds: Vec<&str> = obs.events.iter().map(StepEvent::kind).collect();
+        // hist over the empty prefix is vacuously true, so the insert at
+        // t=1 already violates; both steps emit the full event quartet.
+        assert_eq!(
+            kinds,
+            vec![
+                "step_start",
+                "eval",
+                "violation",
+                "step",
+                "step_start",
+                "eval",
+                "violation",
+                "step"
+            ]
+        );
+        let StepEvent::StepStart { tuples, .. } = obs.events[0] else {
+            panic!("first event must be step_start");
+        };
+        assert_eq!(tuples, 1);
+    }
+
+    #[test]
+    fn step_observed_matches_plain_step() {
+        let mut observed = checker();
+        let mut plain = checker();
+        let updates = [
+            Update::new().with_insert("p", tuple!["a"]),
+            Update::new(),
+            Update::new().with_delete("p", tuple!["a"]),
+        ];
+        for (t, u) in updates.iter().enumerate() {
+            let dyn_c: &mut dyn Checker = &mut observed;
+            let a = dyn_c
+                .step_observed(TimePoint(t as u64), u, &mut NopObserver)
+                .unwrap();
+            let b = plain.step(TimePoint(t as u64), u).unwrap();
+            assert_eq!(a, b, "observation changed the verdict at t={t}");
+        }
+    }
+
+    #[test]
+    fn step_all_emits_one_step_per_transition() {
+        let mut checkers: Vec<Box<dyn Checker>> = vec![Box::new(checker()), Box::new(checker())];
+        let mut obs = CollectingObserver::default();
+        step_all(
+            &mut checkers,
+            TimePoint(1),
+            &Update::new().with_insert("p", tuple!["a"]),
+            &mut obs,
+        )
+        .unwrap();
+        step_all(&mut checkers, TimePoint(2), &Update::new(), &mut obs).unwrap();
+        let steps = obs.events.iter().filter(|e| e.kind() == "step").count();
+        assert_eq!(steps, 2, "one step event per transition, not per checker");
+        let evals = obs.events.iter().filter(|e| e.kind() == "eval").count();
+        assert_eq!(evals, 4, "one eval event per checker per transition");
+    }
+
+    #[test]
+    fn sample_space_reports_per_checker() {
+        let mut checkers: Vec<Box<dyn Checker>> = vec![Box::new(checker())];
+        step_all(
+            &mut checkers,
+            TimePoint(1),
+            &Update::new(),
+            &mut NopObserver,
+        )
+        .unwrap();
+        let mut obs = CollectingObserver::default();
+        sample_space(&checkers, TimePoint(1), 0, &mut obs);
+        assert_eq!(obs.events.len(), 1);
+        assert!(matches!(obs.events[0], StepEvent::SpaceSample { .. }));
+    }
+
+    #[test]
+    fn failed_step_withholds_completion_events() {
+        let mut c = checker();
+        let dyn_c: &mut dyn Checker = &mut c;
+        let mut obs = CollectingObserver::default();
+        dyn_c
+            .step_observed(TimePoint(5), &Update::new(), &mut obs)
+            .unwrap();
+        // Non-monotonic time: the step fails after StepStart.
+        assert!(dyn_c
+            .step_observed(TimePoint(5), &Update::new(), &mut obs)
+            .is_err());
+        let kinds: Vec<&str> = obs.events.iter().map(StepEvent::kind).collect();
+        assert_eq!(kinds, vec!["step_start", "eval", "step", "step_start"]);
+    }
+}

@@ -1,0 +1,163 @@
+//! Observation must be behavior-neutral:
+//!
+//! > A checker stepped through `step_observed` (with any observer)
+//! > produces exactly the reports of an identical checker stepped through
+//! > plain `step`, and the emitted event stream is consistent with those
+//! > reports.
+//!
+//! Reuses the constraint-template family and random-history generator of
+//! `equivalence_props.rs`, with the collecting observer standing in for
+//! "any observer" (it exercises every event variant and clones reports,
+//! which is as invasive as an observer can get).
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rtic_core::observe::{step_all, CollectingObserver};
+use rtic_core::{Checker, IncrementalChecker, NaiveChecker, StepEvent, WindowedChecker};
+use rtic_history::Transition;
+use rtic_relation::{tuple, Catalog, Schema, Sort, Update};
+use rtic_temporal::parser::parse_constraint;
+use rtic_temporal::Constraint;
+
+fn catalog() -> Arc<Catalog> {
+    Arc::new(
+        Catalog::new()
+            .with("p", Schema::of(&[("x", Sort::Str)]))
+            .unwrap()
+            .with("q", Schema::of(&[("x", Sort::Str)]))
+            .unwrap()
+            .with("r", Schema::of(&[("x", Sort::Str), ("y", Sort::Str)]))
+            .unwrap(),
+    )
+}
+
+fn interval_text() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just(String::new()),
+        (0u64..4).prop_map(|b| format!("[0,{b}]")),
+        (1u64..4).prop_map(|a| format!("[{a},*]")),
+        (1u64..4, 0u64..3).prop_map(|(a, d)| format!("[{a},{}]", a + d)),
+    ]
+}
+
+/// A representative slice of the template family: each temporal operator,
+/// negation, and an aggregate.
+const TEMPLATES: &[&str] = &[
+    "p(x) && once{i} q(x)",
+    "p(x) && !once{i} q(x)",
+    "q(x) since{i} p(x)",
+    "p(x) && hist{i} q(x)",
+    "q(x) && prev{i} p(x)",
+    "once{i} (q(x) since{j} p(x))",
+    "r(x, y) && !once{i} q(x)",
+    "p(x) && count y . (r(x, y)) >= 2",
+];
+
+fn constraint() -> impl Strategy<Value = Constraint> {
+    (0..TEMPLATES.len(), interval_text(), interval_text()).prop_map(|(t, i, j)| {
+        let body = TEMPLATES[t].replace("{i}", &i).replace("{j}", &j);
+        parse_constraint(&format!("deny obs_c: {body}"))
+            .unwrap_or_else(|e| panic!("template failed to parse: {body}: {e}"))
+    })
+}
+
+#[derive(Clone, Debug)]
+struct Step {
+    gap: u64,
+    changes: Vec<(u8, bool, u8, u8)>,
+}
+
+fn step() -> impl Strategy<Value = Step> {
+    let change = (0u8..3, any::<bool>(), 0u8..2, 0u8..2);
+    (1u64..4, proptest::collection::vec(change, 0..4))
+        .prop_map(|(gap, changes)| Step { gap, changes })
+}
+
+fn transitions(steps: &[Step]) -> Vec<Transition> {
+    const DOM: [&str; 2] = ["a", "b"];
+    let mut t = 0u64;
+    steps
+        .iter()
+        .map(|s| {
+            t += s.gap;
+            let mut u = Update::new();
+            for &(rel, ins, x, y) in &s.changes {
+                let (name, tup) = match rel {
+                    0 => ("p", tuple![DOM[x as usize]]),
+                    1 => ("q", tuple![DOM[x as usize]]),
+                    _ => ("r", tuple![DOM[x as usize], DOM[y as usize]]),
+                };
+                if ins {
+                    u.insert(name, tup);
+                } else {
+                    u.delete(name, tup);
+                }
+            }
+            Transition::new(t, u)
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn observed_checkers_match_plain_ones(
+        c in constraint(),
+        steps in proptest::collection::vec(step(), 1..12),
+    ) {
+        let cat = catalog();
+        let ts = transitions(&steps);
+        // Three backends observed, three identical twins unobserved.
+        let mut observed: Vec<Box<dyn Checker>> = vec![
+            Box::new(IncrementalChecker::new(c.clone(), Arc::clone(&cat)).unwrap()),
+            Box::new(NaiveChecker::new(c.clone(), Arc::clone(&cat)).unwrap()),
+            Box::new(WindowedChecker::new(c.clone(), Arc::clone(&cat)).unwrap()),
+        ];
+        let mut inc = IncrementalChecker::new(c.clone(), Arc::clone(&cat)).unwrap();
+        let mut naive = NaiveChecker::new(c.clone(), Arc::clone(&cat)).unwrap();
+        let mut win = WindowedChecker::new(c.clone(), Arc::clone(&cat)).unwrap();
+        let mut obs = CollectingObserver::default();
+        for tr in &ts {
+            let reports = step_all(&mut observed, tr.time, &tr.update, &mut obs).unwrap();
+            let a = inc.step(tr.time, &tr.update).unwrap();
+            let b = naive.step(tr.time, &tr.update).unwrap();
+            let w = win.step(tr.time, &tr.update).unwrap();
+            prop_assert_eq!(&reports[0], &a, "observation changed incremental on `{}` at {}", c, tr.time);
+            prop_assert_eq!(&reports[1], &b, "observation changed naive on `{}` at {}", c, tr.time);
+            prop_assert_eq!(&reports[2], &w, "observation changed windowed on `{}` at {}", c, tr.time);
+        }
+        // Event-stream consistency: one step pair per transition, one eval
+        // per checker per transition, violation events match violating
+        // reports, and step totals equal the sum of eval counts.
+        let step_starts = obs.events.iter().filter(|e| e.kind() == "step_start").count();
+        let step_ends = obs.events.iter().filter(|e| e.kind() == "step").count();
+        prop_assert_eq!(step_starts, ts.len());
+        prop_assert_eq!(step_ends, ts.len());
+        let evals = obs.events.iter().filter(|e| e.kind() == "eval").count();
+        prop_assert_eq!(evals, ts.len() * 3);
+        let eval_violations: usize = obs
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                StepEvent::ConstraintEval { violations, .. } => Some(*violations),
+                _ => None,
+            })
+            .sum();
+        let step_violations: usize = obs
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                StepEvent::StepEnd { violations, .. } => Some(*violations),
+                _ => None,
+            })
+            .sum();
+        prop_assert_eq!(eval_violations, step_violations);
+        let violation_events = obs.events.iter().filter(|e| e.kind() == "violation").count();
+        let violating_evals = obs
+            .events
+            .iter()
+            .filter(|e| matches!(e, StepEvent::ConstraintEval { violations, .. } if *violations > 0))
+            .count();
+        prop_assert_eq!(violation_events, violating_evals);
+    }
+}

@@ -1,0 +1,35 @@
+//! # rtic-obs — run telemetry for rtic checkers
+//!
+//! Concrete [`StepObserver`]s that plug into the hook layer defined in
+//! `rtic_core::observe`:
+//!
+//! * [`MetricsRegistry`] — counters, gauges, and fixed-bucket latency
+//!   histograms, with JSON and Prometheus text exposition.
+//! * [`TraceWriter`] — span-style structured trace: one JSON line per
+//!   step event, to a file or stderr.
+//! * [`SpaceSampler`] — periodic [`rtic_core::SpaceStats`] snapshots, the
+//!   measurement backing the paper's bounded-space claim.
+//! * [`MultiObserver`] — fans one event stream out to several observers.
+//! * [`report`] — renders a saved metrics JSON file as a summary table
+//!   (the `rtic report` subcommand).
+//!
+//! The hooks themselves live in rtic-core so checkers gain instrumentation
+//! without depending on this crate; plain `Checker::step` stays untouched
+//! and [`NopObserver`] compiles to nothing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod report;
+pub mod sampler;
+pub mod trace;
+
+mod multi;
+
+pub use metrics::MetricsRegistry;
+pub use multi::MultiObserver;
+pub use rtic_core::{NopObserver, StepEvent, StepObserver};
+pub use sampler::SpaceSampler;
+pub use trace::TraceWriter;

@@ -1,0 +1,593 @@
+//! Metrics registry: counters, gauges, latency histograms, and their JSON
+//! and Prometheus text expositions.
+
+use std::collections::BTreeMap;
+
+use rtic_core::{SpaceStats, StepEvent, StepObserver};
+
+use crate::json::Json;
+
+/// Upper bucket bounds for step latencies, in microseconds. The final
+/// implicit bucket is `+Inf`.
+pub const LATENCY_BUCKETS_US: [f64; 12] = [
+    1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 10_000.0,
+];
+
+/// A fixed-bucket latency histogram over microseconds.
+#[derive(Clone, Debug)]
+pub struct LatencyHistogram {
+    counts: [u64; LATENCY_BUCKETS_US.len() + 1],
+    count: u64,
+    sum_us: f64,
+    min_us: f64,
+    max_us: f64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram {
+            counts: [0; LATENCY_BUCKETS_US.len() + 1],
+            count: 0,
+            sum_us: 0.0,
+            min_us: f64::INFINITY,
+            max_us: 0.0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one latency observation.
+    pub fn record_ns(&mut self, ns: u64) {
+        let us = ns as f64 / 1000.0;
+        let idx = LATENCY_BUCKETS_US
+            .iter()
+            .position(|&le| us <= le)
+            .unwrap_or(LATENCY_BUCKETS_US.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum_us += us;
+        self.min_us = self.min_us.min(us);
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us / self.count as f64
+        }
+    }
+
+    /// Estimated quantile (`q` in 0..=1) by linear interpolation within
+    /// the containing bucket; exact at the recorded min/max extremes.
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut seen = 0u64;
+        for (idx, &n) in self.counts.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let lo_seen = seen;
+            seen += n;
+            if (seen as f64) < rank {
+                continue;
+            }
+            let lo = if idx == 0 {
+                self.min_us.min(LATENCY_BUCKETS_US[0])
+            } else {
+                LATENCY_BUCKETS_US[idx - 1]
+            };
+            let hi = if idx == LATENCY_BUCKETS_US.len() {
+                self.max_us.max(lo)
+            } else {
+                LATENCY_BUCKETS_US[idx]
+            };
+            let lo = lo.max(self.min_us).min(hi);
+            let hi = hi.min(self.max_us).max(lo);
+            let frac = ((rank - lo_seen as f64) / n as f64).clamp(0.0, 1.0);
+            return lo + (hi - lo) * frac;
+        }
+        self.max_us
+    }
+
+    /// Cumulative `(le_us, count)` pairs, Prometheus-style, ending with
+    /// the `+Inf` bucket (`le = f64::INFINITY`).
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut cum = 0u64;
+        let mut out = Vec::with_capacity(self.counts.len());
+        for (idx, &n) in self.counts.iter().enumerate() {
+            cum += n;
+            let le = LATENCY_BUCKETS_US
+                .get(idx)
+                .copied()
+                .unwrap_or(f64::INFINITY);
+            out.push((le, cum));
+        }
+        out
+    }
+
+    fn to_json(&self) -> Json {
+        let buckets: Vec<Json> = self
+            .cumulative_buckets()
+            .into_iter()
+            .map(|(le, count)| {
+                Json::object()
+                    .set(
+                        "le",
+                        if le.is_finite() {
+                            Json::Num(le)
+                        } else {
+                            Json::Str("+Inf".into())
+                        },
+                    )
+                    .set("count", count)
+            })
+            .collect();
+        Json::object()
+            .set("count", self.count)
+            .set(
+                "min_us",
+                round3(if self.count == 0 { 0.0 } else { self.min_us }),
+            )
+            .set("max_us", round3(self.max_us))
+            .set("mean_us", round3(self.mean_us()))
+            .set("p50_us", round3(self.quantile_us(0.50)))
+            .set("p95_us", round3(self.quantile_us(0.95)))
+            .set("p99_us", round3(self.quantile_us(0.99)))
+            .set("buckets", Json::Arr(buckets))
+    }
+}
+
+fn round3(x: f64) -> f64 {
+    (x * 1000.0).round() / 1000.0
+}
+
+#[derive(Clone, Debug)]
+struct SpaceSampleRow {
+    step_index: u64,
+    time: u64,
+    checker: &'static str,
+    constraint: &'static str,
+    stats: SpaceStats,
+}
+
+/// A [`StepObserver`] that aggregates the event stream into counters,
+/// gauges, and histograms, and renders them as JSON or Prometheus text.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    steps: u64,
+    transitions_started: u64,
+    tuples_ingested: u64,
+    violations: u64,
+    violating_steps: u64,
+    evals_by_constraint: BTreeMap<&'static str, u64>,
+    violations_by_constraint: BTreeMap<&'static str, u64>,
+    checkpoint_saves: u64,
+    checkpoint_restores: u64,
+    checkpoint_bytes: u64,
+    step_latency: LatencyHistogram,
+    eval_latency: LatencyHistogram,
+    checkers: BTreeMap<&'static str, SpaceStats>,
+    space_samples: Vec<SpaceSampleRow>,
+}
+
+impl MetricsRegistry {
+    /// A fresh, empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Completed steps (one per transition, regardless of checker count).
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Total violation witnesses across all constraints.
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// Tuples inserted plus deleted across all observed transitions.
+    pub fn tuples_ingested(&self) -> u64 {
+        self.tuples_ingested
+    }
+
+    /// The step-latency histogram.
+    pub fn step_latency(&self) -> &LatencyHistogram {
+        &self.step_latency
+    }
+
+    /// Latest observed space stats, summed across checkers.
+    pub fn space_now(&self) -> SpaceStats {
+        let mut total = SpaceStats::default();
+        for stats in self.checkers.values() {
+            total.aux_keys += stats.aux_keys;
+            total.aux_timestamps += stats.aux_timestamps;
+            total.stored_states += stats.stored_states;
+            total.stored_tuples += stats.stored_tuples;
+        }
+        total
+    }
+
+    /// Latest observed space stats per checker backend.
+    pub fn space_by_checker(&self) -> impl Iterator<Item = (&'static str, SpaceStats)> + '_ {
+        self.checkers.iter().map(|(name, stats)| (*name, *stats))
+    }
+
+    /// Number of space samples recorded.
+    pub fn space_sample_count(&self) -> usize {
+        self.space_samples.len()
+    }
+
+    /// The most recent space sample per constraint, in first-sampled
+    /// order: `(constraint, checker, stats)`.
+    pub fn latest_space_by_constraint(&self) -> Vec<(&'static str, &'static str, SpaceStats)> {
+        let mut order: Vec<&'static str> = Vec::new();
+        let mut latest: BTreeMap<&'static str, (&'static str, SpaceStats)> = BTreeMap::new();
+        for row in &self.space_samples {
+            if !latest.contains_key(row.constraint) {
+                order.push(row.constraint);
+            }
+            latest.insert(row.constraint, (row.checker, row.stats));
+        }
+        order
+            .into_iter()
+            .map(|constraint| {
+                let (checker, stats) = latest[constraint];
+                (constraint, checker, stats)
+            })
+            .collect()
+    }
+
+    /// The full snapshot as a JSON document.
+    pub fn to_json(&self) -> Json {
+        let by = |map: &BTreeMap<&'static str, u64>| {
+            let mut obj = Json::object();
+            for (name, n) in map {
+                obj = obj.set(name, *n);
+            }
+            obj
+        };
+        let space = self.space_now();
+        let samples: Vec<Json> = self
+            .space_samples
+            .iter()
+            .map(|row| {
+                Json::object()
+                    .set("step", row.step_index)
+                    .set("time", row.time)
+                    .set("checker", row.checker)
+                    .set("constraint", row.constraint)
+                    .set("aux_keys", row.stats.aux_keys)
+                    .set("aux_timestamps", row.stats.aux_timestamps)
+                    .set("stored_states", row.stats.stored_states)
+                    .set("stored_tuples", row.stats.stored_tuples)
+                    .set("retained_units", row.stats.retained_units())
+            })
+            .collect();
+        let checkers: Vec<Json> = self
+            .checkers
+            .keys()
+            .map(|name| Json::Str((*name).into()))
+            .collect();
+        Json::object()
+            .set("steps", self.steps)
+            .set("transitions_started", self.transitions_started)
+            .set("tuples_ingested", self.tuples_ingested)
+            .set("violations", self.violations)
+            .set("violating_steps", self.violating_steps)
+            .set("evals_by_constraint", by(&self.evals_by_constraint))
+            .set(
+                "violations_by_constraint",
+                by(&self.violations_by_constraint),
+            )
+            .set("checkpoint_saves", self.checkpoint_saves)
+            .set("checkpoint_restores", self.checkpoint_restores)
+            .set("checkpoint_bytes", self.checkpoint_bytes)
+            .set("step_latency_us", self.step_latency.to_json())
+            .set("eval_latency_us", self.eval_latency.to_json())
+            .set(
+                "space",
+                Json::object()
+                    .set("aux_keys", space.aux_keys)
+                    .set("aux_timestamps", space.aux_timestamps)
+                    .set("stored_states", space.stored_states)
+                    .set("stored_tuples", space.stored_tuples)
+                    .set("retained_units", space.retained_units()),
+            )
+            .set("space_samples", Json::Arr(samples))
+            .set("checkers", Json::Arr(checkers))
+    }
+
+    /// Pretty-printed JSON exposition.
+    pub fn render_json(&self) -> String {
+        self.to_json().render_pretty()
+    }
+
+    /// Prometheus text exposition (metric names under the `rtic_` prefix).
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let mut counter = |name: &str, help: &str, value: u64| {
+            let _ = writeln!(out, "# HELP rtic_{name} {help}");
+            let _ = writeln!(out, "# TYPE rtic_{name} counter");
+            let _ = writeln!(out, "rtic_{name} {value}");
+        };
+        counter(
+            "steps_total",
+            "Completed logical steps (transitions).",
+            self.steps,
+        );
+        counter(
+            "tuples_ingested_total",
+            "Tuples inserted plus deleted across all transitions.",
+            self.tuples_ingested,
+        );
+        counter(
+            "violations_total",
+            "Violation witnesses across all constraints.",
+            self.violations,
+        );
+        counter(
+            "violating_steps_total",
+            "Steps with at least one violation witness.",
+            self.violating_steps,
+        );
+        counter(
+            "checkpoint_saves_total",
+            "Checkpoints serialized.",
+            self.checkpoint_saves,
+        );
+        counter(
+            "checkpoint_restores_total",
+            "Checkpoints restored.",
+            self.checkpoint_restores,
+        );
+
+        let _ = writeln!(out, "# HELP rtic_evals_total Constraint evaluations.");
+        let _ = writeln!(out, "# TYPE rtic_evals_total counter");
+        for (name, n) in &self.evals_by_constraint {
+            let _ = writeln!(out, "rtic_evals_total{{constraint=\"{name}\"}} {n}");
+        }
+        let _ = writeln!(
+            out,
+            "# HELP rtic_constraint_violations_total Violation witnesses per constraint."
+        );
+        let _ = writeln!(out, "# TYPE rtic_constraint_violations_total counter");
+        for (name, n) in &self.violations_by_constraint {
+            let _ = writeln!(
+                out,
+                "rtic_constraint_violations_total{{constraint=\"{name}\"}} {n}"
+            );
+        }
+
+        let _ = writeln!(
+            out,
+            "# HELP rtic_step_latency_seconds Wall-clock latency per logical step."
+        );
+        let _ = writeln!(out, "# TYPE rtic_step_latency_seconds histogram");
+        for (le_us, count) in self.step_latency.cumulative_buckets() {
+            let le = if le_us.is_finite() {
+                format!("{}", le_us / 1e6)
+            } else {
+                "+Inf".to_string()
+            };
+            let _ = writeln!(
+                out,
+                "rtic_step_latency_seconds_bucket{{le=\"{le}\"}} {count}"
+            );
+        }
+        let _ = writeln!(
+            out,
+            "rtic_step_latency_seconds_sum {}",
+            self.step_latency.mean_us() * self.step_latency.count() as f64 / 1e6
+        );
+        let _ = writeln!(
+            out,
+            "rtic_step_latency_seconds_count {}",
+            self.step_latency.count()
+        );
+
+        let _ = writeln!(
+            out,
+            "# HELP rtic_retained_units Current space footprint per checker backend."
+        );
+        let _ = writeln!(out, "# TYPE rtic_retained_units gauge");
+        for (name, stats) in &self.checkers {
+            let _ = writeln!(
+                out,
+                "rtic_retained_units{{checker=\"{name}\"}} {}",
+                stats.retained_units()
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP rtic_stored_tuples Currently stored tuples per checker backend."
+        );
+        let _ = writeln!(out, "# TYPE rtic_stored_tuples gauge");
+        for (name, stats) in &self.checkers {
+            let _ = writeln!(
+                out,
+                "rtic_stored_tuples{{checker=\"{name}\"}} {}",
+                stats.stored_tuples
+            );
+        }
+        out
+    }
+}
+
+impl StepObserver for MetricsRegistry {
+    fn observe(&mut self, event: &StepEvent<'_>) {
+        match event {
+            StepEvent::StepStart { tuples, .. } => {
+                self.transitions_started += 1;
+                self.tuples_ingested += *tuples as u64;
+            }
+            StepEvent::ConstraintEval {
+                checker,
+                constraint,
+                violations,
+                latency_ns,
+                ..
+            } => {
+                *self
+                    .evals_by_constraint
+                    .entry(constraint.as_str())
+                    .or_default() += 1;
+                if *violations > 0 {
+                    *self
+                        .violations_by_constraint
+                        .entry(constraint.as_str())
+                        .or_default() += *violations as u64;
+                }
+                self.eval_latency.record_ns(*latency_ns);
+                self.checkers.entry(checker).or_default();
+            }
+            StepEvent::Violation { .. } => {}
+            StepEvent::StepEnd {
+                violations,
+                latency_ns,
+                ..
+            } => {
+                self.steps += 1;
+                self.violations += *violations as u64;
+                if *violations > 0 {
+                    self.violating_steps += 1;
+                }
+                self.step_latency.record_ns(*latency_ns);
+            }
+            StepEvent::CheckpointSave { bytes, .. } => {
+                self.checkpoint_saves += 1;
+                self.checkpoint_bytes += *bytes as u64;
+            }
+            StepEvent::CheckpointRestore { .. } => {
+                self.checkpoint_restores += 1;
+            }
+            StepEvent::SpaceSample {
+                checker,
+                constraint,
+                time,
+                step_index,
+                stats,
+            } => {
+                self.checkers.insert(checker, *stats);
+                self.space_samples.push(SpaceSampleRow {
+                    step_index: *step_index,
+                    time: time.0,
+                    checker,
+                    constraint: constraint.as_str(),
+                    stats: *stats,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use rtic_core::{Checker, IncrementalChecker};
+    use rtic_relation::{tuple, Catalog, Schema, Sort, Update};
+    use rtic_temporal::parser::parse_constraint;
+    use rtic_temporal::TimePoint;
+    use std::sync::Arc;
+
+    fn run_workload(registry: &mut MetricsRegistry) {
+        let catalog = Arc::new(
+            Catalog::new()
+                .with("p", Schema::of(&[("x", Sort::Str)]))
+                .unwrap(),
+        );
+        let mut checker = IncrementalChecker::new(
+            parse_constraint("deny d: p(x) && hist[0,1] p(x)").unwrap(),
+            catalog,
+        )
+        .unwrap();
+        let dyn_c: &mut dyn Checker = &mut checker;
+        dyn_c
+            .step_observed(
+                TimePoint(1),
+                &Update::new().with_insert("p", tuple!["a"]),
+                registry,
+            )
+            .unwrap();
+        dyn_c
+            .step_observed(TimePoint(2), &Update::new(), registry)
+            .unwrap();
+    }
+
+    #[test]
+    fn counters_track_the_run() {
+        let mut registry = MetricsRegistry::new();
+        run_workload(&mut registry);
+        assert_eq!(registry.steps(), 2);
+        assert_eq!(registry.tuples_ingested(), 1);
+        // Both steps violate: hist over the empty prefix is vacuously true.
+        assert_eq!(registry.violations(), 2);
+        assert_eq!(registry.evals_by_constraint.get("d"), Some(&2));
+        assert_eq!(registry.violations_by_constraint.get("d"), Some(&2));
+        assert_eq!(registry.step_latency().count(), 2);
+    }
+
+    #[test]
+    fn json_exposition_is_parseable_and_consistent() {
+        let mut registry = MetricsRegistry::new();
+        run_workload(&mut registry);
+        let doc = json::parse(&registry.render_json()).unwrap();
+        assert_eq!(doc.get("steps").and_then(Json::as_u64), Some(2));
+        assert_eq!(doc.get("violations").and_then(Json::as_u64), Some(2));
+        let hist = doc.get("step_latency_us").unwrap();
+        assert_eq!(hist.get("count").and_then(Json::as_u64), Some(2));
+        let buckets = hist.get("buckets").and_then(Json::as_arr).unwrap();
+        assert_eq!(buckets.len(), LATENCY_BUCKETS_US.len() + 1);
+        assert_eq!(
+            buckets.last().unwrap().get("count").and_then(Json::as_u64),
+            Some(2),
+            "+Inf bucket holds every observation"
+        );
+    }
+
+    #[test]
+    fn prometheus_exposition_has_core_families() {
+        let mut registry = MetricsRegistry::new();
+        run_workload(&mut registry);
+        let text = registry.render_prometheus();
+        assert!(text.contains("rtic_steps_total 2"));
+        assert!(text.contains("rtic_violations_total 2"));
+        assert!(text.contains("rtic_constraint_violations_total{constraint=\"d\"} 2"));
+        assert!(text.contains("rtic_step_latency_seconds_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("# TYPE rtic_step_latency_seconds histogram"));
+    }
+
+    #[test]
+    fn histogram_quantiles_are_ordered_and_bounded() {
+        let mut h = LatencyHistogram::default();
+        for ns in [800, 1_500, 3_000, 40_000, 90_000, 2_000_000] {
+            h.record_ns(ns);
+        }
+        let (p50, p95, p99) = (h.quantile_us(0.5), h.quantile_us(0.95), h.quantile_us(0.99));
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        assert!(p99 <= h.max_us);
+        assert!(h.quantile_us(0.0) >= 0.0);
+        assert_eq!(h.count(), 6);
+    }
+
+    #[test]
+    fn empty_histogram_renders_zeros() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.mean_us(), 0.0);
+        assert_eq!(h.quantile_us(0.99), 0.0);
+        let doc = h.to_json();
+        assert_eq!(doc.get("min_us").and_then(Json::as_f64), Some(0.0));
+    }
+}

@@ -1,0 +1,103 @@
+//! Periodic space sampling.
+
+use rtic_core::observe::sample_space;
+use rtic_core::{Checker, StepObserver};
+use rtic_temporal::TimePoint;
+
+/// Drives [`sample_space`] on a fixed schedule: one sample per checker
+/// every `every` completed steps (counting from step 0), routed to
+/// whatever observer the caller passes — typically a
+/// [`crate::MetricsRegistry`] and/or [`crate::TraceWriter`].
+///
+/// This is the measurement loop behind the paper's bounded-space claim:
+/// sampling a run long enough shows the incremental checker's retained
+/// units plateau while the naive checker's grow with history length.
+#[derive(Clone, Copy, Debug)]
+pub struct SpaceSampler {
+    every: u64,
+    taken: u64,
+}
+
+impl SpaceSampler {
+    /// Samples every `every` steps; `every = 0` disables sampling.
+    pub fn new(every: u64) -> SpaceSampler {
+        SpaceSampler { every, taken: 0 }
+    }
+
+    /// A disabled sampler.
+    pub fn disabled() -> SpaceSampler {
+        SpaceSampler::new(0)
+    }
+
+    /// Called after each completed step; emits `SpaceSample` events when
+    /// `step_index` lands on the schedule. Returns whether it sampled.
+    pub fn after_step(
+        &mut self,
+        checkers: &[Box<dyn Checker>],
+        time: TimePoint,
+        step_index: u64,
+        obs: &mut dyn StepObserver,
+    ) -> bool {
+        if self.every == 0 || !step_index.is_multiple_of(self.every) {
+            return false;
+        }
+        sample_space(checkers, time, step_index, obs);
+        self.taken += 1;
+        true
+    }
+
+    /// Number of sampling rounds taken so far.
+    pub fn rounds(&self) -> u64 {
+        self.taken
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtic_core::observe::CollectingObserver;
+    use rtic_core::IncrementalChecker;
+    use rtic_relation::{Catalog, Schema, Sort, Update};
+    use rtic_temporal::parser::parse_constraint;
+    use std::sync::Arc;
+
+    fn checkers() -> Vec<Box<dyn Checker>> {
+        let catalog = Arc::new(
+            Catalog::new()
+                .with("p", Schema::of(&[("x", Sort::Str)]))
+                .unwrap(),
+        );
+        vec![Box::new(
+            IncrementalChecker::new(
+                parse_constraint("deny d: p(x) && hist[0,1] p(x)").unwrap(),
+                catalog,
+            )
+            .unwrap(),
+        )]
+    }
+
+    #[test]
+    fn samples_on_schedule_only() {
+        let mut cs = checkers();
+        let mut obs = CollectingObserver::default();
+        let mut sampler = SpaceSampler::new(3);
+        for step in 0..10u64 {
+            cs[0].step(TimePoint(step), &Update::new()).unwrap();
+            sampler.after_step(&cs, TimePoint(step), step, &mut obs);
+        }
+        // Steps 0, 3, 6, 9.
+        assert_eq!(sampler.rounds(), 4);
+        assert_eq!(obs.events.len(), 4);
+    }
+
+    #[test]
+    fn disabled_sampler_never_fires() {
+        let cs = checkers();
+        let mut obs = CollectingObserver::default();
+        let mut sampler = SpaceSampler::disabled();
+        for step in 0..5u64 {
+            assert!(!sampler.after_step(&cs, TimePoint(step), step, &mut obs));
+        }
+        assert!(obs.events.is_empty());
+    }
+}

@@ -1,0 +1,226 @@
+//! Structured trace writer: one JSON line per step event.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Stderr, Write};
+use std::path::Path;
+
+use rtic_core::{StepEvent, StepObserver};
+
+use crate::json::Json;
+
+/// Converts one event into its trace-line JSON document.
+///
+/// Every line carries `seq` (delivery order) and `event` (the kind name
+/// from [`StepEvent::kind`]); the remaining fields are per-kind.
+pub fn event_json(seq: u64, event: &StepEvent<'_>) -> Json {
+    let base = Json::object().set("seq", seq).set("event", event.kind());
+    match event {
+        StepEvent::StepStart {
+            checker,
+            time,
+            tuples,
+        } => base
+            .set("checker", *checker)
+            .set("time", time.0)
+            .set("tuples", *tuples),
+        StepEvent::ConstraintEval {
+            checker,
+            constraint,
+            time,
+            violations,
+            latency_ns,
+        } => base
+            .set("checker", *checker)
+            .set("constraint", constraint.as_str())
+            .set("time", time.0)
+            .set("violations", *violations)
+            .set("latency_ns", *latency_ns),
+        StepEvent::Violation { checker, report } => base
+            .set("checker", *checker)
+            .set("constraint", report.constraint.as_str())
+            .set("time", report.time.0)
+            .set("violations", report.violation_count())
+            .set("witnesses", format!("{}", report.violations)),
+        StepEvent::StepEnd {
+            checker,
+            time,
+            violations,
+            latency_ns,
+        } => base
+            .set("checker", *checker)
+            .set("time", time.0)
+            .set("violations", *violations)
+            .set("latency_ns", *latency_ns),
+        StepEvent::CheckpointSave { constraint, bytes } => base
+            .set("constraint", constraint.as_str())
+            .set("bytes", *bytes),
+        StepEvent::CheckpointRestore { constraint, bytes } => base
+            .set("constraint", constraint.as_str())
+            .set("bytes", *bytes),
+        StepEvent::SpaceSample {
+            checker,
+            constraint,
+            time,
+            step_index,
+            stats,
+        } => base
+            .set("checker", *checker)
+            .set("constraint", constraint.as_str())
+            .set("time", time.0)
+            .set("step", *step_index)
+            .set("aux_keys", stats.aux_keys)
+            .set("aux_timestamps", stats.aux_timestamps)
+            .set("stored_states", stats.stored_states)
+            .set("stored_tuples", stats.stored_tuples)
+            .set("retained_units", stats.retained_units()),
+    }
+}
+
+enum Sink {
+    File(BufWriter<File>),
+    Stderr(Stderr),
+    Memory(Vec<u8>),
+}
+
+impl Sink {
+    fn write_line(&mut self, line: &str) -> io::Result<()> {
+        match self {
+            Sink::File(w) => writeln!(w, "{line}"),
+            Sink::Stderr(w) => writeln!(w, "{line}"),
+            Sink::Memory(buf) => writeln!(buf, "{line}"),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Sink::File(w) => w.flush(),
+            Sink::Stderr(w) => w.flush(),
+            Sink::Memory(_) => Ok(()),
+        }
+    }
+}
+
+/// A [`StepObserver`] that appends one JSON line per event to a file,
+/// stderr, or an in-memory buffer.
+///
+/// I/O errors after construction are counted, not propagated — tracing
+/// must never fail the checking run. Call [`TraceWriter::finish`] to flush
+/// and learn whether any write failed.
+pub struct TraceWriter {
+    sink: Sink,
+    seq: u64,
+    write_errors: u64,
+}
+
+impl TraceWriter {
+    /// Traces to `path` (truncating any existing file).
+    pub fn to_file(path: impl AsRef<Path>) -> io::Result<TraceWriter> {
+        let file = File::create(path)?;
+        Ok(TraceWriter::with_sink(Sink::File(BufWriter::new(file))))
+    }
+
+    /// Traces to stderr.
+    pub fn to_stderr() -> TraceWriter {
+        TraceWriter::with_sink(Sink::Stderr(io::stderr()))
+    }
+
+    /// Traces to an in-memory buffer (for tests; read back via `finish`).
+    pub fn in_memory() -> TraceWriter {
+        TraceWriter::with_sink(Sink::Memory(Vec::new()))
+    }
+
+    fn with_sink(sink: Sink) -> TraceWriter {
+        TraceWriter {
+            sink,
+            seq: 0,
+            write_errors: 0,
+        }
+    }
+
+    /// Events written so far.
+    pub fn lines_written(&self) -> u64 {
+        self.seq
+    }
+
+    /// Flushes and consumes the writer, returning any buffered content
+    /// (in-memory sink only) or an error if any write or the flush failed.
+    pub fn finish(mut self) -> Result<String, String> {
+        self.sink
+            .flush()
+            .map_err(|e| format!("trace flush failed: {e}"))?;
+        if self.write_errors > 0 {
+            return Err(format!("{} trace write(s) failed", self.write_errors));
+        }
+        match self.sink {
+            Sink::Memory(buf) => String::from_utf8(buf).map_err(|e| format!("non-utf8 trace: {e}")),
+            _ => Ok(String::new()),
+        }
+    }
+}
+
+impl StepObserver for TraceWriter {
+    fn observe(&mut self, event: &StepEvent<'_>) {
+        let line = event_json(self.seq, event).render();
+        self.seq += 1;
+        if self.sink.write_line(&line).is_err() {
+            self.write_errors += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use rtic_core::{Checker, IncrementalChecker};
+    use rtic_relation::{tuple, Catalog, Schema, Sort, Update};
+    use rtic_temporal::parser::parse_constraint;
+    use rtic_temporal::TimePoint;
+    use std::sync::Arc;
+
+    #[test]
+    fn every_line_is_json_with_seq_and_kind() {
+        let catalog = Arc::new(
+            Catalog::new()
+                .with("p", Schema::of(&[("x", Sort::Str)]))
+                .unwrap(),
+        );
+        let mut checker = IncrementalChecker::new(
+            parse_constraint("deny d: p(x) && hist[0,1] p(x)").unwrap(),
+            catalog,
+        )
+        .unwrap();
+        let mut trace = TraceWriter::in_memory();
+        let dyn_c: &mut dyn Checker = &mut checker;
+        dyn_c
+            .step_observed(
+                TimePoint(1),
+                &Update::new().with_insert("p", tuple!["a"]),
+                &mut trace,
+            )
+            .unwrap();
+        dyn_c
+            .step_observed(TimePoint(2), &Update::new(), &mut trace)
+            .unwrap();
+        // Both steps violate (hist over the empty prefix is vacuously
+        // true), so each emits start/eval/violation/step.
+        assert_eq!(trace.lines_written(), 8);
+        let text = trace.finish().unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 8);
+        for (i, line) in lines.iter().enumerate() {
+            let doc = json::parse(line).unwrap_or_else(|e| panic!("line {i} not JSON: {e}"));
+            assert_eq!(doc.get("seq").and_then(Json::as_u64), Some(i as u64));
+            assert!(doc.get("event").and_then(Json::as_str).is_some());
+        }
+        let last = json::parse(lines[7]).unwrap();
+        assert_eq!(last.get("event").and_then(Json::as_str), Some("step"));
+        assert_eq!(last.get("violations").and_then(Json::as_u64), Some(1));
+        let violation = json::parse(lines[6]).unwrap();
+        assert_eq!(
+            violation.get("event").and_then(Json::as_str),
+            Some("violation")
+        );
+        assert!(violation.get("witnesses").and_then(Json::as_str).is_some());
+    }
+}

@@ -170,7 +170,7 @@ impl Monitor {
                         witness: vec![("s", Value::str(&name))],
                     });
                 } else {
-                    *v = old - rng.gen_range(0..3);
+                    *v = old - rng.gen_range(0i64..3);
                 }
                 if t > 1 {
                     u.delete("reading", tuple![name.as_str(), old]);

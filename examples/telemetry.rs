@@ -1,0 +1,96 @@
+//! Instrumented run: the reservations workload checked with a metrics
+//! registry attached, printing the space trajectory and a summary report.
+//!
+//! Run with: `cargo run --release --example telemetry`
+
+use std::sync::Arc;
+
+use rtic::core::observe::step_all;
+use rtic::core::{Checker, IncrementalChecker, NaiveChecker};
+use rtic::obs::{MetricsRegistry, SpaceSampler};
+use rtic::workload::Reservations;
+
+fn main() {
+    let spec = Reservations {
+        steps: 500,
+        new_per_step: 3,
+        deadline: 5,
+        violation_rate: 0.04,
+        seed: 7,
+    };
+    let generated = spec.generate();
+    println!("workload:   {spec:?}");
+    println!("constraint: {}", generated.constraints[0]);
+    println!();
+
+    // Same workload through both backends, each with its own registry, so
+    // the trajectories can be compared side by side.
+    let constraint = generated.constraints[0].clone();
+    type Run = (&'static str, Vec<Box<dyn Checker>>, MetricsRegistry);
+    let mut runs: Vec<Run> = vec![
+        (
+            "incremental",
+            vec![Box::new(
+                IncrementalChecker::new(constraint.clone(), Arc::clone(&generated.catalog))
+                    .unwrap(),
+            )],
+            MetricsRegistry::new(),
+        ),
+        (
+            "naive",
+            vec![Box::new(
+                NaiveChecker::new(constraint, Arc::clone(&generated.catalog)).unwrap(),
+            )],
+            MetricsRegistry::new(),
+        ),
+    ];
+
+    for (_, checkers, registry) in &mut runs {
+        let mut sampler = SpaceSampler::new(50);
+        for (index, tr) in generated.transitions.iter().enumerate() {
+            step_all(checkers, tr.time, &tr.update, registry).unwrap();
+            sampler.after_step(checkers, tr.time, index as u64, registry);
+        }
+    }
+
+    println!("space trajectory (retained units every 50 steps)");
+    println!("{:>8}  {:>12}  {:>12}", "step", runs[0].0, runs[1].0);
+    let samples: Vec<Vec<(u64, usize)>> = runs
+        .iter()
+        .map(|(_, checkers, registry)| {
+            let _ = checkers;
+            registry
+                .to_json()
+                .get("space_samples")
+                .and_then(|s| s.as_arr().map(<[_]>::to_vec))
+                .unwrap_or_default()
+                .iter()
+                .map(|row| {
+                    (
+                        row.get("step").and_then(|v| v.as_u64()).unwrap_or(0),
+                        row.get("retained_units")
+                            .and_then(|v| v.as_u64())
+                            .unwrap_or(0) as usize,
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    for (a, b) in samples[0].iter().zip(&samples[1]) {
+        println!("{:>8}  {:>12}  {:>12}", a.0, a.1, b.1);
+    }
+    println!();
+    println!(
+        "incremental plateaus while naive grows with history — the paper's claim, measured live."
+    );
+    println!();
+
+    for (name, _, registry) in &runs {
+        println!(
+            "[{name}] steps={} violations={} p95_step={:.1}us",
+            registry.steps(),
+            registry.violations(),
+            registry.step_latency().quantile_us(0.95),
+        );
+    }
+}

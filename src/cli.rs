@@ -6,7 +6,9 @@
 //!
 //! ```text
 //! rtic check <constraints.rtic> <log.rticlog> [--checker NAME] [--quiet] [--stats] [--explain]
-//!            [--checkpoint FILE] [--resume FILE]
+//!            [--checkpoint FILE] [--resume FILE] [--metrics FILE] [--trace FILE|-]
+//!            [--sample-space N]
+//! rtic report <metrics.json>
 //! rtic explain <constraints.rtic>
 //! rtic generate <reservations|library|monitor|audit|random> [--steps N] [--seed N] [--violation-rate R]
 //! ```
@@ -15,10 +17,12 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 
 use rtic_active::ActiveChecker;
+use rtic_core::observe;
 use rtic_core::{checkpoint, explain, Checker, CompiledConstraint, EncodingOptions};
 use rtic_core::{IncrementalChecker, NaiveChecker, WindowedChecker};
 use rtic_history::log::{format_log, LogReader};
 use rtic_history::Transition;
+use rtic_obs::{json, report, MetricsRegistry, MultiObserver, SpaceSampler, TraceWriter};
 use rtic_temporal::parser::{parse_file, ConstraintFile};
 use rtic_workload::{Audit, Library, Monitor, RandomWorkload, Reservations};
 
@@ -28,6 +32,8 @@ rtic — real-time integrity constraints (Chomicki, PODS 1992)
 USAGE:
   rtic check <constraints-file> <log-file> [--checker incremental|naive|windowed|active]
              [--quiet] [--stats] [--explain] [--checkpoint FILE] [--resume FILE]
+             [--metrics FILE] [--trace FILE|-] [--sample-space N]
+  rtic report <metrics-file>
   rtic explain <constraints-file>
   rtic generate <reservations|library|monitor|audit|random> [--steps N] [--seed N]
              [--violation-rate R]
@@ -38,13 +44,20 @@ consumed streaming. `generate` writes a log (plus its constraint file as
 `# commented` header lines) to standard output. `--checkpoint` saves the
 incremental checkers' bounded state after the run; `--resume` restores it
 before the run, so a log can be checked in consecutive segments
-(incremental checker only).";
+(incremental checker only).
+
+Telemetry: `--metrics FILE` writes a metrics snapshot after the run (JSON,
+or Prometheus text when FILE ends in `.prom`); `--trace FILE` appends one
+JSON line per step event (`-` traces to stderr); `--sample-space N`
+records every checker's space footprint every N steps. `rtic report`
+renders a JSON metrics snapshot as a summary table.";
 
 /// Runs the CLI; returns the process exit code. All output goes through
 /// `out` so tests can capture it.
 pub fn run(args: &[String], out: &mut String) -> Result<i32, String> {
     match args.first().map(String::as_str) {
         Some("check") => check(&args[1..], out),
+        Some("report") => report_cmd(&args[1..], out),
         Some("explain") => explain_cmd(&args[1..], out),
         Some("generate") => generate(&args[1..], out),
         Some("--help") | Some("-h") | None => {
@@ -82,6 +95,25 @@ fn check(args: &[String], out: &mut String) -> Result<i32, String> {
     if (checkpoint_path.is_some() || resume_path.is_some()) && checker_name != "incremental" {
         return Err("--checkpoint/--resume require the incremental checker".into());
     }
+    let metrics_path = flag_value(args, "--metrics");
+    let trace_path = flag_value(args, "--trace");
+    let sample_every: u64 = flag_value(args, "--sample-space")
+        .map(|v| v.parse().map_err(|e| format!("bad --sample-space: {e}")))
+        .transpose()?
+        .unwrap_or(0);
+
+    // Every run aggregates into a registry; --stats, --metrics and the
+    // sampler all read from the same event stream.
+    let mut registry = MetricsRegistry::new();
+    let mut trace = match trace_path {
+        Some("-") => Some(TraceWriter::to_stderr()),
+        Some(path) => Some(
+            TraceWriter::to_file(path)
+                .map_err(|e| format!("cannot open trace file `{path}`: {e}"))?,
+        ),
+        None => None,
+    };
+    let mut sampler = SpaceSampler::new(sample_every);
 
     let file = load_constraints(constraints_path)?;
     if file.constraints.is_empty() {
@@ -117,15 +149,22 @@ fn check(args: &[String], out: &mut String) -> Result<i32, String> {
                             c.name
                         ))
                     }
-                    (Some(_), Some(section)) => Box::new(
-                        checkpoint::restore(
-                            c.clone(),
-                            Arc::clone(&catalog),
-                            EncodingOptions::default(),
-                            section,
+                    (Some(_), Some(section)) => {
+                        let mut obs = MultiObserver::new().with(&mut registry);
+                        if let Some(t) = trace.as_mut() {
+                            obs.push(t);
+                        }
+                        Box::new(
+                            checkpoint::restore_observed(
+                                c.clone(),
+                                Arc::clone(&catalog),
+                                EncodingOptions::default(),
+                                section,
+                                &mut obs,
+                            )
+                            .map_err(|e| e.to_string())?,
                         )
-                        .map_err(|e| e.to_string())?,
-                    ),
+                    }
                     (None, _) => Box::new(IncrementalChecker::from_compiled(
                         compiled,
                         EncodingOptions::default(),
@@ -146,14 +185,21 @@ fn check(args: &[String], out: &mut String) -> Result<i32, String> {
     let mut total_violations = 0usize;
     let mut violated_states = 0usize;
     let mut transitions = 0usize;
+    let mut last_time = None;
     for item in reader {
         let tr: Transition = item.map_err(|e| format!("{log_path}:{e}"))?;
+        let step_index = transitions as u64;
         transitions += 1;
+        last_time = Some(tr.time);
+        let mut obs = MultiObserver::new().with(&mut registry);
+        if let Some(t) = trace.as_mut() {
+            obs.push(t);
+        }
+        let reports = observe::step_all(&mut checkers, tr.time, &tr.update, &mut obs)
+            .map_err(|e| format!("at {}: {e}", tr.time))?;
+        sampler.after_step(&checkers, tr.time, step_index, &mut obs);
         let mut state_bad = false;
-        for checker in checkers.iter_mut() {
-            let report = checker
-                .step(tr.time, &tr.update)
-                .map_err(|e| format!("at {}: {e}", tr.time))?;
+        for report in &reports {
             if !report.ok() {
                 total_violations += report.violation_count();
                 state_bad = true;
@@ -166,6 +212,20 @@ fn check(args: &[String], out: &mut String) -> Result<i32, String> {
             violated_states += 1;
         }
     }
+    {
+        // Final footprint reading, so --stats and the metrics snapshot
+        // reflect end-of-run space even without --sample-space.
+        let mut obs = MultiObserver::new().with(&mut registry);
+        if let Some(t) = trace.as_mut() {
+            obs.push(t);
+        }
+        observe::sample_space(
+            &checkers,
+            last_time.unwrap_or(rtic_temporal::TimePoint(0)),
+            transitions as u64,
+            &mut obs,
+        );
+    }
     if let Some(path) = checkpoint_path {
         let mut text = String::new();
         for checker in &checkers {
@@ -174,7 +234,11 @@ fn check(args: &[String], out: &mut String) -> Result<i32, String> {
                 .as_any()
                 .downcast_ref::<IncrementalChecker>()
                 .expect("incremental backend enforced above");
-            text.push_str(&checkpoint::save(inc));
+            let mut obs = MultiObserver::new().with(&mut registry);
+            if let Some(t) = trace.as_mut() {
+                obs.push(t);
+            }
+            text.push_str(&checkpoint::save_observed(inc, &mut obs));
         }
         std::fs::write(path, text).map_err(|e| format!("cannot write checkpoint `{path}`: {e}"))?;
         let _ = writeln!(out, "checkpoint written to {path}");
@@ -189,14 +253,15 @@ fn check(args: &[String], out: &mut String) -> Result<i32, String> {
         violated_states,
     );
     if stats {
-        for checker in &checkers {
-            let _ = writeln!(
-                out,
-                "space[{}]: {}",
-                checker.constraint().name,
-                checker.space()
-            );
-            if let Some(inc) = checker.as_any().downcast_ref::<IncrementalChecker>() {
+        // Uniform across backends, read back from the registry (fed by
+        // the final space sample above).
+        for (constraint, _, space) in registry.latest_space_by_constraint() {
+            let _ = writeln!(out, "space[{constraint}]: {space}");
+            let inc = checkers
+                .iter()
+                .find(|ch| ch.constraint().name.as_str() == constraint)
+                .and_then(|ch| ch.as_any().downcast_ref::<IncrementalChecker>());
+            if let Some(inc) = inc {
                 for stat in inc.node_stats() {
                     let _ = writeln!(
                         out,
@@ -207,7 +272,35 @@ fn check(args: &[String], out: &mut String) -> Result<i32, String> {
             }
         }
     }
+    if let Some(path) = metrics_path {
+        let rendered = if path.ends_with(".prom") {
+            registry.render_prometheus()
+        } else {
+            registry.render_json()
+        };
+        std::fs::write(path, rendered)
+            .map_err(|e| format!("cannot write metrics `{path}`: {e}"))?;
+        let _ = writeln!(out, "metrics written to {path}");
+    }
+    if let Some(t) = trace {
+        let lines = t.lines_written();
+        t.finish()?;
+        if let Some(path) = trace_path.filter(|p| *p != "-") {
+            let _ = writeln!(out, "trace written to {path} ({lines} events)");
+        }
+    }
     Ok(if total_violations > 0 { 1 } else { 0 })
+}
+
+fn report_cmd(args: &[String], out: &mut String) -> Result<i32, String> {
+    let [path] = args else {
+        return Err("report needs <metrics-file>; try --help".into());
+    };
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read metrics file `{path}`: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("`{path}` is not valid JSON: {e}"))?;
+    out.push_str(&report::render(&doc)?);
+    Ok(0)
 }
 
 /// Splits a multi-constraint checkpoint file back into per-checker

@@ -26,6 +26,7 @@ pub mod cli;
 pub use rtic_active as active;
 pub use rtic_core as core;
 pub use rtic_history as history;
+pub use rtic_obs as obs;
 pub use rtic_relation as relation;
 pub use rtic_temporal as temporal;
 pub use rtic_workload as workload;

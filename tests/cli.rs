@@ -196,6 +196,185 @@ fn checkpoint_requires_incremental_backend() {
 }
 
 #[test]
+fn check_writes_metrics_snapshot() {
+    let c = temp_file("m.rtic", CONSTRAINTS);
+    let l = temp_file("m.rticlog", LOG);
+    let m = temp_file("m.json", "");
+    let (code, out) = run(&[
+        "check",
+        c.to_str().unwrap(),
+        l.to_str().unwrap(),
+        "--quiet",
+        "--metrics",
+        m.to_str().unwrap(),
+    ]);
+    assert_eq!(code.unwrap(), 1);
+    assert!(out.contains("metrics written to"), "{out}");
+    let doc = rtic::obs::json::parse(&std::fs::read_to_string(&m).unwrap()).unwrap();
+    // Counters line up with the log: 5 transitions, 2 tuple inserts.
+    assert_eq!(doc.get("steps").and_then(|v| v.as_u64()), Some(5));
+    assert_eq!(doc.get("tuples_ingested").and_then(|v| v.as_u64()), Some(2));
+    assert_eq!(doc.get("violations").and_then(|v| v.as_u64()), Some(1));
+    let latency = doc.get("step_latency_us").unwrap();
+    assert_eq!(latency.get("count").and_then(|v| v.as_u64()), Some(5));
+}
+
+#[test]
+fn check_writes_prometheus_when_extension_is_prom() {
+    let c = temp_file("p.rtic", CONSTRAINTS);
+    let l = temp_file("p.rticlog", LOG);
+    let m = temp_file("m.prom", "");
+    let (code, _) = run(&[
+        "check",
+        c.to_str().unwrap(),
+        l.to_str().unwrap(),
+        "--quiet",
+        "--metrics",
+        m.to_str().unwrap(),
+    ]);
+    assert_eq!(code.unwrap(), 1);
+    let text = std::fs::read_to_string(&m).unwrap();
+    assert!(text.contains("rtic_steps_total 5"), "{text}");
+    assert!(
+        text.contains("# TYPE rtic_step_latency_seconds histogram"),
+        "{text}"
+    );
+    assert!(text.contains("rtic_violations_total 1"), "{text}");
+}
+
+#[test]
+fn check_trace_emits_one_step_event_per_transition() {
+    let c = temp_file("t.rtic", CONSTRAINTS);
+    let l = temp_file("t.rticlog", LOG);
+    let t = temp_file("t.jsonl", "");
+    let (code, out) = run(&[
+        "check",
+        c.to_str().unwrap(),
+        l.to_str().unwrap(),
+        "--quiet",
+        "--trace",
+        t.to_str().unwrap(),
+    ]);
+    assert_eq!(code.unwrap(), 1);
+    assert!(out.contains("trace written to"), "{out}");
+    let text = std::fs::read_to_string(&t).unwrap();
+    let mut steps = 0;
+    let mut violations = 0;
+    for line in text.lines() {
+        let event = rtic::obs::json::parse(line)
+            .unwrap_or_else(|e| panic!("trace line is not JSON: {line}: {e}"));
+        match event.get("event").and_then(|v| v.as_str()).unwrap() {
+            "step" => steps += 1,
+            "violation" => violations += 1,
+            _ => {}
+        }
+    }
+    assert_eq!(steps, 5, "one `step` event per transition: {text}");
+    assert_eq!(violations, 1, "{text}");
+}
+
+#[test]
+fn check_sample_space_records_bounded_trajectory() {
+    let c = temp_file("s.rtic", CONSTRAINTS);
+    let l = temp_file("s.rticlog", LOG);
+    let m = temp_file("s.json", "");
+    let t = temp_file("s.jsonl", "");
+    let (code, _) = run(&[
+        "check",
+        c.to_str().unwrap(),
+        l.to_str().unwrap(),
+        "--quiet",
+        "--metrics",
+        m.to_str().unwrap(),
+        "--trace",
+        t.to_str().unwrap(),
+        "--sample-space",
+        "2",
+    ]);
+    assert_eq!(code.unwrap(), 1);
+    let doc = rtic::obs::json::parse(&std::fs::read_to_string(&m).unwrap()).unwrap();
+    let samples = doc.get("space_samples").and_then(|v| v.as_arr()).unwrap();
+    assert!(
+        samples.len() >= 2,
+        "expected periodic samples, got {}",
+        samples.len()
+    );
+    for s in samples {
+        let units = s.get("retained_units").and_then(|v| v.as_u64()).unwrap();
+        assert!(
+            units <= 16,
+            "tiny log retains a tiny footprint, got {units}"
+        );
+    }
+    // The trace and the registry saw the same sample events.
+    let trace_samples = std::fs::read_to_string(&t)
+        .unwrap()
+        .lines()
+        .filter(|l| l.contains("\"event\":\"space_sample\""))
+        .count();
+    assert_eq!(trace_samples, samples.len());
+}
+
+#[test]
+fn report_renders_summary_table() {
+    let c = temp_file("r.rtic", CONSTRAINTS);
+    let l = temp_file("r.rticlog", LOG);
+    let m = temp_file("r.json", "");
+    let (_, _) = run(&[
+        "check",
+        c.to_str().unwrap(),
+        l.to_str().unwrap(),
+        "--quiet",
+        "--metrics",
+        m.to_str().unwrap(),
+        "--sample-space",
+        "2",
+    ]);
+    let (code, out) = run(&["report", m.to_str().unwrap()]);
+    assert_eq!(code.unwrap(), 0, "{out}");
+    assert!(out.contains("steps"), "{out}");
+    assert!(out.contains("violations by constraint"), "{out}");
+    assert!(out.contains("unconfirmed"), "{out}");
+    assert!(out.contains("space trajectory"), "{out}");
+}
+
+#[test]
+fn report_golden_fixture() {
+    let fixture = r#"{
+  "steps": 3,
+  "tuples_ingested": 4,
+  "violations": 1,
+  "violating_steps": 1,
+  "checkpoint_saves": 0,
+  "checkpoint_restores": 0,
+  "violations_by_constraint": {"overdue": 1},
+  "step_latency_us": {"count": 3, "mean_us": 2.0, "p50_us": 2.0, "p95_us": 3.0, "p99_us": 3.0, "max_us": 3.0}
+}"#;
+    let m = temp_file("golden.json", fixture);
+    let (code, out) = run(&["report", m.to_str().unwrap()]);
+    assert_eq!(code.unwrap(), 0, "{out}");
+    assert!(out.contains("overdue"), "{out}");
+    assert!(out.contains('3'), "{out}");
+}
+
+#[test]
+fn report_rejects_bad_inputs() {
+    let (code, _) = run(&["report"]);
+    assert!(code.unwrap_err().contains("metrics-file"));
+    let (code, _) = run(&["report", "/nonexistent-metrics.json"]);
+    assert!(code.unwrap_err().contains("cannot read"));
+    let bad = temp_file("notjson.json", "{nope");
+    let (code, _) = run(&["report", bad.to_str().unwrap()]);
+    assert!(code.is_err());
+    let partial = temp_file("partial.json", "{\"steps\": 1}");
+    let (code, _) = run(&["report", partial.to_str().unwrap()]);
+    assert!(
+        code.unwrap_err().contains("tuples_ingested"),
+        "missing fields are named"
+    );
+}
+
+#[test]
 fn generate_then_check_round_trip() {
     let (_, log_text) = run(&["generate", "monitor", "--steps", "40", "--seed", "3"]);
     // Extract the constraint file from the commented header.

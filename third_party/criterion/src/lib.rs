@@ -1,0 +1,237 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the rtic benches use — `Criterion`,
+//! `benchmark_group`, `bench_with_input`, `BenchmarkId`, `Throughput`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros —
+//! with a drastically simpler engine: a short warm-up followed by a fixed
+//! batch of timed iterations, reporting mean wall-clock per iteration
+//! (plus derived element throughput when declared). No statistical
+//! analysis, plots, or HTML reports; good enough for relative comparisons
+//! in an offline container.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, as in real criterion.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Work-size declaration used to derive throughput numbers.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark's display name: function part plus optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id like `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> BenchmarkId {
+        BenchmarkId {
+            label: name.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> BenchmarkId {
+        BenchmarkId { label: name }
+    }
+}
+
+/// Runs the timing loop for one benchmark.
+pub struct Bencher {
+    iters: u64,
+    /// Mean time per iteration, filled in by [`Bencher::iter`].
+    elapsed_per_iter: Duration,
+}
+
+impl Bencher {
+    /// Times `f`: brief warm-up, then `iters` timed runs.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..self.iters.min(3) {
+            black_box(f());
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed_per_iter = start.elapsed() / self.iters as u32;
+    }
+}
+
+/// Entry point; collects group and top-level benchmarks.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Accepts (and ignores) harness CLI arguments, for API parity.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let label = id.into().label;
+        run_one(&label, self.sample_size, None, f);
+    }
+}
+
+/// A named set of benchmarks sharing sample-size/throughput settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets iterations per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Declares per-iteration work so results include throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Runs an unparameterised benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(&label, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (report already printed incrementally).
+    pub fn finish(&mut self) {}
+}
+
+fn run_one<F: FnOnce(&mut Bencher)>(label: &str, iters: u64, tp: Option<Throughput>, f: F) {
+    let mut b = Bencher {
+        iters,
+        elapsed_per_iter: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed_per_iter;
+    let mut line = format!("{label:<48} {:>12.3} us/iter", per_iter.as_secs_f64() * 1e6);
+    let secs = per_iter.as_secs_f64();
+    match tp {
+        Some(Throughput::Elements(n)) if secs > 0.0 => {
+            line.push_str(&format!("  ({:.0} elem/s)", n as f64 / secs));
+        }
+        Some(Throughput::Bytes(n)) if secs > 0.0 => {
+            line.push_str(&format!("  ({:.0} B/s)", n as f64 / secs));
+        }
+        _ => {}
+    }
+    println!("{line}");
+}
+
+/// Declares a benchmark group: `criterion_group!(benches, fn_a, fn_b);`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point: `criterion_main!(benches);`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub_smoke");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(64));
+        group.bench_with_input(BenchmarkId::new("sum", 64), &64u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_function("plain", |b| b.iter(|| black_box(2 + 2)));
+        group.finish();
+    }
+
+    criterion_group!(smoke_group, sample_bench);
+
+    #[test]
+    fn harness_runs_groups() {
+        smoke_group();
+    }
+
+    #[test]
+    fn bencher_measures_nonzero_time() {
+        let mut b = Bencher {
+            iters: 50,
+            elapsed_per_iter: Duration::ZERO,
+        };
+        b.iter(|| std::thread::sleep(Duration::from_micros(50)));
+        assert!(b.elapsed_per_iter >= Duration::from_micros(40));
+    }
+}

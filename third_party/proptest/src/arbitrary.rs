@@ -1,0 +1,62 @@
+//! `any::<T>()` — canonical strategies for primitive types.
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// The canonical strategy's concrete type.
+    type Strategy: Strategy<Value = Self>;
+    /// The canonical strategy for the type.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T` (e.g. `any::<bool>()`).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Full-domain sampler for one primitive, with edge-case bias for ints.
+#[derive(Clone, Copy, Debug)]
+pub struct PrimitiveAny<T>(std::marker::PhantomData<T>);
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),+) => {$(
+        impl Strategy for PrimitiveAny<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                // Mix raw bits with boundary values so extremes show up
+                // far more often than uniform sampling would produce.
+                match rng.next_u64() % 8 {
+                    0 => 0,
+                    1 => <$t>::MAX,
+                    2 => <$t>::MIN,
+                    3 => 1 as $t,
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = PrimitiveAny<$t>;
+            fn arbitrary() -> Self::Strategy {
+                PrimitiveAny(std::marker::PhantomData)
+            }
+        }
+    )+};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for PrimitiveAny<bool> {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = PrimitiveAny<bool>;
+    fn arbitrary() -> Self::Strategy {
+        PrimitiveAny(std::marker::PhantomData)
+    }
+}

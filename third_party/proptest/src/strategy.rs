@@ -1,0 +1,199 @@
+//! Value-generation strategies: the composable core of the stub.
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+use crate::TestRng;
+
+/// A recipe for generating random values of one type.
+///
+/// Unlike real proptest there is no shrinking: a strategy is just a
+/// sampler. Combinators take `Self: Sized` so the bare trait stays
+/// object-safe for [`BoxedStrategy`].
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Post-processes generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a recursive strategy: `self` generates leaves and `branch`
+    /// wraps an inner strategy into one more layer, applied up to `depth`
+    /// times. The `_desired_size` / `_expected_branch_size` hints from the
+    /// real API are accepted but unused — depth alone bounds growth here.
+    fn prop_recursive<F, S>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        branch: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+        S: Strategy<Value = Self::Value> + 'static,
+    {
+        let mut cur = self.boxed();
+        for _ in 0..depth {
+            // Bias toward leaves so expected size stays bounded even
+            // though every branch arm recurses.
+            cur = Union::new(vec![cur.clone(), cur.clone(), branch(cur).boxed()]).boxed();
+        }
+        cur
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.0.sample(rng)
+    }
+}
+
+/// Always generates a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Uniform choice among several strategies (backs `prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over `arms`; panics if empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            arms: self.arms.clone(),
+        }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len());
+        self.arms[i].sample(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128) % span;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )+};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + (self.end - self.start) * unit
+    }
+}
+
+/// A `&str` literal is a regex strategy, as in real proptest.
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        crate::string::sample_regex(self, rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident $idx:tt),+);)+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy! {
+    (A 0);
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4);
+    (A 0, B 1, C 2, D 3, E 4, F 5);
+}

@@ -1,0 +1,345 @@
+//! Regex-shaped string generation (`proptest::string::string_regex`).
+//!
+//! Supports the regex dialect the rtic tests actually use: literals,
+//! escapes (`\n`, `\t`, `\\`, `\PC` for "printable character", and
+//! escaped metacharacters), character classes `[a-z0-9_]` with ranges and
+//! escapes, `(...)` groups with `|` alternation, and the quantifiers `*`,
+//! `+`, `?`, `{n}`, `{n,m}`. Unbounded repetition is capped at 8.
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+
+const UNBOUNDED_CAP: u32 = 8;
+
+/// Errors from [`string_regex`] on unsupported or malformed patterns.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad string_regex pattern: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A strategy generating strings matching `pattern`.
+pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+    let mut chars: Vec<char> = pattern.chars().collect();
+    chars.push('\0'); // sentinel simplifies lookahead
+    let mut p = Parser { chars, pos: 0 };
+    let node = p.alternation()?;
+    if p.peek() != '\0' {
+        return Err(Error(format!("trailing input at {}", p.pos)));
+    }
+    Ok(RegexGeneratorStrategy { node })
+}
+
+/// Samples `pattern` directly (used by the `&str` strategy impl), panicking
+/// on malformed patterns since those are compile-time literals in tests.
+pub(crate) fn sample_regex(pattern: &str, rng: &mut TestRng) -> String {
+    let strat =
+        string_regex(pattern).unwrap_or_else(|e| panic!("invalid strategy regex {pattern:?}: {e}"));
+    strat.sample(rng)
+}
+
+/// The result of [`string_regex`].
+#[derive(Clone, Debug)]
+pub struct RegexGeneratorStrategy {
+    node: Node,
+}
+
+impl Strategy for RegexGeneratorStrategy {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        emit(&self.node, rng, &mut out);
+        out
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Node {
+    /// Concatenation of parts.
+    Seq(Vec<Node>),
+    /// `a|b|c` alternation.
+    Alt(Vec<Node>),
+    /// One literal character.
+    Lit(char),
+    /// A set of candidate characters (from a class or `\PC`).
+    Class(Vec<char>),
+    /// `inner{lo,hi}` (and the sugar `*` `+` `?`).
+    Repeat(Box<Node>, u32, u32),
+}
+
+fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Seq(parts) => parts.iter().for_each(|p| emit(p, rng, out)),
+        Node::Alt(arms) => emit(&arms[rng.below(arms.len())], rng, out),
+        Node::Lit(c) => out.push(*c),
+        Node::Class(set) => out.push(set[rng.below(set.len())]),
+        Node::Repeat(inner, lo, hi) => {
+            let n = *lo + (rng.next_u64() % (*hi - *lo + 1) as u64) as u32;
+            (0..n).for_each(|_| emit(inner, rng, out));
+        }
+    }
+}
+
+/// ASCII printable characters, the expansion of `\PC`.
+fn printable() -> Vec<char> {
+    (0x20u8..0x7f).map(char::from).collect()
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> char {
+        self.chars[self.pos]
+    }
+
+    fn bump(&mut self) -> char {
+        let c = self.chars[self.pos];
+        if c != '\0' {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn alternation(&mut self) -> Result<Node, Error> {
+        let mut arms = vec![self.sequence()?];
+        while self.peek() == '|' {
+            self.bump();
+            arms.push(self.sequence()?);
+        }
+        Ok(if arms.len() == 1 {
+            arms.pop().unwrap()
+        } else {
+            Node::Alt(arms)
+        })
+    }
+
+    fn sequence(&mut self) -> Result<Node, Error> {
+        let mut parts = Vec::new();
+        while !matches!(self.peek(), '\0' | '|' | ')') {
+            parts.push(self.quantified()?);
+        }
+        Ok(Node::Seq(parts))
+    }
+
+    fn quantified(&mut self) -> Result<Node, Error> {
+        let atom = self.atom()?;
+        let (lo, hi) = match self.peek() {
+            '*' => {
+                self.bump();
+                (0, UNBOUNDED_CAP)
+            }
+            '+' => {
+                self.bump();
+                (1, UNBOUNDED_CAP)
+            }
+            '?' => {
+                self.bump();
+                (0, 1)
+            }
+            '{' => {
+                self.bump();
+                self.counted_repeat()?
+            }
+            _ => return Ok(atom),
+        };
+        Ok(Node::Repeat(Box::new(atom), lo, hi))
+    }
+
+    fn counted_repeat(&mut self) -> Result<(u32, u32), Error> {
+        let lo = self.number()?;
+        let hi = match self.bump() {
+            '}' => return Ok((lo, lo)),
+            ',' => self.number()?,
+            c => return Err(Error(format!("expected , or }} in repeat, got {c:?}"))),
+        };
+        match self.bump() {
+            '}' => {
+                if lo > hi {
+                    return Err(Error(format!("bad repeat bounds {{{lo},{hi}}}")));
+                }
+                Ok((lo, hi))
+            }
+            c => Err(Error(format!("expected }} after repeat, got {c:?}"))),
+        }
+    }
+
+    fn number(&mut self) -> Result<u32, Error> {
+        let start = self.pos;
+        while self.peek().is_ascii_digit() {
+            self.bump();
+        }
+        if self.pos == start {
+            return Err(Error(format!("expected number at {}", start)));
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        text.parse()
+            .map_err(|_| Error(format!("bad repeat count {text:?}")))
+    }
+
+    fn atom(&mut self) -> Result<Node, Error> {
+        match self.bump() {
+            '(' => {
+                let inner = self.alternation()?;
+                match self.bump() {
+                    ')' => Ok(inner),
+                    c => Err(Error(format!("expected ) got {c:?}"))),
+                }
+            }
+            '[' => self.class(),
+            '\\' => Ok(self.escape()?),
+            '.' => Ok(Node::Class(printable())),
+            '\0' => Err(Error("unexpected end of pattern".into())),
+            c @ ('*' | '+' | '?' | '{') => Err(Error(format!("dangling quantifier {c:?}"))),
+            c => Ok(Node::Lit(c)),
+        }
+    }
+
+    fn escape(&mut self) -> Result<Node, Error> {
+        match self.bump() {
+            'n' => Ok(Node::Lit('\n')),
+            't' => Ok(Node::Lit('\t')),
+            'r' => Ok(Node::Lit('\r')),
+            'P' | 'p' => {
+                // Only the `\PC` / `\pC` ("printable"/"any letter-ish")
+                // unicode classes appear in rtic tests; generate ASCII
+                // printable for both.
+                match self.bump() {
+                    'C' | 'L' => Ok(Node::Class(printable())),
+                    c => Err(Error(format!("unsupported unicode class \\P{c}"))),
+                }
+            }
+            '\0' => Err(Error("dangling backslash".into())),
+            c => Ok(Node::Lit(c)), // escaped metacharacter: \( \| \" \. ...
+        }
+    }
+
+    fn class(&mut self) -> Result<Node, Error> {
+        let mut set = Vec::new();
+        if self.peek() == '^' {
+            return Err(Error("negated classes unsupported".into()));
+        }
+        loop {
+            let c = match self.bump() {
+                ']' => break,
+                '\0' => return Err(Error("unterminated character class".into())),
+                '\\' => match self.bump() {
+                    'n' => '\n',
+                    't' => '\t',
+                    'r' => '\r',
+                    '\0' => return Err(Error("dangling backslash in class".into())),
+                    e => e,
+                },
+                c => c,
+            };
+            if self.peek() == '-' && self.chars[self.pos + 1] != ']' {
+                self.bump(); // the dash
+                let hi = match self.bump() {
+                    '\0' => return Err(Error("unterminated range in class".into())),
+                    h => h,
+                };
+                if (hi as u32) < (c as u32) {
+                    return Err(Error(format!("bad class range {c}-{hi}")));
+                }
+                (c as u32..=hi as u32)
+                    .filter_map(char::from_u32)
+                    .for_each(|ch| set.push(ch));
+            } else {
+                set.push(c);
+            }
+        }
+        if set.is_empty() {
+            return Err(Error("empty character class".into()));
+        }
+        Ok(Node::Class(set))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples(pattern: &str, n: usize) -> Vec<String> {
+        let strat = string_regex(pattern).expect(pattern);
+        let mut rng = TestRng::for_case(11);
+        (0..n).map(|_| strat.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn identifier_pattern() {
+        for s in samples("[a-z_][a-z0-9_]{0,6}", 200) {
+            assert!((1..=7).contains(&s.len()), "bad length: {s:?}");
+            let mut cs = s.chars();
+            let head = cs.next().unwrap();
+            assert!(head.is_ascii_lowercase() || head == '_', "bad head: {s:?}");
+            assert!(
+                cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "bad tail: {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn class_with_escapes_and_punct() {
+        for s in samples("[a-z\"\\n ,()@|#0-9]{0,12}", 200) {
+            assert!(s.len() <= 12);
+            assert!(
+                s.chars().all(|c| {
+                    c.is_ascii_lowercase() || c.is_ascii_digit() || "\"\n ,()@|#".contains(c)
+                }),
+                "unexpected char in {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn alternation_with_escaped_metachars() {
+        let pat = "(once|hist|prev|since|exists|deny|\\(|\\)|\\[|\\]|[a-z]|[0-9]|,|\\.|&&|\\|\\||!|<|=|\"| )*";
+        for s in samples(pat, 100) {
+            // Every sample decomposes into the allowed tokens; spot-check
+            // that only expected characters appear.
+            assert!(
+                s.chars().all(|c| {
+                    c.is_ascii_lowercase() || c.is_ascii_digit() || "()[],.&|!<=\" ".contains(c)
+                }),
+                "unexpected char in {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn printable_class() {
+        for s in samples("\\PC*", 100) {
+            assert!(
+                s.chars().all(|c| (' '..='~').contains(&c)),
+                "bad char in {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantifiers_and_groups() {
+        for s in samples("a+b?(cd){2,3}", 100) {
+            assert!(s.starts_with('a'));
+            let rest = s.trim_start_matches('a');
+            let rest = rest.strip_prefix('b').unwrap_or(rest);
+            assert!(rest == "cdcd" || rest == "cdcdcd", "bad tail in {s:?}");
+        }
+    }
+
+    #[test]
+    fn malformed_patterns_error() {
+        assert!(string_regex("[z-a]").is_err());
+        assert!(string_regex("(ab").is_err());
+        assert!(string_regex("a{3,1}").is_err());
+        assert!(string_regex("*a").is_err());
+        assert!(string_regex("[^a]").is_err());
+    }
+}

@@ -1,0 +1,29 @@
+//! Test-loop configuration.
+
+/// How many cases each `proptest!` test runs.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Requested case count (before the `PROPTEST_CASES` env override).
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+
+    /// The effective case count: `PROPTEST_CASES` wins when set.
+    pub fn resolved_cases(&self) -> u64 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(self.cases as u64)
+    }
+}
