@@ -14,7 +14,7 @@ fn main() {
         .map(|s| s.to_lowercase());
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "usage: experiments [--quick] [--table t1|f1|t2|f2|t3|t4|f3|t5|t6|t7]\n\
+            "usage: experiments [--quick] [--table t1|f1|t2|f2|t3|t4|f3|t5|t6|t7|t8]\n\
              \x20                  [--metrics FILE] [--trace FILE]"
         );
         eprintln!(
@@ -56,7 +56,10 @@ fn main() {
         if let Some(t) = trace {
             let lines = t.lines_written();
             t.finish().expect("trace flush");
-            println!("trace written to {} ({lines} events)", trace_path.unwrap());
+            println!(
+                "trace written to {} ({lines} events)",
+                trace_path.expect("trace implies trace_path")
+            );
         }
         return;
     }
@@ -76,6 +79,7 @@ fn main() {
         ("t5", experiments::t5_active_overhead),
         ("t6", experiments::t6_ablation),
         ("t7", experiments::t7_adom_bound),
+        ("t8", experiments::t8_constraint_scaling),
     ];
     for (id, f) in tables {
         if only.as_deref().is_some_and(|o| o != id) {

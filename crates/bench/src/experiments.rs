@@ -6,9 +6,15 @@
 //! the Criterion benches in `benches/` sample the same code paths.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use rtic_active::ActiveChecker;
-use rtic_core::{Checker, EncodingOptions, IncrementalChecker, NaiveChecker, WindowedChecker};
+use rtic_core::{
+    Checker, ConstraintSet, EncodingOptions, IncrementalChecker, NaiveChecker, Parallelism,
+    WindowedChecker,
+};
+use rtic_history::Transition;
+use rtic_relation::{tuple, Schema, Sort, Update};
 use rtic_temporal::parser::parse_constraint;
 use rtic_temporal::Constraint;
 use rtic_workload::{Generated, Library, Monitor, RandomWorkload, Reservations};
@@ -30,6 +36,8 @@ pub struct Scale {
     pub update_sizes: Vec<usize>,
     /// History length for throughput/overhead runs (F3/T5).
     pub run_length: usize,
+    /// Fleet sizes (#constraints) for T8.
+    pub fleet_sizes: Vec<usize>,
 }
 
 impl Scale {
@@ -41,6 +49,7 @@ impl Scale {
             bounds: vec![4, 8, 16, 32, 64, 128],
             update_sizes: vec![4, 8, 16, 32, 64, 128],
             run_length: 600,
+            fleet_sizes: vec![4, 16, 64],
         }
     }
 
@@ -52,6 +61,7 @@ impl Scale {
             bounds: vec![4, 16, 64],
             update_sizes: vec![4, 16, 64],
             run_length: 150,
+            fleet_sizes: vec![4, 16],
         }
     }
 }
@@ -188,12 +198,15 @@ pub fn t2_bound_space(scale: &Scale) -> Table {
             ..Default::default()
         }
         .generate();
-        let c = parse_constraint(&format!("deny hit: base(k) && once[1,{b}] ev(k)")).unwrap();
+        let c = parse_constraint(&format!("deny hit: base(k) && once[1,{b}] ev(k)"))
+            .expect("template parses");
         let mut checker = inc(&c, &g);
         let mut max_ts = 0usize;
         let mut keys_at_max = 1usize;
         for tr in &g.transitions {
-            checker.step(tr.time, &tr.update).unwrap();
+            checker
+                .step(tr.time, &tr.update)
+                .expect("generated stream is monotone");
             let s = checker.space();
             if s.aux_timestamps > max_ts {
                 max_ts = s.aux_timestamps;
@@ -323,7 +336,11 @@ pub fn t4_detection(scale: &Scale) -> Table {
             let reports: Vec<_> = g
                 .transitions
                 .iter()
-                .map(|tr| checker.step(tr.time, &tr.update).unwrap())
+                .map(|tr| {
+                    checker
+                        .step(tr.time, &tr.update)
+                        .expect("generated stream is monotone")
+                })
                 .collect();
             let found = relevant
                 .iter()
@@ -466,13 +483,15 @@ pub fn t6_ablation(scale: &Scale) -> Table {
                 disable_stamp_specialization: true,
             },
         )
-        .unwrap();
+        .expect("generated constraint compiles");
         let ms = run_instrumented(&mut spec, &g.transitions, 4);
         let mut max_plain_ts = 0usize;
         let mut plain_times = Vec::new();
         for tr in &g.transitions {
             let s = std::time::Instant::now();
-            plain.step(tr.time, &tr.update).unwrap();
+            plain
+                .step(tr.time, &tr.update)
+                .expect("generated stream is monotone");
             plain_times.push(s.elapsed().as_secs_f64() * 1e6);
             max_plain_ts = max_plain_ts.max(plain.space().aux_timestamps);
         }
@@ -484,7 +503,8 @@ pub fn t6_ablation(scale: &Scale) -> Table {
             // Re-run spec with per-step space polling for a fair maximum.
             let mut s2 = inc(c, &g);
             for tr in &g.transitions {
-                s2.step(tr.time, &tr.update).unwrap();
+                s2.step(tr.time, &tr.update)
+                    .expect("generated stream is monotone");
                 max_spec_ts = max_spec_ts.max(s2.space().aux_timestamps);
             }
         }
@@ -516,7 +536,7 @@ pub fn t7_adom_bound(scale: &Scale) -> Table {
     t.note("claim: with b = ∞ the aux relations grow with the active domain and then stop;");
     t.note("the naive checker's footprint keeps growing with the history regardless");
     let domain = 24usize;
-    let c = parse_constraint("deny hit: base(k) && once[1,*] ev(k)").unwrap();
+    let c = parse_constraint("deny hit: base(k) && once[1,*] ev(k)").expect("template parses");
     for &n in &scale.history_lengths {
         let g = RandomWorkload {
             steps: n,
@@ -550,6 +570,130 @@ pub fn t7_adom_bound(scale: &Scale) -> Table {
     t
 }
 
+/// Declares the T8 fleet catalog: `n` unary relations `r0..r{n-1}` (one
+/// per constraint, so relevance dispatch can tell the fleet apart) plus a
+/// shared `audit` relation the streams never touch.
+pub fn fleet_catalog(n: usize) -> Arc<rtic_relation::Catalog> {
+    let mut cat = rtic_relation::Catalog::new();
+    for i in 0..n {
+        cat.declare(format!("r{i}"), Schema::of(&[("x", Sort::Str)]))
+            .expect("generated names are distinct");
+    }
+    cat.declare("audit", Schema::of(&[("x", Sort::Str)]))
+        .expect("audit is not an r{i}");
+    Arc::new(cat)
+}
+
+/// One fast-path-eligible constraint per relation: the body is gain-free
+/// (a `once[0,b]` window only ever loses tuples on a clock tick), so a
+/// [`ConstraintSet`] can absorb quiescent steps as window maintenance.
+/// Joining against the never-populated `audit` relation keeps the steady
+/// state violation-free — a violating step disables the next step's fast
+/// path for that constraint, which is the re-check the dispatcher owes.
+pub fn fleet_constraints(n: usize) -> Vec<Constraint> {
+    (0..n)
+        .map(|i| {
+            parse_constraint(&format!("deny c{i}: r{i}(x) && once[0,8] audit(x)"))
+                .expect("generated constraint parses")
+        })
+        .collect()
+}
+
+/// A stream of `steps` transitions that touches `affected` rotating
+/// relations per step — the relevance fraction `affected / n` stays fixed
+/// as the fleet grows.
+pub fn fleet_stream(n: usize, affected: usize, steps: usize) -> Vec<Transition> {
+    const VALS: [&str; 6] = ["v0", "v1", "v2", "v3", "v4", "v5"];
+    (0..steps)
+        .map(|s| {
+            let mut u = Update::new();
+            for k in 0..affected.min(n) {
+                let rel = format!("r{}", (s + k) % n);
+                u.insert(rel.as_str(), tuple![VALS[s % 6]]);
+                u.delete(rel.as_str(), tuple![VALS[(s + 3) % 6]]);
+            }
+            Transition::new((s + 1) as u64, u)
+        })
+        .collect()
+}
+
+/// T8 — fleet scaling: mean step latency vs #constraints with a fixed
+/// number of affected constraints per step, for three engines — `n`
+/// independent incremental checkers, a [`ConstraintSet`] with relevance
+/// dispatch, and the same set stepping with four workers.
+pub fn t8_constraint_scaling(scale: &Scale) -> Table {
+    let mut t = Table::new(
+        "T8",
+        "fleet step latency vs #constraints × relevance fraction",
+        &[
+            "constraints",
+            "affected/step",
+            "independent",
+            "set (dispatch)",
+            "set (4 workers)",
+            "absorbed",
+        ],
+    );
+    t.note("claim: with a fixed number of affected constraints per step, relevance");
+    t.note("dispatch absorbs the quiescent rest, so set step latency grows sub-linearly");
+    t.note("in fleet size while n independent checkers pay full price for every one;");
+    t.note("workers only pay off once per-constraint evaluation outweighs fan-out cost");
+    let steps = scale.run_length;
+    for &n in &scale.fleet_sizes {
+        let mut fractions = vec![1usize, (n / 4).max(1)];
+        fractions.dedup();
+        for affected in fractions {
+            let cat = fleet_catalog(n);
+            let constraints = fleet_constraints(n);
+            let stream = fleet_stream(n, affected, steps);
+
+            // Baseline: one independent checker per constraint.
+            let mut singles: Vec<IncrementalChecker> = constraints
+                .iter()
+                .map(|c| {
+                    IncrementalChecker::new(c.clone(), Arc::clone(&cat))
+                        .expect("generated constraint compiles")
+                })
+                .collect();
+            let start = Instant::now();
+            for tr in &stream {
+                for s in &mut singles {
+                    s.step(tr.time, &tr.update)
+                        .expect("generated stream is monotone");
+                }
+            }
+            let independent = start.elapsed();
+
+            let run_set = |par: Parallelism| {
+                let mut set = ConstraintSet::new(constraints.iter().cloned(), Arc::clone(&cat))
+                    .map_err(|(_, e)| e)
+                    .expect("generated constraint compiles")
+                    .with_parallelism(par);
+                let start = Instant::now();
+                for tr in &stream {
+                    set.step(tr.time, &tr.update)
+                        .expect("generated stream is monotone");
+                }
+                (start.elapsed(), set.dispatch_stats())
+            };
+            let (seq, stats) = run_set(Parallelism::Sequential);
+            let (par4, _) = run_set(Parallelism::N(4));
+
+            let per_step = |d: std::time::Duration| d.as_secs_f64() * 1e6 / steps as f64;
+            let absorbed = 100.0 * stats.skipped as f64 / stats.total().max(1) as f64;
+            t.row(vec![
+                n.to_string(),
+                affected.to_string(),
+                fmt_micros(per_step(independent)),
+                fmt_micros(per_step(seq)),
+                fmt_micros(per_step(par4)),
+                format!("{absorbed:.0}%"),
+            ]);
+        }
+    }
+    t
+}
+
 /// The motivating-constraint reservations run with an observer attached:
 /// the experiment harness's entry point for external telemetry (`--metrics`
 /// / `--trace` on the experiments binary). Returns the incremental
@@ -576,6 +720,7 @@ pub fn all_tables(scale: &Scale) -> Vec<Table> {
         t5_active_overhead(scale),
         t6_ablation(scale),
         t7_adom_bound(scale),
+        t8_constraint_scaling(scale),
     ]
 }
 
@@ -592,6 +737,7 @@ mod tests {
             bounds: vec![3, 6],
             update_sizes: vec![4, 8],
             run_length: 50,
+            fleet_sizes: vec![2, 4],
         };
         for table in all_tables(&scale) {
             assert!(!table.rows.is_empty(), "{} has no rows", table.id);
@@ -608,6 +754,7 @@ mod tests {
             bounds: vec![],
             update_sizes: vec![],
             run_length: 50,
+            fleet_sizes: vec![],
         };
         let t = t1_space(&scale);
         let small: usize = t.rows[0][3].parse().unwrap();

@@ -212,15 +212,15 @@ impl Bindings {
 
     /// Natural join on shared variables.
     pub fn natural_join(&self, other: &Bindings) -> Bindings {
-        // Shared variables and each side's positions for them.
-        let shared: Vec<Var> = self
-            .vars
-            .iter()
-            .copied()
-            .filter(|v| other.position(*v).is_some())
-            .collect();
-        let lpos: Vec<usize> = shared.iter().map(|v| self.position(*v).unwrap()).collect();
-        let rpos: Vec<usize> = shared.iter().map(|v| other.position(*v).unwrap()).collect();
+        // Each side's positions for the shared variables.
+        let mut lpos: Vec<usize> = Vec::new();
+        let mut rpos: Vec<usize> = Vec::new();
+        for (i, v) in self.vars.iter().enumerate() {
+            if let Some(j) = other.position(*v) {
+                lpos.push(i);
+                rpos.push(j);
+            }
+        }
         let rnew: Vec<usize> = (0..other.vars.len())
             .filter(|i| !rpos.contains(i))
             .collect();
@@ -241,7 +241,13 @@ impl Bindings {
             .iter()
             .map(|v| match self.position(*v) {
                 Some(i) => Src::Left(i),
-                None => Src::Right(other.position(*v).unwrap()),
+                // Output vars are ours plus the other side's new ones, so a
+                // var absent on the left must come from the right.
+                None => Src::Right(
+                    other
+                        .position(*v)
+                        .expect("output variable bound by one side"),
+                ),
             })
             .collect();
         let mut table: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::new();
@@ -337,7 +343,12 @@ impl Bindings {
             .iter()
             .map(|v| match self.position(*v) {
                 Some(i) => Ok(i),
-                None => Err(new_vars.iter().position(|(u, _)| u == v).unwrap()),
+                // Output vars are ours plus the pattern's new ones, so a
+                // var absent from the input was introduced by the atom.
+                None => Err(new_vars
+                    .iter()
+                    .position(|(u, _)| u == v)
+                    .expect("new output column introduced by the atom pattern")),
             })
             .collect();
         let mut rows = BTreeSet::new();

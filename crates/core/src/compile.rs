@@ -1,10 +1,10 @@
 //! Constraint compilation: normalization, renaming, static checks, and the
 //! temporal-subformula DAG shared by every checker.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
-use rtic_relation::Catalog;
+use rtic_relation::{Catalog, Symbol};
 use rtic_temporal::ast::Formula;
 use rtic_temporal::normalize::rename_apart;
 use rtic_temporal::optimize::optimize;
@@ -32,6 +32,13 @@ pub struct CompiledConstraint {
     pub node_ids: HashMap<Formula, usize>,
     /// The body's lookback horizon.
     pub horizon: Horizon,
+    /// Relations the body reads — an update touching none of them cannot
+    /// change the body's extension (relevance dispatch).
+    pub relations: BTreeSet<Symbol>,
+    /// True when a pure clock tick (update touching none of `relations`)
+    /// cannot create new violations — the soundness condition for skipping
+    /// body re-evaluation on quiescent, previously-clean steps.
+    pub tick_gain_free: bool,
 }
 
 impl CompiledConstraint {
@@ -70,6 +77,8 @@ impl CompiledConstraint {
         let mut node_ids = HashMap::new();
         collect_temporal_postorder(&body, &mut nodes, &mut node_ids);
         let horizon = analysis::horizon(&body);
+        let relations = analysis::touched_relations(&body);
+        let tick_gain_free = analysis::tick_stability(&body).gain_free;
         Ok(CompiledConstraint {
             constraint,
             catalog,
@@ -77,6 +86,8 @@ impl CompiledConstraint {
             nodes,
             node_ids,
             horizon,
+            relations,
+            tick_gain_free,
         })
     }
 }
@@ -153,6 +164,17 @@ mod tests {
         .unwrap();
         assert_eq!(c.nodes.len(), 2);
         assert_eq!(c.horizon, Horizon::Unbounded);
+        assert_eq!(c.relations.len(), 2);
+        assert!(c.relations.contains(&Symbol::from("reserved")));
+        assert!(c.relations.contains(&Symbol::from("confirmed")));
+        // once[2,*] can fire purely by aging: a tick can create violations.
+        assert!(!c.tick_gain_free);
+    }
+
+    #[test]
+    fn gain_free_body_is_detected() {
+        let c = compile("deny g: reserved(p, f) && !once[0,*] confirmed(p, f)").unwrap();
+        assert!(c.tick_gain_free);
     }
 
     #[test]

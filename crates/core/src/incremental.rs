@@ -84,6 +84,19 @@ pub(crate) struct NodeEngine {
     /// kinds whose extension is answered lazily from their state).
     extensions: Vec<Option<Bindings>>,
     pub(crate) last_time: Option<TimePoint>,
+    /// Each node's operand extension (`sat_now`) from the last full
+    /// [`NodeEngine::advance`] — replayed by [`NodeEngine::advance_time`]
+    /// on quiescent steps. Populated only when `fast_eligible`.
+    sat_cache: Vec<Option<Bindings>>,
+    /// Whether the constraint's *shape* admits the quiescent fast path:
+    /// the body is tick-gain-free and every temporal node is a `once` or
+    /// `hist` over a non-temporal operand (so the cached operand
+    /// extensions stay valid while the constraint's relations are
+    /// untouched). Computed once at construction.
+    fast_eligible: bool,
+    /// The previous step's violations (`None` until a step records them);
+    /// the fast path requires them to be empty and returns a clone.
+    last_violations: Option<Bindings>,
 }
 
 impl NodeEngine {
@@ -123,12 +136,31 @@ impl NodeEngine {
             })
             .collect();
         let extensions = vec![None; compiled.nodes.len()];
+        let sat_cache = vec![None; compiled.nodes.len()];
+        let fast_eligible = compiled.tick_gain_free
+            && compiled.nodes.iter().all(|n| match n {
+                Formula::Once(_, g) | Formula::Hist(_, g) => !g.is_temporal(),
+                _ => false,
+            });
         NodeEngine {
             compiled,
             states,
             extensions,
             last_time: None,
+            sat_cache,
+            fast_eligible,
+            last_violations: None,
         }
+    }
+
+    /// Whether `update` touches none of the constraint's relations — the
+    /// *quiescence* condition of relevance dispatch: such an update cannot
+    /// change any operand's extension, only the clock moves.
+    pub(crate) fn is_quiescent(&self, update: &Update) -> bool {
+        update
+            .inserts()
+            .chain(update.deletes())
+            .all(|(rel, tuples)| tuples.is_empty() || !self.compiled.relations.contains(&rel))
     }
 
     /// Advances every node to the new state `(db, t_now)`, children-first,
@@ -158,6 +190,9 @@ impl NodeEngine {
                         unreachable!("node/state kind mismatch")
                     };
                     w.add_and_prune(&sat_now, t_now);
+                    if self.fast_eligible {
+                        self.sat_cache[idx] = Some(sat_now);
+                    }
                     // Extension answered lazily by the oracle.
                 }
                 Formula::Since(_, f, g) => {
@@ -191,6 +226,9 @@ impl NodeEngine {
                         NodeState::HistInf(h) => h.step(&sat_now, t_now),
                         _ => unreachable!("node/state kind mismatch"),
                     }
+                    if self.fast_eligible {
+                        self.sat_cache[idx] = Some(sat_now);
+                    }
                     // `hist` is a filter; it has no generator extension.
                 }
                 other => unreachable!("non-temporal node: {other}"),
@@ -199,10 +237,62 @@ impl NodeEngine {
         self.last_time = Some(t_now);
     }
 
-    /// Evaluates the denial body at `(db, t_now)` (after [`NodeEngine::advance`]).
-    pub(crate) fn violations(&self, db: &Database, t_now: TimePoint) -> Bindings {
-        let oracle = self.oracle(t_now);
-        eval(&self.compiled.body, db, &oracle, &Bindings::unit())
+    /// Evaluates the denial body at `(db, t_now)` (after [`NodeEngine::advance`])
+    /// and records the result for the quiescent fast path.
+    pub(crate) fn violations(&mut self, db: &Database, t_now: TimePoint) -> Bindings {
+        let v = {
+            let oracle = self.oracle(t_now);
+            eval(&self.compiled.body, db, &oracle, &Bindings::unit())
+        };
+        self.last_violations = Some(v.clone());
+        v
+    }
+
+    /// The quiescent fast path: absorbs a pure clock tick into the
+    /// auxiliary state — window expiry and all — *without* re-evaluating
+    /// operands or the denial body, returning the step's violations
+    /// (necessarily the previous, empty ones). Returns `None` when any
+    /// precondition fails, in which case nothing was mutated and the caller
+    /// must take the full [`NodeEngine::advance`] + [`NodeEngine::violations`]
+    /// path.
+    ///
+    /// Soundness: the caller guarantees the update is quiescent
+    /// ([`NodeEngine::is_quiescent`]), so every non-temporal operand's
+    /// extension equals the cached one and replaying the cached bindings
+    /// through the same window/hist transitions leaves the auxiliary state
+    /// byte-identical to a full advance. Skipping the body evaluation is
+    /// justified by `tick_gain_free` (a tick cannot create violations) plus
+    /// the previous step being violation-free; the evaluator's output
+    /// schema is structurally determined, so cloning the previous empty
+    /// result is byte-identical to re-evaluating.
+    pub(crate) fn advance_time(&mut self, t_now: TimePoint) -> Option<Bindings> {
+        if !self.fast_eligible {
+            return None;
+        }
+        let last_time = self.last_time?;
+        let clear = match &self.last_violations {
+            Some(v) if v.is_empty() => v.clone(),
+            _ => return None,
+        };
+        if self.sat_cache.iter().any(Option::is_none) {
+            return None;
+        }
+        for (state, sat) in self.states.iter_mut().zip(&self.sat_cache) {
+            let Some(sat) = sat.as_ref() else {
+                // Checked above; nothing has been mutated if we ever get here.
+                return None;
+            };
+            match state {
+                NodeState::Once(w) => w.add_and_prune(sat, t_now),
+                NodeState::HistFinite(h) => h.step(sat, t_now, Some(last_time)),
+                NodeState::HistInf(h) => h.step(sat, t_now),
+                // `fast_eligible` excludes prev/since nodes.
+                NodeState::Prev(_) | NodeState::Since(_) => return None,
+            }
+        }
+        self.last_time = Some(t_now);
+        self.last_violations = Some(clear.clone());
+        Some(clear)
     }
 
     fn oracle(&self, t_now: TimePoint) -> IncOracle<'_> {
@@ -332,8 +422,18 @@ impl Checker for IncrementalChecker {
             }
         }
         self.db.apply(update)?;
-        self.engine.advance(&self.db, time);
-        let violations = self.engine.violations(&self.db, time);
+        let fast = if self.engine.is_quiescent(update) {
+            self.engine.advance_time(time)
+        } else {
+            None
+        };
+        let violations = match fast {
+            Some(v) => v,
+            None => {
+                self.engine.advance(&self.db, time);
+                self.engine.violations(&self.db, time)
+            }
+        };
         self.steps += 1;
         Ok(StepReport {
             constraint: self.engine.compiled.constraint.name,
@@ -589,6 +689,87 @@ mod tests {
         assert_eq!(stats[0].keys, 1);
         assert_eq!(stats[0].timestamps, 1);
         assert!(stats[0].formula.contains("once[0,4]"));
+    }
+
+    #[test]
+    fn fast_path_absorbs_ticks_identically() {
+        // Differential over gain-free shapes covering once, hist[∞), and
+        // finite hist nodes: one checker sees the real (often quiescent)
+        // updates and takes the fast path on ticks; the other sees the
+        // same db changes plus a no-op insert+delete of an absent tuple,
+        // which forces the full path every step.
+        for src in [
+            "deny d: reserved(p) && once[0,3] confirmed(p)",
+            "deny d: reserved(p) && !once[0,*] confirmed(p)",
+            "deny d: reserved(p) && hist[3,*] reserved(p)",
+            "deny d: reserved(p) && !hist[0,2] confirmed(p)",
+        ] {
+            let mut fast = checker(src);
+            let mut slow = checker(src);
+            assert!(fast.engine.fast_eligible, "{src} should be fast-eligible");
+            for t in 0..40u64 {
+                let upd = if t % 9 == 0 {
+                    Update::new().with_insert("reserved", tuple!["a"])
+                } else if t % 13 == 0 {
+                    Update::new().with_delete("reserved", tuple!["a"])
+                } else if t % 17 == 0 {
+                    Update::new().with_insert("confirmed", tuple!["a"])
+                } else {
+                    Update::new()
+                };
+                // Deleting an absent tuple changes nothing in the db but
+                // marks the update non-quiescent.
+                let forced = upd.clone().with_delete("confirmed", tuple!["ghost"]);
+                let a = fast.step(TimePoint(t), &upd).unwrap();
+                let b = slow.step(TimePoint(t), &forced).unwrap();
+                assert_eq!(a, b, "{src}: fast path diverged at t={t}");
+                assert_eq!(
+                    fast.engine.aux_space(),
+                    slow.engine.aux_space(),
+                    "{src}: aux state diverged at t={t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fast_path_keeps_window_expiry() {
+        // The once[0,3] witness must still expire during pure ticks.
+        let mut c = checker("deny d: reserved(p) && once[0,3] confirmed(p)");
+        assert!(c.engine.fast_eligible);
+        c.step(
+            TimePoint(0),
+            &Update::new().with_insert("confirmed", tuple!["a"]),
+        )
+        .unwrap();
+        // Remove the fact so later steps add no fresh witnesses; the t=0
+        // stamp keeps the key alive until it ages past the bound.
+        c.step(
+            TimePoint(1),
+            &Update::new().with_delete("confirmed", tuple!["a"]),
+        )
+        .unwrap();
+        assert_eq!(c.engine.aux_space().0, 1, "one live key");
+        // Pure ticks from here: the fast path must still run pruning.
+        c.step(TimePoint(2), &Update::new()).unwrap();
+        c.step(TimePoint(3), &Update::new()).unwrap();
+        assert_eq!(c.engine.aux_space().0, 1, "age 3 is still in [0,3]");
+        c.step(TimePoint(4), &Update::new()).unwrap();
+        assert_eq!(c.engine.aux_space().0, 0, "witness expired during ticks");
+    }
+
+    #[test]
+    fn ineligible_shapes_take_the_full_path() {
+        // prev, since, and delayed-once shapes must not be fast-eligible.
+        for src in [
+            "deny d: reserved(p) && prev[0,2] confirmed(p)",
+            "deny d: reserved(p) since[0,4] confirmed(p)",
+            "deny d: reserved(p) && once[2,5] confirmed(p)",
+            "deny d: reserved(p) && once[0,*] once[0,2] confirmed(p)",
+        ] {
+            let c = checker(src);
+            assert!(!c.engine.fast_eligible, "{src} wrongly fast-eligible");
+        }
     }
 
     #[test]

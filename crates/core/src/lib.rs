@@ -46,6 +46,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 mod binding;
 mod checker;
@@ -72,5 +73,5 @@ pub use monitor::QueryMonitor;
 pub use naive::NaiveChecker;
 pub use observe::{NopObserver, StepEvent, StepObserver};
 pub use report::{SpaceStats, StepReport};
-pub use set::ConstraintSet;
+pub use set::{ConstraintSet, DispatchStats, Parallelism};
 pub use windowed::WindowedChecker;

@@ -5,8 +5,21 @@
 //! constraint's auxiliary engine against it, instead of paying for one
 //! database copy per constraint as separate [`IncrementalChecker`]s would.
 //!
+//! Two scaling levers on top of that, both semantics-preserving:
+//!
+//! * **Relevance dispatch** — each compiled constraint knows which
+//!   relations its body reads; an update touching none of them is a pure
+//!   clock tick for that constraint, and when the engine's shape allows it
+//!   ([`NodeEngine`]'s quiescent fast path) the tick is absorbed into the
+//!   auxiliary state without re-running denial-body evaluation.
+//! * **Parallel stepping** — engines that do need full evaluation are
+//!   independent given the shared (immutable during the step) database, so
+//!   they can fan out over scoped worker threads ([`Parallelism`]). Reports
+//!   are always returned in constraint insertion order and are
+//!   byte-identical to the sequential path.
+//!
 //! ```
-//! use rtic_core::ConstraintSet;
+//! use rtic_core::{ConstraintSet, Parallelism};
 //! use rtic_relation::{tuple, Catalog, Schema, Sort, Update};
 //! use rtic_temporal::parser::parse_constraint;
 //! use rtic_temporal::TimePoint;
@@ -24,7 +37,8 @@
 //!     ],
 //!     catalog,
 //! )
-//! .unwrap();
+//! .unwrap()
+//! .with_parallelism(Parallelism::N(2));
 //! let reports = set
 //!     .step(TimePoint(1), &Update::new().with_insert("job", tuple![7]))
 //!     .unwrap();
@@ -34,6 +48,7 @@
 //! ```
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use rtic_history::HistoryError;
 use rtic_relation::{Catalog, Database, Update};
@@ -42,7 +57,58 @@ use rtic_temporal::{Constraint, TimePoint};
 use crate::compile::CompiledConstraint;
 use crate::error::CompileError;
 use crate::incremental::{EncodingOptions, NodeEngine};
+use crate::observe::{NopObserver, StepEvent, StepObserver};
 use crate::report::{SpaceStats, StepReport};
+
+/// Worker budget for the full-evaluation phase of [`ConstraintSet::step`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Parallelism {
+    /// Everything on the calling thread.
+    #[default]
+    Sequential,
+    /// At most this many scoped worker threads (`0` and `1` both mean
+    /// sequential). Threads are spawned per step and joined before the
+    /// step returns; no pool outlives a call.
+    N(usize),
+    /// One worker per available core.
+    Auto,
+}
+
+impl Parallelism {
+    /// Number of workers to actually use for `jobs` independent engines.
+    fn workers(self, jobs: usize) -> usize {
+        let cap = match self {
+            Parallelism::Sequential => 1,
+            Parallelism::N(n) => n.max(1),
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        };
+        cap.min(jobs).max(1)
+    }
+}
+
+/// Running tallies of relevance-dispatch outcomes, summed over all steps
+/// and engines (each engine contributes one tally per step).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct DispatchStats {
+    /// Full-path engine-steps where the update touched one of the
+    /// constraint's relations.
+    pub affected: u64,
+    /// Engine-steps absorbed by the quiescent fast path: no operand or
+    /// denial-body re-evaluation, only auxiliary window maintenance.
+    pub skipped: u64,
+    /// Engine-steps that were quiescent but still took the full path
+    /// (ineligible shape, first step, or a prior violation to re-check).
+    pub quiescent_full: u64,
+}
+
+impl DispatchStats {
+    /// Total engine-steps tallied.
+    pub fn total(&self) -> u64 {
+        self.affected + self.skipped + self.quiescent_full
+    }
+}
 
 /// A set of constraints checked together over one database.
 #[derive(Clone, Debug)]
@@ -51,6 +117,8 @@ pub struct ConstraintSet {
     engines: Vec<NodeEngine>,
     last_time: Option<TimePoint>,
     steps: usize,
+    parallelism: Parallelism,
+    dispatch: DispatchStats,
 }
 
 impl ConstraintSet {
@@ -74,7 +142,30 @@ impl ConstraintSet {
             engines,
             last_time: None,
             steps: 0,
+            parallelism: Parallelism::Sequential,
+            dispatch: DispatchStats::default(),
         })
+    }
+
+    /// Sets the worker budget (builder form).
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> ConstraintSet {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Sets the worker budget.
+    pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+        self.parallelism = parallelism;
+    }
+
+    /// The configured worker budget.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
+    /// Relevance-dispatch tallies accumulated so far.
+    pub fn dispatch_stats(&self) -> DispatchStats {
+        self.dispatch
     }
 
     /// Number of constraints in the set.
@@ -92,6 +183,11 @@ impl ConstraintSet {
         self.engines.iter().map(|e| &e.compiled.constraint)
     }
 
+    /// The compiled constraints, in insertion order.
+    pub fn compiled(&self) -> impl Iterator<Item = &CompiledConstraint> {
+        self.engines.iter().map(|e| &e.compiled)
+    }
+
     /// The shared current database state.
     pub fn database(&self) -> &Database {
         &self.db
@@ -103,76 +199,201 @@ impl ConstraintSet {
     }
 
     /// Processes one transition; returns one report per constraint, in
-    /// insertion order.
+    /// insertion order. Uses relevance dispatch and the configured
+    /// [`Parallelism`]; both are report-for-report invisible.
     pub fn step(
         &mut self,
         time: TimePoint,
         update: &Update,
     ) -> Result<Vec<StepReport>, HistoryError> {
-        if let Some(last) = self.last_time {
-            if time <= last {
-                return Err(HistoryError::NonMonotonicTime { last, new: time });
-            }
-        }
-        self.db.apply(update)?;
-        let mut reports = Vec::with_capacity(self.engines.len());
-        for engine in &mut self.engines {
-            engine.advance(&self.db, time);
-            let violations = engine.violations(&self.db, time);
-            reports.push(StepReport {
-                constraint: engine.compiled.constraint.name,
-                time,
-                violations,
-            });
-        }
-        self.last_time = Some(time);
-        self.steps += 1;
-        Ok(reports)
+        self.step_observed(time, update, &mut NopObserver)
     }
 
-    /// [`ConstraintSet::step`], advancing the constraints' engines on
-    /// scoped worker threads (one per constraint, capped by the engine
-    /// count). Constraints are independent given the shared (immutable
-    /// during the step) database, so this is a pure fan-out; reports are
-    /// identical to the sequential path and returned in insertion order.
-    ///
-    /// Worth it when constraints are many or individually expensive — for a
-    /// handful of cheap constraints the spawn overhead dominates.
-    pub fn step_parallel(
+    /// [`ConstraintSet::step`] with observation: one `StepStart`/`StepEnd`
+    /// pair brackets the logical step, with one `ConstraintEval` (and
+    /// `Violation` when witnesses were found) per constraint in insertion
+    /// order — regardless of how many worker threads evaluated them.
+    /// Worker results are fanned back into insertion-order slots before
+    /// any per-constraint event is emitted, so observers never see
+    /// scheduling order. On error, events after `StepStart` are withheld.
+    pub fn step_observed(
         &mut self,
         time: TimePoint,
         update: &Update,
+        obs: &mut dyn StepObserver,
     ) -> Result<Vec<StepReport>, HistoryError> {
         if let Some(last) = self.last_time {
             if time <= last {
                 return Err(HistoryError::NonMonotonicTime { last, new: time });
             }
         }
+        obs.observe(&StepEvent::StepStart {
+            checker: "set",
+            time,
+            tuples: update.len(),
+        });
+        let step_start = Instant::now();
         self.db.apply(update)?;
+
+        let n = self.engines.len();
+        let mut slots: Vec<Option<(StepReport, u64)>> = (0..n).map(|_| None).collect();
+        let (mut skipped, mut quiescent_full, mut affected) = (0u64, 0u64, 0u64);
+
+        // Dispatch phase: absorb quiescent ticks on the calling thread
+        // (the fast path is cheap by construction); collect everything
+        // else for full evaluation.
+        let mut full: Vec<(usize, &mut NodeEngine)> = Vec::new();
+        for (idx, engine) in self.engines.iter_mut().enumerate() {
+            if engine.is_quiescent(update) {
+                let eval_start = Instant::now();
+                if let Some(violations) = engine.advance_time(time) {
+                    skipped += 1;
+                    let report = StepReport {
+                        constraint: engine.compiled.constraint.name,
+                        time,
+                        violations,
+                    };
+                    slots[idx] = Some((report, eval_start.elapsed().as_nanos() as u64));
+                    continue;
+                }
+                quiescent_full += 1;
+            } else {
+                affected += 1;
+            }
+            full.push((idx, engine));
+        }
+        self.dispatch.skipped += skipped;
+        self.dispatch.quiescent_full += quiescent_full;
+        self.dispatch.affected += affected;
+
+        // Full-evaluation phase, fanned out over scoped workers when
+        // configured. Chunks are static: determinism comes from scattering
+        // results back by engine index, not from scheduling.
+        let workers = self.parallelism.workers(full.len());
         let db = &self.db;
-        let reports = std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .engines
-                .iter_mut()
-                .map(|engine| {
-                    scope.spawn(move || {
-                        engine.advance(db, time);
-                        StepReport {
-                            constraint: engine.compiled.constraint.name,
-                            time,
-                            violations: engine.violations(db, time),
-                        }
+        if workers <= 1 {
+            for (idx, engine) in full {
+                let eval_start = Instant::now();
+                engine.advance(db, time);
+                let violations = engine.violations(db, time);
+                let report = StepReport {
+                    constraint: engine.compiled.constraint.name,
+                    time,
+                    violations,
+                };
+                slots[idx] = Some((report, eval_start.elapsed().as_nanos() as u64));
+            }
+        } else {
+            let chunk_len = full.len().div_ceil(workers);
+            let batches = std::thread::scope(|scope| {
+                let handles: Vec<_> = full
+                    .chunks_mut(chunk_len)
+                    .map(|batch| {
+                        scope.spawn(move || {
+                            batch
+                                .iter_mut()
+                                .map(|(idx, engine)| {
+                                    let eval_start = Instant::now();
+                                    engine.advance(db, time);
+                                    let violations = engine.violations(db, time);
+                                    let report = StepReport {
+                                        constraint: engine.compiled.constraint.name,
+                                        time,
+                                        violations,
+                                    };
+                                    (*idx, report, eval_start.elapsed().as_nanos() as u64)
+                                })
+                                .collect::<Vec<_>>()
+                        })
                     })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("engine thread panicked"))
-                .collect::<Vec<_>>()
+                    .collect();
+                handles.into_iter().map(|h| h.join()).collect::<Vec<_>>()
+            });
+            for joined in batches {
+                match joined {
+                    Ok(batch) => {
+                        for (idx, report, latency_ns) in batch {
+                            slots[idx] = Some((report, latency_ns));
+                        }
+                    }
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        }
+
+        // Fan-in: emit per-constraint events and assemble reports in
+        // insertion order.
+        let mut reports = Vec::with_capacity(n);
+        let mut total_violations = 0usize;
+        for slot in slots {
+            debug_assert!(slot.is_some(), "every engine produces a report");
+            let Some((report, latency_ns)) = slot else {
+                continue;
+            };
+            total_violations += report.violation_count();
+            obs.observe(&StepEvent::ConstraintEval {
+                checker: "set",
+                constraint: report.constraint,
+                time,
+                violations: report.violation_count(),
+                latency_ns,
+            });
+            if !report.ok() {
+                obs.observe(&StepEvent::Violation {
+                    checker: "set",
+                    report: &report,
+                });
+            }
+            reports.push(report);
+        }
+        obs.observe(&StepEvent::StepEnd {
+            checker: "set",
+            time,
+            violations: total_violations,
+            latency_ns: step_start.elapsed().as_nanos() as u64,
         });
         self.last_time = Some(time);
         self.steps += 1;
         Ok(reports)
+    }
+
+    /// Emits one `SpaceSample` event per constraint (drivers call this on
+    /// their sampling schedule). Samples carry each constraint's own aux
+    /// footprint; the shared database tuples are attributed to every
+    /// sample, mirroring what a per-constraint checker would report.
+    pub fn sample_space(&self, step_index: u64, obs: &mut dyn StepObserver) {
+        let Some(time) = self.last_time else {
+            return;
+        };
+        for engine in &self.engines {
+            let (aux_keys, aux_timestamps) = engine.aux_space();
+            obs.observe(&StepEvent::SpaceSample {
+                checker: "set",
+                constraint: engine.compiled.constraint.name,
+                time,
+                step_index,
+                stats: SpaceStats {
+                    aux_keys,
+                    aux_timestamps,
+                    stored_states: 1,
+                    stored_tuples: self.db.total_tuples(),
+                },
+            });
+        }
+    }
+
+    /// [`ConstraintSet::step`] with one worker per core for this call,
+    /// regardless of the configured [`Parallelism`].
+    pub fn step_parallel(
+        &mut self,
+        time: TimePoint,
+        update: &Update,
+    ) -> Result<Vec<StepReport>, HistoryError> {
+        let configured = self.parallelism;
+        self.parallelism = Parallelism::Auto;
+        let result = self.step(time, update);
+        self.parallelism = configured;
+        result
     }
 
     /// Aggregate space: the single shared state plus every engine's aux.
@@ -196,6 +417,7 @@ impl ConstraintSet {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::observe::CollectingObserver;
     use crate::{Checker, IncrementalChecker};
     use rtic_relation::{tuple, Schema, Sort};
     use rtic_temporal::parser::parse_constraint;
@@ -218,6 +440,16 @@ mod tests {
         ]
     }
 
+    fn updates(t: u64) -> Update {
+        match t % 5 {
+            0 => Update::new().with_insert("p", tuple!["a"]),
+            1 => Update::new().with_insert("q", tuple!["a"]),
+            2 => Update::new().with_delete("p", tuple!["a"]),
+            3 => Update::new().with_delete("q", tuple!["a"]),
+            _ => Update::new(),
+        }
+    }
+
     #[test]
     fn set_matches_independent_checkers() {
         let cat = catalog();
@@ -227,13 +459,7 @@ mod tests {
             .map(|c| IncrementalChecker::new(c, Arc::clone(&cat)).unwrap())
             .collect();
         for t in 1..30u64 {
-            let u = match t % 5 {
-                0 => Update::new().with_insert("p", tuple!["a"]),
-                1 => Update::new().with_insert("q", tuple!["a"]),
-                2 => Update::new().with_delete("p", tuple!["a"]),
-                3 => Update::new().with_delete("q", tuple!["a"]),
-                _ => Update::new(),
-            };
+            let u = updates(t);
             let set_reports = set.step(TimePoint(t), &u).unwrap();
             for (i, single) in singles.iter_mut().enumerate() {
                 let r = single.step(TimePoint(t), &u).unwrap();
@@ -257,21 +483,172 @@ mod tests {
     fn parallel_step_matches_sequential() {
         let cat = catalog();
         let mut seq = ConstraintSet::new(constraints(), Arc::clone(&cat)).unwrap();
-        let mut par = ConstraintSet::new(constraints(), Arc::clone(&cat)).unwrap();
-        for t in 1..40u64 {
-            let u = match t % 4 {
-                0 => Update::new()
-                    .with_insert("p", tuple!["a"])
-                    .with_insert("q", tuple!["b"]),
-                1 => Update::new().with_insert("q", tuple!["a"]),
-                2 => Update::new().with_delete("p", tuple!["a"]),
-                _ => Update::new(),
-            };
-            let a = seq.step(TimePoint(t), &u).unwrap();
-            let b = par.step_parallel(TimePoint(t), &u).unwrap();
-            assert_eq!(a, b, "parallel step diverged at {t}");
+        for workers in [2usize, 3, 8] {
+            let mut par = ConstraintSet::new(constraints(), Arc::clone(&cat))
+                .unwrap()
+                .with_parallelism(Parallelism::N(workers));
+            let mut seq2 = ConstraintSet::new(constraints(), Arc::clone(&cat)).unwrap();
+            for t in 1..40u64 {
+                let u = match t % 4 {
+                    0 => Update::new()
+                        .with_insert("p", tuple!["a"])
+                        .with_insert("q", tuple!["b"]),
+                    1 => Update::new().with_insert("q", tuple!["a"]),
+                    2 => Update::new().with_delete("p", tuple!["a"]),
+                    _ => Update::new(),
+                };
+                let a = seq2.step(TimePoint(t), &u).unwrap();
+                let b = par.step(TimePoint(t), &u).unwrap();
+                assert_eq!(a, b, "parallelism {workers} diverged at {t}");
+            }
+            assert_eq!(seq2.space(), par.space());
         }
-        assert_eq!(seq.space(), par.space());
+        // The legacy entry point still matches too.
+        let mut legacy = ConstraintSet::new(constraints(), Arc::clone(&cat)).unwrap();
+        for t in 1..10u64 {
+            let u = updates(t);
+            let a = seq.step(TimePoint(t), &u).unwrap();
+            let b = legacy.step_parallel(TimePoint(t), &u).unwrap();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn relevance_dispatch_partitions_engines() {
+        let cat = catalog();
+        // `deny qonly` only reads q; an update touching just p is
+        // quiescent for it.
+        let cs = vec![
+            parse_constraint("deny ponly: p(x) && once[0,*] p(x)").unwrap(),
+            parse_constraint("deny qonly: q(x) && once[0,*] q(x)").unwrap(),
+        ];
+        let mut set = ConstraintSet::new(cs, cat).unwrap();
+        set.step(TimePoint(1), &Update::new().with_insert("p", tuple!["a"]))
+            .unwrap();
+        let d = set.dispatch_stats();
+        assert_eq!(d.affected, 1, "only the p-constraint is affected");
+        // First step for the q-constraint: quiescent but no cache yet.
+        assert_eq!(d.quiescent_full, 1);
+        assert_eq!(d.skipped, 0);
+        set.step(TimePoint(2), &Update::new().with_insert("p", tuple!["b"]))
+            .unwrap();
+        let d = set.dispatch_stats();
+        assert_eq!(d.affected, 2);
+        assert_eq!(d.skipped, 1, "q-constraint now fast-skips");
+        assert_eq!(d.total(), 4);
+    }
+
+    #[test]
+    fn dispatch_and_parallelism_preserve_reports() {
+        // A fleet where some constraints are quiescent most steps, stepped
+        // at various worker counts, must match plain per-constraint
+        // checkers byte for byte.
+        let cat = catalog();
+        let cs = vec![
+            parse_constraint("deny a: p(x) && once[0,3] q(x)").unwrap(),
+            parse_constraint("deny b: q(x) && !once[0,*] p(x)").unwrap(),
+            parse_constraint("deny c: p(x) && hist[0,2] p(x)").unwrap(),
+            parse_constraint("deny d: q(x) && once[1,4] q(x)").unwrap(),
+        ];
+        for par in [
+            Parallelism::Sequential,
+            Parallelism::N(2),
+            Parallelism::Auto,
+        ] {
+            let mut set = ConstraintSet::new(cs.clone(), Arc::clone(&cat))
+                .unwrap()
+                .with_parallelism(par);
+            let mut singles: Vec<IncrementalChecker> = cs
+                .iter()
+                .map(|c| IncrementalChecker::new(c.clone(), Arc::clone(&cat)).unwrap())
+                .collect();
+            for t in 1..60u64 {
+                let u = match t % 7 {
+                    0 => Update::new().with_insert("p", tuple!["a"]),
+                    1 => Update::new().with_insert("q", tuple!["a"]),
+                    3 => Update::new().with_delete("p", tuple!["a"]),
+                    5 => Update::new().with_delete("q", tuple!["a"]),
+                    _ => Update::new(), // quiescent for everyone
+                };
+                let rs = set.step(TimePoint(t), &u).unwrap();
+                for (i, single) in singles.iter_mut().enumerate() {
+                    let r = single.step(TimePoint(t), &u).unwrap();
+                    assert_eq!(rs[i], r, "{par:?}: constraint {i} diverged at t={t}");
+                }
+            }
+            assert!(
+                set.dispatch_stats().skipped > 0,
+                "{par:?}: fast path never engaged"
+            );
+        }
+    }
+
+    #[test]
+    fn observed_events_are_insertion_ordered() {
+        let cat = catalog();
+        let mut obs_seq = CollectingObserver::default();
+        let mut obs_par = CollectingObserver::default();
+        let mut seq = ConstraintSet::new(constraints(), Arc::clone(&cat)).unwrap();
+        let mut par = ConstraintSet::new(constraints(), Arc::clone(&cat))
+            .unwrap()
+            .with_parallelism(Parallelism::N(3));
+        for t in 1..20u64 {
+            let u = updates(t);
+            seq.step_observed(TimePoint(t), &u, &mut obs_seq).unwrap();
+            par.step_observed(TimePoint(t), &u, &mut obs_par).unwrap();
+        }
+        assert_eq!(obs_seq.events.len(), obs_par.events.len());
+        for (a, b) in obs_seq.events.iter().zip(&obs_par.events) {
+            assert_eq!(a.kind(), b.kind());
+            if let (
+                StepEvent::ConstraintEval {
+                    constraint: ca,
+                    violations: va,
+                    time: ta,
+                    ..
+                },
+                StepEvent::ConstraintEval {
+                    constraint: cb,
+                    violations: vb,
+                    time: tb,
+                    ..
+                },
+            ) = (a, b)
+            {
+                assert_eq!((ca, va, ta), (cb, vb, tb));
+            }
+        }
+    }
+
+    #[test]
+    fn observed_step_failure_withholds_completion_events() {
+        let mut set = ConstraintSet::new(constraints(), catalog()).unwrap();
+        let mut obs = CollectingObserver::default();
+        set.step_observed(TimePoint(5), &Update::new(), &mut obs)
+            .unwrap();
+        assert!(set
+            .step_observed(TimePoint(5), &Update::new(), &mut obs)
+            .is_err());
+        let kinds: Vec<&str> = obs.events.iter().map(StepEvent::kind).collect();
+        assert_eq!(
+            kinds,
+            vec!["step_start", "eval", "eval", "eval", "step"],
+            "failed step emits nothing (monotonicity is checked before StepStart)"
+        );
+    }
+
+    #[test]
+    fn sample_space_emits_one_sample_per_constraint() {
+        let mut set = ConstraintSet::new(constraints(), catalog()).unwrap();
+        set.step(TimePoint(1), &Update::new().with_insert("p", tuple!["a"]))
+            .unwrap();
+        let mut obs = CollectingObserver::default();
+        set.sample_space(0, &mut obs);
+        assert_eq!(obs.events.len(), 3);
+        assert!(obs
+            .events
+            .iter()
+            .all(|e| matches!(e, StepEvent::SpaceSample { .. })));
     }
 
     #[test]

@@ -1,0 +1,156 @@
+//! Property: a [`ConstraintSet`] — with relevance dispatch always on and
+//! any worker budget — produces step reports identical to stepping one
+//! independent [`IncrementalChecker`] per constraint, over random fleets
+//! and random streams.
+//!
+//! This is the semantic contract of the parallel fleet engine: dispatch
+//! and parallelism are performance features, never visible in reports.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rtic_core::{Checker, ConstraintSet, IncrementalChecker, Parallelism};
+use rtic_history::Transition;
+use rtic_relation::{tuple, Catalog, Schema, Sort, Update};
+use rtic_temporal::parser::parse_constraint;
+use rtic_temporal::Constraint;
+
+/// Four unary relations so fleets overlap only partially — the mix keeps
+/// some constraints quiescent on most steps, exercising both dispatch
+/// outcomes.
+const RELATIONS: [&str; 4] = ["p", "q", "r", "s"];
+
+fn catalog() -> Arc<Catalog> {
+    let mut cat = Catalog::new();
+    for rel in RELATIONS {
+        cat.declare(rel, Schema::of(&[("x", Sort::Str)]))
+            .expect("distinct names");
+    }
+    Arc::new(cat)
+}
+
+/// Body templates; `{a}`/`{b}` are relation names, `{i}`/`{j}` intervals.
+const TEMPLATES: &[&str] = &[
+    "{a}(x) && once{i} {b}(x)",
+    "{b}(x) since{i} {a}(x)",
+    "{a}(x) && hist{i} {b}(x)",
+    "{b}(x) && prev{i} {a}(x)",
+    "{a}(x) && !once{i} {b}(x)",
+    "{a}(x) && hist{i} {b}(x) && !once{j} {b}(x)",
+];
+
+fn interval_text() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just(String::new()),
+        (0u64..4).prop_map(|b| format!("[0,{b}]")),
+        (1u64..4).prop_map(|a| format!("[{a},*]")),
+        (1u64..3, 0u64..3).prop_map(|(a, d)| format!("[{a},{}]", a + d)),
+    ]
+}
+
+fn fleet() -> impl Strategy<Value = Vec<Constraint>> {
+    proptest::collection::vec(
+        (
+            0..TEMPLATES.len(),
+            0..RELATIONS.len(),
+            0..RELATIONS.len(),
+            interval_text(),
+            interval_text(),
+        ),
+        1..5,
+    )
+    .prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(n, (t, a, b, i, j))| {
+                let body = TEMPLATES[t]
+                    .replace("{a}", RELATIONS[a])
+                    .replace("{b}", RELATIONS[b])
+                    .replace("{i}", &i)
+                    .replace("{j}", &j);
+                parse_constraint(&format!("deny c{n}: {body}")).expect("template parses")
+            })
+            .collect()
+    })
+}
+
+fn transitions() -> impl Strategy<Value = Vec<Transition>> {
+    let change = (0..RELATIONS.len(), any::<bool>(), 0u8..2);
+    proptest::collection::vec((1u64..3, proptest::collection::vec(change, 0..3)), 2..18).prop_map(
+        |steps| {
+            const DOM: [&str; 2] = ["a", "b"];
+            let mut t = 0u64;
+            steps
+                .into_iter()
+                .map(|(gap, changes)| {
+                    t += gap;
+                    let mut u = Update::new();
+                    for (rel, ins, x) in changes {
+                        let tup = tuple![DOM[x as usize]];
+                        if ins {
+                            u.insert(RELATIONS[rel], tup);
+                        } else {
+                            u.delete(RELATIONS[rel], tup);
+                        }
+                    }
+                    Transition::new(t, u)
+                })
+                .collect()
+        },
+    )
+}
+
+fn parallelism() -> impl Strategy<Value = Parallelism> {
+    prop_oneof![
+        Just(Parallelism::Sequential),
+        Just(Parallelism::N(2)),
+        Just(Parallelism::N(3)),
+        Just(Parallelism::N(8)),
+        Just(Parallelism::Auto),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn fleet_matches_independent_checkers(
+        constraints in fleet(),
+        ts in transitions(),
+        par in parallelism(),
+    ) {
+        let cat = catalog();
+        let mut singles: Vec<IncrementalChecker> = constraints
+            .iter()
+            .map(|c| {
+                IncrementalChecker::new(c.clone(), Arc::clone(&cat))
+                    .unwrap_or_else(|e| panic!("`{c}` does not compile: {e}"))
+            })
+            .collect();
+        let mut set = ConstraintSet::new(constraints.iter().cloned(), Arc::clone(&cat))
+            .map_err(|(c, e)| format!("`{c}`: {e}"))
+            .unwrap()
+            .with_parallelism(par);
+        for tr in &ts {
+            let expected: Vec<_> = singles
+                .iter_mut()
+                .map(|s| s.step(tr.time, &tr.update).expect("monotone stream"))
+                .collect();
+            let got = set.step(tr.time, &tr.update).expect("monotone stream");
+            prop_assert_eq!(
+                &got,
+                &expected,
+                "fleet diverged at t={} under {:?}",
+                tr.time,
+                par
+            );
+        }
+        // The set's shared database matches any single checker's count.
+        prop_assert_eq!(
+            set.database().total_tuples(),
+            singles
+                .first()
+                .map(|s| s.database().total_tuples())
+                .unwrap_or(0)
+        );
+    }
+}

@@ -29,6 +29,19 @@ impl SpaceSampler {
         SpaceSampler::new(0)
     }
 
+    /// Whether `step_index` lands on the sampling schedule. Callers that
+    /// sample a source [`sample_space`] cannot reach (e.g. a
+    /// `ConstraintSet`) use this to keep the same cadence, then record
+    /// the round with [`SpaceSampler::note_sampled`].
+    pub fn due(&self, step_index: u64) -> bool {
+        self.every != 0 && step_index.is_multiple_of(self.every)
+    }
+
+    /// Records an externally-taken sampling round.
+    pub fn note_sampled(&mut self) {
+        self.taken += 1;
+    }
+
     /// Called after each completed step; emits `SpaceSample` events when
     /// `step_index` lands on the schedule. Returns whether it sampled.
     pub fn after_step(
@@ -38,7 +51,7 @@ impl SpaceSampler {
         step_index: u64,
         obs: &mut dyn StepObserver,
     ) -> bool {
-        if self.every == 0 || !step_index.is_multiple_of(self.every) {
+        if !self.due(step_index) {
             return false;
         }
         sample_space(checkers, time, step_index, obs);

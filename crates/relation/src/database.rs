@@ -50,6 +50,22 @@ impl Catalog {
         Ok(self)
     }
 
+    /// Merges `other`'s declarations into `self`. A relation declared on
+    /// both sides is fine when the schemas agree exactly; a redeclaration
+    /// with a different schema is a [`RelationError::DuplicateRelation`].
+    pub fn try_merge(&mut self, other: &Catalog) -> Result<(), RelationError> {
+        for (name, schema) in &other.schemas {
+            match self.schemas.get(name) {
+                Some(existing) if existing == schema => {}
+                Some(_) => return Err(RelationError::DuplicateRelation { name: *name }),
+                None => {
+                    self.schemas.insert(*name, schema.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// The schema of `name`, if declared.
     pub fn schema_of(&self, name: Symbol) -> Option<&Schema> {
         self.schemas.get(&name)
@@ -363,5 +379,32 @@ mod tests {
         let db = Database::new(catalog());
         let db2 = db.clone();
         assert!(Arc::ptr_eq(db.catalog(), db2.catalog()));
+    }
+
+    #[test]
+    fn try_merge_unions_and_tolerates_identical_redeclarations() {
+        let mut a = Catalog::new()
+            .with("r", Schema::of(&[("x", Sort::Str)]))
+            .unwrap();
+        let b = Catalog::new()
+            .with("r", Schema::of(&[("x", Sort::Str)]))
+            .unwrap()
+            .with("s", Schema::of(&[("n", Sort::Int)]))
+            .unwrap();
+        a.try_merge(&b).unwrap();
+        assert_eq!(a.len(), 2);
+        assert!(a.schema_of("s".into()).is_some());
+    }
+
+    #[test]
+    fn try_merge_rejects_conflicting_schemas() {
+        let mut a = Catalog::new()
+            .with("r", Schema::of(&[("x", Sort::Str)]))
+            .unwrap();
+        let b = Catalog::new()
+            .with("r", Schema::of(&[("x", Sort::Int)]))
+            .unwrap();
+        let err = a.try_merge(&b).unwrap_err();
+        assert!(matches!(err, RelationError::DuplicateRelation { .. }));
     }
 }

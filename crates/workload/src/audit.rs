@@ -94,11 +94,11 @@ impl Audit {
         let catalog = Arc::new(
             Catalog::new()
                 .with("txn", Schema::of(&[("id", Sort::Int), ("acct", Sort::Str)]))
-                .unwrap()
+                .expect("static workload schema")
                 .with("approved", Schema::of(&[("id", Sort::Int)]))
-                .unwrap()
+                .expect("static workload schema")
                 .with("flagged", Schema::of(&[("acct", Sort::Str)]))
-                .unwrap(),
+                .expect("static workload schema"),
         );
         let constraints: Vec<Constraint> = self
             .constraint_texts()

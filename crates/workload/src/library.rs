@@ -79,12 +79,12 @@ impl Library {
         let catalog = Arc::new(
             Catalog::new()
                 .with("loan", Schema::of(&[("b", Sort::Str), ("m", Sort::Str)]))
-                .unwrap()
+                .expect("static workload schema")
                 .with(
                     "checkout",
                     Schema::of(&[("b", Sort::Str), ("m", Sort::Str)]),
                 )
-                .unwrap(),
+                .expect("static workload schema"),
         );
         let constraint = parse_constraint(&self.constraint_text()).expect("template parses");
         let mut rng = StdRng::seed_from_u64(self.seed);

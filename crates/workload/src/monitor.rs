@@ -84,11 +84,11 @@ impl Monitor {
         let catalog = Arc::new(
             Catalog::new()
                 .with("alarm", Schema::of(&[("s", Sort::Str)]))
-                .unwrap()
+                .expect("static workload schema")
                 .with("ack", Schema::of(&[("s", Sort::Str)]))
-                .unwrap()
+                .expect("static workload schema")
                 .with("reading", Schema::of(&[("s", Sort::Str), ("v", Sort::Int)]))
-                .unwrap(),
+                .expect("static workload schema"),
         );
         let constraints: Vec<Constraint> = self
             .constraint_texts()

@@ -54,9 +54,9 @@ impl RandomWorkload {
         let catalog = Arc::new(
             Catalog::new()
                 .with("base", Schema::of(&[("k", Sort::Int)]))
-                .unwrap()
+                .expect("static workload schema")
                 .with("ev", Schema::of(&[("k", Sort::Int)]))
-                .unwrap(),
+                .expect("static workload schema"),
         );
         let constraint = parse_constraint(&self.constraint_text()).expect("template parses");
         let mut rng = StdRng::seed_from_u64(self.seed);

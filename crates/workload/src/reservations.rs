@@ -86,17 +86,17 @@ impl Reservations {
                     "reserved",
                     Schema::of(&[("p", Sort::Str), ("f", Sort::Int)]),
                 )
-                .unwrap()
+                .expect("static workload schema")
                 .with(
                     "reserved_at",
                     Schema::of(&[("p", Sort::Str), ("f", Sort::Int)]),
                 )
-                .unwrap()
+                .expect("static workload schema")
                 .with(
                     "confirmed",
                     Schema::of(&[("p", Sort::Str), ("f", Sort::Int)]),
                 )
-                .unwrap(),
+                .expect("static workload schema"),
         );
         let constraint = parse_constraint(&self.constraint_text()).expect("template parses");
         let mut rng = StdRng::seed_from_u64(self.seed);

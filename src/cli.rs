@@ -6,6 +6,7 @@
 //!
 //! ```text
 //! rtic check <constraints.rtic> <log.rticlog> [--checker NAME] [--quiet] [--stats] [--explain]
+//!            [--constraints FILE]... [--parallel N|auto]
 //!            [--checkpoint FILE] [--resume FILE] [--metrics FILE] [--trace FILE|-]
 //!            [--sample-space N]
 //! rtic report <metrics.json>
@@ -19,10 +20,11 @@ use std::sync::Arc;
 use rtic_active::ActiveChecker;
 use rtic_core::observe;
 use rtic_core::{checkpoint, explain, Checker, CompiledConstraint, EncodingOptions};
-use rtic_core::{IncrementalChecker, NaiveChecker, WindowedChecker};
+use rtic_core::{ConstraintSet, IncrementalChecker, NaiveChecker, Parallelism, WindowedChecker};
 use rtic_history::log::{format_log, LogReader};
 use rtic_history::Transition;
 use rtic_obs::{json, report, MetricsRegistry, MultiObserver, SpaceSampler, TraceWriter};
+use rtic_relation::Catalog;
 use rtic_temporal::parser::{parse_file, ConstraintFile};
 use rtic_workload::{Audit, Library, Monitor, RandomWorkload, Reservations};
 
@@ -31,6 +33,7 @@ rtic — real-time integrity constraints (Chomicki, PODS 1992)
 
 USAGE:
   rtic check <constraints-file> <log-file> [--checker incremental|naive|windowed|active]
+             [--constraints FILE]... [--parallel N|auto]
              [--quiet] [--stats] [--explain] [--checkpoint FILE] [--resume FILE]
              [--metrics FILE] [--trace FILE|-] [--sample-space N]
   rtic report <metrics-file>
@@ -45,6 +48,15 @@ consumed streaming. `generate` writes a log (plus its constraint file as
 incremental checkers' bounded state after the run; `--resume` restores it
 before the run, so a log can be checked in consecutive segments
 (incremental checker only).
+
+Multi-constraint fleets: `--constraints FILE` (repeatable) merges more
+constraint files into the run — relation declarations shared between
+files must agree exactly, constraint names must be unique. `--parallel N`
+(or `auto`) checks the whole fleet as one shared-state constraint set
+with relevance dispatch, evaluating affected constraints on up to N
+worker threads; reports and telemetry are identical to the sequential
+run. Requires the incremental checker; not combinable with
+`--checkpoint`/`--resume`.
 
 Telemetry: `--metrics FILE` writes a metrics snapshot after the run (JSON,
 or Prometheus text when FILE ends in `.prom`); `--trace FILE` appends one
@@ -75,10 +87,91 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
+/// All values of a repeatable `--flag VALUE` pair, in order.
+fn flag_values<'a>(args: &'a [String], name: &str) -> Vec<&'a str> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| *a == name)
+        .filter_map(|(i, _)| args.get(i + 1))
+        .map(String::as_str)
+        .collect()
+}
+
 fn load_constraints(path: &str) -> Result<ConstraintFile, String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read constraints file `{path}`: {e}"))?;
     parse_file(&text).map_err(|e| format!("{path}:{e}"))
+}
+
+/// The two evaluation engines behind `rtic check`: one independent
+/// checker per constraint (any backend), or a shared-state
+/// [`ConstraintSet`] fleet with relevance dispatch and optional worker
+/// threads (`--parallel`).
+enum CheckEngine {
+    Independent(Vec<Box<dyn Checker>>),
+    Fleet(Box<ConstraintSet>),
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_checkers(
+    file: &ConstraintFile,
+    catalog: &Arc<Catalog>,
+    checker_name: &str,
+    show_explain: bool,
+    resume_path: Option<&str>,
+    resume_sections: &[String],
+    registry: &mut MetricsRegistry,
+    trace: &mut Option<TraceWriter>,
+    out: &mut String,
+) -> Result<Vec<Box<dyn Checker>>, String> {
+    let mut checkers: Vec<Box<dyn Checker>> = Vec::new();
+    for c in &file.constraints {
+        let compiled = CompiledConstraint::compile(c.clone(), Arc::clone(catalog))
+            .map_err(|e| format!("constraint `{}`: {e}", c.name))?;
+        if show_explain {
+            let _ = writeln!(out, "{}", explain::explain(&compiled));
+        }
+        checkers.push(match checker_name {
+            "incremental" => {
+                let section = resume_sections
+                    .iter()
+                    .find(|s| s.lines().any(|l| l == format!("constraint {}", c.name)));
+                match (resume_path, section) {
+                    (Some(path), None) => {
+                        return Err(format!(
+                            "checkpoint `{path}` has no section for constraint `{}`",
+                            c.name
+                        ))
+                    }
+                    (Some(_), Some(section)) => {
+                        let mut obs = MultiObserver::new().with(registry);
+                        if let Some(t) = trace.as_mut() {
+                            obs.push(t);
+                        }
+                        Box::new(
+                            checkpoint::restore_observed(
+                                c.clone(),
+                                Arc::clone(catalog),
+                                EncodingOptions::default(),
+                                section,
+                                &mut obs,
+                            )
+                            .map_err(|e| e.to_string())?,
+                        )
+                    }
+                    (None, _) => Box::new(IncrementalChecker::from_compiled(
+                        compiled,
+                        EncodingOptions::default(),
+                    )),
+                }
+            }
+            "naive" => Box::new(NaiveChecker::from_compiled(compiled)),
+            "windowed" => Box::new(WindowedChecker::from_compiled(compiled)),
+            "active" => Box::new(ActiveChecker::from_compiled(compiled)),
+            other => return Err(format!("unknown checker `{other}`")),
+        });
+    }
+    Ok(checkers)
 }
 
 fn check(args: &[String], out: &mut String) -> Result<i32, String> {
@@ -95,6 +188,28 @@ fn check(args: &[String], out: &mut String) -> Result<i32, String> {
     if (checkpoint_path.is_some() || resume_path.is_some()) && checker_name != "incremental" {
         return Err("--checkpoint/--resume require the incremental checker".into());
     }
+    let parallelism = match flag_value(args, "--parallel") {
+        None => None,
+        Some("auto") => Some(Parallelism::Auto),
+        Some(n) => {
+            let n: usize = n
+                .parse()
+                .map_err(|e| format!("bad --parallel `{n}`: {e}"))?;
+            if n == 0 {
+                return Err("--parallel needs at least one worker (or `auto`)".into());
+            }
+            Some(Parallelism::N(n))
+        }
+    };
+    if parallelism.is_some() {
+        if checker_name != "incremental" {
+            return Err("--parallel requires the incremental checker".into());
+        }
+        if checkpoint_path.is_some() || resume_path.is_some() {
+            return Err("--checkpoint/--resume cannot be combined with --parallel".into());
+        }
+    }
+    let extra_constraint_paths = flag_values(args, "--constraints");
     let metrics_path = flag_value(args, "--metrics");
     let trace_path = flag_value(args, "--trace");
     let sample_every: u64 = flag_value(args, "--sample-space")
@@ -115,7 +230,22 @@ fn check(args: &[String], out: &mut String) -> Result<i32, String> {
     };
     let mut sampler = SpaceSampler::new(sample_every);
 
-    let file = load_constraints(constraints_path)?;
+    let mut file = load_constraints(constraints_path)?;
+    for path in &extra_constraint_paths {
+        let extra = load_constraints(path)?;
+        file.catalog
+            .try_merge(&extra.catalog)
+            .map_err(|e| format!("`{path}`: {e}"))?;
+        for c in extra.constraints {
+            if file.constraints.iter().any(|have| have.name == c.name) {
+                return Err(format!(
+                    "`{path}`: constraint `{}` is already defined by an earlier file",
+                    c.name
+                ));
+            }
+            file.constraints.push(c);
+        }
+    }
     if file.constraints.is_empty() {
         return Err(format!("`{constraints_path}` declares no constraints"));
     }
@@ -130,64 +260,41 @@ fn check(args: &[String], out: &mut String) -> Result<i32, String> {
         None => Vec::new(),
     };
 
-    let mut checkers: Vec<Box<dyn Checker>> = Vec::new();
-    for c in &file.constraints {
-        let compiled = CompiledConstraint::compile(c.clone(), Arc::clone(&catalog))
-            .map_err(|e| format!("constraint `{}`: {e}", c.name))?;
+    let mut engine = if let Some(par) = parallelism {
+        let set = ConstraintSet::new(file.constraints.iter().cloned(), Arc::clone(&catalog))
+            .map_err(|(c, e)| format!("constraint `{}`: {e}", c.name))?
+            .with_parallelism(par);
         if show_explain {
-            let _ = writeln!(out, "{}", explain::explain(&compiled));
-        }
-        checkers.push(match checker_name {
-            "incremental" => {
-                let section = resume_sections
-                    .iter()
-                    .find(|s| s.lines().any(|l| l == format!("constraint {}", c.name)));
-                match (resume_path, section) {
-                    (Some(path), None) => {
-                        return Err(format!(
-                            "checkpoint `{path}` has no section for constraint `{}`",
-                            c.name
-                        ))
-                    }
-                    (Some(_), Some(section)) => {
-                        let mut obs = MultiObserver::new().with(&mut registry);
-                        if let Some(t) = trace.as_mut() {
-                            obs.push(t);
-                        }
-                        Box::new(
-                            checkpoint::restore_observed(
-                                c.clone(),
-                                Arc::clone(&catalog),
-                                EncodingOptions::default(),
-                                section,
-                                &mut obs,
-                            )
-                            .map_err(|e| e.to_string())?,
-                        )
-                    }
-                    (None, _) => Box::new(IncrementalChecker::from_compiled(
-                        compiled,
-                        EncodingOptions::default(),
-                    )),
-                }
+            for compiled in set.compiled() {
+                let _ = writeln!(out, "{}", explain::explain(compiled));
             }
-            "naive" => Box::new(NaiveChecker::from_compiled(compiled)),
-            "windowed" => Box::new(WindowedChecker::from_compiled(compiled)),
-            "active" => Box::new(ActiveChecker::from_compiled(compiled)),
-            other => return Err(format!("unknown checker `{other}`")),
-        });
-    }
+        }
+        CheckEngine::Fleet(Box::new(set))
+    } else {
+        CheckEngine::Independent(build_checkers(
+            &file,
+            &catalog,
+            checker_name,
+            show_explain,
+            resume_path,
+            &resume_sections,
+            &mut registry,
+            &mut trace,
+            out,
+        )?)
+    };
 
     // Stream the log: one transition at a time, never the whole file.
     let log_file = std::fs::File::open(log_path)
         .map_err(|e| format!("cannot read log file `{log_path}`: {e}"))?;
-    let reader = LogReader::new(std::io::BufReader::new(log_file));
+    let mut reader = LogReader::new(std::io::BufReader::new(log_file));
     let mut total_violations = 0usize;
     let mut violated_states = 0usize;
     let mut transitions = 0usize;
     let mut last_time = None;
-    for item in reader {
+    while let Some(item) = reader.next() {
         let tr: Transition = item.map_err(|e| format!("{log_path}:{e}"))?;
+        let line = reader.lines_read();
         let step_index = transitions as u64;
         transitions += 1;
         last_time = Some(tr.time);
@@ -195,9 +302,24 @@ fn check(args: &[String], out: &mut String) -> Result<i32, String> {
         if let Some(t) = trace.as_mut() {
             obs.push(t);
         }
-        let reports = observe::step_all(&mut checkers, tr.time, &tr.update, &mut obs)
-            .map_err(|e| format!("at {}: {e}", tr.time))?;
-        sampler.after_step(&checkers, tr.time, step_index, &mut obs);
+        let reports = match &mut engine {
+            CheckEngine::Independent(checkers) => {
+                observe::step_all(checkers, tr.time, &tr.update, &mut obs)
+            }
+            CheckEngine::Fleet(set) => set.step_observed(tr.time, &tr.update, &mut obs),
+        }
+        .map_err(|e| format!("{log_path}:line {line}: at {}: {e}", tr.time))?;
+        match &mut engine {
+            CheckEngine::Independent(checkers) => {
+                sampler.after_step(checkers, tr.time, step_index, &mut obs);
+            }
+            CheckEngine::Fleet(set) => {
+                if sampler.due(step_index) {
+                    set.sample_space(step_index, &mut obs);
+                    sampler.note_sampled();
+                }
+            }
+        }
         let mut state_bad = false;
         for report in &reports {
             if !report.ok() {
@@ -219,21 +341,28 @@ fn check(args: &[String], out: &mut String) -> Result<i32, String> {
         if let Some(t) = trace.as_mut() {
             obs.push(t);
         }
-        observe::sample_space(
-            &checkers,
-            last_time.unwrap_or(rtic_temporal::TimePoint(0)),
-            transitions as u64,
-            &mut obs,
-        );
+        match &engine {
+            CheckEngine::Independent(checkers) => observe::sample_space(
+                checkers,
+                last_time.unwrap_or(rtic_temporal::TimePoint(0)),
+                transitions as u64,
+                &mut obs,
+            ),
+            CheckEngine::Fleet(set) => set.sample_space(transitions as u64, &mut obs),
+        }
     }
     if let Some(path) = checkpoint_path {
+        // --checkpoint forces the incremental independent backend,
+        // checked up top.
+        let CheckEngine::Independent(checkers) = &engine else {
+            return Err("--checkpoint cannot be combined with --parallel".into());
+        };
         let mut text = String::new();
-        for checker in &checkers {
-            // Safe: --checkpoint forces the incremental backend.
+        for checker in checkers {
             let inc = checker
                 .as_any()
                 .downcast_ref::<IncrementalChecker>()
-                .expect("incremental backend enforced above");
+                .ok_or("--checkpoint requires the incremental checker")?;
             let mut obs = MultiObserver::new().with(&mut registry);
             if let Some(t) = trace.as_mut() {
                 obs.push(t);
@@ -243,11 +372,15 @@ fn check(args: &[String], out: &mut String) -> Result<i32, String> {
         std::fs::write(path, text).map_err(|e| format!("cannot write checkpoint `{path}`: {e}"))?;
         let _ = writeln!(out, "checkpoint written to {path}");
     }
+    let n_constraints = match &engine {
+        CheckEngine::Independent(checkers) => checkers.len(),
+        CheckEngine::Fleet(set) => set.len(),
+    };
     let _ = writeln!(
         out,
         "checked {} transitions against {} constraint(s) [{}]: {} violation witness(es) over {} state(s)",
         transitions,
-        checkers.len(),
+        n_constraints,
         checker_name,
         total_violations,
         violated_states,
@@ -257,10 +390,13 @@ fn check(args: &[String], out: &mut String) -> Result<i32, String> {
         // the final space sample above).
         for (constraint, _, space) in registry.latest_space_by_constraint() {
             let _ = writeln!(out, "space[{constraint}]: {space}");
-            let inc = checkers
-                .iter()
-                .find(|ch| ch.constraint().name.as_str() == constraint)
-                .and_then(|ch| ch.as_any().downcast_ref::<IncrementalChecker>());
+            let inc = match &engine {
+                CheckEngine::Independent(checkers) => checkers
+                    .iter()
+                    .find(|ch| ch.constraint().name.as_str() == constraint)
+                    .and_then(|ch| ch.as_any().downcast_ref::<IncrementalChecker>()),
+                CheckEngine::Fleet(_) => None,
+            };
             if let Some(inc) = inc {
                 for stat in inc.node_stats() {
                     let _ = writeln!(
@@ -270,6 +406,17 @@ fn check(args: &[String], out: &mut String) -> Result<i32, String> {
                     );
                 }
             }
+        }
+        if let CheckEngine::Fleet(set) = &engine {
+            let d = set.dispatch_stats();
+            let _ = writeln!(
+                out,
+                "dispatch: {} evaluation(s) total — {} affected, {} absorbed as quiescent ticks, {} quiescent but fully evaluated",
+                d.total(),
+                d.affected,
+                d.skipped,
+                d.quiescent_full,
+            );
         }
     }
     if let Some(path) = metrics_path {
@@ -391,7 +538,9 @@ fn generate(args: &[String], out: &mut String) -> Result<i32, String> {
     let _ = writeln!(out, "# workload: {kind} steps={steps} seed={seed}");
     let _ = writeln!(out, "# matching constraint file:");
     for name in generated.catalog.names() {
-        let schema = generated.catalog.schema_of(name).expect("listed");
+        let Some(schema) = generated.catalog.schema_of(name) else {
+            continue; // names() only lists declared relations
+        };
         let attrs: Vec<String> = schema.attributes().iter().map(|a| format!("{a}")).collect();
         let _ = writeln!(out, "#   relation {name}({})", attrs.join(", "));
     }

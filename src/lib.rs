@@ -20,6 +20,7 @@
 //! assert_eq!(report.violation_count(), 1); // p(a) held at both recent states
 //! ```
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod cli;
 

@@ -120,6 +120,191 @@ fn check_rejects_bad_inputs() {
 }
 
 #[test]
+fn parallel_check_matches_sequential_output() {
+    let c = temp_file("par.rtic", CONSTRAINTS);
+    let l = temp_file("par.rticlog", LOG);
+    let (code, seq) = run(&["check", c.to_str().unwrap(), l.to_str().unwrap()]);
+    assert_eq!(code.unwrap(), 1);
+    for workers in ["1", "3", "auto"] {
+        let (code, par) = run(&[
+            "check",
+            c.to_str().unwrap(),
+            l.to_str().unwrap(),
+            "--parallel",
+            workers,
+        ]);
+        assert_eq!(code.unwrap(), 1, "--parallel {workers}");
+        assert_eq!(par, seq, "--parallel {workers} changed the output");
+    }
+}
+
+#[test]
+fn parallel_check_keeps_trace_and_metrics_working() {
+    let c = temp_file("parm.rtic", CONSTRAINTS);
+    let l = temp_file("parm.rticlog", LOG);
+    let m = temp_file("parm.json", "");
+    let t = temp_file("parm.jsonl", "");
+    let (code, _) = run(&[
+        "check",
+        c.to_str().unwrap(),
+        l.to_str().unwrap(),
+        "--parallel",
+        "2",
+        "--quiet",
+        "--metrics",
+        m.to_str().unwrap(),
+        "--trace",
+        t.to_str().unwrap(),
+        "--sample-space",
+        "2",
+    ]);
+    assert_eq!(code.unwrap(), 1);
+    let doc = rtic::obs::json::parse(&std::fs::read_to_string(&m).unwrap()).unwrap();
+    assert_eq!(doc.get("steps").and_then(|v| v.as_u64()), Some(5));
+    assert_eq!(doc.get("violations").and_then(|v| v.as_u64()), Some(1));
+    let trace_text = std::fs::read_to_string(&t).unwrap();
+    let steps = trace_text
+        .lines()
+        .filter(|l| l.contains("\"event\":\"step\""))
+        .count();
+    assert_eq!(steps, 5, "one step event per transition: {trace_text}");
+}
+
+const EXTRA_CONSTRAINTS: &str = r#"
+relation reserved(p: str, f: int)
+relation vip(p: str)
+deny vip_unreserved: vip(p) && !(exists f . once reserved(p, f))
+"#;
+
+#[test]
+fn repeatable_constraints_flag_merges_files() {
+    let c1 = temp_file("merge1.rtic", CONSTRAINTS);
+    let c2 = temp_file("merge2.rtic", EXTRA_CONSTRAINTS);
+    let l = temp_file(
+        "merge.rticlog",
+        "@0 +reserved(\"ann\", 17)\n@1 +vip(\"zoe\")\n@2\n@3 +confirmed(\"ann\", 17)\n@4\n",
+    );
+    for parallel in [&[][..], &["--parallel", "2"][..]] {
+        let mut args = vec![
+            "check",
+            c1.to_str().unwrap(),
+            l.to_str().unwrap(),
+            "--constraints",
+            c2.to_str().unwrap(),
+        ];
+        args.extend_from_slice(parallel);
+        let (code, out) = run(&args);
+        assert_eq!(code.unwrap(), 1, "{out}");
+        assert!(out.contains("2 constraint(s)"), "{out}");
+        assert!(out.contains("unconfirmed"), "violation from file 1: {out}");
+        assert!(
+            out.contains("vip_unreserved"),
+            "violation from file 2: {out}"
+        );
+    }
+}
+
+#[test]
+fn constraints_flag_rejects_conflicts() {
+    let c1 = temp_file("conf1.rtic", CONSTRAINTS);
+    let clash_schema = temp_file(
+        "conf2.rtic",
+        "relation reserved(p: int)\ndeny other: reserved(p) && !reserved(p)",
+    );
+    let l = temp_file("conf.rticlog", LOG);
+    let (code, _) = run(&[
+        "check",
+        c1.to_str().unwrap(),
+        l.to_str().unwrap(),
+        "--constraints",
+        clash_schema.to_str().unwrap(),
+    ]);
+    assert!(code.unwrap_err().contains("already declared"));
+    let clash_name = temp_file(
+        "conf3.rtic",
+        "relation reserved(p: str, f: int)\ndeny unconfirmed: reserved(p, f) && reserved(p, f)",
+    );
+    let (code, _) = run(&[
+        "check",
+        c1.to_str().unwrap(),
+        l.to_str().unwrap(),
+        "--constraints",
+        clash_name.to_str().unwrap(),
+    ]);
+    assert!(code.unwrap_err().contains("already defined"));
+}
+
+#[test]
+fn parallel_flag_validation() {
+    let c = temp_file("pv.rtic", CONSTRAINTS);
+    let l = temp_file("pv.rticlog", LOG);
+    let base = [c.to_str().unwrap(), l.to_str().unwrap()];
+    let (code, _) = run(&["check", base[0], base[1], "--parallel", "0"]);
+    assert!(code.unwrap_err().contains("--parallel"));
+    let (code, _) = run(&["check", base[0], base[1], "--parallel", "two"]);
+    assert!(code.unwrap_err().contains("bad --parallel"));
+    let (code, _) = run(&[
+        "check",
+        base[0],
+        base[1],
+        "--parallel",
+        "2",
+        "--checker",
+        "naive",
+    ]);
+    assert!(code.unwrap_err().contains("incremental"));
+    let (code, _) = run(&[
+        "check",
+        base[0],
+        base[1],
+        "--parallel",
+        "2",
+        "--checkpoint",
+        "/tmp/pv.ckpt",
+    ]);
+    assert!(code.unwrap_err().contains("--parallel"));
+}
+
+#[test]
+fn check_rejects_regressing_timestamps_with_location() {
+    let c = temp_file("mono.rtic", CONSTRAINTS);
+    // Line 4 of the log regresses from @5 back to @3.
+    let l = temp_file(
+        "mono.rticlog",
+        "@0 +reserved(\"ann\", 17)\n@5\n# still fine\n@3\n@7\n",
+    );
+    for backend in ["incremental", "naive", "windowed", "active"] {
+        let (code, _) = run(&[
+            "check",
+            c.to_str().unwrap(),
+            l.to_str().unwrap(),
+            "--checker",
+            backend,
+        ]);
+        let err = code.expect_err(backend);
+        assert!(err.contains("does not increase past"), "{backend}: {err}");
+        assert!(
+            err.contains("line 4"),
+            "{backend} names the log line: {err}"
+        );
+        assert!(
+            err.contains("mono.rticlog"),
+            "{backend} names the file: {err}"
+        );
+    }
+}
+
+#[test]
+fn check_rejects_repeated_timestamps() {
+    let c = temp_file("dup.rtic", CONSTRAINTS);
+    let l = temp_file("dup.rticlog", "@2\n@2\n");
+    let (code, _) = run(&["check", c.to_str().unwrap(), l.to_str().unwrap()]);
+    let err = code.unwrap_err();
+    assert!(err.contains("does not increase past"), "{err}");
+    assert!(err.contains("line 2"), "{err}");
+}
+
+#[test]
 fn explain_describes_the_plan() {
     let c = temp_file("c5.rtic", CONSTRAINTS);
     let (code, out) = run(&["explain", c.to_str().unwrap()]);
