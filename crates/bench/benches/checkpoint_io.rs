@@ -1,0 +1,80 @@
+//! Periodic-checkpoint overhead: stepping a constraint fleet through the
+//! reservations workload while durably checkpointing every N steps,
+//! against the checkpoint-free baseline. Each checkpoint serializes the
+//! whole fleet into a checksummed v2 container and writes it atomically
+//! (temp file + fsync + rename) through a 3-deep rotation set, so this
+//! measures the real `--checkpoint-every N` cost, fsyncs included.
+//!
+//! `RTIC_BENCH_SMOKE=1` shrinks the workload and sweeps one interval —
+//! used by CI to keep the bench compiling and honest.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtic_core::{checkpoint, ConstraintSet};
+use rtic_resilience::{container, FailPlan, Rotation};
+use rtic_temporal::parser::parse_constraint;
+use rtic_workload::Reservations;
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let smoke = std::env::var("RTIC_BENCH_SMOKE").is_ok();
+    let steps = if smoke { 60 } else { 400 };
+    let intervals: &[u64] = if smoke { &[10] } else { &[10, 50, 200] };
+    let g = Reservations {
+        steps,
+        new_per_step: 2,
+        deadline: 5,
+        violation_rate: 0.02,
+        seed: 42,
+    }
+    .generate();
+    let constraints: Vec<_> = [
+        "deny unconfirmed_ever: reserved(p, f) && once[2,*] reserved_at(p, f) \
+         && !once confirmed(p, f)",
+        "deny reconfirm: confirmed(p, f) && once[1,*] confirmed(p, f)",
+    ]
+    .iter()
+    .map(|body| parse_constraint(body).unwrap())
+    .collect();
+    let dir = std::env::temp_dir().join(format!("rtic-checkpoint-io-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let mut group = c.benchmark_group("checkpoint_io");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("no_checkpoint", steps), &g, |b, g| {
+        b.iter(|| {
+            let mut set =
+                ConstraintSet::new(constraints.iter().cloned(), Arc::clone(&g.catalog)).unwrap();
+            for tr in &g.transitions {
+                set.step(tr.time, &tr.update).unwrap();
+            }
+            set.space().retained_units()
+        })
+    });
+    for &every in intervals {
+        let rotation = Rotation::new(dir.join(format!("every-{every}.ckpt")), 3);
+        group.bench_with_input(BenchmarkId::new("checkpoint_every", every), &g, |b, g| {
+            b.iter(|| {
+                let mut set =
+                    ConstraintSet::new(constraints.iter().cloned(), Arc::clone(&g.catalog))
+                        .unwrap();
+                for (i, tr) in g.transitions.iter().enumerate() {
+                    set.step(tr.time, &tr.update).unwrap();
+                    if (i as u64 + 1).is_multiple_of(every) {
+                        let sections = checkpoint::save_set(&set);
+                        let sealed =
+                            container::seal(sections.iter().map(|(_, text)| text.as_str()));
+                        rotation
+                            .write(&sealed, &FailPlan::none(), "checkpoint.write")
+                            .unwrap();
+                    }
+                }
+                set.space().retained_units()
+            })
+        });
+    }
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -49,8 +49,11 @@ fn main() {
             m.checker, m.steps, m.violations, m.tail_step_us
         );
         if let Some(p) = metrics_path {
-            std::fs::write(p, registry.render_json())
-                .unwrap_or_else(|e| panic!("cannot write metrics `{p}`: {e}"));
+            rtic_resilience::write_atomic(
+                std::path::Path::new(p),
+                registry.render_json().as_bytes(),
+            )
+            .unwrap_or_else(|e| panic!("cannot write metrics `{p}`: {e}"));
             println!("metrics written to {p}");
         }
         if let Some(t) = trace {

@@ -56,13 +56,14 @@ use std::fmt;
 use std::fmt::Write as _;
 use std::sync::Arc;
 
-use rtic_relation::{Catalog, Tuple, Value};
+use rtic_relation::{Catalog, Database, Symbol, Tuple, Value};
 use rtic_temporal::{Constraint, TimePoint};
 
 use crate::checker::Checker as _;
 use crate::encode::HistInfDump;
 use crate::error::CompileError;
-use crate::incremental::{EncodingOptions, IncrementalChecker, NodeState};
+use crate::incremental::{EncodingOptions, IncrementalChecker, NodeEngine, NodeState};
+use crate::set::ConstraintSet;
 
 /// A checkpoint failure.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -118,8 +119,31 @@ fn write_values(out: &mut String, t: &Tuple) {
 
 /// Serializes the checker's full state.
 pub fn save(checker: &IncrementalChecker) -> String {
+    save_parts(checker.database(), checker.engine(), checker.steps())
+}
+
+/// Serializes a fleet: one `(constraint, v1 section)` per **healthy**
+/// constraint, in insertion order. Each section carries the full shared
+/// database, so any one section alone restores a standalone checker and
+/// the whole list restores the set ([`restore_set`]). Quarantined
+/// engines are excluded — their mid-panic state is not trustworthy — so
+/// resuming such a checkpoint with the full constraint file fails with a
+/// missing-section error for the quarantined constraint.
+pub fn save_set(set: &ConstraintSet) -> Vec<(Symbol, String)> {
+    set.engines_with_health()
+        .filter(|(_, quarantined)| !quarantined)
+        .map(|(engine, _)| {
+            (
+                engine.compiled.constraint.name,
+                save_parts(set.database(), engine, set.steps()),
+            )
+        })
+        .collect()
+}
+
+/// One `rtic-checkpoint v1` section for an engine over `db`.
+fn save_parts(db: &Database, engine: &NodeEngine, steps: usize) -> String {
     let mut out = String::new();
-    let engine = checker.engine();
     out.push_str("rtic-checkpoint v1\n");
     let _ = writeln!(out, "constraint {}", engine.compiled.constraint.name);
     let _ = writeln!(out, "body {}", engine.compiled.body);
@@ -129,9 +153,8 @@ pub fn save(checker: &IncrementalChecker) -> String {
         }
         None => out.push_str("time none\n"),
     }
-    let _ = writeln!(out, "steps {}", checker.steps());
+    let _ = writeln!(out, "steps {steps}");
     // Current database state.
-    let db = checker.database();
     for name in db.catalog().names() {
         let rel = db.relation(name).expect("catalogued");
         if rel.is_empty() {
@@ -304,6 +327,95 @@ pub fn restore(
     text: &str,
 ) -> Result<IncrementalChecker, CheckpointError> {
     let mut checker = IncrementalChecker::with_options(constraint, catalog, options)?;
+    let (db, engine, steps_slot) = checker.parts_mut();
+    restore_section(db, engine, steps_slot, text, RelMode::Apply)?;
+    Ok(checker)
+}
+
+/// Restores a whole fleet from the sections of a multi-section
+/// checkpoint (see [`save_set`]). Sections are matched to constraints by
+/// name; the shared database is applied from the first constraint's
+/// section and *verified* tuple-for-tuple against every other section,
+/// so sections from divergent runs cannot be silently mixed. The
+/// restored set's step/time cursor is checked for consistency across
+/// sections.
+pub fn restore_set(
+    constraints: impl IntoIterator<Item = Constraint>,
+    catalog: Arc<Catalog>,
+    sections: &[String],
+) -> Result<ConstraintSet, CheckpointError> {
+    let mut set =
+        ConstraintSet::new(constraints, catalog).map_err(|(c, e)| CheckpointError::Mismatch {
+            message: format!("constraint `{}` failed to compile: {e}", c.name),
+        })?;
+    let (db, engines, steps_slot, last_time_slot) = set.restore_parts();
+    let mut cursor: Option<(usize, Option<TimePoint>)> = None;
+    for (i, engine) in engines.iter_mut().enumerate() {
+        let name = engine.compiled.constraint.name;
+        let section = sections
+            .iter()
+            .find(|s| section_constraint_name(s) == Some(name.as_str()))
+            .ok_or_else(|| CheckpointError::Mismatch {
+                message: format!(
+                    "checkpoint has no section for constraint `{name}` \
+                     (it may have been quarantined when the checkpoint was written, \
+                     or the constraint file has changed)"
+                ),
+            })?;
+        let mode = if i == 0 {
+            RelMode::Apply
+        } else {
+            RelMode::Verify
+        };
+        let mut steps = 0usize;
+        restore_section(db, engine, &mut steps, section, mode)?;
+        let this = (steps, engine.last_time);
+        match cursor {
+            None => cursor = Some(this),
+            Some(prev) if prev != this => {
+                return Err(CheckpointError::Mismatch {
+                    message: format!(
+                        "checkpoint sections disagree on the resume cursor \
+                         (constraint `{name}` is at steps={} t={:?}, earlier sections at steps={} t={:?})",
+                        this.0, this.1, prev.0, prev.1
+                    ),
+                });
+            }
+            Some(_) => {}
+        }
+    }
+    if let Some((steps, time)) = cursor {
+        *steps_slot = steps;
+        *last_time_slot = time;
+    }
+    Ok(set)
+}
+
+/// The `constraint <name>` value of a v1 section, if present.
+fn section_constraint_name(text: &str) -> Option<&str> {
+    text.lines()
+        .find_map(|l| l.trim().strip_prefix("constraint "))
+}
+
+/// How a section's `rel` blocks relate to the database being restored.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum RelMode {
+    /// Insert the tuples (first/only section: it owns the database).
+    Apply,
+    /// The database was already applied from another section of the same
+    /// checkpoint; verify this section lists exactly the same tuples.
+    Verify,
+}
+
+/// Restores one v1 section into an engine (and, per `rel_mode`, the
+/// database). `steps_slot` receives the section's step cursor.
+fn restore_section(
+    db: &mut Database,
+    engine: &mut NodeEngine,
+    steps_slot: &mut usize,
+    text: &str,
+    rel_mode: RelMode,
+) -> Result<(), CheckpointError> {
     let mut r = Reader::new(text);
     match r.next() {
         Some((_, "rtic-checkpoint v1")) => {}
@@ -312,7 +424,6 @@ pub fn restore(
     let name = r.expect_kv("constraint")?;
     let body = r.expect_kv("body")?;
     {
-        let engine = checker.engine();
         if engine.compiled.constraint.name.as_str() != name {
             return Err(CheckpointError::Mismatch {
                 message: format!(
@@ -323,7 +434,12 @@ pub fn restore(
         }
         if engine.compiled.body.to_string() != body {
             return Err(CheckpointError::Mismatch {
-                message: "compiled body differs from the checkpointed one".into(),
+                message: format!(
+                    "constraint `{name}`: its compiled body differs from the checkpointed one — \
+                     the definition of `{name}` changed since this checkpoint was written \
+                     (checkpointed body: `{body}`); restore with the original constraint file \
+                     or start a fresh run"
+                ),
             });
         }
     }
@@ -342,31 +458,70 @@ pub fn restore(
         .parse()
         .map_err(|e| r.err(format!("bad steps: {e}")))?;
 
-    let (db, engine, steps_slot) = checker.parts_mut();
     engine.last_time = last_time;
     *steps_slot = steps;
     while let Some(line) = r.peek() {
         if let Some(rel_name) = line.strip_prefix("rel ") {
             r.next();
             let sym = rtic_relation::Symbol::intern(rel_name);
-            let rel = db
-                .relation_mut(sym)
-                .map_err(|e| CheckpointError::Mismatch {
-                    message: e.to_string(),
-                })?;
-            loop {
-                match r.next() {
-                    Some((_, "endrel")) => break,
-                    Some((_, l)) => {
-                        let (nums, tuple) = parse_entry_line(l).map_err(|m| r.err(m))?;
-                        if !nums.is_empty() {
-                            return Err(r.err("relation rows carry no numeric prefix"));
-                        }
-                        rel.insert(tuple).map_err(|e| CheckpointError::Mismatch {
+            match rel_mode {
+                RelMode::Apply => {
+                    let rel = db
+                        .relation_mut(sym)
+                        .map_err(|e| CheckpointError::Mismatch {
                             message: e.to_string(),
                         })?;
+                    loop {
+                        match r.next() {
+                            Some((_, "endrel")) => break,
+                            Some((_, l)) => {
+                                let (nums, tuple) = parse_entry_line(l).map_err(|m| r.err(m))?;
+                                if !nums.is_empty() {
+                                    return Err(r.err("relation rows carry no numeric prefix"));
+                                }
+                                rel.insert(tuple).map_err(|e| CheckpointError::Mismatch {
+                                    message: e.to_string(),
+                                })?;
+                            }
+                            None => return Err(r.err("unterminated `rel` section")),
+                        }
                     }
-                    None => return Err(r.err("unterminated `rel` section")),
+                }
+                RelMode::Verify => {
+                    let rel = db.relation(sym).map_err(|e| CheckpointError::Mismatch {
+                        message: e.to_string(),
+                    })?;
+                    let mut seen = 0usize;
+                    loop {
+                        match r.next() {
+                            Some((_, "endrel")) => break,
+                            Some((_, l)) => {
+                                let (nums, tuple) = parse_entry_line(l).map_err(|m| r.err(m))?;
+                                if !nums.is_empty() {
+                                    return Err(r.err("relation rows carry no numeric prefix"));
+                                }
+                                if !rel.contains(&tuple) {
+                                    return Err(CheckpointError::Mismatch {
+                                        message: format!(
+                                            "checkpoint sections disagree on relation `{rel_name}` \
+                                             (constraint `{name}` lists a tuple other sections lack)"
+                                        ),
+                                    });
+                                }
+                                seen += 1;
+                            }
+                            None => return Err(r.err("unterminated `rel` section")),
+                        }
+                    }
+                    if seen != rel.len() {
+                        return Err(CheckpointError::Mismatch {
+                            message: format!(
+                                "checkpoint sections disagree on relation `{rel_name}` \
+                                 (constraint `{name}` lists {seen} tuple(s), other sections {})",
+                                rel.len()
+                            ),
+                        });
+                    }
                 }
             }
         } else if let Some(rest) = line.strip_prefix("node ") {
@@ -475,7 +630,7 @@ pub fn restore(
             return Err(r.err(format!("unexpected line `{line}`")));
         }
     }
-    Ok(checker)
+    Ok(())
 }
 
 /// [`save`] with observation: emits a
@@ -626,6 +781,113 @@ mod tests {
         let err =
             restore(renamed, Arc::clone(&cat), EncodingOptions::default(), &text).unwrap_err();
         assert!(matches!(err, CheckpointError::Mismatch { .. }));
+    }
+
+    fn fleet() -> Vec<Constraint> {
+        vec![
+            parse_constraint("deny both: p(x) && q(x)").unwrap(),
+            parse_constraint("deny lingering: p(x) && once[2,4] q(x)").unwrap(),
+            parse_constraint("deny steady: p(x) && hist[0,1] p(x)").unwrap(),
+        ]
+    }
+
+    fn drive_set(
+        set: &mut crate::ConstraintSet,
+        from: u64,
+        to: u64,
+    ) -> Vec<Vec<crate::StepReport>> {
+        let mut out = Vec::new();
+        for t in from..to {
+            let u = match t % 4 {
+                0 => Update::new()
+                    .with_insert("p", tuple!["a"])
+                    .with_insert("q", tuple!["b"]),
+                1 => Update::new().with_insert("q", tuple!["a"]),
+                2 => Update::new().with_delete("p", tuple!["a"]),
+                _ => Update::new().with_delete("q", tuple!["a"]),
+            };
+            out.push(set.step(TimePoint(t), &u).unwrap());
+        }
+        out
+    }
+
+    #[test]
+    fn fleet_save_restore_resumes_identically() {
+        let cat = catalog();
+        let mut reference = crate::ConstraintSet::new(fleet(), Arc::clone(&cat)).unwrap();
+        let all = drive_set(&mut reference, 1, 40);
+
+        let mut head = crate::ConstraintSet::new(fleet(), Arc::clone(&cat)).unwrap();
+        let mut got = drive_set(&mut head, 1, 20);
+        let sections: Vec<String> = save_set(&head).into_iter().map(|(_, s)| s).collect();
+        assert_eq!(sections.len(), 3);
+        let mut resumed = restore_set(fleet(), Arc::clone(&cat), &sections).unwrap();
+        assert_eq!(resumed.steps(), head.steps());
+        assert_eq!(resumed.last_time(), head.last_time());
+        got.extend(drive_set(&mut resumed, 20, 40));
+        assert_eq!(got, all, "restored fleet diverged from uninterrupted run");
+    }
+
+    #[test]
+    fn fleet_sections_each_restore_standalone() {
+        let cat = catalog();
+        let mut set = crate::ConstraintSet::new(fleet(), Arc::clone(&cat)).unwrap();
+        drive_set(&mut set, 1, 15);
+        for (sym, section) in save_set(&set) {
+            let c = fleet()
+                .into_iter()
+                .find(|c| c.name == sym)
+                .expect("known constraint");
+            let checker = restore(c, Arc::clone(&cat), EncodingOptions::default(), &section)
+                .unwrap_or_else(|e| panic!("section for {sym} failed: {e}"));
+            assert_eq!(checker.steps(), set.steps());
+        }
+    }
+
+    #[test]
+    fn fleet_restore_rejects_missing_and_renamed_sections() {
+        let cat = catalog();
+        let mut set = crate::ConstraintSet::new(fleet(), Arc::clone(&cat)).unwrap();
+        drive_set(&mut set, 1, 8);
+        let sections: Vec<String> = save_set(&set).into_iter().map(|(_, s)| s).collect();
+        // A fleet with an extra constraint finds no section for it.
+        let mut extra = fleet();
+        extra.push(parse_constraint("deny extra: q(x) && prev q(x)").unwrap());
+        let err = restore_set(extra, Arc::clone(&cat), &sections).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("no section for constraint `extra`"),
+            "error must name the constraint: {msg}"
+        );
+    }
+
+    #[test]
+    fn fleet_restore_rejects_changed_body_naming_the_constraint() {
+        let cat = catalog();
+        let mut set = crate::ConstraintSet::new(fleet(), Arc::clone(&cat)).unwrap();
+        drive_set(&mut set, 1, 8);
+        let sections: Vec<String> = save_set(&set).into_iter().map(|(_, s)| s).collect();
+        // Same name, different body: the operator edited the constraint.
+        let mut changed = fleet();
+        changed[1] = parse_constraint("deny lingering: p(x) && once[1,9] q(x)").unwrap();
+        let err = restore_set(changed, Arc::clone(&cat), &sections).unwrap_err();
+        let msg = err.to_string();
+        assert!(matches!(err, CheckpointError::Mismatch { .. }));
+        assert!(
+            msg.contains("`lingering`") && msg.contains("changed since this checkpoint"),
+            "error must name the mismatched constraint and be actionable: {msg}"
+        );
+    }
+
+    #[test]
+    fn quarantined_engines_are_excluded_from_save_set() {
+        let cat = catalog();
+        let mut set = crate::ConstraintSet::new(fleet(), Arc::clone(&cat)).unwrap();
+        set.arm_panic("lingering", 1);
+        drive_set(&mut set, 1, 5);
+        let saved = save_set(&set);
+        let names: Vec<&str> = saved.iter().map(|(s, _)| s.as_str()).collect();
+        assert_eq!(names, vec!["both", "steady"]);
     }
 
     #[test]

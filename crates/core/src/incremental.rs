@@ -377,6 +377,13 @@ impl IncrementalChecker {
         self.steps
     }
 
+    /// Timestamp of the last processed transition, if any. After a
+    /// checkpoint restore this is the replay cursor: transitions at or
+    /// before it have already been absorbed.
+    pub fn last_time(&self) -> Option<TimePoint> {
+        self.engine.last_time
+    }
+
     pub(crate) fn engine(&self) -> &NodeEngine {
         &self.engine
     }

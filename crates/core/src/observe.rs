@@ -111,6 +111,35 @@ pub enum StepEvent<'a> {
         /// Size of the serialized text.
         bytes: usize,
     },
+    /// A constraint engine panicked mid-step and was quarantined: it
+    /// stops producing reports while the rest of the fleet keeps
+    /// checking (degraded mode). Emitted once, at the failing step.
+    ConstraintQuarantined {
+        /// Checker implementation name.
+        checker: &'static str,
+        /// The constraint whose engine panicked.
+        constraint: Symbol,
+        /// Timestamp of the step during which the panic happened.
+        time: TimePoint,
+        /// The rendered panic payload.
+        detail: String,
+    },
+    /// A corrupt or unreadable checkpoint candidate was rejected during
+    /// recovery and the next rotation entry was tried.
+    CheckpointFallback {
+        /// Path of the rejected candidate.
+        path: String,
+        /// Why it was rejected (checksum mismatch, truncation, ...).
+        detail: String,
+    },
+    /// A malformed history line was skipped under a lenient bad-line
+    /// policy (it would have aborted the run under the strict default).
+    BadLine {
+        /// 1-based line number in the history stream.
+        line: usize,
+        /// The parse error.
+        detail: String,
+    },
     /// A scheduled reading of a checker's space footprint.
     SpaceSample {
         /// Checker implementation name.
@@ -136,6 +165,9 @@ impl StepEvent<'_> {
             StepEvent::StepEnd { .. } => "step",
             StepEvent::CheckpointSave { .. } => "checkpoint_save",
             StepEvent::CheckpointRestore { .. } => "checkpoint_restore",
+            StepEvent::ConstraintQuarantined { .. } => "quarantine",
+            StepEvent::CheckpointFallback { .. } => "checkpoint_fallback",
+            StepEvent::BadLine { .. } => "bad_line",
             StepEvent::SpaceSample { .. } => "space_sample",
         }
     }
@@ -219,6 +251,25 @@ impl StepObserver for CollectingObserver {
             StepEvent::CheckpointRestore { constraint, bytes } => StepEvent::CheckpointRestore {
                 constraint: *constraint,
                 bytes: *bytes,
+            },
+            StepEvent::ConstraintQuarantined {
+                checker,
+                constraint,
+                time,
+                detail,
+            } => StepEvent::ConstraintQuarantined {
+                checker,
+                constraint: *constraint,
+                time: *time,
+                detail: detail.clone(),
+            },
+            StepEvent::CheckpointFallback { path, detail } => StepEvent::CheckpointFallback {
+                path: path.clone(),
+                detail: detail.clone(),
+            },
+            StepEvent::BadLine { line, detail } => StepEvent::BadLine {
+                line: *line,
+                detail: detail.clone(),
             },
             StepEvent::SpaceSample {
                 checker,

@@ -47,11 +47,12 @@
 //! assert_eq!(set.space().stored_states, 1); // one shared state copy
 //! ```
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Instant;
 
 use rtic_history::HistoryError;
-use rtic_relation::{Catalog, Database, Update};
+use rtic_relation::{Catalog, Database, Symbol, Update};
 use rtic_temporal::{Constraint, TimePoint};
 
 use crate::compile::CompiledConstraint;
@@ -88,6 +89,17 @@ impl Parallelism {
     }
 }
 
+/// Best-effort rendering of a caught panic payload.
+fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
 /// Running tallies of relevance-dispatch outcomes, summed over all steps
 /// and engines (each engine contributes one tally per step).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -101,6 +113,10 @@ pub struct DispatchStats {
     /// Engine-steps that were quiescent but still took the full path
     /// (ineligible shape, first step, or a prior violation to re-check).
     pub quiescent_full: u64,
+    /// Engine-steps skipped because the constraint's engine had panicked
+    /// earlier and is quarantined — the fleet is running degraded. Not
+    /// part of [`DispatchStats::total`], since nothing was evaluated.
+    pub quarantined: u64,
 }
 
 impl DispatchStats {
@@ -119,6 +135,11 @@ pub struct ConstraintSet {
     steps: usize,
     parallelism: Parallelism,
     dispatch: DispatchStats,
+    /// Per-engine quarantine reason; `Some` once the engine panicked.
+    quarantined: Vec<Option<String>>,
+    /// Fault injection: 1-based transition number at which each engine
+    /// should panic (test/chaos tooling via [`ConstraintSet::arm_panic`]).
+    armed_panics: Vec<Option<u64>>,
 }
 
 impl ConstraintSet {
@@ -137,6 +158,7 @@ impl ConstraintSet {
             }
         }
         let db = Database::new(catalog);
+        let n = engines.len();
         Ok(ConstraintSet {
             db,
             engines,
@@ -144,6 +166,8 @@ impl ConstraintSet {
             steps: 0,
             parallelism: Parallelism::Sequential,
             dispatch: DispatchStats::default(),
+            quarantined: vec![None; n],
+            armed_panics: vec![None; n],
         })
     }
 
@@ -198,6 +222,71 @@ impl ConstraintSet {
         self.steps
     }
 
+    /// Timestamp of the last processed transition, if any. This is the
+    /// replay cursor a resumed run skips up to (inclusive).
+    pub fn last_time(&self) -> Option<TimePoint> {
+        self.last_time
+    }
+
+    /// Quarantined constraints with their panic reasons, in insertion
+    /// order. A non-empty result means the fleet is running degraded:
+    /// these constraints stopped producing reports at the step recorded
+    /// in their reason, while the rest of the fleet kept checking.
+    pub fn quarantined(&self) -> Vec<(Symbol, &str)> {
+        self.engines
+            .iter()
+            .zip(&self.quarantined)
+            .filter_map(|(e, q)| {
+                q.as_deref()
+                    .map(|reason| (e.compiled.constraint.name, reason))
+            })
+            .collect()
+    }
+
+    /// Fault injection: make the engine for `constraint` panic while
+    /// processing its `nth` transition (1-based, counted from now).
+    /// Returns `false` if no such constraint is in the set. This is the
+    /// hook the failpoint facility uses to exercise quarantine; it is
+    /// deliberately explicit — nothing panics unless armed.
+    pub fn arm_panic(&mut self, constraint: &str, nth: u64) -> bool {
+        let mut found = false;
+        for (engine, armed) in self.engines.iter().zip(self.armed_panics.iter_mut()) {
+            if engine.compiled.constraint.name.as_str() == constraint {
+                *armed = Some(self.steps as u64 + nth.max(1));
+                found = true;
+            }
+        }
+        found
+    }
+
+    /// Engines in insertion order, paired with their quarantine state
+    /// (checkpointing reads these; quarantined engines are excluded from
+    /// checkpoints because their mid-panic state is not trustworthy).
+    pub(crate) fn engines_with_health(&self) -> impl Iterator<Item = (&NodeEngine, bool)> {
+        self.engines
+            .iter()
+            .zip(&self.quarantined)
+            .map(|(e, q)| (e, q.is_some()))
+    }
+
+    /// Mutable parts for checkpoint restore: shared database, engines,
+    /// and the step/time cursor slots.
+    pub(crate) fn restore_parts(
+        &mut self,
+    ) -> (
+        &mut Database,
+        &mut [NodeEngine],
+        &mut usize,
+        &mut Option<TimePoint>,
+    ) {
+        (
+            &mut self.db,
+            &mut self.engines,
+            &mut self.steps,
+            &mut self.last_time,
+        )
+    }
+
     /// Processes one transition; returns one report per constraint, in
     /// insertion order. Uses relevance dispatch and the configured
     /// [`Parallelism`]; both are report-for-report invisible.
@@ -238,13 +327,22 @@ impl ConstraintSet {
         let n = self.engines.len();
         let mut slots: Vec<Option<(StepReport, u64)>> = (0..n).map(|_| None).collect();
         let (mut skipped, mut quiescent_full, mut affected) = (0u64, 0u64, 0u64);
+        let mut quarantine_ticks = 0u64;
+        let nth_step = self.steps as u64 + 1;
 
         // Dispatch phase: absorb quiescent ticks on the calling thread
         // (the fast path is cheap by construction); collect everything
-        // else for full evaluation.
-        let mut full: Vec<(usize, &mut NodeEngine)> = Vec::new();
+        // else for full evaluation. Quarantined engines are skipped
+        // entirely, and an engine armed to panic this step is forced onto
+        // the full path so the panic surfaces inside `catch_unwind`.
+        let mut full: Vec<(usize, bool, &mut NodeEngine)> = Vec::new();
         for (idx, engine) in self.engines.iter_mut().enumerate() {
-            if engine.is_quiescent(update) {
+            if self.quarantined[idx].is_some() {
+                quarantine_ticks += 1;
+                continue;
+            }
+            let inject_panic = self.armed_panics[idx] == Some(nth_step);
+            if !inject_panic && engine.is_quiescent(update) {
                 let eval_start = Instant::now();
                 if let Some(violations) = engine.advance_time(time) {
                     skipped += 1;
@@ -260,28 +358,49 @@ impl ConstraintSet {
             } else {
                 affected += 1;
             }
-            full.push((idx, engine));
+            full.push((idx, inject_panic, engine));
         }
         self.dispatch.skipped += skipped;
         self.dispatch.quiescent_full += quiescent_full;
         self.dispatch.affected += affected;
+        self.dispatch.quarantined += quarantine_ticks;
 
         // Full-evaluation phase, fanned out over scoped workers when
         // configured. Chunks are static: determinism comes from scattering
-        // results back by engine index, not from scheduling.
+        // results back by engine index, not from scheduling. Each engine
+        // runs inside `catch_unwind`, so one poisoned constraint cannot
+        // take down the fleet — it is quarantined at fan-in instead.
         let workers = self.parallelism.workers(full.len());
         let db = &self.db;
-        if workers <= 1 {
-            for (idx, engine) in full {
-                let eval_start = Instant::now();
+        let eval_engine = |inject: bool, engine: &mut NodeEngine| {
+            let eval_start = Instant::now();
+            let name = engine.compiled.constraint.name;
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                if inject {
+                    panic!("injected engine panic (failpoint)");
+                }
                 engine.advance(db, time);
-                let violations = engine.violations(db, time);
-                let report = StepReport {
-                    constraint: engine.compiled.constraint.name,
-                    time,
-                    violations,
-                };
-                slots[idx] = Some((report, eval_start.elapsed().as_nanos() as u64));
+                engine.violations(db, time)
+            }));
+            match outcome {
+                Ok(violations) => Ok((
+                    StepReport {
+                        constraint: name,
+                        time,
+                        violations,
+                    },
+                    eval_start.elapsed().as_nanos() as u64,
+                )),
+                Err(payload) => Err(panic_detail(payload.as_ref())),
+            }
+        };
+        let mut panicked: Vec<(usize, String)> = Vec::new();
+        if workers <= 1 {
+            for (idx, inject, engine) in full {
+                match eval_engine(inject, engine) {
+                    Ok(done) => slots[idx] = Some(done),
+                    Err(detail) => panicked.push((idx, detail)),
+                }
             }
         } else {
             let chunk_len = full.len().div_ceil(workers);
@@ -289,20 +408,10 @@ impl ConstraintSet {
                 let handles: Vec<_> = full
                     .chunks_mut(chunk_len)
                     .map(|batch| {
-                        scope.spawn(move || {
+                        scope.spawn(|| {
                             batch
                                 .iter_mut()
-                                .map(|(idx, engine)| {
-                                    let eval_start = Instant::now();
-                                    engine.advance(db, time);
-                                    let violations = engine.violations(db, time);
-                                    let report = StepReport {
-                                        constraint: engine.compiled.constraint.name,
-                                        time,
-                                        violations,
-                                    };
-                                    (*idx, report, eval_start.elapsed().as_nanos() as u64)
-                                })
+                                .map(|(idx, inject, engine)| (*idx, eval_engine(*inject, engine)))
                                 .collect::<Vec<_>>()
                         })
                     })
@@ -312,21 +421,45 @@ impl ConstraintSet {
             for joined in batches {
                 match joined {
                     Ok(batch) => {
-                        for (idx, report, latency_ns) in batch {
-                            slots[idx] = Some((report, latency_ns));
+                        for (idx, outcome) in batch {
+                            match outcome {
+                                Ok(done) => slots[idx] = Some(done),
+                                Err(detail) => panicked.push((idx, detail)),
+                            }
                         }
                     }
+                    // A panic outside the per-engine catch (worker
+                    // infrastructure, not constraint evaluation) is not
+                    // quarantinable — propagate it.
                     Err(payload) => std::panic::resume_unwind(payload),
                 }
             }
         }
+        for (idx, detail) in &panicked {
+            self.quarantined[*idx] =
+                Some(format!("panicked at step {nth_step} (t={time}): {detail}"));
+        }
 
         // Fan-in: emit per-constraint events and assemble reports in
-        // insertion order.
+        // insertion order. Newly quarantined constraints emit a
+        // quarantine event in place of their report; previously
+        // quarantined ones stay silent.
         let mut reports = Vec::with_capacity(n);
         let mut total_violations = 0usize;
-        for slot in slots {
-            debug_assert!(slot.is_some(), "every engine produces a report");
+        for (idx, slot) in slots.into_iter().enumerate() {
+            if let Some((_, detail)) = panicked.iter().find(|(p, _)| *p == idx) {
+                obs.observe(&StepEvent::ConstraintQuarantined {
+                    checker: "set",
+                    constraint: self.engines[idx].compiled.constraint.name,
+                    time,
+                    detail: detail.clone(),
+                });
+                continue;
+            }
+            debug_assert!(
+                slot.is_some() || self.quarantined[idx].is_some(),
+                "every healthy engine produces a report"
+            );
             let Some((report, latency_ns)) = slot else {
                 continue;
             };
@@ -365,7 +498,12 @@ impl ConstraintSet {
         let Some(time) = self.last_time else {
             return;
         };
-        for engine in &self.engines {
+        for (engine, quarantined) in self.engines.iter().zip(&self.quarantined) {
+            if quarantined.is_some() {
+                // A quarantined engine's aux state froze mid-panic; its
+                // numbers would be misleading.
+                continue;
+            }
             let (aux_keys, aux_timestamps) = engine.aux_space();
             obs.observe(&StepEvent::SpaceSample {
                 checker: "set",
@@ -663,5 +801,103 @@ mod tests {
         let mut set = ConstraintSet::new(constraints(), catalog()).unwrap();
         set.step(TimePoint(4), &Update::new()).unwrap();
         assert!(set.step(TimePoint(4), &Update::new()).is_err());
+    }
+
+    #[test]
+    fn panicking_engine_is_quarantined_and_fleet_continues() {
+        let cat = catalog();
+        let mut set = ConstraintSet::new(constraints(), Arc::clone(&cat)).unwrap();
+        let mut healthy = ConstraintSet::new(constraints(), Arc::clone(&cat)).unwrap();
+        assert!(set.arm_panic("lingering", 2));
+        assert!(!set.arm_panic("no_such_constraint", 1));
+        let mut obs = CollectingObserver::default();
+
+        let u1 = Update::new().with_insert("p", tuple!["a"]);
+        let r1 = set.step_observed(TimePoint(1), &u1, &mut obs).unwrap();
+        assert_eq!(r1.len(), 3, "before the panic all constraints report");
+        healthy.step(TimePoint(1), &u1).unwrap();
+
+        let u2 = Update::new().with_insert("q", tuple!["a"]);
+        let r2 = set.step_observed(TimePoint(2), &u2, &mut obs).unwrap();
+        let h2 = healthy.step(TimePoint(2), &u2).unwrap();
+        assert_eq!(r2.len(), 2, "the panicked constraint drops out");
+        assert_eq!(r2[0], h2[0], "constraint before the victim unaffected");
+        assert_eq!(r2[1], h2[2], "constraint after the victim unaffected");
+        let q = set.quarantined();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q[0].0.as_str(), "lingering");
+        assert!(
+            q[0].1.contains("injected engine panic"),
+            "reason: {}",
+            q[0].1
+        );
+        assert_eq!(
+            obs.events
+                .iter()
+                .filter(|e| e.kind() == "quarantine")
+                .count(),
+            1,
+            "quarantine event emitted exactly once"
+        );
+
+        // Subsequent steps: fleet keeps matching an all-healthy run minus
+        // the quarantined constraint, and the skip is tallied.
+        for t in 3..10u64 {
+            let u = updates(t);
+            let r = set.step(TimePoint(t), &u).unwrap();
+            let h = healthy.step(TimePoint(t), &u).unwrap();
+            assert_eq!(r.len(), 2);
+            assert_eq!(r[0], h[0]);
+            assert_eq!(r[1], h[2]);
+        }
+        assert_eq!(set.dispatch_stats().quarantined, 7);
+        assert_eq!(set.quarantined().len(), 1, "no double quarantine");
+    }
+
+    #[test]
+    fn parallel_panic_is_quarantined_identically() {
+        let cat = catalog();
+        for par in [
+            Parallelism::Sequential,
+            Parallelism::N(3),
+            Parallelism::Auto,
+        ] {
+            let mut set = ConstraintSet::new(constraints(), Arc::clone(&cat))
+                .unwrap()
+                .with_parallelism(par);
+            set.arm_panic("both", 1);
+            let r = set
+                .step(TimePoint(1), &Update::new().with_insert("p", tuple!["a"]))
+                .unwrap();
+            assert_eq!(r.len(), 2, "{par:?}: victim dropped");
+            assert_eq!(set.quarantined().len(), 1, "{par:?}: quarantined");
+            let r2 = set
+                .step(TimePoint(2), &Update::new().with_insert("q", tuple!["a"]))
+                .unwrap();
+            assert_eq!(r2.len(), 2, "{par:?}: fleet keeps stepping");
+        }
+    }
+
+    #[test]
+    fn quarantine_reports_stay_insertion_ordered() {
+        let cat = catalog();
+        let mut set = ConstraintSet::new(constraints(), Arc::clone(&cat))
+            .unwrap()
+            .with_parallelism(Parallelism::N(2));
+        set.arm_panic("steady", 1);
+        let mut obs = CollectingObserver::default();
+        set.step_observed(
+            TimePoint(1),
+            &Update::new().with_insert("p", tuple!["a"]),
+            &mut obs,
+        )
+        .unwrap();
+        let kinds: Vec<&str> = obs.events.iter().map(StepEvent::kind).collect();
+        // `steady` is the last constraint: its quarantine event arrives in
+        // insertion order, after the healthy evals.
+        assert_eq!(
+            kinds,
+            vec!["step_start", "eval", "eval", "quarantine", "step"]
+        );
     }
 }

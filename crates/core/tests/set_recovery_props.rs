@@ -1,0 +1,118 @@
+//! Property: killing a constraint fleet at *any* step, checkpointing at
+//! that cut, and restoring yields a fleet whose remaining reports are
+//! identical to an uninterrupted run's — under every parallelism mode.
+//! This is the core recovery-equivalence guarantee the CLI's
+//! `--resume` path builds on.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rtic_core::checkpoint::{restore_set, save_set};
+use rtic_core::{ConstraintSet, Parallelism};
+use rtic_history::Transition;
+use rtic_relation::{tuple, Catalog, Schema, Sort, Update};
+use rtic_temporal::parser::parse_constraint;
+use rtic_temporal::Constraint;
+
+fn catalog() -> Arc<Catalog> {
+    Arc::new(
+        Catalog::new()
+            .with("p", Schema::of(&[("x", Sort::Str)]))
+            .unwrap()
+            .with("q", Schema::of(&[("x", Sort::Str)]))
+            .unwrap(),
+    )
+}
+
+const FLEET_BODIES: &[&str] = &[
+    "deny both: p(x) && q(x)",
+    "deny lingering: p(x) && once[2,4] q(x)",
+    "deny steady: p(x) && hist[0,1] p(x)",
+    "deny sinced: q(x) since[0,5] p(x)",
+];
+
+fn fleet(mask: u8) -> Vec<Constraint> {
+    FLEET_BODIES
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| mask & (1 << i) != 0)
+        .map(|(_, b)| parse_constraint(b).expect("fleet constraint parses"))
+        .collect()
+}
+
+fn transitions() -> impl Strategy<Value = Vec<Transition>> {
+    let change = (0u8..2, any::<bool>(), 0u8..2);
+    proptest::collection::vec((1u64..3, proptest::collection::vec(change, 0..3)), 2..16).prop_map(
+        |steps| {
+            const DOM: [&str; 2] = ["a", "b"];
+            let mut t = 0u64;
+            steps
+                .into_iter()
+                .map(|(gap, changes)| {
+                    t += gap;
+                    let mut u = Update::new();
+                    for (rel, ins, x) in changes {
+                        let name = if rel == 0 { "p" } else { "q" };
+                        let tup = tuple![DOM[x as usize]];
+                        if ins {
+                            u.insert(name, tup);
+                        } else {
+                            u.delete(name, tup);
+                        }
+                    }
+                    Transition::new(t, u)
+                })
+                .collect()
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn kill_at_any_step_and_restore_is_equivalent(
+        mask in 1u8..16,
+        ts in transitions(),
+        cut_frac in 0.0f64..1.0,
+        par_pick in 0u8..3,
+    ) {
+        let cat = catalog();
+        let par = match par_pick {
+            0 => Parallelism::Sequential,
+            1 => Parallelism::N(2),
+            _ => Parallelism::Auto,
+        };
+        let cut = ((ts.len() as f64) * cut_frac) as usize;
+
+        // Uninterrupted reference run.
+        let mut reference = ConstraintSet::new(fleet(mask), Arc::clone(&cat))
+            .unwrap()
+            .with_parallelism(par);
+        let mut expected = Vec::new();
+        for tr in &ts {
+            expected.push(reference.step(tr.time, &tr.update).unwrap());
+        }
+
+        // Killed-and-recovered run: step to the cut, "crash" (drop the
+        // set, keeping only the checkpoint sections), restore, continue.
+        let mut head = ConstraintSet::new(fleet(mask), Arc::clone(&cat))
+            .unwrap()
+            .with_parallelism(par);
+        let mut got = Vec::new();
+        for tr in &ts[..cut] {
+            got.push(head.step(tr.time, &tr.update).unwrap());
+        }
+        let sections: Vec<String> = save_set(&head).into_iter().map(|(_, s)| s).collect();
+        let cursor = head.last_time();
+        drop(head);
+        let mut resumed = restore_set(fleet(mask), Arc::clone(&cat), &sections)
+            .unwrap_or_else(|e| panic!("restore_set failed at cut {cut}: {e}"))
+            .with_parallelism(par);
+        prop_assert_eq!(resumed.last_time(), cursor, "replay cursor survives");
+        for tr in &ts[cut..] {
+            got.push(resumed.step(tr.time, &tr.update).unwrap());
+        }
+        prop_assert_eq!(got, expected, "mask {:04b} cut {} {:?}", mask, cut, par);
+        // Space accounting also survives the round trip.
+        prop_assert_eq!(resumed.space(), reference.space());
+    }
+}

@@ -21,6 +21,19 @@ use rtic_temporal::TimePoint;
 
 use crate::history::Transition;
 
+/// What went wrong while reading a log: the *content* of a line, or the
+/// *channel* it arrived on. Consumers with a skip-bad-lines policy may
+/// tolerate [`Parse`](LogErrorKind::Parse) errors, but an
+/// [`Io`](LogErrorKind::Io) error means the source itself failed and no
+/// further lines can be trusted.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LogErrorKind {
+    /// The line was read but does not conform to the log grammar.
+    Parse,
+    /// The underlying reader failed; the stream cannot continue.
+    Io,
+}
+
 /// A log-parsing failure with its line number.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct LogError {
@@ -28,6 +41,8 @@ pub struct LogError {
     pub message: String,
     /// 1-based line.
     pub line: usize,
+    /// Whether this is a content error or a source failure.
+    pub kind: LogErrorKind,
 }
 
 impl fmt::Display for LogError {
@@ -98,6 +113,7 @@ impl<'s> LineParser<'s> {
         LogError {
             message: message.into(),
             line: self.line_no,
+            kind: LogErrorKind::Parse,
         }
     }
 
@@ -322,6 +338,7 @@ impl<R: std::io::BufRead> Iterator for LogReader<R> {
                     return Some(Err(LogError {
                         message: format!("I/O error: {e}"),
                         line: self.line_no,
+                        kind: LogErrorKind::Io,
                     }))
                 }
             }
@@ -431,6 +448,26 @@ mod tests {
         let err = reader.next().unwrap().unwrap_err();
         assert_eq!(err.line, 2);
         assert_eq!(reader.lines_read(), 2);
+    }
+
+    #[test]
+    fn parse_errors_are_kind_parse() {
+        let e = parse_log("@1 +r(oops)").unwrap_err();
+        assert_eq!(e.kind, LogErrorKind::Parse);
+    }
+
+    #[test]
+    fn io_failures_are_kind_io() {
+        struct Broken;
+        impl std::io::Read for Broken {
+            fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk on fire"))
+            }
+        }
+        let mut reader = LogReader::new(std::io::BufReader::new(Broken));
+        let err = reader.next().unwrap().unwrap_err();
+        assert_eq!(err.kind, LogErrorKind::Io);
+        assert!(err.message.contains("disk on fire"));
     }
 
     #[test]

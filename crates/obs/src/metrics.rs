@@ -174,6 +174,10 @@ pub struct MetricsRegistry {
     checkpoint_saves: u64,
     checkpoint_restores: u64,
     checkpoint_bytes: u64,
+    checkpoint_fallbacks: u64,
+    quarantines: u64,
+    quarantined_constraints: Vec<&'static str>,
+    bad_lines: u64,
     step_latency: LatencyHistogram,
     eval_latency: LatencyHistogram,
     checkers: BTreeMap<&'static str, SpaceStats>,
@@ -204,6 +208,26 @@ impl MetricsRegistry {
     /// The step-latency histogram.
     pub fn step_latency(&self) -> &LatencyHistogram {
         &self.step_latency
+    }
+
+    /// Constraint engines quarantined after a panic.
+    pub fn quarantines(&self) -> u64 {
+        self.quarantines
+    }
+
+    /// Names of quarantined constraints, in quarantine order.
+    pub fn quarantined_constraints(&self) -> &[&'static str] {
+        &self.quarantined_constraints
+    }
+
+    /// Corrupt checkpoint candidates rejected during recovery.
+    pub fn checkpoint_fallbacks(&self) -> u64 {
+        self.checkpoint_fallbacks
+    }
+
+    /// Malformed history lines skipped under a lenient bad-line policy.
+    pub fn bad_lines(&self) -> u64 {
+        self.bad_lines
     }
 
     /// Latest observed space stats, summed across checkers.
@@ -293,6 +317,18 @@ impl MetricsRegistry {
             .set("checkpoint_saves", self.checkpoint_saves)
             .set("checkpoint_restores", self.checkpoint_restores)
             .set("checkpoint_bytes", self.checkpoint_bytes)
+            .set("checkpoint_fallbacks", self.checkpoint_fallbacks)
+            .set("quarantines", self.quarantines)
+            .set(
+                "quarantined_constraints",
+                Json::Arr(
+                    self.quarantined_constraints
+                        .iter()
+                        .map(|name| Json::Str((*name).into()))
+                        .collect(),
+                ),
+            )
+            .set("bad_lines", self.bad_lines)
             .set("step_latency_us", self.step_latency.to_json())
             .set("eval_latency_us", self.eval_latency.to_json())
             .set(
@@ -351,6 +387,21 @@ impl MetricsRegistry {
             "checkpoint_restores_total",
             "Checkpoints restored.",
             self.checkpoint_restores,
+        );
+        counter(
+            "checkpoint_fallbacks_total",
+            "Corrupt checkpoint candidates rejected during recovery.",
+            self.checkpoint_fallbacks,
+        );
+        counter(
+            "quarantines_total",
+            "Constraint engines quarantined after a panic.",
+            self.quarantines,
+        );
+        counter(
+            "bad_lines_total",
+            "Malformed history lines skipped under a lenient policy.",
+            self.bad_lines,
         );
 
         let _ = writeln!(out, "# HELP rtic_evals_total Constraint evaluations.");
@@ -472,6 +523,16 @@ impl StepObserver for MetricsRegistry {
             StepEvent::CheckpointRestore { .. } => {
                 self.checkpoint_restores += 1;
             }
+            StepEvent::ConstraintQuarantined { constraint, .. } => {
+                self.quarantines += 1;
+                self.quarantined_constraints.push(constraint.as_str());
+            }
+            StepEvent::CheckpointFallback { .. } => {
+                self.checkpoint_fallbacks += 1;
+            }
+            StepEvent::BadLine { .. } => {
+                self.bad_lines += 1;
+            }
             StepEvent::SpaceSample {
                 checker,
                 constraint,
@@ -567,6 +628,45 @@ mod tests {
         assert!(text.contains("rtic_constraint_violations_total{constraint=\"d\"} 2"));
         assert!(text.contains("rtic_step_latency_seconds_bucket{le=\"+Inf\"} 2"));
         assert!(text.contains("# TYPE rtic_step_latency_seconds histogram"));
+    }
+
+    #[test]
+    fn resilience_events_reach_counters_and_expositions() {
+        use rtic_relation::Symbol;
+        let mut registry = MetricsRegistry::new();
+        registry.observe(&StepEvent::ConstraintQuarantined {
+            checker: "set",
+            constraint: Symbol::intern("flaky"),
+            time: TimePoint(7),
+            detail: "boom".into(),
+        });
+        registry.observe(&StepEvent::CheckpointFallback {
+            path: "ckpt.1".into(),
+            detail: "checksum mismatch".into(),
+        });
+        registry.observe(&StepEvent::BadLine {
+            line: 12,
+            detail: "expected `@`".into(),
+        });
+        registry.observe(&StepEvent::BadLine {
+            line: 19,
+            detail: "expected a value".into(),
+        });
+        assert_eq!(registry.quarantines(), 1);
+        assert_eq!(registry.quarantined_constraints(), ["flaky"]);
+        assert_eq!(registry.checkpoint_fallbacks(), 1);
+        assert_eq!(registry.bad_lines(), 2);
+        let doc = json::parse(&registry.render_json()).unwrap();
+        assert_eq!(doc.get("quarantines").and_then(Json::as_u64), Some(1));
+        assert_eq!(doc.get("bad_lines").and_then(Json::as_u64), Some(2));
+        assert_eq!(
+            doc.get("checkpoint_fallbacks").and_then(Json::as_u64),
+            Some(1)
+        );
+        let text = registry.render_prometheus();
+        assert!(text.contains("rtic_quarantines_total 1"));
+        assert!(text.contains("rtic_checkpoint_fallbacks_total 1"));
+        assert!(text.contains("rtic_bad_lines_total 2"));
     }
 
     #[test]

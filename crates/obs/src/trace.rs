@@ -1,8 +1,8 @@
 //! Structured trace writer: one JSON line per step event.
 
-use std::fs::File;
+use std::fs::{self, File};
 use std::io::{self, BufWriter, Stderr, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use rtic_core::{StepEvent, StepObserver};
 
@@ -57,6 +57,22 @@ pub fn event_json(seq: u64, event: &StepEvent<'_>) -> Json {
         StepEvent::CheckpointRestore { constraint, bytes } => base
             .set("constraint", constraint.as_str())
             .set("bytes", *bytes),
+        StepEvent::ConstraintQuarantined {
+            checker,
+            constraint,
+            time,
+            detail,
+        } => base
+            .set("checker", *checker)
+            .set("constraint", constraint.as_str())
+            .set("time", time.0)
+            .set("detail", detail.as_str()),
+        StepEvent::CheckpointFallback { path, detail } => base
+            .set("path", path.as_str())
+            .set("detail", detail.as_str()),
+        StepEvent::BadLine { line, detail } => base
+            .set("line", *line as u64)
+            .set("detail", detail.as_str()),
         StepEvent::SpaceSample {
             checker,
             constraint,
@@ -77,7 +93,11 @@ pub fn event_json(seq: u64, event: &StepEvent<'_>) -> Json {
 }
 
 enum Sink {
-    File(BufWriter<File>),
+    File {
+        writer: BufWriter<File>,
+        tmp: PathBuf,
+        dest: PathBuf,
+    },
     Stderr(Stderr),
     Memory(Vec<u8>),
 }
@@ -85,7 +105,7 @@ enum Sink {
 impl Sink {
     fn write_line(&mut self, line: &str) -> io::Result<()> {
         match self {
-            Sink::File(w) => writeln!(w, "{line}"),
+            Sink::File { writer, .. } => writeln!(writer, "{line}"),
             Sink::Stderr(w) => writeln!(w, "{line}"),
             Sink::Memory(buf) => writeln!(buf, "{line}"),
         }
@@ -93,7 +113,7 @@ impl Sink {
 
     fn flush(&mut self) -> io::Result<()> {
         match self {
-            Sink::File(w) => w.flush(),
+            Sink::File { writer, .. } => writer.flush(),
             Sink::Stderr(w) => w.flush(),
             Sink::Memory(_) => Ok(()),
         }
@@ -113,10 +133,25 @@ pub struct TraceWriter {
 }
 
 impl TraceWriter {
-    /// Traces to `path` (truncating any existing file).
+    /// Traces to `path`. The lines accumulate in a same-directory
+    /// `<path>.tmp` file; [`TraceWriter::finish`] flushes, fsyncs, and
+    /// atomically renames it into place, so `path` only ever holds a
+    /// complete trace — a crash mid-run leaves any previous trace at
+    /// `path` untouched.
     pub fn to_file(path: impl AsRef<Path>) -> io::Result<TraceWriter> {
-        let file = File::create(path)?;
-        Ok(TraceWriter::with_sink(Sink::File(BufWriter::new(file))))
+        let dest = path.as_ref().to_path_buf();
+        let mut name = dest
+            .file_name()
+            .map(|n| n.to_os_string())
+            .unwrap_or_else(|| "trace".into());
+        name.push(".tmp");
+        let tmp = dest.with_file_name(name);
+        let file = File::create(&tmp)?;
+        Ok(TraceWriter::with_sink(Sink::File {
+            writer: BufWriter::new(file),
+            tmp,
+            dest,
+        }))
     }
 
     /// Traces to stderr.
@@ -144,6 +179,8 @@ impl TraceWriter {
 
     /// Flushes and consumes the writer, returning any buffered content
     /// (in-memory sink only) or an error if any write or the flush failed.
+    /// For a file sink this is also the commit point: the temp file is
+    /// fsynced and renamed over the destination.
     pub fn finish(mut self) -> Result<String, String> {
         self.sink
             .flush()
@@ -153,7 +190,23 @@ impl TraceWriter {
         }
         match self.sink {
             Sink::Memory(buf) => String::from_utf8(buf).map_err(|e| format!("non-utf8 trace: {e}")),
-            _ => Ok(String::new()),
+            Sink::File { writer, tmp, dest } => {
+                let file = writer
+                    .into_inner()
+                    .map_err(|e| format!("trace flush failed: {e}"))?;
+                file.sync_all()
+                    .map_err(|e| format!("trace fsync failed: {e}"))?;
+                drop(file);
+                fs::rename(&tmp, &dest).map_err(|e| {
+                    format!(
+                        "renaming trace {} -> {} failed: {e}",
+                        tmp.display(),
+                        dest.display()
+                    )
+                })?;
+                Ok(String::new())
+            }
+            Sink::Stderr(_) => Ok(String::new()),
         }
     }
 }
@@ -177,6 +230,36 @@ mod tests {
     use rtic_temporal::parser::parse_constraint;
     use rtic_temporal::TimePoint;
     use std::sync::Arc;
+
+    #[test]
+    fn file_sink_commits_atomically_on_finish() {
+        let dir = std::env::temp_dir().join(format!(
+            "rtic-trace-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let dest = dir.join("run.trace");
+        std::fs::write(&dest, "previous trace\n").unwrap();
+
+        let mut trace = TraceWriter::to_file(&dest).unwrap();
+        trace.observe(&StepEvent::BadLine {
+            line: 3,
+            detail: "expected `@`".into(),
+        });
+        // Mid-run the destination still holds the previous complete trace.
+        assert_eq!(std::fs::read_to_string(&dest).unwrap(), "previous trace\n");
+        trace.finish().unwrap();
+        let text = std::fs::read_to_string(&dest).unwrap();
+        let doc = json::parse(text.lines().next().unwrap()).unwrap();
+        assert_eq!(doc.get("event").and_then(Json::as_str), Some("bad_line"));
+        assert_eq!(doc.get("line").and_then(Json::as_u64), Some(3));
+        assert!(
+            !dir.join("run.trace.tmp").exists(),
+            "temp file renamed away"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
 
     #[test]
     fn every_line_is_json_with_seq_and_kind() {

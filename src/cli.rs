@@ -7,7 +7,10 @@
 //! ```text
 //! rtic check <constraints.rtic> <log.rticlog> [--checker NAME] [--quiet] [--stats] [--explain]
 //!            [--constraints FILE]... [--parallel N|auto]
-//!            [--checkpoint FILE] [--resume FILE] [--metrics FILE] [--trace FILE|-]
+//!            [--checkpoint FILE] [--resume FILE] [--checkpoint-every N]
+//!            [--checkpoint-secs T] [--checkpoint-keep K]
+//!            [--on-bad-line strict|skip] [--bad-line-budget N]
+//!            [--failpoints SPEC] [--metrics FILE] [--trace FILE|-]
 //!            [--sample-space N]
 //! rtic report <metrics.json>
 //! rtic explain <constraints.rtic>
@@ -15,17 +18,24 @@
 //! ```
 
 use std::fmt::Write as _;
+use std::path::Path;
 use std::sync::Arc;
+use std::time::Duration;
 
 use rtic_active::ActiveChecker;
 use rtic_core::observe;
 use rtic_core::{checkpoint, explain, Checker, CompiledConstraint, EncodingOptions};
 use rtic_core::{ConstraintSet, IncrementalChecker, NaiveChecker, Parallelism, WindowedChecker};
-use rtic_history::log::{format_log, LogReader};
+use rtic_core::{StepEvent, StepObserver};
+use rtic_history::log::{format_log, LogErrorKind, LogReader};
 use rtic_history::Transition;
 use rtic_obs::{json, report, MetricsRegistry, MultiObserver, SpaceSampler, TraceWriter};
-use rtic_relation::Catalog;
+use rtic_relation::{Catalog, Symbol};
+use rtic_resilience::{
+    container, write_atomic, CheckpointPolicy, CheckpointTicker, FailAction, FailPlan, Rotation,
+};
 use rtic_temporal::parser::{parse_file, ConstraintFile};
+use rtic_temporal::TimePoint;
 use rtic_workload::{Audit, Library, Monitor, RandomWorkload, Reservations};
 
 const USAGE: &str = "\
@@ -35,6 +45,8 @@ USAGE:
   rtic check <constraints-file> <log-file> [--checker incremental|naive|windowed|active]
              [--constraints FILE]... [--parallel N|auto]
              [--quiet] [--stats] [--explain] [--checkpoint FILE] [--resume FILE]
+             [--checkpoint-every N] [--checkpoint-secs T] [--checkpoint-keep K]
+             [--on-bad-line strict|skip] [--bad-line-budget N] [--failpoints SPEC]
              [--metrics FILE] [--trace FILE|-] [--sample-space N]
   rtic report <metrics-file>
   rtic explain <constraints-file>
@@ -44,10 +56,7 @@ USAGE:
 The constraints file declares relations and deny/assert constraints; the
 log file is one `@time +rel(values…) -rel(values…)` line per transition,
 consumed streaming. `generate` writes a log (plus its constraint file as
-`# commented` header lines) to standard output. `--checkpoint` saves the
-incremental checkers' bounded state after the run; `--resume` restores it
-before the run, so a log can be checked in consecutive segments
-(incremental checker only).
+`# commented` header lines) to standard output.
 
 Multi-constraint fleets: `--constraints FILE` (repeatable) merges more
 constraint files into the run — relation declarations shared between
@@ -55,8 +64,26 @@ files must agree exactly, constraint names must be unique. `--parallel N`
 (or `auto`) checks the whole fleet as one shared-state constraint set
 with relevance dispatch, evaluating affected constraints on up to N
 worker threads; reports and telemetry are identical to the sequential
-run. Requires the incremental checker; not combinable with
-`--checkpoint`/`--resume`.
+run. Requires the incremental checker. A constraint engine that panics
+mid-step is quarantined — it stops reporting while the rest of the fleet
+keeps checking — and is listed in the summary and `--stats`.
+
+Checkpoints: `--checkpoint FILE` durably saves the checkers' bounded
+state (checksummed container, written atomically) after the run and,
+with `--checkpoint-every N` steps and/or `--checkpoint-secs T`, during
+it. Writes rotate through FILE, FILE.1, … (`--checkpoint-keep K`,
+default 3). `--resume FILE` restores before the run, falling back to the
+newest intact rotation entry if a candidate is corrupt, and skips log
+lines at or before the checkpoint cursor, so a log can be checked in
+consecutive segments. Works with `--parallel` fleets (incremental
+checker only).
+
+Bad input: `--on-bad-line skip` skips malformed log lines (up to
+`--bad-line-budget N`, default 100) instead of aborting; skipped lines
+are counted in the summary and surfaced as trace events. `--failpoints
+\"site=action[@nth];…\"` (or RTIC_FAILPOINTS) injects faults for crash
+drills: sites `run.abort`, `checkpoint.write`, `engine-panic:<name>`;
+actions io-error, abort, panic, truncate:K, bitflip:K.
 
 Telemetry: `--metrics FILE` writes a metrics snapshot after the run (JSON,
 or Prometheus text when FILE ends in `.prom`); `--trace FILE` appends one
@@ -201,14 +228,46 @@ fn check(args: &[String], out: &mut String) -> Result<i32, String> {
             Some(Parallelism::N(n))
         }
     };
-    if parallelism.is_some() {
-        if checker_name != "incremental" {
-            return Err("--parallel requires the incremental checker".into());
-        }
-        if checkpoint_path.is_some() || resume_path.is_some() {
-            return Err("--checkpoint/--resume cannot be combined with --parallel".into());
-        }
+    if parallelism.is_some() && checker_name != "incremental" {
+        return Err("--parallel requires the incremental checker".into());
     }
+    let checkpoint_keep: usize = flag_value(args, "--checkpoint-keep")
+        .map(|v| v.parse().map_err(|e| format!("bad --checkpoint-keep: {e}")))
+        .transpose()?
+        .unwrap_or(3);
+    if checkpoint_keep == 0 {
+        return Err("--checkpoint-keep needs at least one generation".into());
+    }
+    let checkpoint_every: Option<u64> = flag_value(args, "--checkpoint-every")
+        .map(|v| {
+            v.parse()
+                .map_err(|e| format!("bad --checkpoint-every: {e}"))
+        })
+        .transpose()?;
+    let checkpoint_secs: Option<f64> = flag_value(args, "--checkpoint-secs")
+        .map(|v| v.parse().map_err(|e| format!("bad --checkpoint-secs: {e}")))
+        .transpose()?;
+    if (checkpoint_every.is_some() || checkpoint_secs.is_some()) && checkpoint_path.is_none() {
+        return Err("--checkpoint-every/--checkpoint-secs require --checkpoint".into());
+    }
+    let skip_bad_lines = match flag_value(args, "--on-bad-line") {
+        None | Some("strict") => false,
+        Some("skip") => true,
+        Some(other) => return Err(format!("bad --on-bad-line `{other}` (strict|skip)")),
+    };
+    let bad_line_budget: u64 = flag_value(args, "--bad-line-budget")
+        .map(|v| v.parse().map_err(|e| format!("bad --bad-line-budget: {e}")))
+        .transpose()?
+        .unwrap_or(100);
+    if flag_value(args, "--bad-line-budget").is_some() && !skip_bad_lines {
+        return Err("--bad-line-budget requires --on-bad-line skip".into());
+    }
+    let faults = match flag_value(args, "--failpoints") {
+        Some(spec) => FailPlan::parse(spec).map_err(|e| format!("bad --failpoints: {e}"))?,
+        None => {
+            FailPlan::from_env().map_err(|e| format!("bad {}: {e}", rtic_resilience::ENV_VAR))?
+        }
+    };
     let extra_constraint_paths = flag_values(args, "--constraints");
     let metrics_path = flag_value(args, "--metrics");
     let trace_path = flag_value(args, "--trace");
@@ -251,19 +310,73 @@ fn check(args: &[String], out: &mut String) -> Result<i32, String> {
     }
     let catalog = Arc::new(file.catalog.clone());
 
-    let resume_sections: Vec<String> = match resume_path {
+    // Recovery: walk the rotation set newest-first, rejecting corrupt or
+    // unreadable candidates (each rejection is surfaced as an observer
+    // event and a diagnostic line) until an intact checkpoint opens.
+    let resume_recovery = match resume_path {
         Some(path) => {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read checkpoint `{path}`: {e}"))?;
-            split_checkpoints(&text)
+            let outcome = Rotation::new(path, checkpoint_keep).recover();
+            for (cand, why) in &outcome.rejected {
+                let mut obs = MultiObserver::new().with(&mut registry);
+                if let Some(t) = trace.as_mut() {
+                    obs.push(t);
+                }
+                obs.observe(&StepEvent::CheckpointFallback {
+                    path: cand.display().to_string(),
+                    detail: why.clone(),
+                });
+                let _ = writeln!(
+                    out,
+                    "checkpoint candidate `{}` rejected: {why}",
+                    cand.display()
+                );
+            }
+            match outcome.restored {
+                Some(found) => Some(found),
+                None if outcome.rejected.is_empty() => {
+                    return Err(format!("cannot resume from `{path}`: no checkpoint found"))
+                }
+                None => {
+                    return Err(format!(
+                        "cannot resume from `{path}`: every candidate in the rotation set \
+                         is corrupt or unreadable"
+                    ))
+                }
+            }
         }
-        None => Vec::new(),
+        None => None,
     };
+    let resume_sections: Vec<String> = resume_recovery
+        .as_ref()
+        .map(|(_, sections, _)| sections.clone())
+        .unwrap_or_default();
 
     let mut engine = if let Some(par) = parallelism {
-        let set = ConstraintSet::new(file.constraints.iter().cloned(), Arc::clone(&catalog))
-            .map_err(|(c, e)| format!("constraint `{}`: {e}", c.name))?
-            .with_parallelism(par);
+        let set = if let Some((found_path, sections, _)) = &resume_recovery {
+            let set = checkpoint::restore_set(
+                file.constraints.iter().cloned(),
+                Arc::clone(&catalog),
+                sections,
+            )
+            .map_err(|e| format!("cannot resume from `{}`: {e}", found_path.display()))?;
+            let mut obs = MultiObserver::new().with(&mut registry);
+            if let Some(t) = trace.as_mut() {
+                obs.push(t);
+            }
+            for section in sections {
+                if let Some(name) = section_constraint_name(section) {
+                    obs.observe(&StepEvent::CheckpointRestore {
+                        constraint: Symbol::intern(name),
+                        bytes: section.len(),
+                    });
+                }
+            }
+            set
+        } else {
+            ConstraintSet::new(file.constraints.iter().cloned(), Arc::clone(&catalog))
+                .map_err(|(c, e)| format!("constraint `{}`: {e}", c.name))?
+        }
+        .with_parallelism(par);
         if show_explain {
             for compiled in set.compiled() {
                 let _ = writeln!(out, "{}", explain::explain(compiled));
@@ -284,16 +397,106 @@ fn check(args: &[String], out: &mut String) -> Result<i32, String> {
         )?)
     };
 
+    // Armed engine panics (failpoint `engine-panic:<constraint>`) are a
+    // fleet feature: the constraint-set step path quarantines a panicking
+    // engine instead of crashing the run.
+    for (name, nth) in faults.engine_panics() {
+        let CheckEngine::Fleet(set) = &mut engine else {
+            return Err(format!(
+                "failpoint `engine-panic:{name}` requires --parallel (fleet mode)"
+            ));
+        };
+        if !set.arm_panic(&name, nth) {
+            return Err(format!(
+                "failpoint `engine-panic:{name}`: no such constraint in the fleet"
+            ));
+        }
+    }
+
+    // The replay cursor: transitions at or before this time were already
+    // checked by the run that wrote the checkpoint, so the resumed run
+    // skips them instead of double-reporting.
+    let resume_cursor: Option<TimePoint> = if resume_recovery.is_some() {
+        match &engine {
+            CheckEngine::Fleet(set) => set.last_time(),
+            CheckEngine::Independent(checkers) => checkers
+                .iter()
+                .filter_map(|ch| ch.as_any().downcast_ref::<IncrementalChecker>())
+                .filter_map(IncrementalChecker::last_time)
+                .max(),
+        }
+    } else {
+        None
+    };
+    if let Some((found_path, _, format)) = &resume_recovery {
+        match resume_cursor {
+            Some(t) => {
+                let _ = writeln!(
+                    out,
+                    "resumed from `{}` ({format}) at t={t}",
+                    found_path.display()
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "resumed from `{}` ({format}) at the start of the log",
+                    found_path.display()
+                );
+            }
+        }
+    }
+
     // Stream the log: one transition at a time, never the whole file.
     let log_file = std::fs::File::open(log_path)
         .map_err(|e| format!("cannot read log file `{log_path}`: {e}"))?;
     let mut reader = LogReader::new(std::io::BufReader::new(log_file));
+    let checkpoint_rotation = checkpoint_path.map(|p| Rotation::new(p, checkpoint_keep));
+    let mut ticker = CheckpointTicker::new(CheckpointPolicy {
+        every_steps: checkpoint_every,
+        every: checkpoint_secs.map(Duration::from_secs_f64),
+    });
     let mut total_violations = 0usize;
     let mut violated_states = 0usize;
     let mut transitions = 0usize;
+    let mut bad_lines = 0u64;
+    let mut replay_skipped = 0usize;
     let mut last_time = None;
     while let Some(item) = reader.next() {
-        let tr: Transition = item.map_err(|e| format!("{log_path}:{e}"))?;
+        let tr: Transition = match item {
+            Ok(tr) => tr,
+            Err(e) if skip_bad_lines && e.kind == LogErrorKind::Parse => {
+                bad_lines += 1;
+                if bad_lines > bad_line_budget {
+                    return Err(format!(
+                        "{log_path}:{e} — bad-line budget exhausted \
+                         ({bad_lines} malformed line(s), budget {bad_line_budget})"
+                    ));
+                }
+                let mut obs = MultiObserver::new().with(&mut registry);
+                if let Some(t) = trace.as_mut() {
+                    obs.push(t);
+                }
+                obs.observe(&StepEvent::BadLine {
+                    line: e.line,
+                    detail: e.message.clone(),
+                });
+                continue;
+            }
+            Err(e) => return Err(format!("{log_path}:{e}")),
+        };
+        if let Some(cursor) = resume_cursor {
+            if tr.time <= cursor {
+                replay_skipped += 1;
+                continue;
+            }
+        }
+        if let Some(action) = faults.check("run.abort") {
+            match action {
+                FailAction::Panic => panic!("injected panic (failpoint `run.abort`)"),
+                _ => return Err("injected crash (failpoint `run.abort`)".into()),
+            }
+        }
         let line = reader.lines_read();
         let step_index = transitions as u64;
         transitions += 1;
@@ -333,6 +536,17 @@ fn check(args: &[String], out: &mut String) -> Result<i32, String> {
         if state_bad {
             violated_states += 1;
         }
+        if let Some(rotation) = &checkpoint_rotation {
+            if ticker.step_completed() {
+                write_checkpoint(&engine, rotation, &faults, &mut registry, &mut trace)?;
+            }
+        }
+    }
+    if replay_skipped > 0 {
+        let _ = writeln!(
+            out,
+            "skipped {replay_skipped} transition(s) already covered by the checkpoint"
+        );
     }
     {
         // Final footprint reading, so --stats and the metrics snapshot
@@ -351,26 +565,13 @@ fn check(args: &[String], out: &mut String) -> Result<i32, String> {
             CheckEngine::Fleet(set) => set.sample_space(transitions as u64, &mut obs),
         }
     }
-    if let Some(path) = checkpoint_path {
-        // --checkpoint forces the incremental independent backend,
-        // checked up top.
-        let CheckEngine::Independent(checkers) = &engine else {
-            return Err("--checkpoint cannot be combined with --parallel".into());
-        };
-        let mut text = String::new();
-        for checker in checkers {
-            let inc = checker
-                .as_any()
-                .downcast_ref::<IncrementalChecker>()
-                .ok_or("--checkpoint requires the incremental checker")?;
-            let mut obs = MultiObserver::new().with(&mut registry);
-            if let Some(t) = trace.as_mut() {
-                obs.push(t);
-            }
-            text.push_str(&checkpoint::save_observed(inc, &mut obs));
-        }
-        std::fs::write(path, text).map_err(|e| format!("cannot write checkpoint `{path}`: {e}"))?;
-        let _ = writeln!(out, "checkpoint written to {path}");
+    if let Some(rotation) = &checkpoint_rotation {
+        let bytes = write_checkpoint(&engine, rotation, &faults, &mut registry, &mut trace)?;
+        let _ = writeln!(
+            out,
+            "checkpoint written to {} ({bytes} bytes)",
+            rotation.primary().display()
+        );
     }
     let n_constraints = match &engine {
         CheckEngine::Independent(checkers) => checkers.len(),
@@ -385,6 +586,17 @@ fn check(args: &[String], out: &mut String) -> Result<i32, String> {
         total_violations,
         violated_states,
     );
+    if bad_lines > 0 {
+        let _ = writeln!(
+            out,
+            "skipped {bad_lines} malformed line(s) (--on-bad-line skip, budget {bad_line_budget})"
+        );
+    }
+    if let CheckEngine::Fleet(set) = &engine {
+        for (name, detail) in set.quarantined() {
+            let _ = writeln!(out, "quarantined `{name}`: {detail}");
+        }
+    }
     if stats {
         // Uniform across backends, read back from the registry (fed by
         // the final space sample above).
@@ -417,6 +629,23 @@ fn check(args: &[String], out: &mut String) -> Result<i32, String> {
                 d.skipped,
                 d.quiescent_full,
             );
+            if d.quarantined > 0 {
+                let _ = writeln!(
+                    out,
+                    "dispatch: {} engine-step(s) skipped by quarantine",
+                    d.quarantined
+                );
+            }
+        }
+        if registry.checkpoint_fallbacks() > 0 {
+            let _ = writeln!(
+                out,
+                "recovery: {} corrupt checkpoint candidate(s) rejected",
+                registry.checkpoint_fallbacks()
+            );
+        }
+        if registry.bad_lines() > 0 {
+            let _ = writeln!(out, "bad lines skipped: {}", registry.bad_lines());
         }
     }
     if let Some(path) = metrics_path {
@@ -425,7 +654,7 @@ fn check(args: &[String], out: &mut String) -> Result<i32, String> {
         } else {
             registry.render_json()
         };
-        std::fs::write(path, rendered)
+        write_atomic(Path::new(path), rendered.as_bytes())
             .map_err(|e| format!("cannot write metrics `{path}`: {e}"))?;
         let _ = writeln!(out, "metrics written to {path}");
     }
@@ -450,20 +679,54 @@ fn report_cmd(args: &[String], out: &mut String) -> Result<i32, String> {
     Ok(0)
 }
 
-/// Splits a multi-constraint checkpoint file back into per-checker
-/// sections (each starts with the version header).
-fn split_checkpoints(text: &str) -> Vec<String> {
-    let mut sections: Vec<String> = Vec::new();
-    for line in text.lines() {
-        if line == "rtic-checkpoint v1" {
-            sections.push(String::new());
+/// The constraint a checkpoint section belongs to (its `constraint
+/// <name>` line).
+fn section_constraint_name(section: &str) -> Option<&str> {
+    section
+        .lines()
+        .find_map(|line| line.strip_prefix("constraint "))
+}
+
+/// Serializes the engine's state into one multi-section v2 container and
+/// writes it through the rotation set (atomic temp-file + fsync +
+/// rename; previous generations shift to `.1`, `.2`, …). Emits one
+/// `CheckpointSave` event per section. Returns the sealed size in bytes.
+fn write_checkpoint(
+    engine: &CheckEngine,
+    rotation: &Rotation,
+    faults: &FailPlan,
+    registry: &mut MetricsRegistry,
+    trace: &mut Option<TraceWriter>,
+) -> Result<usize, String> {
+    let sections: Vec<(Symbol, String)> = match engine {
+        CheckEngine::Fleet(set) => checkpoint::save_set(set),
+        CheckEngine::Independent(checkers) => {
+            let mut sections = Vec::with_capacity(checkers.len());
+            for checker in checkers {
+                let inc = checker
+                    .as_any()
+                    .downcast_ref::<IncrementalChecker>()
+                    .ok_or("--checkpoint requires the incremental checker")?;
+                sections.push((inc.constraint().name, checkpoint::save(inc)));
+            }
+            sections
         }
-        if let Some(current) = sections.last_mut() {
-            current.push_str(line);
-            current.push('\n');
-        }
+    };
+    let mut obs = MultiObserver::new().with(registry);
+    if let Some(t) = trace.as_mut() {
+        obs.push(t);
     }
-    sections
+    for (name, text) in &sections {
+        obs.observe(&StepEvent::CheckpointSave {
+            constraint: *name,
+            bytes: text.len(),
+        });
+    }
+    let sealed = container::seal(sections.iter().map(|(_, text)| text.as_str()));
+    rotation
+        .write(&sealed, faults, "checkpoint.write")
+        .map_err(|e| format!("cannot write checkpoint: {e}"))?;
+    Ok(sealed.len())
 }
 
 fn explain_cmd(args: &[String], out: &mut String) -> Result<i32, String> {

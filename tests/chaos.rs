@@ -1,0 +1,460 @@
+//! Chaos tests: crash, corrupt, and panic the checker through injected
+//! faults, then assert the recovery machinery restores byte-identical
+//! behavior. These drive `rtic::cli::run` end to end, the same entry
+//! point the binary uses.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+fn run(args: &[&str]) -> (Result<i32, String>, String) {
+    let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let mut out = String::new();
+    let code = rtic::cli::run(&args, &mut out);
+    (code, out)
+}
+
+fn temp_file(name: &str, content: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rtic-chaos-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(content.as_bytes()).unwrap();
+    path
+}
+
+const CONSTRAINTS: &str = r#"
+relation reserved(p: str, f: int)
+relation confirmed(p: str, f: int)
+deny unconfirmed: reserved(p, f) && once[2,*] reserved(p, f) && !once confirmed(p, f)
+deny reconfirm: confirmed(p, f) && once[1,*] confirmed(p, f)
+"#;
+
+/// Twelve transitions with violations spread across both halves, so a
+/// mid-stream kill leaves reports on each side of the cut.
+const LOG: &str = r#"
+@0 +reserved("ann", 17)
+@1
+@2
+@3 +confirmed("ann", 17)
+@4 +reserved("bob", 9)
+@5
+@6 +reserved("cat", 1)
+@7
+@8 +confirmed("bob", 9)
+@9
+@10
+@11 +confirmed("cat", 1)
+"#;
+
+fn violations(out: &str) -> Vec<String> {
+    out.lines()
+        .filter(|l| l.contains("VIOLATION"))
+        .map(str::to_string)
+        .collect()
+}
+
+/// Kill the run mid-stream (injected abort right after a periodic
+/// checkpoint), resume from the checkpoint, and require the stitched
+/// report stream to be byte-identical to an uninterrupted run's.
+fn kill_and_resume(tag: &str, extra: &[&str]) {
+    let c = temp_file(&format!("{tag}.rtic"), CONSTRAINTS);
+    let l = temp_file(&format!("{tag}.rticlog"), LOG);
+    let ckpt = temp_file(&format!("{tag}.ckpt"), "");
+    std::fs::remove_file(&ckpt).ok();
+
+    let mut reference = vec!["check", c.to_str().unwrap(), l.to_str().unwrap()];
+    reference.extend_from_slice(extra);
+    let (code, uninterrupted) = run(&reference);
+    assert_eq!(code.unwrap(), 1, "{uninterrupted}");
+
+    // Checkpoint every 3 steps; the abort fires on the 7th transition,
+    // so exactly steps 1..=6 ran and the newest checkpoint covers them.
+    let mut first = vec![
+        "check",
+        c.to_str().unwrap(),
+        l.to_str().unwrap(),
+        "--checkpoint",
+        ckpt.to_str().unwrap(),
+        "--checkpoint-every",
+        "3",
+        "--failpoints",
+        "run.abort=abort@7",
+    ];
+    first.extend_from_slice(extra);
+    let (code, killed) = run(&first);
+    assert!(
+        code.unwrap_err().contains("injected crash"),
+        "the drill crashes the run"
+    );
+
+    let mut second = vec![
+        "check",
+        c.to_str().unwrap(),
+        l.to_str().unwrap(),
+        "--resume",
+        ckpt.to_str().unwrap(),
+    ];
+    second.extend_from_slice(extra);
+    let (code, resumed) = run(&second);
+    assert_eq!(code.unwrap(), 1, "{resumed}");
+    assert!(resumed.contains("resumed from"), "{resumed}");
+    assert!(
+        resumed.contains("skipped 6 transition(s) already covered"),
+        "{resumed}"
+    );
+
+    let mut stitched = violations(&killed);
+    stitched.extend(violations(&resumed));
+    assert_eq!(
+        stitched,
+        violations(&uninterrupted),
+        "{tag}: stitched reports diverge from the uninterrupted run"
+    );
+}
+
+#[test]
+fn kill_and_resume_is_byte_identical_sequential() {
+    kill_and_resume("seq", &[]);
+}
+
+#[test]
+fn kill_and_resume_is_byte_identical_parallel_fleet() {
+    kill_and_resume("fleet", &["--parallel", "auto"]);
+}
+
+#[test]
+fn recovery_falls_back_past_a_corrupted_newest_checkpoint() {
+    let c = temp_file("fb.rtic", CONSTRAINTS);
+    let l = temp_file("fb.rticlog", LOG);
+    let ckpt = temp_file("fb.ckpt", "");
+    std::fs::remove_file(&ckpt).ok();
+    let base = [
+        "check",
+        c.to_str().unwrap(),
+        l.to_str().unwrap(),
+        "--checkpoint",
+        ckpt.to_str().unwrap(),
+    ];
+    // Two runs: the second rotates the first checkpoint to `.1`.
+    run(&base).0.unwrap();
+    run(&base).0.unwrap();
+    let rotated = PathBuf::from(format!("{}.1", ckpt.display()));
+    assert!(rotated.exists(), "rotation keeps the previous generation");
+
+    // Flip one payload bit in the newest checkpoint.
+    let mut bytes = std::fs::read(&ckpt).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(&ckpt, &bytes).unwrap();
+
+    let (code, out) = run(&[
+        "check",
+        c.to_str().unwrap(),
+        l.to_str().unwrap(),
+        "--resume",
+        ckpt.to_str().unwrap(),
+    ]);
+    assert_eq!(code.unwrap(), 0, "fallback succeeds: {out}");
+    assert!(
+        out.contains("checkpoint candidate") && out.contains("rejected"),
+        "the corrupt candidate is diagnosed: {out}"
+    );
+    assert!(out.contains("checksum mismatch"), "{out}");
+    assert!(
+        out.contains(&format!("resumed from `{}`", rotated.display())),
+        "{out}"
+    );
+}
+
+#[test]
+fn recovery_with_every_candidate_corrupt_is_a_typed_error() {
+    let c = temp_file("ac.rtic", CONSTRAINTS);
+    let l = temp_file("ac.rticlog", LOG);
+    let ckpt = temp_file("ac.ckpt", "");
+    std::fs::remove_file(&ckpt).ok();
+    let base = [
+        "check",
+        c.to_str().unwrap(),
+        l.to_str().unwrap(),
+        "--checkpoint",
+        ckpt.to_str().unwrap(),
+    ];
+    run(&base).0.unwrap();
+    run(&base).0.unwrap();
+    for path in [ckpt.clone(), PathBuf::from(format!("{}.1", ckpt.display()))] {
+        let mut bytes = std::fs::read(&path).unwrap();
+        let len = bytes.len();
+        bytes.truncate(len / 2);
+        std::fs::write(&path, &bytes).unwrap();
+    }
+    let (code, out) = run(&[
+        "check",
+        c.to_str().unwrap(),
+        l.to_str().unwrap(),
+        "--resume",
+        ckpt.to_str().unwrap(),
+    ]);
+    let err = code.unwrap_err();
+    assert!(err.contains("every candidate in the rotation set"), "{err}");
+    assert!(out.contains("truncated"), "rejections are explained: {out}");
+}
+
+#[test]
+fn resuming_nonexistent_checkpoint_is_a_clear_error() {
+    let c = temp_file("nx.rtic", CONSTRAINTS);
+    let l = temp_file("nx.rticlog", LOG);
+    let (code, _) = run(&[
+        "check",
+        c.to_str().unwrap(),
+        l.to_str().unwrap(),
+        "--resume",
+        "/nonexistent/never.ckpt",
+    ]);
+    assert!(code.unwrap_err().contains("no checkpoint found"));
+}
+
+#[test]
+fn corrupted_checkpoint_write_is_caught_on_the_next_resume() {
+    // The failpoint corrupts the checkpoint *in flight* (a model of a
+    // torn write the filesystem reported as successful); recovery must
+    // detect it via the checksum and fall back.
+    let c = temp_file("tw.rtic", CONSTRAINTS);
+    let l = temp_file("tw.rticlog", LOG);
+    let ckpt = temp_file("tw.ckpt", "");
+    std::fs::remove_file(&ckpt).ok();
+    let base = [
+        "check",
+        c.to_str().unwrap(),
+        l.to_str().unwrap(),
+        "--checkpoint",
+        ckpt.to_str().unwrap(),
+    ];
+    run(&base).0.unwrap(); // intact generation, becomes `.1`
+    let (code, _) = run(&[
+        "check",
+        c.to_str().unwrap(),
+        l.to_str().unwrap(),
+        "--checkpoint",
+        ckpt.to_str().unwrap(),
+        "--failpoints",
+        "checkpoint.write=bitflip:999",
+    ]);
+    code.unwrap();
+    let (code, out) = run(&[
+        "check",
+        c.to_str().unwrap(),
+        l.to_str().unwrap(),
+        "--resume",
+        ckpt.to_str().unwrap(),
+    ]);
+    assert_eq!(code.unwrap(), 0, "{out}");
+    assert!(out.contains("rejected"), "{out}");
+    assert!(out.contains("resumed from"), "{out}");
+}
+
+#[test]
+fn panicking_engine_is_quarantined_and_the_fleet_keeps_reporting() {
+    let c = temp_file("qp.rtic", CONSTRAINTS);
+    let l = temp_file("qp.rticlog", LOG);
+    let (code, healthy) = run(&[
+        "check",
+        c.to_str().unwrap(),
+        l.to_str().unwrap(),
+        "--parallel",
+        "2",
+    ]);
+    assert_eq!(code.unwrap(), 1, "{healthy}");
+
+    let (code, out) = run(&[
+        "check",
+        c.to_str().unwrap(),
+        l.to_str().unwrap(),
+        "--parallel",
+        "2",
+        "--stats",
+        "--failpoints",
+        "engine-panic:unconfirmed=panic@2",
+    ]);
+    assert_eq!(code.unwrap(), 1, "the run completes: {out}");
+    assert!(
+        out.contains("quarantined `unconfirmed`"),
+        "the quarantine is reported, not silent: {out}"
+    );
+    assert!(
+        out.contains("injected engine panic"),
+        "the panic payload is surfaced: {out}"
+    );
+    assert!(
+        out.contains("skipped by quarantine"),
+        "--stats counts the skipped engine-steps: {out}"
+    );
+    // The healthy constraint's reports are unchanged.
+    let healthy_reconfirm: Vec<String> = violations(&healthy)
+        .into_iter()
+        .filter(|l| l.contains("reconfirm"))
+        .collect();
+    let survived: Vec<String> = violations(&out)
+        .into_iter()
+        .filter(|l| l.contains("reconfirm"))
+        .collect();
+    assert_eq!(survived, healthy_reconfirm, "{out}");
+    // And the quarantined constraint stopped reporting after its panic.
+    assert!(violations(&out).len() < violations(&healthy).len(), "{out}");
+}
+
+#[test]
+fn quarantine_requires_fleet_mode() {
+    let c = temp_file("qf.rtic", CONSTRAINTS);
+    let l = temp_file("qf.rticlog", LOG);
+    let (code, _) = run(&[
+        "check",
+        c.to_str().unwrap(),
+        l.to_str().unwrap(),
+        "--failpoints",
+        "engine-panic:unconfirmed=panic",
+    ]);
+    assert!(code.unwrap_err().contains("--parallel"));
+}
+
+const BAD_LOG: &str = r#"
+@0 +reserved("ann", 17)
+@1 oops this is not a transition
+@2
+@3 +confirmed(
+@4
+"#;
+
+#[test]
+fn bad_lines_abort_under_the_strict_default() {
+    let c = temp_file("bs.rtic", CONSTRAINTS);
+    let l = temp_file("bs.rticlog", BAD_LOG);
+    let (code, _) = run(&["check", c.to_str().unwrap(), l.to_str().unwrap()]);
+    let err = code.unwrap_err();
+    assert!(err.contains("line 3"), "names the offending line: {err}");
+}
+
+#[test]
+fn bad_lines_are_skipped_and_counted_under_skip_policy() {
+    let c = temp_file("bk.rtic", CONSTRAINTS);
+    let l = temp_file("bk.rticlog", BAD_LOG);
+    let t = temp_file("bk.jsonl", "");
+    let (code, out) = run(&[
+        "check",
+        c.to_str().unwrap(),
+        l.to_str().unwrap(),
+        "--on-bad-line",
+        "skip",
+        "--stats",
+        "--trace",
+        t.to_str().unwrap(),
+    ]);
+    assert_eq!(code.unwrap(), 1, "{out}");
+    assert!(out.contains("checked 3 transitions"), "{out}");
+    assert!(out.contains("skipped 2 malformed line(s)"), "{out}");
+    assert!(out.contains("bad lines skipped: 2"), "{out}");
+    let trace_text = std::fs::read_to_string(&t).unwrap();
+    let bad_events = trace_text
+        .lines()
+        .filter(|l| l.contains("\"event\":\"bad_line\""))
+        .count();
+    assert_eq!(bad_events, 2, "{trace_text}");
+}
+
+#[test]
+fn bad_line_budget_bounds_the_tolerance() {
+    let c = temp_file("bb.rtic", CONSTRAINTS);
+    let l = temp_file("bb.rticlog", BAD_LOG);
+    let (code, _) = run(&[
+        "check",
+        c.to_str().unwrap(),
+        l.to_str().unwrap(),
+        "--on-bad-line",
+        "skip",
+        "--bad-line-budget",
+        "1",
+    ]);
+    let err = code.unwrap_err();
+    assert!(err.contains("budget exhausted"), "{err}");
+    // The budget flag alone (without the skip policy) is rejected.
+    let (code, _) = run(&[
+        "check",
+        c.to_str().unwrap(),
+        l.to_str().unwrap(),
+        "--bad-line-budget",
+        "5",
+    ]);
+    assert!(code.unwrap_err().contains("--on-bad-line skip"));
+}
+
+#[test]
+fn resume_with_a_changed_constraint_body_names_the_constraint() {
+    let changed: &str = r#"
+relation reserved(p: str, f: int)
+relation confirmed(p: str, f: int)
+deny unconfirmed: reserved(p, f) && once[3,*] reserved(p, f) && !once confirmed(p, f)
+deny reconfirm: confirmed(p, f) && once[1,*] confirmed(p, f)
+"#;
+    for (tag, extra) in [
+        ("bodyseq", &[][..]),
+        ("bodyfleet", &["--parallel", "2"][..]),
+    ] {
+        let c = temp_file(&format!("{tag}.rtic"), CONSTRAINTS);
+        let l = temp_file(&format!("{tag}.rticlog"), LOG);
+        let ckpt = temp_file(&format!("{tag}.ckpt"), "");
+        std::fs::remove_file(&ckpt).ok();
+        let mut args = vec![
+            "check",
+            c.to_str().unwrap(),
+            l.to_str().unwrap(),
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+        ];
+        args.extend_from_slice(extra);
+        run(&args).0.unwrap();
+
+        let c2 = temp_file(&format!("{tag}-changed.rtic"), changed);
+        let mut args = vec![
+            "check",
+            c2.to_str().unwrap(),
+            l.to_str().unwrap(),
+            "--resume",
+            ckpt.to_str().unwrap(),
+        ];
+        args.extend_from_slice(extra);
+        let err = run(&args).0.unwrap_err();
+        assert!(err.contains("`unconfirmed`"), "{tag}: {err}");
+        assert!(
+            err.contains("changed since this checkpoint"),
+            "{tag}: {err}"
+        );
+    }
+}
+
+#[test]
+fn periodic_checkpoints_rotate_generations() {
+    let c = temp_file("rot.rtic", CONSTRAINTS);
+    let l = temp_file("rot.rticlog", LOG);
+    let ckpt = temp_file("rot.ckpt", "");
+    std::fs::remove_file(&ckpt).ok();
+    let (code, out) = run(&[
+        "check",
+        c.to_str().unwrap(),
+        l.to_str().unwrap(),
+        "--checkpoint",
+        ckpt.to_str().unwrap(),
+        "--checkpoint-every",
+        "4",
+        "--checkpoint-keep",
+        "2",
+    ]);
+    assert_eq!(code.unwrap(), 1, "{out}");
+    // 12 steps: periodic writes after 4, 8, 12 plus the final one; with
+    // keep=2 only the two newest survive.
+    assert!(ckpt.exists());
+    assert!(PathBuf::from(format!("{}.1", ckpt.display())).exists());
+    assert!(!PathBuf::from(format!("{}.2", ckpt.display())).exists());
+    for path in [ckpt.clone(), PathBuf::from(format!("{}.1", ckpt.display()))] {
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(bytes.starts_with(b"rtic-checkpoint-set v2"), "{path:?}");
+    }
+}

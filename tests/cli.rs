@@ -253,16 +253,26 @@ fn parallel_flag_validation() {
         "naive",
     ]);
     assert!(code.unwrap_err().contains("incremental"));
-    let (code, _) = run(&[
+    // Checkpointing composes with --parallel: the fleet is saved as one
+    // multi-section container.
+    let ckpt = temp_file("pv.ckpt", "");
+    std::fs::remove_file(&ckpt).ok();
+    let (code, out) = run(&[
         "check",
         base[0],
         base[1],
         "--parallel",
         "2",
         "--checkpoint",
-        "/tmp/pv.ckpt",
+        ckpt.to_str().unwrap(),
     ]);
-    assert!(code.unwrap_err().contains("--parallel"));
+    assert_eq!(code.unwrap(), 1, "{out}");
+    assert!(out.contains("checkpoint written to"), "{out}");
+    let bytes = std::fs::read(&ckpt).unwrap();
+    assert!(
+        bytes.starts_with(b"rtic-checkpoint-set v2"),
+        "v2 container on disk"
+    );
 }
 
 #[test]
