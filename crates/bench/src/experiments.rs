@@ -10,8 +10,8 @@ use std::time::Instant;
 
 use rtic_active::ActiveChecker;
 use rtic_core::{
-    Checker, ConstraintSet, EncodingOptions, IncrementalChecker, NaiveChecker, Parallelism,
-    WindowedChecker,
+    BackendId, Checker, ConstraintSet, EncodingOptions, IncrementalChecker, NaiveChecker,
+    Parallelism, WindowedChecker,
 };
 use rtic_history::Transition;
 use rtic_relation::{tuple, Schema, Sort, Update};
@@ -101,6 +101,18 @@ fn nai(c: &Constraint, g: &Generated) -> NaiveChecker {
 
 fn act(c: &Constraint, g: &Generated) -> ActiveChecker {
     ActiveChecker::new(c.clone(), Arc::clone(&g.catalog)).expect("compiles")
+}
+
+/// Constructs any backend from the shared [`BackendId`] enumeration against
+/// a generated workload, so tables that sweep "all checkers" derive their
+/// columns from `BackendId::ALL` instead of a hand-maintained list.
+pub fn backend_checker(b: BackendId, c: &Constraint, g: &Generated) -> Box<dyn Checker> {
+    match b {
+        BackendId::Incremental => Box::new(inc(c, g)),
+        BackendId::Naive => Box::new(nai(c, g)),
+        BackendId::Windowed => Box::new(win(c, g)),
+        BackendId::Active => Box::new(act(c, g)),
+    }
 }
 
 /// T1 — retained space vs. history length, bounded constraint.
@@ -368,10 +380,12 @@ pub fn t4_detection(scale: &Scale) -> Table {
 
 /// F3 — steady-state throughput across workloads and checkers.
 pub fn f3_throughput(scale: &Scale) -> Table {
+    let mut columns = vec!["workload"];
+    columns.extend(BackendId::ALL.iter().map(|b| b.name()));
     let mut t = Table::new(
         "F3",
         "steady-state throughput (states/second, tail mean)",
-        &["workload", "incremental", "windowed", "naive", "active"],
+        &columns,
     );
     let n = scale.run_length;
     let workloads: Vec<(&str, Generated)> = vec![
@@ -402,18 +416,13 @@ pub fn f3_throughput(scale: &Scale) -> Table {
     ];
     for (name, g) in &workloads {
         let c = &g.constraints[0];
-        let mi = run_instrumented(&mut inc(c, g), &g.transitions, 0);
-        let mw = run_instrumented(&mut win(c, g), &g.transitions, 0);
-        let mn = run_instrumented(&mut nai(c, g), &g.transitions, 0);
-        let ma = run_instrumented(&mut act(c, g), &g.transitions, 0);
-        let fmt = |m: &RunMeasurement| format!("{:.0}", m.tail_throughput());
-        t.row(vec![
-            name.to_string(),
-            fmt(&mi),
-            fmt(&mw),
-            fmt(&mn),
-            fmt(&ma),
-        ]);
+        let mut row = vec![name.to_string()];
+        for b in BackendId::ALL {
+            let mut checker = backend_checker(b, c, g);
+            let m = run_instrumented(checker.as_mut(), &g.transitions, 0);
+            row.push(format!("{:.0}", m.tail_throughput()));
+        }
+        t.row(row);
     }
     t
 }

@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+mod backend;
 mod binding;
 mod checker;
 pub mod checkpoint;
@@ -64,6 +65,7 @@ mod report;
 mod set;
 mod windowed;
 
+pub use backend::BackendId;
 pub use binding::Bindings;
 pub use checker::Checker;
 pub use compile::CompiledConstraint;

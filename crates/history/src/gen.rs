@@ -1,0 +1,130 @@
+//! Timestamp-schedule helpers for generated histories.
+//!
+//! Real-time operators are most fragile exactly where the clock behaves
+//! oddly: bursts of states one tick apart (windows slide by single steps),
+//! long silent gaps (whole windows expire between two states), and
+//! histories with a single state. These helpers build strictly increasing
+//! timestamp schedules with those shapes, deterministically from caller
+//! randomness, so workload and fuzz generators can share them.
+
+use rtic_temporal::TimePoint;
+
+/// How the gap between consecutive timestamps is chosen.
+///
+/// The schedule builders take a gap-picking closure, so callers own the
+/// randomness; this enum is a convenience vocabulary for the common shapes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GapKind {
+    /// A dense cluster: the next state lands one tick later.
+    Cluster,
+    /// A moderate advance of the given size (must be ≥ 1).
+    Step(u64),
+    /// A jump large enough to expire any window bounded by `horizon`:
+    /// advances by `horizon + 1 + extra`.
+    BeyondHorizon {
+        /// The largest finite metric bound in play.
+        horizon: u64,
+        /// Additional slack past the horizon.
+        extra: u64,
+    },
+}
+
+impl GapKind {
+    /// The timestamp advance this gap produces (always ≥ 1).
+    pub fn advance(self) -> u64 {
+        match self {
+            GapKind::Cluster => 1,
+            GapKind::Step(n) => n.max(1),
+            GapKind::BeyondHorizon { horizon, extra } => horizon.saturating_add(1 + extra),
+        }
+    }
+}
+
+/// Builds a strictly increasing schedule of `n` timestamps starting at
+/// `start`, with each subsequent gap chosen by `pick` (called with the
+/// zero-based index of the gap, 0..n-1).
+///
+/// ```
+/// use rtic_history::gen::{schedule, GapKind};
+/// use rtic_temporal::TimePoint;
+///
+/// let s = schedule(TimePoint(5), 4, |i| {
+///     if i == 1 {
+///         GapKind::BeyondHorizon { horizon: 10, extra: 0 }
+///     } else {
+///         GapKind::Cluster
+///     }
+/// });
+/// assert_eq!(s, vec![TimePoint(5), TimePoint(6), TimePoint(17), TimePoint(18)]);
+/// ```
+pub fn schedule(
+    start: TimePoint,
+    n: usize,
+    mut pick: impl FnMut(usize) -> GapKind,
+) -> Vec<TimePoint> {
+    let mut out = Vec::with_capacity(n);
+    let mut t = start.0;
+    for i in 0..n {
+        if i > 0 {
+            t = t.saturating_add(pick(i - 1).advance());
+        }
+        out.push(TimePoint(t));
+    }
+    out
+}
+
+/// A schedule of `n` timestamps that alternates dense clusters with
+/// horizon-expiring jumps: runs of `cluster_len` one-tick gaps separated by
+/// `BeyondHorizon` jumps. Deterministic; useful as a fixed stress shape.
+pub fn clustered_schedule(
+    start: TimePoint,
+    n: usize,
+    cluster_len: usize,
+    horizon: u64,
+) -> Vec<TimePoint> {
+    let len = cluster_len.max(1);
+    schedule(start, n, |i| {
+        if (i + 1) % (len + 1) == 0 {
+            GapKind::BeyondHorizon { horizon, extra: 0 }
+        } else {
+            GapKind::Cluster
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_are_strictly_increasing() {
+        let s = clustered_schedule(TimePoint(0), 50, 3, 7);
+        assert_eq!(s.len(), 50);
+        for w in s.windows(2) {
+            assert!(w[0] < w[1], "{:?} not increasing", w);
+        }
+    }
+
+    #[test]
+    fn beyond_horizon_clears_the_window() {
+        let horizon = 9;
+        let s = schedule(TimePoint(0), 2, |_| GapKind::BeyondHorizon {
+            horizon,
+            extra: 0,
+        });
+        assert!(s[1].0 - s[0].0 > horizon);
+    }
+
+    #[test]
+    fn single_state_schedule() {
+        assert_eq!(
+            schedule(TimePoint(3), 1, |_| GapKind::Cluster),
+            vec![TimePoint(3)]
+        );
+    }
+
+    #[test]
+    fn zero_step_is_clamped_to_one() {
+        assert_eq!(GapKind::Step(0).advance(), 1);
+    }
+}

@@ -1,0 +1,92 @@
+//! The golden corpus: the hand-written cross-checker workloads folded
+//! into replayable repro files.
+//!
+//! `tests/cross_checker_workloads.rs` used to be the only cross-backend
+//! agreement check; its scenarios now live as `tests/corpus/*.repro`
+//! files generated here (one file per workload constraint), so the same
+//! regression test that replays minimized fuzz counterexamples also
+//! replays the domain workloads on every backend.
+
+use std::sync::Arc;
+
+use rtic_workload::{Audit, Generated, Library, Monitor, Reservations};
+
+use crate::repro::Repro;
+
+/// Steps per workload in the golden corpus — long enough to cross every
+/// deadline in each scenario, short enough to replay in milliseconds.
+pub const GOLDEN_STEPS: usize = 48;
+
+/// Builds the golden corpus: `(file_stem, repro)` per workload constraint,
+/// deterministic (the workload generators are internally seeded).
+pub fn golden() -> Vec<(String, Repro)> {
+    let workloads: Vec<(&str, Generated)> = vec![
+        (
+            "reservations",
+            Reservations {
+                steps: GOLDEN_STEPS,
+                ..Default::default()
+            }
+            .generate(),
+        ),
+        (
+            "library",
+            Library {
+                steps: GOLDEN_STEPS,
+                ..Default::default()
+            }
+            .generate(),
+        ),
+        (
+            "monitor",
+            Monitor {
+                steps: GOLDEN_STEPS,
+                ..Default::default()
+            }
+            .generate(),
+        ),
+        (
+            "audit",
+            Audit {
+                steps: GOLDEN_STEPS,
+                ..Default::default()
+            }
+            .generate(),
+        ),
+    ];
+    let mut out = Vec::new();
+    for (name, g) in workloads {
+        for c in &g.constraints {
+            out.push((
+                format!("golden-{name}-{}", c.name),
+                Repro {
+                    seed: 0,
+                    note: format!("golden corpus: {name} workload, constraint {}", c.name),
+                    catalog: Arc::clone(&g.catalog),
+                    constraint: c.clone(),
+                    transitions: g.transitions.clone(),
+                },
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_corpus_is_deterministic_and_round_trips() {
+        let a = golden();
+        let b = golden();
+        assert!(!a.is_empty());
+        for ((na, ra), (nb, rb)) in a.iter().zip(&b) {
+            assert_eq!(na, nb);
+            assert_eq!(ra.to_text(), rb.to_text());
+            let parsed = Repro::from_text(&ra.to_text()).expect("parses");
+            assert_eq!(parsed.constraint, ra.constraint);
+            assert_eq!(parsed.transitions, ra.transitions);
+        }
+    }
+}

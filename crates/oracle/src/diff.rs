@@ -1,0 +1,104 @@
+//! Differential comparison: every mode against the reference, byte for
+//! byte.
+
+use std::fmt;
+
+use crate::generate::Case;
+use crate::modes::Mode;
+
+/// A disagreement between two checker realizations on one case.
+#[derive(Clone, Debug)]
+pub struct Divergence {
+    /// The reference mode (normally `naive`).
+    pub reference: Mode,
+    /// The mode that disagreed.
+    pub backend: Mode,
+    /// The reference's report lines.
+    pub expected: Vec<String>,
+    /// The diverging mode's report lines (or a single error string).
+    pub actual: Vec<String>,
+}
+
+impl Divergence {
+    /// The first line index where the two runs differ (equal prefixes are
+    /// common after shrinking).
+    pub fn first_diff(&self) -> usize {
+        let n = self.expected.len().min(self.actual.len());
+        (0..n)
+            .find(|&i| self.expected[i] != self.actual[i])
+            .unwrap_or(n)
+    }
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "divergence: {} vs {} (first differing report #{})",
+            self.backend.name(),
+            self.reference.name(),
+            self.first_diff()
+        )?;
+        let i = self.first_diff();
+        let at =
+            |v: &[String], i: usize| v.get(i).map(String::as_str).unwrap_or("<end>").to_owned();
+        writeln!(f, "  {}: {}", self.reference.name(), at(&self.expected, i))?;
+        write!(f, "  {}: {}", self.backend.name(), at(&self.actual, i))
+    }
+}
+
+/// Runs `case` through every mode in `modes` and compares each against the
+/// first entry (the reference). Returns the first divergence, if any. A
+/// mode that errors out diverges with its error text as the sole line.
+pub fn check_case(case: &Case, modes: &[Mode]) -> Option<Divergence> {
+    let (&reference, rest) = modes.split_first()?;
+    let expected = match reference.run(case) {
+        Ok(lines) => lines,
+        Err(e) => vec![format!("<error: {e}>")],
+    };
+    for &m in rest {
+        let actual = match m.run(case) {
+            Ok(lines) => lines,
+            Err(e) => vec![format!("<error: {e}>")],
+        };
+        if actual != expected {
+            return Some(Divergence {
+                reference,
+                backend: m,
+                expected,
+                actual,
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{case, GenConfig};
+
+    #[test]
+    fn healthy_backends_produce_no_divergence() {
+        let cfg = GenConfig::default();
+        for i in 0..25 {
+            let c = case(5, i, &cfg);
+            assert!(
+                check_case(&c, &Mode::ALL).is_none(),
+                "unexpected divergence on case {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn first_diff_points_at_the_disagreement() {
+        let d = Divergence {
+            reference: Mode::ALL[0],
+            backend: Mode::ALL[1],
+            expected: vec!["a".into(), "b".into(), "c".into()],
+            actual: vec!["a".into(), "X".into(), "c".into()],
+        };
+        assert_eq!(d.first_diff(), 1);
+        assert!(d.to_string().contains("first differing report #1"));
+    }
+}

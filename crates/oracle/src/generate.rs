@@ -1,0 +1,354 @@
+//! Random Past-MTL constraints and histories, biased toward the places
+//! real-time checkers break.
+//!
+//! Formulas are built as a generator atom conjoined with random temporal
+//! and relational conjuncts, then validated through
+//! [`CompiledConstraint::compile`] (which enforces the safe-range rules);
+//! unsafe draws are retried deterministically. Metric intervals are biased
+//! toward the boundary values the literature singles out: `0`, `a == b`
+//! (point intervals), and bounds that coincide with the formula's horizon.
+//! Histories mix dense timestamp clusters, horizon-expiring clock gaps,
+//! relation churn against the live state, and empty updates (pure ticks).
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtic_core::CompiledConstraint;
+use rtic_history::gen::{schedule, GapKind};
+use rtic_history::Transition;
+use rtic_relation::{tuple, Catalog, Schema, Sort, Tuple, Update};
+use rtic_temporal::analysis::Horizon;
+use rtic_temporal::{var, CmpOp, Constraint, Formula, Interval, Term, TimePoint};
+
+use crate::derive_seed;
+
+/// Tuning knobs for case generation.
+#[derive(Clone, Copy, Debug)]
+pub struct GenConfig {
+    /// Maximum number of conjuncts beyond the generator atom (also caps
+    /// temporal nesting depth).
+    pub max_formula_depth: usize,
+    /// Maximum history length (transitions per case).
+    pub max_steps: usize,
+    /// Values are drawn from `0..domain`.
+    pub domain: i64,
+}
+
+impl Default for GenConfig {
+    fn default() -> GenConfig {
+        GenConfig {
+            max_formula_depth: 4,
+            max_steps: 24,
+            domain: 4,
+        }
+    }
+}
+
+/// One generated differential-test case: a constraint and a history over a
+/// shared catalog, reproducible from `seed` alone.
+#[derive(Clone, Debug)]
+pub struct Case {
+    /// Case index within its run.
+    pub index: usize,
+    /// The derived per-case seed (everything below is a function of it).
+    pub seed: u64,
+    /// The relations in play.
+    pub catalog: Arc<Catalog>,
+    /// The constraint under test.
+    pub constraint: Constraint,
+    /// The history to check.
+    pub transitions: Vec<Transition>,
+}
+
+/// The fixed case catalog: two unary relations and one binary relation,
+/// all over `int` (churn and comparisons need only one sort).
+pub fn case_catalog() -> Arc<Catalog> {
+    Arc::new(
+        Catalog::new()
+            .with("r0", Schema::of(&[("a", Sort::Int)]))
+            .expect("fresh catalog accepts r0")
+            .with("r1", Schema::of(&[("a", Sort::Int)]))
+            .expect("fresh catalog accepts r1")
+            .with("r2", Schema::of(&[("a", Sort::Int), ("b", Sort::Int)]))
+            .expect("fresh catalog accepts r2"),
+    )
+}
+
+const UNARY: [&str; 2] = ["r0", "r1"];
+
+/// The small bound pool intervals draw from, heavily weighted toward 0
+/// and adjacent values — off-by-one bugs live at small bounds.
+const BOUNDS: [u64; 8] = [0, 0, 1, 1, 2, 3, 5, 8];
+
+fn pick_bound(rng: &mut StdRng) -> u64 {
+    BOUNDS[rng.gen_range(0..BOUNDS.len())]
+}
+
+/// Draws a metric interval with boundary bias: point intervals (`[0,0]`,
+/// `[a,a]`), zero lower bounds, unbounded tails, and small finite spans.
+pub fn boundary_interval(rng: &mut StdRng) -> Interval {
+    match rng.gen_range(0u32..10) {
+        0 => Interval::exactly(0),
+        1 | 2 => Interval::exactly(pick_bound(rng)),
+        3 | 4 => Interval::up_to(pick_bound(rng)),
+        5 | 6 => {
+            let a = pick_bound(rng);
+            let b = a + pick_bound(rng);
+            Interval::bounded(a, b).unwrap_or_else(|_| Interval::exactly(a))
+        }
+        7 => Interval::at_least(pick_bound(rng)),
+        8 => Interval::all(),
+        _ => Interval::up_to(1 + pick_bound(rng)),
+    }
+}
+
+fn unary_atom(rng: &mut StdRng, v: &str) -> Formula {
+    Formula::atom(UNARY[rng.gen_range(0..UNARY.len())], [Term::var(v)])
+}
+
+/// One random conjunct over variables already bound by the generator atom.
+/// `binds_y` says whether `y` is in scope (base atom was binary).
+fn conjunct(rng: &mut StdRng, cfg: &GenConfig, binds_y: bool) -> Formula {
+    match rng.gen_range(0u32..9) {
+        // once[I] a(x) — a temporal generator conjunct.
+        0 => unary_atom(rng, "x").once(boundary_interval(rng)),
+        // !once[I] a(x) — guarded negation (x bound by the base atom).
+        1 => unary_atom(rng, "x").once(boundary_interval(rng)).not(),
+        // prev[I] a(x).
+        2 => unary_atom(rng, "x").prev(boundary_interval(rng)),
+        // hist[I] a(x) — a filter; x is generator-bound.
+        3 => unary_atom(rng, "x").hist(boundary_interval(rng)),
+        // a(x) since[I] b(x) — lhs free vars ⊆ anchor free vars.
+        4 => {
+            let lhs = unary_atom(rng, "x");
+            let anchor = unary_atom(rng, "x");
+            lhs.since(boundary_interval(rng), anchor)
+        }
+        // Nested temporal: once[I] (prev[J] a(x)).
+        5 => unary_atom(rng, "x")
+            .prev(boundary_interval(rng))
+            .once(boundary_interval(rng)),
+        // Comparison against a constant (x is bound).
+        6 => {
+            let op = [CmpOp::Le, CmpOp::Ne, CmpOp::Lt][rng.gen_range(0..3usize)];
+            Formula::cmp(op, Term::var("x"), Term::int(rng.gen_range(0..cfg.domain)))
+        }
+        // count z . r2(x, z) >= k (k ≥ 1: zero-satisfying counts are unsafe).
+        7 => Formula::atom("r2", [Term::var("x"), Term::var("z")]).count_cmp(
+            [var("z")],
+            CmpOp::Ge,
+            rng.gen_range(1..=2),
+        ),
+        // Balanced disjunction (both branches bind exactly {x}), or a
+        // binary-relation conjunct when y is in scope.
+        _ => {
+            if binds_y && rng.gen_bool(0.5) {
+                Formula::atom("r2", [Term::var("x"), Term::var("y")]).once(boundary_interval(rng))
+            } else {
+                Formula::atom("r0", [Term::var("x")]).or(Formula::atom("r1", [Term::var("x")]))
+            }
+        }
+    }
+}
+
+/// Builds one random safe denial constraint. Candidates that fail
+/// safe-range compilation are redrawn (deterministically); after a bounded
+/// number of attempts a known-safe fallback is used.
+pub fn random_constraint(
+    rng: &mut StdRng,
+    cfg: &GenConfig,
+    catalog: &Arc<Catalog>,
+    name: &str,
+) -> Constraint {
+    for _ in 0..64 {
+        let binary_base = rng.gen_bool(0.4);
+        let base = if binary_base {
+            Formula::atom("r2", [Term::var("x"), Term::var("y")])
+        } else {
+            unary_atom(rng, "x")
+        };
+        let extras = rng.gen_range(1..=cfg.max_formula_depth.max(1));
+        let mut body = base;
+        for _ in 0..extras {
+            body = body.and(conjunct(rng, cfg, binary_base));
+        }
+        let candidate = Constraint::deny(name, body);
+        if CompiledConstraint::compile(candidate.clone(), Arc::clone(catalog)).is_ok() {
+            return candidate;
+        }
+    }
+    // Safe under every rule: generator atom plus a bounded once.
+    let fallback = Formula::atom("r0", [Term::var("x")])
+        .and(Formula::atom("r1", [Term::var("x")]).once(Interval::up_to(2)));
+    Constraint::deny(name, fallback)
+}
+
+/// The largest finite metric bound mentioned in the constraint (for
+/// horizon-expiring gap sizing); falls back to 8 for unbounded bodies.
+fn horizon_of(constraint: &Constraint, catalog: &Arc<Catalog>) -> u64 {
+    match CompiledConstraint::compile(constraint.clone(), Arc::clone(catalog)) {
+        Ok(c) => match c.horizon {
+            Horizon::Finite(d) => d.0.max(1),
+            Horizon::Unbounded => 8,
+        },
+        Err(_) => 8,
+    }
+}
+
+/// Generates a random history: clustered timestamps with occasional
+/// horizon-expiring gaps, inserts/deletes churning against the live
+/// relation contents, and empty updates (pure clock ticks).
+pub fn random_history(
+    rng: &mut StdRng,
+    cfg: &GenConfig,
+    catalog: &Arc<Catalog>,
+    horizon: u64,
+) -> Vec<Transition> {
+    let steps = rng.gen_range(1..=cfg.max_steps.max(1));
+    let start = TimePoint(rng.gen_range(0u64..=2));
+    let mut gaps: Vec<GapKind> = Vec::new();
+    for _ in 0..steps {
+        gaps.push(match rng.gen_range(0u32..10) {
+            0..=4 => GapKind::Cluster,
+            5..=7 => GapKind::Step(rng.gen_range(1..=3)),
+            _ => GapKind::BeyondHorizon {
+                horizon,
+                extra: rng.gen_range(0..=2),
+            },
+        });
+    }
+    let times = schedule(start, steps, |i| gaps[i]);
+
+    let names: Vec<(rtic_relation::Symbol, usize)> = {
+        let mut v: Vec<_> = catalog
+            .names()
+            .map(|n| {
+                let arity = catalog.schema_of(n).map(|s| s.arity()).unwrap_or(1);
+                (n, arity)
+            })
+            .collect();
+        v.sort();
+        v
+    };
+    // Live contents per relation, mirrored so deletes can target tuples
+    // that are actually present (real churn, not no-op deletes).
+    let mut live: Vec<BTreeSet<Tuple>> = names.iter().map(|_| BTreeSet::new()).collect();
+
+    let mut out = Vec::with_capacity(steps);
+    for t in times {
+        let mut update = Update::new();
+        if !rng.gen_bool(0.15) {
+            for _ in 0..rng.gen_range(1..=3) {
+                let ri = rng.gen_range(0..names.len());
+                let (name, arity) = names[ri];
+                let delete_existing = !live[ri].is_empty() && rng.gen_bool(0.35);
+                if delete_existing {
+                    let k = rng.gen_range(0..live[ri].len());
+                    let victim = live[ri]
+                        .iter()
+                        .nth(k)
+                        .cloned()
+                        .expect("index within live set");
+                    update.delete(name, victim.clone());
+                    live[ri].remove(&victim);
+                } else {
+                    let tup = if arity == 1 {
+                        tuple![rng.gen_range(0..cfg.domain)]
+                    } else {
+                        tuple![rng.gen_range(0..cfg.domain), rng.gen_range(0..cfg.domain)]
+                    };
+                    update.insert(name, tup.clone());
+                    live[ri].insert(tup);
+                }
+            }
+        }
+        out.push(Transition::new(t, update));
+    }
+    out
+}
+
+/// Builds case `index` of the run seeded by `base_seed`.
+pub fn case(base_seed: u64, index: usize, cfg: &GenConfig) -> Case {
+    let seed = derive_seed(base_seed, index as u64);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let catalog = case_catalog();
+    let name = format!("c{index}");
+    let constraint = random_constraint(&mut rng, cfg, &catalog, &name);
+    let horizon = horizon_of(&constraint, &catalog);
+    let transitions = random_history(&mut rng, cfg, &catalog, horizon);
+    Case {
+        index,
+        seed,
+        catalog,
+        constraint,
+        transitions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_are_deterministic() {
+        let cfg = GenConfig::default();
+        let a = case(42, 7, &cfg);
+        let b = case(42, 7, &cfg);
+        assert_eq!(a.constraint, b.constraint);
+        assert_eq!(a.transitions, b.transitions);
+        let c = case(42, 8, &cfg);
+        assert!(c.constraint != a.constraint || c.transitions != a.transitions);
+    }
+
+    #[test]
+    fn generated_constraints_compile() {
+        let cfg = GenConfig::default();
+        for i in 0..50 {
+            let c = case(1, i, &cfg);
+            CompiledConstraint::compile(c.constraint.clone(), Arc::clone(&c.catalog))
+                .expect("generated constraint must be safe");
+        }
+    }
+
+    #[test]
+    fn histories_are_strictly_increasing_and_apply_cleanly() {
+        let cfg = GenConfig::default();
+        for i in 0..50 {
+            let c = case(3, i, &cfg);
+            let mut db = rtic_relation::Database::new(Arc::clone(&c.catalog));
+            let mut last = None;
+            for t in &c.transitions {
+                if let Some(prev) = last {
+                    assert!(t.time > prev);
+                }
+                last = Some(t.time);
+                db.apply(&t.update).expect("update applies");
+            }
+        }
+    }
+
+    #[test]
+    fn interval_bias_hits_boundaries() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut point = 0;
+        let mut zero_lo = 0;
+        for _ in 0..500 {
+            let i = boundary_interval(&mut rng);
+            if let rtic_temporal::UpperBound::Finite(h) = i.hi() {
+                if h == i.lo() {
+                    point += 1;
+                }
+            }
+            if i.lo().0 == 0 {
+                zero_lo += 1;
+            }
+        }
+        assert!(point > 50, "point intervals should be common, got {point}");
+        assert!(
+            zero_lo > 150,
+            "zero lower bounds should be common, got {zero_lo}"
+        );
+    }
+}

@@ -1,0 +1,220 @@
+//! The `rtic-oracle` binary: differential fuzzing, mutation smoke, and
+//! corpus maintenance, with fully deterministic output.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use rtic_oracle::generate::{case, GenConfig};
+use rtic_oracle::modes::run_constraint;
+use rtic_oracle::shrink::{shrink, ShrinkBudget};
+use rtic_oracle::{check_case, corpus, mutation, Mode, Mutant, Repro};
+
+const USAGE: &str = "\
+rtic-oracle — differential conformance oracle (see docs/TESTING.md)
+
+USAGE:
+  rtic-oracle [--cases N] [--seed N] [--max-formula-depth N]
+              [--backends LIST] [--corpus-dir DIR]
+  rtic-oracle --mutation-smoke [--seed N] [--cases N]
+  rtic-oracle --write-workload-corpus [--corpus-dir DIR]
+
+MODES:
+  (default)                fuzz: generate cases, run every backend, diff
+                           against the naive reference; on divergence,
+                           shrink and write a repro into --corpus-dir
+  --mutation-smoke         self-check: plant known bugs (off-by-one
+                           window, dropped quiescent steps) in a cloned
+                           checker and prove the oracle catches each
+  --write-workload-corpus  regenerate the golden corpus files derived
+                           from the rtic-workload scenarios
+
+OPTIONS:
+  --cases N             cases to run (default 100; env RTIC_FUZZ_CASES
+                        overrides the default, the flag wins)
+  --seed N              base seed (default 42); every case is a pure
+                        function of (seed, index)
+  --max-formula-depth N max conjuncts per generated formula (default 4)
+  --backends LIST       comma-separated subset to compare; first entry is
+                        the reference (default: all, naive first)
+  --corpus-dir DIR      where repro files live (default tests/corpus)
+";
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parse_num<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    match flag_value(args, flag) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|e| format!("bad {flag} `{v}`: {e}")),
+    }
+}
+
+fn parse_modes(args: &[String]) -> Result<Vec<Mode>, String> {
+    match flag_value(args, "--backends") {
+        None => Ok(Mode::ALL.to_vec()),
+        Some(list) => {
+            let mut out = Vec::new();
+            for name in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                let m = Mode::parse(name).ok_or_else(|| {
+                    format!("unknown backend `{name}` (expected {})", Mode::flag_help())
+                })?;
+                if !out.contains(&m) {
+                    out.push(m);
+                }
+            }
+            if out.len() < 2 {
+                return Err("--backends needs at least two entries to compare".into());
+            }
+            Ok(out)
+        }
+    }
+}
+
+fn default_cases() -> usize {
+    std::env::var("RTIC_FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100)
+}
+
+fn fuzz(args: &[String]) -> Result<ExitCode, String> {
+    let cases = parse_num(args, "--cases", default_cases())?;
+    let seed: u64 = parse_num(args, "--seed", 42)?;
+    let cfg = GenConfig {
+        max_formula_depth: parse_num(args, "--max-formula-depth", 4)?,
+        ..GenConfig::default()
+    };
+    let modes = parse_modes(args)?;
+    let corpus_dir = PathBuf::from(flag_value(args, "--corpus-dir").unwrap_or("tests/corpus"));
+    let mode_names: Vec<&str> = modes.iter().map(|m| m.name()).collect();
+    println!(
+        "oracle: {cases} case(s), seed {seed}, depth {}, backends {}",
+        cfg.max_formula_depth,
+        mode_names.join(",")
+    );
+    for i in 0..cases {
+        let c = case(seed, i, &cfg);
+        let Some(div) = check_case(&c, &modes) else {
+            continue;
+        };
+        println!("case {i} (seed {}): {div}", c.seed);
+        let reference = div.reference;
+        let backend = div.backend;
+        let (sc, sts) = shrink(
+            &c.constraint,
+            &c.transitions,
+            &c.catalog,
+            ShrinkBudget::default(),
+            |cand, ts| {
+                let a = run_constraint(reference, cand, &c.catalog, ts, c.seed);
+                let b = run_constraint(backend, cand, &c.catalog, ts, c.seed);
+                a != b
+            },
+        );
+        let repro = Repro {
+            seed: c.seed,
+            note: format!("{} vs {}", backend.name(), reference.name()),
+            catalog: Arc::clone(&c.catalog),
+            constraint: sc,
+            transitions: sts,
+        };
+        let path = corpus_dir.join(format!("div-{}-{i}.repro", seed));
+        write_repro(&path, &repro)?;
+        println!(
+            "shrunk to {} log line(s); repro written to {}",
+            repro.log_lines(),
+            path.display()
+        );
+        println!("--- repro ---\n{}", repro.to_text());
+        return Ok(ExitCode::FAILURE);
+    }
+    println!("oracle: {cases} case(s), 0 divergences");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn mutation_smoke(args: &[String]) -> Result<ExitCode, String> {
+    let cases = parse_num(args, "--cases", 200usize)?;
+    let seed: u64 = parse_num(args, "--seed", 42)?;
+    let cfg = GenConfig::default();
+    println!(
+        "mutation-smoke: {} mutant(s), up to {cases} case(s) each, seed {seed}",
+        Mutant::ALL.len()
+    );
+    let mut failed = false;
+    for m in Mutant::ALL {
+        match mutation::hunt(m, seed, cases, &cfg) {
+            Ok(caught) => {
+                println!(
+                    "mutant {}: caught at case {} — shrunk to {} log line(s)",
+                    m.name(),
+                    caught.case_index,
+                    caught.repro.log_lines()
+                );
+                println!("--- repro ---\n{}", caught.repro.to_text());
+                if caught.repro.log_lines() > 10 {
+                    println!("mutant {}: repro too large (> 10 log lines)", m.name());
+                    failed = true;
+                }
+            }
+            Err(e) => {
+                println!("mutant {}: NOT CAUGHT — {e}", m.name());
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        println!("mutation-smoke: FAILED");
+        Ok(ExitCode::FAILURE)
+    } else {
+        println!("mutation-smoke: ok (every planted bug was caught)");
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
+fn write_workload_corpus(args: &[String]) -> Result<ExitCode, String> {
+    let corpus_dir = PathBuf::from(flag_value(args, "--corpus-dir").unwrap_or("tests/corpus"));
+    for (stem, repro) in corpus::golden() {
+        let path = corpus_dir.join(format!("{stem}.repro"));
+        write_repro(&path, &repro)?;
+        println!("wrote {}", path.display());
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn write_repro(path: &Path, repro: &Repro) -> Result<(), String> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+    }
+    std::fs::write(path, repro.to_text()).map_err(|e| format!("write {}: {e}", path.display()))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let result = if args.iter().any(|a| a == "--mutation-smoke") {
+        mutation_smoke(&args)
+    } else if args.iter().any(|a| a == "--write-workload-corpus") {
+        write_workload_corpus(&args)
+    } else {
+        fuzz(&args)
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("rtic-oracle: {e}");
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! The checker realizations a case is run through.
+//!
+//! Individual-backend modes come from the shared [`BackendId`] enumeration
+//! in `rtic-core` (the same one the CLI and the bench tables use); the
+//! fleet and checkpoint/resume modes are oracle-specific compositions on
+//! top of [`ConstraintSet`].
+
+use std::sync::Arc;
+
+use rtic_active::ActiveChecker;
+use rtic_core::{
+    checkpoint, BackendId, Checker, ConstraintSet, IncrementalChecker, NaiveChecker, Parallelism,
+    WindowedChecker,
+};
+use rtic_history::Transition;
+use rtic_relation::Catalog;
+use rtic_temporal::Constraint;
+
+use crate::derive_seed;
+use crate::generate::Case;
+
+/// One way of checking a case end to end, producing canonical report lines.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Mode {
+    /// A single standalone checker from the shared backend enumeration.
+    Single(BackendId),
+    /// [`ConstraintSet`] stepped sequentially (relevance dispatch on).
+    SetSequential,
+    /// [`ConstraintSet`] with [`Parallelism::Auto`] worker fan-out.
+    SetParallel,
+    /// Kill the fleet at a seed-derived step, checkpoint, restore into a
+    /// fresh process image, and stitch the two report halves together.
+    Stitch,
+}
+
+impl Mode {
+    /// Every mode, reference first. The naive checker re-evaluates the
+    /// full stored history and is the semantics-defining baseline all
+    /// other modes are diffed against.
+    pub const ALL: [Mode; 7] = [
+        Mode::Single(BackendId::Naive),
+        Mode::Single(BackendId::Incremental),
+        Mode::Single(BackendId::Windowed),
+        Mode::Single(BackendId::Active),
+        Mode::SetSequential,
+        Mode::SetParallel,
+        Mode::Stitch,
+    ];
+
+    /// The mode's `--backends` flag name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mode::Single(b) => b.name(),
+            Mode::SetSequential => "set",
+            Mode::SetParallel => "set-par",
+            Mode::Stitch => "stitch",
+        }
+    }
+
+    /// Parses a `--backends` list entry.
+    pub fn parse(s: &str) -> Option<Mode> {
+        Mode::ALL.into_iter().find(|m| m.name() == s)
+    }
+
+    /// The `a|b|c` listing for usage text.
+    pub fn flag_help() -> String {
+        let names: Vec<&str> = Mode::ALL.iter().map(|m| m.name()).collect();
+        names.join("|")
+    }
+
+    /// Runs the case, returning one report line per
+    /// constraint-step (the [`rtic_core::StepReport`] display form).
+    /// Checker errors are surfaced as `Err` and treated as divergence.
+    pub fn run(self, case: &Case) -> Result<Vec<String>, String> {
+        run_constraint(
+            self,
+            &case.constraint,
+            &case.catalog,
+            &case.transitions,
+            case.seed,
+        )
+    }
+}
+
+/// [`Mode::run`] for an explicit constraint/catalog/history triple — the
+/// shrinker and mutation harness re-run candidates through this.
+pub fn run_constraint(
+    mode: Mode,
+    constraint: &Constraint,
+    catalog: &Arc<Catalog>,
+    transitions: &[Transition],
+    seed: u64,
+) -> Result<Vec<String>, String> {
+    match mode {
+        Mode::Single(b) => {
+            let mut checker: Box<dyn Checker> = single_checker(b, constraint, catalog)?;
+            let mut lines = Vec::with_capacity(transitions.len());
+            for t in transitions {
+                let report = checker.step(t.time, &t.update).map_err(|e| e.to_string())?;
+                lines.push(report.to_string());
+            }
+            Ok(lines)
+        }
+        Mode::SetSequential => run_set(constraint, catalog, transitions, Parallelism::Sequential),
+        Mode::SetParallel => run_set(constraint, catalog, transitions, Parallelism::Auto),
+        Mode::Stitch => run_stitch(constraint, catalog, transitions, seed),
+    }
+}
+
+/// Constructs a standalone checker for a [`BackendId`] — the oracle-side
+/// twin of the CLI's backend construction (the oracle depends on every
+/// backend crate, so it can realize the whole enumeration).
+pub fn single_checker(
+    b: BackendId,
+    constraint: &Constraint,
+    catalog: &Arc<Catalog>,
+) -> Result<Box<dyn Checker>, String> {
+    let c = constraint.clone();
+    let cat = Arc::clone(catalog);
+    let err = |e: rtic_core::CompileError| format!("constraint `{}`: {e}", constraint.name);
+    Ok(match b {
+        BackendId::Incremental => Box::new(IncrementalChecker::new(c, cat).map_err(err)?),
+        BackendId::Naive => Box::new(NaiveChecker::new(c, cat).map_err(err)?),
+        BackendId::Windowed => Box::new(WindowedChecker::new(c, cat).map_err(err)?),
+        BackendId::Active => Box::new(ActiveChecker::new(c, cat).map_err(err)?),
+    })
+}
+
+fn run_set(
+    constraint: &Constraint,
+    catalog: &Arc<Catalog>,
+    transitions: &[Transition],
+    parallelism: Parallelism,
+) -> Result<Vec<String>, String> {
+    let mut set = ConstraintSet::new([constraint.clone()], Arc::clone(catalog))
+        .map_err(|(c, e)| format!("constraint `{}`: {e}", c.name))?
+        .with_parallelism(parallelism);
+    let mut lines = Vec::with_capacity(transitions.len());
+    for t in transitions {
+        let reports = set.step(t.time, &t.update).map_err(|e| e.to_string())?;
+        lines.extend(reports.iter().map(|r| r.to_string()));
+    }
+    Ok(lines)
+}
+
+/// Picks the seed-derived kill step for [`Mode::Stitch`]: some step
+/// strictly inside the history (1..len), or 0 for single-step histories
+/// (restore-before-first-step).
+pub fn stitch_kill_step(seed: u64, len: usize) -> usize {
+    if len <= 1 {
+        0
+    } else {
+        1 + (derive_seed(seed, 0xDEAD) % (len as u64 - 1)) as usize
+    }
+}
+
+fn run_stitch(
+    constraint: &Constraint,
+    catalog: &Arc<Catalog>,
+    transitions: &[Transition],
+    seed: u64,
+) -> Result<Vec<String>, String> {
+    let kill = stitch_kill_step(seed, transitions.len());
+    let mut set = ConstraintSet::new([constraint.clone()], Arc::clone(catalog))
+        .map_err(|(c, e)| format!("constraint `{}`: {e}", c.name))?;
+    let mut lines = Vec::with_capacity(transitions.len());
+    for t in &transitions[..kill] {
+        let reports = set.step(t.time, &t.update).map_err(|e| e.to_string())?;
+        lines.extend(reports.iter().map(|r| r.to_string()));
+    }
+    // "Crash": drop the live set, keeping only the serialized checkpoint,
+    // then restore into a fresh fleet and finish the history.
+    let sections: Vec<String> = checkpoint::save_set(&set)
+        .into_iter()
+        .map(|(_, text)| text)
+        .collect();
+    drop(set);
+    let mut resumed = checkpoint::restore_set([constraint.clone()], Arc::clone(catalog), &sections)
+        .map_err(|e| format!("restore: {e}"))?;
+    for t in &transitions[kill..] {
+        let reports = resumed.step(t.time, &t.update).map_err(|e| e.to_string())?;
+        lines.extend(reports.iter().map(|r| r.to_string()));
+    }
+    Ok(lines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{case, GenConfig};
+
+    #[test]
+    fn mode_names_round_trip() {
+        for m in Mode::ALL {
+            assert_eq!(Mode::parse(m.name()), Some(m));
+        }
+        assert_eq!(Mode::parse("bogus"), None);
+        assert!(Mode::flag_help().starts_with("naive|incremental"));
+    }
+
+    #[test]
+    fn kill_step_is_inside_the_history() {
+        for len in [2usize, 3, 10, 100] {
+            for seed in 0..20u64 {
+                let k = stitch_kill_step(seed, len);
+                assert!((1..len).contains(&k), "kill {k} outside 1..{len}");
+            }
+        }
+        assert_eq!(stitch_kill_step(7, 1), 0);
+    }
+
+    #[test]
+    fn all_modes_agree_on_a_sample_case() {
+        let c = case(11, 0, &GenConfig::default());
+        let reference = Mode::ALL[0].run(&c).expect("naive runs");
+        for m in &Mode::ALL[1..] {
+            assert_eq!(
+                m.run(&c).expect("mode runs"),
+                reference,
+                "{} diverged",
+                m.name()
+            );
+        }
+    }
+}

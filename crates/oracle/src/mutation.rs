@@ -1,0 +1,274 @@
+//! Mutation smoke: plant a known bug in a cloned checker and prove the
+//! oracle catches it.
+//!
+//! An equivalence oracle that never fires is indistinguishable from one
+//! that cannot fire. Each [`Mutant`] here is a deliberately broken checker
+//! realization; the smoke harness fuzzes until the oracle flags it, then
+//! shrinks the counterexample exactly as it would for a real bug.
+
+use std::sync::Arc;
+
+use rtic_core::{BackendId, Bindings, StepReport};
+use rtic_history::Transition;
+use rtic_relation::{Catalog, Symbol};
+use rtic_temporal::{Constraint, Formula, Interval, UpperBound, Var};
+
+use crate::generate::{case, GenConfig};
+use crate::modes::{run_constraint, single_checker, Mode};
+use crate::repro::Repro;
+use crate::shrink::{shrink, ShrinkBudget};
+
+/// A deliberately injected checker bug.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Mutant {
+    /// Every finite metric upper bound is widened by one — the classic
+    /// window off-by-one.
+    OffByOneWindow,
+    /// Steps whose update touches none of the constraint's relations
+    /// (including pure clock ticks) are skipped entirely instead of
+    /// advancing the temporal state — a broken quiescent fast path.
+    DroppedQuiescent,
+}
+
+impl Mutant {
+    /// Every mutant.
+    pub const ALL: [Mutant; 2] = [Mutant::OffByOneWindow, Mutant::DroppedQuiescent];
+
+    /// Display/flag name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mutant::OffByOneWindow => "off-by-one-window",
+            Mutant::DroppedQuiescent => "dropped-quiescent",
+        }
+    }
+
+    /// Runs the mutant checker over the history, producing report lines
+    /// comparable with the healthy reference.
+    pub fn run(
+        self,
+        constraint: &Constraint,
+        catalog: &Arc<Catalog>,
+        transitions: &[Transition],
+    ) -> Result<Vec<String>, String> {
+        match self {
+            Mutant::OffByOneWindow => {
+                let mutated = Constraint {
+                    body: widen_finite_bounds(&constraint.body),
+                    ..constraint.clone()
+                };
+                run_constraint(
+                    Mode::Single(BackendId::Windowed),
+                    &mutated,
+                    catalog,
+                    transitions,
+                    0,
+                )
+            }
+            Mutant::DroppedQuiescent => {
+                let mut inner = single_checker(BackendId::Incremental, constraint, catalog)?;
+                let relations = constraint.body.relations();
+                let touches = |t: &Transition| {
+                    t.update
+                        .inserts()
+                        .chain(t.update.deletes())
+                        .any(|(rel, tuples)| !tuples.is_empty() && relations.contains(&rel))
+                };
+                let mut lines = Vec::with_capacity(transitions.len());
+                for t in transitions {
+                    if touches(t) {
+                        let report = inner.step(t.time, &t.update).map_err(|e| e.to_string())?;
+                        lines.push(report.to_string());
+                    } else {
+                        // The bug: pretend nothing can change and emit a
+                        // fabricated "ok" without advancing the engine.
+                        lines.push(
+                            StepReport {
+                                constraint: constraint.name,
+                                time: t.time,
+                                violations: Bindings::none(Vec::<Var>::new()),
+                            }
+                            .to_string(),
+                        );
+                    }
+                }
+                Ok(lines)
+            }
+        }
+    }
+}
+
+/// `[a,b]` → `[a,b+1]` on every temporal operator; unbounded and
+/// degenerate intervals are left alone.
+fn widen_finite_bounds(f: &Formula) -> Formula {
+    let widen = |i: &Interval| match i.hi() {
+        UpperBound::Finite(h) => Interval::bounded(i.lo().0, h.0 + 1).unwrap_or(*i),
+        UpperBound::Infinite => *i,
+    };
+    match f {
+        Formula::True | Formula::False | Formula::Atom { .. } | Formula::Cmp(..) => f.clone(),
+        Formula::Not(g) => Formula::Not(Box::new(widen_finite_bounds(g))),
+        Formula::And(a, b) => Formula::And(
+            Box::new(widen_finite_bounds(a)),
+            Box::new(widen_finite_bounds(b)),
+        ),
+        Formula::Or(a, b) => Formula::Or(
+            Box::new(widen_finite_bounds(a)),
+            Box::new(widen_finite_bounds(b)),
+        ),
+        Formula::Implies(a, b) => Formula::Implies(
+            Box::new(widen_finite_bounds(a)),
+            Box::new(widen_finite_bounds(b)),
+        ),
+        Formula::Exists(vs, g) => Formula::Exists(vs.clone(), Box::new(widen_finite_bounds(g))),
+        Formula::Forall(vs, g) => Formula::Forall(vs.clone(), Box::new(widen_finite_bounds(g))),
+        Formula::Prev(i, g) => Formula::Prev(widen(i), Box::new(widen_finite_bounds(g))),
+        Formula::Once(i, g) => Formula::Once(widen(i), Box::new(widen_finite_bounds(g))),
+        Formula::Hist(i, g) => Formula::Hist(widen(i), Box::new(widen_finite_bounds(g))),
+        Formula::Since(i, l, r) => Formula::Since(
+            widen(i),
+            Box::new(widen_finite_bounds(l)),
+            Box::new(widen_finite_bounds(r)),
+        ),
+        Formula::CountCmp {
+            vars,
+            body,
+            op,
+            threshold,
+        } => Formula::CountCmp {
+            vars: vars.clone(),
+            body: Box::new(widen_finite_bounds(body)),
+            op: *op,
+            threshold: *threshold,
+        },
+    }
+}
+
+/// Whether the mutant is a no-op on this constraint (e.g. no finite bound
+/// to widen) — such cases can never expose the bug and are skipped.
+pub fn mutation_applies(m: Mutant, constraint: &Constraint) -> bool {
+    match m {
+        Mutant::OffByOneWindow => widen_finite_bounds(&constraint.body) != constraint.body,
+        Mutant::DroppedQuiescent => true,
+    }
+}
+
+/// The outcome of hunting one mutant.
+#[derive(Clone, Debug)]
+pub struct MutationCatch {
+    /// Which mutant was caught.
+    pub mutant: Mutant,
+    /// The case index that exposed it.
+    pub case_index: usize,
+    /// The shrunk counterexample.
+    pub repro: Repro,
+}
+
+/// Fuzzes the mutant against the healthy naive reference until a case
+/// exposes it, then shrinks. `Err` if `max_cases` cases go by silently —
+/// which would mean the oracle cannot catch this class of bug.
+pub fn hunt(
+    m: Mutant,
+    base_seed: u64,
+    max_cases: usize,
+    cfg: &GenConfig,
+) -> Result<MutationCatch, String> {
+    let reference = Mode::Single(BackendId::Naive);
+    for i in 0..max_cases {
+        let c = case(base_seed, i, cfg);
+        if !mutation_applies(m, &c.constraint) {
+            continue;
+        }
+        let expected = reference
+            .run(&c)
+            .map_err(|e| format!("reference failed: {e}"))?;
+        let actual = m.run(&c.constraint, &c.catalog, &c.transitions);
+        if actual.as_ref() == Ok(&expected) {
+            continue;
+        }
+        // Caught. Shrink while the mutant keeps disagreeing with naive.
+        let diverges = |cand: &Constraint, ts: &[Transition]| {
+            if !mutation_applies(m, cand) {
+                return false;
+            }
+            let healthy = run_constraint(reference, cand, &c.catalog, ts, 0);
+            let broken = m.run(cand, &c.catalog, ts);
+            match (healthy, broken) {
+                (Ok(h), Ok(b)) => h != b,
+                _ => false,
+            }
+        };
+        let (sc, sts) = shrink(
+            &c.constraint,
+            &c.transitions,
+            &c.catalog,
+            ShrinkBudget::default(),
+            diverges,
+        );
+        return Ok(MutationCatch {
+            mutant: m,
+            case_index: i,
+            repro: Repro {
+                seed: c.seed,
+                note: format!("mutation-smoke {} vs naive", m.name()),
+                catalog: Arc::clone(&c.catalog),
+                constraint: sc,
+                transitions: sts,
+            },
+        });
+    }
+    Err(format!(
+        "mutant `{}` survived {max_cases} cases — the oracle failed its self-check",
+        m.name()
+    ))
+}
+
+/// The relations a constraint body reads, for tests.
+pub fn body_relations(c: &Constraint) -> Vec<Symbol> {
+    c.body.relations().into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_mutants_are_caught_quickly() {
+        let cfg = GenConfig::default();
+        for m in Mutant::ALL {
+            let caught = hunt(m, 42, 200, &cfg).expect("mutant must be caught");
+            assert!(
+                caught.repro.log_lines() <= 10,
+                "{}: shrunk repro has {} log lines",
+                m.name(),
+                caught.repro.log_lines()
+            );
+            // The shrunk counterexample must still expose the mutant.
+            let healthy = run_constraint(
+                Mode::Single(BackendId::Naive),
+                &caught.repro.constraint,
+                &caught.repro.catalog,
+                &caught.repro.transitions,
+                0,
+            )
+            .expect("healthy run");
+            let broken = m
+                .run(
+                    &caught.repro.constraint,
+                    &caught.repro.catalog,
+                    &caught.repro.transitions,
+                )
+                .expect("mutant run");
+            assert_ne!(healthy, broken);
+        }
+    }
+
+    #[test]
+    fn widening_is_identity_on_unbounded_intervals() {
+        let f = rtic_temporal::Formula::atom("r0", [rtic_temporal::Term::var("x")])
+            .once(Interval::all());
+        assert_eq!(widen_finite_bounds(&f), f);
+        let g = rtic_temporal::Formula::atom("r0", [rtic_temporal::Term::var("x")])
+            .once(Interval::up_to(2));
+        assert_ne!(widen_finite_bounds(&g), g);
+    }
+}

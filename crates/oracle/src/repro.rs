@@ -1,0 +1,169 @@
+//! Self-contained repro files: one constraint + one history, replayable
+//! on every backend with no other context.
+//!
+//! Layout (everything before the marker parses with
+//! [`rtic_temporal::parser::parse_file`]; everything after parses with
+//! [`rtic_history::log::parse_log`]):
+//!
+//! ```text
+//! # rtic-oracle repro
+//! # seed: 12345
+//! # note: windowed vs naive
+//! relation r0(a: int)
+//! deny c3: r0(x) && once[0,2] r1(x)
+//! --- log ---
+//! @0 +r0(1)
+//! @3
+//! ```
+
+use std::sync::Arc;
+
+use rtic_history::log::{format_log, parse_log};
+use rtic_history::Transition;
+use rtic_relation::Catalog;
+use rtic_temporal::parser::parse_file;
+use rtic_temporal::Constraint;
+
+/// The line separating the constraint half from the log half.
+pub const LOG_MARKER: &str = "--- log ---";
+
+/// A parsed (or to-be-written) repro file.
+#[derive(Clone, Debug)]
+pub struct Repro {
+    /// The seed recorded in the header (0 when absent).
+    pub seed: u64,
+    /// Free-form provenance note (e.g. `windowed vs naive`).
+    pub note: String,
+    /// The relations in play.
+    pub catalog: Arc<Catalog>,
+    /// The constraint under test.
+    pub constraint: Constraint,
+    /// The history.
+    pub transitions: Vec<Transition>,
+}
+
+impl Repro {
+    /// Serializes to the repro text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("# rtic-oracle repro\n");
+        out.push_str(&format!("# seed: {}\n", self.seed));
+        if !self.note.is_empty() {
+            out.push_str(&format!("# note: {}\n", self.note));
+        }
+        let mut names: Vec<_> = self.catalog.names().collect();
+        names.sort();
+        for name in names {
+            if let Some(schema) = self.catalog.schema_of(name) {
+                let attrs: Vec<String> =
+                    schema.attributes().iter().map(|a| a.to_string()).collect();
+                out.push_str(&format!("relation {name}({})\n", attrs.join(", ")));
+            }
+        }
+        out.push_str(&format!("{}\n", self.constraint));
+        out.push_str(LOG_MARKER);
+        out.push('\n');
+        out.push_str(&format_log(&self.transitions));
+        out
+    }
+
+    /// Parses the repro text format.
+    pub fn from_text(text: &str) -> Result<Repro, String> {
+        let marker = format!("\n{LOG_MARKER}\n");
+        let (head, log) = match text.split_once(&marker) {
+            Some(parts) => parts,
+            None => return Err(format!("missing `{LOG_MARKER}` marker line")),
+        };
+        let mut seed = 0u64;
+        let mut note = String::new();
+        for line in head.lines() {
+            if let Some(v) = line.strip_prefix("# seed:") {
+                seed = v.trim().parse().map_err(|e| format!("bad seed: {e}"))?;
+            } else if let Some(v) = line.strip_prefix("# note:") {
+                note = v.trim().to_string();
+            }
+        }
+        let file = parse_file(head).map_err(|e| format!("constraint half: {e}"))?;
+        let [constraint] = file.constraints.as_slice() else {
+            return Err(format!(
+                "expected exactly one constraint, found {}",
+                file.constraints.len()
+            ));
+        };
+        let transitions = parse_log(log).map_err(|e| format!("log half: {e}"))?;
+        Ok(Repro {
+            seed,
+            note,
+            catalog: Arc::new(file.catalog),
+            constraint: constraint.clone(),
+            transitions,
+        })
+    }
+
+    /// Number of log lines the history serializes to (the shrink-quality
+    /// figure the acceptance criteria bound).
+    pub fn log_lines(&self) -> usize {
+        format_log(&self.transitions).lines().count()
+    }
+
+    /// Replays the repro through `modes` (reference first), returning the
+    /// first divergence.
+    pub fn replay(&self, modes: &[crate::Mode]) -> Option<crate::Divergence> {
+        let case = crate::Case {
+            index: 0,
+            seed: self.seed,
+            catalog: Arc::clone(&self.catalog),
+            constraint: self.constraint.clone(),
+            transitions: self.transitions.clone(),
+        };
+        crate::check_case(&case, modes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{case, GenConfig};
+    use crate::Mode;
+
+    #[test]
+    fn repro_round_trips_generated_cases() {
+        let cfg = GenConfig::default();
+        for i in 0..20 {
+            let c = case(21, i, &cfg);
+            let r = Repro {
+                seed: c.seed,
+                note: "round-trip".into(),
+                catalog: Arc::clone(&c.catalog),
+                constraint: c.constraint.clone(),
+                transitions: c.transitions.clone(),
+            };
+            let parsed = Repro::from_text(&r.to_text()).expect("parses back");
+            assert_eq!(parsed.seed, c.seed);
+            assert_eq!(parsed.note, "round-trip");
+            assert_eq!(parsed.constraint, c.constraint);
+            assert_eq!(parsed.transitions, c.transitions);
+        }
+    }
+
+    #[test]
+    fn replay_of_a_healthy_case_is_clean() {
+        let c = case(33, 0, &GenConfig::default());
+        let r = Repro {
+            seed: c.seed,
+            note: String::new(),
+            catalog: Arc::clone(&c.catalog),
+            constraint: c.constraint,
+            transitions: c.transitions,
+        };
+        assert!(r.replay(&Mode::ALL).is_none());
+    }
+
+    #[test]
+    fn missing_marker_is_an_error() {
+        assert!(
+            Repro::from_text("relation r(a: int)\ndeny c: r(x) && r(x)\n")
+                .unwrap_err()
+                .contains("marker")
+        );
+    }
+}

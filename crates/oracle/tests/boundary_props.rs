@@ -1,0 +1,145 @@
+//! Boundary-case properties for the metric window operators: all checker
+//! realizations must agree byte-for-byte exactly where off-by-one bugs
+//! live — `[0,b]` (a == 0), point intervals `[a,a]` (a == b), bounds that
+//! coincide with the formula's horizon, single-state histories, and clock
+//! gaps that land exactly on / just past a bound.
+
+use proptest::prelude::*;
+use rtic_history::Transition;
+use rtic_oracle::generate::case_catalog;
+use rtic_oracle::{check_case, Case, Mode};
+use rtic_relation::{tuple, Update};
+use rtic_temporal::parser::parse_constraint;
+use rtic_temporal::Constraint;
+
+/// Constraint templates over the oracle catalog (`r0`/`r1` unary int),
+/// one per window-operator shape. The two-interval template makes
+/// bound == horizon exact whenever `{i}` and `{j}` draw the same bound.
+const TEMPLATES: &[&str] = &[
+    "r0(x) && prev{i} r1(x)",
+    "r0(x) && once{i} r1(x)",
+    "r0(x) && hist{i} r1(x)",
+    "r1(x) since{i} r0(x)",
+    "r0(x) && !once{i} r1(x)",
+    "r0(x) && prev{i} r1(x) && once{j} r1(x)",
+];
+
+/// The boundary interval shapes, as a function of the bound `b`.
+fn interval_text(shape: usize, b: u64) -> String {
+    match shape {
+        0 => "[0,0]".to_string(),
+        1 => format!("[{b},{b}]"), // a == b
+        2 => format!("[0,{b}]"),   // a == 0
+        3 => format!("[1,{}]", b.max(1)),
+        _ => format!("[{b},*]"),
+    }
+}
+
+fn boundary_constraint(template: usize, shape_i: usize, shape_j: usize, b: u64) -> Constraint {
+    let body = TEMPLATES[template]
+        .replace("{i}", &interval_text(shape_i, b))
+        .replace("{j}", &interval_text(shape_j, b));
+    parse_constraint(&format!("deny c: {body}")).expect("template parses")
+}
+
+/// One generated step: a gap-palette index plus `(relation, insert?, value)`
+/// tuple operations.
+type Step = (usize, Vec<(u8, bool, i64)>);
+
+/// Builds a history whose gaps cluster around the bound `b`: one tick,
+/// exactly `b`, one past `b` (window-expiring), and a huge gap.
+fn history(b: u64, steps: &[Step]) -> Vec<Transition> {
+    let mut t = 0u64;
+    let mut out = Vec::new();
+    for (k, (gap, changes)) in steps.iter().enumerate() {
+        if k > 0 {
+            t += [1, b.max(1), b + 1, 50][*gap];
+        }
+        let mut u = Update::new();
+        for &(rel, ins, x) in changes {
+            let name = if rel == 0 { "r0" } else { "r1" };
+            if ins {
+                u.insert(name, tuple![x]);
+            } else {
+                u.delete(name, tuple![x]);
+            }
+        }
+        out.push(Transition::new(t, u));
+    }
+    out
+}
+
+fn assert_all_agree(constraint: Constraint, ts: Vec<Transition>) {
+    let case = Case {
+        index: 0,
+        seed: 13, // fixes the stitch kill step
+        catalog: case_catalog(),
+        constraint,
+        transitions: ts,
+    };
+    if let Some(d) = check_case(&case, &Mode::ALL) {
+        panic!("boundary divergence on `{}`:\n{d}", case.constraint);
+    }
+}
+
+proptest! {
+    /// a == 0, a == b, bound == horizon, and gaps landing exactly on the
+    /// bound and one past it: every realization agrees byte-for-byte.
+    #[test]
+    fn window_boundaries_agree_across_all_backends(
+        template in 0..TEMPLATES.len(),
+        shape_i in 0usize..5,
+        shape_j in 0usize..5,
+        b in 1u64..4,
+        steps in proptest::collection::vec(
+            (0usize..4, proptest::collection::vec((0u8..2, any::<bool>(), 0i64..2), 0..3)),
+            1..10,
+        ),
+    ) {
+        let c = boundary_constraint(template, shape_i, shape_j, b);
+        // The history's gap palette is tied to this constraint's own
+        // bound, so gaps hit b and b+1 exactly.
+        assert_all_agree(c, history(b, &steps));
+    }
+
+    /// Single-state histories: the degenerate case where no previous
+    /// state exists for prev/once/hist/since to look back into.
+    #[test]
+    fn single_state_histories_agree(
+        template in 0..TEMPLATES.len(),
+        shape_i in 0usize..5,
+        shape_j in 0usize..5,
+        b in 1u64..4,
+        start in 0u64..3,
+        fill in proptest::collection::vec((0u8..2, 0i64..2), 0..3),
+    ) {
+        let c = boundary_constraint(template, shape_i, shape_j, b);
+        let mut u = Update::new();
+        for (rel, x) in fill {
+            u.insert(if rel == 0 { "r0" } else { "r1" }, tuple![x]);
+        }
+        assert_all_agree(c, vec![Transition::new(start, u)]);
+    }
+
+    /// Maximal clock gaps: every transition far beyond any window, so all
+    /// bounded lookback expires between every pair of states.
+    #[test]
+    fn maximal_gap_histories_agree(
+        template in 0..TEMPLATES.len(),
+        shape_i in 0usize..5,
+        shape_j in 0usize..5,
+        b in 1u64..4,
+        n in 1usize..6,
+        x in 0i64..2,
+    ) {
+        let c = boundary_constraint(template, shape_i, shape_j, b);
+        let ts: Vec<Transition> = (0..n)
+            .map(|k| {
+                let mut u = Update::new();
+                u.insert(if k % 2 == 0 { "r1" } else { "r0" }, tuple![x]);
+                Transition::new(k as u64 * 1_000_000, u)
+            })
+            .collect();
+        assert_all_agree(c, ts);
+    }
+}

@@ -24,7 +24,7 @@ use std::time::Duration;
 
 use rtic_active::ActiveChecker;
 use rtic_core::observe;
-use rtic_core::{checkpoint, explain, Checker, CompiledConstraint, EncodingOptions};
+use rtic_core::{checkpoint, explain, BackendId, Checker, CompiledConstraint, EncodingOptions};
 use rtic_core::{ConstraintSet, IncrementalChecker, NaiveChecker, Parallelism, WindowedChecker};
 use rtic_core::{StepEvent, StepObserver};
 use rtic_history::log::{format_log, LogErrorKind, LogReader};
@@ -143,7 +143,7 @@ enum CheckEngine {
 fn build_checkers(
     file: &ConstraintFile,
     catalog: &Arc<Catalog>,
-    checker_name: &str,
+    backend: BackendId,
     show_explain: bool,
     resume_path: Option<&str>,
     resume_sections: &[String],
@@ -158,8 +158,8 @@ fn build_checkers(
         if show_explain {
             let _ = writeln!(out, "{}", explain::explain(&compiled));
         }
-        checkers.push(match checker_name {
-            "incremental" => {
+        checkers.push(match backend {
+            BackendId::Incremental => {
                 let section = resume_sections
                     .iter()
                     .find(|s| s.lines().any(|l| l == format!("constraint {}", c.name)));
@@ -192,10 +192,9 @@ fn build_checkers(
                     )),
                 }
             }
-            "naive" => Box::new(NaiveChecker::from_compiled(compiled)),
-            "windowed" => Box::new(WindowedChecker::from_compiled(compiled)),
-            "active" => Box::new(ActiveChecker::from_compiled(compiled)),
-            other => return Err(format!("unknown checker `{other}`")),
+            BackendId::Naive => Box::new(NaiveChecker::from_compiled(compiled)),
+            BackendId::Windowed => Box::new(WindowedChecker::from_compiled(compiled)),
+            BackendId::Active => Box::new(ActiveChecker::from_compiled(compiled)),
         });
     }
     Ok(checkers)
@@ -209,10 +208,12 @@ fn check(args: &[String], out: &mut String) -> Result<i32, String> {
     let quiet = args.iter().any(|a| a == "--quiet");
     let stats = args.iter().any(|a| a == "--stats");
     let show_explain = args.iter().any(|a| a == "--explain");
-    let checker_name = flag_value(args, "--checker").unwrap_or("incremental");
+    let backend: BackendId = flag_value(args, "--checker")
+        .unwrap_or("incremental")
+        .parse()?;
     let checkpoint_path = flag_value(args, "--checkpoint");
     let resume_path = flag_value(args, "--resume");
-    if (checkpoint_path.is_some() || resume_path.is_some()) && checker_name != "incremental" {
+    if (checkpoint_path.is_some() || resume_path.is_some()) && backend != BackendId::Incremental {
         return Err("--checkpoint/--resume require the incremental checker".into());
     }
     let parallelism = match flag_value(args, "--parallel") {
@@ -228,7 +229,7 @@ fn check(args: &[String], out: &mut String) -> Result<i32, String> {
             Some(Parallelism::N(n))
         }
     };
-    if parallelism.is_some() && checker_name != "incremental" {
+    if parallelism.is_some() && backend != BackendId::Incremental {
         return Err("--parallel requires the incremental checker".into());
     }
     let checkpoint_keep: usize = flag_value(args, "--checkpoint-keep")
@@ -387,7 +388,7 @@ fn check(args: &[String], out: &mut String) -> Result<i32, String> {
         CheckEngine::Independent(build_checkers(
             &file,
             &catalog,
-            checker_name,
+            backend,
             show_explain,
             resume_path,
             &resume_sections,
@@ -582,7 +583,7 @@ fn check(args: &[String], out: &mut String) -> Result<i32, String> {
         "checked {} transitions against {} constraint(s) [{}]: {} violation witness(es) over {} state(s)",
         transitions,
         n_constraints,
-        checker_name,
+        backend,
         total_violations,
         violated_states,
     );

@@ -430,6 +430,77 @@ deny reconfirm: confirmed(p, f) && once[1,*] confirmed(p, f)
     }
 }
 
+/// Composition of the two recovery mechanisms: a fleet that quarantines a
+/// panicking engine, checkpoints (which excludes the quarantined engine),
+/// and is then restored with the survivors must finish the log with
+/// exactly the uninterrupted healthy run's reports minus the quarantined
+/// constraint's from its panic step onward.
+#[test]
+fn quarantine_then_resume_matches_uninterrupted_minus_quarantined() {
+    use rtic::core::checkpoint::{restore_set, save_set};
+    use rtic::core::ConstraintSet;
+    use rtic::temporal::parser::parse_file;
+    use std::sync::Arc;
+
+    let file = parse_file(CONSTRAINTS).unwrap();
+    let catalog = Arc::new(file.catalog);
+    let transitions = rtic::history::log::parse_log(LOG).unwrap();
+
+    // Uninterrupted healthy fleet, keeping (step index, constraint, line).
+    let mut healthy = ConstraintSet::new(file.constraints.clone(), Arc::clone(&catalog))
+        .unwrap_or_else(|(c, e)| panic!("`{}` fails to compile: {e}", c.name));
+    let mut healthy_lines = Vec::new();
+    for (k, t) in transitions.iter().enumerate() {
+        for r in healthy.step(t.time, &t.update).unwrap() {
+            healthy_lines.push((k, r.constraint, r.to_string()));
+        }
+    }
+
+    // Faulted fleet: `unconfirmed` panics while processing the second
+    // transition and is quarantined; the fleet runs degraded until a
+    // mid-stream checkpoint, then a fresh process restores the survivors
+    // and finishes the log.
+    let panic_step = 2; // 1-based transition number of the injected panic
+    let kill = 6; // transitions processed before the checkpoint
+    let mut set = ConstraintSet::new(file.constraints.clone(), Arc::clone(&catalog))
+        .unwrap_or_else(|(c, e)| panic!("`{}` fails to compile: {e}", c.name));
+    assert!(set.arm_panic("unconfirmed", panic_step as u64));
+    let mut stitched = Vec::new();
+    for t in &transitions[..kill] {
+        for r in set.step(t.time, &t.update).unwrap() {
+            stitched.push(r.to_string());
+        }
+    }
+    let quarantined = set.quarantined();
+    assert_eq!(quarantined.len(), 1, "{quarantined:?}");
+    assert_eq!(quarantined[0].0.as_str(), "unconfirmed");
+    assert!(quarantined[0].1.contains("injected engine panic"));
+
+    let sections: Vec<String> = save_set(&set).into_iter().map(|(_, s)| s).collect();
+    assert_eq!(sections.len(), 1, "the quarantined engine is excluded");
+    drop(set);
+
+    let survivors: Vec<_> = file
+        .constraints
+        .iter()
+        .filter(|c| c.name.as_str() != "unconfirmed")
+        .cloned()
+        .collect();
+    let mut resumed = restore_set(survivors, Arc::clone(&catalog), &sections).unwrap();
+    for t in &transitions[kill..] {
+        for r in resumed.step(t.time, &t.update).unwrap() {
+            stitched.push(r.to_string());
+        }
+    }
+
+    let expected: Vec<String> = healthy_lines
+        .into_iter()
+        .filter(|(k, name, _)| name.as_str() != "unconfirmed" || *k + 1 < panic_step)
+        .map(|(_, _, line)| line)
+        .collect();
+    assert_eq!(stitched, expected);
+}
+
 #[test]
 fn periodic_checkpoints_rotate_generations() {
     let c = temp_file("rot.rtic", CONSTRAINTS);

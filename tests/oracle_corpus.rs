@@ -1,0 +1,61 @@
+//! Corpus replay: every checked-in repro file in `tests/corpus/` — golden
+//! workload cases and any minimized counterexamples the oracle has
+//! emitted — must replay cleanly (byte-identical reports) on every
+//! backend. A divergence here means a previously-fixed bug regressed or a
+//! golden scenario broke.
+
+use std::path::PathBuf;
+
+use rtic_oracle::{Mode, Repro};
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+fn corpus_files() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
+        .expect("tests/corpus exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "repro"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn corpus_is_nonempty() {
+    assert!(
+        !corpus_files().is_empty(),
+        "tests/corpus should hold the golden workload repros \
+         (regenerate with `cargo run -p rtic-oracle -- --write-workload-corpus`)"
+    );
+}
+
+#[test]
+fn every_corpus_repro_replays_cleanly_on_all_backends() {
+    for path in corpus_files() {
+        let text = std::fs::read_to_string(&path).expect("corpus file readable");
+        let repro = Repro::from_text(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        if let Some(d) = repro.replay(&Mode::ALL) {
+            panic!("{} diverges on replay:\n{d}", path.display());
+        }
+    }
+}
+
+#[test]
+fn golden_corpus_files_match_their_generators() {
+    // The checked-in golden files must stay in sync with the workload
+    // generators; if a generator changes, regenerate with
+    // `cargo run -p rtic-oracle -- --write-workload-corpus`.
+    for (stem, repro) in rtic_oracle::corpus::golden() {
+        let path = corpus_dir().join(format!("{stem}.repro"));
+        let on_disk = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{} missing: {e}", path.display()));
+        assert_eq!(
+            on_disk,
+            repro.to_text(),
+            "{} is stale — regenerate the golden corpus",
+            path.display()
+        );
+    }
+}
