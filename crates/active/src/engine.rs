@@ -28,8 +28,11 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use rtic_core::eval::{eval, Oracle};
-use rtic_core::{Bindings, Checker, CompileError, CompiledConstraint, SpaceStats, StepReport};
+use rtic_core::eval::Oracle;
+use rtic_core::{
+    Bindings, Checker, CompileError, CompiledConstraint, NodePlans, Plan, Scratch, SpaceStats,
+    StepReport,
+};
 use rtic_history::HistoryError;
 use rtic_relation::{
     Attribute, Catalog, Database, Relation, Schema, Sort, Symbol, Tuple, Update, Value,
@@ -76,6 +79,7 @@ pub struct ActiveChecker {
     db: Database,
     nodes: Vec<NodeTables>,
     last_time: Option<TimePoint>,
+    scratch: Scratch,
 }
 
 impl ActiveChecker {
@@ -179,6 +183,16 @@ impl ActiveChecker {
             db,
             nodes,
             last_time: None,
+            scratch: Scratch::new(),
+        }
+    }
+
+    /// The planned operand of a `prev`/`once`/`hist` node (the anchor
+    /// operand for `since`).
+    fn operand_plan(&self, idx: usize) -> &Plan {
+        match &self.compiled.plans.node_ops[idx] {
+            NodePlans::Operand(p) => p,
+            NodePlans::Since { g, .. } => g,
         }
     }
 
@@ -253,19 +267,20 @@ impl ActiveChecker {
             .expect("schema (t: int)");
     }
 
-    fn fire_maintenance(&mut self, idx: usize, t_now: TimePoint) {
+    fn fire_maintenance(&mut self, idx: usize, t_now: TimePoint, scratch: &mut Scratch) {
         let tables = self.nodes[idx].clone();
         let node = self.compiled.nodes[idx].clone();
         let arity = tables.vars.len();
         match (&tables.kind, &node) {
-            (Kind::Once, Formula::Once(_, g)) => {
+            (Kind::Once, Formula::Once(..)) => {
                 let sat_now = {
                     let oracle = self.oracle(t_now);
-                    eval(g, &self.db, &oracle, &Bindings::unit())
+                    self.operand_plan(idx)
+                        .execute(&self.db, &oracle, &Bindings::unit(), scratch)
                 };
                 self.maintain_window(&tables, &sat_now, t_now, /*clear_keys=*/ None);
             }
-            (Kind::Since, Formula::Since(_, f, g)) => {
+            (Kind::Since, Formula::Since(..)) => {
                 let (survivors, anchors) = {
                     let keys = Bindings::from_rows(
                         tables.vars.clone(),
@@ -274,13 +289,19 @@ impl ActiveChecker {
                             .map(|r| r.project(&(0..arity).collect::<Vec<_>>())),
                     );
                     let oracle = self.oracle(t_now);
-                    let survivors = eval(f, &self.db, &oracle, &keys).project(&tables.vars);
-                    let anchors = eval(g, &self.db, &oracle, &Bindings::unit());
+                    let NodePlans::Since { f: fp, g: gp } = &self.compiled.plans.node_ops[idx]
+                    else {
+                        unreachable!("since node without a since plan")
+                    };
+                    let survivors = fp
+                        .execute(&self.db, &oracle, &keys, scratch)
+                        .project(&tables.vars);
+                    let anchors = gp.execute(&self.db, &oracle, &Bindings::unit(), scratch);
                     (survivors, anchors)
                 };
                 self.maintain_window(&tables, &anchors, t_now, Some(&survivors));
             }
-            (Kind::Prev, Formula::Prev(iv, g)) => {
+            (Kind::Prev, Formula::Prev(iv, _)) => {
                 // Refresh ext from the stored previous-state rows, gated on age.
                 let admissible = self
                     .read_time(tables.meta)
@@ -292,7 +313,8 @@ impl ActiveChecker {
                 };
                 let sat_now = {
                     let oracle = self.oracle(t_now);
-                    eval(g, &self.db, &oracle, &Bindings::unit())
+                    self.operand_plan(idx)
+                        .execute(&self.db, &oracle, &Bindings::unit(), scratch)
                 };
                 let ext = self.db.relation_mut(tables.ext).expect("catalogued");
                 ext.clear();
@@ -306,12 +328,13 @@ impl ActiveChecker {
                 }
                 self.write_time(tables.meta, t_now);
             }
-            (Kind::HistFinite, Formula::Hist(iv, g)) => {
+            (Kind::HistFinite, Formula::Hist(iv, _)) => {
                 let bound = iv.hi().finite().expect("finite hist");
                 let prev_time = self.last_time;
                 let sat_now = {
                     let oracle = self.oracle(t_now);
-                    eval(g, &self.db, &oracle, &Bindings::unit())
+                    self.operand_plan(idx)
+                        .execute(&self.db, &oracle, &Bindings::unit(), scratch)
                 };
                 let cutoff = t_now.minus(bound).unwrap_or(TimePoint(0));
                 // Extend or open runs.
@@ -369,10 +392,11 @@ impl ActiveChecker {
                     .expect("(t: int)");
                 times.retain(|r| value_time(r[0]) >= cutoff);
             }
-            (Kind::HistInf, Formula::Hist(iv, g)) => {
+            (Kind::HistInf, Formula::Hist(iv, _)) => {
                 let sat_now = {
                     let oracle = self.oracle(t_now);
-                    eval(g, &self.db, &oracle, &Bindings::unit())
+                    self.operand_plan(idx)
+                        .execute(&self.db, &oracle, &Bindings::unit(), scratch)
                 };
                 let started = !self.rel(tables.meta).is_empty();
                 let prev_time = self.last_time;
@@ -533,13 +557,18 @@ impl Checker for ActiveChecker {
             }
         }
         self.db.apply(update)?;
+        let mut scratch = std::mem::take(&mut self.scratch);
         for idx in 0..self.nodes.len() {
-            self.fire_maintenance(idx, time);
+            self.fire_maintenance(idx, time, &mut scratch);
         }
         let violations = {
             let oracle = self.oracle(time);
-            eval(&self.compiled.body, &self.db, &oracle, &Bindings::unit())
+            self.compiled
+                .plans
+                .body
+                .execute(&self.db, &oracle, &Bindings::unit(), &mut scratch)
         };
+        self.scratch = scratch;
         self.last_time = Some(time);
         Ok(StepReport {
             constraint: self.compiled.constraint.name,
@@ -581,6 +610,13 @@ impl Checker for ActiveChecker {
 
     fn name(&self) -> &'static str {
         "active"
+    }
+
+    fn plan_stats(&self) -> Option<rtic_core::RuntimePlanStats> {
+        Some(rtic_core::RuntimePlanStats {
+            plan: self.compiled.plans.stats(),
+            scratch_high_water: self.scratch.high_water(),
+        })
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

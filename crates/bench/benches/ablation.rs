@@ -40,6 +40,7 @@ fn bench(c: &mut Criterion) {
                         Arc::clone(&g.catalog),
                         EncodingOptions {
                             disable_stamp_specialization: true,
+                            ..Default::default()
                         },
                     )
                     .unwrap();

@@ -91,6 +91,22 @@ fn inc(c: &Constraint, g: &Generated) -> IncrementalChecker {
     IncrementalChecker::new(c.clone(), Arc::clone(&g.catalog)).expect("compiles")
 }
 
+/// The incremental encoding with the compiled-plan executor switched off:
+/// same maintenance, but every per-step evaluation re-walks the formula
+/// tree. The planned-vs-interpreted columns in F1/T8 isolate what the
+/// plan layer buys on top of the encoding itself.
+fn inc_interp(c: &Constraint, g: &Generated) -> IncrementalChecker {
+    IncrementalChecker::with_options(
+        c.clone(),
+        Arc::clone(&g.catalog),
+        EncodingOptions {
+            interpret_eval: true,
+            ..EncodingOptions::default()
+        },
+    )
+    .expect("compiles")
+}
+
 fn win(c: &Constraint, g: &Generated) -> WindowedChecker {
     WindowedChecker::new(c.clone(), Arc::clone(&g.catalog)).expect("compiles")
 }
@@ -154,11 +170,13 @@ pub fn f1_step_latency(scale: &Scale) -> Table {
             "inc (bounded)",
             "naive (bounded)",
             "inc (unbounded)",
+            "inc interp (unbounded)",
             "naive (unbounded)",
         ],
     );
     t.note("claim: encoding step time does not grow with history length;");
-    t.note("naive re-evaluation over the full history does (visible on the unbounded constraint)");
+    t.note("naive re-evaluation over the full history does (visible on the unbounded constraint);");
+    t.note("'inc interp' disables the compiled-plan executor — the gap to 'inc' is the plan layer");
     let unbounded = motivating_constraint();
     for &n in &scale.history_lengths {
         let g = reservations_at(n);
@@ -166,6 +184,8 @@ pub fn f1_step_latency(scale: &Scale) -> Table {
         let mib = run_instrumented(&mut inc(bounded, &g), &g.transitions, 0);
         let mnb = run_instrumented(&mut nai(bounded, &g), &g.transitions, 0);
         let miu = run_instrumented(&mut inc(&unbounded, &g), &g.transitions, 0);
+        let mii = run_instrumented(&mut inc_interp(&unbounded, &g), &g.transitions, 0);
+        assert_eq!(miu.violations, mii.violations, "executors must agree");
         let mnu = if n <= scale.naive_cap {
             Some(run_instrumented(
                 &mut nai(&unbounded, &g),
@@ -180,6 +200,7 @@ pub fn f1_step_latency(scale: &Scale) -> Table {
             fmt_micros(mib.tail_step_us),
             fmt_micros(mnb.tail_step_us),
             fmt_micros(miu.tail_step_us),
+            fmt_micros(mii.tail_step_us),
             mnu.map_or("—".into(), |m| fmt_micros(m.tail_step_us)),
         ]);
     }
@@ -490,6 +511,7 @@ pub fn t6_ablation(scale: &Scale) -> Table {
             Arc::clone(&g.catalog),
             EncodingOptions {
                 disable_stamp_specialization: true,
+                ..Default::default()
             },
         )
         .expect("generated constraint compiles");
@@ -638,6 +660,7 @@ pub fn t8_constraint_scaling(scale: &Scale) -> Table {
             "constraints",
             "affected/step",
             "independent",
+            "independent (interp)",
             "set (dispatch)",
             "set (4 workers)",
             "absorbed",
@@ -646,7 +669,8 @@ pub fn t8_constraint_scaling(scale: &Scale) -> Table {
     t.note("claim: with a fixed number of affected constraints per step, relevance");
     t.note("dispatch absorbs the quiescent rest, so set step latency grows sub-linearly");
     t.note("in fleet size while n independent checkers pay full price for every one;");
-    t.note("workers only pay off once per-constraint evaluation outweighs fan-out cost");
+    t.note("workers only pay off once per-constraint evaluation outweighs fan-out cost;");
+    t.note("'independent (interp)' runs the same checkers without compiled plans");
     let steps = scale.run_length;
     for &n in &scale.fleet_sizes {
         let mut fractions = vec![1usize, (n / 4).max(1)];
@@ -673,6 +697,31 @@ pub fn t8_constraint_scaling(scale: &Scale) -> Table {
             }
             let independent = start.elapsed();
 
+            // Same fleet, interpreted executor: isolates the plan layer's
+            // contribution at fleet scale.
+            let mut interp_singles: Vec<IncrementalChecker> = constraints
+                .iter()
+                .map(|c| {
+                    IncrementalChecker::with_options(
+                        c.clone(),
+                        Arc::clone(&cat),
+                        EncodingOptions {
+                            interpret_eval: true,
+                            ..EncodingOptions::default()
+                        },
+                    )
+                    .expect("generated constraint compiles")
+                })
+                .collect();
+            let start = Instant::now();
+            for tr in &stream {
+                for s in &mut interp_singles {
+                    s.step(tr.time, &tr.update)
+                        .expect("generated stream is monotone");
+                }
+            }
+            let independent_interp = start.elapsed();
+
             let run_set = |par: Parallelism| {
                 let mut set = ConstraintSet::new(constraints.iter().cloned(), Arc::clone(&cat))
                     .map_err(|(_, e)| e)
@@ -694,6 +743,7 @@ pub fn t8_constraint_scaling(scale: &Scale) -> Table {
                 n.to_string(),
                 affected.to_string(),
                 fmt_micros(per_step(independent)),
+                fmt_micros(per_step(independent_interp)),
                 fmt_micros(per_step(seq)),
                 fmt_micros(per_step(par4)),
                 format!("{absorbed:.0}%"),

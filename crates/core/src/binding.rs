@@ -5,29 +5,232 @@
 //! list. Keeping columns sorted by variable makes every operation's output
 //! schema deterministic and lets disjunction branches and aux-relation
 //! extensions union without reordering logic at call sites.
+//!
+//! Rows live in a hash set: steady-state stepping never pays for ordering.
+//! Only output boundaries — reports, checkpoints, [`Display`](fmt::Display)
+//! — sort, via [`Bindings::sorted_rows`], so everything the system prints
+//! or persists stays byte-identical to the ordered representation.
+//!
+//! The join kernels come in two forms: the classic methods
+//! ([`Bindings::natural_join`], [`Bindings::join_atom`]) that derive their
+//! column maps per call, and `*_shaped` variants that accept a precomputed
+//! [`JoinShape`]/[`AtomShape`] plus a reusable [`Scratch`] buffer — the
+//! execution path for compiled plans (see [`crate::plan`]), which computes
+//! shapes once at constraint-compile time.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 use rtic_relation::{Relation, Tuple, Value};
 use rtic_temporal::ast::{Term, Var};
 
 /// A finite set of assignments over a sorted variable list.
+///
+/// The row set is behind an `Arc`: every relational operation builds a
+/// fresh set, so sharing is safe, and it makes cloning — in particular
+/// replaying a memoized plan result on a quiescent step — a refcount bump
+/// instead of an O(rows) rehash.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Bindings {
     vars: Vec<Var>,
-    rows: BTreeSet<Tuple>,
+    rows: std::sync::Arc<HashSet<Tuple>>,
+}
+
+/// Reusable executor scratch: the probe-key buffer join kernels fill once
+/// per input row, plus a memo of database-pure plan-node results keyed by
+/// the database's cache stamp. Threading one `Scratch` through a whole run
+/// means steady-state stepping reuses a single key allocation instead of
+/// building a fresh `Vec` on every probe, and quiescent steps replay
+/// memoized relation scans instead of re-hashing every tuple.
+#[derive(Clone, Debug, Default)]
+pub struct Scratch {
+    key: Vec<Value>,
+    high_water: usize,
+    ext_cache: HashMap<usize, ((u64, u64), Bindings)>,
+}
+
+impl Scratch {
+    /// Fresh scratch with empty buffers.
+    pub fn new() -> Scratch {
+        Scratch::default()
+    }
+
+    /// Widest probe key the buffer has ever held (plan statistics).
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// The memoized result for a cache slot, if it was produced against a
+    /// database with this exact stamp.
+    pub(crate) fn cached_ext(&self, slot: usize, stamp: (u64, u64)) -> Option<&Bindings> {
+        match self.ext_cache.get(&slot) {
+            Some((s, rows)) if *s == stamp => Some(rows),
+            _ => None,
+        }
+    }
+
+    /// Memoizes a cache slot's result for the given database stamp,
+    /// replacing any earlier generation.
+    pub(crate) fn store_ext(&mut self, slot: usize, stamp: (u64, u64), rows: Bindings) {
+        self.ext_cache.insert(slot, (stamp, rows));
+    }
+
+    fn note_width(&mut self, width: usize) {
+        self.high_water = self.high_water.max(width);
+    }
+}
+
+/// Column source for an output column of a natural join.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Src {
+    /// Copy from the left row at this position.
+    Left(usize),
+    /// Copy from the right row at this position.
+    Right(usize),
+}
+
+/// Precomputed column maps for a natural join between two known schemas.
+///
+/// Computable from the variable lists alone, so a compiled plan derives it
+/// once; the per-step kernel then only moves values.
+#[derive(Clone, Debug)]
+pub(crate) struct JoinShape {
+    /// Output variables (sorted merge of both sides).
+    pub(crate) vars: Vec<Var>,
+    /// Left-side positions of the shared (join-key) variables.
+    pub(crate) lpos: Vec<usize>,
+    /// Right-side positions of the shared variables, aligned with `lpos`.
+    pub(crate) rpos: Vec<usize>,
+    /// Source of each output column.
+    pub(crate) srcs: Vec<Src>,
+}
+
+impl JoinShape {
+    /// Derives the join shape for `left ⋈ right` (both sorted var lists).
+    pub(crate) fn compute(left: &[Var], right: &[Var]) -> JoinShape {
+        let mut lpos: Vec<usize> = Vec::new();
+        let mut rpos: Vec<usize> = Vec::new();
+        let mut is_key = vec![false; right.len()];
+        for (i, v) in left.iter().enumerate() {
+            if let Ok(j) = right.binary_search(v) {
+                lpos.push(i);
+                rpos.push(j);
+                is_key[j] = true;
+            }
+        }
+        // Output variables: left's plus the right's new ones, merged sorted.
+        let mut vars = left.to_vec();
+        for (j, v) in right.iter().enumerate() {
+            if !is_key[j] {
+                let at = vars.partition_point(|&u| u < *v);
+                vars.insert(at, *v);
+            }
+        }
+        let srcs: Vec<Src> = vars
+            .iter()
+            .map(|v| match left.binary_search(v) {
+                Ok(i) => Src::Left(i),
+                // Output vars are the left's plus the right's new ones, so a
+                // var absent on the left must come from the right.
+                Err(_) => Src::Right(
+                    right
+                        .binary_search(v)
+                        .expect("output variable bound by one side"),
+                ),
+            })
+            .collect();
+        JoinShape {
+            vars,
+            lpos,
+            rpos,
+            srcs,
+        }
+    }
+}
+
+/// Precomputed classification of an atom's term pattern against a known
+/// input schema: which positions are constants, which are already bound,
+/// which introduce new variables, and the relation-index key shape.
+#[derive(Clone, Debug)]
+pub(crate) struct AtomShape {
+    /// Output variables (input's plus the pattern's new ones, sorted).
+    pub(crate) vars: Vec<Var>,
+    /// Constant pattern positions and their required values.
+    pub(crate) const_checks: Vec<(usize, Value)>,
+    /// (atom position, input column) pairs for already-bound variables.
+    pub(crate) bound_positions: Vec<(usize, usize)>,
+    /// New variables with all atom positions they occupy.
+    pub(crate) new_vars: Vec<(Var, Vec<usize>)>,
+    /// Relation index key: constant positions then bound positions.
+    pub(crate) index_cols: Vec<usize>,
+    /// Whether any new variable repeats (needs a self-consistency check).
+    pub(crate) has_repeats: bool,
+    /// Source of each output column: `Ok(input col)` or `Err(new-var idx)`.
+    pub(crate) src: Vec<Result<usize, usize>>,
+}
+
+impl AtomShape {
+    /// Classifies `terms` against a sorted input variable list.
+    pub(crate) fn compute(input_vars: &[Var], terms: &[Term]) -> AtomShape {
+        let mut const_checks: Vec<(usize, Value)> = Vec::new();
+        let mut bound_positions: Vec<(usize, usize)> = Vec::new();
+        let mut new_vars: Vec<(Var, Vec<usize>)> = Vec::new();
+        for (i, t) in terms.iter().enumerate() {
+            match t {
+                Term::Const(c) => const_checks.push((i, *c)),
+                Term::Var(v) => match input_vars.binary_search(v) {
+                    Ok(col) => bound_positions.push((i, col)),
+                    Err(_) => match new_vars.iter_mut().find(|(u, _)| u == v) {
+                        Some((_, ps)) => ps.push(i),
+                        None => new_vars.push((*v, vec![i])),
+                    },
+                },
+            }
+        }
+        let index_cols: Vec<usize> = const_checks
+            .iter()
+            .map(|&(i, _)| i)
+            .chain(bound_positions.iter().map(|&(i, _)| i))
+            .collect();
+        let has_repeats = new_vars.iter().any(|(_, ps)| ps.len() > 1);
+        let mut vars = input_vars.to_vec();
+        for (v, _) in &new_vars {
+            let at = vars.partition_point(|&u| u < *v);
+            vars.insert(at, *v);
+        }
+        let src: Vec<Result<usize, usize>> = vars
+            .iter()
+            .map(|v| match input_vars.binary_search(v) {
+                Ok(i) => Ok(i),
+                // Output vars are the input's plus the pattern's new ones,
+                // so a var absent from the input came from the atom.
+                Err(_) => Err(new_vars
+                    .iter()
+                    .position(|(u, _)| u == v)
+                    .expect("new output column introduced by the atom pattern")),
+            })
+            .collect();
+        AtomShape {
+            vars,
+            const_checks,
+            bound_positions,
+            new_vars,
+            index_cols,
+            has_repeats,
+            src,
+        }
+    }
 }
 
 impl Bindings {
     /// The unit: no variables, one (empty) row. Identity for joins;
     /// represents "true".
     pub fn unit() -> Bindings {
-        let mut rows = BTreeSet::new();
+        let mut rows = HashSet::with_capacity(1);
         rows.insert(Tuple::empty());
         Bindings {
             vars: Vec::new(),
-            rows,
+            rows: std::sync::Arc::new(rows),
         }
     }
 
@@ -38,7 +241,7 @@ impl Bindings {
         vars.dedup();
         Bindings {
             vars,
-            rows: BTreeSet::new(),
+            rows: std::sync::Arc::new(HashSet::new()),
         }
     }
 
@@ -55,7 +258,7 @@ impl Bindings {
             sorted_vars.windows(2).all(|w| w[0] != w[1]),
             "duplicate variable in Bindings::from_rows"
         );
-        let rows = rows
+        let rows: HashSet<Tuple> = rows
             .into_iter()
             .map(|t| {
                 assert_eq!(t.arity(), vars.len(), "row arity mismatch");
@@ -64,7 +267,7 @@ impl Bindings {
             .collect();
         Bindings {
             vars: sorted_vars,
-            rows,
+            rows: std::sync::Arc::new(rows),
         }
     }
 
@@ -83,14 +286,32 @@ impl Bindings {
         self.rows.is_empty()
     }
 
-    /// Iterates rows in deterministic order.
+    /// Iterates rows in arbitrary order. Use [`Bindings::sorted_rows`] at
+    /// output boundaries that need byte-stable ordering.
     pub fn rows(&self) -> impl Iterator<Item = &Tuple> {
         self.rows.iter()
+    }
+
+    /// Rows in sorted (lexicographic) order. This is the boundary API:
+    /// reports, checkpoints and `Display` sort here — exactly once, at the
+    /// edge — so the hash-set interior never leaks nondeterminism into
+    /// anything printed or persisted.
+    pub fn sorted_rows(&self) -> Vec<&Tuple> {
+        let mut rows: Vec<&Tuple> = self.rows.iter().collect();
+        rows.sort_unstable();
+        rows
     }
 
     /// Membership test for a row in this binding set's column order.
     pub fn contains(&self, row: &Tuple) -> bool {
         self.rows.contains(row)
+    }
+
+    /// Whether both binding sets share the same row storage (pointer
+    /// equality) — a cheap sufficient test for equal contents, used by
+    /// maintenance fast paths on memoized extensions.
+    pub(crate) fn same_rows(&self, other: &Bindings) -> bool {
+        std::sync::Arc::ptr_eq(&self.rows, &other.rows)
     }
 
     /// Position of `v` in the column order.
@@ -120,7 +341,7 @@ impl Bindings {
     pub fn filter(&self, mut pred: impl FnMut(&Tuple) -> bool) -> Bindings {
         Bindings {
             vars: self.vars.clone(),
-            rows: self.rows.iter().filter(|r| pred(r)).cloned().collect(),
+            rows: std::sync::Arc::new(self.rows.iter().filter(|r| pred(r)).cloned().collect()),
         }
     }
 
@@ -129,7 +350,7 @@ impl Bindings {
         assert_eq!(self.vars, other.vars, "union over different variable sets");
         Bindings {
             vars: self.vars.clone(),
-            rows: self.rows.union(&other.rows).cloned().collect(),
+            rows: std::sync::Arc::new(self.rows.union(&other.rows).cloned().collect()),
         }
     }
 
@@ -137,7 +358,7 @@ impl Bindings {
     /// in accumulation loops — repeated [`Bindings::union`] is quadratic.
     pub fn union_in_place(&mut self, other: &Bindings) {
         assert_eq!(self.vars, other.vars, "union over different variable sets");
-        self.rows.extend(other.rows.iter().cloned());
+        std::sync::Arc::make_mut(&mut self.rows).extend(other.rows.iter().cloned());
     }
 
     /// Projection onto `keep` (must be a subset of the variables);
@@ -152,40 +373,26 @@ impl Bindings {
             .collect();
         Bindings {
             vars: keep,
-            rows: self.rows.iter().map(|r| r.project(&positions)).collect(),
+            rows: std::sync::Arc::new(self.rows.iter().map(|r| r.project(&positions)).collect()),
         }
     }
 
     /// Drops the variables in `remove` (projection onto the complement).
     pub fn project_away(&self, remove: &[Var]) -> Bindings {
+        let mut remove: Vec<Var> = remove.to_vec();
+        remove.sort_unstable();
         let keep: Vec<Var> = self
             .vars
             .iter()
             .copied()
-            .filter(|v| !remove.contains(v))
+            .filter(|v| remove.binary_search(v).is_err())
             .collect();
         self.project(&keep)
     }
 
     /// Extends every row with `v = value`. `v` must be new.
     pub fn extend_const(&self, v: Var, value: Value) -> Bindings {
-        assert!(
-            self.position(v).is_none(),
-            "extend_const: variable already bound"
-        );
-        let mut vars = self.vars.clone();
-        let insert_at = vars.partition_point(|&u| u < v);
-        vars.insert(insert_at, v);
-        let rows = self
-            .rows
-            .iter()
-            .map(|r| {
-                let mut vals: Vec<Value> = r.values().to_vec();
-                vals.insert(insert_at, value);
-                Tuple::new(vals)
-            })
-            .collect();
-        Bindings { vars, rows }
+        self.extend_with(v, |_| value)
     }
 
     /// Extends every row with `v` bound to a row-dependent value. `v` must
@@ -198,7 +405,7 @@ impl Bindings {
         let mut vars = self.vars.clone();
         let insert_at = vars.partition_point(|&u| u < v);
         vars.insert(insert_at, v);
-        let rows = self
+        let rows: HashSet<Tuple> = self
             .rows
             .iter()
             .map(|r| {
@@ -207,63 +414,44 @@ impl Bindings {
                 Tuple::new(vals)
             })
             .collect();
-        Bindings { vars, rows }
+        Bindings {
+            vars,
+            rows: std::sync::Arc::new(rows),
+        }
     }
 
     /// Natural join on shared variables.
     pub fn natural_join(&self, other: &Bindings) -> Bindings {
-        // Each side's positions for the shared variables.
-        let mut lpos: Vec<usize> = Vec::new();
-        let mut rpos: Vec<usize> = Vec::new();
-        for (i, v) in self.vars.iter().enumerate() {
-            if let Some(j) = other.position(*v) {
-                lpos.push(i);
-                rpos.push(j);
-            }
-        }
-        let rnew: Vec<usize> = (0..other.vars.len())
-            .filter(|i| !rpos.contains(i))
-            .collect();
-        // Output variables: ours plus the other's new ones, merged sorted.
-        let mut vars = self.vars.clone();
-        for &i in &rnew {
-            let v = other.vars[i];
-            let at = vars.partition_point(|&u| u < v);
-            vars.insert(at, v);
-        }
-        // Column source map for output construction.
-        #[derive(Clone, Copy)]
-        enum Src {
-            Left(usize),
-            Right(usize),
-        }
-        let srcs: Vec<Src> = vars
-            .iter()
-            .map(|v| match self.position(*v) {
-                Some(i) => Src::Left(i),
-                // Output vars are ours plus the other side's new ones, so a
-                // var absent on the left must come from the right.
-                None => Src::Right(
-                    other
-                        .position(*v)
-                        .expect("output variable bound by one side"),
-                ),
-            })
-            .collect();
-        let mut table: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::new();
-        for r in &other.rows {
+        let shape = JoinShape::compute(&self.vars, &other.vars);
+        self.natural_join_shaped(other, &shape, &mut Scratch::new())
+    }
+
+    /// Natural join through a precomputed [`JoinShape`]. `shape` must have
+    /// been computed from exactly `(self.vars, other.vars)`.
+    pub(crate) fn natural_join_shaped(
+        &self,
+        other: &Bindings,
+        shape: &JoinShape,
+        scratch: &mut Scratch,
+    ) -> Bindings {
+        let mut table: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::with_capacity(other.rows.len());
+        for r in other.rows.iter() {
             table
-                .entry(rpos.iter().map(|&i| r[i]).collect())
+                .entry(shape.rpos.iter().map(|&i| r[i]).collect())
                 .or_default()
                 .push(r);
         }
-        let mut rows = BTreeSet::new();
-        for l in &self.rows {
-            let key: Vec<Value> = lpos.iter().map(|&i| l[i]).collect();
-            if let Some(matches) = table.get(&key) {
+        scratch.note_width(shape.lpos.len());
+        let mut rows = HashSet::new();
+        for l in self.rows.iter() {
+            scratch.key.clear();
+            scratch.key.extend(shape.lpos.iter().map(|&i| l[i]));
+            if let Some(matches) = table.get(&scratch.key) {
                 for r in matches {
                     rows.insert(
-                        srcs.iter()
+                        shape
+                            .srcs
+                            .iter()
                             .map(|s| match *s {
                                 Src::Left(i) => l[i],
                                 Src::Right(i) => r[i],
@@ -273,7 +461,10 @@ impl Bindings {
                 }
             }
         }
-        Bindings { vars, rows }
+        Bindings {
+            vars: shape.vars.clone(),
+            rows: std::sync::Arc::new(rows),
+        }
     }
 
     /// Anti-semijoin: rows of `self` whose projection onto `other`'s
@@ -306,86 +497,68 @@ impl Bindings {
     /// (and is self-consistent on repeated new variables), the output
     /// contains the row extended with the new variables' values.
     pub fn join_atom(&self, rel: &Relation, terms: &[Term]) -> Bindings {
-        // Classify pattern positions.
-        let mut const_checks: Vec<(usize, Value)> = Vec::new();
-        let mut bound_positions: Vec<(usize, usize)> = Vec::new(); // (atom pos, our col)
-        let mut new_vars: Vec<(Var, Vec<usize>)> = Vec::new(); // var -> atom positions
-        for (i, t) in terms.iter().enumerate() {
-            match t {
-                Term::Const(c) => const_checks.push((i, *c)),
-                Term::Var(v) => match self.position(*v) {
-                    Some(col) => bound_positions.push((i, col)),
-                    None => match new_vars.iter_mut().find(|(u, _)| u == v) {
-                        Some((_, ps)) => ps.push(i),
-                        None => new_vars.push((*v, vec![i])),
-                    },
-                },
-            }
-        }
+        let shape = AtomShape::compute(&self.vars, terms);
+        self.join_atom_shaped(rel, &shape, &mut Scratch::new())
+    }
+
+    /// Atom join through a precomputed [`AtomShape`]. `shape` must have
+    /// been computed from exactly `(self.vars, terms)`.
+    pub(crate) fn join_atom_shaped(
+        &self,
+        rel: &Relation,
+        shape: &AtomShape,
+        scratch: &mut Scratch,
+    ) -> Bindings {
         // Probe through the relation's cached index, keyed by the constant
         // positions followed by the bound-variable positions — the index is
         // built once per relation version and shared by every atom
         // evaluation with the same shape.
-        let index_cols: Vec<usize> = const_checks
-            .iter()
-            .map(|&(i, _)| i)
-            .chain(bound_positions.iter().map(|&(i, _)| i))
-            .collect();
-        let index = rel.index_on(&index_cols);
-        let has_repeats = new_vars.iter().any(|(_, ps)| ps.len() > 1);
-        // Output columns.
-        let mut vars = self.vars.clone();
-        for (v, _) in &new_vars {
-            let at = vars.partition_point(|&u| u < *v);
-            vars.insert(at, *v);
-        }
-        let src: Vec<Result<usize, usize>> = vars
-            .iter()
-            .map(|v| match self.position(*v) {
-                Some(i) => Ok(i),
-                // Output vars are ours plus the pattern's new ones, so a
-                // var absent from the input was introduced by the atom.
-                None => Err(new_vars
-                    .iter()
-                    .position(|(u, _)| u == v)
-                    .expect("new output column introduced by the atom pattern")),
-            })
-            .collect();
-        let mut rows = BTreeSet::new();
-        let mut key: Vec<Value> = Vec::with_capacity(const_checks.len() + bound_positions.len());
-        for l in &self.rows {
-            key.clear();
-            key.extend(const_checks.iter().map(|&(_, c)| c));
-            key.extend(bound_positions.iter().map(|&(_, col)| l[col]));
-            let Some(matches) = index.get(&key) else {
+        let index = rel.index_on(&shape.index_cols);
+        scratch.note_width(shape.index_cols.len());
+        let mut rows = HashSet::new();
+        for l in self.rows.iter() {
+            scratch.key.clear();
+            scratch
+                .key
+                .extend(shape.const_checks.iter().map(|&(_, c)| c));
+            scratch
+                .key
+                .extend(shape.bound_positions.iter().map(|&(_, col)| l[col]));
+            let Some(matches) = index.get(&scratch.key) else {
                 continue;
             };
             for t in matches {
-                if has_repeats
-                    && new_vars
+                if shape.has_repeats
+                    && shape
+                        .new_vars
                         .iter()
                         .any(|(_, ps)| ps.windows(2).any(|w| t[w[0]] != t[w[1]]))
                 {
                     continue;
                 }
                 rows.insert(
-                    src.iter()
+                    shape
+                        .src
+                        .iter()
                         .map(|s| match *s {
                             Ok(i) => l[i],
-                            Err(n) => t[new_vars[n].1[0]],
+                            Err(n) => t[shape.new_vars[n].1[0]],
                         })
                         .collect::<Tuple>(),
                 );
             }
         }
-        Bindings { vars, rows }
+        Bindings {
+            vars: shape.vars.clone(),
+            rows: std::sync::Arc::new(rows),
+        }
     }
 }
 
 impl fmt::Display for Bindings {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str("{")?;
-        for (n, row) in self.rows.iter().enumerate() {
+        for (n, row) in self.sorted_rows().into_iter().enumerate() {
             if n > 0 {
                 f.write_str(", ")?;
             }
@@ -451,6 +624,17 @@ mod tests {
     }
 
     #[test]
+    fn shaped_join_matches_unshaped_and_reuses_scratch() {
+        let l = b(&["jx", "jy"], vec![tuple![1, 10], tuple![2, 20]]);
+        let r = b(&["jy", "jz"], vec![tuple![10, 100], tuple![20, 200]]);
+        let shape = JoinShape::compute(l.vars(), r.vars());
+        let mut scratch = Scratch::new();
+        let shaped = l.natural_join_shaped(&r, &shape, &mut scratch);
+        assert_eq!(shaped, l.natural_join(&r));
+        assert_eq!(scratch.high_water(), 1, "one shared join-key column");
+    }
+
+    #[test]
     fn semijoin_antijoin() {
         let l = b(&["sx", "sy"], vec![tuple![1, 10], tuple![2, 20]]);
         let keys = b(&["sx"], vec![tuple![1]]);
@@ -464,6 +648,14 @@ mod tests {
         let p = l.project(&[var("py")]);
         assert_eq!(p.len(), 1, "deduplicated");
         assert_eq!(l.project_away(&[var("px")]), p);
+    }
+
+    #[test]
+    fn sorted_rows_are_lexicographic() {
+        let l = b(&["ox"], vec![tuple![3], tuple![1], tuple![2]]);
+        let sorted: Vec<&Tuple> = l.sorted_rows();
+        assert_eq!(sorted, vec![&tuple![1], &tuple![2], &tuple![3]]);
+        assert_eq!(l.to_string(), "{[ox=1], [ox=2], [ox=3]}");
     }
 
     #[test]

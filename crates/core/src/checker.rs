@@ -4,6 +4,7 @@ use rtic_history::{HistoryError, Transition};
 use rtic_relation::Update;
 use rtic_temporal::{Constraint, TimePoint};
 
+use crate::plan::RuntimePlanStats;
 use crate::report::{SpaceStats, StepReport};
 
 /// An online integrity-constraint checker: consumes one transition at a
@@ -26,6 +27,13 @@ pub trait Checker {
 
     /// A short implementation name for experiment tables.
     fn name(&self) -> &'static str;
+
+    /// Statistics of the compiled evaluation plans this checker executes
+    /// (node counts, cached index shapes, scratch high-water marks), or
+    /// `None` when the checker runs the interpreting evaluator instead.
+    fn plan_stats(&self) -> Option<RuntimePlanStats> {
+        None
+    }
 
     /// Downcasting support (e.g. the CLI checkpoints the concrete
     /// [`crate::IncrementalChecker`] behind a `Box<dyn Checker>`).

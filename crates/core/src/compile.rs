@@ -11,6 +11,7 @@ use rtic_temporal::optimize::optimize;
 use rtic_temporal::{analysis, safety, typecheck, Constraint, Horizon};
 
 use crate::error::CompileError;
+use crate::plan::EvalPlans;
 
 /// A constraint compiled into checkable form: the normalized,
 /// variables-renamed-apart denial body, plus its temporal subformulas in
@@ -39,6 +40,10 @@ pub struct CompiledConstraint {
     /// cannot create new violations — the soundness condition for skipping
     /// body re-evaluation on quiescent, previously-clean steps.
     pub tick_gain_free: bool,
+    /// Compiled evaluation plans: the body and every temporal node's
+    /// operands lowered once, so stepping never re-derives conjunct orders,
+    /// variable lists, or join shapes (see [`crate::plan`]).
+    pub plans: EvalPlans,
 }
 
 impl CompiledConstraint {
@@ -79,6 +84,7 @@ impl CompiledConstraint {
         let horizon = analysis::horizon(&body);
         let relations = analysis::touched_relations(&body);
         let tick_gain_free = analysis::tick_stability(&body).gain_free;
+        let plans = EvalPlans::build(&body, &nodes);
         Ok(CompiledConstraint {
             constraint,
             catalog,
@@ -88,6 +94,7 @@ impl CompiledConstraint {
             horizon,
             relations,
             tick_gain_free,
+            plans,
         })
     }
 }

@@ -168,6 +168,21 @@ impl WindowState {
         self.stamps.retain(|k, _| survivors.contains(k));
     }
 
+    /// Whether re-recording an unchanged satisfaction set is observationally
+    /// a no-op, so maintenance may skip [`WindowState::add_and_prune`] when
+    /// the extension is provably identical to the previous step's.
+    ///
+    /// Holds exactly when the upper bound is infinite (no pruning ever
+    /// removes a key, so every key of an unchanged set is already stored)
+    /// and the stamp policy is a one-timestamp specialisation: `Earliest`
+    /// never rewrites, and `Latest` only arises with `lo = 0`, where any
+    /// stored stamp satisfies the `[0, ∞)` window regardless of its value.
+    /// The general deque (`Many`, including the T6 ablation) must keep
+    /// recording — its timestamp count is observable in space statistics.
+    pub fn absorb_is_noop(&self) -> bool {
+        !self.interval.is_bounded() && self.policy != StampPolicy::Many
+    }
+
     /// Records the keys satisfying the anchor formula at the new state
     /// `t_now`, then prunes timestamps that have left every future window.
     pub fn add_and_prune(&mut self, sat_now: &Bindings, t_now: TimePoint) {
@@ -299,7 +314,7 @@ impl PrevState {
     pub fn dump(&self) -> Option<(TimePoint, Vec<Tuple>)> {
         self.prev_sat
             .as_ref()
-            .map(|(t, sat)| (*t, sat.rows().cloned().collect()))
+            .map(|(t, sat)| (*t, sat.sorted_rows().into_iter().cloned().collect()))
     }
 
     /// Restores a dumped previous-state extension.

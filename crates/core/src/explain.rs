@@ -115,11 +115,16 @@ pub fn explain(compiled: &CompiledConstraint) -> String {
             }
         );
     }
-    // Conjunct plan of the top-level body.
+    // Conjunct plan of the top-level body — read straight off the compiled
+    // evaluation plan, so the report shows exactly the order the planned
+    // executor runs (no separate re-derivation that could drift).
     let conjuncts = safety::flatten_and(&compiled.body);
     if conjuncts.len() > 1 {
-        let order = safety::conjunct_order(&conjuncts, &BTreeSet::new())
-            .expect("compiled constraints are safe");
+        let order = compiled
+            .plans
+            .body
+            .root_conjunct_order()
+            .expect("a multi-conjunct body compiles to a conjunction plan");
         let _ = writeln!(out, "evaluation plan:");
         let mut bound: BTreeSet<Var> = BTreeSet::new();
         for (step, &i) in order.iter().enumerate() {

@@ -29,12 +29,13 @@ use rtic_relation::{Catalog, Database, Tuple, Update};
 use rtic_temporal::ast::{Formula, Var};
 use rtic_temporal::{Constraint, TimePoint};
 
-use crate::binding::Bindings;
+use crate::binding::{Bindings, Scratch};
 use crate::checker::Checker;
 use crate::compile::CompiledConstraint;
 use crate::encode::{HistFiniteState, HistInfState, PrevState, StampPolicy, WindowState};
 use crate::error::CompileError;
 use crate::eval::{eval, Oracle};
+use crate::plan::NodePlans;
 use crate::report::{SpaceStats, StepReport};
 
 /// Auxiliary state of one temporal node.
@@ -66,6 +67,10 @@ pub struct EncodingOptions {
     /// node keeps the general pruned deque. Semantics are unchanged; only
     /// space/time differ.
     pub disable_stamp_specialization: bool,
+    /// Evaluate through the interpreting [`eval`] instead of the compiled
+    /// plans — the reference mode for the differential oracle and for the
+    /// plan-vs-interpret benchmarks. Reports are byte-identical either way.
+    pub interpret_eval: bool,
 }
 
 fn sorted_free_vars(f: &Formula) -> Vec<Var> {
@@ -97,6 +102,15 @@ pub(crate) struct NodeEngine {
     /// The previous step's violations (`None` until a step records them);
     /// the fast path requires them to be empty and returns a clone.
     last_violations: Option<Bindings>,
+    /// Evaluate through the interpreter instead of the compiled plans.
+    interpret: bool,
+    /// Reusable probe-key buffers for the planned join kernels.
+    scratch: Scratch,
+    /// Each `once` node's operand extension from the previous step. When
+    /// the memoized planner hands back the *same* row storage (pointer
+    /// equality) and the node's window absorbs idempotently, maintenance
+    /// skips the per-key re-recording entirely.
+    last_sat: Vec<Option<Bindings>>,
 }
 
 impl NodeEngine {
@@ -137,6 +151,7 @@ impl NodeEngine {
             .collect();
         let extensions = vec![None; compiled.nodes.len()];
         let sat_cache = vec![None; compiled.nodes.len()];
+        let last_sat = vec![None; compiled.nodes.len()];
         let fast_eligible = compiled.tick_gain_free
             && compiled.nodes.iter().all(|n| match n {
                 Formula::Once(_, g) | Formula::Hist(_, g) => !g.is_temporal(),
@@ -150,7 +165,30 @@ impl NodeEngine {
             sat_cache,
             fast_eligible,
             last_violations: None,
+            interpret: options.interpret_eval,
+            scratch: Scratch::new(),
+            last_sat,
         }
+    }
+
+    /// Evaluates a node's unit-input operand plan (or interprets, in
+    /// reference mode).
+    fn operand_extension<O: Oracle>(
+        &self,
+        idx: usize,
+        g: &Formula,
+        db: &Database,
+        oracle: &O,
+        scratch: &mut Scratch,
+    ) -> Bindings {
+        if self.interpret {
+            return eval(g, db, oracle, &Bindings::unit());
+        }
+        let plan = match &self.compiled.plans.node_ops[idx] {
+            NodePlans::Operand(p) => p,
+            NodePlans::Since { g, .. } => g,
+        };
+        plan.execute(db, oracle, &Bindings::unit(), scratch)
     }
 
     /// Whether `update` touches none of the constraint's relations — the
@@ -166,6 +204,7 @@ impl NodeEngine {
     /// Advances every node to the new state `(db, t_now)`, children-first,
     /// then records `t_now`.
     pub(crate) fn advance(&mut self, db: &Database, t_now: TimePoint) {
+        let mut scratch = std::mem::take(&mut self.scratch);
         for idx in 0..self.compiled.nodes.len() {
             // Inner nodes (indices < idx) are already advanced; the oracle
             // exposes exactly their new extensions.
@@ -174,7 +213,7 @@ impl NodeEngine {
                 Formula::Prev(_, g) => {
                     let sat_now = {
                         let oracle = self.oracle(t_now);
-                        eval(g, db, &oracle, &Bindings::unit())
+                        self.operand_extension(idx, g, db, &oracle, &mut scratch)
                     };
                     let NodeState::Prev(p) = &mut self.states[idx] else {
                         unreachable!("node/state kind mismatch")
@@ -184,12 +223,18 @@ impl NodeEngine {
                 Formula::Once(_, g) => {
                     let sat_now = {
                         let oracle = self.oracle(t_now);
-                        eval(g, db, &oracle, &Bindings::unit())
+                        self.operand_extension(idx, g, db, &oracle, &mut scratch)
                     };
                     let NodeState::Once(w) = &mut self.states[idx] else {
                         unreachable!("node/state kind mismatch")
                     };
-                    w.add_and_prune(&sat_now, t_now);
+                    let unchanged = self.last_sat[idx]
+                        .as_ref()
+                        .is_some_and(|prev| prev.same_rows(&sat_now));
+                    if !(unchanged && w.absorb_is_noop()) {
+                        w.add_and_prune(&sat_now, t_now);
+                    }
+                    self.last_sat[idx] = Some(sat_now.clone());
                     if self.fast_eligible {
                         self.sat_cache[idx] = Some(sat_now);
                     }
@@ -203,10 +248,24 @@ impl NodeEngine {
                         let keys = w.keys();
                         let vars = w.vars().to_vec();
                         let oracle = self.oracle(t_now);
-                        // `f` filters the existing anchors' keys…
-                        let survivors = eval(f, db, &oracle, &keys).project(&vars);
-                        // …while `g` creates fresh anchors.
-                        let anchors = eval(g, db, &oracle, &Bindings::unit());
+                        let (survivors, anchors) = if self.interpret {
+                            (
+                                // `f` filters the existing anchors' keys…
+                                eval(f, db, &oracle, &keys).project(&vars),
+                                // …while `g` creates fresh anchors.
+                                eval(g, db, &oracle, &Bindings::unit()),
+                            )
+                        } else {
+                            let NodePlans::Since { f: fp, g: gp } =
+                                &self.compiled.plans.node_ops[idx]
+                            else {
+                                unreachable!("since node without a since plan")
+                            };
+                            (
+                                fp.execute(db, &oracle, &keys, &mut scratch).project(&vars),
+                                gp.execute(db, &oracle, &Bindings::unit(), &mut scratch),
+                            )
+                        };
                         (survivors, anchors, vars)
                     };
                     debug_assert_eq!(anchors.vars(), vars.as_slice());
@@ -219,7 +278,7 @@ impl NodeEngine {
                 Formula::Hist(_, g) => {
                     let sat_now = {
                         let oracle = self.oracle(t_now);
-                        eval(g, db, &oracle, &Bindings::unit())
+                        self.operand_extension(idx, g, db, &oracle, &mut scratch)
                     };
                     match &mut self.states[idx] {
                         NodeState::HistFinite(h) => h.step(&sat_now, t_now, self.last_time),
@@ -234,18 +293,33 @@ impl NodeEngine {
                 other => unreachable!("non-temporal node: {other}"),
             }
         }
+        self.scratch = scratch;
         self.last_time = Some(t_now);
     }
 
     /// Evaluates the denial body at `(db, t_now)` (after [`NodeEngine::advance`])
     /// and records the result for the quiescent fast path.
     pub(crate) fn violations(&mut self, db: &Database, t_now: TimePoint) -> Bindings {
+        let mut scratch = std::mem::take(&mut self.scratch);
         let v = {
             let oracle = self.oracle(t_now);
-            eval(&self.compiled.body, db, &oracle, &Bindings::unit())
+            if self.interpret {
+                eval(&self.compiled.body, db, &oracle, &Bindings::unit())
+            } else {
+                self.compiled
+                    .plans
+                    .body
+                    .execute(db, &oracle, &Bindings::unit(), &mut scratch)
+            }
         };
+        self.scratch = scratch;
         self.last_violations = Some(v.clone());
         v
+    }
+
+    /// Widest probe key the planned join kernels have built so far.
+    pub(crate) fn scratch_high_water(&self) -> usize {
+        self.scratch.high_water()
     }
 
     /// The quiescent fast path: absorbs a pure clock tick into the
@@ -463,6 +537,16 @@ impl Checker for IncrementalChecker {
         "incremental"
     }
 
+    fn plan_stats(&self) -> Option<crate::plan::RuntimePlanStats> {
+        if self.engine.interpret {
+            return None;
+        }
+        Some(crate::plan::RuntimePlanStats {
+            plan: self.engine.compiled.plans.stats(),
+            scratch_high_water: self.engine.scratch_high_water(),
+        })
+    }
+
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
@@ -630,6 +714,7 @@ mod tests {
             catalog(),
             EncodingOptions {
                 disable_stamp_specialization: true,
+                ..Default::default()
             },
         )
         .unwrap();

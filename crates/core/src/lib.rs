@@ -61,12 +61,13 @@ mod incremental;
 mod monitor;
 pub mod naive;
 pub mod observe;
+pub mod plan;
 mod report;
 mod set;
 mod windowed;
 
 pub use backend::BackendId;
-pub use binding::Bindings;
+pub use binding::{Bindings, Scratch};
 pub use checker::Checker;
 pub use compile::CompiledConstraint;
 pub use error::CompileError;
@@ -74,6 +75,7 @@ pub use incremental::{EncodingOptions, IncrementalChecker, NodeStat};
 pub use monitor::QueryMonitor;
 pub use naive::NaiveChecker;
 pub use observe::{NopObserver, StepEvent, StepObserver};
+pub use plan::{EvalPlans, NodePlans, Plan, PlanStats, RuntimePlanStats};
 pub use report::{SpaceStats, StepReport};
 pub use set::{ConstraintSet, DispatchStats, Parallelism};
 pub use windowed::WindowedChecker;

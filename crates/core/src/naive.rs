@@ -14,7 +14,7 @@ use rtic_relation::{Catalog, Tuple, Update};
 use rtic_temporal::ast::{Formula, Var};
 use rtic_temporal::{Constraint, TimePoint};
 
-use crate::binding::Bindings;
+use crate::binding::{Bindings, Scratch};
 use crate::checker::Checker;
 use crate::compile::CompiledConstraint;
 use crate::error::CompileError;
@@ -26,6 +26,10 @@ use crate::report::{SpaceStats, StepReport};
 pub struct NaiveChecker {
     compiled: CompiledConstraint,
     history: History,
+    /// Evaluate the body through the interpreter instead of the compiled
+    /// plan — the reference mode for the differential oracle.
+    interpret: bool,
+    scratch: Scratch,
 }
 
 impl NaiveChecker {
@@ -38,10 +42,35 @@ impl NaiveChecker {
         Ok(Self::from_compiled(compiled))
     }
 
+    /// [`NaiveChecker::new`], evaluating the body through the interpreting
+    /// [`eval`] instead of the compiled plan. This is the reference
+    /// executor the differential oracle compares every planned backend
+    /// against; reports are byte-identical either way.
+    pub fn new_interpreted(
+        constraint: Constraint,
+        catalog: Arc<Catalog>,
+    ) -> Result<NaiveChecker, CompileError> {
+        let compiled = CompiledConstraint::compile(constraint, Arc::clone(&catalog))?;
+        Ok(Self::from_compiled_interpreted(compiled))
+    }
+
     /// Builds a checker from an already-compiled constraint.
     pub fn from_compiled(compiled: CompiledConstraint) -> NaiveChecker {
         let history = History::new(Arc::clone(&compiled.catalog));
-        NaiveChecker { compiled, history }
+        NaiveChecker {
+            compiled,
+            history,
+            interpret: false,
+            scratch: Scratch::new(),
+        }
+    }
+
+    /// [`NaiveChecker::from_compiled`] in interpreting reference mode.
+    pub fn from_compiled_interpreted(compiled: CompiledConstraint) -> NaiveChecker {
+        NaiveChecker {
+            interpret: true,
+            ..Self::from_compiled(compiled)
+        }
     }
 
     /// The stored history (grows without bound).
@@ -58,7 +87,11 @@ impl Checker for NaiveChecker {
     fn step(&mut self, time: TimePoint, update: &Update) -> Result<StepReport, HistoryError> {
         self.history.append(time, update)?;
         let i = self.history.len() - 1;
-        let violations = eval_at(&self.history, i, &self.compiled.body);
+        let violations = if self.interpret {
+            eval_at(&self.history, i, &self.compiled.body)
+        } else {
+            eval_at_planned(&self.history, i, &self.compiled, &mut self.scratch)
+        };
         Ok(StepReport {
             constraint: self.compiled.constraint.name,
             time,
@@ -79,6 +112,18 @@ impl Checker for NaiveChecker {
         "naive"
     }
 
+    fn plan_stats(&self) -> Option<crate::plan::RuntimePlanStats> {
+        if self.interpret {
+            return None;
+        }
+        // Only the body plan runs here; the temporal recursion stays
+        // interpreted, so node-operand plans are not counted.
+        Some(crate::plan::RuntimePlanStats {
+            plan: self.compiled.plans.body.stats(),
+            scratch_high_water: self.scratch.high_water(),
+        })
+    }
+
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
@@ -95,6 +140,23 @@ pub fn eval_at(history: &History, i: usize, f: &Formula) -> Bindings {
 pub fn eval_at_with(history: &History, i: usize, f: &Formula, input: &Bindings) -> Bindings {
     let oracle = NaiveOracle::new(history, i);
     eval(f, history.state(i), &oracle, input)
+}
+
+/// Evaluates `compiled`'s body at position `i` through its compiled plan.
+/// Temporal subformulas are still answered by the interpreting recursion
+/// (the oracle below) — the plan only replaces the per-step first-order
+/// work, exactly as in the other checkers.
+pub fn eval_at_planned(
+    history: &History,
+    i: usize,
+    compiled: &CompiledConstraint,
+    scratch: &mut Scratch,
+) -> Bindings {
+    let oracle = NaiveOracle::new(history, i);
+    compiled
+        .plans
+        .body
+        .execute(history.state(i), &oracle, &Bindings::unit(), scratch)
 }
 
 struct NaiveOracle<'h> {

@@ -140,6 +140,18 @@ pub enum StepEvent<'a> {
         /// The parse error.
         detail: String,
     },
+    /// A reading of a checker's compiled-plan statistics (plan node
+    /// counts, cached index shapes, scratch high-water marks). Emitted by
+    /// drivers once per run, after stepping, for checkers running the
+    /// planned executor.
+    PlanStatsSample {
+        /// Checker implementation name.
+        checker: &'static str,
+        /// The constraint whose checker was sampled.
+        constraint: Symbol,
+        /// The plan statistics.
+        stats: crate::plan::RuntimePlanStats,
+    },
     /// A scheduled reading of a checker's space footprint.
     SpaceSample {
         /// Checker implementation name.
@@ -168,6 +180,7 @@ impl StepEvent<'_> {
             StepEvent::ConstraintQuarantined { .. } => "quarantine",
             StepEvent::CheckpointFallback { .. } => "checkpoint_fallback",
             StepEvent::BadLine { .. } => "bad_line",
+            StepEvent::PlanStatsSample { .. } => "plan_stats",
             StepEvent::SpaceSample { .. } => "space_sample",
         }
     }
@@ -271,6 +284,15 @@ impl StepObserver for CollectingObserver {
                 line: *line,
                 detail: detail.clone(),
             },
+            StepEvent::PlanStatsSample {
+                checker,
+                constraint,
+                stats,
+            } => StepEvent::PlanStatsSample {
+                checker,
+                constraint: *constraint,
+                stats: *stats,
+            },
             StepEvent::SpaceSample {
                 checker,
                 constraint,
@@ -355,6 +377,21 @@ pub fn sample_space(
             step_index,
             stats: checker.space(),
         });
+    }
+}
+
+/// Emits one [`StepEvent::PlanStatsSample`] per checker that reports plan
+/// statistics ([`Checker::plan_stats`]). Drivers call this once per run,
+/// after stepping, so the scratch high-water marks cover the whole run.
+pub fn sample_plan_stats(checkers: &[Box<dyn Checker>], obs: &mut dyn StepObserver) {
+    for checker in checkers {
+        if let Some(stats) = checker.plan_stats() {
+            obs.observe(&StepEvent::PlanStatsSample {
+                checker: checker.name(),
+                constraint: checker.constraint().name,
+                stats,
+            });
+        }
     }
 }
 

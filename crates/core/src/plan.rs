@@ -1,0 +1,847 @@
+//! Compiled evaluation plans: plan once, execute many.
+//!
+//! The interpreting evaluator ([`crate::eval::eval`]) re-derives everything
+//! from the formula on every step: it re-runs `flatten_and` +
+//! `conjunct_order` on each `And`, re-collects and re-sorts free-variable
+//! lists, and re-computes column/projection maps inside every join. None of
+//! that depends on the data — [`Bindings`] schemas are canonically sorted,
+//! so every position is a function of the formula and the input schema
+//! alone. Following the query-compilation tradition (Neumann, VLDB 2011),
+//! [`Plan::compile`] lowers a normalized body into a tree of plan nodes at
+//! constraint-compile time, precomputing:
+//!
+//! * the conjunct evaluation order (by calling the *same*
+//!   [`safety::conjunct_order`] the interpreter uses, so the planned order
+//!   is provably identical);
+//! * sorted output-variable lists for every node;
+//! * join column-source maps and atom index-column shapes
+//!   ([`crate::binding`]'s `JoinShape`/`AtomShape`);
+//! * the bound-vs-generating decision for temporal and count nodes
+//!   (semijoin-pushdown probe vs. extension join) — static because the
+//!   input schema is static.
+//!
+//! [`Plan::execute`] then mirrors the interpreter arm for arm over the same
+//! [`Bindings`] kernels, threading a reusable [`Scratch`] buffer through
+//! the shaped join paths. Planned execution is byte-identical to
+//! interpretation by construction; the differential oracle and the
+//! `plan_props` property test pin it.
+
+use std::collections::BTreeSet;
+
+use rtic_relation::{Database, Symbol, Value};
+use rtic_temporal::ast::{CmpOp, Formula, Term, Var};
+use rtic_temporal::safety;
+
+use crate::binding::{AtomShape, Bindings, JoinShape, Scratch};
+use crate::eval::Oracle;
+
+/// Where a comparison operand's value comes from at execution time.
+#[derive(Clone, Copy, Debug)]
+enum ValueSrc {
+    /// A literal from the formula.
+    Const(Value),
+    /// The input row's column at this position.
+    Col(usize),
+}
+
+impl ValueSrc {
+    fn read(self, row: &rtic_relation::Tuple) -> Value {
+        match self {
+            ValueSrc::Const(c) => c,
+            ValueSrc::Col(i) => row[i],
+        }
+    }
+}
+
+/// One lowered plan node. Every variant stores exactly what its
+/// interpreter twin recomputes per call.
+#[derive(Clone, Debug)]
+enum Kind {
+    /// `true`: pass the input through.
+    True,
+    /// `false`: empty output over the input schema.
+    False,
+    /// Atom join through a precomputed index shape.
+    Atom { relation: Symbol, shape: AtomShape },
+    /// Comparison with both sides bound: a filter.
+    CmpFilter { op: CmpOp, a: ValueSrc, b: ValueSrc },
+    /// Equality with one unbound side: extends each row with `v`.
+    CmpExtend { v: Var, src: ValueSrc },
+    /// Negation: project to the operand's variables, evaluate, antijoin.
+    Not { gvars: Vec<Var>, inner: Box<Plan> },
+    /// Flattened conjunction in precomputed evaluation order.
+    AndChain { order: Vec<usize>, steps: Vec<Plan> },
+    /// Disjunction of two same-schema branches.
+    Or { a: Box<Plan>, b: Box<Plan> },
+    /// Existential: evaluate, then drop the quantified variables.
+    Exists { drop: Vec<Var>, inner: Box<Plan> },
+    /// `prev`/`once`/`since` with all node variables already bound:
+    /// per-candidate membership probe (semijoin pushdown).
+    TemporalProbe { node: Formula, proj: Vec<usize> },
+    /// `prev`/`once`/`since` generating fresh variables: join the
+    /// oracle's materialized extension through a precomputed shape.
+    TemporalJoin { node: Formula, shape: JoinShape },
+    /// `hist`: always a per-candidate probe (safety guarantees bound vars).
+    HistProbe { node: Formula, proj: Vec<usize> },
+    /// Count aggregate whose predicate admits zero: a filter over already
+    /// bound outer variables.
+    CountFilter {
+        body: Box<Plan>,
+        outer_pos_ext: Vec<usize>,
+        pos_in: Vec<usize>,
+        op: CmpOp,
+        threshold: i64,
+    },
+    /// Count aggregate that generates: join the qualifying groups.
+    CountJoin {
+        body: Box<Plan>,
+        outer: Vec<Var>,
+        outer_pos_ext: Vec<usize>,
+        shape: JoinShape,
+        op: CmpOp,
+        threshold: i64,
+    },
+}
+
+/// A compiled evaluation plan for one formula against a fixed input schema.
+///
+/// Execution requires the input's variable list to equal the schema the
+/// plan was compiled for (checkers guarantee this structurally: bodies and
+/// node operands run from [`Bindings::unit`], `since` continuations from
+/// the node's key schema).
+#[derive(Clone, Debug)]
+pub struct Plan {
+    kind: Kind,
+    in_vars: Vec<Var>,
+    out_vars: Vec<Var>,
+    /// When set, this node is database-pure with a unit input: its result
+    /// is a function of the database contents alone, so execution memoizes
+    /// it in [`Scratch`] keyed by the database's cache stamp. Assigned by
+    /// [`EvalPlans::build`]; plans compiled standalone never memoize.
+    cache_slot: Option<usize>,
+}
+
+/// Static statistics of a compiled plan (satellite observability: what
+/// planning bought). Scratch high-water marks are runtime numbers reported
+/// separately by the checkers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanStats {
+    /// Total plan nodes.
+    pub nodes: usize,
+    /// Precomputed atom index shapes ([`crate::binding`]'s `AtomShape`).
+    pub atom_shapes: usize,
+    /// Precomputed natural-join column maps (`JoinShape`).
+    pub join_shapes: usize,
+    /// Temporal/hist nodes lowered to semijoin-pushdown probes.
+    pub probe_nodes: usize,
+    /// Database-pure unit-input subtrees marked for memoized execution.
+    pub cached_nodes: usize,
+}
+
+impl PlanStats {
+    /// Accumulates another plan's statistics into this one.
+    pub fn absorb(&mut self, other: PlanStats) {
+        self.nodes += other.nodes;
+        self.atom_shapes += other.atom_shapes;
+        self.join_shapes += other.join_shapes;
+        self.probe_nodes += other.probe_nodes;
+        self.cached_nodes += other.cached_nodes;
+    }
+}
+
+/// What a running checker can report about its planned execution: the
+/// static plan shape it compiled plus the scratch high-water mark its join
+/// kernels have accumulated so far (see [`crate::Checker::plan_stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RuntimePlanStats {
+    /// Static statistics of the plans this checker executes.
+    pub plan: PlanStats,
+    /// Widest probe key, in columns, the reusable scratch buffers have
+    /// held across all planned joins so far.
+    pub scratch_high_water: usize,
+}
+
+impl RuntimePlanStats {
+    /// Accumulates another checker's runtime plan statistics: plan shapes
+    /// add up, the scratch high-water mark takes the maximum.
+    pub fn absorb(&mut self, other: RuntimePlanStats) {
+        self.plan.absorb(other.plan);
+        self.scratch_high_water = self.scratch_high_water.max(other.scratch_high_water);
+    }
+}
+
+fn sorted_free_vars(f: &Formula) -> Vec<Var> {
+    f.free_vars().into_iter().collect()
+}
+
+fn insert_sorted(vars: &[Var], v: Var) -> Vec<Var> {
+    let mut out = vars.to_vec();
+    let at = out.partition_point(|&u| u < v);
+    out.insert(at, v);
+    out
+}
+
+impl Plan {
+    /// Lowers `f` against a sorted input variable list.
+    ///
+    /// # Panics
+    /// Panics on un-normalized (`Implies`/`Forall`) or unsafe formulas —
+    /// the same contract as the interpreter; callers compile only bodies
+    /// that already passed [`safety::check`].
+    pub fn compile(f: &Formula, input_vars: &[Var]) -> Plan {
+        let src = |t: &Term| match t {
+            Term::Const(c) => ValueSrc::Const(*c),
+            Term::Var(v) => ValueSrc::Col(
+                input_vars
+                    .binary_search(v)
+                    .unwrap_or_else(|_| panic!("unbound variable `{v}` (safety analysis bug)")),
+            ),
+        };
+        let bound = |t: &Term| match t {
+            Term::Const(_) => true,
+            Term::Var(v) => input_vars.binary_search(v).is_ok(),
+        };
+        let (kind, out_vars) = match f {
+            Formula::True => (Kind::True, input_vars.to_vec()),
+            Formula::False => (Kind::False, input_vars.to_vec()),
+            Formula::Atom { relation, terms } => {
+                let shape = AtomShape::compute(input_vars, terms);
+                let out = shape.vars.clone();
+                (
+                    Kind::Atom {
+                        relation: *relation,
+                        shape,
+                    },
+                    out,
+                )
+            }
+            Formula::Cmp(op, a, b) => match (bound(a), bound(b)) {
+                (true, true) => (
+                    Kind::CmpFilter {
+                        op: *op,
+                        a: src(a),
+                        b: src(b),
+                    },
+                    input_vars.to_vec(),
+                ),
+                (true, false) => {
+                    let Term::Var(v) = b else {
+                        unreachable!("constants are always bound")
+                    };
+                    assert_eq!(
+                        *op,
+                        CmpOp::Eq,
+                        "non-equality with unbound side (safety bug)"
+                    );
+                    (
+                        Kind::CmpExtend { v: *v, src: src(a) },
+                        insert_sorted(input_vars, *v),
+                    )
+                }
+                (false, true) => {
+                    let Term::Var(v) = a else {
+                        unreachable!("constants are always bound")
+                    };
+                    assert_eq!(
+                        *op,
+                        CmpOp::Eq,
+                        "non-equality with unbound side (safety bug)"
+                    );
+                    (
+                        Kind::CmpExtend { v: *v, src: src(b) },
+                        insert_sorted(input_vars, *v),
+                    )
+                }
+                (false, false) => panic!("comparison with two unbound sides (safety bug)"),
+            },
+            Formula::Not(g) => {
+                let gvars = sorted_free_vars(g);
+                let inner = Box::new(Plan::compile(g, &gvars));
+                (Kind::Not { gvars, inner }, input_vars.to_vec())
+            }
+            Formula::And(..) => {
+                let conjuncts = safety::flatten_and(f);
+                let pre: BTreeSet<Var> = input_vars.iter().copied().collect();
+                let order = safety::conjunct_order(&conjuncts, &pre)
+                    .expect("unsafe conjunction (safety-analysis bug)");
+                let mut acc = input_vars.to_vec();
+                let steps: Vec<Plan> = order
+                    .iter()
+                    .map(|&i| {
+                        let step = Plan::compile(conjuncts[i], &acc);
+                        acc = step.out_vars.clone();
+                        step
+                    })
+                    .collect();
+                (Kind::AndChain { order, steps }, acc)
+            }
+            Formula::Or(a, b) => {
+                let pa = Plan::compile(a, input_vars);
+                let pb = Plan::compile(b, input_vars);
+                assert_eq!(
+                    pa.out_vars, pb.out_vars,
+                    "disjunction branches bind different variables (safety bug)"
+                );
+                let out = pa.out_vars.clone();
+                (
+                    Kind::Or {
+                        a: Box::new(pa),
+                        b: Box::new(pb),
+                    },
+                    out,
+                )
+            }
+            Formula::Exists(vs, g) => {
+                let inner = Box::new(Plan::compile(g, input_vars));
+                let mut drop = vs.clone();
+                drop.sort_unstable();
+                let out: Vec<Var> = inner
+                    .out_vars
+                    .iter()
+                    .copied()
+                    .filter(|v| drop.binary_search(v).is_err())
+                    .collect();
+                (
+                    Kind::Exists {
+                        drop: vs.clone(),
+                        inner,
+                    },
+                    out,
+                )
+            }
+            Formula::Prev(..) | Formula::Once(..) | Formula::Since(..) => {
+                let node_vars = sorted_free_vars(f);
+                let positions: Option<Vec<usize>> = node_vars
+                    .iter()
+                    .map(|v| input_vars.binary_search(v).ok())
+                    .collect();
+                match positions {
+                    // All node variables already bound: probe per candidate
+                    // (semijoin pushdown) instead of materializing.
+                    Some(proj) => (
+                        Kind::TemporalProbe {
+                            node: f.clone(),
+                            proj,
+                        },
+                        input_vars.to_vec(),
+                    ),
+                    // The node generates fresh variables: join the extension.
+                    None => {
+                        let shape = JoinShape::compute(input_vars, &node_vars);
+                        let out = shape.vars.clone();
+                        (
+                            Kind::TemporalJoin {
+                                node: f.clone(),
+                                shape,
+                            },
+                            out,
+                        )
+                    }
+                }
+            }
+            Formula::Hist(..) => {
+                let node_vars = sorted_free_vars(f);
+                let proj: Vec<usize> = node_vars
+                    .iter()
+                    .map(|v| {
+                        input_vars
+                            .binary_search(v)
+                            .unwrap_or_else(|_| panic!("unguarded hist (safety bug)"))
+                    })
+                    .collect();
+                (
+                    Kind::HistProbe {
+                        node: f.clone(),
+                        proj,
+                    },
+                    input_vars.to_vec(),
+                )
+            }
+            Formula::CountCmp {
+                vars: _, // counted vars are implicit in the grouping
+                body,
+                op,
+                threshold,
+            } => {
+                let bplan = Box::new(Plan::compile(body, &[]));
+                let outer = sorted_free_vars(f);
+                let outer_pos_ext: Vec<usize> = outer
+                    .iter()
+                    .map(|v| {
+                        bplan
+                            .out_vars
+                            .binary_search(v)
+                            .unwrap_or_else(|_| panic!("outer vars are free in the body"))
+                    })
+                    .collect();
+                let zero_ok = op.eval(Value::Int(0), Value::Int(*threshold));
+                if zero_ok {
+                    // Filter: unseen groups (count 0) qualify, so the outer
+                    // variables must already be bound (safety guarantees it).
+                    let pos_in: Vec<usize> = outer
+                        .iter()
+                        .map(|v| {
+                            input_vars
+                                .binary_search(v)
+                                .unwrap_or_else(|_| panic!("unguarded count (safety bug)"))
+                        })
+                        .collect();
+                    (
+                        Kind::CountFilter {
+                            body: bplan,
+                            outer_pos_ext,
+                            pos_in,
+                            op: *op,
+                            threshold: *threshold,
+                        },
+                        input_vars.to_vec(),
+                    )
+                } else {
+                    // Generator: only groups present in the extension qualify.
+                    let shape = JoinShape::compute(input_vars, &outer);
+                    let out = shape.vars.clone();
+                    (
+                        Kind::CountJoin {
+                            body: bplan,
+                            outer,
+                            outer_pos_ext,
+                            shape,
+                            op: *op,
+                            threshold: *threshold,
+                        },
+                        out,
+                    )
+                }
+            }
+            Formula::Implies(..) | Formula::Forall(..) => {
+                panic!("un-normalized formula reached the planner (compile bug)")
+            }
+        };
+        Plan {
+            kind,
+            in_vars: input_vars.to_vec(),
+            out_vars,
+            cache_slot: None,
+        }
+    }
+
+    /// Whether this subtree reads only the database — no temporal or hist
+    /// node, so no [`Oracle`] call — making its unit-input result a pure
+    /// function of the database contents.
+    fn is_db_pure(&self) -> bool {
+        match &self.kind {
+            Kind::True | Kind::False | Kind::CmpFilter { .. } | Kind::CmpExtend { .. } => true,
+            Kind::Atom { .. } => true,
+            Kind::Not { inner, .. } | Kind::Exists { inner, .. } => inner.is_db_pure(),
+            Kind::AndChain { steps, .. } => steps.iter().all(Plan::is_db_pure),
+            Kind::Or { a, b } => a.is_db_pure() && b.is_db_pure(),
+            Kind::TemporalProbe { .. } | Kind::TemporalJoin { .. } | Kind::HistProbe { .. } => {
+                false
+            }
+            Kind::CountFilter { body, .. } | Kind::CountJoin { body, .. } => body.is_db_pure(),
+        }
+    }
+
+    /// Marks the largest database-pure, unit-input subtrees for memoized
+    /// execution, handing out slots from `next`. Trivial nodes (pass-through,
+    /// comparisons) are not worth a memo entry and stay uncached.
+    pub(crate) fn assign_cache_slots(&mut self, next: &mut usize) {
+        let trivial = matches!(
+            self.kind,
+            Kind::True | Kind::False | Kind::CmpFilter { .. } | Kind::CmpExtend { .. }
+        );
+        if self.in_vars.is_empty() && !trivial && self.is_db_pure() {
+            self.cache_slot = Some(*next);
+            *next += 1;
+            return;
+        }
+        match &mut self.kind {
+            Kind::True
+            | Kind::False
+            | Kind::CmpFilter { .. }
+            | Kind::CmpExtend { .. }
+            | Kind::Atom { .. }
+            | Kind::TemporalProbe { .. }
+            | Kind::TemporalJoin { .. }
+            | Kind::HistProbe { .. } => {}
+            Kind::Not { inner, .. } | Kind::Exists { inner, .. } => {
+                inner.assign_cache_slots(next);
+            }
+            Kind::AndChain { steps, .. } => {
+                for step in steps {
+                    step.assign_cache_slots(next);
+                }
+            }
+            Kind::Or { a, b } => {
+                a.assign_cache_slots(next);
+                b.assign_cache_slots(next);
+            }
+            Kind::CountFilter { body, .. } | Kind::CountJoin { body, .. } => {
+                // The aggregate body always runs from the unit input.
+                body.assign_cache_slots(next);
+            }
+        }
+    }
+
+    /// The output schema (sorted) — what execution's result will carry.
+    pub fn out_vars(&self) -> &[Var] {
+        &self.out_vars
+    }
+
+    /// The execution order of the root conjunction, as indices into
+    /// [`safety::flatten_and`] of the planned formula; `None` when the root
+    /// is not a conjunction. This is what `explain` renders, so the
+    /// displayed plan provably matches what executes.
+    pub fn root_conjunct_order(&self) -> Option<&[usize]> {
+        match &self.kind {
+            Kind::AndChain { order, .. } => Some(order),
+            _ => None,
+        }
+    }
+
+    /// Executes against one database state, answering temporal subformulas
+    /// through `oracle` — mirrors [`crate::eval::eval`] arm for arm.
+    pub fn execute<O: Oracle + ?Sized>(
+        &self,
+        db: &Database,
+        oracle: &O,
+        input: &Bindings,
+        scratch: &mut Scratch,
+    ) -> Bindings {
+        debug_assert_eq!(
+            input.vars(),
+            self.in_vars.as_slice(),
+            "input schema differs from the planned schema"
+        );
+        // Memoized path: a database-pure subtree fed the one-row unit input
+        // is a function of the database contents alone, so quiescent steps
+        // replay the stored result instead of re-scanning relations. An
+        // empty same-schema input (a projection that produced no candidate
+        // rows) bypasses the memo — its result is legitimately different.
+        if let Some(slot) = self.cache_slot {
+            if input.len() == 1 {
+                let stamp = db.cache_stamp();
+                if let Some(hit) = scratch.cached_ext(slot, stamp) {
+                    return hit.clone();
+                }
+                let result = self.execute_kind(db, oracle, input, scratch);
+                scratch.store_ext(slot, stamp, result.clone());
+                return result;
+            }
+        }
+        self.execute_kind(db, oracle, input, scratch)
+    }
+
+    fn execute_kind<O: Oracle + ?Sized>(
+        &self,
+        db: &Database,
+        oracle: &O,
+        input: &Bindings,
+        scratch: &mut Scratch,
+    ) -> Bindings {
+        match &self.kind {
+            Kind::True => input.clone(),
+            Kind::False => Bindings::none(self.in_vars.iter().copied()),
+            Kind::Atom { relation, shape } => {
+                let rel = db
+                    .relation(*relation)
+                    .expect("atom over undeclared relation (typecheck bug)");
+                input.join_atom_shaped(rel, shape, scratch)
+            }
+            Kind::CmpFilter { op, a, b } => input.filter(|row| op.eval(a.read(row), b.read(row))),
+            Kind::CmpExtend { v, src } => input.extend_with(*v, |row| src.read(row)),
+            Kind::Not { gvars, inner } => {
+                let candidates = input.project(gvars);
+                let sat = inner.execute(db, oracle, &candidates, scratch);
+                input.antijoin(&sat)
+            }
+            Kind::AndChain { steps, .. } => {
+                let mut acc = input.clone();
+                for step in steps {
+                    acc = step.execute(db, oracle, &acc, scratch);
+                }
+                acc
+            }
+            Kind::Or { a, b } => {
+                let ra = a.execute(db, oracle, input, scratch);
+                let rb = b.execute(db, oracle, input, scratch);
+                ra.union(&rb)
+            }
+            Kind::Exists { drop, inner } => {
+                let r = inner.execute(db, oracle, input, scratch);
+                r.project_away(drop)
+            }
+            Kind::TemporalProbe { node, proj } => {
+                input.filter(|row| oracle.contains(node, &row.project(proj)))
+            }
+            Kind::TemporalJoin { node, shape } => {
+                input.natural_join_shaped(&oracle.extension(node), shape, scratch)
+            }
+            Kind::HistProbe { node, proj } => {
+                input.filter(|row| oracle.hist_holds(node, &row.project(proj)))
+            }
+            Kind::CountFilter {
+                body,
+                outer_pos_ext,
+                pos_in,
+                op,
+                threshold,
+            } => {
+                let counts = count_groups(body, outer_pos_ext, db, oracle, scratch);
+                let threshold = Value::Int(*threshold);
+                input.filter(|row| {
+                    let n = counts.get(&row.project(pos_in)).copied().unwrap_or(0);
+                    op.eval(Value::Int(n), threshold)
+                })
+            }
+            Kind::CountJoin {
+                body,
+                outer,
+                outer_pos_ext,
+                shape,
+                op,
+                threshold,
+            } => {
+                let counts = count_groups(body, outer_pos_ext, db, oracle, scratch);
+                let threshold = Value::Int(*threshold);
+                let rows = counts
+                    .into_iter()
+                    .filter(|&(_, n)| op.eval(Value::Int(n), threshold))
+                    .map(|(k, _)| k);
+                let groups = Bindings::from_rows(outer.clone(), rows);
+                input.natural_join_shaped(&groups, shape, scratch)
+            }
+        }
+    }
+
+    /// Static plan statistics, aggregated over the whole tree.
+    pub fn stats(&self) -> PlanStats {
+        let mut s = PlanStats {
+            nodes: 1,
+            cached_nodes: usize::from(self.cache_slot.is_some()),
+            ..PlanStats::default()
+        };
+        match &self.kind {
+            Kind::True | Kind::False | Kind::CmpFilter { .. } | Kind::CmpExtend { .. } => {}
+            Kind::Atom { .. } => s.atom_shapes += 1,
+            Kind::Not { inner, .. } | Kind::Exists { inner, .. } => s.absorb(inner.stats()),
+            Kind::AndChain { steps, .. } => {
+                for step in steps {
+                    s.absorb(step.stats());
+                }
+            }
+            Kind::Or { a, b } => {
+                s.absorb(a.stats());
+                s.absorb(b.stats());
+            }
+            Kind::TemporalProbe { .. } | Kind::HistProbe { .. } => s.probe_nodes += 1,
+            Kind::TemporalJoin { .. } => s.join_shapes += 1,
+            Kind::CountFilter { body, .. } => s.absorb(body.stats()),
+            Kind::CountJoin { body, .. } => {
+                s.join_shapes += 1;
+                s.absorb(body.stats());
+            }
+        }
+        s
+    }
+}
+
+/// Evaluates the aggregate body from the unit input and groups its rows by
+/// the outer-variable positions (shared by both count arms).
+fn count_groups<O: Oracle + ?Sized>(
+    body: &Plan,
+    outer_pos_ext: &[usize],
+    db: &Database,
+    oracle: &O,
+    scratch: &mut Scratch,
+) -> std::collections::HashMap<rtic_relation::Tuple, i64> {
+    let ext = body.execute(db, oracle, &Bindings::unit(), scratch);
+    let mut counts = std::collections::HashMap::new();
+    for row in ext.rows() {
+        *counts.entry(row.project(outer_pos_ext)).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// All plans a compiled constraint needs: the denial body from the unit
+/// input, plus per-temporal-node operand plans matching each checker's
+/// evaluation sites (operands from unit; `since` continuations from the
+/// node's key schema).
+#[derive(Clone, Debug)]
+pub struct EvalPlans {
+    /// The denial body, planned from the empty (unit) input schema.
+    pub body: Plan,
+    /// Operand plans parallel to `CompiledConstraint::nodes`.
+    pub node_ops: Vec<NodePlans>,
+}
+
+/// Operand plans for one temporal node.
+#[derive(Clone, Debug)]
+pub enum NodePlans {
+    /// `prev`/`once`/`hist`: the single operand, planned from unit.
+    Operand(Plan),
+    /// `since`: the anchor operand `g` from unit, and the continuation
+    /// operand `f` planned against the node's sorted key variables.
+    Since {
+        /// Continuation operand over the node's key schema (boxed to keep
+        /// the variant the same size class as `Operand`).
+        f: Box<Plan>,
+        /// Anchor operand from unit.
+        g: Plan,
+    },
+}
+
+impl EvalPlans {
+    /// Builds the body plan plus one operand plan per temporal node, then
+    /// marks every database-pure unit-input subtree for memoized execution
+    /// (slots are unique across the whole constraint, matching the one
+    /// [`Scratch`] each checker threads through its plans).
+    pub fn build(body: &Formula, nodes: &[Formula]) -> EvalPlans {
+        let mut node_ops: Vec<NodePlans> = nodes
+            .iter()
+            .map(|node| match node {
+                Formula::Prev(_, g) | Formula::Once(_, g) | Formula::Hist(_, g) => {
+                    NodePlans::Operand(Plan::compile(g, &[]))
+                }
+                Formula::Since(_, f, g) => {
+                    let keys = sorted_free_vars(node);
+                    NodePlans::Since {
+                        f: Box::new(Plan::compile(f, &keys)),
+                        g: Plan::compile(g, &[]),
+                    }
+                }
+                other => unreachable!("non-temporal node collected: {other}"),
+            })
+            .collect();
+        let mut body = Plan::compile(body, &[]);
+        let mut next_slot = 0;
+        body.assign_cache_slots(&mut next_slot);
+        for op in &mut node_ops {
+            match op {
+                NodePlans::Operand(g) => g.assign_cache_slots(&mut next_slot),
+                NodePlans::Since { f, g } => {
+                    f.assign_cache_slots(&mut next_slot);
+                    g.assign_cache_slots(&mut next_slot);
+                }
+            }
+        }
+        EvalPlans { body, node_ops }
+    }
+
+    /// Aggregated static statistics across the body and all operand plans.
+    pub fn stats(&self) -> PlanStats {
+        let mut s = self.body.stats();
+        for op in &self.node_ops {
+            match op {
+                NodePlans::Operand(g) => s.absorb(g.stats()),
+                NodePlans::Since { f, g } => {
+                    s.absorb(f.stats());
+                    s.absorb(g.stats());
+                }
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval, NoTemporal};
+    use rtic_relation::{tuple, Catalog, Schema, Sort, Update};
+    use rtic_temporal::normalize::normalize;
+    use std::sync::Arc;
+
+    fn db() -> Database {
+        let catalog = Arc::new(
+            Catalog::new()
+                .with(
+                    "emp",
+                    Schema::of(&[("name", Sort::Str), ("dept", Sort::Str)]),
+                )
+                .unwrap()
+                .with(
+                    "mgr",
+                    Schema::of(&[("dept", Sort::Str), ("boss", Sort::Str)]),
+                )
+                .unwrap()
+                .with(
+                    "sal",
+                    Schema::of(&[("name", Sort::Str), ("amt", Sort::Int)]),
+                )
+                .unwrap(),
+        );
+        let mut db = Database::new(catalog);
+        db.apply(
+            &Update::new()
+                .with_insert("emp", tuple!["ann", "eng"])
+                .with_insert("emp", tuple!["bob", "eng"])
+                .with_insert("emp", tuple!["cal", "ops"])
+                .with_insert("mgr", tuple!["eng", "dot"])
+                .with_insert("sal", tuple!["ann", 90])
+                .with_insert("sal", tuple!["bob", 70])
+                .with_insert("sal", tuple!["cal", 80]),
+        )
+        .unwrap();
+        db
+    }
+
+    fn parse(src: &str) -> Formula {
+        let f = normalize(&rtic_temporal::parser::parse_formula(src).unwrap());
+        rtic_temporal::safety::check(&f).unwrap();
+        f
+    }
+
+    #[test]
+    fn planned_matches_interpreted_on_first_order_formulas() {
+        let db = db();
+        for src in [
+            "emp(n, d)",
+            "emp(n, d) && mgr(d, b)",
+            "emp(n, d) && !mgr(d, b) && b = \"dot\"",
+            "exists n . emp(n, d)",
+            "sal(n, a) && a >= 80",
+            "sal(n, a) && m = a && m > 85",
+            "emp(n, \"ops\") || sal(n, 90) && true",
+            "emp(n, d) && false",
+            "emp(n, d) && !(exists m . sal(m, 1000))",
+            "emp(n, d) && count m . (emp(m, d)) >= 2",
+            "emp(n, d) && count m . (exists a . emp(m, d) && sal(m, a) && a >= 100) = 0",
+            "emp(n, d) && mgr(d, b) && n = b",
+        ] {
+            let f = parse(src);
+            let plan = Plan::compile(&f, &[]);
+            let mut scratch = Scratch::new();
+            let planned = plan.execute(&db, &NoTemporal, &Bindings::unit(), &mut scratch);
+            let interpreted = eval(&f, &db, &NoTemporal, &Bindings::unit());
+            assert_eq!(planned, interpreted, "{src}");
+            assert_eq!(
+                planned.to_string(),
+                interpreted.to_string(),
+                "display must be byte-identical: {src}"
+            );
+            assert_eq!(plan.out_vars(), interpreted.vars(), "{src}");
+        }
+    }
+
+    #[test]
+    fn root_conjunct_order_matches_the_interpreter() {
+        let f = parse("emp(n, d) && mgr(d, b) && b = \"dot\"");
+        let plan = Plan::compile(&f, &[]);
+        let conjuncts = safety::flatten_and(&f);
+        let expected = safety::conjunct_order(&conjuncts, &BTreeSet::new()).unwrap();
+        assert_eq!(plan.root_conjunct_order(), Some(expected.as_slice()));
+        let atom = parse("emp(n, d)");
+        assert_eq!(Plan::compile(&atom, &[]).root_conjunct_order(), None);
+    }
+
+    #[test]
+    fn stats_count_shapes() {
+        let f = parse("emp(n, d) && mgr(d, b)");
+        let s = Plan::compile(&f, &[]).stats();
+        assert_eq!(s.atom_shapes, 2);
+        assert!(s.nodes >= 3, "chain plus two atoms");
+        assert_eq!(s.join_shapes, 0);
+        assert_eq!(s.probe_nodes, 0);
+    }
+}

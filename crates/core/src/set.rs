@@ -550,6 +550,34 @@ impl ConstraintSet {
             stored_tuples: self.db.total_tuples(),
         }
     }
+
+    /// Aggregate compiled-plan statistics across every engine: plan shape
+    /// counts add up, the scratch high-water mark takes the fleet maximum.
+    pub fn plan_stats(&self) -> crate::plan::RuntimePlanStats {
+        let mut total = crate::plan::RuntimePlanStats::default();
+        for e in &self.engines {
+            total.absorb(crate::plan::RuntimePlanStats {
+                plan: e.compiled.plans.stats(),
+                scratch_high_water: e.scratch_high_water(),
+            });
+        }
+        total
+    }
+
+    /// Emits one `PlanStatsSample` event per engine, mirroring
+    /// [`ConstraintSet::sample_space`].
+    pub fn sample_plan_stats(&self, obs: &mut dyn StepObserver) {
+        for e in &self.engines {
+            obs.observe(&StepEvent::PlanStatsSample {
+                checker: "set",
+                constraint: e.compiled.constraint.name,
+                stats: crate::plan::RuntimePlanStats {
+                    plan: e.compiled.plans.stats(),
+                    scratch_high_water: e.scratch_high_water(),
+                },
+            });
+        }
+    }
 }
 
 #[cfg(test)]

@@ -14,10 +14,11 @@ use rtic_history::{History, HistoryError};
 use rtic_relation::{Catalog, Update};
 use rtic_temporal::{Constraint, Horizon, TimePoint};
 
+use crate::binding::Scratch;
 use crate::checker::Checker;
 use crate::compile::CompiledConstraint;
 use crate::error::CompileError;
-use crate::naive::eval_at;
+use crate::naive::eval_at_planned;
 use crate::report::{SpaceStats, StepReport};
 
 /// Horizon-window checker.
@@ -25,6 +26,7 @@ use crate::report::{SpaceStats, StepReport};
 pub struct WindowedChecker {
     compiled: CompiledConstraint,
     history: History,
+    scratch: Scratch,
 }
 
 impl WindowedChecker {
@@ -40,7 +42,11 @@ impl WindowedChecker {
     /// Builds a checker from an already-compiled constraint.
     pub fn from_compiled(compiled: CompiledConstraint) -> WindowedChecker {
         let history = History::new(Arc::clone(&compiled.catalog));
-        WindowedChecker { compiled, history }
+        WindowedChecker {
+            compiled,
+            history,
+            scratch: Scratch::new(),
+        }
     }
 
     /// The lookback horizon governing pruning.
@@ -71,7 +77,7 @@ impl Checker for WindowedChecker {
             }
         }
         let i = self.history.len() - 1;
-        let violations = eval_at(&self.history, i, &self.compiled.body);
+        let violations = eval_at_planned(&self.history, i, &self.compiled, &mut self.scratch);
         Ok(StepReport {
             constraint: self.compiled.constraint.name,
             time,
@@ -90,6 +96,15 @@ impl Checker for WindowedChecker {
 
     fn name(&self) -> &'static str {
         "windowed"
+    }
+
+    fn plan_stats(&self) -> Option<crate::plan::RuntimePlanStats> {
+        // Only the body plan runs over the window; the temporal recursion
+        // stays interpreted.
+        Some(crate::plan::RuntimePlanStats {
+            plan: self.compiled.plans.body.stats(),
+            scratch_high_water: self.scratch.high_water(),
+        })
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

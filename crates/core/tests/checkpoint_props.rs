@@ -83,7 +83,7 @@ proptest! {
         ablate in any::<bool>(),
     ) {
         let cat = catalog();
-        let options = EncodingOptions { disable_stamp_specialization: ablate };
+        let options = EncodingOptions { disable_stamp_specialization: ablate, ..Default::default() };
         let cut = ((ts.len() as f64) * cut_frac) as usize;
         // Uninterrupted run.
         let mut reference =

@@ -167,7 +167,7 @@ proptest! {
         let mut plain = IncrementalChecker::with_options(
             c.clone(),
             Arc::clone(&cat),
-            EncodingOptions { disable_stamp_specialization: true },
+            EncodingOptions { disable_stamp_specialization: true, ..Default::default() },
         )
         .unwrap();
         for tr in &ts {

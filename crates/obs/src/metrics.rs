@@ -3,7 +3,7 @@
 
 use std::collections::BTreeMap;
 
-use rtic_core::{SpaceStats, StepEvent, StepObserver};
+use rtic_core::{RuntimePlanStats, SpaceStats, StepEvent, StepObserver};
 
 use crate::json::Json;
 
@@ -182,6 +182,7 @@ pub struct MetricsRegistry {
     eval_latency: LatencyHistogram,
     checkers: BTreeMap<&'static str, SpaceStats>,
     space_samples: Vec<SpaceSampleRow>,
+    plan_stats: BTreeMap<(&'static str, &'static str), RuntimePlanStats>,
 }
 
 impl MetricsRegistry {
@@ -250,6 +251,18 @@ impl MetricsRegistry {
     /// Number of space samples recorded.
     pub fn space_sample_count(&self) -> usize {
         self.space_samples.len()
+    }
+
+    /// Latest compiled-plan statistics per checker backend, aggregated
+    /// across that backend's constraints (plan shapes add up, the scratch
+    /// high-water mark takes the maximum). Empty when every checker runs
+    /// the interpreting evaluator.
+    pub fn plan_stats_by_checker(&self) -> BTreeMap<&'static str, RuntimePlanStats> {
+        let mut by_checker: BTreeMap<&'static str, RuntimePlanStats> = BTreeMap::new();
+        for ((checker, _constraint), stats) in &self.plan_stats {
+            by_checker.entry(checker).or_default().absorb(*stats);
+        }
+        by_checker
     }
 
     /// The most recent space sample per constraint, in first-sampled
@@ -342,6 +355,22 @@ impl MetricsRegistry {
             )
             .set("space_samples", Json::Arr(samples))
             .set("checkers", Json::Arr(checkers))
+            .set("plan_stats", {
+                let mut obj = Json::object();
+                for (name, stats) in self.plan_stats_by_checker() {
+                    obj = obj.set(
+                        name,
+                        Json::object()
+                            .set("nodes", stats.plan.nodes)
+                            .set("atom_shapes", stats.plan.atom_shapes)
+                            .set("join_shapes", stats.plan.join_shapes)
+                            .set("probe_nodes", stats.plan.probe_nodes)
+                            .set("cached_nodes", stats.plan.cached_nodes)
+                            .set("scratch_high_water", stats.scratch_high_water),
+                    );
+                }
+                obj
+            })
     }
 
     /// Pretty-printed JSON exposition.
@@ -472,6 +501,33 @@ impl MetricsRegistry {
                 stats.stored_tuples
             );
         }
+        let plans = self.plan_stats_by_checker();
+        if !plans.is_empty() {
+            let _ = writeln!(
+                out,
+                "# HELP rtic_plan_nodes Compiled evaluation-plan nodes per checker backend."
+            );
+            let _ = writeln!(out, "# TYPE rtic_plan_nodes gauge");
+            for (name, stats) in &plans {
+                let _ = writeln!(
+                    out,
+                    "rtic_plan_nodes{{checker=\"{name}\"}} {}",
+                    stats.plan.nodes
+                );
+            }
+            let _ = writeln!(
+                out,
+                "# HELP rtic_plan_scratch_high_water Peak reusable scratch-buffer size per checker backend."
+            );
+            let _ = writeln!(out, "# TYPE rtic_plan_scratch_high_water gauge");
+            for (name, stats) in &plans {
+                let _ = writeln!(
+                    out,
+                    "rtic_plan_scratch_high_water{{checker=\"{name}\"}} {}",
+                    stats.scratch_high_water
+                );
+            }
+        }
         out
     }
 }
@@ -532,6 +588,16 @@ impl StepObserver for MetricsRegistry {
             }
             StepEvent::BadLine { .. } => {
                 self.bad_lines += 1;
+            }
+            StepEvent::PlanStatsSample {
+                checker,
+                constraint,
+                stats,
+            } => {
+                // Keyed per (checker, constraint) so re-sampling replaces the
+                // previous snapshot instead of double-counting plan shapes.
+                self.plan_stats
+                    .insert((checker, constraint.as_str()), *stats);
             }
             StepEvent::SpaceSample {
                 checker,
@@ -667,6 +733,45 @@ mod tests {
         assert!(text.contains("rtic_quarantines_total 1"));
         assert!(text.contains("rtic_checkpoint_fallbacks_total 1"));
         assert!(text.contains("rtic_bad_lines_total 2"));
+    }
+
+    #[test]
+    fn plan_stats_samples_aggregate_per_checker() {
+        use rtic_core::RuntimePlanStats;
+        use rtic_relation::Symbol;
+        let mut registry = MetricsRegistry::new();
+        let sample = |constraint: &str, nodes: usize, high: usize| StepEvent::PlanStatsSample {
+            checker: "incremental",
+            constraint: Symbol::intern(constraint),
+            stats: RuntimePlanStats {
+                plan: rtic_core::PlanStats {
+                    nodes,
+                    atom_shapes: 2,
+                    join_shapes: 1,
+                    probe_nodes: 1,
+                    cached_nodes: 1,
+                },
+                scratch_high_water: high,
+            },
+        };
+        registry.observe(&sample("a", 5, 8));
+        registry.observe(&sample("b", 3, 2));
+        // Re-sampling the same constraint replaces, never double-counts.
+        registry.observe(&sample("a", 5, 16));
+        let by = registry.plan_stats_by_checker();
+        let inc = by.get("incremental").unwrap();
+        assert_eq!(inc.plan.nodes, 8);
+        assert_eq!(inc.scratch_high_water, 16);
+        let doc = json::parse(&registry.render_json()).unwrap();
+        let plans = doc.get("plan_stats").unwrap().get("incremental").unwrap();
+        assert_eq!(plans.get("nodes").and_then(Json::as_u64), Some(8));
+        assert_eq!(
+            plans.get("scratch_high_water").and_then(Json::as_u64),
+            Some(16)
+        );
+        let text = registry.render_prometheus();
+        assert!(text.contains("rtic_plan_nodes{checker=\"incremental\"} 8"));
+        assert!(text.contains("rtic_plan_scratch_high_water{checker=\"incremental\"} 16"));
     }
 
     #[test]

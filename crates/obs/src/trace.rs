@@ -73,6 +73,19 @@ pub fn event_json(seq: u64, event: &StepEvent<'_>) -> Json {
         StepEvent::BadLine { line, detail } => base
             .set("line", *line as u64)
             .set("detail", detail.as_str()),
+        StepEvent::PlanStatsSample {
+            checker,
+            constraint,
+            stats,
+        } => base
+            .set("checker", *checker)
+            .set("constraint", constraint.as_str())
+            .set("plan_nodes", stats.plan.nodes)
+            .set("atom_shapes", stats.plan.atom_shapes)
+            .set("join_shapes", stats.plan.join_shapes)
+            .set("probe_nodes", stats.plan.probe_nodes)
+            .set("cached_nodes", stats.plan.cached_nodes)
+            .set("scratch_high_water", stats.scratch_high_water),
         StepEvent::SpaceSample {
             checker,
             constraint,

@@ -9,8 +9,8 @@ use std::sync::Arc;
 
 use rtic_active::ActiveChecker;
 use rtic_core::{
-    checkpoint, BackendId, Checker, ConstraintSet, IncrementalChecker, NaiveChecker, Parallelism,
-    WindowedChecker,
+    checkpoint, BackendId, Checker, ConstraintSet, EncodingOptions, IncrementalChecker,
+    NaiveChecker, Parallelism, WindowedChecker,
 };
 use rtic_history::Transition;
 use rtic_relation::Catalog;
@@ -24,6 +24,15 @@ use crate::generate::Case;
 pub enum Mode {
     /// A single standalone checker from the shared backend enumeration.
     Single(BackendId),
+    /// The naive checker evaluating its body through the compiled plan.
+    /// The reference (`Single(Naive)`) runs the interpreting evaluator,
+    /// so this entry diffs planned against interpreted execution over the
+    /// very same history storage.
+    NaivePlanned,
+    /// The incremental checker forced back onto the interpreting
+    /// evaluator (`EncodingOptions::interpret_eval`) — the converse
+    /// plan-vs-interpret probe, through the bounded encoding.
+    IncrementalInterpreted,
     /// [`ConstraintSet`] stepped sequentially (relevance dispatch on).
     SetSequential,
     /// [`ConstraintSet`] with [`Parallelism::Auto`] worker fan-out.
@@ -35,13 +44,15 @@ pub enum Mode {
 
 impl Mode {
     /// Every mode, reference first. The naive checker re-evaluates the
-    /// full stored history and is the semantics-defining baseline all
-    /// other modes are diffed against.
-    pub const ALL: [Mode; 7] = [
+    /// full stored history through the interpreting evaluator and is the
+    /// semantics-defining baseline all other modes are diffed against.
+    pub const ALL: [Mode; 9] = [
         Mode::Single(BackendId::Naive),
         Mode::Single(BackendId::Incremental),
         Mode::Single(BackendId::Windowed),
         Mode::Single(BackendId::Active),
+        Mode::NaivePlanned,
+        Mode::IncrementalInterpreted,
         Mode::SetSequential,
         Mode::SetParallel,
         Mode::Stitch,
@@ -51,6 +62,8 @@ impl Mode {
     pub fn name(self) -> &'static str {
         match self {
             Mode::Single(b) => b.name(),
+            Mode::NaivePlanned => "naive-plan",
+            Mode::IncrementalInterpreted => "inc-interp",
             Mode::SetSequential => "set",
             Mode::SetParallel => "set-par",
             Mode::Stitch => "stitch",
@@ -93,13 +106,25 @@ pub fn run_constraint(
 ) -> Result<Vec<String>, String> {
     match mode {
         Mode::Single(b) => {
-            let mut checker: Box<dyn Checker> = single_checker(b, constraint, catalog)?;
-            let mut lines = Vec::with_capacity(transitions.len());
-            for t in transitions {
-                let report = checker.step(t.time, &t.update).map_err(|e| e.to_string())?;
-                lines.push(report.to_string());
-            }
-            Ok(lines)
+            let checker = single_checker(b, constraint, catalog)?;
+            run_single(checker, transitions)
+        }
+        Mode::NaivePlanned => {
+            let err = |e: rtic_core::CompileError| format!("constraint `{}`: {e}", constraint.name);
+            let checker =
+                NaiveChecker::new(constraint.clone(), Arc::clone(catalog)).map_err(err)?;
+            run_single(Box::new(checker), transitions)
+        }
+        Mode::IncrementalInterpreted => {
+            let err = |e: rtic_core::CompileError| format!("constraint `{}`: {e}", constraint.name);
+            let options = EncodingOptions {
+                interpret_eval: true,
+                ..Default::default()
+            };
+            let checker =
+                IncrementalChecker::with_options(constraint.clone(), Arc::clone(catalog), options)
+                    .map_err(err)?;
+            run_single(Box::new(checker), transitions)
         }
         Mode::SetSequential => run_set(constraint, catalog, transitions, Parallelism::Sequential),
         Mode::SetParallel => run_set(constraint, catalog, transitions, Parallelism::Auto),
@@ -107,9 +132,23 @@ pub fn run_constraint(
     }
 }
 
+fn run_single(
+    mut checker: Box<dyn Checker>,
+    transitions: &[Transition],
+) -> Result<Vec<String>, String> {
+    let mut lines = Vec::with_capacity(transitions.len());
+    for t in transitions {
+        let report = checker.step(t.time, &t.update).map_err(|e| e.to_string())?;
+        lines.push(report.to_string());
+    }
+    Ok(lines)
+}
+
 /// Constructs a standalone checker for a [`BackendId`] — the oracle-side
 /// twin of the CLI's backend construction (the oracle depends on every
-/// backend crate, so it can realize the whole enumeration).
+/// backend crate, so it can realize the whole enumeration). The naive
+/// checker is built in interpreting mode: as the reference it must stay on
+/// the semantics-defining evaluator, not the plans under test.
 pub fn single_checker(
     b: BackendId,
     constraint: &Constraint,
@@ -120,7 +159,7 @@ pub fn single_checker(
     let err = |e: rtic_core::CompileError| format!("constraint `{}`: {e}", constraint.name);
     Ok(match b {
         BackendId::Incremental => Box::new(IncrementalChecker::new(c, cat).map_err(err)?),
-        BackendId::Naive => Box::new(NaiveChecker::new(c, cat).map_err(err)?),
+        BackendId::Naive => Box::new(NaiveChecker::new_interpreted(c, cat).map_err(err)?),
         BackendId::Windowed => Box::new(WindowedChecker::new(c, cat).map_err(err)?),
         BackendId::Active => Box::new(ActiveChecker::new(c, cat).map_err(err)?),
     })

@@ -88,11 +88,41 @@ impl Catalog {
 }
 
 /// A database state: one instance per catalogued relation.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Debug)]
 pub struct Database {
     catalog: Arc<Catalog>,
     relations: BTreeMap<Symbol, Relation>,
+    id: u64,
+    generation: u64,
 }
+
+fn fresh_db_id() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+impl Clone for Database {
+    fn clone(&self) -> Database {
+        // A clone can be mutated independently of the original, so it gets
+        // its own identity: two databases never share a cache stamp unless
+        // one literally is the other at an earlier, unmutated generation.
+        Database {
+            catalog: Arc::clone(&self.catalog),
+            relations: self.relations.clone(),
+            id: fresh_db_id(),
+            generation: 0,
+        }
+    }
+}
+
+impl PartialEq for Database {
+    fn eq(&self, other: &Database) -> bool {
+        self.catalog == other.catalog && self.relations == other.relations
+    }
+}
+
+impl Eq for Database {}
 
 impl Database {
     /// An empty database over `catalog`.
@@ -107,7 +137,21 @@ impl Database {
                 (n, Relation::new(schema))
             })
             .collect();
-        Database { catalog, relations }
+        Database {
+            catalog,
+            relations,
+            id: fresh_db_id(),
+            generation: 0,
+        }
+    }
+
+    /// An identity for this exact contents: the instance id plus a
+    /// generation counter bumped on every mutation. Equal stamps imply
+    /// equal contents (each instance — including every clone — has a
+    /// unique id, and its generation only moves forward), so evaluation
+    /// caches can key on the stamp instead of hashing tuples.
+    pub fn cache_stamp(&self) -> (u64, u64) {
+        (self.id, self.generation)
     }
 
     /// The shared catalog.
@@ -122,8 +166,10 @@ impl Database {
             .ok_or(RelationError::UnknownRelation { name })
     }
 
-    /// Mutable instance of `name`.
+    /// Mutable instance of `name`. Conservatively advances the cache stamp:
+    /// handing out `&mut` counts as a mutation.
     pub fn relation_mut(&mut self, name: Symbol) -> Result<&mut Relation, RelationError> {
+        self.generation += 1;
         self.relations
             .get_mut(&name)
             .ok_or(RelationError::UnknownRelation { name })
@@ -162,6 +208,9 @@ impl Database {
         }
         for name in update.deletes.keys() {
             self.relation(*name)?;
+        }
+        if !update.is_empty() {
+            self.generation += 1;
         }
         for (name, tuples) in &update.deletes {
             let rel = self.relations.get_mut(name).expect("validated above");

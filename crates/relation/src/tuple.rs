@@ -3,15 +3,23 @@
 use std::fmt;
 use std::ops::Index;
 
+use smallvec::SmallVec;
+
 use crate::value::Value;
+
+/// Tuples up to this arity are stored inline, with no heap allocation.
+const INLINE_ARITY: usize = 4;
 
 /// A database tuple.
 ///
 /// Tuples are immutable once constructed; the storage layer clones them
-/// freely ([`Value`] is `Copy`, so a clone is a shallow memcpy of the boxed
-/// slice).
+/// freely ([`Value`] is `Copy`, so a clone of a small tuple is a plain
+/// memcpy). Tuples of arity ≤ 4 — the overwhelming majority in practice —
+/// live entirely inline; wider tuples spill to a boxed slice. The inline
+/// representation never leaks into semantics: equality, ordering and
+/// hashing are exactly those of the underlying value slice.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-pub struct Tuple(Box<[Value]>);
+pub struct Tuple(SmallVec<Value, INLINE_ARITY>);
 
 impl Tuple {
     /// Builds a tuple from values.
@@ -21,7 +29,7 @@ impl Tuple {
 
     /// The empty tuple (arity 0).
     pub fn empty() -> Tuple {
-        Tuple(Box::new([]))
+        Tuple(SmallVec::new())
     }
 
     /// Number of fields.
@@ -142,5 +150,15 @@ mod tests {
     fn ord_is_lexicographic_over_fields() {
         assert!(tuple![1, 2] < tuple![1, 3]);
         assert!(tuple![1] < tuple![1, 0], "shorter prefix sorts first");
+    }
+
+    #[test]
+    fn small_tuples_are_stored_inline() {
+        assert!(tuple![1, 2, 3, 4].0.is_inline());
+        let wide = tuple![1, 2, 3, 4, 5];
+        assert!(!wide.0.is_inline());
+        assert_eq!(wide.arity(), 5);
+        // Representation must not affect equality across the boundary.
+        assert_eq!(wide.project(&[0, 1]), tuple![1, 2]);
     }
 }

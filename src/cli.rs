@@ -557,13 +557,19 @@ fn check(args: &[String], out: &mut String) -> Result<i32, String> {
             obs.push(t);
         }
         match &engine {
-            CheckEngine::Independent(checkers) => observe::sample_space(
-                checkers,
-                last_time.unwrap_or(rtic_temporal::TimePoint(0)),
-                transitions as u64,
-                &mut obs,
-            ),
-            CheckEngine::Fleet(set) => set.sample_space(transitions as u64, &mut obs),
+            CheckEngine::Independent(checkers) => {
+                observe::sample_space(
+                    checkers,
+                    last_time.unwrap_or(rtic_temporal::TimePoint(0)),
+                    transitions as u64,
+                    &mut obs,
+                );
+                observe::sample_plan_stats(checkers, &mut obs);
+            }
+            CheckEngine::Fleet(set) => {
+                set.sample_space(transitions as u64, &mut obs);
+                set.sample_plan_stats(&mut obs);
+            }
         }
     }
     if let Some(rotation) = &checkpoint_rotation {
@@ -637,6 +643,18 @@ fn check(args: &[String], out: &mut String) -> Result<i32, String> {
                     d.quarantined
                 );
             }
+        }
+        for (name, plan) in registry.plan_stats_by_checker() {
+            let _ = writeln!(
+                out,
+                "plan[{name}]: {} node(s), {} atom shape(s), {} join shape(s), {} probe(s), {} memoized, scratch high-water {}",
+                plan.plan.nodes,
+                plan.plan.atom_shapes,
+                plan.plan.join_shapes,
+                plan.plan.probe_nodes,
+                plan.plan.cached_nodes,
+                plan.scratch_high_water,
+            );
         }
         if registry.checkpoint_fallbacks() > 0 {
             let _ = writeln!(

@@ -71,6 +71,7 @@ fn check_clean_log_exits_zero() {
     assert_eq!(code.unwrap(), 0);
     assert!(out.contains("0 violation witness(es)"), "{out}");
     assert!(out.contains("space[unconfirmed]"), "{out}");
+    assert!(out.contains("plan[incremental]"), "{out}");
 }
 
 #[test]

@@ -1,0 +1,242 @@
+//! Offline stand-in for the `smallvec` crate.
+//!
+//! The rtic build environment cannot reach a registry, so this crate
+//! vendors the subset rtic-relation needs: a fixed-inline-capacity
+//! sequence of `Copy` elements that stores up to `N` values without a
+//! heap allocation and spills longer sequences to a boxed slice. The API
+//! is deliberately tiny (construction + slice views) because tuples are
+//! immutable once built; it is not a drop-in for the real crate.
+//!
+//! Written without `unsafe`: the inline buffer is a plain `[T; N]` seeded
+//! from the first element, so `T: Copy` is required (which is all rtic
+//! stores — `Value` is `Copy`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+
+/// A sequence of `Copy` elements with inline capacity `N`.
+///
+/// Sequences of length ≤ `N` live entirely inline (no allocation); longer
+/// ones are stored as a boxed slice. All comparison, hashing and ordering
+/// behave exactly like the equivalent `&[T]` — representation never leaks
+/// into semantics.
+pub struct SmallVec<T: Copy, const N: usize>(Repr<T, N>);
+
+enum Repr<T: Copy, const N: usize> {
+    /// `len` live elements at the front of `buf`; trailing slots hold
+    /// copies of earlier elements and are never read.
+    Inline { len: u8, buf: [T; N] },
+    /// The spilled (or empty) form. An empty boxed slice does not
+    /// allocate, so the empty sequence is still allocation-free.
+    Heap(Box<[T]>),
+}
+
+impl<T: Copy, const N: usize> SmallVec<T, N> {
+    /// The empty sequence (allocation-free).
+    pub fn new() -> SmallVec<T, N> {
+        SmallVec(Repr::Heap(Vec::new().into_boxed_slice()))
+    }
+
+    /// Builds from a slice, inline when it fits.
+    pub fn from_slice(s: &[T]) -> SmallVec<T, N> {
+        s.iter().copied().collect()
+    }
+
+    /// The elements as a slice.
+    pub fn as_slice(&self) -> &[T] {
+        match &self.0 {
+            Repr::Inline { len, buf } => &buf[..*len as usize],
+            Repr::Heap(b) => b,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Whether the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the elements are stored inline (diagnostics/tests only).
+    pub fn is_inline(&self) -> bool {
+        matches!(self.0, Repr::Inline { .. })
+    }
+}
+
+impl<T: Copy, const N: usize> Default for SmallVec<T, N> {
+    fn default() -> SmallVec<T, N> {
+        SmallVec::new()
+    }
+}
+
+impl<T: Copy, const N: usize> FromIterator<T> for SmallVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> SmallVec<T, N> {
+        let mut it = iter.into_iter();
+        let Some(first) = it.next() else {
+            return SmallVec::new();
+        };
+        // Seed every slot with the first element so no slot is ever
+        // uninitialized — unused trailing slots are simply never read.
+        let mut buf = [first; N];
+        let mut len = 1usize;
+        loop {
+            let Some(v) = it.next() else {
+                return if N == 0 {
+                    // Capacity 0: even one element must spill.
+                    SmallVec(Repr::Heap(vec![first].into_boxed_slice()))
+                } else {
+                    SmallVec(Repr::Inline {
+                        len: len as u8,
+                        buf,
+                    })
+                };
+            };
+            if len < N {
+                buf[len] = v;
+                len += 1;
+            } else {
+                let mut spill = Vec::with_capacity(len + 1 + it.size_hint().0);
+                if N == 0 {
+                    // `buf` has no slots; the only buffered element is `first`.
+                    spill.push(first);
+                } else {
+                    spill.extend_from_slice(&buf[..len]);
+                }
+                spill.push(v);
+                spill.extend(it);
+                return SmallVec(Repr::Heap(spill.into_boxed_slice()));
+            }
+        }
+    }
+}
+
+impl<T: Copy, const N: usize> Clone for SmallVec<T, N> {
+    fn clone(&self) -> SmallVec<T, N> {
+        match &self.0 {
+            Repr::Inline { len, buf } => SmallVec(Repr::Inline {
+                len: *len,
+                buf: *buf,
+            }),
+            Repr::Heap(b) => SmallVec(Repr::Heap(b.clone())),
+        }
+    }
+}
+
+impl<T: Copy, const N: usize> Deref for SmallVec<T, N> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy + PartialEq, const N: usize> PartialEq for SmallVec<T, N> {
+    fn eq(&self, other: &SmallVec<T, N>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Eq, const N: usize> Eq for SmallVec<T, N> {}
+
+impl<T: Copy + PartialOrd, const N: usize> PartialOrd for SmallVec<T, N> {
+    fn partial_cmp(&self, other: &SmallVec<T, N>) -> Option<Ordering> {
+        self.as_slice().partial_cmp(other.as_slice())
+    }
+}
+
+impl<T: Copy + Ord, const N: usize> Ord for SmallVec<T, N> {
+    fn cmp(&self, other: &SmallVec<T, N>) -> Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl<T: Copy + Hash, const N: usize> Hash for SmallVec<T, N> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Hash exactly like the equivalent slice (length-prefixed), so
+        // representation (inline vs heap) never affects the hash.
+        self.as_slice().hash(state);
+    }
+}
+
+impl<T: Copy + fmt::Debug, const N: usize> fmt::Debug for SmallVec<T, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn sv(vals: &[i64]) -> SmallVec<i64, 4> {
+        SmallVec::from_slice(vals)
+    }
+
+    #[test]
+    fn short_sequences_stay_inline() {
+        for n in 0..=4usize {
+            let vals: Vec<i64> = (0..n as i64).collect();
+            let s = sv(&vals);
+            assert_eq!(s.as_slice(), &vals[..]);
+            assert_eq!(s.is_inline(), n > 0, "len {n}");
+        }
+    }
+
+    #[test]
+    fn long_sequences_spill() {
+        let vals: Vec<i64> = (0..9).collect();
+        let s = sv(&vals);
+        assert!(!s.is_inline());
+        assert_eq!(s.as_slice(), &vals[..]);
+    }
+
+    #[test]
+    fn equality_and_order_ignore_representation() {
+        assert_eq!(sv(&[1, 2]), sv(&[1, 2]));
+        assert!(sv(&[1]) < sv(&[1, 0]), "shorter prefix sorts first");
+        assert!(sv(&[1, 2]) < sv(&[1, 3]));
+        let spilled: SmallVec<i64, 1> = [1, 2].into_iter().collect();
+        let inline: SmallVec<i64, 4> = [1, 2].into_iter().collect();
+        assert_eq!(spilled.as_slice(), inline.as_slice());
+    }
+
+    #[test]
+    fn hash_matches_the_slice_hash() {
+        let hash_of = |s: &dyn Fn(&mut DefaultHasher)| {
+            let mut h = DefaultHasher::new();
+            s(&mut h);
+            std::hash::Hasher::finish(&h)
+        };
+        let inline = sv(&[7, 8]);
+        let slice: &[i64] = &[7, 8];
+        assert_eq!(
+            hash_of(&|h| inline.hash(h)),
+            hash_of(&|h| slice.hash(h)),
+            "inline hash must equal slice hash"
+        );
+    }
+
+    #[test]
+    fn zero_capacity_always_spills() {
+        let s: SmallVec<i64, 0> = [5, 6].into_iter().collect();
+        assert!(!s.is_inline());
+        assert_eq!(s.as_slice(), &[5, 6]);
+        let one: SmallVec<i64, 0> = [5].into_iter().collect();
+        assert_eq!(one.as_slice(), &[5]);
+    }
+
+    #[test]
+    fn empty_is_default() {
+        let s: SmallVec<i64, 4> = SmallVec::default();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+}
