@@ -1,0 +1,66 @@
+//! Plan-node profiling must be near-free when disabled: steady-state
+//! stepping with `EncodingOptions::default()` vs `profile_plans: true`
+//! on the paper's motivating constraint (the same shape as the
+//! `eval_plan` bench, so the ≤2% disabled-cost budget is measured
+//! against the path the profiler instruments).
+//!
+//! `RTIC_BENCH_SMOKE=1` shrinks the sweep to one short history — used by
+//! CI to keep the bench compiling and running without paying for a full
+//! measurement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtic_core::{Checker, EncodingOptions, IncrementalChecker};
+use rtic_temporal::parser::parse_constraint;
+use rtic_workload::Reservations;
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let smoke = std::env::var("RTIC_BENCH_SMOKE").is_ok();
+    let sweep: &[usize] = if smoke { &[50] } else { &[200, 800] };
+    let mut group = c.benchmark_group("profiler_overhead");
+    group.sample_size(10);
+    let constraint = parse_constraint(
+        "deny unconfirmed_ever: reserved(p, f) && once[2,*] reserved_at(p, f) \
+         && !once confirmed(p, f)",
+    )
+    .unwrap();
+    for &n in sweep {
+        let g = Reservations {
+            steps: n,
+            ..Default::default()
+        }
+        .generate();
+        let options = [
+            ("profiling_off", EncodingOptions::default()),
+            (
+                "profiling_on",
+                EncodingOptions {
+                    profile_plans: true,
+                    ..Default::default()
+                },
+            ),
+        ];
+        for (name, opts) in options {
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                let mut ck = IncrementalChecker::with_options(
+                    constraint.clone(),
+                    Arc::clone(&g.catalog),
+                    opts,
+                )
+                .unwrap();
+                for tr in &g.transitions {
+                    ck.step(tr.time, &tr.update).unwrap();
+                }
+                let mut t = g.transitions.last().unwrap().time.0;
+                b.iter(|| {
+                    t += 1;
+                    ck.step(t.into(), &rtic_relation::Update::new()).unwrap()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! `record` — write a `BENCH_<workload>.json` perf snapshot.
+//!
+//! ```text
+//! record [WORKLOAD] [--steps N] [--seed N] [--out FILE]
+//!        [--compare BASELINE] [--warn-pct P]
+//! ```
+//!
+//! WORKLOAD defaults to `motivating` (the paper's reservations example);
+//! `--out` defaults to `BENCH_<workload>.json` in the current directory.
+//! With `--compare`, the fresh snapshot is diffed against a committed
+//! baseline and regressions beyond `--warn-pct` (default 25%) are
+//! printed — warn-only, the exit code stays 0 so noisy CI runners never
+//! block a merge on timing jitter.
+
+use rtic_bench::record::{compare, git_rev, record, to_json, WORKLOADS};
+use rtic_obs::json;
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn run(args: &[String]) -> Result<i32, String> {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "record [WORKLOAD] [--steps N] [--seed N] [--out FILE] \
+             [--compare BASELINE] [--warn-pct P]\nworkloads: {}",
+            WORKLOADS.join(", ")
+        );
+        return Ok(0);
+    }
+    let workload = args
+        .iter()
+        .take_while(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .next()
+        .unwrap_or("motivating");
+    let steps: usize = flag_value(args, "--steps")
+        .map(|v| v.parse().map_err(|e| format!("bad --steps: {e}")))
+        .transpose()?
+        .unwrap_or(2_000);
+    let seed: u64 = flag_value(args, "--seed")
+        .map(|v| v.parse().map_err(|e| format!("bad --seed: {e}")))
+        .transpose()?
+        .unwrap_or(42);
+    let warn_pct: f64 = flag_value(args, "--warn-pct")
+        .map(|v| v.parse().map_err(|e| format!("bad --warn-pct: {e}")))
+        .transpose()?
+        .unwrap_or(25.0);
+    let out_path = flag_value(args, "--out")
+        .map(String::from)
+        .unwrap_or_else(|| format!("BENCH_{workload}.json"));
+
+    let recording = record(workload, steps, seed)?;
+    let doc = to_json(&recording, &git_rev());
+    if let Some(parent) = std::path::Path::new(&out_path)
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+    {
+        std::fs::create_dir_all(parent)
+            .map_err(|e| format!("cannot create `{}`: {e}", parent.display()))?;
+    }
+    std::fs::write(&out_path, format!("{}\n", doc.render()))
+        .map_err(|e| format!("cannot write `{out_path}`: {e}"))?;
+    println!(
+        "recorded {} ({} steps, seed {}) -> {out_path}: {:.0} steps/s, \
+         p50 {:.1}us p90 {:.1}us p99 {:.1}us",
+        recording.workload,
+        recording.steps,
+        recording.seed,
+        recording.throughput,
+        recording.latency_us.0,
+        recording.latency_us.1,
+        recording.latency_us.2,
+    );
+
+    if let Some(baseline_path) = flag_value(args, "--compare") {
+        let text = std::fs::read_to_string(baseline_path)
+            .map_err(|e| format!("cannot read baseline `{baseline_path}`: {e}"))?;
+        let baseline = json::parse(&text)
+            .map_err(|e| format!("baseline `{baseline_path}` is not valid JSON: {e}"))?;
+        let warnings = compare(&doc, &baseline, warn_pct);
+        if warnings.is_empty() {
+            println!("baseline {baseline_path}: within {warn_pct}% of every tracked metric");
+        } else {
+            for w in &warnings {
+                println!("PERF WARNING {w}");
+            }
+        }
+    }
+    Ok(0)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => std::process::exit(code),
+        Err(e) => {
+            eprintln!("record: {e}");
+            std::process::exit(2);
+        }
+    }
+}

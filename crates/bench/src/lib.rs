@@ -4,10 +4,13 @@
 //!
 //! * [`experiments`] — one function per experiment (T1–T6, F1–F3);
 //! * [`measure`] — instrumented checker runs (per-step timing, space polls);
+//! * [`record`] — perf-trajectory snapshots (`BENCH_<workload>.json`);
 //! * [`table`] — plain-text table rendering.
 //!
 //! `cargo run -p rtic-bench --release --bin experiments` prints every
 //! table (`--quick` for a smoke-scale sweep, `--table t1` for one);
+//! `cargo run -p rtic-bench --release --bin record` writes a perf
+//! snapshot and optionally diffs it against a committed baseline;
 //! `cargo bench` runs the Criterion benches sampling the same code paths.
 
 #![forbid(unsafe_code)]
@@ -16,4 +19,5 @@
 
 pub mod experiments;
 pub mod measure;
+pub mod record;
 pub mod table;

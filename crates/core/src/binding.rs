@@ -47,6 +47,9 @@ pub struct Scratch {
     key: Vec<Value>,
     high_water: usize,
     ext_cache: HashMap<usize, ((u64, u64), Bindings)>,
+    /// Per-node profiler counters, indexed by plan node id. `None` keeps
+    /// the executor's fast path a single discriminant check.
+    profile: Option<Vec<crate::plan::NodeCounters>>,
 }
 
 impl Scratch {
@@ -58,6 +61,57 @@ impl Scratch {
     /// Widest probe key the buffer has ever held (plan statistics).
     pub fn high_water(&self) -> usize {
         self.high_water
+    }
+
+    /// Turns on per-node profiling: every subsequent planned execution
+    /// through this scratch accumulates [`crate::plan::NodeCounters`].
+    pub fn enable_profiling(&mut self) {
+        if self.profile.is_none() {
+            self.profile = Some(Vec::new());
+        }
+    }
+
+    /// Whether profiling is enabled (the executor's one-branch check).
+    #[inline]
+    pub fn profiling(&self) -> bool {
+        self.profile.is_some()
+    }
+
+    /// The accumulated per-node counters, indexed by plan node id; `None`
+    /// until [`Scratch::enable_profiling`] is called.
+    pub fn profile_counters(&self) -> Option<&[crate::plan::NodeCounters]> {
+        self.profile.as_deref()
+    }
+
+    /// Accumulates one execution into `node_id`'s counter slot. Nodes
+    /// compiled outside `EvalPlans::build` carry no id and are skipped.
+    pub(crate) fn profile_record(
+        &mut self,
+        node_id: usize,
+        time_ns: u64,
+        rows_in: u64,
+        rows_out: u64,
+        cache: crate::plan::CacheTouch,
+    ) {
+        let Some(profile) = self.profile.as_mut() else {
+            return;
+        };
+        if node_id == usize::MAX {
+            return;
+        }
+        if profile.len() <= node_id {
+            profile.resize(node_id + 1, crate::plan::NodeCounters::default());
+        }
+        let slot = &mut profile[node_id];
+        slot.calls += 1;
+        slot.time_ns += time_ns;
+        slot.rows_in += rows_in;
+        slot.rows_out += rows_out;
+        match cache {
+            crate::plan::CacheTouch::Hit => slot.cache_hits += 1,
+            crate::plan::CacheTouch::Miss => slot.cache_misses += 1,
+            crate::plan::CacheTouch::Untouched => {}
+        }
     }
 
     /// The memoized result for a cache slot, if it was produced against a

@@ -344,9 +344,22 @@ pub fn restore_set(
     catalog: Arc<Catalog>,
     sections: &[String],
 ) -> Result<ConstraintSet, CheckpointError> {
+    restore_set_with_options(constraints, catalog, EncodingOptions::default(), sections)
+}
+
+/// [`restore_set`] with explicit [`EncodingOptions`] applied to every
+/// restored engine (e.g. `profile_plans` to profile a resumed run).
+pub fn restore_set_with_options(
+    constraints: impl IntoIterator<Item = Constraint>,
+    catalog: Arc<Catalog>,
+    options: EncodingOptions,
+    sections: &[String],
+) -> Result<ConstraintSet, CheckpointError> {
     let mut set =
-        ConstraintSet::new(constraints, catalog).map_err(|(c, e)| CheckpointError::Mismatch {
-            message: format!("constraint `{}` failed to compile: {e}", c.name),
+        ConstraintSet::with_options(constraints, catalog, options).map_err(|(c, e)| {
+            CheckpointError::Mismatch {
+                message: format!("constraint `{}` failed to compile: {e}", c.name),
+            }
         })?;
     let (db, engines, steps_slot, last_time_slot) = set.restore_parts();
     let mut cursor: Option<(usize, Option<TimePoint>)> = None;

@@ -16,6 +16,7 @@ use rtic_temporal::{safety, Horizon};
 
 use crate::compile::CompiledConstraint;
 use crate::encode::StampPolicy;
+use crate::plan::PlanProfile;
 
 fn vars_of(f: &Formula) -> String {
     let vs: Vec<String> = f.free_vars().iter().map(|v| v.to_string()).collect();
@@ -146,6 +147,69 @@ pub fn explain(compiled: &CompiledConstraint) -> String {
     out
 }
 
+/// Pretty nanoseconds: picks the unit a human would.
+fn fmt_ns(ns: u64) -> String {
+    let v = ns as f64;
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}us", v / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", v / 1e6)
+    } else {
+        format!("{:.2}s", v / 1e9)
+    }
+}
+
+/// Renders a [`PlanProfile`] as an EXPLAIN-ANALYZE-style table: one row
+/// per plan node in pre-order, indented by tree depth, with inclusive wall
+/// time, share of total plan time, cardinalities, and memo-cache touches.
+pub fn render_profile(profile: &PlanProfile) -> String {
+    let total = profile.total_time_ns();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "plan profile ({} node(s), total {}):",
+        profile.nodes.len(),
+        fmt_ns(total)
+    );
+    let _ = writeln!(
+        out,
+        "  {:>9}  {:>6}  {:>8}  {:>9}  {:>9}  {:>9}  node",
+        "time", "%", "calls", "rows in", "rows out", "cache h/m"
+    );
+    for row in &profile.nodes {
+        let c = row.counts;
+        let pct = if total == 0 {
+            0.0
+        } else {
+            100.0 * c.time_ns as f64 / total as f64
+        };
+        let cache = if c.cache_hits + c.cache_misses == 0 {
+            "-".to_string()
+        } else {
+            format!("{}/{}", c.cache_hits, c.cache_misses)
+        };
+        let memo = if row.desc.memoized { "*" } else { "" };
+        let _ = writeln!(
+            out,
+            "  {:>9}  {:>5.1}%  {:>8}  {:>9}  {:>9}  {:>9}  {:indent$}{label}{memo}  [{path}]",
+            fmt_ns(c.time_ns),
+            pct,
+            c.calls,
+            c.rows_in,
+            c.rows_out,
+            cache,
+            "",
+            indent = row.desc.depth * 2,
+            label = row.desc.label,
+            path = row.desc.path,
+        );
+    }
+    out.push_str("  (* = memoized database-pure subtree; times include children)\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,6 +264,40 @@ mod tests {
     fn first_order_constraint_has_no_aux() {
         let text = explain(&compiled("deny d: reserved(p, f) && confirmed(p, f)"));
         assert!(text.contains("none (first-order constraint)"), "{text}");
+    }
+
+    #[test]
+    fn renders_a_profile_table() {
+        use crate::{Checker, IncrementalChecker};
+        use rtic_relation::{tuple, Update};
+        use rtic_temporal::TimePoint;
+
+        let c = compiled(
+            "deny unconfirmed: reserved(p, f) && once[2,*] reserved(p, f) \
+             && !once confirmed(p, f)",
+        );
+        let mut checker = IncrementalChecker::from_compiled(
+            c,
+            crate::EncodingOptions {
+                profile_plans: true,
+                ..Default::default()
+            },
+        );
+        for t in 1..=5u64 {
+            checker
+                .step(
+                    TimePoint(t),
+                    &Update::new().with_insert("reserved", tuple!["ann", 7]),
+                )
+                .unwrap();
+        }
+        let profile = checker.plan_profile().expect("profiling enabled");
+        let text = render_profile(&profile);
+        assert!(text.contains("plan profile"), "{text}");
+        assert!(text.contains("atom(reserved)"), "{text}");
+        assert!(text.contains("probe("), "probe node rendered: {text}");
+        assert!(text.contains("[body"), "node paths rendered: {text}");
+        assert!(text.contains('%'), "{text}");
     }
 
     #[test]

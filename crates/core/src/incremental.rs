@@ -71,6 +71,11 @@ pub struct EncodingOptions {
     /// plans — the reference mode for the differential oracle and for the
     /// plan-vs-interpret benchmarks. Reports are byte-identical either way.
     pub interpret_eval: bool,
+    /// Collect per-plan-node profiler counters (wall time, cardinalities,
+    /// memo-cache hits) during planned execution. Reports stay
+    /// byte-identical; only [`crate::Checker::plan_profile`] gains data.
+    /// Ignored under `interpret_eval` (there are no plan nodes to profile).
+    pub profile_plans: bool,
 }
 
 fn sorted_free_vars(f: &Formula) -> Vec<Var> {
@@ -166,9 +171,25 @@ impl NodeEngine {
             fast_eligible,
             last_violations: None,
             interpret: options.interpret_eval,
-            scratch: Scratch::new(),
+            scratch: {
+                let mut s = Scratch::new();
+                if options.profile_plans && !options.interpret_eval {
+                    s.enable_profiling();
+                }
+                s
+            },
             last_sat,
         }
+    }
+
+    /// The accumulated per-node execution profile, when profiling was
+    /// enabled at construction and plans (not the interpreter) execute.
+    pub(crate) fn plan_profile(&self) -> Option<crate::plan::PlanProfile> {
+        if self.interpret {
+            return None;
+        }
+        let counters = self.scratch.profile_counters()?;
+        Some(self.compiled.plans.profile(counters))
     }
 
     /// Evaluates a node's unit-input operand plan (or interprets, in
@@ -545,6 +566,10 @@ impl Checker for IncrementalChecker {
             plan: self.engine.compiled.plans.stats(),
             scratch_high_water: self.engine.scratch_high_water(),
         })
+    }
+
+    fn plan_profile(&self) -> Option<crate::plan::PlanProfile> {
+        self.engine.plan_profile()
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

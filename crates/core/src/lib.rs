@@ -75,7 +75,10 @@ pub use incremental::{EncodingOptions, IncrementalChecker, NodeStat};
 pub use monitor::QueryMonitor;
 pub use naive::NaiveChecker;
 pub use observe::{NopObserver, StepEvent, StepObserver};
-pub use plan::{EvalPlans, NodePlans, Plan, PlanStats, RuntimePlanStats};
+pub use plan::{
+    EvalPlans, NodeCounters, NodeDesc, NodePlans, Plan, PlanProfile, PlanStats, ProfiledNode,
+    RuntimePlanStats,
+};
 pub use report::{SpaceStats, StepReport};
 pub use set::{ConstraintSet, DispatchStats, Parallelism};
 pub use windowed::WindowedChecker;

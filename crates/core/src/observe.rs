@@ -152,6 +152,18 @@ pub enum StepEvent<'a> {
         /// The plan statistics.
         stats: crate::plan::RuntimePlanStats,
     },
+    /// A reading of a checker's per-plan-node execution profile (wall
+    /// time, cardinalities, memo-cache hits). Emitted by drivers once per
+    /// run, after stepping, for checkers built with
+    /// `EncodingOptions::profile_plans`.
+    PlanProfileSample {
+        /// Checker implementation name.
+        checker: &'static str,
+        /// The constraint whose checker was profiled.
+        constraint: Symbol,
+        /// The accumulated profile.
+        profile: &'a crate::plan::PlanProfile,
+    },
     /// A scheduled reading of a checker's space footprint.
     SpaceSample {
         /// Checker implementation name.
@@ -181,6 +193,7 @@ impl StepEvent<'_> {
             StepEvent::CheckpointFallback { .. } => "checkpoint_fallback",
             StepEvent::BadLine { .. } => "bad_line",
             StepEvent::PlanStatsSample { .. } => "plan_stats",
+            StepEvent::PlanProfileSample { .. } => "plan_profile",
             StepEvent::SpaceSample { .. } => "space_sample",
         }
     }
@@ -293,6 +306,20 @@ impl StepObserver for CollectingObserver {
                 constraint: *constraint,
                 stats: *stats,
             },
+            StepEvent::PlanProfileSample {
+                checker,
+                constraint,
+                profile,
+            } => {
+                // Re-own the borrowed profile so the copy is 'static.
+                let leaked: &'static crate::plan::PlanProfile =
+                    Box::leak(Box::new((*profile).clone()));
+                StepEvent::PlanProfileSample {
+                    checker,
+                    constraint: *constraint,
+                    profile: leaked,
+                }
+            }
             StepEvent::SpaceSample {
                 checker,
                 constraint,
@@ -390,6 +417,21 @@ pub fn sample_plan_stats(checkers: &[Box<dyn Checker>], obs: &mut dyn StepObserv
                 checker: checker.name(),
                 constraint: checker.constraint().name,
                 stats,
+            });
+        }
+    }
+}
+
+/// Emits one [`StepEvent::PlanProfileSample`] per checker that carries a
+/// profile ([`Checker::plan_profile`]). Drivers call this once per run,
+/// after stepping, so the counters cover the whole run.
+pub fn sample_plan_profiles(checkers: &[Box<dyn Checker>], obs: &mut dyn StepObserver) {
+    for checker in checkers {
+        if let Some(profile) = checker.plan_profile() {
+            obs.observe(&StepEvent::PlanProfileSample {
+                checker: checker.name(),
+                constraint: checker.constraint().name,
+                profile: &profile,
             });
         }
     }

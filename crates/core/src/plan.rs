@@ -119,6 +119,133 @@ pub struct Plan {
     /// it in [`Scratch`] keyed by the database's cache stamp. Assigned by
     /// [`EvalPlans::build`]; plans compiled standalone never memoize.
     cache_slot: Option<usize>,
+    /// Stable pre-order index used to attribute profiler counters to this
+    /// node. Assigned by [`EvalPlans::build`]; standalone plans keep
+    /// [`UNTRACKED`] and record nothing even when profiling is enabled.
+    node_id: usize,
+}
+
+/// Node id of plans compiled outside [`EvalPlans::build`]: the profiler
+/// skips them rather than guessing an attribution.
+const UNTRACKED: usize = usize::MAX;
+
+/// How one [`Plan::execute`] call interacted with the memo cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum CacheTouch {
+    /// Node has no cache slot (or the input bypassed the memo).
+    Untouched,
+    /// Replayed a stored result for the current database stamp.
+    Hit,
+    /// Computed and stored a fresh result.
+    Miss,
+}
+
+/// Profiler counters for one plan node, accumulated across every
+/// [`Plan::execute`] call while profiling is enabled on the [`Scratch`].
+/// Wall time is inclusive (a node's time contains its children's), matching
+/// how `EXPLAIN ANALYZE`-style output is conventionally read.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeCounters {
+    /// Times this node executed.
+    pub calls: u64,
+    /// Inclusive wall-clock nanoseconds across all calls.
+    pub time_ns: u64,
+    /// Total input rows across all calls.
+    pub rows_in: u64,
+    /// Total output rows across all calls.
+    pub rows_out: u64,
+    /// Memo-cache replays (database-pure subtree, unchanged stamp).
+    pub cache_hits: u64,
+    /// Memo-cache fills (stamp changed or first execution).
+    pub cache_misses: u64,
+}
+
+impl NodeCounters {
+    /// Merges another node's counters into this one (times add up).
+    pub fn absorb(&mut self, other: NodeCounters) {
+        self.calls += other.calls;
+        self.time_ns += other.time_ns;
+        self.rows_in += other.rows_in;
+        self.rows_out += other.rows_out;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+    }
+
+    /// Fraction of memo-cache touches that were replays, when the node
+    /// touched the cache at all.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let touches = self.cache_hits + self.cache_misses;
+        if touches == 0 {
+            None
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            Some(self.cache_hits as f64 / touches as f64)
+        }
+    }
+}
+
+/// Static description of one plan node, produced by [`EvalPlans::describe`]
+/// in the same pre-order the profiler numbers nodes in.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodeDesc {
+    /// Pre-order node id (index into the profiler's counter table).
+    pub id: usize,
+    /// Tree depth within this node's plan (roots are 0).
+    pub depth: usize,
+    /// Slash-separated position, e.g. `body/and[1]/not`.
+    pub path: String,
+    /// Operator label, e.g. `atom(reserved)` or `probe(once confirmed(p, f))`.
+    pub label: String,
+    /// Whether this subtree is memoized (database-pure, unit input).
+    pub memoized: bool,
+    /// Semijoin-pushdown probe (temporal/hist membership test per row).
+    pub probe: bool,
+    /// Materializing join (temporal extension or qualifying count groups).
+    pub materialize: bool,
+}
+
+/// One plan node's static description zipped with its runtime counters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProfiledNode {
+    /// Where the node sits and what it does.
+    pub desc: NodeDesc,
+    /// What it cost at runtime.
+    pub counts: NodeCounters,
+}
+
+/// A per-node execution profile of one constraint's compiled plans, keyed
+/// by node path. Rows are in pre-order (parents before children), so a
+/// renderer can indent by [`NodeDesc::depth`] directly.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PlanProfile {
+    /// All plan nodes with their accumulated counters.
+    pub nodes: Vec<ProfiledNode>,
+}
+
+impl PlanProfile {
+    /// Total inclusive wall time, counted once per plan root (nested node
+    /// times are already contained in their root's).
+    pub fn total_time_ns(&self) -> u64 {
+        self.nodes
+            .iter()
+            .filter(|n| n.desc.depth == 0)
+            .map(|n| n.counts.time_ns)
+            .sum()
+    }
+
+    /// The `limit` most expensive nodes by inclusive wall time, hottest
+    /// first; ties broken by node id so the order is deterministic.
+    pub fn hot(&self, limit: usize) -> Vec<&ProfiledNode> {
+        let mut rows: Vec<&ProfiledNode> = self.nodes.iter().collect();
+        rows.sort_by(|a, b| {
+            b.counts
+                .time_ns
+                .cmp(&a.counts.time_ns)
+                .then(a.desc.id.cmp(&b.desc.id))
+        });
+        rows.truncate(limit);
+        rows
+    }
 }
 
 /// Static statistics of a compiled plan (satellite observability: what
@@ -422,6 +549,7 @@ impl Plan {
             in_vars: input_vars.to_vec(),
             out_vars,
             cache_slot: None,
+            node_id: UNTRACKED,
         }
     }
 
@@ -483,6 +611,104 @@ impl Plan {
         }
     }
 
+    /// Numbers this subtree in pre-order, handing out ids from `next` — the
+    /// same walk [`Plan::describe_into`] takes, so counter slot `i` always
+    /// belongs to description row `i`.
+    pub(crate) fn assign_node_ids(&mut self, next: &mut usize) {
+        self.node_id = *next;
+        *next += 1;
+        match &mut self.kind {
+            Kind::True
+            | Kind::False
+            | Kind::CmpFilter { .. }
+            | Kind::CmpExtend { .. }
+            | Kind::Atom { .. }
+            | Kind::TemporalProbe { .. }
+            | Kind::TemporalJoin { .. }
+            | Kind::HistProbe { .. } => {}
+            Kind::Not { inner, .. } | Kind::Exists { inner, .. } => inner.assign_node_ids(next),
+            Kind::AndChain { steps, .. } => {
+                for step in steps {
+                    step.assign_node_ids(next);
+                }
+            }
+            Kind::Or { a, b } => {
+                a.assign_node_ids(next);
+                b.assign_node_ids(next);
+            }
+            Kind::CountFilter { body, .. } | Kind::CountJoin { body, .. } => {
+                body.assign_node_ids(next);
+            }
+        }
+    }
+
+    /// Operator label for profile rendering.
+    fn label(&self) -> String {
+        match &self.kind {
+            Kind::True => "true".to_string(),
+            Kind::False => "false".to_string(),
+            Kind::Atom { relation, .. } => format!("atom({relation})"),
+            Kind::CmpFilter { op, .. } => format!("filter({op})"),
+            Kind::CmpExtend { v, .. } => format!("extend({v})"),
+            Kind::Not { .. } => "antijoin(!)".to_string(),
+            Kind::AndChain { .. } => "and-chain".to_string(),
+            Kind::Or { .. } => "union(||)".to_string(),
+            Kind::Exists { .. } => "project(exists)".to_string(),
+            Kind::TemporalProbe { node, .. } => format!("probe({node})"),
+            Kind::TemporalJoin { node, .. } => format!("join({node})"),
+            Kind::HistProbe { node, .. } => format!("probe({node})"),
+            Kind::CountFilter { op, threshold, .. } => format!("count-filter({op} {threshold})"),
+            Kind::CountJoin { op, threshold, .. } => format!("count-join({op} {threshold})"),
+        }
+    }
+
+    /// Appends this subtree's node descriptions in the profiler's pre-order.
+    fn describe_into(&self, path: &str, depth: usize, out: &mut Vec<NodeDesc>) {
+        out.push(NodeDesc {
+            id: self.node_id,
+            depth,
+            path: path.to_string(),
+            label: self.label(),
+            memoized: self.cache_slot.is_some(),
+            probe: matches!(
+                self.kind,
+                Kind::TemporalProbe { .. } | Kind::HistProbe { .. }
+            ),
+            materialize: matches!(
+                self.kind,
+                Kind::TemporalJoin { .. } | Kind::CountJoin { .. }
+            ),
+        });
+        match &self.kind {
+            Kind::True
+            | Kind::False
+            | Kind::CmpFilter { .. }
+            | Kind::CmpExtend { .. }
+            | Kind::Atom { .. }
+            | Kind::TemporalProbe { .. }
+            | Kind::TemporalJoin { .. }
+            | Kind::HistProbe { .. } => {}
+            Kind::Not { inner, .. } => {
+                inner.describe_into(&format!("{path}/not"), depth + 1, out);
+            }
+            Kind::Exists { inner, .. } => {
+                inner.describe_into(&format!("{path}/exists"), depth + 1, out);
+            }
+            Kind::AndChain { steps, .. } => {
+                for (i, step) in steps.iter().enumerate() {
+                    step.describe_into(&format!("{path}/and[{i}]"), depth + 1, out);
+                }
+            }
+            Kind::Or { a, b } => {
+                a.describe_into(&format!("{path}/or[0]"), depth + 1, out);
+                b.describe_into(&format!("{path}/or[1]"), depth + 1, out);
+            }
+            Kind::CountFilter { body, .. } | Kind::CountJoin { body, .. } => {
+                body.describe_into(&format!("{path}/count"), depth + 1, out);
+            }
+        }
+    }
+
     /// The output schema (sorted) — what execution's result will carry.
     pub fn out_vars(&self) -> &[Var] {
         &self.out_vars
@@ -513,19 +739,44 @@ impl Plan {
             self.in_vars.as_slice(),
             "input schema differs from the planned schema"
         );
-        // Memoized path: a database-pure subtree fed the one-row unit input
-        // is a function of the database contents alone, so quiescent steps
-        // replay the stored result instead of re-scanning relations. An
-        // empty same-schema input (a projection that produced no candidate
-        // rows) bypasses the memo — its result is legitimately different.
+        // Profiled path: one branch on an `Option` discriminant when
+        // disabled; timers and counter writes only exist behind it.
+        if scratch.profiling() {
+            let start = std::time::Instant::now();
+            let rows_in = input.len() as u64;
+            let mut cache = CacheTouch::Untouched;
+            let result = self.execute_memo(db, oracle, input, scratch, &mut cache);
+            let time_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            scratch.profile_record(self.node_id, time_ns, rows_in, result.len() as u64, cache);
+            return result;
+        }
+        let mut cache = CacheTouch::Untouched;
+        self.execute_memo(db, oracle, input, scratch, &mut cache)
+    }
+
+    /// Memoized path: a database-pure subtree fed the one-row unit input
+    /// is a function of the database contents alone, so quiescent steps
+    /// replay the stored result instead of re-scanning relations. An
+    /// empty same-schema input (a projection that produced no candidate
+    /// rows) bypasses the memo — its result is legitimately different.
+    fn execute_memo<O: Oracle + ?Sized>(
+        &self,
+        db: &Database,
+        oracle: &O,
+        input: &Bindings,
+        scratch: &mut Scratch,
+        cache: &mut CacheTouch,
+    ) -> Bindings {
         if let Some(slot) = self.cache_slot {
             if input.len() == 1 {
                 let stamp = db.cache_stamp();
                 if let Some(hit) = scratch.cached_ext(slot, stamp) {
+                    *cache = CacheTouch::Hit;
                     return hit.clone();
                 }
                 let result = self.execute_kind(db, oracle, input, scratch);
                 scratch.store_ext(slot, stamp, result.clone());
+                *cache = CacheTouch::Miss;
                 return result;
             }
         }
@@ -725,7 +976,55 @@ impl EvalPlans {
                 }
             }
         }
+        let mut next_id = 0;
+        body.assign_node_ids(&mut next_id);
+        for op in &mut node_ops {
+            match op {
+                NodePlans::Operand(g) => g.assign_node_ids(&mut next_id),
+                NodePlans::Since { f, g } => {
+                    f.assign_node_ids(&mut next_id);
+                    g.assign_node_ids(&mut next_id);
+                }
+            }
+        }
         EvalPlans { body, node_ops }
+    }
+
+    /// Total profilable nodes across the body and all operand plans.
+    pub fn node_count(&self) -> usize {
+        self.stats().nodes
+    }
+
+    /// Static descriptions of every node in profiler id order: row `i`
+    /// describes the node whose counters live in slot `i`.
+    pub fn describe(&self) -> Vec<NodeDesc> {
+        let mut out = Vec::new();
+        self.body.describe_into("body", 0, &mut out);
+        for (i, op) in self.node_ops.iter().enumerate() {
+            match op {
+                NodePlans::Operand(g) => g.describe_into(&format!("node[{i}]"), 0, &mut out),
+                NodePlans::Since { f, g } => {
+                    f.describe_into(&format!("node[{i}]/f"), 0, &mut out);
+                    g.describe_into(&format!("node[{i}]/g"), 0, &mut out);
+                }
+            }
+        }
+        out
+    }
+
+    /// Zips node descriptions with a profiler's counter table into a
+    /// renderable [`PlanProfile`]. Nodes the run never executed keep
+    /// zeroed counters.
+    pub fn profile(&self, counters: &[NodeCounters]) -> PlanProfile {
+        let nodes = self
+            .describe()
+            .into_iter()
+            .map(|desc| ProfiledNode {
+                counts: counters.get(desc.id).copied().unwrap_or_default(),
+                desc,
+            })
+            .collect();
+        PlanProfile { nodes }
     }
 
     /// Aggregated static statistics across the body and all operand plans.
@@ -833,6 +1132,75 @@ mod tests {
         assert_eq!(plan.root_conjunct_order(), Some(expected.as_slice()));
         let atom = parse("emp(n, d)");
         assert_eq!(Plan::compile(&atom, &[]).root_conjunct_order(), None);
+    }
+
+    #[test]
+    fn profiling_counts_without_changing_results() {
+        let db = db();
+        let f = parse("emp(n, d) && mgr(d, b)");
+        let plans = EvalPlans::build(&f, &[]);
+        let mut plain = Scratch::new();
+        let baseline = plans
+            .body
+            .execute(&db, &NoTemporal, &Bindings::unit(), &mut plain);
+        let mut prof = Scratch::new();
+        prof.enable_profiling();
+        let profiled = plans
+            .body
+            .execute(&db, &NoTemporal, &Bindings::unit(), &mut prof);
+        assert_eq!(baseline, profiled);
+        assert_eq!(
+            baseline.to_string(),
+            profiled.to_string(),
+            "profiling must not change rendering"
+        );
+        // First execution fills the memo (the body is database-pure), the
+        // second replays it; the profiler sees both.
+        let again = plans
+            .body
+            .execute(&db, &NoTemporal, &Bindings::unit(), &mut prof);
+        assert_eq!(again, baseline);
+        let profile = plans.profile(prof.profile_counters().expect("profiling enabled"));
+        assert_eq!(profile.nodes.len(), plans.node_count());
+        let root = &profile.nodes[0];
+        assert_eq!(root.desc.path, "body");
+        assert!(root.desc.memoized, "pure unit-input body is memoized");
+        assert_eq!(root.counts.calls, 2);
+        assert_eq!(root.counts.cache_misses, 1);
+        assert_eq!(root.counts.cache_hits, 1);
+        assert_eq!(root.counts.rows_out, 2 * baseline.len() as u64);
+        assert_eq!(root.counts.cache_hit_rate(), Some(0.5));
+        assert!(profile.total_time_ns() >= root.counts.time_ns);
+        assert_eq!(profile.hot(1)[0].desc.id, root.desc.id);
+    }
+
+    #[test]
+    fn describe_ids_are_preorder_indices() {
+        let f = parse("emp(n, d) && !mgr(d, b) && b = \"dot\" || emp(n, d) && false");
+        let plans = EvalPlans::build(&f, &[]);
+        let descs = plans.describe();
+        assert_eq!(descs.len(), plans.node_count());
+        for (i, d) in descs.iter().enumerate() {
+            assert_eq!(d.id, i, "pre-order id mismatch at {}", d.path);
+        }
+        assert_eq!(descs[0].depth, 0);
+        assert!(descs.iter().any(|d| d.label.starts_with("atom(")));
+    }
+
+    #[test]
+    fn standalone_plans_record_nothing() {
+        let db = db();
+        let f = parse("emp(n, d)");
+        // Compiled outside EvalPlans::build: no node ids assigned.
+        let plan = Plan::compile(&f, &[]);
+        let mut scratch = Scratch::new();
+        scratch.enable_profiling();
+        let _ = plan.execute(&db, &NoTemporal, &Bindings::unit(), &mut scratch);
+        assert_eq!(
+            scratch.profile_counters().map(<[_]>::len),
+            Some(0),
+            "untracked nodes must not allocate counter slots"
+        );
     }
 
     #[test]

@@ -150,10 +150,20 @@ impl ConstraintSet {
         constraints: impl IntoIterator<Item = Constraint>,
         catalog: Arc<Catalog>,
     ) -> Result<ConstraintSet, (Constraint, CompileError)> {
+        Self::with_options(constraints, catalog, EncodingOptions::default())
+    }
+
+    /// [`ConstraintSet::new`] with explicit [`EncodingOptions`] applied to
+    /// every engine (e.g. `profile_plans` for fleet-wide profiling).
+    pub fn with_options(
+        constraints: impl IntoIterator<Item = Constraint>,
+        catalog: Arc<Catalog>,
+        options: EncodingOptions,
+    ) -> Result<ConstraintSet, (Constraint, CompileError)> {
         let mut engines = Vec::new();
         for c in constraints {
             match CompiledConstraint::compile(c.clone(), Arc::clone(&catalog)) {
-                Ok(compiled) => engines.push(NodeEngine::new(compiled, EncodingOptions::default())),
+                Ok(compiled) => engines.push(NodeEngine::new(compiled, options)),
                 Err(e) => return Err((c, e)),
             }
         }
@@ -576,6 +586,29 @@ impl ConstraintSet {
                     scratch_high_water: e.scratch_high_water(),
                 },
             });
+        }
+    }
+
+    /// Per-constraint execution profiles, in insertion order — empty unless
+    /// the set was built with `EncodingOptions::profile_plans`.
+    pub fn plan_profiles(&self) -> Vec<(Symbol, crate::plan::PlanProfile)> {
+        self.engines
+            .iter()
+            .filter_map(|e| e.plan_profile().map(|p| (e.compiled.constraint.name, p)))
+            .collect()
+    }
+
+    /// Emits one `PlanProfileSample` event per profiled engine, mirroring
+    /// [`ConstraintSet::sample_plan_stats`].
+    pub fn sample_plan_profiles(&self, obs: &mut dyn StepObserver) {
+        for e in &self.engines {
+            if let Some(profile) = e.plan_profile() {
+                obs.observe(&StepEvent::PlanProfileSample {
+                    checker: "set",
+                    constraint: e.compiled.constraint.name,
+                    profile: &profile,
+                });
+            }
         }
     }
 }

@@ -167,4 +167,51 @@ proptest! {
             );
         }
     }
+
+    /// Turning the plan-node profiler on must be invisible in the
+    /// reports: same verdicts, same witnesses, same `Display` text — the
+    /// profiler only ever *reads* the execution it annotates.
+    #[test]
+    fn profiling_leaves_reports_byte_identical(
+        c in constraint(),
+        steps in proptest::collection::vec(step(), 1..14),
+    ) {
+        let cat = catalog();
+        let ts = transitions(&steps);
+        let mut plain = IncrementalChecker::new(c.clone(), Arc::clone(&cat)).unwrap();
+        let mut profiled = IncrementalChecker::with_options(
+            c.clone(),
+            Arc::clone(&cat),
+            EncodingOptions { profile_plans: true, ..Default::default() },
+        )
+        .unwrap();
+        for tr in &ts {
+            let a = plain.step(tr.time, &tr.update).unwrap();
+            let b = profiled.step(tr.time, &tr.update).unwrap();
+            prop_assert_eq!(&a, &b, "profiler changed `{}` at {}", c, tr.time);
+            prop_assert_eq!(
+                a.to_string(), b.to_string(),
+                "profiler changed the report text of `{}` at {}", c, tr.time
+            );
+        }
+        // And the profile it produced is well-formed: one row per plan
+        // node, ids in pre-order, and the body root runs at most once per
+        // step (quiescent steps can be absorbed without re-evaluation).
+        let profile = profiled.plan_profile().expect("profiling was enabled");
+        prop_assert!(!profile.nodes.is_empty());
+        for (i, row) in profile.nodes.iter().enumerate() {
+            prop_assert_eq!(row.desc.id, i, "profile rows are pre-order ids");
+        }
+        let root_calls: u64 = profile
+            .nodes
+            .iter()
+            .filter(|r| r.desc.depth == 0 && r.desc.path == "body")
+            .map(|r| r.counts.calls)
+            .sum();
+        prop_assert!(
+            root_calls <= ts.len() as u64,
+            "body root runs at most once per step ({} calls over {} steps)",
+            root_calls, ts.len()
+        );
+    }
 }

@@ -7,6 +7,8 @@
 //!   histograms, with JSON and Prometheus text exposition.
 //! * [`TraceWriter`] — span-style structured trace: one JSON line per
 //!   step event, to a file or stderr.
+//! * [`ChromeTraceWriter`] — the same event stream as a Chrome trace
+//!   format JSON array, viewable in Perfetto / `chrome://tracing`.
 //! * [`SpaceSampler`] — periodic [`rtic_core::SpaceStats`] snapshots, the
 //!   measurement backing the paper's bounded-space claim.
 //! * [`MultiObserver`] — fans one event stream out to several observers.
@@ -32,4 +34,4 @@ pub use metrics::MetricsRegistry;
 pub use multi::MultiObserver;
 pub use rtic_core::{NopObserver, StepEvent, StepObserver};
 pub use sampler::SpaceSampler;
-pub use trace::TraceWriter;
+pub use trace::{ChromeTraceWriter, TraceWriter};

@@ -3,7 +3,7 @@
 
 use std::collections::BTreeMap;
 
-use rtic_core::{RuntimePlanStats, SpaceStats, StepEvent, StepObserver};
+use rtic_core::{PlanProfile, ProfiledNode, RuntimePlanStats, SpaceStats, StepEvent, StepObserver};
 
 use crate::json::Json;
 
@@ -141,6 +141,7 @@ impl LatencyHistogram {
             .set("max_us", round3(self.max_us))
             .set("mean_us", round3(self.mean_us()))
             .set("p50_us", round3(self.quantile_us(0.50)))
+            .set("p90_us", round3(self.quantile_us(0.90)))
             .set("p95_us", round3(self.quantile_us(0.95)))
             .set("p99_us", round3(self.quantile_us(0.99)))
             .set("buckets", Json::Arr(buckets))
@@ -149,6 +150,24 @@ impl LatencyHistogram {
 
 fn round3(x: f64) -> f64 {
     (x * 1000.0).round() / 1000.0
+}
+
+/// One profiled plan node as a JSON row (shared by the per-constraint
+/// profile listing and the aggregated hot-node list).
+fn profiled_node_json(node: &ProfiledNode) -> Json {
+    Json::object()
+        .set("path", node.desc.path.clone())
+        .set("label", node.desc.label.clone())
+        .set("depth", node.desc.depth)
+        .set("memoized", node.desc.memoized)
+        .set("probe", node.desc.probe)
+        .set("materialize", node.desc.materialize)
+        .set("calls", node.counts.calls)
+        .set("time_ns", node.counts.time_ns)
+        .set("rows_in", node.counts.rows_in)
+        .set("rows_out", node.counts.rows_out)
+        .set("cache_hits", node.counts.cache_hits)
+        .set("cache_misses", node.counts.cache_misses)
 }
 
 #[derive(Clone, Debug)]
@@ -183,6 +202,7 @@ pub struct MetricsRegistry {
     checkers: BTreeMap<&'static str, SpaceStats>,
     space_samples: Vec<SpaceSampleRow>,
     plan_stats: BTreeMap<(&'static str, &'static str), RuntimePlanStats>,
+    plan_profiles: BTreeMap<(&'static str, &'static str), PlanProfile>,
 }
 
 impl MetricsRegistry {
@@ -263,6 +283,38 @@ impl MetricsRegistry {
             by_checker.entry(checker).or_default().absorb(*stats);
         }
         by_checker
+    }
+
+    /// Latest per-plan-node execution profile per `(checker, constraint)`,
+    /// in key order. Empty unless a profiled run sampled its checkers.
+    pub fn plan_profiles(
+        &self,
+    ) -> impl Iterator<Item = (&'static str, &'static str, &PlanProfile)> + '_ {
+        self.plan_profiles
+            .iter()
+            .map(|((checker, constraint), profile)| (*checker, *constraint, profile))
+    }
+
+    /// The `limit` hottest plan nodes by inclusive wall time across every
+    /// profiled constraint: `(constraint, node)`, hottest first, ties
+    /// broken by constraint name and node id for determinism.
+    pub fn hot_nodes(&self, limit: usize) -> Vec<(&'static str, &ProfiledNode)> {
+        let mut rows: Vec<(&'static str, &ProfiledNode)> = self
+            .plan_profiles
+            .iter()
+            .flat_map(|((_, constraint), profile)| {
+                profile.nodes.iter().map(move |n| (*constraint, n))
+            })
+            .collect();
+        rows.sort_by(|a, b| {
+            b.1.counts
+                .time_ns
+                .cmp(&a.1.counts.time_ns)
+                .then(a.0.cmp(b.0))
+                .then(a.1.desc.id.cmp(&b.1.desc.id))
+        });
+        rows.truncate(limit);
+        rows
     }
 
     /// The most recent space sample per constraint, in first-sampled
@@ -371,6 +423,31 @@ impl MetricsRegistry {
                 }
                 obj
             })
+            .set("plan_profiles", {
+                let mut obj = Json::object();
+                for ((checker, constraint), profile) in &self.plan_profiles {
+                    let nodes: Vec<Json> = profile.nodes.iter().map(profiled_node_json).collect();
+                    obj = obj.set(
+                        constraint,
+                        Json::object()
+                            .set("checker", *checker)
+                            .set("total_time_ns", profile.total_time_ns())
+                            .set("nodes", Json::Arr(nodes)),
+                    );
+                }
+                obj
+            })
+            .set(
+                "plan_hot_nodes",
+                Json::Arr(
+                    self.hot_nodes(5)
+                        .into_iter()
+                        .map(|(constraint, node)| {
+                            profiled_node_json(node).set("constraint", constraint)
+                        })
+                        .collect(),
+                ),
+            )
     }
 
     /// Pretty-printed JSON exposition.
@@ -528,6 +605,46 @@ impl MetricsRegistry {
                 );
             }
         }
+        let hot = self.hot_nodes(10);
+        if !hot.is_empty() {
+            let _ = writeln!(
+                out,
+                "# HELP rtic_plan_node_time_seconds Inclusive wall time of the hottest plan nodes."
+            );
+            let _ = writeln!(out, "# TYPE rtic_plan_node_time_seconds gauge");
+            for (constraint, node) in &hot {
+                let _ = writeln!(
+                    out,
+                    "rtic_plan_node_time_seconds{{constraint=\"{constraint}\",node=\"{}\"}} {}",
+                    node.desc.path,
+                    node.counts.time_ns as f64 / 1e9
+                );
+            }
+            let _ = writeln!(
+                out,
+                "# HELP rtic_plan_node_calls Executions of the hottest plan nodes."
+            );
+            let _ = writeln!(out, "# TYPE rtic_plan_node_calls gauge");
+            for (constraint, node) in &hot {
+                let _ = writeln!(
+                    out,
+                    "rtic_plan_node_calls{{constraint=\"{constraint}\",node=\"{}\"}} {}",
+                    node.desc.path, node.counts.calls
+                );
+            }
+            let _ = writeln!(
+                out,
+                "# HELP rtic_plan_node_rows_out Output rows of the hottest plan nodes."
+            );
+            let _ = writeln!(out, "# TYPE rtic_plan_node_rows_out gauge");
+            for (constraint, node) in &hot {
+                let _ = writeln!(
+                    out,
+                    "rtic_plan_node_rows_out{{constraint=\"{constraint}\",node=\"{}\"}} {}",
+                    node.desc.path, node.counts.rows_out
+                );
+            }
+        }
         out
     }
 }
@@ -598,6 +715,16 @@ impl StepObserver for MetricsRegistry {
                 // previous snapshot instead of double-counting plan shapes.
                 self.plan_stats
                     .insert((checker, constraint.as_str()), *stats);
+            }
+            StepEvent::PlanProfileSample {
+                checker,
+                constraint,
+                profile,
+            } => {
+                // Counters are cumulative over the run, so the latest
+                // sample replaces any earlier snapshot.
+                self.plan_profiles
+                    .insert((checker, constraint.as_str()), (*profile).clone());
             }
             StepEvent::SpaceSample {
                 checker,
@@ -792,7 +919,129 @@ mod tests {
         let h = LatencyHistogram::default();
         assert_eq!(h.mean_us(), 0.0);
         assert_eq!(h.quantile_us(0.99), 0.0);
+        assert_eq!(h.quantile_us(0.0), 0.0);
+        assert_eq!(h.count(), 0);
         let doc = h.to_json();
         assert_eq!(doc.get("min_us").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(doc.get("p50_us").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(doc.get("p90_us").and_then(Json::as_f64), Some(0.0));
+        let buckets = doc.get("buckets").and_then(Json::as_arr).unwrap();
+        assert!(buckets
+            .iter()
+            .all(|b| b.get("count").and_then(Json::as_u64) == Some(0)));
+    }
+
+    #[test]
+    fn observations_beyond_the_last_bucket_land_in_plus_inf() {
+        let mut h = LatencyHistogram::default();
+        // All far past the last finite bound (10ms).
+        for ns in [20_000_000u64, 50_000_000, 90_000_000] {
+            h.record_ns(ns);
+        }
+        let buckets = h.cumulative_buckets();
+        let (le, count) = *buckets.last().unwrap();
+        assert!(le.is_infinite());
+        assert_eq!(count, 3);
+        assert!(
+            buckets[..buckets.len() - 1].iter().all(|&(_, c)| c == 0),
+            "finite buckets stay empty"
+        );
+        // Quantiles interpolate between the last bound and the seen max.
+        let p50 = h.quantile_us(0.5);
+        assert!(p50 >= *LATENCY_BUCKETS_US.last().unwrap(), "{p50}");
+        assert!(p50 <= h.max_us, "{p50} vs max {}", h.max_us);
+        assert_eq!(h.quantile_us(1.0), h.max_us);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q() {
+        let mut h = LatencyHistogram::default();
+        let mut seed = 0x9e37_79b9_7f4a_7c15u64;
+        for _ in 0..500 {
+            seed = seed
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            h.record_ns(seed % 20_000_000);
+        }
+        let mut last = 0.0f64;
+        for i in 0..=100u32 {
+            let q = f64::from(i) / 100.0;
+            let v = h.quantile_us(q);
+            assert!(v + 1e-9 >= last, "not monotone at q={q}: {v} < {last}");
+            last = v;
+        }
+        assert!(h.quantile_us(1.0) <= h.max_us + 1e-9);
+        assert!(h.quantile_us(0.0) + 1e-9 >= h.min_us);
+    }
+
+    #[test]
+    fn json_exposes_interpolated_quantile_ladder() {
+        let mut registry = MetricsRegistry::new();
+        run_workload(&mut registry);
+        let doc = json::parse(&registry.render_json()).unwrap();
+        let hist = doc.get("step_latency_us").unwrap();
+        let p50 = hist.get("p50_us").and_then(Json::as_f64).unwrap();
+        let p90 = hist.get("p90_us").and_then(Json::as_f64).unwrap();
+        let p95 = hist.get("p95_us").and_then(Json::as_f64).unwrap();
+        let p99 = hist.get("p99_us").and_then(Json::as_f64).unwrap();
+        assert!(
+            p50 <= p90 && p90 <= p95 && p95 <= p99,
+            "{p50} {p90} {p95} {p99}"
+        );
+    }
+
+    #[test]
+    fn plan_profile_samples_expose_hot_nodes() {
+        use rtic_core::observe::sample_plan_profiles;
+        use rtic_core::EncodingOptions;
+
+        let catalog = Arc::new(
+            Catalog::new()
+                .with("p", Schema::of(&[("x", Sort::Str)]))
+                .unwrap(),
+        );
+        let mut checkers: Vec<Box<dyn Checker>> = vec![Box::new(
+            IncrementalChecker::with_options(
+                parse_constraint("deny d: p(x) && hist[0,1] p(x)").unwrap(),
+                catalog,
+                EncodingOptions {
+                    profile_plans: true,
+                    ..Default::default()
+                },
+            )
+            .unwrap(),
+        )];
+        let mut registry = MetricsRegistry::new();
+        for t in 1..=4u64 {
+            rtic_core::observe::step_all(
+                &mut checkers,
+                TimePoint(t),
+                &Update::new().with_insert("p", tuple!["a"]),
+                &mut registry,
+            )
+            .unwrap();
+        }
+        sample_plan_profiles(&checkers, &mut registry);
+        let hot = registry.hot_nodes(3);
+        assert!(!hot.is_empty(), "profiled run must surface hot nodes");
+        assert_eq!(hot[0].0, "d");
+        assert!(hot[0].1.counts.calls > 0);
+        let doc = json::parse(&registry.render_json()).unwrap();
+        let profiles = doc.get("plan_profiles").unwrap();
+        let d = profiles.get("d").expect("constraint profile in JSON");
+        assert!(d.get("total_time_ns").and_then(Json::as_u64).is_some());
+        assert!(!d.get("nodes").and_then(Json::as_arr).unwrap().is_empty());
+        let hot_json = doc.get("plan_hot_nodes").and_then(Json::as_arr).unwrap();
+        assert_eq!(hot_json.len().min(5), hot_json.len());
+        assert!(!hot_json.is_empty());
+        let text = registry.render_prometheus();
+        assert!(
+            text.contains("rtic_plan_node_time_seconds{constraint=\"d\""),
+            "{text}"
+        );
+        assert!(
+            text.contains("rtic_plan_node_calls{constraint=\"d\""),
+            "{text}"
+        );
     }
 }

@@ -56,10 +56,11 @@ pub fn render(doc: &Json) -> Result<String, String> {
         let field = |key: &str| hist.get(key).and_then(Json::as_f64).unwrap_or(0.0);
         let _ = writeln!(
             out,
-            "  count {:<8} mean {:<10.1} p50 {:<10.1} p95 {:<10.1} p99 {:<10.1} max {:.1}",
+            "  count {:<8} mean {:<10.1} p50 {:<10.1} p90 {:<10.1} p95 {:<10.1} p99 {:<10.1} max {:.1}",
             field("count"),
             field("mean_us"),
             field("p50_us"),
+            field("p90_us"),
             field("p95_us"),
             field("p99_us"),
             field("max_us"),
@@ -141,10 +142,12 @@ mod tests {
         "checkpoint_restores": 0,
         "checkpoint_bytes": 321,
         "step_latency_us": {"count": 4, "min_us": 1.5, "max_us": 9.0,
-            "mean_us": 4.0, "p50_us": 3.0, "p95_us": 8.5, "p99_us": 9.0,
+            "mean_us": 4.0, "p50_us": 3.0, "p90_us": 8.0, "p95_us": 8.5,
+            "p99_us": 9.0,
             "buckets": [{"le": 1, "count": 0}, {"le": "+Inf", "count": 4}]},
         "eval_latency_us": {"count": 4, "min_us": 1.0, "max_us": 8.0,
-            "mean_us": 3.5, "p50_us": 2.5, "p95_us": 7.5, "p99_us": 8.0,
+            "mean_us": 3.5, "p50_us": 2.5, "p90_us": 7.0, "p95_us": 7.5,
+            "p99_us": 8.0,
             "buckets": [{"le": 1, "count": 1}, {"le": "+Inf", "count": 4}]},
         "space": {"aux_keys": 2, "aux_timestamps": 3, "stored_states": 1,
             "stored_tuples": 5, "retained_units": 10},
@@ -174,7 +177,7 @@ rtic run report
   checkers         incremental
 
 step latency (us)
-  count 4        mean 4.0        p50 3.0        p95 8.5        p99 9.0        max 9.0
+  count 4        mean 4.0        p50 3.0        p90 8.0        p95 8.5        p99 9.0        max 9.0
 
 violations by constraint
   unconfirmed  2

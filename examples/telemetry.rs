@@ -1,13 +1,16 @@
 //! Instrumented run: the reservations workload checked with a metrics
-//! registry attached, printing the space trajectory and a summary report.
+//! registry attached, printing the space trajectory, a summary report,
+//! the per-plan-node profile (the library side of `rtic check
+//! --profile`), and a Chrome trace viewable in Perfetto (the library
+//! side of `--trace FILE --trace-format chrome`).
 //!
 //! Run with: `cargo run --release --example telemetry`
 
 use std::sync::Arc;
 
-use rtic::core::observe::step_all;
-use rtic::core::{Checker, IncrementalChecker, NaiveChecker};
-use rtic::obs::{MetricsRegistry, SpaceSampler};
+use rtic::core::observe::{sample_plan_profiles, step_all};
+use rtic::core::{explain, Checker, EncodingOptions, IncrementalChecker, NaiveChecker};
+use rtic::obs::{ChromeTraceWriter, MetricsRegistry, SpaceSampler};
 use rtic::workload::Reservations;
 
 fn main() {
@@ -27,12 +30,22 @@ fn main() {
     // the trajectories can be compared side by side.
     let constraint = generated.constraints[0].clone();
     type Run = (&'static str, Vec<Box<dyn Checker>>, MetricsRegistry);
+    // The incremental run carries plan-node profiling (the library side
+    // of `rtic check --profile`): per-node inclusive time, cardinality,
+    // and memo-cache counters, at a single branch of cost when disabled.
     let mut runs: Vec<Run> = vec![
         (
             "incremental",
             vec![Box::new(
-                IncrementalChecker::new(constraint.clone(), Arc::clone(&generated.catalog))
-                    .unwrap(),
+                IncrementalChecker::with_options(
+                    constraint.clone(),
+                    Arc::clone(&generated.catalog),
+                    EncodingOptions {
+                        profile_plans: true,
+                        ..Default::default()
+                    },
+                )
+                .unwrap(),
             )],
             MetricsRegistry::new(),
         ),
@@ -45,12 +58,35 @@ fn main() {
         ),
     ];
 
-    for (_, checkers, registry) in &mut runs {
+    // The incremental run also streams to a Chrome trace: open the
+    // written file in https://ui.perfetto.dev to see the step → dispatch
+    // → eval span hierarchy plus a per-constraint plan-profile track.
+    let trace_path = std::env::temp_dir().join("rtic-telemetry.trace.json");
+    let mut chrome = Some(ChromeTraceWriter::to_file(&trace_path).unwrap());
+
+    for (name, checkers, registry) in &mut runs {
         let mut sampler = SpaceSampler::new(50);
         for (index, tr) in generated.transitions.iter().enumerate() {
-            step_all(checkers, tr.time, &tr.update, registry).unwrap();
-            sampler.after_step(checkers, tr.time, index as u64, registry);
+            if let Some(trace) = chrome.as_mut().filter(|_| *name == "incremental") {
+                let mut both = rtic::obs::MultiObserver::new().with(registry);
+                both.push(trace);
+                step_all(checkers, tr.time, &tr.update, &mut both).unwrap();
+                sampler.after_step(checkers, tr.time, index as u64, &mut both);
+            } else {
+                step_all(checkers, tr.time, &tr.update, registry).unwrap();
+                sampler.after_step(checkers, tr.time, index as u64, registry);
+            }
         }
+        if *name == "incremental" {
+            if let Some(trace) = chrome.as_mut() {
+                // The accumulated profile becomes nested plan-node spans
+                // on the trace's per-constraint track...
+                sample_plan_profiles(checkers, trace);
+            }
+        }
+    }
+    if let Some(trace) = chrome.take() {
+        trace.finish().unwrap();
     }
 
     println!("space trajectory (retained units every 50 steps)");
@@ -87,10 +123,28 @@ fn main() {
 
     for (name, _, registry) in &runs {
         println!(
-            "[{name}] steps={} violations={} p95_step={:.1}us",
+            "[{name}] steps={} violations={} p50_step={:.1}us p90_step={:.1}us p95_step={:.1}us",
             registry.steps(),
             registry.violations(),
+            registry.step_latency().quantile_us(0.50),
+            registry.step_latency().quantile_us(0.90),
             registry.step_latency().quantile_us(0.95),
         );
     }
+    println!();
+
+    // ...and is also renderable as the EXPLAIN-ANALYZE table `rtic check
+    // --profile` prints: where the incremental checker's time went,
+    // node by node.
+    for checker in &runs[0].1 {
+        if let Some(profile) = checker.plan_profile() {
+            println!("plan-node profile of the incremental run:");
+            print!("{}", explain::render_profile(&profile));
+        }
+    }
+    println!();
+    println!(
+        "chrome trace written to {} — open it in https://ui.perfetto.dev",
+        trace_path.display()
+    );
 }

@@ -6,14 +6,14 @@
 //!
 //! ```text
 //! rtic check <constraints.rtic> <log.rticlog> [--checker NAME] [--quiet] [--stats] [--explain]
-//!            [--constraints FILE]... [--parallel N|auto]
+//!            [--constraints FILE]... [--parallel N|auto] [--profile]
 //!            [--checkpoint FILE] [--resume FILE] [--checkpoint-every N]
 //!            [--checkpoint-secs T] [--checkpoint-keep K]
 //!            [--on-bad-line strict|skip] [--bad-line-budget N]
 //!            [--failpoints SPEC] [--metrics FILE] [--trace FILE|-]
-//!            [--sample-space N]
+//!            [--trace-format json|chrome] [--sample-space N]
 //! rtic report <metrics.json>
-//! rtic explain <constraints.rtic>
+//! rtic explain <constraints.rtic> [--profile <log.rticlog>]
 //! rtic generate <reservations|library|monitor|audit|random> [--steps N] [--seed N] [--violation-rate R]
 //! ```
 
@@ -29,7 +29,9 @@ use rtic_core::{ConstraintSet, IncrementalChecker, NaiveChecker, Parallelism, Wi
 use rtic_core::{StepEvent, StepObserver};
 use rtic_history::log::{format_log, LogErrorKind, LogReader};
 use rtic_history::Transition;
-use rtic_obs::{json, report, MetricsRegistry, MultiObserver, SpaceSampler, TraceWriter};
+use rtic_obs::{
+    json, report, ChromeTraceWriter, MetricsRegistry, MultiObserver, SpaceSampler, TraceWriter,
+};
 use rtic_relation::{Catalog, Symbol};
 use rtic_resilience::{
     container, write_atomic, CheckpointPolicy, CheckpointTicker, FailAction, FailPlan, Rotation,
@@ -43,13 +45,14 @@ rtic — real-time integrity constraints (Chomicki, PODS 1992)
 
 USAGE:
   rtic check <constraints-file> <log-file> [--checker incremental|naive|windowed|active]
-             [--constraints FILE]... [--parallel N|auto]
+             [--constraints FILE]... [--parallel N|auto] [--profile]
              [--quiet] [--stats] [--explain] [--checkpoint FILE] [--resume FILE]
              [--checkpoint-every N] [--checkpoint-secs T] [--checkpoint-keep K]
              [--on-bad-line strict|skip] [--bad-line-budget N] [--failpoints SPEC]
-             [--metrics FILE] [--trace FILE|-] [--sample-space N]
+             [--metrics FILE] [--trace FILE|-] [--trace-format json|chrome]
+             [--sample-space N]
   rtic report <metrics-file>
-  rtic explain <constraints-file>
+  rtic explain <constraints-file> [--profile <log-file>]
   rtic generate <reservations|library|monitor|audit|random> [--steps N] [--seed N]
              [--violation-rate R]
 
@@ -87,9 +90,19 @@ actions io-error, abort, panic, truncate:K, bitflip:K.
 
 Telemetry: `--metrics FILE` writes a metrics snapshot after the run (JSON,
 or Prometheus text when FILE ends in `.prom`); `--trace FILE` appends one
-JSON line per step event (`-` traces to stderr); `--sample-space N`
-records every checker's space footprint every N steps. `rtic report`
-renders a JSON metrics snapshot as a summary table.";
+JSON line per step event (`-` traces to stderr), or — with
+`--trace-format chrome` — a Chrome trace format array viewable in
+Perfetto / chrome://tracing; `--sample-space N` records every checker's
+space footprint every N steps. `rtic report` renders a JSON metrics
+snapshot as a summary table.
+
+Profiling: `--profile` (incremental checker, with or without
+`--parallel`) turns on per-plan-node counters — inclusive wall time,
+cardinalities, memo-cache hits — and prints an EXPLAIN-ANALYZE-style
+table per constraint after the run; the profile also lands in
+`--metrics` snapshots and traces. `rtic explain FILE --profile LOG`
+additionally replays LOG and annotates each constraint's report with the
+measured plan profile.";
 
 /// Runs the CLI; returns the process exit code. All output goes through
 /// `out` so tests can capture it.
@@ -139,16 +152,49 @@ enum CheckEngine {
     Fleet(Box<ConstraintSet>),
 }
 
+/// The trace writer behind `--trace`, in the format `--trace-format`
+/// picked: JSON lines (the default) or a Chrome trace format array.
+enum AnyTrace {
+    Json(TraceWriter),
+    Chrome(ChromeTraceWriter),
+}
+
+impl AnyTrace {
+    fn events_written(&self) -> u64 {
+        match self {
+            AnyTrace::Json(t) => t.lines_written(),
+            AnyTrace::Chrome(t) => t.events_written(),
+        }
+    }
+
+    fn finish(self) -> Result<String, String> {
+        match self {
+            AnyTrace::Json(t) => t.finish(),
+            AnyTrace::Chrome(t) => t.finish(),
+        }
+    }
+}
+
+impl StepObserver for AnyTrace {
+    fn observe(&mut self, event: &StepEvent<'_>) {
+        match self {
+            AnyTrace::Json(t) => t.observe(event),
+            AnyTrace::Chrome(t) => t.observe(event),
+        }
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn build_checkers(
     file: &ConstraintFile,
     catalog: &Arc<Catalog>,
     backend: BackendId,
+    options: EncodingOptions,
     show_explain: bool,
     resume_path: Option<&str>,
     resume_sections: &[String],
     registry: &mut MetricsRegistry,
-    trace: &mut Option<TraceWriter>,
+    trace: &mut Option<AnyTrace>,
     out: &mut String,
 ) -> Result<Vec<Box<dyn Checker>>, String> {
     let mut checkers: Vec<Box<dyn Checker>> = Vec::new();
@@ -179,17 +225,14 @@ fn build_checkers(
                             checkpoint::restore_observed(
                                 c.clone(),
                                 Arc::clone(catalog),
-                                EncodingOptions::default(),
+                                options,
                                 section,
                                 &mut obs,
                             )
                             .map_err(|e| e.to_string())?,
                         )
                     }
-                    (None, _) => Box::new(IncrementalChecker::from_compiled(
-                        compiled,
-                        EncodingOptions::default(),
-                    )),
+                    (None, _) => Box::new(IncrementalChecker::from_compiled(compiled, options)),
                 }
             }
             BackendId::Naive => Box::new(NaiveChecker::from_compiled(compiled)),
@@ -208,9 +251,17 @@ fn check(args: &[String], out: &mut String) -> Result<i32, String> {
     let quiet = args.iter().any(|a| a == "--quiet");
     let stats = args.iter().any(|a| a == "--stats");
     let show_explain = args.iter().any(|a| a == "--explain");
+    let profile = args.iter().any(|a| a == "--profile");
     let backend: BackendId = flag_value(args, "--checker")
         .unwrap_or("incremental")
         .parse()?;
+    if profile && backend != BackendId::Incremental {
+        return Err("--profile requires the incremental checker".into());
+    }
+    let options = EncodingOptions {
+        profile_plans: profile,
+        ..Default::default()
+    };
     let checkpoint_path = flag_value(args, "--checkpoint");
     let resume_path = flag_value(args, "--resume");
     if (checkpoint_path.is_some() || resume_path.is_some()) && backend != BackendId::Incremental {
@@ -272,6 +323,14 @@ fn check(args: &[String], out: &mut String) -> Result<i32, String> {
     let extra_constraint_paths = flag_values(args, "--constraints");
     let metrics_path = flag_value(args, "--metrics");
     let trace_path = flag_value(args, "--trace");
+    let trace_chrome = match flag_value(args, "--trace-format") {
+        None | Some("json") => false,
+        Some("chrome") => true,
+        Some(other) => return Err(format!("bad --trace-format `{other}` (json|chrome)")),
+    };
+    if flag_value(args, "--trace-format").is_some() && trace_path.is_none() {
+        return Err("--trace-format requires --trace".into());
+    }
     let sample_every: u64 = flag_value(args, "--sample-space")
         .map(|v| v.parse().map_err(|e| format!("bad --sample-space: {e}")))
         .transpose()?
@@ -280,13 +339,18 @@ fn check(args: &[String], out: &mut String) -> Result<i32, String> {
     // Every run aggregates into a registry; --stats, --metrics and the
     // sampler all read from the same event stream.
     let mut registry = MetricsRegistry::new();
-    let mut trace = match trace_path {
-        Some("-") => Some(TraceWriter::to_stderr()),
-        Some(path) => Some(
-            TraceWriter::to_file(path)
-                .map_err(|e| format!("cannot open trace file `{path}`: {e}"))?,
+    let mut trace = match (trace_path, trace_chrome) {
+        (Some("-"), false) => Some(AnyTrace::Json(TraceWriter::to_stderr())),
+        (Some("-"), true) => Some(AnyTrace::Chrome(ChromeTraceWriter::to_stderr())),
+        (Some(path), chrome) => Some(
+            (if chrome {
+                ChromeTraceWriter::to_file(path).map(AnyTrace::Chrome)
+            } else {
+                TraceWriter::to_file(path).map(AnyTrace::Json)
+            })
+            .map_err(|e| format!("cannot open trace file `{path}`: {e}"))?,
         ),
-        None => None,
+        (None, _) => None,
     };
     let mut sampler = SpaceSampler::new(sample_every);
 
@@ -354,9 +418,10 @@ fn check(args: &[String], out: &mut String) -> Result<i32, String> {
 
     let mut engine = if let Some(par) = parallelism {
         let set = if let Some((found_path, sections, _)) = &resume_recovery {
-            let set = checkpoint::restore_set(
+            let set = checkpoint::restore_set_with_options(
                 file.constraints.iter().cloned(),
                 Arc::clone(&catalog),
+                options,
                 sections,
             )
             .map_err(|e| format!("cannot resume from `{}`: {e}", found_path.display()))?;
@@ -374,8 +439,12 @@ fn check(args: &[String], out: &mut String) -> Result<i32, String> {
             }
             set
         } else {
-            ConstraintSet::new(file.constraints.iter().cloned(), Arc::clone(&catalog))
-                .map_err(|(c, e)| format!("constraint `{}`: {e}", c.name))?
+            ConstraintSet::with_options(
+                file.constraints.iter().cloned(),
+                Arc::clone(&catalog),
+                options,
+            )
+            .map_err(|(c, e)| format!("constraint `{}`: {e}", c.name))?
         }
         .with_parallelism(par);
         if show_explain {
@@ -389,6 +458,7 @@ fn check(args: &[String], out: &mut String) -> Result<i32, String> {
             &file,
             &catalog,
             backend,
+            options,
             show_explain,
             resume_path,
             &resume_sections,
@@ -565,10 +635,12 @@ fn check(args: &[String], out: &mut String) -> Result<i32, String> {
                     &mut obs,
                 );
                 observe::sample_plan_stats(checkers, &mut obs);
+                observe::sample_plan_profiles(checkers, &mut obs);
             }
             CheckEngine::Fleet(set) => {
                 set.sample_space(transitions as u64, &mut obs);
                 set.sample_plan_stats(&mut obs);
+                set.sample_plan_profiles(&mut obs);
             }
         }
     }
@@ -602,6 +674,19 @@ fn check(args: &[String], out: &mut String) -> Result<i32, String> {
     if let CheckEngine::Fleet(set) = &engine {
         for (name, detail) in set.quarantined() {
             let _ = writeln!(out, "quarantined `{name}`: {detail}");
+        }
+    }
+    if profile {
+        let profiles: Vec<(Symbol, rtic_core::PlanProfile)> = match &engine {
+            CheckEngine::Independent(checkers) => checkers
+                .iter()
+                .filter_map(|ch| ch.plan_profile().map(|p| (ch.constraint().name, p)))
+                .collect(),
+            CheckEngine::Fleet(set) => set.plan_profiles(),
+        };
+        for (name, prof) in &profiles {
+            let _ = writeln!(out, "profile[{name}]:");
+            out.push_str(&explain::render_profile(prof));
         }
     }
     if stats {
@@ -678,10 +763,10 @@ fn check(args: &[String], out: &mut String) -> Result<i32, String> {
         let _ = writeln!(out, "metrics written to {path}");
     }
     if let Some(t) = trace {
-        let lines = t.lines_written();
+        let events = t.events_written();
         t.finish()?;
         if let Some(path) = trace_path.filter(|p| *p != "-") {
-            let _ = writeln!(out, "trace written to {path} ({lines} events)");
+            let _ = writeln!(out, "trace written to {path} ({events} events)");
         }
     }
     Ok(if total_violations > 0 { 1 } else { 0 })
@@ -715,7 +800,7 @@ fn write_checkpoint(
     rotation: &Rotation,
     faults: &FailPlan,
     registry: &mut MetricsRegistry,
-    trace: &mut Option<TraceWriter>,
+    trace: &mut Option<AnyTrace>,
 ) -> Result<usize, String> {
     let sections: Vec<(Symbol, String)> = match engine {
         CheckEngine::Fleet(set) => checkpoint::save_set(set),
@@ -749,15 +834,67 @@ fn write_checkpoint(
 }
 
 fn explain_cmd(args: &[String], out: &mut String) -> Result<i32, String> {
-    let [path] = args else {
+    let positional: Vec<&String> = args.iter().take_while(|a| !a.starts_with("--")).collect();
+    let [path] = positional.as_slice() else {
         return Err("explain needs <constraints-file>; try --help".into());
     };
+    let profile_log = flag_value(args, "--profile");
     let file = load_constraints(path)?;
     let catalog = Arc::new(file.catalog.clone());
-    for c in &file.constraints {
+
+    // Without --profile this is a pure compile-time report. With it, the
+    // log is replayed through profiling incremental checkers first, so
+    // each constraint's report ends with measured per-node annotations —
+    // an EXPLAIN ANALYZE for the compiled plans.
+    let mut profiles: Vec<Option<rtic_core::PlanProfile>> = vec![None; file.constraints.len()];
+    if let Some(log_path) = profile_log {
+        let mut checkers: Vec<IncrementalChecker> = file
+            .constraints
+            .iter()
+            .map(|c| {
+                IncrementalChecker::with_options(
+                    c.clone(),
+                    Arc::clone(&catalog),
+                    EncodingOptions {
+                        profile_plans: true,
+                        ..Default::default()
+                    },
+                )
+                .map_err(|e| format!("constraint `{}`: {e}", c.name))
+            })
+            .collect::<Result<_, String>>()?;
+        let log_file = std::fs::File::open(log_path)
+            .map_err(|e| format!("cannot read log file `{log_path}`: {e}"))?;
+        let mut reader = LogReader::new(std::io::BufReader::new(log_file));
+        while let Some(item) = reader.next() {
+            let tr: Transition = item.map_err(|e| format!("{log_path}:{e}"))?;
+            let line = reader.lines_read();
+            for checker in &mut checkers {
+                checker
+                    .step(tr.time, &tr.update)
+                    .map_err(|e| format!("{log_path}:line {line}: at {}: {e}", tr.time))?;
+            }
+        }
+        for (slot, checker) in profiles.iter_mut().zip(&checkers) {
+            *slot = checker.plan_profile();
+        }
+    }
+
+    for (c, profile) in file.constraints.iter().zip(&profiles) {
         let compiled = CompiledConstraint::compile(c.clone(), Arc::clone(&catalog))
             .map_err(|e| format!("constraint `{}`: {e}", c.name))?;
-        let _ = writeln!(out, "{}", explain::explain(&compiled));
+        let text = explain::explain(&compiled);
+        match profile {
+            Some(p) => {
+                out.push_str(text.trim_end());
+                let _ = writeln!(out);
+                out.push_str(&explain::render_profile(p));
+                let _ = writeln!(out);
+            }
+            None => {
+                let _ = writeln!(out, "{text}");
+            }
+        }
     }
     Ok(0)
 }

@@ -586,3 +586,178 @@ fn generate_then_check_round_trip() {
     assert!(out.contains("40 transitions"), "{out}");
     assert!(out.contains("2 constraint(s)"), "{out}");
 }
+
+#[test]
+fn check_profile_prints_plan_annotations() {
+    let c = temp_file("prof.rtic", CONSTRAINTS);
+    let l = temp_file("prof.rticlog", LOG);
+    let m = temp_file("prof-metrics.json", "");
+    let (code, out) = run(&[
+        "check",
+        c.to_str().unwrap(),
+        l.to_str().unwrap(),
+        "--quiet",
+        "--profile",
+        "--metrics",
+        m.to_str().unwrap(),
+    ]);
+    assert_eq!(code.unwrap(), 1);
+    assert!(out.contains("profile[unconfirmed]"), "{out}");
+    assert!(out.contains("plan profile"), "{out}");
+    assert!(out.contains("atom(reserved)"), "{out}");
+    assert!(out.contains("cache h/m"), "{out}");
+    assert!(out.contains("[body"), "node paths rendered: {out}");
+    // The profile also lands in the metrics snapshot.
+    let doc = rtic_obs::json::parse(&std::fs::read_to_string(&m).unwrap()).unwrap();
+    assert!(doc.get("plan_profiles").is_some(), "metrics carry profiles");
+    let hot = doc.get("plan_hot_nodes").and_then(|j| j.as_arr()).unwrap();
+    assert!(!hot.is_empty(), "hot-node gauges populated");
+}
+
+#[test]
+fn check_profile_matches_unprofiled_reports() {
+    let c = temp_file("prof-eq.rtic", CONSTRAINTS);
+    let l = temp_file("prof-eq.rticlog", LOG);
+    let (plain_code, plain_out) = run(&["check", c.to_str().unwrap(), l.to_str().unwrap()]);
+    let (prof_code, prof_out) = run(&[
+        "check",
+        c.to_str().unwrap(),
+        l.to_str().unwrap(),
+        "--profile",
+    ]);
+    assert_eq!(plain_code.unwrap(), prof_code.unwrap());
+    // Everything before the profile table is byte-identical.
+    let head = prof_out.split("profile[").next().unwrap();
+    assert_eq!(plain_out, head, "profiling changed the report stream");
+}
+
+#[test]
+fn check_profile_flag_validation() {
+    let c = temp_file("prof-v.rtic", CONSTRAINTS);
+    let l = temp_file("prof-v.rticlog", LOG);
+    let (code, _) = run(&[
+        "check",
+        c.to_str().unwrap(),
+        l.to_str().unwrap(),
+        "--profile",
+        "--checker",
+        "naive",
+    ]);
+    assert!(code.unwrap_err().contains("--profile"), "naive rejected");
+}
+
+#[test]
+fn parallel_check_profiles_the_fleet() {
+    let c = temp_file("prof-par.rtic", CONSTRAINTS);
+    let l = temp_file("prof-par.rticlog", LOG);
+    let (code, out) = run(&[
+        "check",
+        c.to_str().unwrap(),
+        l.to_str().unwrap(),
+        "--quiet",
+        "--profile",
+        "--parallel",
+        "2",
+    ]);
+    assert_eq!(code.unwrap(), 1);
+    assert!(out.contains("profile[unconfirmed]"), "{out}");
+    assert!(out.contains("plan profile"), "{out}");
+}
+
+#[test]
+fn check_trace_format_chrome_writes_perfetto_array() {
+    let c = temp_file("chrome.rtic", CONSTRAINTS);
+    let l = temp_file("chrome.rticlog", LOG);
+    let t = temp_file("chrome-trace.json", "");
+    let (code, out) = run(&[
+        "check",
+        c.to_str().unwrap(),
+        l.to_str().unwrap(),
+        "--quiet",
+        "--profile",
+        "--trace",
+        t.to_str().unwrap(),
+        "--trace-format",
+        "chrome",
+    ]);
+    assert_eq!(code.unwrap(), 1, "{out}");
+    assert!(out.contains("trace written to"), "{out}");
+    let doc = rtic_obs::json::parse(&std::fs::read_to_string(&t).unwrap()).unwrap();
+    let events = doc.as_arr().expect("chrome trace is one JSON array");
+    assert!(!events.is_empty());
+    // Step spans plus the plan-profile track with named plan-node spans.
+    let names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("name").and_then(|n| n.as_str()))
+        .collect();
+    assert!(names.iter().any(|n| n.starts_with("step t=")), "{names:?}");
+    assert!(names.contains(&"eval unconfirmed"), "{names:?}");
+    assert!(names.iter().any(|n| n.starts_with("atom(")), "{names:?}");
+}
+
+#[test]
+fn trace_format_flag_validation() {
+    let c = temp_file("tf.rtic", CONSTRAINTS);
+    let l = temp_file("tf.rticlog", LOG);
+    let (code, _) = run(&[
+        "check",
+        c.to_str().unwrap(),
+        l.to_str().unwrap(),
+        "--trace-format",
+        "chrome",
+    ]);
+    assert!(code.unwrap_err().contains("--trace"), "needs --trace");
+    let t = temp_file("tf-trace.json", "");
+    let (code, _) = run(&[
+        "check",
+        c.to_str().unwrap(),
+        l.to_str().unwrap(),
+        "--trace",
+        t.to_str().unwrap(),
+        "--trace-format",
+        "xml",
+    ]);
+    assert!(code.unwrap_err().contains("xml"), "bad format rejected");
+}
+
+#[test]
+fn explain_profile_annotates_with_measurements() {
+    let c = temp_file("exp-prof.rtic", CONSTRAINTS);
+    let l = temp_file("exp-prof.rticlog", LOG);
+    let (code, out) = run(&[
+        "explain",
+        c.to_str().unwrap(),
+        "--profile",
+        l.to_str().unwrap(),
+    ]);
+    assert_eq!(code.unwrap(), 0);
+    // The compile-time report plus the measured per-node table.
+    assert!(out.contains("evaluation plan"), "{out}");
+    assert!(out.contains("plan profile"), "{out}");
+    assert!(out.contains('%'), "{out}");
+    assert!(out.contains("times include children"), "{out}");
+    // Without --profile, no table.
+    let (_, plain) = run(&["explain", c.to_str().unwrap()]);
+    assert!(!plain.contains("plan profile"), "{plain}");
+}
+
+#[test]
+fn report_renders_p90_quantile() {
+    let c = temp_file("p90.rtic", CONSTRAINTS);
+    let l = temp_file("p90.rticlog", LOG);
+    let m = temp_file("p90-metrics.json", "");
+    run(&[
+        "check",
+        c.to_str().unwrap(),
+        l.to_str().unwrap(),
+        "--quiet",
+        "--metrics",
+        m.to_str().unwrap(),
+    ])
+    .0
+    .unwrap();
+    let (code, out) = run(&["report", m.to_str().unwrap()]);
+    assert_eq!(code.unwrap(), 0);
+    assert!(out.contains("p90"), "{out}");
+    assert!(out.contains("p99"), "{out}");
+}
