@@ -12,7 +12,9 @@
 //! printed — warn-only, the exit code stays 0 so noisy CI runners never
 //! block a merge on timing jitter.
 
-use rtic_bench::record::{compare, git_rev, record, to_json, WORKLOADS};
+use rtic_bench::record::{
+    compare, git_rev, record, shard_curve, shard_curve_to_json, to_json, WORKLOADS,
+};
 use rtic_obs::json;
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
@@ -26,7 +28,7 @@ fn run(args: &[String]) -> Result<i32, String> {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!(
             "record [WORKLOAD] [--steps N] [--seed N] [--out FILE] \
-             [--compare BASELINE] [--warn-pct P]\nworkloads: {}",
+             [--compare BASELINE] [--warn-pct P]\nworkloads: {}, shard-scaling",
             WORKLOADS.join(", ")
         );
         return Ok(0);
@@ -51,19 +53,35 @@ fn run(args: &[String]) -> Result<i32, String> {
         .unwrap_or(25.0);
     let out_path = flag_value(args, "--out")
         .map(String::from)
-        .unwrap_or_else(|| format!("BENCH_{workload}.json"));
+        .unwrap_or_else(|| format!("BENCH_{}.json", workload.replace('-', "_")));
+
+    // The shard-scaling sweep writes a curve document, not a single
+    // workload snapshot — it times the same entity-churn history with
+    // the sharded data plane off and on across key counts.
+    if workload == "shard-scaling" {
+        let smoke = std::env::var("RTIC_BENCH_SMOKE").is_ok();
+        let key_counts: &[usize] = if smoke { &[8] } else { &[4, 16, 64, 256] };
+        let points = shard_curve(key_counts, steps, seed)?;
+        let doc = shard_curve_to_json(&points, steps, seed, &git_rev());
+        write_doc(&out_path, &doc)?;
+        for p in &points {
+            println!(
+                "shard-scaling keys={}: unsharded {:.0} steps/s, sharded {:.0} steps/s, \
+                 sharded+4 workers {:.0} steps/s, peak {} shard(s)",
+                p.keys,
+                p.unsharded_steps_per_sec,
+                p.sharded_steps_per_sec,
+                p.sharded_parallel_steps_per_sec,
+                p.peak_shards
+            );
+        }
+        println!("recorded shard-scaling ({steps} steps/point, seed {seed}) -> {out_path}");
+        return Ok(0);
+    }
 
     let recording = record(workload, steps, seed)?;
     let doc = to_json(&recording, &git_rev());
-    if let Some(parent) = std::path::Path::new(&out_path)
-        .parent()
-        .filter(|p| !p.as_os_str().is_empty())
-    {
-        std::fs::create_dir_all(parent)
-            .map_err(|e| format!("cannot create `{}`: {e}", parent.display()))?;
-    }
-    std::fs::write(&out_path, format!("{}\n", doc.render()))
-        .map_err(|e| format!("cannot write `{out_path}`: {e}"))?;
+    write_doc(&out_path, &doc)?;
     println!(
         "recorded {} ({} steps, seed {}) -> {out_path}: {:.0} steps/s, \
          p50 {:.1}us p90 {:.1}us p99 {:.1}us",
@@ -91,6 +109,18 @@ fn run(args: &[String]) -> Result<i32, String> {
         }
     }
     Ok(0)
+}
+
+fn write_doc(out_path: &str, doc: &json::Json) -> Result<(), String> {
+    if let Some(parent) = std::path::Path::new(out_path)
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+    {
+        std::fs::create_dir_all(parent)
+            .map_err(|e| format!("cannot create `{}`: {e}", parent.display()))?;
+    }
+    std::fs::write(out_path, format!("{}\n", doc.render()))
+        .map_err(|e| format!("cannot write `{out_path}`: {e}"))
 }
 
 fn main() {

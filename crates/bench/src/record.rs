@@ -167,6 +167,115 @@ pub fn record(workload: &str, steps: usize, seed: u64) -> Result<Recording, Stri
     })
 }
 
+/// One point of the shard-scaling throughput curve: the same
+/// entity-churn history checked with the sharded data plane off and on.
+#[derive(Clone, Debug)]
+pub struct ShardCurvePoint {
+    /// Distinct entity keys (passengers) in the stream.
+    pub keys: usize,
+    /// Steps/second through the unsharded [`rtic_core::ConstraintSet`].
+    pub unsharded_steps_per_sec: f64,
+    /// Steps/second with `--shard auto` semantics (sharding on).
+    pub sharded_steps_per_sec: f64,
+    /// Steps/second sharded with four workers — per-shard jobs of one
+    /// constraint spread over the scoped-thread pool.
+    pub sharded_parallel_steps_per_sec: f64,
+    /// High-water mark of live shards across the sharded run.
+    pub peak_shards: usize,
+}
+
+/// Runs the shard-scaling sweep: for each key count, the same
+/// [`crate::experiments::shard_stream`] history through an unsharded and
+/// a sharded fleet, timed end to end. The two runs' report lines are
+/// asserted identical — a curve over diverging planes would be
+/// meaningless.
+pub fn shard_curve(
+    key_counts: &[usize],
+    steps: usize,
+    seed: u64,
+) -> Result<Vec<ShardCurvePoint>, String> {
+    use crate::experiments::{shard_catalog, shard_constraint, shard_stream};
+    use rtic_core::{ConstraintSet, Parallelism};
+
+    let catalog = shard_catalog();
+    let constraint = shard_constraint();
+    let mut points = Vec::with_capacity(key_counts.len());
+    for &keys in key_counts {
+        let transitions = shard_stream(keys, steps, seed);
+        let run = |sharded: bool,
+                   parallelism: Parallelism|
+         -> Result<(f64, usize, Vec<String>), String> {
+            let mut set = ConstraintSet::new([constraint.clone()], std::sync::Arc::clone(&catalog))
+                .map_err(|(c, e)| format!("constraint `{}`: {e}", c.name))?
+                .with_sharding(sharded)
+                .with_parallelism(parallelism);
+            let mut lines = Vec::new();
+            let start = Instant::now();
+            for tr in &transitions {
+                let reports = set
+                    .step(tr.time, &tr.update)
+                    .map_err(|e| format!("shard curve step at {}: {e}", tr.time))?;
+                lines.extend(reports.iter().map(|r| r.to_string()));
+            }
+            let secs = start.elapsed().as_secs_f64();
+            let peak = set
+                .shard_stats()
+                .iter()
+                .map(|(_, s)| s.peak)
+                .max()
+                .unwrap_or(0);
+            let throughput = if secs > 0.0 {
+                transitions.len() as f64 / secs
+            } else {
+                0.0
+            };
+            Ok((throughput, peak, lines))
+        };
+        let (unsharded, _, plain_lines) = run(false, Parallelism::Sequential)?;
+        let (sharded, peak, sharded_lines) = run(true, Parallelism::Sequential)?;
+        let (sharded_par, _, par_lines) = run(true, Parallelism::N(4))?;
+        if plain_lines != sharded_lines || plain_lines != par_lines {
+            return Err(format!(
+                "shard curve at {keys} key(s): sharded reports diverge from unsharded"
+            ));
+        }
+        points.push(ShardCurvePoint {
+            keys,
+            unsharded_steps_per_sec: unsharded,
+            sharded_steps_per_sec: sharded,
+            sharded_parallel_steps_per_sec: sharded_par,
+            peak_shards: peak,
+        });
+    }
+    Ok(points)
+}
+
+/// Renders a shard-scaling sweep as the `BENCH_shard_scaling.json`
+/// document.
+pub fn shard_curve_to_json(points: &[ShardCurvePoint], steps: usize, seed: u64, rev: &str) -> Json {
+    let curve: Vec<Json> = points
+        .iter()
+        .map(|p| {
+            Json::object()
+                .set("keys", p.keys as u64)
+                .set("unsharded_steps_per_sec", round3(p.unsharded_steps_per_sec))
+                .set("sharded_steps_per_sec", round3(p.sharded_steps_per_sec))
+                .set(
+                    "sharded_parallel_steps_per_sec",
+                    round3(p.sharded_parallel_steps_per_sec),
+                )
+                .set("peak_shards", p.peak_shards as u64)
+        })
+        .collect();
+    Json::object()
+        .set("schema_version", SCHEMA_VERSION)
+        .set("workload", "shard-scaling")
+        .set("steps", steps as u64)
+        .set("seed", seed)
+        .set("git_rev", rev)
+        .set("shard_curve", Json::Arr(curve))
+}
+
 /// The short git revision of the working tree, or `"unknown"` outside a
 /// repository (snapshots must never fail on a bare export).
 pub fn git_rev() -> String {
@@ -345,6 +454,30 @@ mod tests {
         )
         .unwrap();
         assert!(compare(&better, &base, 10.0).is_empty());
+    }
+
+    #[test]
+    fn shard_curve_sweeps_and_serializes() {
+        let points = shard_curve(&[2, 8], 120, 7).unwrap();
+        assert_eq!(points.len(), 2);
+        assert!(points
+            .iter()
+            .all(|p| p.sharded_steps_per_sec > 0.0 && p.unsharded_steps_per_sec > 0.0));
+        // More keys materialize more shards.
+        assert!(points[1].peak_shards > points[0].peak_shards, "{points:?}");
+        assert!(points[0].peak_shards >= 1, "{points:?}");
+        let doc = json::parse(&shard_curve_to_json(&points, 120, 7, "abc").render()).unwrap();
+        assert_eq!(
+            doc.get("workload").and_then(Json::as_str),
+            Some("shard-scaling")
+        );
+        let curve = doc.get("shard_curve").and_then(Json::as_arr).unwrap();
+        assert_eq!(curve.len(), 2);
+        assert_eq!(curve[0].get("keys").and_then(Json::as_u64), Some(2));
+        assert!(curve[1]
+            .get("peak_shards")
+            .and_then(Json::as_u64)
+            .is_some_and(|p| p > 1));
     }
 
     #[test]

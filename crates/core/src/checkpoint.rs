@@ -63,7 +63,8 @@ use crate::checker::Checker as _;
 use crate::encode::HistInfDump;
 use crate::error::CompileError;
 use crate::incremental::{EncodingOptions, IncrementalChecker, NodeEngine, NodeState};
-use crate::set::ConstraintSet;
+use crate::set::{ConstraintSet, DispatchStats};
+use crate::shard::ShardedEngine;
 
 /// A checkpoint failure.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -119,7 +120,22 @@ fn write_values(out: &mut String, t: &Tuple) {
 
 /// Serializes the checker's full state.
 pub fn save(checker: &IncrementalChecker) -> String {
-    save_parts(checker.database(), checker.engine(), checker.steps())
+    save_parts(
+        checker.database(),
+        checker.engine(),
+        checker.steps(),
+        SectionExtras::default(),
+    )
+}
+
+/// Fleet-level state a section optionally carries beyond the engine's
+/// own: the set's dispatch tallies (identical in every section, restored
+/// so counters keep matching engine-steps across resume) and, for a
+/// sharded constraint, its phantom and live shards.
+#[derive(Clone, Copy, Default)]
+struct SectionExtras<'a> {
+    dispatch: Option<DispatchStats>,
+    sharded: Option<&'a ShardedEngine>,
 }
 
 /// Serializes a fleet: one `(constraint, v1 section)` per **healthy**
@@ -128,32 +144,59 @@ pub fn save(checker: &IncrementalChecker) -> String {
 /// the whole list restores the set ([`restore_set`]). Quarantined
 /// engines are excluded — their mid-panic state is not trustworthy — so
 /// resuming such a checkpoint with the full constraint file fails with a
-/// missing-section error for the quarantined constraint.
+/// missing-section error for the quarantined constraint. Sharded
+/// constraints serialize per-shard sections: the phantom plus only the
+/// **live** shards, so resume rematerializes exactly the live ones.
 pub fn save_set(set: &ConstraintSet) -> Vec<(Symbol, String)> {
+    let dispatch = set.dispatch_stats();
     set.engines_with_health()
-        .filter(|(_, quarantined)| !quarantined)
-        .map(|(engine, _)| {
+        .filter(|(_, _, quarantined)| !quarantined)
+        .map(|(engine, sharded, _)| {
             (
                 engine.compiled.constraint.name,
-                save_parts(set.database(), engine, set.steps()),
+                save_parts(
+                    set.database(),
+                    engine,
+                    set.steps(),
+                    SectionExtras {
+                        dispatch: Some(dispatch),
+                        sharded,
+                    },
+                ),
             )
         })
         .collect()
 }
 
 /// One `rtic-checkpoint v1` section for an engine over `db`.
-fn save_parts(db: &Database, engine: &NodeEngine, steps: usize) -> String {
+fn save_parts(
+    db: &Database,
+    engine: &NodeEngine,
+    steps: usize,
+    extras: SectionExtras<'_>,
+) -> String {
     let mut out = String::new();
     out.push_str("rtic-checkpoint v1\n");
     let _ = writeln!(out, "constraint {}", engine.compiled.constraint.name);
     let _ = writeln!(out, "body {}", engine.compiled.body);
-    match engine.last_time {
+    let last_time = match extras.sharded {
+        Some(s) => s.phantom_engine().last_time,
+        None => engine.last_time,
+    };
+    match last_time {
         Some(t) => {
             let _ = writeln!(out, "time {}", t.0);
         }
         None => out.push_str("time none\n"),
     }
     let _ = writeln!(out, "steps {steps}");
+    if let Some(d) = extras.dispatch {
+        let _ = writeln!(
+            out,
+            "dispatch {} {} {} {}",
+            d.affected, d.skipped, d.quiescent_full, d.quarantined
+        );
+    }
     // Current database state.
     for name in db.catalog().names() {
         let rel = db.relation(name).expect("catalogued");
@@ -166,7 +209,31 @@ fn save_parts(db: &Database, engine: &NodeEngine, steps: usize) -> String {
         }
         out.push_str("endrel\n");
     }
-    // Auxiliary node states.
+    match extras.sharded {
+        None => write_nodes(&mut out, engine),
+        Some(sharded) => {
+            // The sharded data plane replaces the (dormant) main
+            // engine's node blocks: the phantom's state plus one block
+            // per live shard. Sub-databases are not serialized — they
+            // are rebuilt at restore by partitioning the shared
+            // database on the key columns.
+            let _ = writeln!(out, "shardkey {}", sharded.key().var);
+            out.push_str("phantom\n");
+            write_nodes(&mut out, sharded.phantom_engine());
+            out.push_str("endphantom\n");
+            for (key, shard_engine) in sharded.live_shards() {
+                let _ = writeln!(out, "shard {}", key.to_literal());
+                write_nodes(&mut out, shard_engine);
+                out.push_str("endshard\n");
+            }
+        }
+    }
+    out
+}
+
+/// The `node <idx> <kind> … endnode` blocks for an engine's auxiliary
+/// states.
+fn write_nodes(out: &mut String, engine: &NodeEngine) {
     for (idx, state) in engine.states.iter().enumerate() {
         match state {
             NodeState::Prev(p) => {
@@ -174,7 +241,7 @@ fn save_parts(db: &Database, engine: &NodeEngine, steps: usize) -> String {
                 if let Some((t, rows)) = p.dump() {
                     let _ = writeln!(out, "time {}", t.0);
                     for r in rows {
-                        write_values(&mut out, &r);
+                        write_values(out, &r);
                     }
                 }
             }
@@ -193,7 +260,7 @@ fn save_parts(db: &Database, engine: &NodeEngine, steps: usize) -> String {
                         let _ = write!(out, "{}", s.0);
                     }
                     out.push(' ');
-                    write_values(&mut out, &key);
+                    write_values(out, &key);
                 }
             }
             NodeState::HistFinite(h) => {
@@ -212,7 +279,7 @@ fn save_parts(db: &Database, engine: &NodeEngine, steps: usize) -> String {
                         let _ = write!(out, "{} {}", s.0, e.0);
                     }
                     out.push(' ');
-                    write_values(&mut out, &key);
+                    write_values(out, &key);
                 }
             }
             NodeState::HistInf(h) => {
@@ -232,13 +299,12 @@ fn save_parts(db: &Database, engine: &NodeEngine, steps: usize) -> String {
                 out.push('\n');
                 for (key, end, active) in dump.entries {
                     let _ = write!(out, "{} {} ", end.0, u8::from(active));
-                    write_values(&mut out, &key);
+                    write_values(out, &key);
                 }
             }
         }
         out.push_str("endnode\n");
     }
-    out
 }
 
 struct Reader<'s> {
@@ -328,7 +394,15 @@ pub fn restore(
 ) -> Result<IncrementalChecker, CheckpointError> {
     let mut checker = IncrementalChecker::with_options(constraint, catalog, options)?;
     let (db, engine, steps_slot) = checker.parts_mut();
-    restore_section(db, engine, steps_slot, text, RelMode::Apply)?;
+    restore_section(
+        db,
+        engine,
+        None,
+        steps_slot,
+        &mut DispatchStats::default(),
+        text,
+        RelMode::Apply,
+    )?;
     Ok(checker)
 }
 
@@ -355,15 +429,35 @@ pub fn restore_set_with_options(
     options: EncodingOptions,
     sections: &[String],
 ) -> Result<ConstraintSet, CheckpointError> {
+    restore_set_sharded(constraints, catalog, options, sections, false)
+}
+
+/// [`restore_set_with_options`] with the entity-key sharded data plane
+/// enabled (`sharding`) before the sections are applied. A checkpoint
+/// written sharded must be resumed sharded and vice versa — the sections
+/// record which plane produced them, and a mismatch is rejected with an
+/// actionable error rather than silently dropping per-shard state.
+pub fn restore_set_sharded(
+    constraints: impl IntoIterator<Item = Constraint>,
+    catalog: Arc<Catalog>,
+    options: EncodingOptions,
+    sections: &[String],
+    sharding: bool,
+) -> Result<ConstraintSet, CheckpointError> {
     let mut set =
         ConstraintSet::with_options(constraints, catalog, options).map_err(|(c, e)| {
             CheckpointError::Mismatch {
                 message: format!("constraint `{}` failed to compile: {e}", c.name),
             }
         })?;
-    let (db, engines, steps_slot, last_time_slot) = set.restore_parts();
+    if sharding {
+        set.set_sharding(true);
+    }
+    let parts = set.restore_parts();
     let mut cursor: Option<(usize, Option<TimePoint>)> = None;
-    for (i, engine) in engines.iter_mut().enumerate() {
+    let mut dispatch: Option<DispatchStats> = None;
+    for i in 0..parts.engines.len() {
+        let engine = &mut parts.engines[i];
         let name = engine.compiled.constraint.name;
         let section = sections
             .iter()
@@ -381,7 +475,17 @@ pub fn restore_set_with_options(
             RelMode::Verify
         };
         let mut steps = 0usize;
-        restore_section(db, engine, &mut steps, section, mode)?;
+        let mut section_dispatch = DispatchStats::default();
+        restore_section(
+            parts.db,
+            engine,
+            parts.shards[i].as_mut(),
+            &mut steps,
+            &mut section_dispatch,
+            section,
+            mode,
+        )?;
+        dispatch.get_or_insert(section_dispatch);
         let this = (steps, engine.last_time);
         match cursor {
             None => cursor = Some(this),
@@ -398,8 +502,11 @@ pub fn restore_set_with_options(
         }
     }
     if let Some((steps, time)) = cursor {
-        *steps_slot = steps;
-        *last_time_slot = time;
+        *parts.steps = steps;
+        *parts.last_time = time;
+    }
+    if let Some(d) = dispatch {
+        *parts.dispatch = d;
     }
     Ok(set)
 }
@@ -421,11 +528,18 @@ enum RelMode {
 }
 
 /// Restores one v1 section into an engine (and, per `rel_mode`, the
-/// database). `steps_slot` receives the section's step cursor.
+/// database). `steps_slot` receives the section's step cursor and
+/// `dispatch_slot` the fleet dispatch counters when the section carries
+/// them. When the constraint runs sharded, pass its [`ShardedEngine`]:
+/// sharded sections restore the phantom and per-key shard node blocks
+/// into it (and partition the shared database afterwards) instead of
+/// touching `engine`'s node states.
 fn restore_section(
     db: &mut Database,
     engine: &mut NodeEngine,
+    mut sharded: Option<&mut ShardedEngine>,
     steps_slot: &mut usize,
+    dispatch_slot: &mut DispatchStats,
     text: &str,
     rel_mode: RelMode,
 ) -> Result<(), CheckpointError> {
@@ -470,9 +584,27 @@ fn restore_section(
         .expect_kv("steps")?
         .parse()
         .map_err(|e| r.err(format!("bad steps: {e}")))?;
+    if let Some(rest) = r.peek().and_then(|l| l.strip_prefix("dispatch ")) {
+        r.next();
+        let nums: Vec<u64> = rest
+            .split_whitespace()
+            .map(|w| w.parse::<u64>())
+            .collect::<Result<_, _>>()
+            .map_err(|e| r.err(format!("bad dispatch counter: {e}")))?;
+        let [affected, skipped, quiescent_full, quarantined] = nums[..] else {
+            return Err(r.err("`dispatch` carries exactly four counters"));
+        };
+        *dispatch_slot = DispatchStats {
+            affected,
+            skipped,
+            quiescent_full,
+            quarantined,
+        };
+    }
 
     engine.last_time = last_time;
     *steps_slot = steps;
+    let mut saw_shardkey = false;
     while let Some(line) = r.peek() {
         if let Some(rel_name) = line.strip_prefix("rel ") {
             r.next();
@@ -539,111 +671,210 @@ fn restore_section(
             }
         } else if let Some(rest) = line.strip_prefix("node ") {
             r.next();
-            let mut parts = rest.split_whitespace();
-            let idx: usize = parts
-                .next()
-                .and_then(|w| w.parse().ok())
-                .ok_or_else(|| r.err("bad node index"))?;
-            let kind = parts.next().unwrap_or("");
-            let state = engine
-                .states
-                .get_mut(idx)
+            if sharded.is_some() {
+                return Err(CheckpointError::Mismatch {
+                    message: format!(
+                        "constraint `{name}`: the checkpoint was written without sharding, \
+                         but this run shards it — resume with `--shard off`, or start a \
+                         fresh run"
+                    ),
+                });
+            }
+            restore_node(&mut r, rest, &mut engine.states)?;
+        } else if let Some(var_text) = line.strip_prefix("shardkey ") {
+            r.next();
+            saw_shardkey = true;
+            let sh = sharded
+                .as_deref_mut()
                 .ok_or_else(|| CheckpointError::Mismatch {
-                    message: format!("checkpoint has node {idx}, constraint does not"),
+                    message: format!(
+                        "constraint `{name}`: the checkpoint was written with `--shard auto`, \
+                         but this run does not shard it — resume with `--shard auto`, or \
+                         start a fresh run"
+                    ),
                 })?;
-            match (kind, state) {
-                ("prev", NodeState::Prev(p)) => {
-                    if r.peek().is_some_and(|l| l.starts_with("time ")) {
-                        let t: u64 = r
-                            .expect_kv("time")?
-                            .parse()
-                            .map_err(|e| r.err(format!("bad prev time: {e}")))?;
-                        let mut rows = Vec::new();
-                        while r.peek().is_some_and(|l| l != "endnode") {
-                            let (_, l) = r.next().expect("peeked");
-                            let (nums, tuple) = parse_entry_line(l).map_err(|m| r.err(m))?;
-                            if !nums.is_empty() {
-                                return Err(r.err("prev rows carry no numeric prefix"));
-                            }
-                            rows.push(tuple);
-                        }
-                        p.restore(TimePoint(t), rows);
-                    }
-                }
-                ("once", NodeState::Once(w)) | ("since", NodeState::Since(w)) => {
-                    while r.peek().is_some_and(|l| l != "endnode") {
-                        let (_, l) = r.next().expect("peeked");
-                        let (nums, key) = parse_entry_line(l).map_err(|m| r.err(m))?;
-                        if nums.is_empty() {
-                            return Err(r.err("window entry needs at least one timestamp"));
-                        }
-                        let stamps: Vec<TimePoint> = nums.into_iter().map(TimePoint).collect();
-                        w.restore_entry(key, &stamps);
-                    }
-                }
-                ("histf", NodeState::HistFinite(h)) => {
-                    let times = parse_times(&r.expect_kv("times").unwrap_or_default())
-                        .map_err(|m| r.err(m))?;
-                    let mut entries = Vec::new();
-                    while r.peek().is_some_and(|l| l != "endnode") {
-                        let (_, l) = r.next().expect("peeked");
-                        let (nums, key) = parse_entry_line(l).map_err(|m| r.err(m))?;
-                        if nums.len() % 2 != 0 {
-                            return Err(r.err("runs come as start/end pairs"));
-                        }
-                        let runs: Vec<(TimePoint, TimePoint)> = nums
-                            .chunks(2)
-                            .map(|c| (TimePoint(c[0]), TimePoint(c[1])))
-                            .collect();
-                        entries.push((key, runs));
-                    }
-                    h.restore(entries, times);
-                }
-                ("histi", NodeState::HistInf(h)) => {
-                    let started = r.expect_kv("started")? == "true";
-                    let older_text = r.expect_kv("older")?;
-                    let latest_older = if older_text == "none" {
-                        None
-                    } else {
-                        Some(TimePoint(
-                            older_text
-                                .parse()
-                                .map_err(|e| r.err(format!("bad older time: {e}")))?,
-                        ))
-                    };
-                    let recent = parse_times(&r.expect_kv("recent").unwrap_or_default())
-                        .map_err(|m| r.err(m))?;
-                    let mut entries = Vec::new();
-                    while r.peek().is_some_and(|l| l != "endnode") {
-                        let (_, l) = r.next().expect("peeked");
-                        let (nums, key) = parse_entry_line(l).map_err(|m| r.err(m))?;
-                        if nums.len() != 2 {
-                            return Err(r.err("histi entries are `end active | key`"));
-                        }
-                        entries.push((key, TimePoint(nums[0]), nums[1] != 0));
-                    }
-                    h.restore(HistInfDump {
-                        started,
-                        entries,
-                        recent_times: recent,
-                        latest_older,
-                    });
-                }
-                (k, _) => {
-                    return Err(CheckpointError::Mismatch {
-                        message: format!("node {idx} kind `{k}` does not match the constraint"),
-                    })
-                }
+            if sh.key().var.0.as_str() != var_text {
+                return Err(CheckpointError::Mismatch {
+                    message: format!(
+                        "constraint `{name}`: checkpoint shard key `{var_text}` differs \
+                         from the compiled key `{}`",
+                        sh.key().var
+                    ),
+                });
             }
-            match r.next() {
-                Some((_, "endnode")) => {}
-                _ => return Err(r.err("expected `endnode`")),
-            }
+        } else if line == "phantom" {
+            r.next();
+            let sh = sharded
+                .as_deref_mut()
+                .ok_or_else(|| r.err("`phantom` outside a sharded section"))?;
+            restore_nodes_until(&mut r, &mut sh.phantom_engine_mut().states, "endphantom")?;
+        } else if let Some(lit) = line.strip_prefix("shard ") {
+            r.next();
+            let sh = sharded
+                .as_deref_mut()
+                .ok_or_else(|| r.err("`shard` outside a sharded section"))?;
+            let values = Value::parse_literals(lit).map_err(|m| r.err(m))?;
+            let &[key] = &values[..] else {
+                return Err(r.err("`shard` takes exactly one key literal"));
+            };
+            let shard = sh.restore_shard(key);
+            restore_nodes_until(&mut r, &mut shard.engine.states, "endshard")?;
         } else {
             return Err(r.err(format!("unexpected line `{line}`")));
         }
     }
+    if let Some(sh) = sharded {
+        if !saw_shardkey {
+            return Err(CheckpointError::Mismatch {
+                message: format!(
+                    "constraint `{name}`: the checkpoint was written without sharding, \
+                     but this run shards it — resume with `--shard off`, or start a \
+                     fresh run"
+                ),
+            });
+        }
+        sh.attach_partition(db)
+            .map_err(|message| CheckpointError::Mismatch { message })?;
+        sh.set_last_time(last_time);
+    }
     Ok(())
+}
+
+/// Restores consecutive `node …` blocks until the closing `end` marker
+/// (which is consumed) — the body of a `phantom`/`shard` block.
+fn restore_nodes_until(
+    r: &mut Reader<'_>,
+    states: &mut [NodeState],
+    end: &str,
+) -> Result<(), CheckpointError> {
+    loop {
+        match r.peek() {
+            Some(l) if l == end => {
+                r.next();
+                return Ok(());
+            }
+            Some(l) => {
+                let Some(rest) = l.strip_prefix("node ") else {
+                    return Err(r.err(format!(
+                        "unexpected line `{l}` (expected `node …` or `{end}`)"
+                    )));
+                };
+                r.next();
+                restore_node(r, rest, states)?;
+            }
+            None => return Err(r.err(format!("unterminated block: missing `{end}`"))),
+        }
+    }
+}
+
+/// Restores one `node <idx> <kind>` block (through its `endnode`) into
+/// `states`. `rest` is the header line after the `node ` prefix.
+fn restore_node(
+    r: &mut Reader<'_>,
+    rest: &str,
+    states: &mut [NodeState],
+) -> Result<(), CheckpointError> {
+    {
+        let mut parts = rest.split_whitespace();
+        let idx: usize = parts
+            .next()
+            .and_then(|w| w.parse().ok())
+            .ok_or_else(|| r.err("bad node index"))?;
+        let kind = parts.next().unwrap_or("");
+        let state = states
+            .get_mut(idx)
+            .ok_or_else(|| CheckpointError::Mismatch {
+                message: format!("checkpoint has node {idx}, constraint does not"),
+            })?;
+        match (kind, state) {
+            ("prev", NodeState::Prev(p)) => {
+                if r.peek().is_some_and(|l| l.starts_with("time ")) {
+                    let t: u64 = r
+                        .expect_kv("time")?
+                        .parse()
+                        .map_err(|e| r.err(format!("bad prev time: {e}")))?;
+                    let mut rows = Vec::new();
+                    while r.peek().is_some_and(|l| l != "endnode") {
+                        let (_, l) = r.next().expect("peeked");
+                        let (nums, tuple) = parse_entry_line(l).map_err(|m| r.err(m))?;
+                        if !nums.is_empty() {
+                            return Err(r.err("prev rows carry no numeric prefix"));
+                        }
+                        rows.push(tuple);
+                    }
+                    p.restore(TimePoint(t), rows);
+                }
+            }
+            ("once", NodeState::Once(w)) | ("since", NodeState::Since(w)) => {
+                while r.peek().is_some_and(|l| l != "endnode") {
+                    let (_, l) = r.next().expect("peeked");
+                    let (nums, key) = parse_entry_line(l).map_err(|m| r.err(m))?;
+                    if nums.is_empty() {
+                        return Err(r.err("window entry needs at least one timestamp"));
+                    }
+                    let stamps: Vec<TimePoint> = nums.into_iter().map(TimePoint).collect();
+                    w.restore_entry(key, &stamps);
+                }
+            }
+            ("histf", NodeState::HistFinite(h)) => {
+                let times =
+                    parse_times(&r.expect_kv("times").unwrap_or_default()).map_err(|m| r.err(m))?;
+                let mut entries = Vec::new();
+                while r.peek().is_some_and(|l| l != "endnode") {
+                    let (_, l) = r.next().expect("peeked");
+                    let (nums, key) = parse_entry_line(l).map_err(|m| r.err(m))?;
+                    if nums.len() % 2 != 0 {
+                        return Err(r.err("runs come as start/end pairs"));
+                    }
+                    let runs: Vec<(TimePoint, TimePoint)> = nums
+                        .chunks(2)
+                        .map(|c| (TimePoint(c[0]), TimePoint(c[1])))
+                        .collect();
+                    entries.push((key, runs));
+                }
+                h.restore(entries, times);
+            }
+            ("histi", NodeState::HistInf(h)) => {
+                let started = r.expect_kv("started")? == "true";
+                let older_text = r.expect_kv("older")?;
+                let latest_older = if older_text == "none" {
+                    None
+                } else {
+                    Some(TimePoint(
+                        older_text
+                            .parse()
+                            .map_err(|e| r.err(format!("bad older time: {e}")))?,
+                    ))
+                };
+                let recent = parse_times(&r.expect_kv("recent").unwrap_or_default())
+                    .map_err(|m| r.err(m))?;
+                let mut entries = Vec::new();
+                while r.peek().is_some_and(|l| l != "endnode") {
+                    let (_, l) = r.next().expect("peeked");
+                    let (nums, key) = parse_entry_line(l).map_err(|m| r.err(m))?;
+                    if nums.len() != 2 {
+                        return Err(r.err("histi entries are `end active | key`"));
+                    }
+                    entries.push((key, TimePoint(nums[0]), nums[1] != 0));
+                }
+                h.restore(HistInfDump {
+                    started,
+                    entries,
+                    recent_times: recent,
+                    latest_older,
+                });
+            }
+            (k, _) => {
+                return Err(CheckpointError::Mismatch {
+                    message: format!("node {idx} kind `{k}` does not match the constraint"),
+                })
+            }
+        }
+    }
+    match r.next() {
+        Some((_, "endnode")) => Ok(()),
+        _ => Err(r.err("expected `endnode`")),
+    }
 }
 
 /// [`save`] with observation: emits a
@@ -926,5 +1157,113 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, CheckpointError::Format { .. }));
+    }
+
+    #[test]
+    fn dispatch_stats_survive_resume() {
+        let cat = catalog();
+        let mut reference = crate::ConstraintSet::new(fleet(), Arc::clone(&cat)).unwrap();
+        drive_set(&mut reference, 1, 40);
+
+        let mut head = crate::ConstraintSet::new(fleet(), Arc::clone(&cat)).unwrap();
+        drive_set(&mut head, 1, 20);
+        let sections: Vec<String> = save_set(&head).into_iter().map(|(_, s)| s).collect();
+        let mut resumed = restore_set(fleet(), Arc::clone(&cat), &sections).unwrap();
+        assert_eq!(
+            resumed.dispatch_stats(),
+            head.dispatch_stats(),
+            "dispatch counters resume where they stopped, they do not restart at zero"
+        );
+        drive_set(&mut resumed, 20, 40);
+        let d = resumed.dispatch_stats();
+        assert_eq!(
+            d,
+            reference.dispatch_stats(),
+            "stitched counters match an uninterrupted run"
+        );
+        assert_eq!(
+            d.total(),
+            39 * 3,
+            "every healthy engine tallies exactly once per step across the resume"
+        );
+    }
+
+    #[test]
+    fn sharded_fleet_save_restore_resumes_identically() {
+        let cat = catalog();
+        // The reference is the *unsharded* fleet: the stitched sharded run
+        // must match it byte for byte.
+        let mut reference = crate::ConstraintSet::new(fleet(), Arc::clone(&cat)).unwrap();
+        let all = drive_set(&mut reference, 1, 40);
+
+        let mut head = crate::ConstraintSet::new(fleet(), Arc::clone(&cat))
+            .unwrap()
+            .with_sharding(true);
+        head.set_shard_eviction(3);
+        assert_eq!(head.sharded_constraints(), 3);
+        let mut got = drive_set(&mut head, 1, 20);
+        let sections: Vec<String> = save_set(&head).into_iter().map(|(_, s)| s).collect();
+        let mut resumed = restore_set_sharded(
+            fleet(),
+            Arc::clone(&cat),
+            EncodingOptions::default(),
+            &sections,
+            true,
+        )
+        .unwrap();
+        assert_eq!(resumed.steps(), head.steps());
+        assert_eq!(resumed.last_time(), head.last_time());
+        assert_eq!(resumed.sharded_constraints(), 3);
+        assert_eq!(
+            save_set(&resumed)
+                .into_iter()
+                .map(|(_, s)| s)
+                .collect::<Vec<_>>(),
+            sections,
+            "save∘restore is the identity on sharded checkpoints"
+        );
+        resumed.set_shard_eviction(3);
+        got.extend(drive_set(&mut resumed, 20, 40));
+        assert_eq!(
+            got, all,
+            "restored sharded fleet diverged from the uninterrupted unsharded run"
+        );
+    }
+
+    #[test]
+    fn sharded_and_unsharded_checkpoints_do_not_mix() {
+        let cat = catalog();
+        let mut sharded = crate::ConstraintSet::new(fleet(), Arc::clone(&cat))
+            .unwrap()
+            .with_sharding(true);
+        drive_set(&mut sharded, 1, 10);
+        let sharded_sections: Vec<String> =
+            save_set(&sharded).into_iter().map(|(_, s)| s).collect();
+        let mut plain = crate::ConstraintSet::new(fleet(), Arc::clone(&cat)).unwrap();
+        drive_set(&mut plain, 1, 10);
+        let plain_sections: Vec<String> = save_set(&plain).into_iter().map(|(_, s)| s).collect();
+
+        // Sharded checkpoint, unsharded resume.
+        let err = restore_set(fleet(), Arc::clone(&cat), &sharded_sections).unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch { .. }));
+        assert!(
+            err.to_string().contains("--shard auto"),
+            "error must say how to resume: {err}"
+        );
+
+        // Unsharded checkpoint, sharded resume.
+        let err = restore_set_sharded(
+            fleet(),
+            Arc::clone(&cat),
+            EncodingOptions::default(),
+            &plain_sections,
+            true,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch { .. }));
+        assert!(
+            err.to_string().contains("--shard off"),
+            "error must say how to resume: {err}"
+        );
     }
 }

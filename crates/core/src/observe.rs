@@ -177,6 +177,21 @@ pub enum StepEvent<'a> {
         /// The footprint.
         stats: SpaceStats,
     },
+    /// A scheduled reading of a sharded constraint's shard-lifecycle
+    /// counters (emitted alongside its `SpaceSample` when the entity-key
+    /// sharded data plane is enabled).
+    ShardSample {
+        /// Checker implementation name.
+        checker: &'static str,
+        /// The sharded constraint.
+        constraint: Symbol,
+        /// Timestamp of the state at which the sample was taken.
+        time: TimePoint,
+        /// 0-based index of the step after which the sample was taken.
+        step_index: u64,
+        /// The lifecycle counters.
+        stats: crate::shard::ShardStats,
+    },
 }
 
 impl StepEvent<'_> {
@@ -195,6 +210,7 @@ impl StepEvent<'_> {
             StepEvent::PlanStatsSample { .. } => "plan_stats",
             StepEvent::PlanProfileSample { .. } => "plan_profile",
             StepEvent::SpaceSample { .. } => "space_sample",
+            StepEvent::ShardSample { .. } => "shard_sample",
         }
     }
 }
@@ -327,6 +343,19 @@ impl StepObserver for CollectingObserver {
                 step_index,
                 stats,
             } => StepEvent::SpaceSample {
+                checker,
+                constraint: *constraint,
+                time: *time,
+                step_index: *step_index,
+                stats: *stats,
+            },
+            StepEvent::ShardSample {
+                checker,
+                constraint,
+                time,
+                step_index,
+                stats,
+            } => StepEvent::ShardSample {
                 checker,
                 constraint: *constraint,
                 time: *time,

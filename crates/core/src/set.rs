@@ -60,6 +60,7 @@ use crate::error::CompileError;
 use crate::incremental::{EncodingOptions, NodeEngine};
 use crate::observe::{NopObserver, StepEvent, StepObserver};
 use crate::report::{SpaceStats, StepReport};
+use crate::shard::{Shard, ShardStats, ShardedEngine};
 
 /// Worker budget for the full-evaluation phase of [`ConstraintSet::step`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -131,6 +132,11 @@ impl DispatchStats {
 pub struct ConstraintSet {
     db: Database,
     engines: Vec<NodeEngine>,
+    /// Entity-key sharded data plane, one slot per constraint: `Some`
+    /// when sharding is enabled and the constraint has a compile-time
+    /// [`crate::ShardKey`]. A sharded constraint steps through its
+    /// [`ShardedEngine`] instead of its (then dormant) `engines` entry.
+    shards: Vec<Option<ShardedEngine>>,
     last_time: Option<TimePoint>,
     steps: usize,
     parallelism: Parallelism,
@@ -140,6 +146,26 @@ pub struct ConstraintSet {
     /// Fault injection: 1-based transition number at which each engine
     /// should panic (test/chaos tooling via [`ConstraintSet::arm_panic`]).
     armed_panics: Vec<Option<u64>>,
+}
+
+/// One unit of work for the full-evaluation phase: a whole unsharded
+/// engine, or a single shard of a sharded one.
+enum Job<'a> {
+    Engine {
+        inject: bool,
+        engine: &'a mut NodeEngine,
+    },
+    Shard(&'a mut Shard),
+}
+
+/// Mutable view of a [`ConstraintSet`] for checkpoint restore.
+pub(crate) struct RestoreParts<'a> {
+    pub(crate) db: &'a mut Database,
+    pub(crate) engines: &'a mut [NodeEngine],
+    pub(crate) shards: &'a mut [Option<ShardedEngine>],
+    pub(crate) steps: &'a mut usize,
+    pub(crate) last_time: &'a mut Option<TimePoint>,
+    pub(crate) dispatch: &'a mut DispatchStats,
 }
 
 impl ConstraintSet {
@@ -172,6 +198,7 @@ impl ConstraintSet {
         Ok(ConstraintSet {
             db,
             engines,
+            shards: vec![None; n],
             last_time: None,
             steps: 0,
             parallelism: Parallelism::Sequential,
@@ -179,6 +206,50 @@ impl ConstraintSet {
             quarantined: vec![None; n],
             armed_panics: vec![None; n],
         })
+    }
+
+    /// Enables (or disables) the entity-key sharded data plane (builder
+    /// form). Constraints whose compiled body has a [`crate::ShardKey`]
+    /// then step as independent per-key shards; the rest are unaffected.
+    /// Reports are byte-identical either way. Must be configured before
+    /// the first step.
+    pub fn with_sharding(mut self, enabled: bool) -> ConstraintSet {
+        self.set_sharding(enabled);
+        self
+    }
+
+    /// Enables or disables sharding; see [`ConstraintSet::with_sharding`].
+    pub fn set_sharding(&mut self, enabled: bool) {
+        assert_eq!(self.steps, 0, "sharding must be configured before stepping");
+        self.shards = self
+            .engines
+            .iter()
+            .map(|e| {
+                (enabled && e.compiled.shard_key.is_some()).then(|| ShardedEngine::new(e.clone()))
+            })
+            .collect();
+    }
+
+    /// Sets the idle-shard eviction horizon on every sharded constraint.
+    pub fn set_shard_eviction(&mut self, horizon: u32) {
+        for s in self.shards.iter_mut().flatten() {
+            s.set_evict_after(horizon);
+        }
+    }
+
+    /// Number of constraints currently running sharded.
+    pub fn sharded_constraints(&self) -> usize {
+        self.shards.iter().flatten().count()
+    }
+
+    /// Per-constraint shard-lifecycle counters, in insertion order
+    /// (sharded constraints only).
+    pub fn shard_stats(&self) -> Vec<(Symbol, ShardStats)> {
+        self.engines
+            .iter()
+            .zip(&self.shards)
+            .filter_map(|(e, s)| s.as_ref().map(|s| (e.compiled.constraint.name, s.stats())))
+            .collect()
     }
 
     /// Sets the worker budget (builder form).
@@ -269,32 +340,31 @@ impl ConstraintSet {
         found
     }
 
-    /// Engines in insertion order, paired with their quarantine state
-    /// (checkpointing reads these; quarantined engines are excluded from
-    /// checkpoints because their mid-panic state is not trustworthy).
-    pub(crate) fn engines_with_health(&self) -> impl Iterator<Item = (&NodeEngine, bool)> {
+    /// Engines in insertion order, paired with their sharded data plane
+    /// (if any) and quarantine state (checkpointing reads these;
+    /// quarantined engines are excluded from checkpoints because their
+    /// mid-panic state is not trustworthy).
+    pub(crate) fn engines_with_health(
+        &self,
+    ) -> impl Iterator<Item = (&NodeEngine, Option<&ShardedEngine>, bool)> {
         self.engines
             .iter()
+            .zip(&self.shards)
             .zip(&self.quarantined)
-            .map(|(e, q)| (e, q.is_some()))
+            .map(|((e, s), q)| (e, s.as_ref(), q.is_some()))
     }
 
     /// Mutable parts for checkpoint restore: shared database, engines,
-    /// and the step/time cursor slots.
-    pub(crate) fn restore_parts(
-        &mut self,
-    ) -> (
-        &mut Database,
-        &mut [NodeEngine],
-        &mut usize,
-        &mut Option<TimePoint>,
-    ) {
-        (
-            &mut self.db,
-            &mut self.engines,
-            &mut self.steps,
-            &mut self.last_time,
-        )
+    /// shard planes, and the step/time/dispatch cursor slots.
+    pub(crate) fn restore_parts(&mut self) -> RestoreParts<'_> {
+        RestoreParts {
+            db: &mut self.db,
+            engines: &mut self.engines,
+            shards: &mut self.shards,
+            steps: &mut self.steps,
+            last_time: &mut self.last_time,
+            dispatch: &mut self.dispatch,
+        }
     }
 
     /// Processes one transition; returns one report per constraint, in
@@ -345,13 +415,39 @@ impl ConstraintSet {
         // else for full evaluation. Quarantined engines are skipped
         // entirely, and an engine armed to panic this step is forced onto
         // the full path so the panic surfaces inside `catch_unwind`.
-        let mut full: Vec<(usize, bool, &mut NodeEngine)> = Vec::new();
-        for (idx, engine) in self.engines.iter_mut().enumerate() {
+        // Sharded constraints contribute one job per live shard (plus the
+        // phantom), flattening into the same worker pool as the plain
+        // engines; their per-shard advance_time fast path replaces the
+        // constraint-level one.
+        let mut panicked: Vec<(usize, String)> = Vec::new();
+        let mut full: Vec<(usize, Job<'_>)> = Vec::new();
+        for (idx, (engine, sharded)) in self
+            .engines
+            .iter_mut()
+            .zip(self.shards.iter_mut())
+            .enumerate()
+        {
             if self.quarantined[idx].is_some() {
                 quarantine_ticks += 1;
                 continue;
             }
             let inject_panic = self.armed_panics[idx] == Some(nth_step);
+            if let Some(sharded) = sharded {
+                if engine.is_quiescent(update) {
+                    quiescent_full += 1;
+                } else {
+                    affected += 1;
+                }
+                if inject_panic {
+                    panicked.push((idx, "injected engine panic (failpoint)".to_string()));
+                    continue;
+                }
+                sharded.begin_step(update);
+                for shard in sharded.jobs() {
+                    full.push((idx, Job::Shard(shard)));
+                }
+                continue;
+            }
             if !inject_panic && engine.is_quiescent(update) {
                 let eval_start = Instant::now();
                 if let Some(violations) = engine.advance_time(time) {
@@ -368,7 +464,13 @@ impl ConstraintSet {
             } else {
                 affected += 1;
             }
-            full.push((idx, inject_panic, engine));
+            full.push((
+                idx,
+                Job::Engine {
+                    inject: inject_panic,
+                    engine,
+                },
+            ));
         }
         self.dispatch.skipped += skipped;
         self.dispatch.quiescent_full += quiescent_full;
@@ -377,38 +479,48 @@ impl ConstraintSet {
 
         // Full-evaluation phase, fanned out over scoped workers when
         // configured. Chunks are static: determinism comes from scattering
-        // results back by engine index, not from scheduling. Each engine
+        // results back by engine index, not from scheduling. Each job
         // runs inside `catch_unwind`, so one poisoned constraint cannot
-        // take down the fleet — it is quarantined at fan-in instead.
+        // take down the fleet — it is quarantined at fan-in instead (a
+        // panicking shard quarantines its whole constraint).
         let workers = self.parallelism.workers(full.len());
         let db = &self.db;
-        let eval_engine = |inject: bool, engine: &mut NodeEngine| {
-            let eval_start = Instant::now();
-            let name = engine.compiled.constraint.name;
-            let outcome = catch_unwind(AssertUnwindSafe(|| {
-                if inject {
-                    panic!("injected engine panic (failpoint)");
+        let eval_job = |job: &mut Job<'_>| -> Result<Option<(StepReport, u64)>, String> {
+            match job {
+                Job::Engine { inject, engine } => {
+                    let eval_start = Instant::now();
+                    let name = engine.compiled.constraint.name;
+                    let inject = *inject;
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        if inject {
+                            panic!("injected engine panic (failpoint)");
+                        }
+                        engine.advance(db, time);
+                        engine.violations(db, time)
+                    }));
+                    match outcome {
+                        Ok(violations) => Ok(Some((
+                            StepReport {
+                                constraint: name,
+                                time,
+                                violations,
+                            },
+                            eval_start.elapsed().as_nanos() as u64,
+                        ))),
+                        Err(payload) => Err(panic_detail(payload.as_ref())),
+                    }
                 }
-                engine.advance(db, time);
-                engine.violations(db, time)
-            }));
-            match outcome {
-                Ok(violations) => Ok((
-                    StepReport {
-                        constraint: name,
-                        time,
-                        violations,
-                    },
-                    eval_start.elapsed().as_nanos() as u64,
-                )),
-                Err(payload) => Err(panic_detail(payload.as_ref())),
+                Job::Shard(shard) => match catch_unwind(AssertUnwindSafe(|| shard.eval(time))) {
+                    Ok(()) => Ok(None),
+                    Err(payload) => Err(panic_detail(payload.as_ref())),
+                },
             }
         };
-        let mut panicked: Vec<(usize, String)> = Vec::new();
         if workers <= 1 {
-            for (idx, inject, engine) in full {
-                match eval_engine(inject, engine) {
-                    Ok(done) => slots[idx] = Some(done),
+            for (idx, mut job) in full {
+                match eval_job(&mut job) {
+                    Ok(Some(done)) => slots[idx] = Some(done),
+                    Ok(None) => {}
                     Err(detail) => panicked.push((idx, detail)),
                 }
             }
@@ -421,19 +533,21 @@ impl ConstraintSet {
                         scope.spawn(|| {
                             batch
                                 .iter_mut()
-                                .map(|(idx, inject, engine)| (*idx, eval_engine(*inject, engine)))
+                                .map(|(idx, job)| (*idx, eval_job(job)))
                                 .collect::<Vec<_>>()
                         })
                     })
                     .collect();
                 handles.into_iter().map(|h| h.join()).collect::<Vec<_>>()
             });
+            drop(full);
             for joined in batches {
                 match joined {
                     Ok(batch) => {
                         for (idx, outcome) in batch {
                             match outcome {
-                                Ok(done) => slots[idx] = Some(done),
+                                Ok(Some(done)) => slots[idx] = Some(done),
+                                Ok(None) => {}
                                 Err(detail) => panicked.push((idx, detail)),
                             }
                         }
@@ -451,12 +565,14 @@ impl ConstraintSet {
         }
 
         // Fan-in: emit per-constraint events and assemble reports in
-        // insertion order. Newly quarantined constraints emit a
-        // quarantine event in place of their report; previously
-        // quarantined ones stay silent.
+        // insertion order. Sharded constraints merge their per-shard
+        // violation sets in ascending key order here, so reports are
+        // byte-identical to the unsharded path. Newly quarantined
+        // constraints emit a quarantine event in place of their report;
+        // previously quarantined ones stay silent.
         let mut reports = Vec::with_capacity(n);
         let mut total_violations = 0usize;
-        for (idx, slot) in slots.into_iter().enumerate() {
+        for (idx, slot) in slots.iter_mut().enumerate() {
             if let Some((_, detail)) = panicked.iter().find(|(p, _)| *p == idx) {
                 obs.observe(&StepEvent::ConstraintQuarantined {
                     checker: "set",
@@ -466,10 +582,26 @@ impl ConstraintSet {
                 });
                 continue;
             }
-            debug_assert!(
-                slot.is_some() || self.quarantined[idx].is_some(),
-                "every healthy engine produces a report"
-            );
+            let slot = if let Some(sharded) = self.shards[idx].as_mut() {
+                if self.quarantined[idx].is_some() {
+                    continue;
+                }
+                let (violations, latency_ns) = sharded.finish_step();
+                Some((
+                    StepReport {
+                        constraint: self.engines[idx].compiled.constraint.name,
+                        time,
+                        violations,
+                    },
+                    latency_ns,
+                ))
+            } else {
+                debug_assert!(
+                    slot.is_some() || self.quarantined[idx].is_some(),
+                    "every healthy engine produces a report"
+                );
+                slot.take()
+            };
             let Some((report, latency_ns)) = slot else {
                 continue;
             };
@@ -508,13 +640,18 @@ impl ConstraintSet {
         let Some(time) = self.last_time else {
             return;
         };
-        for (engine, quarantined) in self.engines.iter().zip(&self.quarantined) {
+        for ((engine, sharded), quarantined) in
+            self.engines.iter().zip(&self.shards).zip(&self.quarantined)
+        {
             if quarantined.is_some() {
                 // A quarantined engine's aux state froze mid-panic; its
                 // numbers would be misleading.
                 continue;
             }
-            let (aux_keys, aux_timestamps) = engine.aux_space();
+            let (aux_keys, aux_timestamps) = match sharded {
+                Some(s) => s.aux_space(),
+                None => engine.aux_space(),
+            };
             obs.observe(&StepEvent::SpaceSample {
                 checker: "set",
                 constraint: engine.compiled.constraint.name,
@@ -527,6 +664,15 @@ impl ConstraintSet {
                     stored_tuples: self.db.total_tuples(),
                 },
             });
+            if let Some(s) = sharded {
+                obs.observe(&StepEvent::ShardSample {
+                    checker: "set",
+                    constraint: engine.compiled.constraint.name,
+                    time,
+                    step_index,
+                    stats: s.stats(),
+                });
+            }
         }
     }
 
@@ -544,12 +690,16 @@ impl ConstraintSet {
         result
     }
 
-    /// Aggregate space: the single shared state plus every engine's aux.
+    /// Aggregate space: the single shared state plus every engine's aux
+    /// (summed across live shards for sharded constraints).
     pub fn space(&self) -> SpaceStats {
         let mut aux_keys = 0;
         let mut aux_timestamps = 0;
-        for e in &self.engines {
-            let (k, t) = e.aux_space();
+        for (e, s) in self.engines.iter().zip(&self.shards) {
+            let (k, t) = match s {
+                Some(s) => s.aux_space(),
+                None => e.aux_space(),
+            };
             aux_keys += k;
             aux_timestamps += t;
         }
@@ -960,5 +1110,163 @@ mod tests {
             kinds,
             vec!["step_start", "eval", "eval", "quarantine", "step"]
         );
+    }
+
+    /// Multi-entity traffic: keys churn so shards get created, fall
+    /// idle, and are evicted mid-run.
+    fn entity_updates(t: u64) -> Update {
+        match t % 6 {
+            0 => Update::new()
+                .with_insert("p", tuple!["a"])
+                .with_insert("q", tuple!["b"]),
+            1 => Update::new()
+                .with_insert("q", tuple!["a"])
+                .with_insert("p", tuple!["c"]),
+            2 => Update::new()
+                .with_delete("p", tuple!["a"])
+                .with_delete("q", tuple!["b"]),
+            3 => Update::new()
+                .with_delete("q", tuple!["a"])
+                .with_insert("q", tuple!["c"]),
+            4 => Update::new()
+                .with_delete("p", tuple!["c"])
+                .with_delete("q", tuple!["c"]),
+            _ => Update::new(),
+        }
+    }
+
+    #[test]
+    fn sharded_set_matches_unsharded_byte_for_byte() {
+        let cat = catalog();
+        for par in [Parallelism::Sequential, Parallelism::N(3)] {
+            let mut plain = ConstraintSet::new(constraints(), Arc::clone(&cat)).unwrap();
+            let mut sharded = ConstraintSet::new(constraints(), Arc::clone(&cat))
+                .unwrap()
+                .with_sharding(true)
+                .with_parallelism(par);
+            // Small idle horizon so eviction actually happens mid-run.
+            sharded.set_shard_eviction(2);
+            assert_eq!(
+                sharded.sharded_constraints(),
+                3,
+                "`x` is shared by every atom of every body"
+            );
+            for t in 1..80u64 {
+                let u = entity_updates(t);
+                let a = plain.step(TimePoint(t), &u).unwrap();
+                let b = sharded.step(TimePoint(t), &u).unwrap();
+                assert_eq!(a, b, "{par:?}: diverged at t={t}");
+            }
+            let stats = sharded.shard_stats();
+            assert_eq!(stats.len(), 3);
+            assert!(
+                stats.iter().any(|(_, s)| s.created > 1),
+                "keys materialized shards: {stats:?}"
+            );
+            assert!(
+                stats.iter().any(|(_, s)| s.evicted > 0),
+                "idle shards were evicted: {stats:?}"
+            );
+            assert!(stats.iter().all(|(_, s)| s.peak >= s.live));
+        }
+    }
+
+    #[test]
+    fn unshardable_constraints_run_unsharded_in_a_sharded_fleet() {
+        let cat = Arc::new(
+            Catalog::new()
+                .with("edge", Schema::of(&[("x", Sort::Str), ("y", Sort::Str)]))
+                .unwrap()
+                .with("p", Schema::of(&[("x", Sort::Str)]))
+                .unwrap(),
+        );
+        let cs = vec![
+            // Key columns disagree between the two `edge` atoms — no key.
+            parse_constraint("deny cross: edge(x, y) && edge(y, x)").unwrap(),
+            parse_constraint("deny dup: p(x) && once[1,*] p(x)").unwrap(),
+        ];
+        let mut plain = ConstraintSet::new(cs.clone(), Arc::clone(&cat)).unwrap();
+        let mut mixed = ConstraintSet::new(cs, Arc::clone(&cat))
+            .unwrap()
+            .with_sharding(true);
+        assert_eq!(mixed.sharded_constraints(), 1);
+        for t in 1..25u64 {
+            let mut u = Update::new();
+            match t % 4 {
+                0 => {
+                    u.insert("edge", tuple!["a", "b"]).insert("p", tuple!["a"]);
+                }
+                1 => {
+                    u.insert("edge", tuple!["b", "a"]).delete("p", tuple!["a"]);
+                }
+                2 => {
+                    u.delete("edge", tuple!["a", "b"]).insert("p", tuple!["b"]);
+                }
+                _ => {}
+            }
+            let a = plain.step(TimePoint(t), &u).unwrap();
+            let b = mixed.step(TimePoint(t), &u).unwrap();
+            assert_eq!(a, b, "diverged at t={t}");
+        }
+    }
+
+    #[test]
+    fn sharded_panic_quarantines_the_whole_constraint() {
+        let cat = catalog();
+        for par in [Parallelism::Sequential, Parallelism::N(2)] {
+            let mut set = ConstraintSet::new(constraints(), Arc::clone(&cat))
+                .unwrap()
+                .with_sharding(true)
+                .with_parallelism(par);
+            let mut healthy = ConstraintSet::new(constraints(), Arc::clone(&cat)).unwrap();
+            set.arm_panic("lingering", 2);
+            for t in 1..12u64 {
+                let u = entity_updates(t);
+                let r = set.step(TimePoint(t), &u).unwrap();
+                let h = healthy.step(TimePoint(t), &u).unwrap();
+                if t == 1 {
+                    assert_eq!(r, h, "{par:?}: all healthy before the panic");
+                } else {
+                    assert_eq!(r.len(), 2, "{par:?}: victim dropped at t={t}");
+                    assert_eq!(r[0], h[0]);
+                    assert_eq!(r[1], h[2]);
+                }
+            }
+            let q = set.quarantined();
+            assert_eq!(q.len(), 1, "{par:?}");
+            assert!(q[0].1.contains("injected engine panic"), "{}", q[0].1);
+        }
+    }
+
+    #[test]
+    fn sample_space_adds_shard_samples_for_sharded_constraints() {
+        let mut set = ConstraintSet::new(constraints(), catalog())
+            .unwrap()
+            .with_sharding(true);
+        set.step(TimePoint(1), &Update::new().with_insert("p", tuple!["a"]))
+            .unwrap();
+        let mut obs = CollectingObserver::default();
+        set.sample_space(0, &mut obs);
+        let kinds: Vec<&str> = obs.events.iter().map(StepEvent::kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "space_sample",
+                "shard_sample",
+                "space_sample",
+                "shard_sample",
+                "space_sample",
+                "shard_sample",
+            ]
+        );
+        let live: Vec<usize> = obs
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                StepEvent::ShardSample { stats, .. } => Some(stats.live),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(live, vec![1, 1, 1], "one shard per constraint for key `a`");
     }
 }

@@ -130,6 +130,21 @@ pub fn event_json(seq: u64, event: &StepEvent<'_>) -> Json {
             .set("stored_states", stats.stored_states)
             .set("stored_tuples", stats.stored_tuples)
             .set("retained_units", stats.retained_units()),
+        StepEvent::ShardSample {
+            checker,
+            constraint,
+            time,
+            step_index,
+            stats,
+        } => base
+            .set("checker", *checker)
+            .set("constraint", constraint.as_str())
+            .set("time", time.0)
+            .set("step", *step_index)
+            .set("live", stats.live)
+            .set("created", stats.created)
+            .set("evicted", stats.evicted)
+            .set("peak", stats.peak),
     }
 }
 
@@ -302,6 +317,8 @@ pub struct ChromeTraceWriter {
     sink: Sink,
     events_written: u64,
     write_errors: u64,
+    /// Whether the process/thread `"M"` metadata events were written.
+    preamble_emitted: bool,
     /// Synthetic timeline cursor (µs since trace start).
     cursor_us: f64,
     /// The in-flight step: `(time, tuples)` from `StepStart`.
@@ -334,11 +351,37 @@ impl ChromeTraceWriter {
             sink,
             events_written: 0,
             write_errors: 0,
+            preamble_emitted: false,
             cursor_us: 0.0,
             step: None,
             evals: Vec::new(),
             plan_tids: Vec::new(),
         }
+    }
+
+    /// Emits the process/thread name metadata once. Runs before the first
+    /// real event and unconditionally at [`ChromeTraceWriter::finish`], so
+    /// even a zero-step trace names its process and step track.
+    fn ensure_preamble(&mut self) {
+        if self.preamble_emitted {
+            return;
+        }
+        self.preamble_emitted = true;
+        self.emit(
+            Json::object()
+                .set("name", "process_name")
+                .set("ph", "M")
+                .set("pid", CHROME_PID)
+                .set("args", Json::object().set("name", "rtic")),
+        );
+        self.emit(
+            Json::object()
+                .set("name", "thread_name")
+                .set("ph", "M")
+                .set("pid", CHROME_PID)
+                .set("tid", CHROME_STEP_TID)
+                .set("args", Json::object().set("name", "steps")),
+        );
     }
 
     /// Trace events emitted so far (spans, instants, counters, metadata).
@@ -403,13 +446,71 @@ impl ChromeTraceWriter {
         tid
     }
 
-    /// Finishes the array and commits (file sinks: fsync + rename).
-    pub fn finish(mut self) -> Result<String, String> {
-        if self.events_written == 0 {
-            if self.sink.write_line("[]").is_err() {
-                self.write_errors += 1;
+    /// Lays the collected eval spans (and violation instants) end-to-end
+    /// from `start` on the step track; returns the timeline frontier.
+    fn layout_evals(
+        &mut self,
+        start: f64,
+        evals: Vec<(&'static str, &'static str, usize, u64)>,
+    ) -> f64 {
+        let mut at = start;
+        for (eval_checker, constraint, eval_violations, eval_ns) in evals {
+            let dur = eval_ns as f64 / 1e3;
+            self.emit(Self::span(
+                &format!("eval {constraint}"),
+                at,
+                dur,
+                CHROME_STEP_TID,
+                Json::object()
+                    .set("checker", eval_checker)
+                    .set("constraint", constraint)
+                    .set("violations", eval_violations)
+                    .set("latency_ns", eval_ns),
+            ));
+            at += dur;
+            if eval_violations > 0 {
+                self.emit(Self::instant(
+                    &format!("violation {constraint}"),
+                    at,
+                    CHROME_STEP_TID,
+                    Json::object().set("violations", eval_violations),
+                ));
             }
-        } else if self.sink.write_line("]").is_err() {
+        }
+        at
+    }
+
+    /// Closes a step whose `StepEnd` never arrived (the run aborted or was
+    /// quarantined mid-step): its collected eval spans are laid out under
+    /// a step span marked unfinished, so no span is silently dropped.
+    fn close_open_step(&mut self) {
+        let Some((step_time, tuples)) = self.step.take() else {
+            return;
+        };
+        let start = self.cursor_us;
+        let evals = std::mem::take(&mut self.evals);
+        let step_us: f64 = evals.iter().map(|e| e.3 as f64 / 1e3).sum();
+        self.emit(Self::span(
+            &format!("step t={step_time} (unfinished)"),
+            start,
+            step_us,
+            CHROME_STEP_TID,
+            Json::object()
+                .set("time", step_time)
+                .set("tuples", tuples)
+                .set("unfinished", true),
+        ));
+        self.layout_evals(start, evals);
+        self.cursor_us = start + step_us;
+    }
+
+    /// Finishes the array and commits (file sinks: fsync + rename). Any
+    /// step still open (no `StepEnd`) is closed first, and a trace with no
+    /// events at all still gets its metadata preamble.
+    pub fn finish(mut self) -> Result<String, String> {
+        self.ensure_preamble();
+        self.close_open_step();
+        if self.sink.write_line("]").is_err() {
             self.write_errors += 1;
         }
         finish_sink(self.sink, self.write_errors)
@@ -418,6 +519,7 @@ impl ChromeTraceWriter {
 
 impl StepObserver for ChromeTraceWriter {
     fn observe(&mut self, event: &StepEvent<'_>) {
+        self.ensure_preamble();
         match event {
             StepEvent::StepStart { time, tuples, .. } => {
                 self.step = Some((time.0, *tuples));
@@ -467,30 +569,7 @@ impl StepObserver for ChromeTraceWriter {
                     CHROME_STEP_TID,
                     Json::object().set("constraints", evals.len()),
                 ));
-                let mut at = start;
-                for (eval_checker, constraint, eval_violations, eval_ns) in evals {
-                    let dur = eval_ns as f64 / 1e3;
-                    self.emit(Self::span(
-                        &format!("eval {constraint}"),
-                        at,
-                        dur,
-                        CHROME_STEP_TID,
-                        Json::object()
-                            .set("checker", eval_checker)
-                            .set("constraint", constraint)
-                            .set("violations", eval_violations)
-                            .set("latency_ns", eval_ns),
-                    ));
-                    at += dur;
-                    if eval_violations > 0 {
-                        self.emit(Self::instant(
-                            &format!("violation {constraint}"),
-                            at,
-                            CHROME_STEP_TID,
-                            Json::object().set("violations", eval_violations),
-                        ));
-                    }
-                }
+                self.layout_evals(start, evals);
                 self.cursor_us = start + step_us;
             }
             StepEvent::CheckpointSave { constraint, bytes } => {
@@ -514,7 +593,10 @@ impl StepObserver for ChromeTraceWriter {
             StepEvent::ConstraintQuarantined {
                 constraint, detail, ..
             } => {
-                let ts = self.cursor_us;
+                // Mid-step, the marker lands at the frontier of the eval
+                // spans collected so far, so it stays inside the step span
+                // and after the work that already completed.
+                let ts = self.cursor_us + self.evals.iter().map(|e| e.3 as f64 / 1e3).sum::<f64>();
                 self.emit(Self::instant(
                     &format!("quarantine {constraint}"),
                     ts,
@@ -569,6 +651,20 @@ impl StepObserver for ChromeTraceWriter {
                         .set("ts", ts)
                         .set("pid", CHROME_PID)
                         .set("args", Json::object().set("units", stats.retained_units())),
+                );
+            }
+            StepEvent::ShardSample {
+                constraint, stats, ..
+            } => {
+                // Counter track: live shards over the synthetic timeline.
+                let ts = self.cursor_us;
+                self.emit(
+                    Json::object()
+                        .set("name", format!("shards {constraint}"))
+                        .set("ph", "C")
+                        .set("ts", ts)
+                        .set("pid", CHROME_PID)
+                        .set("args", Json::object().set("live", stats.live)),
                 );
             }
             StepEvent::PlanProfileSample {
@@ -703,10 +799,64 @@ mod tests {
     }
 
     #[test]
-    fn chrome_trace_with_no_events_is_an_empty_array() {
+    fn chrome_trace_with_no_steps_still_carries_the_preamble() {
         let text = ChromeTraceWriter::in_memory().finish().unwrap();
         let doc = json::parse(text.trim()).unwrap();
-        assert_eq!(doc.as_arr().map(<[_]>::len), Some(0));
+        let events = doc.as_arr().expect("a valid JSON array");
+        // Even a zero-step trace names its process and step track, so
+        // Perfetto renders an identified (if empty) timeline.
+        assert_eq!(events.len(), 2);
+        assert!(events
+            .iter()
+            .all(|e| e.get("ph").and_then(Json::as_str) == Some("M")));
+        assert_eq!(
+            events[0].get("name").and_then(Json::as_str),
+            Some("process_name")
+        );
+        assert_eq!(
+            events[1].get("name").and_then(Json::as_str),
+            Some("thread_name")
+        );
+    }
+
+    #[test]
+    fn quarantine_before_any_eval_closes_the_open_step() {
+        use rtic_relation::Symbol;
+        let mut trace = ChromeTraceWriter::in_memory();
+        // A step starts, the first constraint panics before any eval
+        // lands, and the run aborts: no StepEnd ever arrives.
+        trace.observe(&StepEvent::StepStart {
+            checker: "set",
+            time: TimePoint(5),
+            tuples: 2,
+        });
+        trace.observe(&StepEvent::ConstraintQuarantined {
+            checker: "set",
+            constraint: Symbol::intern("flaky"),
+            time: TimePoint(5),
+            detail: "boom".into(),
+        });
+        let text = trace.finish().unwrap();
+        let doc = json::parse(&text).unwrap();
+        let events = doc.as_arr().expect("valid JSON array despite the abort");
+        assert!(events
+            .iter()
+            .any(|e| e.get("name").and_then(Json::as_str) == Some("process_name")));
+        assert!(events
+            .iter()
+            .any(|e| e.get("name").and_then(Json::as_str) == Some("quarantine flaky")));
+        let step = events
+            .iter()
+            .find(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .expect("the open step span is closed at finish");
+        assert_eq!(
+            step.get("name").and_then(Json::as_str),
+            Some("step t=5 (unfinished)")
+        );
+        assert!(matches!(
+            step.get("args").and_then(|a| a.get("unfinished")),
+            Some(Json::Bool(true))
+        ));
     }
 
     #[test]

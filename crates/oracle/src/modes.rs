@@ -40,13 +40,19 @@ pub enum Mode {
     /// Kill the fleet at a seed-derived step, checkpoint, restore into a
     /// fresh process image, and stitch the two report halves together.
     Stitch,
+    /// [`ConstraintSet`] with the entity-key sharded data plane on, a
+    /// seed-derived eviction horizon, and the same seed-derived
+    /// kill+resume stitch as [`Mode::Stitch`] — but through the
+    /// per-shard checkpoint sections, so resume rematerializes exactly
+    /// the live shards. Sharded must be byte-identical to everything.
+    FleetSharded,
 }
 
 impl Mode {
     /// Every mode, reference first. The naive checker re-evaluates the
     /// full stored history through the interpreting evaluator and is the
     /// semantics-defining baseline all other modes are diffed against.
-    pub const ALL: [Mode; 9] = [
+    pub const ALL: [Mode; 10] = [
         Mode::Single(BackendId::Naive),
         Mode::Single(BackendId::Incremental),
         Mode::Single(BackendId::Windowed),
@@ -56,6 +62,7 @@ impl Mode {
         Mode::SetSequential,
         Mode::SetParallel,
         Mode::Stitch,
+        Mode::FleetSharded,
     ];
 
     /// The mode's `--backends` flag name.
@@ -67,6 +74,7 @@ impl Mode {
             Mode::SetSequential => "set",
             Mode::SetParallel => "set-par",
             Mode::Stitch => "stitch",
+            Mode::FleetSharded => "fleet-sharded",
         }
     }
 
@@ -129,6 +137,7 @@ pub fn run_constraint(
         Mode::SetSequential => run_set(constraint, catalog, transitions, Parallelism::Sequential),
         Mode::SetParallel => run_set(constraint, catalog, transitions, Parallelism::Auto),
         Mode::Stitch => run_stitch(constraint, catalog, transitions, seed),
+        Mode::FleetSharded => run_fleet_sharded(constraint, catalog, transitions, seed),
     }
 }
 
@@ -216,6 +225,49 @@ fn run_stitch(
     drop(set);
     let mut resumed = checkpoint::restore_set([constraint.clone()], Arc::clone(catalog), &sections)
         .map_err(|e| format!("restore: {e}"))?;
+    for t in &transitions[kill..] {
+        let reports = resumed.step(t.time, &t.update).map_err(|e| e.to_string())?;
+        lines.extend(reports.iter().map(|r| r.to_string()));
+    }
+    Ok(lines)
+}
+
+/// [`Mode::FleetSharded`]: the sharded data plane under the harshest
+/// composition — a seed-derived eviction horizon (1..=4 steps, tight
+/// enough to churn shards on most histories) and a kill+resume stitch at
+/// a seed-derived step, restored through the per-shard checkpoint
+/// sections with sharding re-enabled.
+fn run_fleet_sharded(
+    constraint: &Constraint,
+    catalog: &Arc<Catalog>,
+    transitions: &[Transition],
+    seed: u64,
+) -> Result<Vec<String>, String> {
+    let kill = stitch_kill_step(derive_seed(seed, 0x5A4D), transitions.len());
+    let horizon = 1 + (derive_seed(seed, 0xE71C) % 4) as u32;
+    let mut set = ConstraintSet::new([constraint.clone()], Arc::clone(catalog))
+        .map_err(|(c, e)| format!("constraint `{}`: {e}", c.name))?
+        .with_sharding(true);
+    set.set_shard_eviction(horizon);
+    let mut lines = Vec::with_capacity(transitions.len());
+    for t in &transitions[..kill] {
+        let reports = set.step(t.time, &t.update).map_err(|e| e.to_string())?;
+        lines.extend(reports.iter().map(|r| r.to_string()));
+    }
+    let sections: Vec<String> = checkpoint::save_set(&set)
+        .into_iter()
+        .map(|(_, text)| text)
+        .collect();
+    drop(set);
+    let mut resumed = checkpoint::restore_set_sharded(
+        [constraint.clone()],
+        Arc::clone(catalog),
+        EncodingOptions::default(),
+        &sections,
+        true,
+    )
+    .map_err(|e| format!("sharded restore: {e}"))?;
+    resumed.set_shard_eviction(horizon);
     for t in &transitions[kill..] {
         let reports = resumed.step(t.time, &t.update).map_err(|e| e.to_string())?;
         lines.extend(reports.iter().map(|r| r.to_string()));

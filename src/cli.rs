@@ -7,6 +7,7 @@
 //! ```text
 //! rtic check <constraints.rtic> <log.rticlog> [--checker NAME] [--quiet] [--stats] [--explain]
 //!            [--constraints FILE]... [--parallel N|auto] [--profile]
+//!            [--shard auto|off] [--shard-evict N]
 //!            [--checkpoint FILE] [--resume FILE] [--checkpoint-every N]
 //!            [--checkpoint-secs T] [--checkpoint-keep K]
 //!            [--on-bad-line strict|skip] [--bad-line-budget N]
@@ -46,6 +47,7 @@ rtic — real-time integrity constraints (Chomicki, PODS 1992)
 USAGE:
   rtic check <constraints-file> <log-file> [--checker incremental|naive|windowed|active]
              [--constraints FILE]... [--parallel N|auto] [--profile]
+             [--shard auto|off] [--shard-evict N]
              [--quiet] [--stats] [--explain] [--checkpoint FILE] [--resume FILE]
              [--checkpoint-every N] [--checkpoint-secs T] [--checkpoint-keep K]
              [--on-bad-line strict|skip] [--bad-line-budget N] [--failpoints SPEC]
@@ -70,6 +72,16 @@ worker threads; reports and telemetry are identical to the sequential
 run. Requires the incremental checker. A constraint engine that panics
 mid-step is quarantined — it stops reporting while the rest of the fleet
 keeps checking — and is listed in the summary and `--stats`.
+
+Sharding: `--shard auto` partitions each constraint's state by its
+compile-time entity key (the variable shared by every atom) and steps
+only the shards an update touches; constraints with no such key run
+unsharded alongside. Reports are byte-identical to `--shard off` (the
+default). Idle shards are evicted after `--shard-evict N` quiet steps.
+Shard counts appear under `--stats`/`--profile` and in `--metrics`
+snapshots. Requires the incremental checker; composes with `--parallel`
+and checkpoints (a checkpoint records which data plane wrote it, and
+must be resumed with the same `--shard` setting).
 
 Checkpoints: `--checkpoint FILE` durably saves the checkers' bounded
 state (checksummed container, written atomically) after the run and,
@@ -283,6 +295,23 @@ fn check(args: &[String], out: &mut String) -> Result<i32, String> {
     if parallelism.is_some() && backend != BackendId::Incremental {
         return Err("--parallel requires the incremental checker".into());
     }
+    let shard_enabled = match flag_value(args, "--shard") {
+        None | Some("off") => false,
+        Some("auto") => true,
+        Some(other) => return Err(format!("bad --shard `{other}` (auto|off)")),
+    };
+    if shard_enabled && backend != BackendId::Incremental {
+        return Err("--shard requires the incremental checker".into());
+    }
+    let shard_evict: Option<u32> = flag_value(args, "--shard-evict")
+        .map(|v| v.parse().map_err(|e| format!("bad --shard-evict: {e}")))
+        .transpose()?;
+    if shard_evict.is_some() && !shard_enabled {
+        return Err("--shard-evict requires --shard auto".into());
+    }
+    if let Some(0) = shard_evict {
+        return Err("--shard-evict needs at least one step of idleness".into());
+    }
     let checkpoint_keep: usize = flag_value(args, "--checkpoint-keep")
         .map(|v| v.parse().map_err(|e| format!("bad --checkpoint-keep: {e}")))
         .transpose()?
@@ -416,13 +445,14 @@ fn check(args: &[String], out: &mut String) -> Result<i32, String> {
         .map(|(_, sections, _)| sections.clone())
         .unwrap_or_default();
 
-    let mut engine = if let Some(par) = parallelism {
-        let set = if let Some((found_path, sections, _)) = &resume_recovery {
-            let set = checkpoint::restore_set_with_options(
+    let mut engine = if parallelism.is_some() || shard_enabled {
+        let mut set = if let Some((found_path, sections, _)) = &resume_recovery {
+            let set = checkpoint::restore_set_sharded(
                 file.constraints.iter().cloned(),
                 Arc::clone(&catalog),
                 options,
                 sections,
+                shard_enabled,
             )
             .map_err(|e| format!("cannot resume from `{}`: {e}", found_path.display()))?;
             let mut obs = MultiObserver::new().with(&mut registry);
@@ -445,8 +475,14 @@ fn check(args: &[String], out: &mut String) -> Result<i32, String> {
                 options,
             )
             .map_err(|(c, e)| format!("constraint `{}`: {e}", c.name))?
+            .with_sharding(shard_enabled)
+        };
+        if let Some(horizon) = shard_evict {
+            set.set_shard_eviction(horizon);
         }
-        .with_parallelism(par);
+        if let Some(par) = parallelism {
+            set = set.with_parallelism(par);
+        }
         if show_explain {
             for compiled in set.compiled() {
                 let _ = writeln!(out, "{}", explain::explain(compiled));
@@ -532,10 +568,20 @@ fn check(args: &[String], out: &mut String) -> Result<i32, String> {
     let mut transitions = 0usize;
     let mut bad_lines = 0u64;
     let mut replay_skipped = 0usize;
+    let mut replayed_bad = 0u64;
     let mut last_time = None;
+    // True while the reader is still inside the log prefix the checkpoint
+    // already covered. Malformed lines in that prefix were charged against
+    // the budget by the run that wrote the checkpoint; charging them again
+    // on every resume would shrink the effective budget with each restart.
+    let mut replaying = resume_cursor.is_some();
     while let Some(item) = reader.next() {
         let tr: Transition = match item {
             Ok(tr) => tr,
+            Err(e) if skip_bad_lines && e.kind == LogErrorKind::Parse && replaying => {
+                replayed_bad += 1;
+                continue;
+            }
             Err(e) if skip_bad_lines && e.kind == LogErrorKind::Parse => {
                 bad_lines += 1;
                 if bad_lines > bad_line_budget {
@@ -562,6 +608,7 @@ fn check(args: &[String], out: &mut String) -> Result<i32, String> {
                 continue;
             }
         }
+        replaying = false;
         if let Some(action) = faults.check("run.abort") {
             match action {
                 FailAction::Panic => panic!("injected panic (failpoint `run.abort`)"),
@@ -617,6 +664,13 @@ fn check(args: &[String], out: &mut String) -> Result<i32, String> {
         let _ = writeln!(
             out,
             "skipped {replay_skipped} transition(s) already covered by the checkpoint"
+        );
+    }
+    if replayed_bad > 0 {
+        let _ = writeln!(
+            out,
+            "skipped {replayed_bad} malformed line(s) already covered by the checkpoint \
+             (not charged against the bad-line budget)"
         );
     }
     {
@@ -687,6 +741,17 @@ fn check(args: &[String], out: &mut String) -> Result<i32, String> {
         for (name, prof) in &profiles {
             let _ = writeln!(out, "profile[{name}]:");
             out.push_str(&explain::render_profile(prof));
+        }
+    }
+    if profile || stats {
+        if let CheckEngine::Fleet(set) = &engine {
+            for (name, st) in set.shard_stats() {
+                let _ = writeln!(
+                    out,
+                    "shards[{name}]: {} live, {} created, {} evicted, peak {}",
+                    st.live, st.created, st.evicted, st.peak
+                );
+            }
         }
     }
     if stats {

@@ -123,6 +123,53 @@ fn kill_and_resume_is_byte_identical_parallel_fleet() {
 }
 
 #[test]
+fn kill_and_resume_is_byte_identical_sharded() {
+    kill_and_resume("shard", &["--shard", "auto"]);
+}
+
+#[test]
+fn kill_and_resume_is_byte_identical_sharded_parallel() {
+    kill_and_resume("shardpar", &["--shard", "auto", "--parallel", "2"]);
+}
+
+/// A checkpoint records which data plane wrote it; resuming with the
+/// other `--shard` setting is a mismatch with an actionable message,
+/// in both directions.
+#[test]
+fn sharded_and_unsharded_checkpoints_do_not_mix_via_the_cli() {
+    for (tag, write_shard, resume_shard, hint) in [
+        ("mixa", "auto", "off", "--shard auto"),
+        ("mixb", "off", "auto", "--shard off"),
+    ] {
+        let c = temp_file(&format!("{tag}.rtic"), CONSTRAINTS);
+        let l = temp_file(&format!("{tag}.rticlog"), LOG);
+        let ckpt = temp_file(&format!("{tag}.ckpt"), "");
+        std::fs::remove_file(&ckpt).ok();
+        let (code, out) = run(&[
+            "check",
+            c.to_str().unwrap(),
+            l.to_str().unwrap(),
+            "--shard",
+            write_shard,
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+        ]);
+        assert_eq!(code.unwrap(), 1, "{out}");
+        let (code, _) = run(&[
+            "check",
+            c.to_str().unwrap(),
+            l.to_str().unwrap(),
+            "--shard",
+            resume_shard,
+            "--resume",
+            ckpt.to_str().unwrap(),
+        ]);
+        let err = code.unwrap_err();
+        assert!(err.contains(hint), "{tag}: the fix is suggested: {err}");
+    }
+}
+
+#[test]
 fn recovery_falls_back_past_a_corrupted_newest_checkpoint() {
     let c = temp_file("fb.rtic", CONSTRAINTS);
     let l = temp_file("fb.rticlog", LOG);
@@ -384,6 +431,106 @@ fn bad_line_budget_bounds_the_tolerance() {
         "5",
     ]);
     assert!(code.unwrap_err().contains("--on-bad-line skip"));
+}
+
+/// Satellite drill for the replay cursor vs. the bad-line budget: the
+/// malformed lines inside the checkpoint-covered prefix were already
+/// charged by the run that wrote the checkpoint. A resumed run must not
+/// charge them again — otherwise every restart shrinks the effective
+/// budget until a once-survivable log kills the run.
+#[test]
+fn resume_does_not_double_charge_replayed_bad_lines() {
+    // LOG with two malformed lines in the prefix the checkpoint will
+    // cover (t <= 5) and one past it.
+    let log = r#"
+@0 +reserved("ann", 17)
+this is not a transition
+@1
+@2
++confirmed( also not one
+@3 +confirmed("ann", 17)
+@4 +reserved("bob", 9)
+@5
+@6 +reserved("cat", 1)
+@7
+@neither is this
+@8 +confirmed("bob", 9)
+@9
+@10
+@11 +confirmed("cat", 1)
+"#;
+    let c = temp_file("budget.rtic", CONSTRAINTS);
+    let l = temp_file("budget.rticlog", log);
+    let ckpt = temp_file("budget.ckpt", "");
+    std::fs::remove_file(&ckpt).ok();
+
+    // First run: two bad lines fit the budget of 2; the abort fires on
+    // the 7th parsed transition, so the newest checkpoint covers the
+    // first 6 (t <= 5) — including both bad lines' positions.
+    let (code, killed) = run(&[
+        "check",
+        c.to_str().unwrap(),
+        l.to_str().unwrap(),
+        "--on-bad-line",
+        "skip",
+        "--bad-line-budget",
+        "2",
+        "--checkpoint",
+        ckpt.to_str().unwrap(),
+        "--checkpoint-every",
+        "3",
+        "--failpoints",
+        "run.abort=abort@7",
+    ]);
+    assert!(code.unwrap_err().contains("injected crash"), "{killed}");
+
+    // Resume with a budget of 1: only the one *new* bad line may be
+    // charged. Double-counting the two replayed ones would exhaust the
+    // budget and abort a log the original run survived.
+    let (code, resumed) = run(&[
+        "check",
+        c.to_str().unwrap(),
+        l.to_str().unwrap(),
+        "--on-bad-line",
+        "skip",
+        "--bad-line-budget",
+        "1",
+        "--resume",
+        ckpt.to_str().unwrap(),
+        "--stats",
+    ]);
+    assert_eq!(
+        code.unwrap(),
+        1,
+        "replayed bad lines must not count against the budget: {resumed}"
+    );
+    assert!(
+        resumed.contains("skipped 6 transition(s) already covered"),
+        "{resumed}"
+    );
+    assert!(
+        resumed.contains("skipped 2 malformed line(s) already covered"),
+        "{resumed}"
+    );
+    assert!(
+        resumed.contains("skipped 1 malformed line(s) (--on-bad-line skip, budget 1)"),
+        "only the post-cursor bad line is charged: {resumed}"
+    );
+
+    // And the stitched report stream still matches an uninterrupted run.
+    let (code, uninterrupted) = run(&[
+        "check",
+        c.to_str().unwrap(),
+        l.to_str().unwrap(),
+        "--on-bad-line",
+        "skip",
+        "--bad-line-budget",
+        "3",
+    ]);
+    assert_eq!(code.unwrap(), 1, "{uninterrupted}");
+    let mut stitched = violations(&killed);
+    stitched.extend(violations(&resumed));
+    assert_eq!(stitched, violations(&uninterrupted));
 }
 
 #[test]

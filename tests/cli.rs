@@ -761,3 +761,105 @@ fn report_renders_p90_quantile() {
     assert!(out.contains("p90"), "{out}");
     assert!(out.contains("p99"), "{out}");
 }
+
+#[test]
+fn shard_auto_matches_unsharded_output_and_reports_counts() {
+    let c = temp_file("sh.rtic", CONSTRAINTS);
+    let l = temp_file("sh.rticlog", LOG);
+    let (code, plain) = run(&["check", c.to_str().unwrap(), l.to_str().unwrap()]);
+    assert_eq!(code.unwrap(), 1, "{plain}");
+    let (code, sharded) = run(&[
+        "check",
+        c.to_str().unwrap(),
+        l.to_str().unwrap(),
+        "--shard",
+        "auto",
+        "--stats",
+    ]);
+    assert_eq!(code.unwrap(), 1, "{sharded}");
+    let violations = |out: &str| -> Vec<String> {
+        out.lines()
+            .filter(|ln| ln.contains("VIOLATION"))
+            .map(str::to_string)
+            .collect()
+    };
+    assert_eq!(violations(&plain), violations(&sharded));
+    assert!(
+        sharded.contains("shards[unconfirmed]:"),
+        "--stats reports shard counts: {sharded}"
+    );
+    assert!(sharded.contains("live"), "{sharded}");
+}
+
+#[test]
+fn shard_flag_validation() {
+    let c = temp_file("shv.rtic", CONSTRAINTS);
+    let l = temp_file("shv.rticlog", LOG);
+    let (code, _) = run(&[
+        "check",
+        c.to_str().unwrap(),
+        l.to_str().unwrap(),
+        "--shard",
+        "sideways",
+    ]);
+    assert!(code.unwrap_err().contains("auto|off"));
+    let (code, _) = run(&[
+        "check",
+        c.to_str().unwrap(),
+        l.to_str().unwrap(),
+        "--checker",
+        "naive",
+        "--shard",
+        "auto",
+    ]);
+    assert!(code.unwrap_err().contains("incremental"));
+    let (code, _) = run(&[
+        "check",
+        c.to_str().unwrap(),
+        l.to_str().unwrap(),
+        "--shard-evict",
+        "4",
+    ]);
+    assert!(code.unwrap_err().contains("--shard auto"));
+    let (code, _) = run(&[
+        "check",
+        c.to_str().unwrap(),
+        l.to_str().unwrap(),
+        "--shard",
+        "auto",
+        "--shard-evict",
+        "0",
+    ]);
+    assert!(code.unwrap_err().contains("at least one"));
+}
+
+#[test]
+fn shard_eviction_shows_up_in_metrics() {
+    let c = temp_file("she.rtic", CONSTRAINTS);
+    // ann churns in and out; with a 1-step horizon the shard is evicted
+    // once its tuples and windows drain.
+    let l = temp_file(
+        "she.rticlog",
+        "@0 +reserved(\"ann\", 17)\n@1 +confirmed(\"ann\", 17)\n@2 -reserved(\"ann\", 17) -confirmed(\"ann\", 17)\n@9\n@10\n@11\n@12\n@13\n@14\n@15\n",
+    );
+    let m = temp_file("she-metrics.json", "");
+    let (code, out) = run(&[
+        "check",
+        c.to_str().unwrap(),
+        l.to_str().unwrap(),
+        "--shard",
+        "auto",
+        "--shard-evict",
+        "1",
+        "--metrics",
+        m.to_str().unwrap(),
+        "--sample-space",
+        "1",
+        "--stats",
+    ]);
+    assert_eq!(code.unwrap(), 0, "{out}");
+    assert!(out.contains("shards[unconfirmed]:"), "{out}");
+    let metrics = std::fs::read_to_string(&m).unwrap();
+    assert!(metrics.contains("\"shards\""), "{metrics}");
+    assert!(metrics.contains("\"evicted\""), "{metrics}");
+}
