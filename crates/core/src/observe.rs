@@ -177,6 +177,31 @@ pub enum StepEvent<'a> {
         /// The footprint.
         stats: SpaceStats,
     },
+    /// A reading of a resident server's ingest-plane gauges (`rtic
+    /// serve`): bounded-queue occupancy, backpressure sheds, client
+    /// connections, and checkpoint freshness. Emitted by the serve
+    /// driver after each processed command and at drain, so metrics
+    /// snapshots and the Prometheus exposition carry the live queue
+    /// picture alongside the checker counters.
+    ServeSample {
+        /// Updates currently waiting in the bounded ingest queue.
+        queue_depth: usize,
+        /// The queue's configured bound.
+        queue_capacity: usize,
+        /// High-water mark of the queue depth over the run.
+        queue_peak: usize,
+        /// Updates rejected with `BUSY` because the queue was full.
+        shed: u64,
+        /// Currently connected clients.
+        connections: usize,
+        /// Slow or stalled clients disconnected after the write timeout.
+        disconnected: u64,
+        /// Milliseconds since the last durable checkpoint, if any was
+        /// written.
+        last_checkpoint_age_ms: Option<u64>,
+        /// Total graceful-drain duration in milliseconds, once drained.
+        drain_ms: Option<u64>,
+    },
     /// A scheduled reading of a sharded constraint's shard-lifecycle
     /// counters (emitted alongside its `SpaceSample` when the entity-key
     /// sharded data plane is enabled).
@@ -210,6 +235,7 @@ impl StepEvent<'_> {
             StepEvent::PlanStatsSample { .. } => "plan_stats",
             StepEvent::PlanProfileSample { .. } => "plan_profile",
             StepEvent::SpaceSample { .. } => "space_sample",
+            StepEvent::ServeSample { .. } => "serve_sample",
             StepEvent::ShardSample { .. } => "shard_sample",
         }
     }
@@ -348,6 +374,25 @@ impl StepObserver for CollectingObserver {
                 time: *time,
                 step_index: *step_index,
                 stats: *stats,
+            },
+            StepEvent::ServeSample {
+                queue_depth,
+                queue_capacity,
+                queue_peak,
+                shed,
+                connections,
+                disconnected,
+                last_checkpoint_age_ms,
+                drain_ms,
+            } => StepEvent::ServeSample {
+                queue_depth: *queue_depth,
+                queue_capacity: *queue_capacity,
+                queue_peak: *queue_peak,
+                shed: *shed,
+                connections: *connections,
+                disconnected: *disconnected,
+                last_checkpoint_age_ms: *last_checkpoint_age_ms,
+                drain_ms: *drain_ms,
             },
             StepEvent::ShardSample {
                 checker,

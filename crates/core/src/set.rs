@@ -127,6 +127,23 @@ impl DispatchStats {
     }
 }
 
+/// A fleet's health summary: engines still reporting vs. quarantined
+/// after a mid-step panic ([`ConstraintSet::health`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct FleetHealth {
+    /// Engines still producing reports.
+    pub healthy: usize,
+    /// Engines quarantined after a panic; the fleet runs degraded.
+    pub quarantined: usize,
+}
+
+impl FleetHealth {
+    /// Whether any engine is quarantined.
+    pub fn is_degraded(&self) -> bool {
+        self.quarantined > 0
+    }
+}
+
 /// A set of constraints checked together over one database.
 #[derive(Clone, Debug)]
 pub struct ConstraintSet {
@@ -322,6 +339,30 @@ impl ConstraintSet {
                     .map(|reason| (e.compiled.constraint.name, reason))
             })
             .collect()
+    }
+
+    /// The fleet's health summary: how many engines are still reporting
+    /// and how many are quarantined. Resident drivers (`rtic serve`)
+    /// surface a degraded fleet as `DEGRADED` status responses.
+    pub fn health(&self) -> FleetHealth {
+        let quarantined = self.quarantined.iter().filter(|q| q.is_some()).count();
+        FleetHealth {
+            healthy: self.engines.len() - quarantined,
+            quarantined,
+        }
+    }
+
+    /// Quiescence hook: absorbs a pure clock tick at `time` — exactly
+    /// [`ConstraintSet::step_observed`] with an empty update, so
+    /// gain-free constraints advance without evaluation and the rest
+    /// evaluate against the unchanged state. Drivers draining a resident
+    /// fleet use this to settle the clock before the final checkpoint.
+    pub fn tick(
+        &mut self,
+        time: TimePoint,
+        obs: &mut dyn StepObserver,
+    ) -> Result<Vec<StepReport>, HistoryError> {
+        self.step_observed(time, &Update::new(), obs)
     }
 
     /// Fault injection: make the engine for `constraint` panic while

@@ -175,6 +175,28 @@ fn profiled_node_json(node: &ProfiledNode) -> Json {
         .set("cache_misses", node.counts.cache_misses)
 }
 
+/// The latest ingest-plane gauges of a resident server (`rtic serve`),
+/// mirrored from [`StepEvent::ServeSample`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeGauges {
+    /// Updates currently waiting in the bounded ingest queue.
+    pub queue_depth: usize,
+    /// The queue's configured bound.
+    pub queue_capacity: usize,
+    /// High-water mark of the queue depth over the run.
+    pub queue_peak: usize,
+    /// Updates rejected with `BUSY` because the queue was full.
+    pub shed: u64,
+    /// Currently connected clients.
+    pub connections: usize,
+    /// Slow or stalled clients disconnected after the write timeout.
+    pub disconnected: u64,
+    /// Milliseconds since the last durable checkpoint, if any.
+    pub last_checkpoint_age_ms: Option<u64>,
+    /// Total graceful-drain duration in milliseconds, once drained.
+    pub drain_ms: Option<u64>,
+}
+
 #[derive(Clone, Debug)]
 struct SpaceSampleRow {
     step_index: u64,
@@ -210,6 +232,8 @@ pub struct MetricsRegistry {
     space_samples: Vec<SpaceSampleRow>,
     plan_stats: BTreeMap<(&'static str, &'static str), RuntimePlanStats>,
     plan_profiles: BTreeMap<(&'static str, &'static str), PlanProfile>,
+    /// Latest resident-server ingest gauges (`rtic serve` runs only).
+    serve: Option<ServeGauges>,
 }
 
 impl MetricsRegistry {
@@ -284,6 +308,12 @@ impl MetricsRegistry {
     /// order. Empty when no constraint runs sharded.
     pub fn shard_stats(&self) -> impl Iterator<Item = (&'static str, ShardStats)> + '_ {
         self.shards.iter().map(|(name, stats)| (*name, *stats))
+    }
+
+    /// The latest resident-server ingest gauges, when the event stream
+    /// came from an `rtic serve` run.
+    pub fn serve_gauges(&self) -> Option<ServeGauges> {
+        self.serve
     }
 
     /// Latest compiled-plan statistics per checker backend, aggregated
@@ -381,7 +411,7 @@ impl MetricsRegistry {
             .keys()
             .map(|name| Json::Str((*name).into()))
             .collect();
-        Json::object()
+        let mut doc = Json::object()
             .set("steps", self.steps)
             .set("transitions_started", self.transitions_started)
             .set("tuples_ingested", self.tuples_ingested)
@@ -474,7 +504,24 @@ impl MetricsRegistry {
                         })
                         .collect(),
                 ),
-            )
+            );
+        if let Some(s) = &self.serve {
+            let mut obj = Json::object()
+                .set("queue_depth", s.queue_depth)
+                .set("queue_capacity", s.queue_capacity)
+                .set("queue_peak", s.queue_peak)
+                .set("shed", s.shed)
+                .set("connections", s.connections)
+                .set("disconnected", s.disconnected);
+            if let Some(age) = s.last_checkpoint_age_ms {
+                obj = obj.set("last_checkpoint_age_ms", age);
+            }
+            if let Some(ms) = s.drain_ms {
+                obj = obj.set("drain_ms", ms);
+            }
+            doc = doc.set("serve", obj);
+        }
+        doc
     }
 
     /// Pretty-printed JSON exposition.
@@ -705,6 +752,57 @@ impl MetricsRegistry {
                 );
             }
         }
+        if let Some(s) = &self.serve {
+            let mut gauge = |name: &str, help: &str, value: f64| {
+                let _ = writeln!(out, "# HELP rtic_{name} {help}");
+                let _ = writeln!(out, "# TYPE rtic_{name} gauge");
+                let _ = writeln!(out, "rtic_{name} {value}");
+            };
+            gauge(
+                "serve_queue_depth",
+                "Updates waiting in the resident server's ingest queue.",
+                s.queue_depth as f64,
+            );
+            gauge(
+                "serve_queue_capacity",
+                "Bound of the resident server's ingest queue.",
+                s.queue_capacity as f64,
+            );
+            gauge(
+                "serve_queue_peak",
+                "High-water mark of the ingest queue depth.",
+                s.queue_peak as f64,
+            );
+            gauge(
+                "serve_shed_total",
+                "Updates rejected with BUSY because the ingest queue was full.",
+                s.shed as f64,
+            );
+            gauge(
+                "serve_connections",
+                "Currently connected clients.",
+                s.connections as f64,
+            );
+            gauge(
+                "serve_disconnected_total",
+                "Clients disconnected for stalling past the write timeout.",
+                s.disconnected as f64,
+            );
+            if let Some(age) = s.last_checkpoint_age_ms {
+                gauge(
+                    "serve_last_checkpoint_age_seconds",
+                    "Seconds since the resident server's last checkpoint.",
+                    age as f64 / 1e3,
+                );
+            }
+            if let Some(ms) = s.drain_ms {
+                gauge(
+                    "serve_drain_duration_seconds",
+                    "Wall time the graceful drain took.",
+                    ms as f64 / 1e3,
+                );
+            }
+        }
         out
     }
 }
@@ -800,6 +898,28 @@ impl StepObserver for MetricsRegistry {
                     checker,
                     constraint: constraint.as_str(),
                     stats: *stats,
+                });
+            }
+            StepEvent::ServeSample {
+                queue_depth,
+                queue_capacity,
+                queue_peak,
+                shed,
+                connections,
+                disconnected,
+                last_checkpoint_age_ms,
+                drain_ms,
+            } => {
+                // Gauges: the latest sample replaces the previous one.
+                self.serve = Some(ServeGauges {
+                    queue_depth: *queue_depth,
+                    queue_capacity: *queue_capacity,
+                    queue_peak: *queue_peak,
+                    shed: *shed,
+                    connections: *connections,
+                    disconnected: *disconnected,
+                    last_checkpoint_age_ms: *last_checkpoint_age_ms,
+                    drain_ms: *drain_ms,
                 });
             }
             StepEvent::ShardSample {
@@ -1079,6 +1199,50 @@ mod tests {
         assert!(text.contains("rtic_shards_created_total{constraint=\"keyed\"} 9"));
         assert!(text.contains("rtic_shards_evicted_total{constraint=\"keyed\"} 7"));
         assert!(text.contains("rtic_shards_peak{constraint=\"keyed\"} 5"));
+    }
+
+    #[test]
+    fn serve_samples_reach_json_and_prometheus() {
+        let mut registry = MetricsRegistry::new();
+        // Batch runs never emit ServeSample, so the section stays absent.
+        assert!(registry.serve_gauges().is_none());
+        let sample = |depth, shed| StepEvent::ServeSample {
+            queue_depth: depth,
+            queue_capacity: 64,
+            queue_peak: 17,
+            shed,
+            connections: 2,
+            disconnected: 1,
+            last_checkpoint_age_ms: Some(250),
+            drain_ms: None,
+        };
+        registry.observe(&sample(9, 3));
+        // Gauges: re-sampling replaces the earlier snapshot.
+        registry.observe(&sample(3, 5));
+        let gauges = registry.serve_gauges().unwrap();
+        assert_eq!(gauges.queue_depth, 3);
+        assert_eq!(gauges.shed, 5);
+        let doc = json::parse(&registry.render_json()).unwrap();
+        let serve = doc.get("serve").unwrap();
+        assert_eq!(serve.get("queue_depth").and_then(Json::as_u64), Some(3));
+        assert_eq!(serve.get("queue_capacity").and_then(Json::as_u64), Some(64));
+        assert_eq!(serve.get("queue_peak").and_then(Json::as_u64), Some(17));
+        assert_eq!(serve.get("shed").and_then(Json::as_u64), Some(5));
+        assert_eq!(serve.get("connections").and_then(Json::as_u64), Some(2));
+        assert_eq!(
+            serve.get("last_checkpoint_age_ms").and_then(Json::as_u64),
+            Some(250)
+        );
+        assert!(serve.get("drain_ms").is_none());
+        let text = registry.render_prometheus();
+        assert!(text.contains("rtic_serve_queue_depth 3"));
+        assert!(text.contains("rtic_serve_queue_capacity 64"));
+        assert!(text.contains("rtic_serve_queue_peak 17"));
+        assert!(text.contains("rtic_serve_shed_total 5"));
+        assert!(text.contains("rtic_serve_connections 2"));
+        assert!(text.contains("rtic_serve_disconnected_total 1"));
+        assert!(text.contains("rtic_serve_last_checkpoint_age_seconds 0.25"));
+        assert!(!text.contains("rtic_serve_drain_duration_seconds"));
     }
 
     #[test]

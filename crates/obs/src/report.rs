@@ -94,6 +94,32 @@ pub fn render(doc: &Json) -> Result<String, String> {
         );
     }
 
+    if let Some(serve) = doc.get("serve") {
+        let field = |key: &str| serve.get(key).and_then(Json::as_u64).unwrap_or(0);
+        let _ = writeln!(out);
+        let _ = writeln!(out, "serve");
+        let _ = writeln!(
+            out,
+            "  queue depth      {}/{} (peak {})",
+            field("queue_depth"),
+            field("queue_capacity"),
+            field("queue_peak"),
+        );
+        let _ = writeln!(out, "  shed (BUSY)      {}", field("shed"));
+        let _ = writeln!(
+            out,
+            "  connections      {} active, {} disconnected",
+            field("connections"),
+            field("disconnected"),
+        );
+        if let Some(age) = serve.get("last_checkpoint_age_ms").and_then(Json::as_u64) {
+            let _ = writeln!(out, "  checkpoint age   {age} ms");
+        }
+        if let Some(ms) = serve.get("drain_ms").and_then(Json::as_u64) {
+            let _ = writeln!(out, "  drain duration   {ms} ms");
+        }
+    }
+
     if let Some(samples) = doc.get("space_samples").and_then(Json::as_arr) {
         if !samples.is_empty() {
             let _ = writeln!(out);
@@ -191,6 +217,31 @@ space trajectory (2 samples)
   peak retained units: 10
 ";
         assert_eq!(rendered, expected);
+    }
+
+    #[test]
+    fn serve_section_renders_when_present() {
+        let doc = json::parse(FIXTURE).unwrap();
+        // The batch fixture has no serve section…
+        assert!(!render(&doc).unwrap().contains("serve"));
+        // …and a resident-server snapshot grows one.
+        let with_serve = FIXTURE.trim_end().trim_end_matches('}').to_string()
+            + r#", "serve": {"queue_depth": 3, "queue_capacity": 64,
+                "queue_peak": 17, "shed": 5, "connections": 2,
+                "disconnected": 1, "last_checkpoint_age_ms": 250,
+                "drain_ms": 12}}"#;
+        let rendered = render(&json::parse(&with_serve).unwrap()).unwrap();
+        assert!(
+            rendered.contains("queue depth      3/64 (peak 17)"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("shed (BUSY)      5"), "{rendered}");
+        assert!(
+            rendered.contains("connections      2 active, 1 disconnected"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("checkpoint age   250 ms"), "{rendered}");
+        assert!(rendered.contains("drain duration   12 ms"), "{rendered}");
     }
 
     #[test]

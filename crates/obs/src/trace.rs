@@ -145,6 +145,31 @@ pub fn event_json(seq: u64, event: &StepEvent<'_>) -> Json {
             .set("created", stats.created)
             .set("evicted", stats.evicted)
             .set("peak", stats.peak),
+        StepEvent::ServeSample {
+            queue_depth,
+            queue_capacity,
+            queue_peak,
+            shed,
+            connections,
+            disconnected,
+            last_checkpoint_age_ms,
+            drain_ms,
+        } => {
+            let mut doc = base
+                .set("queue_depth", *queue_depth)
+                .set("queue_capacity", *queue_capacity)
+                .set("queue_peak", *queue_peak)
+                .set("shed", *shed)
+                .set("connections", *connections)
+                .set("disconnected", *disconnected);
+            if let Some(age) = last_checkpoint_age_ms {
+                doc = doc.set("last_checkpoint_age_ms", *age);
+            }
+            if let Some(ms) = drain_ms {
+                doc = doc.set("drain_ms", *ms);
+            }
+            doc
+        }
     }
 }
 
@@ -665,6 +690,23 @@ impl StepObserver for ChromeTraceWriter {
                         .set("ts", ts)
                         .set("pid", CHROME_PID)
                         .set("args", Json::object().set("live", stats.live)),
+                );
+            }
+            StepEvent::ServeSample {
+                queue_depth, shed, ..
+            } => {
+                // Counter track: ingest queue pressure on the server.
+                let ts = self.cursor_us;
+                self.emit(
+                    Json::object()
+                        .set("name", "serve queue")
+                        .set("ph", "C")
+                        .set("ts", ts)
+                        .set("pid", CHROME_PID)
+                        .set(
+                            "args",
+                            Json::object().set("depth", *queue_depth).set("shed", *shed),
+                        ),
                 );
             }
             StepEvent::PlanProfileSample {

@@ -28,6 +28,26 @@
 //!   before it reaches the disk (a torn/corrupt write).
 //! * `engine-panic:no_dupes=panic@3` — make the engine for constraint
 //!   `no_dupes` panic while processing its 3rd transition.
+//!
+//! # Named sites
+//!
+//! Sites are free-form strings owned by their call sites; the ones the
+//! chaos drills exercise today:
+//!
+//! | site               | checked by                                     |
+//! |--------------------|------------------------------------------------|
+//! | `run.abort`        | `rtic check` before each transition            |
+//! | `checkpoint.write` | `rtic check` persisting a checkpoint           |
+//! | `engine-panic:<c>` | the fleet engine for constraint `<c>`          |
+//! | `serve.accept`     | the daemon's accept loop, per poll             |
+//! | `serve.read`       | the daemon, after each client line read        |
+//! | `serve.step`       | the daemon's engine loop, per dequeued job     |
+//! | `serve.write`      | the daemon, before each reply write            |
+//! | `serve.checkpoint` | the daemon persisting a periodic checkpoint    |
+//!
+//! `serve.step=abort@N` is the daemon's kill -9 model: the engine dies
+//! mid-job with no reply, no cleanup, and no final checkpoint, which is
+//! exactly what the `--resume` recovery drills need to exercise.
 
 use std::collections::HashMap;
 use std::sync::Mutex;

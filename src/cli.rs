@@ -16,6 +16,9 @@
 //! rtic report <metrics.json>
 //! rtic explain <constraints.rtic> [--profile <log.rticlog>]
 //! rtic generate <reservations|library|monitor|audit|random> [--steps N] [--seed N] [--violation-rate R]
+//! rtic serve <constraints.rtic> --listen unix:PATH|tcp:ADDR [--queue N] [--checkpoint FILE]
+//!            [--resume] [--checkpoint-every N] [--report FILE] …
+//! rtic send <log.rticlog> --connect unix:PATH|tcp:ADDR [--drain] [--quiet]
 //! ```
 
 use std::fmt::Write as _;
@@ -37,6 +40,7 @@ use rtic_relation::{Catalog, Symbol};
 use rtic_resilience::{
     container, write_atomic, CheckpointPolicy, CheckpointTicker, FailAction, FailPlan, Rotation,
 };
+use rtic_server::{Client, Listen, ServeConfig};
 use rtic_temporal::parser::{parse_file, ConstraintFile};
 use rtic_temporal::TimePoint;
 use rtic_workload::{Audit, Library, Monitor, RandomWorkload, Reservations};
@@ -57,6 +61,13 @@ USAGE:
   rtic explain <constraints-file> [--profile <log-file>]
   rtic generate <reservations|library|monitor|audit|random> [--steps N] [--seed N]
              [--violation-rate R]
+  rtic serve <constraints-file> --listen unix:PATH|tcp:HOST:PORT
+             [--constraints FILE]... [--queue N] [--retry-ms MS] [--write-timeout-ms MS]
+             [--checkpoint FILE] [--resume] [--checkpoint-every N] [--checkpoint-secs T]
+             [--checkpoint-keep K] [--parallel N|auto] [--shard auto|off] [--shard-evict N]
+             [--failpoints SPEC] [--report FILE] [--metrics FILE]
+  rtic send <log-file> --connect unix:PATH|tcp:HOST:PORT [--drain] [--quiet]
+             [--connect-timeout-ms MS]
 
 The constraints file declares relations and deny/assert constraints; the
 log file is one `@time +rel(values…) -rel(values…)` line per transition,
@@ -108,6 +119,20 @@ Perfetto / chrome://tracing; `--sample-space N` records every checker's
 space footprint every N steps. `rtic report` renders a JSON metrics
 snapshot as a summary table.
 
+Serving: `rtic serve` runs the fleet as a resident daemon speaking a
+line protocol (UPDATE/TICK/QUERY/DRAIN — see docs/SERVING.md) over a
+unix or TCP socket. Ingest flows through a bounded queue (`--queue N`,
+default 64): a full queue answers `BUSY <retry-after-ms>` instead of
+buffering, and clients stalled past `--write-timeout-ms` are
+disconnected. `--checkpoint` + `--checkpoint-every/-secs` make the
+daemon crash-safe (state and the violation report are sealed together);
+`--resume` restores the newest intact checkpoint on boot and acks
+already-covered updates as replayed. SIGTERM or DRAIN drains
+gracefully: stop accepting, flush, final checkpoint, exit 0. `--report
+FILE` writes the final violation lines (byte-identical to `rtic check`
+on the same stream) on drain. `rtic send` streams a log to a serving
+daemon with backoff+jitter retries, printing violations as they come.
+
 Profiling: `--profile` (incremental checker, with or without
 `--parallel`) turns on per-plan-node counters — inclusive wall time,
 cardinalities, memo-cache hits — and prints an EXPLAIN-ANALYZE-style
@@ -124,6 +149,8 @@ pub fn run(args: &[String], out: &mut String) -> Result<i32, String> {
         Some("report") => report_cmd(&args[1..], out),
         Some("explain") => explain_cmd(&args[1..], out),
         Some("generate") => generate(&args[1..], out),
+        Some("serve") => serve_cmd(&args[1..], out),
+        Some("send") => send_cmd(&args[1..], out),
         Some("--help") | Some("-h") | None => {
             let _ = writeln!(out, "{USAGE}");
             Ok(0)
@@ -153,6 +180,32 @@ fn load_constraints(path: &str) -> Result<ConstraintFile, String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read constraints file `{path}`: {e}"))?;
     parse_file(&text).map_err(|e| format!("{path}:{e}"))
+}
+
+/// Loads `primary` and merges every `--constraints` extra into it:
+/// shared relation declarations must agree, constraint names must be
+/// unique across files.
+fn load_merged_constraints(primary: &str, extras: &[&str]) -> Result<ConstraintFile, String> {
+    let mut file = load_constraints(primary)?;
+    for path in extras {
+        let extra = load_constraints(path)?;
+        file.catalog
+            .try_merge(&extra.catalog)
+            .map_err(|e| format!("`{path}`: {e}"))?;
+        for c in extra.constraints {
+            if file.constraints.iter().any(|have| have.name == c.name) {
+                return Err(format!(
+                    "`{path}`: constraint `{}` is already defined by an earlier file",
+                    c.name
+                ));
+            }
+            file.constraints.push(c);
+        }
+    }
+    if file.constraints.is_empty() {
+        return Err(format!("`{primary}` declares no constraints"));
+    }
+    Ok(file)
 }
 
 /// The two evaluation engines behind `rtic check`: one independent
@@ -383,25 +436,7 @@ fn check(args: &[String], out: &mut String) -> Result<i32, String> {
     };
     let mut sampler = SpaceSampler::new(sample_every);
 
-    let mut file = load_constraints(constraints_path)?;
-    for path in &extra_constraint_paths {
-        let extra = load_constraints(path)?;
-        file.catalog
-            .try_merge(&extra.catalog)
-            .map_err(|e| format!("`{path}`: {e}"))?;
-        for c in extra.constraints {
-            if file.constraints.iter().any(|have| have.name == c.name) {
-                return Err(format!(
-                    "`{path}`: constraint `{}` is already defined by an earlier file",
-                    c.name
-                ));
-            }
-            file.constraints.push(c);
-        }
-    }
-    if file.constraints.is_empty() {
-        return Err(format!("`{constraints_path}` declares no constraints"));
-    }
+    let file = load_merged_constraints(constraints_path, &extra_constraint_paths)?;
     let catalog = Arc::new(file.catalog.clone());
 
     // Recovery: walk the rotation set newest-first, rejecting corrupt or
@@ -1034,4 +1069,168 @@ fn generate(args: &[String], out: &mut String) -> Result<i32, String> {
     let _ = writeln!(out, "# injected violations: {}", generated.expected.len());
     out.push_str(&format_log(&generated.transitions));
     Ok(0)
+}
+
+fn serve_cmd(args: &[String], out: &mut String) -> Result<i32, String> {
+    let positional: Vec<&String> = args.iter().take_while(|a| !a.starts_with("--")).collect();
+    let [constraints_path] = positional.as_slice() else {
+        return Err("serve needs <constraints-file>; try --help".into());
+    };
+    let listen_spec =
+        flag_value(args, "--listen").ok_or("serve needs --listen unix:<path>|tcp:<host:port>")?;
+    let mut config = ServeConfig::new(Listen::parse(listen_spec)?);
+    if let Some(v) = flag_value(args, "--queue") {
+        config.queue_capacity = v.parse().map_err(|e| format!("bad --queue: {e}"))?;
+        if config.queue_capacity == 0 {
+            return Err("--queue needs capacity for at least one update".into());
+        }
+    }
+    if let Some(v) = flag_value(args, "--retry-ms") {
+        config.retry_ms = v.parse().map_err(|e| format!("bad --retry-ms: {e}"))?;
+    }
+    if let Some(v) = flag_value(args, "--write-timeout-ms") {
+        let ms: u64 = v
+            .parse()
+            .map_err(|e| format!("bad --write-timeout-ms: {e}"))?;
+        if ms == 0 {
+            return Err("--write-timeout-ms needs at least one millisecond".into());
+        }
+        config.write_timeout = Duration::from_millis(ms);
+    }
+    config.checkpoint = flag_value(args, "--checkpoint").map(String::from);
+    config.checkpoint_keep = flag_value(args, "--checkpoint-keep")
+        .map(|v| v.parse().map_err(|e| format!("bad --checkpoint-keep: {e}")))
+        .transpose()?
+        .unwrap_or(3);
+    if config.checkpoint_keep == 0 {
+        return Err("--checkpoint-keep needs at least one generation".into());
+    }
+    let checkpoint_every: Option<u64> = flag_value(args, "--checkpoint-every")
+        .map(|v| {
+            v.parse()
+                .map_err(|e| format!("bad --checkpoint-every: {e}"))
+        })
+        .transpose()?;
+    let checkpoint_secs: Option<f64> = flag_value(args, "--checkpoint-secs")
+        .map(|v| v.parse().map_err(|e| format!("bad --checkpoint-secs: {e}")))
+        .transpose()?;
+    if (checkpoint_every.is_some() || checkpoint_secs.is_some()) && config.checkpoint.is_none() {
+        return Err("--checkpoint-every/--checkpoint-secs require --checkpoint".into());
+    }
+    config.policy = CheckpointPolicy {
+        every_steps: checkpoint_every,
+        every: checkpoint_secs.map(Duration::from_secs_f64),
+    };
+    config.resume = args.iter().any(|a| a == "--resume");
+    if config.resume && config.checkpoint.is_none() {
+        return Err("--resume requires --checkpoint (the rotation to recover from)".into());
+    }
+    config.sharding = match flag_value(args, "--shard") {
+        None | Some("off") => false,
+        Some("auto") => true,
+        Some(other) => return Err(format!("bad --shard `{other}` (auto|off)")),
+    };
+    config.shard_evict = flag_value(args, "--shard-evict")
+        .map(|v| v.parse().map_err(|e| format!("bad --shard-evict: {e}")))
+        .transpose()?;
+    if config.shard_evict.is_some() && !config.sharding {
+        return Err("--shard-evict requires --shard auto".into());
+    }
+    if let Some(0) = config.shard_evict {
+        return Err("--shard-evict needs at least one step of idleness".into());
+    }
+    config.parallelism = match flag_value(args, "--parallel") {
+        None => None,
+        Some("auto") => Some(Parallelism::Auto),
+        Some(n) => {
+            let n: usize = n
+                .parse()
+                .map_err(|e| format!("bad --parallel `{n}`: {e}"))?;
+            if n == 0 {
+                return Err("--parallel needs at least one worker (or `auto`)".into());
+            }
+            Some(Parallelism::N(n))
+        }
+    };
+    config.faults = match flag_value(args, "--failpoints") {
+        Some(spec) => FailPlan::parse(spec).map_err(|e| format!("bad --failpoints: {e}"))?,
+        None => {
+            FailPlan::from_env().map_err(|e| format!("bad {}: {e}", rtic_resilience::ENV_VAR))?
+        }
+    };
+    config.report_path = flag_value(args, "--report").map(String::from);
+    config.metrics_path = flag_value(args, "--metrics").map(String::from);
+
+    let extra_constraint_paths = flag_values(args, "--constraints");
+    let file = load_merged_constraints(constraints_path, &extra_constraint_paths)?;
+    let catalog = Arc::new(file.catalog.clone());
+    rtic_server::serve(file.constraints, catalog, config, out)
+}
+
+fn send_cmd(args: &[String], out: &mut String) -> Result<i32, String> {
+    let positional: Vec<&String> = args.iter().take_while(|a| !a.starts_with("--")).collect();
+    let [log_path] = positional.as_slice() else {
+        return Err("send needs <log-file>; try --help".into());
+    };
+    let connect_spec =
+        flag_value(args, "--connect").ok_or("send needs --connect unix:<path>|tcp:<host:port>")?;
+    let listen = Listen::parse(connect_spec)?;
+    let quiet = args.iter().any(|a| a == "--quiet");
+    let do_drain = args.iter().any(|a| a == "--drain");
+    let connect_timeout: u64 = flag_value(args, "--connect-timeout-ms")
+        .map(|v| {
+            v.parse()
+                .map_err(|e| format!("bad --connect-timeout-ms: {e}"))
+        })
+        .transpose()?
+        .unwrap_or(5000);
+
+    let text = std::fs::read_to_string(log_path)
+        .map_err(|e| format!("cannot read log file `{log_path}`: {e}"))?;
+    let mut client = Client::connect_retry(&listen, Duration::from_millis(connect_timeout))?;
+    let mut sent = 0u64;
+    let mut replayed = 0u64;
+    let mut witnesses = 0u64;
+    for line in text.lines() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let reply = client
+            .send_update(trimmed)
+            .map_err(|e| format!("{log_path}: sending `{trimmed}`: {e}"))?;
+        sent += 1;
+        if reply.ok == "replayed" {
+            replayed += 1;
+        } else {
+            witnesses += reply.ok.parse::<u64>().unwrap_or(0);
+        }
+        if !quiet {
+            for violation in &reply.violations {
+                let _ = writeln!(out, "{violation}");
+            }
+        }
+    }
+    if replayed > 0 {
+        let _ = writeln!(
+            out,
+            "{replayed} update(s) acked as already covered by the server's checkpoint"
+        );
+    }
+    if client.busy_retries() > 0 {
+        let _ = writeln!(
+            out,
+            "absorbed {} BUSY rejection(s) with backoff",
+            client.busy_retries()
+        );
+    }
+    if do_drain {
+        let drained = client.drain()?;
+        let _ = writeln!(out, "server {drained}");
+    }
+    let _ = writeln!(
+        out,
+        "sent {sent} update(s): {witnesses} violation witness(es)"
+    );
+    Ok(if witnesses > 0 { 1 } else { 0 })
 }

@@ -29,5 +29,7 @@ pub use rtic_core as core;
 pub use rtic_history as history;
 pub use rtic_obs as obs;
 pub use rtic_relation as relation;
+pub use rtic_resilience as resilience;
+pub use rtic_server as server;
 pub use rtic_temporal as temporal;
 pub use rtic_workload as workload;

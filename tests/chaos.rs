@@ -648,6 +648,196 @@ fn quarantine_then_resume_matches_uninterrupted_minus_quarantined() {
     assert_eq!(stitched, expected);
 }
 
+/// Runs a resident `rtic serve` daemon through a kill/resume drill and
+/// returns the final report file's lines. The first incarnation is
+/// crashed by `serve.step=abort@7` (a simulated kill -9: no reply, no
+/// cleanup, no final checkpoint); the second resumes from the newest
+/// intact periodic checkpoint, re-streams the full log, and drains.
+fn serve_kill_resume_drill(tag: &str, extra: &[&str]) -> Vec<String> {
+    let c = temp_file(&format!("{tag}.rtic"), CONSTRAINTS);
+    let l = temp_file(&format!("{tag}.rticlog"), LOG);
+    let dir = c.parent().unwrap().to_path_buf();
+    let sock = dir.join(format!("{tag}.sock"));
+    let ckpt = dir.join(format!("{tag}.ckpt"));
+    let report = dir.join(format!("{tag}.report"));
+    for path in [&ckpt, &report] {
+        std::fs::remove_file(path).ok();
+    }
+    std::fs::remove_file(PathBuf::from(format!("{}.1", ckpt.display()))).ok();
+    std::fs::remove_file(PathBuf::from(format!("{}.2", ckpt.display()))).ok();
+
+    let spawn = |resume: bool, faults: Option<&str>, extra: &[&str]| {
+        let mut args = vec![
+            "serve".to_string(),
+            c.to_str().unwrap().to_string(),
+            "--listen".to_string(),
+            format!("unix:{}", sock.display()),
+            "--checkpoint".to_string(),
+            ckpt.to_str().unwrap().to_string(),
+            "--checkpoint-every".to_string(),
+            "3".to_string(),
+            "--report".to_string(),
+            report.to_str().unwrap().to_string(),
+        ];
+        if resume {
+            args.push("--resume".to_string());
+        }
+        if let Some(spec) = faults {
+            args.push("--failpoints".to_string());
+            args.push(spec.to_string());
+        }
+        args.extend(extra.iter().map(|s| s.to_string()));
+        std::thread::spawn(move || {
+            let mut out = String::new();
+            let code = rtic::cli::run(&args, &mut out);
+            (code, out)
+        })
+    };
+    let connect = format!("unix:{}", sock.display());
+    let stream = |drain: bool| {
+        let mut args = vec![
+            "send",
+            l.to_str().unwrap(),
+            "--connect",
+            connect.as_str(),
+            "--quiet",
+        ];
+        if drain {
+            args.push("--drain");
+        }
+        run(&args)
+    };
+
+    // Incarnation 1: dies processing the 7th transition, right after
+    // the periodic checkpoint that covers the first 6.
+    let server = spawn(false, Some("serve.step=abort@7"), extra);
+    let (code, _) = stream(false);
+    assert!(code.is_err(), "{tag}: the stream is cut by the crash");
+    let (code, out) = server.join().unwrap();
+    assert!(code.unwrap_err().contains("injected crash"), "{tag}: {out}");
+    assert!(
+        !out.contains("drained:"),
+        "{tag}: a kill -9 must not look like a graceful drain: {out}"
+    );
+
+    // Incarnation 2: resume, re-stream the whole log (the covered
+    // prefix is acked as replayed, not re-checked), drain gracefully.
+    let server = spawn(true, None, extra);
+    let (code, send_out) = stream(true);
+    code.unwrap();
+    assert!(
+        send_out.contains("6 update(s) acked as already covered"),
+        "{tag}: {send_out}"
+    );
+    let (code, out) = server.join().unwrap();
+    assert_eq!(code.unwrap(), 0, "{tag}: {out}");
+    assert!(out.contains("resumed from"), "{tag}: {out}");
+    assert!(
+        out.contains("skipped 6 transition(s) already covered"),
+        "{tag}: {out}"
+    );
+
+    std::fs::read_to_string(&report)
+        .unwrap()
+        .lines()
+        .map(str::to_string)
+        .collect()
+}
+
+/// The tentpole drill: a serve daemon kill -9'd mid-stream and
+/// restarted with `--resume` must end with a final report
+/// byte-identical to an uninterrupted daemon's and to batch
+/// `rtic check` over the same log.
+#[test]
+fn serve_kill_and_resume_report_matches_batch_check() {
+    let (code, batch) = {
+        let c = temp_file("skr-batch.rtic", CONSTRAINTS);
+        let l = temp_file("skr-batch.rticlog", LOG);
+        run(&["check", c.to_str().unwrap(), l.to_str().unwrap()])
+    };
+    assert_eq!(code.unwrap(), 1, "{batch}");
+    let expected = violations(&batch);
+
+    let crashed = serve_kill_resume_drill("skr", &[]);
+    assert_eq!(
+        crashed, expected,
+        "kill -9 + resume diverges from batch check"
+    );
+
+    // Control: an uninterrupted daemon produces the same bytes.
+    let c = temp_file("skr-ctl.rtic", CONSTRAINTS);
+    let l = temp_file("skr-ctl.rticlog", LOG);
+    let dir = c.parent().unwrap().to_path_buf();
+    let sock = dir.join("skr-ctl.sock");
+    let report = dir.join("skr-ctl.report");
+    let args: Vec<String> = [
+        "serve",
+        c.to_str().unwrap(),
+        "--listen",
+        &format!("unix:{}", sock.display()),
+        "--report",
+        report.to_str().unwrap(),
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let server = std::thread::spawn(move || {
+        let mut out = String::new();
+        let code = rtic::cli::run(&args, &mut out);
+        (code, out)
+    });
+    let (code, _) = run(&[
+        "send",
+        l.to_str().unwrap(),
+        "--connect",
+        &format!("unix:{}", sock.display()),
+        "--quiet",
+        "--drain",
+    ]);
+    code.unwrap();
+    server.join().unwrap().0.unwrap();
+    let uninterrupted: Vec<String> = std::fs::read_to_string(&report)
+        .unwrap()
+        .lines()
+        .map(str::to_string)
+        .collect();
+    assert_eq!(crashed, uninterrupted);
+}
+
+/// Satellite drill for the shard-eviction/resume interplay under serve:
+/// with an aggressive idle-eviction horizon, entities go quiet, their
+/// shards are evicted to phantoms, the daemon is killed and resumed —
+/// and when a quiet entity comes back (`cat`'s late confirm, `ann`'s
+/// reconfirms) the revived shard must re-materialize from its phantom
+/// byte-identically. The report must match both batch `rtic check`
+/// with the same eviction settings and an unsharded batch run.
+#[test]
+fn serve_shard_eviction_survives_kill_and_resume() {
+    let extra = &["--shard", "auto", "--shard-evict", "2"];
+
+    let c = temp_file("sev-batch.rtic", CONSTRAINTS);
+    let l = temp_file("sev-batch.rticlog", LOG);
+    let mut batch_args = vec!["check", c.to_str().unwrap(), l.to_str().unwrap()];
+    batch_args.extend_from_slice(extra);
+    let (code, batch) = run(&batch_args);
+    assert_eq!(code.unwrap(), 1, "{batch}");
+
+    let (code, unsharded) = run(&["check", c.to_str().unwrap(), l.to_str().unwrap()]);
+    assert_eq!(code.unwrap(), 1, "{unsharded}");
+    assert_eq!(
+        violations(&batch),
+        violations(&unsharded),
+        "eviction itself must not change reports"
+    );
+
+    let crashed = serve_kill_resume_drill("sev", extra);
+    assert_eq!(
+        crashed,
+        violations(&batch),
+        "evicted shards revived after resume diverge"
+    );
+}
+
 #[test]
 fn periodic_checkpoints_rotate_generations() {
     let c = temp_file("rot.rtic", CONSTRAINTS);

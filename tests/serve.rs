@@ -1,0 +1,534 @@
+//! Integration tests for `rtic serve`: the resident monitoring daemon's
+//! line protocol, bounded-queue backpressure, graceful drain, and
+//! degraded-mode reporting. Servers run in-process on unix sockets via
+//! `rtic::cli::run`, the same entry point the binary uses; clients are
+//! either the bundled [`rtic::server::Client`] or a raw stream when a
+//! test needs to observe the protocol without retry magic.
+
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use rtic::server::Client;
+
+const CONSTRAINTS: &str = r#"
+relation reserved(p: str, f: int)
+relation confirmed(p: str, f: int)
+deny unconfirmed: reserved(p, f) && once[2,*] reserved(p, f) && !once confirmed(p, f)
+deny reconfirm: confirmed(p, f) && once[1,*] confirmed(p, f)
+"#;
+
+const LOG: &str = r#"
+@0 +reserved("ann", 17)
+@1
+@2
+@3 +confirmed("ann", 17)
+@4 +reserved("bob", 9)
+@5
+@6 +reserved("cat", 1)
+@7
+@8 +confirmed("bob", 9)
+@9
+@10
+@11 +confirmed("cat", 1)
+"#;
+
+fn run(args: &[&str]) -> (Result<i32, String>, String) {
+    let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let mut out = String::new();
+    let code = rtic::cli::run(&args, &mut out);
+    (code, out)
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rtic-serve-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn temp_file(name: &str, content: &str) -> PathBuf {
+    let path = temp_path(name);
+    std::fs::write(&path, content).unwrap();
+    path
+}
+
+/// Spawns `rtic::cli::run(args)` on its own thread (the daemon).
+fn spawn_server(args: &[&str]) -> std::thread::JoinHandle<(Result<i32, String>, String)> {
+    let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    std::thread::spawn(move || {
+        let mut out = String::new();
+        let code = rtic::cli::run(&args, &mut out);
+        (code, out)
+    })
+}
+
+fn connect(sock: &Path) -> Client {
+    Client::connect_unix_retry(sock, Duration::from_secs(10)).unwrap()
+}
+
+/// A protocol-level connection with no BUSY retry: tests that count
+/// raw replies use this instead of the bundled client.
+struct Raw {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+}
+
+impl Raw {
+    fn connect(sock: &Path) -> Raw {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let stream = loop {
+            match UnixStream::connect(sock) {
+                Ok(s) => break s,
+                Err(e) if Instant::now() >= deadline => panic!("connect {sock:?}: {e}"),
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        };
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        Raw {
+            reader,
+            writer: stream,
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.writer.write_all(line.as_bytes()).unwrap();
+        self.writer.write_all(b"\n").unwrap();
+        self.writer.flush().unwrap();
+    }
+
+    fn read_line(&mut self) -> String {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).unwrap();
+        assert!(n > 0, "server closed the connection unexpectedly");
+        line.trim_end().to_string()
+    }
+
+    /// Sends (via the closure) then reads one reply line.
+    fn read_line_after(&mut self, send: &mut dyn FnMut(&mut Raw)) -> String {
+        send(self);
+        self.read_line()
+    }
+}
+
+fn log_lines() -> Vec<&'static str> {
+    LOG.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .collect()
+}
+
+fn violations(out: &str) -> Vec<String> {
+    out.lines()
+        .filter(|l| l.contains("VIOLATION"))
+        .map(str::to_string)
+        .collect()
+}
+
+#[test]
+fn ping_status_and_protocol_errors_over_a_raw_stream() {
+    let c = temp_file("proto.rtic", CONSTRAINTS);
+    let sock = temp_path("proto.sock");
+    let server = spawn_server(&[
+        "serve",
+        c.to_str().unwrap(),
+        "--listen",
+        &format!("unix:{}", sock.display()),
+    ]);
+
+    let mut raw = Raw::connect(&sock);
+    raw.send("PING");
+    assert_eq!(raw.read_line(), "OK pong");
+
+    // Blank lines and comments draw no reply; the next command still
+    // pairs with the next reply.
+    raw.send("");
+    raw.send("# a comment");
+    raw.send("QUERY status");
+    let status = raw.read_line();
+    assert!(status.starts_with("OK state=running"), "{status}");
+    assert!(status.contains("steps=0"), "{status}");
+
+    // Unknown commands and malformed updates are ERR, not disconnects.
+    raw.send("FROB");
+    assert!(raw.read_line().starts_with("ERR "));
+    raw.send("UPDATE @not-a-time +wat(");
+    assert!(raw.read_line().starts_with("ERR "));
+    raw.send("PING");
+    assert_eq!(raw.read_line(), "OK pong");
+
+    raw.send("DRAIN");
+    assert!(raw.read_line().starts_with("OK drained"));
+    let (code, out) = server.join().unwrap();
+    assert_eq!(code.unwrap(), 0, "{out}");
+}
+
+/// The backpressure flood drill: with the engine paused, a burst far
+/// over the queue bound must (a) never grow the queue past its
+/// capacity and (b) answer every rejected update with `BUSY` — the
+/// daemon sheds load instead of buffering without bound.
+#[test]
+fn flood_never_exceeds_the_queue_bound_and_rejects_with_busy() {
+    let c = temp_file("flood.rtic", CONSTRAINTS);
+    let sock = temp_path("flood.sock");
+    let server = spawn_server(&[
+        "serve",
+        c.to_str().unwrap(),
+        "--listen",
+        &format!("unix:{}", sock.display()),
+        "--queue",
+        "4",
+        "--retry-ms",
+        "7",
+    ]);
+
+    let mut raw = Raw::connect(&sock);
+    raw.send("PAUSE");
+    assert_eq!(raw.read_line(), "OK paused");
+
+    // 20 updates into a held queue of 4: exactly 16 must be shed.
+    for t in 1..=20 {
+        raw.send(&format!("@{t}"));
+    }
+    for i in 0..16 {
+        let reply = raw.read_line();
+        assert_eq!(reply, "BUSY 7", "rejected update {i} got: {reply}");
+    }
+
+    let status = raw.read_line_after(&mut |raw| raw.send("QUERY status"));
+    assert!(status.contains("queue=4/4"), "{status}");
+    assert!(status.contains("peak=4"), "the bound held: {status}");
+    assert!(status.contains("shed=16"), "{status}");
+
+    // Resume: the four held updates are processed and acked in order.
+    raw.send("RESUME");
+    assert_eq!(raw.read_line(), "OK resumed");
+    for _ in 0..4 {
+        let reply = raw.read_line();
+        assert!(reply.starts_with("OK "), "{reply}");
+    }
+
+    raw.send("DRAIN");
+    assert!(raw.read_line().starts_with("OK drained steps=4"));
+    let (code, out) = server.join().unwrap();
+    assert_eq!(code.unwrap(), 0, "{out}");
+    assert!(out.contains("drained: 4 transition(s)"), "{out}");
+}
+
+/// The bundled client's capped-backoff retry absorbs `BUSY` until the
+/// queue frees up, then the update lands.
+#[test]
+fn bundled_client_retries_busy_until_capacity_frees() {
+    let c = temp_file("retry.rtic", CONSTRAINTS);
+    let sock = temp_path("retry.sock");
+    let server = spawn_server(&[
+        "serve",
+        c.to_str().unwrap(),
+        "--listen",
+        &format!("unix:{}", sock.display()),
+        "--queue",
+        "2",
+    ]);
+
+    // Hold the engine and fill the queue from a raw control stream.
+    let mut control = Raw::connect(&sock);
+    control.send("PAUSE");
+    assert_eq!(control.read_line(), "OK paused");
+    control.send("@1");
+    control.send("@2");
+
+    // Resume 150ms from now, while the bundled client is retrying.
+    let resumer = std::thread::spawn({
+        let sock = sock.clone();
+        move || {
+            std::thread::sleep(Duration::from_millis(150));
+            let mut raw = Raw::connect(&sock);
+            raw.send("RESUME");
+            assert_eq!(raw.read_line(), "OK resumed");
+        }
+    });
+
+    let mut client = connect(&sock);
+    let reply = client.send_update("@3").unwrap();
+    assert_eq!(reply.ok, "0", "the update landed after retries");
+    assert!(
+        client.busy_retries() >= 1,
+        "the full queue pushed back at least once"
+    );
+    resumer.join().unwrap();
+
+    assert!(client.drain().unwrap().starts_with("drained steps=3"));
+    let (code, out) = server.join().unwrap();
+    assert_eq!(code.unwrap(), 0, "{out}");
+}
+
+/// Streaming the log through the daemon reports exactly what batch
+/// `rtic check` reports, and a graceful drain leaves a valid final
+/// checkpoint behind.
+#[test]
+fn streamed_replies_match_batch_check_and_drain_checkpoints() {
+    let c = temp_file("stream.rtic", CONSTRAINTS);
+    let l = temp_file("stream.rticlog", LOG);
+    let sock = temp_path("stream.sock");
+    let ckpt = temp_path("stream.ckpt");
+    std::fs::remove_file(&ckpt).ok();
+    let server = spawn_server(&[
+        "serve",
+        c.to_str().unwrap(),
+        "--listen",
+        &format!("unix:{}", sock.display()),
+        "--checkpoint",
+        ckpt.to_str().unwrap(),
+    ]);
+
+    let (code, batch) = run(&["check", c.to_str().unwrap(), l.to_str().unwrap()]);
+    assert_eq!(code.unwrap(), 1, "{batch}");
+
+    let mut client = connect(&sock);
+    let mut streamed = Vec::new();
+    for line in log_lines() {
+        let reply = client.send_update(line).unwrap();
+        streamed.extend(reply.violations);
+    }
+    assert_eq!(
+        streamed,
+        violations(&batch),
+        "per-update replies diverge from rtic check"
+    );
+
+    let drained = client.drain().unwrap();
+    assert!(drained.contains("steps=12"), "{drained}");
+    assert!(drained.contains("witnesses=17"), "{drained}");
+    let (code, out) = server.join().unwrap();
+    assert_eq!(code.unwrap(), 0, "{out}");
+    assert!(out.contains("checkpoint written to"), "{out}");
+
+    let bytes = std::fs::read(&ckpt).unwrap();
+    assert!(
+        bytes.starts_with(b"rtic-checkpoint-set v2"),
+        "drain leaves a sealed container"
+    );
+}
+
+/// `rtic send` end to end: stream a log file at a daemon, print the
+/// violations, drain, and exit 1 because witnesses were found.
+#[test]
+fn send_command_streams_a_log_file_and_drains() {
+    let c = temp_file("sendcmd.rtic", CONSTRAINTS);
+    let l = temp_file("sendcmd.rticlog", LOG);
+    let sock = temp_path("sendcmd.sock");
+    let report = temp_path("sendcmd.report");
+    let server = spawn_server(&[
+        "serve",
+        c.to_str().unwrap(),
+        "--listen",
+        &format!("unix:{}", sock.display()),
+        "--report",
+        report.to_str().unwrap(),
+    ]);
+
+    let (code, out) = run(&[
+        "send",
+        l.to_str().unwrap(),
+        "--connect",
+        &format!("unix:{}", sock.display()),
+        "--drain",
+    ]);
+    assert_eq!(code.unwrap(), 1, "witnesses found: {out}");
+    assert!(
+        out.contains("sent 12 update(s): 17 violation witness(es)"),
+        "{out}"
+    );
+    assert!(out.contains("server drained"), "{out}");
+
+    let (code, _) = server.join().unwrap();
+    assert_eq!(code.unwrap(), 0);
+
+    let (code, batch) = run(&["check", c.to_str().unwrap(), l.to_str().unwrap()]);
+    assert_eq!(code.unwrap(), 1, "{batch}");
+    let report_text = std::fs::read_to_string(&report).unwrap();
+    assert_eq!(
+        report_text.lines().collect::<Vec<_>>(),
+        violations(&batch)
+            .iter()
+            .map(String::as_str)
+            .collect::<Vec<_>>(),
+        "the final report file matches batch check"
+    );
+}
+
+/// A quarantined engine degrades the fleet but never kills the daemon:
+/// status flips to DEGRADED, the drain still completes, and the
+/// operator sees which constraint is out.
+#[test]
+fn engine_panic_degrades_status_but_the_daemon_keeps_serving() {
+    let c = temp_file("degraded.rtic", CONSTRAINTS);
+    let sock = temp_path("degraded.sock");
+    let server = spawn_server(&[
+        "serve",
+        c.to_str().unwrap(),
+        "--listen",
+        &format!("unix:{}", sock.display()),
+        "--parallel",
+        "2",
+        "--failpoints",
+        "engine-panic:unconfirmed=panic@2",
+    ]);
+
+    let mut client = connect(&sock);
+    for line in log_lines() {
+        client.send_update(line).unwrap();
+    }
+    let status = client.status().unwrap();
+    assert!(status.starts_with("DEGRADED"), "{status}");
+    assert!(status.contains("quarantined=1"), "{status}");
+
+    client.drain().unwrap();
+    let (code, out) = server.join().unwrap();
+    assert_eq!(code.unwrap(), 0, "a degraded drain still exits 0: {out}");
+    assert!(
+        out.contains("quarantined `unconfirmed`"),
+        "the quarantine is reported, not silent: {out}"
+    );
+    assert!(out.contains("injected engine panic"), "{out}");
+}
+
+/// A client whose socket writes fail (the failpoint models a stalled
+/// reader with a full kernel buffer) is disconnected instead of
+/// wedging the daemon; other clients keep working and see the count.
+#[test]
+fn stalled_client_is_disconnected_and_counted() {
+    let c = temp_file("stall.rtic", CONSTRAINTS);
+    let sock = temp_path("stall.sock");
+    let server = spawn_server(&[
+        "serve",
+        c.to_str().unwrap(),
+        "--listen",
+        &format!("unix:{}", sock.display()),
+        "--failpoints",
+        "serve.write=io-error@1",
+    ]);
+
+    // The first reply write hits the injected timeout: this client is
+    // cut loose mid-request.
+    let mut stalled = connect(&sock);
+    let err = stalled.request("PING").unwrap_err();
+    assert!(err.contains("closed") || err.contains("lost"), "{err}");
+
+    // The daemon is still healthy for everyone else.
+    let mut healthy = connect(&sock);
+    assert_eq!(healthy.request("PING").unwrap().ok, "pong");
+    let status = healthy.status().unwrap();
+    assert!(status.contains("disconnected=1"), "{status}");
+
+    healthy.drain().unwrap();
+    let (code, out) = server.join().unwrap();
+    assert_eq!(code.unwrap(), 0, "{out}");
+    assert!(out.contains("disconnected 1 slow client(s)"), "{out}");
+}
+
+/// TICK advances wall-clock time with no tuples: a violation whose
+/// window closes in silence is still caught, exactly as batch `check`
+/// catches it from an empty log line.
+#[test]
+fn tick_advances_time_and_flushes_window_violations() {
+    let c = temp_file("tick.rtic", CONSTRAINTS);
+    let sock = temp_path("tick.sock");
+    let server = spawn_server(&[
+        "serve",
+        c.to_str().unwrap(),
+        "--listen",
+        &format!("unix:{}", sock.display()),
+    ]);
+
+    let mut client = connect(&sock);
+    let reply = client.send_update("@0 +reserved(\"ann\", 17)").unwrap();
+    assert_eq!(reply.ok, "0");
+    // `unconfirmed` needs the reservation to be 2+ old with no confirm:
+    // two silent ticks make it fire.
+    assert_eq!(client.request("TICK 1").unwrap().ok, "0");
+    let reply = client.request("TICK 2").unwrap();
+    assert_eq!(reply.ok, "1", "the aged reservation violates");
+    assert_eq!(reply.violations.len(), 1);
+    assert!(reply.violations[0].contains("unconfirmed"), "{reply:?}");
+
+    client.drain().unwrap();
+    server.join().unwrap().0.unwrap();
+}
+
+/// The API-level shutdown flag (what SIGTERM sets) drains gracefully:
+/// queue flushed, final checkpoint, exit 0. In-process tests use a
+/// local flag so parallel tests don't trip each other's servers; the
+/// real signal path is drilled by the CI serve job with `kill -TERM`.
+#[test]
+fn shutdown_flag_drains_like_sigterm() {
+    use rtic::server::{serve, Listen, ServeConfig};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let file = rtic::temporal::parser::parse_file(CONSTRAINTS).unwrap();
+    let catalog = Arc::new(file.catalog.clone());
+    let sock = temp_path("sigterm.sock");
+    let ckpt = temp_path("sigterm.ckpt");
+    std::fs::remove_file(&ckpt).ok();
+
+    let flag = Arc::new(AtomicBool::new(false));
+    let mut config = ServeConfig::new(Listen::Unix(sock.clone()));
+    config.checkpoint = Some(ckpt.to_str().unwrap().to_string());
+    config.shutdown = Some(Arc::clone(&flag));
+    let server = std::thread::spawn(move || {
+        let mut out = String::new();
+        let code = serve(file.constraints, catalog, config, &mut out);
+        (code, out)
+    });
+
+    let mut client = connect(&sock);
+    for line in log_lines().into_iter().take(6) {
+        client.send_update(line).unwrap();
+    }
+    flag.store(true, Ordering::SeqCst);
+
+    let (code, out) = server.join().unwrap();
+    assert_eq!(code.unwrap(), 0, "{out}");
+    assert!(out.contains("drained: 6 transition(s)"), "{out}");
+    assert!(out.contains("checkpoint written to"), "{out}");
+    assert!(std::fs::read(&ckpt)
+        .unwrap()
+        .starts_with(b"rtic-checkpoint-set v2"));
+}
+
+/// `--resume` without `--checkpoint` is rejected up front; `--resume`
+/// with an empty rotation set (first boot) starts fresh instead of
+/// erroring, so operators can pass `--resume` unconditionally.
+#[test]
+fn serve_resume_flag_validation_and_first_boot() {
+    let c = temp_file("val.rtic", CONSTRAINTS);
+    let (code, _) = run(&[
+        "serve",
+        c.to_str().unwrap(),
+        "--listen",
+        "unix:/tmp/never-bound.sock",
+        "--resume",
+    ]);
+    assert!(code.unwrap_err().contains("--resume requires --checkpoint"));
+
+    let missing = temp_path("val-missing.ckpt");
+    std::fs::remove_file(&missing).ok();
+    let sock = temp_path("val.sock");
+    let server = spawn_server(&[
+        "serve",
+        c.to_str().unwrap(),
+        "--listen",
+        &format!("unix:{}", sock.display()),
+        "--checkpoint",
+        missing.to_str().unwrap(),
+        "--resume",
+    ]);
+    let mut client = connect(&sock);
+    let status = client.status().unwrap();
+    assert!(status.contains("steps=0"), "fresh start: {status}");
+    client.drain().unwrap();
+    let (code, out) = server.join().unwrap();
+    assert_eq!(code.unwrap(), 0, "{out}");
+    assert!(!out.contains("resumed from"), "{out}");
+}
