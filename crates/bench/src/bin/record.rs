@@ -13,7 +13,8 @@
 //! block a merge on timing jitter.
 
 use rtic_bench::record::{
-    compare, git_rev, record, shard_curve, shard_curve_to_json, to_json, WORKLOADS,
+    compare, git_rev, record, scenario_sweep, scenario_sweep_to_json, shard_curve,
+    shard_curve_to_json, to_json, WORKLOADS,
 };
 use rtic_obs::json;
 
@@ -28,7 +29,7 @@ fn run(args: &[String]) -> Result<i32, String> {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!(
             "record [WORKLOAD] [--steps N] [--seed N] [--out FILE] \
-             [--compare BASELINE] [--warn-pct P]\nworkloads: {}, shard-scaling",
+             [--compare BASELINE] [--warn-pct P]\nworkloads: {}, shard-scaling, scenarios",
             WORKLOADS.join(", ")
         );
         return Ok(0);
@@ -76,6 +77,42 @@ fn run(args: &[String]) -> Result<i32, String> {
             );
         }
         println!("recorded shard-scaling ({steps} steps/point, seed {seed}) -> {out_path}");
+        return Ok(0);
+    }
+
+    // The production-scenario sweep times the whole scenario library
+    // (fraud, telemetry, ratelimit, access) through the sharded
+    // constraint set at a production-scale entity domain (default 10⁵).
+    if workload == "scenarios" {
+        let smoke = std::env::var("RTIC_BENCH_SMOKE").is_ok();
+        let entities: usize = flag_value(args, "--entities")
+            .map(|v| v.parse().map_err(|e| format!("bad --entities: {e}")))
+            .transpose()?
+            .unwrap_or(if smoke { 64 } else { 100_000 });
+        let sweep_steps = if flag_value(args, "--steps").is_some() {
+            steps
+        } else if smoke {
+            40
+        } else {
+            500
+        };
+        let points = scenario_sweep(sweep_steps, entities, 8, seed)?;
+        let doc = scenario_sweep_to_json(&points, seed, &git_rev());
+        write_doc(&out_path, &doc)?;
+        for p in &points {
+            println!(
+                "scenarios {}: {:.0} steps/s over {} steps at {} entities, \
+                 {} violations ({} injected), peak {} shard(s)",
+                p.scenario,
+                p.steps_per_sec,
+                p.steps,
+                p.entities,
+                p.violations,
+                p.expected,
+                p.peak_shards
+            );
+        }
+        println!("recorded scenarios (seed {seed}) -> {out_path}");
         return Ok(0);
     }
 

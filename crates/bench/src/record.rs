@@ -13,7 +13,9 @@ use std::time::Instant;
 
 use rtic_core::{Checker, EncodingOptions, IncrementalChecker, ProfiledNode};
 use rtic_obs::json::Json;
-use rtic_workload::{Audit, Library, Monitor, RandomWorkload, Reservations};
+use rtic_workload::{
+    library, Audit, Library, Monitor, RandomWorkload, Reservations, ScenarioParams,
+};
 
 /// Bumped when the snapshot layout changes shape (field renames,
 /// semantic changes) so downstream tooling can refuse mixed files.
@@ -276,6 +278,110 @@ pub fn shard_curve_to_json(points: &[ShardCurvePoint], steps: usize, seed: u64, 
         .set("shard_curve", Json::Arr(curve))
 }
 
+/// One production scenario's measured point in the `record scenarios`
+/// sweep: the whole fleet checked through the entity-key sharded
+/// constraint set at a production-scale entity domain.
+#[derive(Clone, Debug)]
+pub struct ScenarioPoint {
+    /// Registry name of the scenario.
+    pub scenario: String,
+    /// Transitions processed.
+    pub steps: usize,
+    /// Entity-key domain size.
+    pub entities: usize,
+    /// Steps/second through the sharded constraint set.
+    pub steps_per_sec: f64,
+    /// Violation witnesses across the run.
+    pub violations: usize,
+    /// Injected-violation expectations the generator planted.
+    pub expected: usize,
+    /// High-water mark of live shards across the run.
+    pub peak_shards: usize,
+}
+
+/// Runs every production scenario (fraud, telemetry, ratelimit, access)
+/// at the given shape through the sharded [`rtic_core::ConstraintSet`],
+/// timed end to end. `entities` is the knob that soaks the sharded
+/// plane — production shapes run it at 10⁵.
+pub fn scenario_sweep(
+    steps: usize,
+    entities: usize,
+    events_per_step: usize,
+    seed: u64,
+) -> Result<Vec<ScenarioPoint>, String> {
+    use rtic_core::ConstraintSet;
+
+    let params = ScenarioParams {
+        steps,
+        entities,
+        events_per_step,
+        violation_rate: 0.05,
+        seed,
+    };
+    let mut points = Vec::new();
+    for scenario in library::production() {
+        let generated = scenario.generate(&params);
+        let mut set = ConstraintSet::new(
+            generated.constraints.iter().cloned(),
+            std::sync::Arc::clone(&generated.catalog),
+        )
+        .map_err(|(c, e)| format!("constraint `{}`: {e}", c.name))?
+        .with_sharding(true);
+        let mut violations = 0usize;
+        let start = Instant::now();
+        for tr in &generated.transitions {
+            let reports = set
+                .step(tr.time, &tr.update)
+                .map_err(|e| format!("{} step at {}: {e}", scenario.name, tr.time))?;
+            violations += reports.iter().map(|r| r.violation_count()).sum::<usize>();
+        }
+        let secs = start.elapsed().as_secs_f64();
+        let peak = set
+            .shard_stats()
+            .iter()
+            .map(|(_, s)| s.peak)
+            .max()
+            .unwrap_or(0);
+        points.push(ScenarioPoint {
+            scenario: scenario.name.to_string(),
+            steps: generated.transitions.len(),
+            entities,
+            steps_per_sec: if secs > 0.0 {
+                generated.transitions.len() as f64 / secs
+            } else {
+                0.0
+            },
+            violations,
+            expected: generated.expected.len(),
+            peak_shards: peak,
+        });
+    }
+    Ok(points)
+}
+
+/// Renders a scenario sweep as the `BENCH_scenarios.json` document.
+pub fn scenario_sweep_to_json(points: &[ScenarioPoint], seed: u64, rev: &str) -> Json {
+    let rows: Vec<Json> = points
+        .iter()
+        .map(|p| {
+            Json::object()
+                .set("scenario", p.scenario.as_str())
+                .set("steps", p.steps as u64)
+                .set("entities", p.entities as u64)
+                .set("steps_per_sec", round3(p.steps_per_sec))
+                .set("violations", p.violations as u64)
+                .set("expected", p.expected as u64)
+                .set("peak_shards", p.peak_shards as u64)
+        })
+        .collect();
+    Json::object()
+        .set("schema_version", SCHEMA_VERSION)
+        .set("workload", "scenarios")
+        .set("seed", seed)
+        .set("git_rev", rev)
+        .set("scenarios", Json::Arr(rows))
+}
+
 /// The short git revision of the working tree, or `"unknown"` outside a
 /// repository (snapshots must never fail on a bare export).
 pub fn git_rev() -> String {
@@ -478,6 +584,39 @@ mod tests {
             .get("peak_shards")
             .and_then(Json::as_u64)
             .is_some_and(|p| p > 1));
+    }
+
+    #[test]
+    fn scenario_sweep_covers_every_production_scenario() {
+        let points = scenario_sweep(40, 32, 4, 7).unwrap();
+        assert_eq!(points.len(), 4);
+        let names: Vec<&str> = points.iter().map(|p| p.scenario.as_str()).collect();
+        assert_eq!(names, ["fraud", "telemetry", "ratelimit", "access"]);
+        for p in &points {
+            assert!(p.steps_per_sec > 0.0, "{p:?}");
+            assert!(p.expected > 0, "{} injects at this seed", p.scenario);
+            assert!(
+                p.violations >= p.expected,
+                "{}: every injection is caught",
+                p.scenario
+            );
+            assert!(p.peak_shards >= 1, "{}: sharded plane engaged", p.scenario);
+        }
+        let doc = json::parse(&scenario_sweep_to_json(&points, 7, "abc").render()).unwrap();
+        assert_eq!(
+            doc.get("workload").and_then(Json::as_str),
+            Some("scenarios")
+        );
+        let rows = doc.get("scenarios").and_then(Json::as_arr).unwrap();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(
+            rows[0].get("scenario").and_then(Json::as_str),
+            Some("fraud")
+        );
+        assert!(rows[0]
+            .get("peak_shards")
+            .and_then(Json::as_u64)
+            .is_some_and(|p| p >= 1));
     }
 
     #[test]

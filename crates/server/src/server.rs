@@ -634,8 +634,11 @@ fn connection_loop(conn: Conn, shared: Arc<Shared>, write_timeout: Duration) {
                 handle.write_line(&shared, "OK paused");
             }
             Command::Resume => {
-                shared.queue.set_paused(false);
+                // Ack before releasing the queue: once the engine wakes it
+                // acks held updates on this same connection, and the
+                // control reply must deterministically precede them.
                 handle.write_line(&shared, "OK resumed");
+                shared.queue.set_paused(false);
             }
             Command::Drain => {
                 shared

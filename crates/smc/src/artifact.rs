@@ -1,0 +1,221 @@
+//! The SMC run artifact: a deterministic JSON document.
+//!
+//! Hand-rendered (the workspace carries no JSON dependency) with a fixed
+//! key order, fixed float formatting (`{:.6}`), and no timestamps or
+//! host details — so the acceptance guarantee "same seed ⇒ byte-identical
+//! artifact" holds by construction.
+
+use std::fmt::Write as _;
+
+use crate::SmcReport;
+
+/// Artifact schema version, bumped on any layout change.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Renders a report as the canonical artifact JSON (pretty-printed,
+/// trailing newline).
+pub fn render(report: &SmcReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema_version\": {SCHEMA_VERSION},");
+    let _ = writeln!(out, "  \"scenario\": {},", quote(&report.scenario));
+    let _ = writeln!(out, "  \"backend\": {},", quote(report.backend.as_str()));
+    let _ = writeln!(out, "  \"params\": {{");
+    let _ = writeln!(out, "    \"steps\": {},", report.params.steps);
+    let _ = writeln!(out, "    \"entities\": {},", report.params.entities);
+    let _ = writeln!(
+        out,
+        "    \"events_per_step\": {},",
+        report.params.events_per_step
+    );
+    let _ = writeln!(
+        out,
+        "    \"violation_rate\": {},",
+        float(report.params.violation_rate)
+    );
+    let _ = writeln!(out, "    \"seed\": {}", report.params.seed);
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"confidence\": {},", float(report.confidence));
+    let _ = writeln!(out, "  \"epsilon\": {},", float(report.epsilon));
+    let _ = writeln!(out, "  \"bound\": {},", report.bound);
+    let _ = writeln!(out, "  \"samples_used\": {},", report.samples_used);
+    let _ = writeln!(
+        out,
+        "  \"stopped_adaptively\": {},",
+        report.stopped_adaptively
+    );
+    let _ = writeln!(out, "  \"constraints\": [");
+    for (idx, est) in report.constraints.iter().enumerate() {
+        let comma = if idx + 1 < report.constraints.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"name\": {},", quote(&est.name));
+        let _ = writeln!(out, "      \"violated_samples\": {},", est.violated_samples);
+        let _ = writeln!(out, "      \"estimate\": {},", float(est.estimate));
+        let _ = writeln!(out, "      \"ci_low\": {},", float(est.ci_low));
+        let _ = writeln!(out, "      \"ci_high\": {}", float(est.ci_high));
+        let _ = writeln!(out, "    }}{comma}");
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"oracle_checked\": {},", report.oracle_checked);
+    let _ = writeln!(
+        out,
+        "  \"oracle_mismatches\": {},",
+        report.oracle_mismatches
+    );
+    let _ = writeln!(out, "  \"soak_checked\": {},", report.soak_checked);
+    let _ = writeln!(out, "  \"soak_mismatches\": {}", report.soak_mismatches);
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders the human-facing summary table printed after a run.
+pub fn render_summary(report: &SmcReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "smc {}: {} samples (bound {}, {}), backend {}",
+        report.scenario,
+        report.samples_used,
+        report.bound,
+        if report.stopped_adaptively {
+            "stopped adaptively"
+        } else {
+            "ran to the bound"
+        },
+        report.backend,
+    );
+    let _ = writeln!(
+        out,
+        "precision: {} confidence, ±{} absolute error",
+        float(report.confidence),
+        float(report.epsilon)
+    );
+    for est in &report.constraints {
+        let _ = writeln!(
+            out,
+            "  {:<24} p̂={} [{}, {}] ({}/{} samples violated)",
+            est.name,
+            float(est.estimate),
+            float(est.ci_low),
+            float(est.ci_high),
+            est.violated_samples,
+            report.samples_used,
+        );
+    }
+    if report.oracle_checked > 0 {
+        let _ = writeln!(
+            out,
+            "oracle: {}/{} subsamples agreed",
+            report.oracle_checked - report.oracle_mismatches,
+            report.oracle_checked
+        );
+    }
+    if report.soak_checked > 0 {
+        let _ = writeln!(
+            out,
+            "soak: {}/{} reports byte-identical to batch",
+            report.soak_checked - report.soak_mismatches,
+            report.soak_checked
+        );
+    }
+    out
+}
+
+fn float(x: f64) -> String {
+    format!("{x:.6}")
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Backend, ConstraintEstimate};
+    use rtic_workload::ScenarioParams;
+
+    fn sample_report() -> SmcReport {
+        SmcReport {
+            scenario: "fraud".into(),
+            backend: Backend::Sequential,
+            params: ScenarioParams::default(),
+            confidence: 0.95,
+            epsilon: 0.05,
+            bound: 738,
+            samples_used: 64,
+            stopped_adaptively: true,
+            constraints: vec![
+                ConstraintEstimate {
+                    name: "structuring".into(),
+                    violated_samples: 60,
+                    estimate: 0.9375,
+                    ci_low: 0.85,
+                    ci_high: 0.975,
+                },
+                ConstraintEstimate {
+                    name: "screened".into(),
+                    violated_samples: 0,
+                    estimate: 0.0,
+                    ci_low: 0.0,
+                    ci_high: 0.057,
+                },
+            ],
+            oracle_checked: 8,
+            oracle_mismatches: 0,
+            soak_checked: 0,
+            soak_mismatches: 0,
+        }
+    }
+
+    #[test]
+    fn artifact_is_deterministic_and_carries_the_schema() {
+        let report = sample_report();
+        let a = render(&report);
+        assert_eq!(a, render(&report));
+        assert!(a.starts_with("{\n  \"schema_version\": 1,\n"));
+        assert!(a.contains("\"scenario\": \"fraud\""));
+        assert!(a.contains("\"estimate\": 0.937500"));
+        assert!(a.contains("\"stopped_adaptively\": true"));
+        assert!(a.ends_with("}\n"));
+        // No wall-clock leakage: fixed vocabulary only.
+        assert!(!a.contains("time"), "{a}");
+    }
+
+    #[test]
+    fn summary_reports_constraints_and_cross_checks() {
+        let text = render_summary(&sample_report());
+        assert!(text.contains("smc fraud: 64 samples (bound 738, stopped adaptively)"));
+        assert!(text.contains("structuring"));
+        assert!(text.contains("p̂=0.937500 [0.850000, 0.975000]"));
+        assert!(text.contains("oracle: 8/8 subsamples agreed"));
+        assert!(!text.contains("soak:"), "no soak line when unchecked");
+    }
+
+    #[test]
+    fn quoting_escapes_control_and_meta_characters() {
+        assert_eq!(quote("plain"), "\"plain\"");
+        assert_eq!(quote("a\"b"), "\"a\\\"b\"");
+        assert_eq!(quote("a\\b"), "\"a\\\\b\"");
+        assert_eq!(quote("a\nb"), "\"a\\nb\"");
+        assert_eq!(quote("a\tb"), "\"a\\u0009b\"");
+    }
+}

@@ -1,0 +1,225 @@
+//! Sample-size bounds and confidence intervals for Bernoulli estimation.
+//!
+//! The harness estimates, per constraint, the probability `p` that a
+//! randomized scenario history of the configured shape contains at least
+//! one violation of that constraint. Three pieces of statistics drive it:
+//!
+//! * the **Okamoto (Chernoff–Hoeffding) bound** — the a-priori worst-case
+//!   sample count guaranteeing `P(|p̂ − p| > ε) ≤ δ` regardless of `p`:
+//!   `n = ⌈ln(2/δ) / (2ε²)⌉`;
+//! * the **Massart-style adaptive bound** — the same guarantee using the
+//!   running estimate: when `p̂` is far from ½ the Bernoulli variance
+//!   shrinks and far fewer samples suffice:
+//!   `n(p̂) = ⌈(2 ln(2/δ)/ε²) · (¼ − (max(0, |p̂ − ½| − 2ε/3))²)⌉`.
+//!   It never exceeds the Okamoto bound, so adaptive stopping always
+//!   terminates within the declared worst case;
+//! * **Wilson score intervals** for the reported per-constraint CIs —
+//!   well-behaved at `p̂ = 0` and `p̂ = 1`, where the injected-violation
+//!   scenarios actually live.
+//!
+//! Everything here is pure `f64` arithmetic on explicit inputs — no
+//! clocks, no RNG — so a seeded SMC run reproduces byte-identically.
+
+/// Statistical precision: confidence `1 − δ` that the estimate is within
+/// `± ε` of the true violation probability.
+#[derive(Clone, Copy, Debug)]
+pub struct Precision {
+    /// Confidence level in `(0, 1)`, e.g. `0.95`.
+    pub confidence: f64,
+    /// Half-width of the absolute error bound, in `(0, 0.5]`.
+    pub epsilon: f64,
+}
+
+impl Precision {
+    /// Validates and constructs a precision target.
+    pub fn new(confidence: f64, epsilon: f64) -> Result<Precision, String> {
+        if !(confidence > 0.0 && confidence < 1.0) {
+            return Err(format!("confidence must be in (0, 1), got {confidence}"));
+        }
+        if !(epsilon > 0.0 && epsilon <= 0.5) {
+            return Err(format!("epsilon must be in (0, 0.5], got {epsilon}"));
+        }
+        Ok(Precision {
+            confidence,
+            epsilon,
+        })
+    }
+
+    /// `δ = 1 − confidence`.
+    pub fn delta(&self) -> f64 {
+        1.0 - self.confidence
+    }
+
+    /// The Okamoto worst-case sample bound `⌈ln(2/δ) / (2ε²)⌉`.
+    pub fn okamoto_bound(&self) -> u64 {
+        let n = (2.0 / self.delta()).ln() / (2.0 * self.epsilon * self.epsilon);
+        n.ceil() as u64
+    }
+
+    /// The Massart-style adaptive bound at running estimate `p_hat`.
+    ///
+    /// Monotone in distance from ½ and clamped to `[1, okamoto]`, so a
+    /// loop stopping at `n ≥ massart_bound(p̂)` stops no later than the
+    /// Okamoto bound.
+    pub fn massart_bound(&self, p_hat: f64) -> u64 {
+        let l = (2.0 / self.delta()).ln();
+        let centered = ((p_hat - 0.5).abs() - 2.0 * self.epsilon / 3.0).max(0.0);
+        let variance_cap = 0.25 - centered * centered;
+        let n = (2.0 * l / (self.epsilon * self.epsilon)) * variance_cap;
+        (n.ceil() as u64).clamp(1, self.okamoto_bound())
+    }
+
+    /// The Wilson score interval for `successes` out of `n` trials at
+    /// this precision's confidence level. Returns `(low, high)`.
+    pub fn wilson_interval(&self, successes: u64, n: u64) -> (f64, f64) {
+        if n == 0 {
+            return (0.0, 1.0);
+        }
+        let z = normal_quantile(1.0 - self.delta() / 2.0);
+        let n_f = n as f64;
+        let p = successes as f64 / n_f;
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n_f;
+        let center = p + z2 / (2.0 * n_f);
+        let spread = z * (p * (1.0 - p) / n_f + z2 / (4.0 * n_f * n_f)).sqrt();
+        // The algebra keeps p̂ inside the interval; the final clamp
+        // guards the one-ULP rounding wobble at p̂ = 0 and p̂ = 1.
+        let low = ((center - spread) / denom).max(0.0).min(p);
+        let high = ((center + spread) / denom).min(1.0).max(p);
+        (low, high)
+    }
+}
+
+/// The standard normal quantile function (inverse CDF), via Acklam's
+/// rational approximation (relative error < 1.15e-9 over (0, 1)).
+///
+/// Self-contained so the crate needs no statistics dependency; the
+/// approximation is deterministic, which the byte-identical artifact
+/// guarantee relies on.
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile needs p in (0, 1), got {p}");
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.38357751867269e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn precision(confidence: f64, epsilon: f64) -> Precision {
+        Precision::new(confidence, epsilon).unwrap()
+    }
+
+    #[test]
+    fn rejects_degenerate_targets() {
+        assert!(Precision::new(0.0, 0.1).is_err());
+        assert!(Precision::new(1.0, 0.1).is_err());
+        assert!(Precision::new(0.95, 0.0).is_err());
+        assert!(Precision::new(0.95, 0.6).is_err());
+    }
+
+    #[test]
+    fn okamoto_matches_the_textbook_value() {
+        // ln(2/0.05) / (2 · 0.05²) = 3.6889 / 0.005 = 737.78 → 738.
+        assert_eq!(precision(0.95, 0.05).okamoto_bound(), 738);
+        // Tighter epsilon grows the bound quadratically.
+        assert_eq!(precision(0.95, 0.025).okamoto_bound(), 2952);
+    }
+
+    #[test]
+    fn massart_never_exceeds_okamoto_and_shrinks_at_the_edges() {
+        let p = precision(0.95, 0.05);
+        let okamoto = p.okamoto_bound();
+        for i in 0..=100 {
+            let p_hat = i as f64 / 100.0;
+            let m = p.massart_bound(p_hat);
+            assert!(m >= 1 && m <= okamoto, "p̂={p_hat}: {m} vs {okamoto}");
+        }
+        // At p̂ near ½ the adaptive bound equals the worst case ...
+        assert_eq!(p.massart_bound(0.5), okamoto);
+        // ... and at the edges it is dramatically smaller.
+        assert!(p.massart_bound(0.0) < okamoto / 4);
+        assert!(p.massart_bound(1.0) < okamoto / 4);
+        // Symmetric around ½.
+        assert_eq!(p.massart_bound(0.1), p.massart_bound(0.9));
+    }
+
+    #[test]
+    fn wilson_interval_contains_the_point_estimate() {
+        let pr = precision(0.95, 0.05);
+        for &(s, n) in &[(0u64, 40u64), (1, 40), (20, 40), (39, 40), (40, 40)] {
+            let (low, high) = pr.wilson_interval(s, n);
+            let p_hat = s as f64 / n as f64;
+            assert!(low <= p_hat && p_hat <= high, "({s}, {n})");
+            assert!((0.0..=1.0).contains(&low) && (0.0..=1.0).contains(&high));
+            assert!(low < high);
+        }
+        // Degenerate: no data, no information.
+        assert_eq!(pr.wilson_interval(0, 0), (0.0, 1.0));
+    }
+
+    #[test]
+    fn wilson_is_sane_at_certainty() {
+        // All samples violated: the interval hugs 1 but never crosses it.
+        let pr = precision(0.99, 0.05);
+        let (low, high) = pr.wilson_interval(200, 200);
+        assert!(low > 0.95);
+        assert_eq!(high, 1.0);
+        let (low, high) = pr.wilson_interval(0, 200);
+        assert_eq!(low, 0.0);
+        assert!(high < 0.05);
+    }
+
+    #[test]
+    fn normal_quantile_matches_known_values() {
+        // Φ⁻¹(0.975) = 1.959964..., Φ⁻¹(0.995) = 2.575829...
+        assert!((normal_quantile(0.975) - 1.959964).abs() < 1e-5);
+        assert!((normal_quantile(0.995) - 2.575829).abs() < 1e-5);
+        assert!((normal_quantile(0.5)).abs() < 1e-12);
+        assert!((normal_quantile(0.025) + normal_quantile(0.975)).abs() < 1e-9);
+        // The tail branches agree with known deep-tail values.
+        assert!((normal_quantile(0.0001) + 3.719016).abs() < 1e-4);
+    }
+}

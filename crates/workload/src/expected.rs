@@ -96,4 +96,54 @@ mod tests {
         let e = exp(5, vec![("zz", Value::str("ann"))]);
         assert!(!e.found_in(&r));
     }
+
+    #[test]
+    fn violation_at_tick_zero_is_found() {
+        // Histories normally start at t = 1, but nothing in the matcher
+        // assumes that: a report for the origin state still matches.
+        let r = report(0, vec![tuple!["ann", 17]]);
+        let e = exp(0, vec![("wp", Value::str("ann")), ("wf", Value::Int(17))]);
+        assert!(e.found_in(&r));
+        // ... and tick 0 is distinct from tick 1, not a wildcard.
+        let e = exp(1, vec![("wp", Value::str("ann"))]);
+        assert!(!e.found_in(&r));
+    }
+
+    #[test]
+    fn violation_at_the_horizon_boundary_is_found() {
+        // The last state of a bounded run is matched exactly like any
+        // other; one tick past the horizon is a different report.
+        let horizon = u64::MAX;
+        let r = report(horizon, vec![tuple!["ann", 17]]);
+        let e = exp(horizon, vec![("wp", Value::str("ann"))]);
+        assert!(e.found_in(&r));
+        let e = exp(horizon - 1, vec![("wp", Value::str("ann"))]);
+        assert!(!e.found_in(&r));
+    }
+
+    #[test]
+    fn multiple_violations_in_one_step_are_found_independently() {
+        // One entity ("ann") violating twice in a single step plus an
+        // unrelated row: each expectation matches its own row, and a
+        // witness mixing columns from different rows does not match.
+        let r = report(
+            9,
+            vec![tuple!["ann", 17], tuple!["ann", 18], tuple!["bob", 3]],
+        );
+        let both_ann = [
+            exp(9, vec![("wp", Value::str("ann")), ("wf", Value::Int(17))]),
+            exp(9, vec![("wp", Value::str("ann")), ("wf", Value::Int(18))]),
+        ];
+        for e in &both_ann {
+            assert!(e.found_in(&r));
+        }
+        let bob = exp(9, vec![("wp", Value::str("bob")), ("wf", Value::Int(3))]);
+        assert!(bob.found_in(&r));
+        let cross = exp(9, vec![("wp", Value::str("bob")), ("wf", Value::Int(17))]);
+        assert!(!cross.found_in(&r), "witness must bind within a single row");
+        // A partial witness (entity only) matches as long as *some* row
+        // binds it — the generators rely on this for held-state rules.
+        let partial = exp(9, vec![("wp", Value::str("ann"))]);
+        assert!(partial.found_in(&r));
+    }
 }

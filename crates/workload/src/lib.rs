@@ -1,7 +1,7 @@
 //! # rtic-workload — deterministic workload generators
 //!
-//! Drives the examples, tests and experiments with three domain scenarios
-//! (one per constraint style the paper motivates) plus a parameterized
+//! Drives the examples, tests and experiments with the paper-styled
+//! domain scenarios, a production scenario library, and a parameterized
 //! random workload for scaling sweeps:
 //!
 //! * [`Reservations`] — confirm-within-deadline (`once` with a bounded
@@ -13,6 +13,21 @@
 //!   size, and metric bound;
 //! * [`Audit`] — transaction auditing (assert-mode constraints, `exists`
 //!   under negation over a temporal operator).
+//!
+//! The production library (see `docs/SCENARIOS.md` in the repository)
+//! scales to 10⁵–10⁶ entity keys to soak the sharded data plane:
+//!
+//! * [`Fraud`] — fraud/AML monitoring: structuring bursts via a windowed
+//!   `count` aggregate plus large-transfer screening;
+//! * [`Telemetry`] — IoT heartbeat-liveness and delivery-freshness SLAs
+//!   over churning device sessions;
+//! * [`RateLimit`] — consecutive-tick hammering and a banned-client gate,
+//!   fully sharded;
+//! * [`Access`] — session TTLs, sudo gating, and approval trails.
+//!
+//! All of them are enumerable by name through the [`library`] registry
+//! (`library::all()`, `library::find(name)`), which the CLI, the bench
+//! recorder, and the SMC harness share.
 //!
 //! Every generator is deterministic given its parameters (seeded
 //! [`rand::rngs::StdRng`]), emits transitions one tick apart, and records
@@ -43,12 +58,17 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+mod access;
 mod audit;
 mod expected;
-mod library;
+mod fraud;
+pub mod library;
+mod loans;
 mod monitor;
 mod random;
+mod ratelimit;
 mod reservations;
+mod telemetry;
 
 use std::sync::Arc;
 
@@ -56,12 +76,17 @@ use rtic_history::Transition;
 use rtic_relation::Catalog;
 use rtic_temporal::Constraint;
 
+pub use access::Access;
 pub use audit::Audit;
 pub use expected::Expected;
-pub use library::Library;
+pub use fraud::Fraud;
+pub use library::{Scenario, ScenarioParams};
+pub use loans::Library;
 pub use monitor::Monitor;
 pub use random::RandomWorkload;
+pub use ratelimit::RateLimit;
 pub use reservations::Reservations;
+pub use telemetry::Telemetry;
 
 /// A generated workload: schema, constraints, the transition stream, and
 /// the injected violations' expected detections.

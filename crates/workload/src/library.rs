@@ -1,201 +1,280 @@
-//! Library loans: every borrowed book must come back within the loan
-//! period. Exercises `since` with an unbounded upper bound.
+//! The scenario registry: every workload generator, enumerable by name.
 //!
-//! Relations:
-//! * `loan(b, m)` — book `b` out with member `m`, held until returned;
-//! * `checkout(b, m)` — transient checkout event.
-//!
-//! Constraint (loan period `D`):
-//!
-//! ```text
-//! deny overdue: loan(b, m) && (loan(b, m) since[D,*] checkout(b, m))
-//! ```
-//!
-//! i.e. the loan has been held continuously for at least `D` ticks since
-//! its checkout. First flagged at exactly `t₀ + D`.
+//! The CLI (`rtic generate`, `rtic smc`), the bench recorder, and the SMC
+//! harness all resolve scenarios here instead of hard-coding generator
+//! structs. Each entry maps the shared [`ScenarioParams`] knobs onto the
+//! generator's own parameters; scenario-specific knobs (windows, rates)
+//! stay at their defaults so a `(name, params)` pair fully determines the
+//! generated history.
 
-use std::sync::Arc;
+use crate::{
+    Access, Audit, Fraud, Generated, Library, Monitor, RandomWorkload, RateLimit, Reservations,
+    Telemetry,
+};
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use rtic_history::Transition;
-use rtic_relation::{tuple, Catalog, Schema, Sort, Update, Value};
-use rtic_temporal::parser::parse_constraint;
-use rtic_temporal::TimePoint;
-
-use crate::{Expected, Generated};
-
-/// Parameters for the library workload.
+/// Shared generator knobs every scenario understands.
+///
+/// `entities` is the entity-key domain size (accounts, devices, clients,
+/// users, sensors, …) — scale it to 10⁵–10⁶ to soak the sharded plane.
 #[derive(Clone, Copy, Debug)]
-pub struct Library {
+pub struct ScenarioParams {
     /// Number of transitions (one tick apart).
     pub steps: usize,
-    /// Checkouts per step.
-    pub checkouts_per_step: usize,
-    /// Loan period `D`.
-    pub period: u64,
-    /// Probability a loan is returned late (injected violation).
+    /// Entity-key domain size.
+    pub entities: usize,
+    /// Honest events per step.
+    pub events_per_step: usize,
+    /// Injected-violation probability (per step or per lifecycle start,
+    /// scenario-dependent).
     pub violation_rate: f64,
-    /// How many ticks past the deadline a late loan stays out.
-    pub late_by: u64,
     /// RNG seed.
     pub seed: u64,
 }
 
-impl Default for Library {
-    fn default() -> Library {
-        Library {
+impl Default for ScenarioParams {
+    fn default() -> ScenarioParams {
+        ScenarioParams {
             steps: 200,
-            checkouts_per_step: 2,
-            period: 7,
+            entities: 64,
+            events_per_step: 8,
             violation_rate: 0.05,
-            late_by: 2,
             seed: 42,
         }
     }
 }
 
-struct Loan {
-    b: String,
-    m: String,
-    return_at: u64,
+/// A named, registered workload generator.
+pub struct Scenario {
+    /// Registry name (CLI-facing).
+    pub name: &'static str,
+    /// One-line description.
+    pub summary: &'static str,
+    /// True for the production-flavor scenarios (fraud, telemetry,
+    /// ratelimit, access); false for the paper-styled originals.
+    pub production: bool,
+    /// Builds the generated workload from the shared knobs.
+    pub build: fn(&ScenarioParams) -> Generated,
 }
 
-impl Library {
-    /// The constraint text for period `D`.
-    pub fn constraint_text(&self) -> String {
-        format!(
-            "deny overdue: loan(b, m) && (loan(b, m) since[{},*] checkout(b, m))",
-            self.period
-        )
+impl Scenario {
+    /// Generates this scenario's workload.
+    pub fn generate(&self, params: &ScenarioParams) -> Generated {
+        (self.build)(params)
     }
+}
 
-    /// Generates the workload.
-    pub fn generate(&self) -> Generated {
-        assert!(
-            self.period >= 2,
-            "period must leave room for on-time returns"
-        );
-        let catalog = Arc::new(
-            Catalog::new()
-                .with("loan", Schema::of(&[("b", Sort::Str), ("m", Sort::Str)]))
-                .expect("static workload schema")
-                .with(
-                    "checkout",
-                    Schema::of(&[("b", Sort::Str), ("m", Sort::Str)]),
-                )
-                .expect("static workload schema"),
-        );
-        let constraint = parse_constraint(&self.constraint_text()).expect("template parses");
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut transitions = Vec::with_capacity(self.steps);
-        let mut expected = Vec::new();
-        let mut loans: Vec<Loan> = Vec::new();
-        let mut last_events: Vec<(String, String)> = Vec::new();
-        let mut next_book = 0u64;
-        for t in 1..=self.steps as u64 {
-            let mut u = Update::new();
-            for (b, m) in last_events.drain(..) {
-                u.delete("checkout", tuple![b.as_str(), m.as_str()]);
+static SCENARIOS: &[Scenario] = &[
+    Scenario {
+        name: "fraud",
+        summary: "fraud/AML: structuring bursts (windowed count) + large-transfer screening",
+        production: true,
+        build: |p| {
+            Fraud {
+                steps: p.steps,
+                accounts: p.entities,
+                events_per_step: p.events_per_step,
+                violation_rate: p.violation_rate,
+                seed: p.seed,
+                ..Default::default()
             }
-            for _ in 0..self.checkouts_per_step {
-                let b = format!("b{next_book}");
-                next_book += 1;
-                let m = format!("m{}", rng.gen_range(0..30));
-                u.insert("loan", tuple![b.as_str(), m.as_str()]);
-                u.insert("checkout", tuple![b.as_str(), m.as_str()]);
-                let late = rng.gen_bool(self.violation_rate);
-                let return_at = if late {
-                    if t + self.period <= self.steps as u64 {
-                        expected.push(Expected {
-                            constraint: "overdue".into(),
-                            time: TimePoint(t + self.period),
-                            witness: vec![("b", Value::str(&b)), ("m", Value::str(&m))],
-                        });
-                    }
-                    t + self.period + self.late_by
-                } else {
-                    t + rng.gen_range(1..self.period)
-                };
-                last_events.push((b.clone(), m.clone()));
-                loans.push(Loan { b, m, return_at });
+            .generate()
+        },
+    },
+    Scenario {
+        name: "telemetry",
+        summary: "IoT telemetry: heartbeat liveness SLA + delivery freshness, churning sessions",
+        production: true,
+        build: |p| {
+            Telemetry {
+                steps: p.steps,
+                devices: p.entities,
+                events_per_step: p.events_per_step,
+                violation_rate: p.violation_rate,
+                seed: p.seed,
+                ..Default::default()
             }
-            loans.retain(|l| {
-                if l.return_at == t {
-                    u.delete("loan", tuple![l.b.as_str(), l.m.as_str()]);
-                    false
-                } else {
-                    true
-                }
-            });
-            transitions.push(Transition::new(t, u));
-        }
-        Generated {
-            catalog,
-            constraints: vec![constraint],
-            transitions,
-            expected,
-        }
-    }
+            .generate()
+        },
+    },
+    Scenario {
+        name: "ratelimit",
+        summary: "rate limiting: consecutive-tick hammering + banned-client gate, fully sharded",
+        production: true,
+        build: |p| {
+            RateLimit {
+                steps: p.steps,
+                clients: p.entities,
+                events_per_step: p.events_per_step,
+                violation_rate: p.violation_rate,
+                seed: p.seed,
+                ..Default::default()
+            }
+            .generate()
+        },
+    },
+    Scenario {
+        name: "access",
+        summary: "access control: session TTLs, sudo gating, approval trails for grants",
+        production: true,
+        build: |p| {
+            Access {
+                steps: p.steps,
+                users: p.entities,
+                events_per_step: p.events_per_step,
+                violation_rate: p.violation_rate,
+                seed: p.seed,
+                ..Default::default()
+            }
+            .generate()
+        },
+    },
+    Scenario {
+        name: "reservations",
+        summary: "paper: confirm-within-deadline (bounded once under negation)",
+        production: false,
+        build: |p| {
+            Reservations {
+                steps: p.steps,
+                new_per_step: p.events_per_step,
+                violation_rate: p.violation_rate,
+                seed: p.seed,
+                ..Default::default()
+            }
+            .generate()
+        },
+    },
+    Scenario {
+        name: "library",
+        summary: "paper: return-within-period (since with an unbounded bound)",
+        production: false,
+        build: |p| {
+            Library {
+                steps: p.steps,
+                checkouts_per_step: p.events_per_step,
+                violation_rate: p.violation_rate,
+                seed: p.seed,
+                ..Default::default()
+            }
+            .generate()
+        },
+    },
+    Scenario {
+        name: "monitor",
+        summary: "paper: ack-within-window + no-spike (hist, prev, order comparisons)",
+        production: false,
+        build: |p| {
+            Monitor {
+                steps: p.steps,
+                sensors: p.entities,
+                violation_rate: p.violation_rate,
+                seed: p.seed,
+                ..Default::default()
+            }
+            .generate()
+        },
+    },
+    Scenario {
+        name: "audit",
+        summary: "paper: transaction auditing (assert mode, exists under negation)",
+        production: false,
+        build: |p| {
+            Audit {
+                steps: p.steps,
+                accounts: p.entities,
+                txns_per_step: p.events_per_step,
+                unapproved_rate: p.violation_rate,
+                seed: p.seed,
+                ..Default::default()
+            }
+            .generate()
+        },
+    },
+    Scenario {
+        name: "random",
+        summary: "uniform random churn for scaling sweeps (no injected violations)",
+        production: false,
+        build: |p| {
+            RandomWorkload {
+                steps: p.steps,
+                domain: p.entities,
+                updates_per_step: p.events_per_step,
+                seed: p.seed,
+                ..Default::default()
+            }
+            .generate()
+        },
+    },
+];
+
+/// Every registered scenario, production-flavor entries first.
+pub fn all() -> &'static [Scenario] {
+    SCENARIOS
+}
+
+/// The four production-flavor scenarios.
+pub fn production() -> impl Iterator<Item = &'static Scenario> {
+    SCENARIOS.iter().filter(|s| s.production)
+}
+
+/// Looks a scenario up by registry name.
+pub fn find(name: &str) -> Option<&'static Scenario> {
+    SCENARIOS.iter().find(|s| s.name == name)
+}
+
+/// The registry names, for usage strings and error messages.
+pub fn names() -> Vec<&'static str> {
+    SCENARIOS.iter().map(|s| s.name).collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rtic_core::{Checker, IncrementalChecker, WindowedChecker};
 
     #[test]
-    fn deterministic() {
-        let a = Library::default().generate();
-        let b = Library::default().generate();
-        assert_eq!(a.transitions, b.transitions);
+    fn registry_is_complete_and_findable() {
+        assert_eq!(all().len(), 9);
+        assert_eq!(production().count(), 4);
+        for s in all() {
+            assert!(std::ptr::eq(find(s.name).unwrap(), s));
+        }
+        assert!(find("nope").is_none());
     }
 
     #[test]
-    fn overdue_loans_flagged_at_deadline() {
-        let gen = Library {
-            steps: 100,
-            violation_rate: 0.25,
-            ..Default::default()
-        }
-        .generate();
-        assert!(!gen.expected.is_empty());
-        let mut checker =
-            IncrementalChecker::new(gen.constraints[0].clone(), Arc::clone(&gen.catalog)).unwrap();
-        let reports = checker.run(gen.transitions.clone()).unwrap();
-        for exp in &gen.expected {
-            let report = reports.iter().find(|r| r.time == exp.time).unwrap();
-            assert!(exp.found_in(report), "missing overdue loan at {}", exp.time);
-        }
-    }
-
-    #[test]
-    fn on_time_returns_never_flagged() {
-        let gen = Library {
-            steps: 80,
-            violation_rate: 0.0,
-            ..Default::default()
-        }
-        .generate();
-        let mut checker =
-            IncrementalChecker::new(gen.constraints[0].clone(), Arc::clone(&gen.catalog)).unwrap();
-        for r in checker.run(gen.transitions.clone()).unwrap() {
-            assert!(r.ok(), "spurious violation at {}", r.time);
+    fn every_scenario_generates_under_shared_params() {
+        let params = ScenarioParams {
+            steps: 40,
+            entities: 16,
+            events_per_step: 4,
+            violation_rate: 0.1,
+            seed: 7,
+        };
+        for s in all() {
+            let gen = s.generate(&params);
+            assert_eq!(gen.transitions.len(), 40, "{} transition count", s.name);
+            assert!(!gen.constraints.is_empty(), "{} has constraints", s.name);
+            for exp in &gen.expected {
+                assert!(
+                    exp.time.0 >= 1 && exp.time.0 <= 40,
+                    "{} expectation inside the horizon",
+                    s.name
+                );
+            }
         }
     }
 
     #[test]
-    fn unbounded_since_makes_windowed_degenerate() {
-        // since[D,*] has an unbounded horizon: the windowed checker cannot
-        // prune on this workload (documented fallback).
-        let gen = Library {
-            steps: 30,
-            ..Default::default()
+    fn production_scenarios_inject_violations() {
+        let params = ScenarioParams {
+            steps: 120,
+            entities: 32,
+            events_per_step: 6,
+            violation_rate: 0.15,
+            seed: 11,
+        };
+        for s in production() {
+            let gen = s.generate(&params);
+            assert!(!gen.expected.is_empty(), "{} injects at this seed", s.name);
         }
-        .generate();
-        let mut w =
-            WindowedChecker::new(gen.constraints[0].clone(), Arc::clone(&gen.catalog)).unwrap();
-        w.run(gen.transitions.clone()).unwrap();
-        assert_eq!(w.space().stored_states, 30);
     }
 }

@@ -1,0 +1,153 @@
+//! Golden-file and determinism tests for every registered scenario.
+//!
+//! Each scenario has a committed golden under `tests/golden/` capturing
+//! the constraints, the injected `Expected` set, and the full transition
+//! stream for one pinned parameterization. Same seed ⇒ byte-identical
+//! golden, across machines and releases; a diff here means generator
+//! behavior changed and the golden must be consciously re-blessed:
+//!
+//! ```text
+//! RTIC_BLESS=1 cargo test -p rtic-workload --test scenario_golden
+//! ```
+//!
+//! The proptest half pins determinism over the whole parameter space:
+//! any `(steps, entities, events, rate, seed)` generates the same
+//! history and expectations twice in a row.
+
+use proptest::prelude::*;
+use rtic_history::log::format_log;
+use rtic_workload::{library, ScenarioParams};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// The pinned parameterization every golden was recorded at.
+fn golden_params() -> ScenarioParams {
+    ScenarioParams {
+        steps: 60,
+        entities: 16,
+        events_per_step: 4,
+        violation_rate: 0.1,
+        seed: 7,
+    }
+}
+
+/// Renders a scenario run as the canonical golden text: constraints,
+/// expectations (constraint, tick, witness), then the transition log.
+fn render(name: &str, params: &ScenarioParams) -> String {
+    let scenario = library::find(name).expect("registered scenario");
+    let gen = scenario.generate(params);
+    let mut out = String::new();
+    let _ = writeln!(out, "# scenario: {name}");
+    let _ = writeln!(
+        out,
+        "# params: steps={} entities={} events={} rate={} seed={}",
+        params.steps, params.entities, params.events_per_step, params.violation_rate, params.seed
+    );
+    for c in &gen.constraints {
+        let _ = writeln!(out, "constraint {c}");
+    }
+    for e in &gen.expected {
+        let _ = write!(out, "expected {} {}", e.constraint, e.time);
+        for (var, value) in &e.witness {
+            let _ = write!(out, " {var}={value:?}");
+        }
+        out.push('\n');
+    }
+    let _ = writeln!(out, "---");
+    out.push_str(&format_log(&gen.transitions));
+    out
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.golden"))
+}
+
+#[test]
+fn every_scenario_matches_its_committed_golden() {
+    let params = golden_params();
+    let bless = std::env::var("RTIC_BLESS").is_ok();
+    let mut mismatches = Vec::new();
+    for scenario in library::all() {
+        let current = render(scenario.name, &params);
+        let path = golden_path(scenario.name);
+        if bless {
+            std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir");
+            std::fs::write(&path, &current).expect("write golden");
+            continue;
+        }
+        let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden for {}: {e} (run with RTIC_BLESS=1 to record)",
+                scenario.name
+            )
+        });
+        if committed != current {
+            mismatches.push(scenario.name);
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "scenario generators drifted from their goldens: {mismatches:?} \
+         (if intentional, re-bless with RTIC_BLESS=1)"
+    );
+}
+
+#[test]
+fn goldens_contain_injected_expectations() {
+    // The pinned parameterization must actually exercise the injection
+    // paths — a golden with no expectations pins nothing interesting.
+    let params = golden_params();
+    for scenario in library::all() {
+        if scenario.name == "random" {
+            continue; // random churn injects nothing by design
+        }
+        let gen = scenario.generate(&params);
+        assert!(
+            !gen.expected.is_empty(),
+            "{} golden has no injected violations at the pinned seed",
+            scenario.name
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn generation_is_deterministic_across_the_parameter_space(
+        steps in 1usize..60,
+        entities in 4usize..32,
+        events in 0usize..6,
+        rate in 0.0f64..0.3,
+        seed in any::<u64>(),
+    ) {
+        let params = ScenarioParams {
+            steps,
+            entities,
+            events_per_step: events,
+            violation_rate: rate,
+            seed,
+        };
+        for scenario in library::all() {
+            let a = scenario.generate(&params);
+            let b = scenario.generate(&params);
+            prop_assert_eq!(
+                format_log(&a.transitions),
+                format_log(&b.transitions),
+                "{} transitions not deterministic",
+                scenario.name
+            );
+            prop_assert_eq!(&a.expected, &b.expected, "{} expectations not deterministic", scenario.name);
+            for e in &a.expected {
+                prop_assert!(
+                    e.time.0 >= 1 && e.time.0 <= steps as u64,
+                    "{} expectation at {} outside the horizon",
+                    scenario.name,
+                    e.time
+                );
+            }
+        }
+    }
+}

@@ -15,7 +15,12 @@
 //!            [--trace-format json|chrome] [--sample-space N]
 //! rtic report <metrics.json>
 //! rtic explain <constraints.rtic> [--profile <log.rticlog>]
-//! rtic generate <reservations|library|monitor|audit|random> [--steps N] [--seed N] [--violation-rate R]
+//! rtic generate <scenario>|--list [--steps N] [--entities N] [--events N] [--seed N]
+//!            [--violation-rate R]
+//! rtic smc <scenario> [--samples auto|N] [--confidence C] [--epsilon E] [--backend NAME]
+//!            [--steps N] [--entities N] [--events N] [--violation-rate R] [--seed N]
+//!            [--min-samples N] [--oracle-every K] [--out FILE] [--metrics FILE]
+//!            [--soak-dir DIR] [--soak-keep] [--resume] [--failpoints SPEC]
 //! rtic serve <constraints.rtic> --listen unix:PATH|tcp:ADDR [--queue N] [--checkpoint FILE]
 //!            [--resume] [--checkpoint-every N] [--report FILE] …
 //! rtic send <log.rticlog> --connect unix:PATH|tcp:ADDR [--drain] [--quiet]
@@ -41,9 +46,10 @@ use rtic_resilience::{
     container, write_atomic, CheckpointPolicy, CheckpointTicker, FailAction, FailPlan, Rotation,
 };
 use rtic_server::{Client, Listen, ServeConfig};
+use rtic_smc::{artifact, SampleMode, SmcConfig};
 use rtic_temporal::parser::{parse_file, ConstraintFile};
 use rtic_temporal::TimePoint;
-use rtic_workload::{Audit, Library, Monitor, RandomWorkload, Reservations};
+use rtic_workload::{library, ScenarioParams};
 
 const USAGE: &str = "\
 rtic — real-time integrity constraints (Chomicki, PODS 1992)
@@ -59,8 +65,13 @@ USAGE:
              [--sample-space N]
   rtic report <metrics-file>
   rtic explain <constraints-file> [--profile <log-file>]
-  rtic generate <reservations|library|monitor|audit|random> [--steps N] [--seed N]
+  rtic generate <scenario>|--list [--steps N] [--entities N] [--events N] [--seed N]
              [--violation-rate R]
+  rtic smc <scenario> [--samples auto|N] [--confidence C] [--epsilon E]
+             [--backend sequential|parallel|fleet-sharded|soak-serve]
+             [--steps N] [--entities N] [--events N] [--violation-rate R] [--seed N]
+             [--min-samples N] [--oracle-every K] [--out FILE] [--metrics FILE]
+             [--soak-dir DIR] [--soak-keep] [--resume] [--failpoints SPEC]
   rtic serve <constraints-file> --listen unix:PATH|tcp:HOST:PORT
              [--constraints FILE]... [--queue N] [--retry-ms MS] [--write-timeout-ms MS]
              [--checkpoint FILE] [--resume] [--checkpoint-every N] [--checkpoint-secs T]
@@ -72,7 +83,23 @@ USAGE:
 The constraints file declares relations and deny/assert constraints; the
 log file is one `@time +rel(values…) -rel(values…)` line per transition,
 consumed streaming. `generate` writes a log (plus its constraint file as
-`# commented` header lines) to standard output.
+`# commented` header lines) to standard output; `generate --list` prints
+the scenario registry (production flavors fraud, telemetry, ratelimit,
+access plus the paper-styled originals). `--entities` scales the
+entity-key domain (scale to 1e5–1e6 to soak the sharded plane).
+
+Statistical model checking: `rtic smc <scenario>` samples N randomized
+histories (per-sample seeds derived from `--seed`), checks each through
+the chosen backend, and reports per-constraint violation-probability
+estimates with Wilson confidence intervals. `--samples auto` (default)
+stops adaptively at the Okamoto/Massart bound for the declared
+`--confidence`/`--epsilon` target; seeded runs reproduce byte-identically
+(`--out FILE` writes the canonical JSON artifact). `--backend soak-serve`
+drives a live `rtic serve` daemon per sample and cross-checks its drained
+report byte-for-byte against the batch engine; `--oracle-every K`
+re-checks every K-th sample against the naive reference evaluator. Any
+cross-check mismatch exits 1. `--soak-dir` + `--soak-keep` + `--resume` +
+`--failpoints` drill crash-resume across invocations (see docs/SCENARIOS.md).
 
 Multi-constraint fleets: `--constraints FILE` (repeatable) merges more
 constraint files into the run — relation declarations shared between
@@ -149,6 +176,7 @@ pub fn run(args: &[String], out: &mut String) -> Result<i32, String> {
         Some("report") => report_cmd(&args[1..], out),
         Some("explain") => explain_cmd(&args[1..], out),
         Some("generate") => generate(&args[1..], out),
+        Some("smc") => smc_cmd(&args[1..], out),
         Some("serve") => serve_cmd(&args[1..], out),
         Some("send") => send_cmd(&args[1..], out),
         Some("--help") | Some("-h") | None => {
@@ -999,62 +1027,70 @@ fn explain_cmd(args: &[String], out: &mut String) -> Result<i32, String> {
     Ok(0)
 }
 
+/// Parses the shared scenario-shape flags over the given defaults.
+fn scenario_params(args: &[String], defaults: ScenarioParams) -> Result<ScenarioParams, String> {
+    let mut p = defaults;
+    if let Some(v) = flag_value(args, "--steps") {
+        p.steps = v.parse().map_err(|e| format!("bad --steps: {e}"))?;
+    }
+    if let Some(v) = flag_value(args, "--entities") {
+        p.entities = v.parse().map_err(|e| format!("bad --entities: {e}"))?;
+        if p.entities == 0 {
+            return Err("--entities needs at least one entity".into());
+        }
+    }
+    if let Some(v) = flag_value(args, "--events") {
+        p.events_per_step = v.parse().map_err(|e| format!("bad --events: {e}"))?;
+    }
+    if let Some(v) = flag_value(args, "--violation-rate") {
+        p.violation_rate = v
+            .parse()
+            .map_err(|e| format!("bad --violation-rate: {e}"))?;
+        if !(0.0..=1.0).contains(&p.violation_rate) {
+            return Err("--violation-rate must be in [0, 1]".into());
+        }
+    }
+    if let Some(v) = flag_value(args, "--seed") {
+        p.seed = v.parse().map_err(|e| format!("bad --seed: {e}"))?;
+    }
+    Ok(p)
+}
+
+fn scenario_roster() -> String {
+    library::names().join("|")
+}
+
 fn generate(args: &[String], out: &mut String) -> Result<i32, String> {
     let Some(kind) = args.first() else {
-        return Err("generate needs a workload name; try --help".into());
+        return Err(format!(
+            "generate needs a scenario name ({}); try --help",
+            scenario_roster()
+        ));
     };
-    let steps: usize = flag_value(args, "--steps")
-        .map(|v| v.parse().map_err(|e| format!("bad --steps: {e}")))
-        .transpose()?
-        .unwrap_or(100);
-    let seed: u64 = flag_value(args, "--seed")
-        .map(|v| v.parse().map_err(|e| format!("bad --seed: {e}")))
-        .transpose()?
-        .unwrap_or(42);
-    let rate: f64 = flag_value(args, "--violation-rate")
-        .map(|v| v.parse().map_err(|e| format!("bad --violation-rate: {e}")))
-        .transpose()?
-        .unwrap_or(0.05);
-
-    let generated = match kind.as_str() {
-        "reservations" => Reservations {
-            steps,
-            seed,
-            violation_rate: rate,
-            ..Default::default()
+    if kind == "--list" {
+        for s in library::all() {
+            let _ = writeln!(out, "{:<14} {}", s.name, s.summary);
         }
-        .generate(),
-        "library" => Library {
-            steps,
-            seed,
-            violation_rate: rate,
-            ..Default::default()
-        }
-        .generate(),
-        "monitor" => Monitor {
-            steps,
-            seed,
-            violation_rate: rate,
-            ..Default::default()
-        }
-        .generate(),
-        "audit" => Audit {
-            steps,
-            seed,
-            unapproved_rate: rate,
-            ..Default::default()
-        }
-        .generate(),
-        "random" => RandomWorkload {
-            steps,
-            seed,
-            ..Default::default()
-        }
-        .generate(),
-        other => return Err(format!("unknown workload `{other}`")),
+        return Ok(0);
+    }
+    let Some(scenario) = library::find(kind) else {
+        return Err(format!("unknown scenario `{kind}` ({})", scenario_roster()));
     };
+    // Default shape matches the historical CLI default of 100 steps.
+    let params = scenario_params(
+        args,
+        ScenarioParams {
+            steps: 100,
+            ..Default::default()
+        },
+    )?;
+    let generated = scenario.generate(&params);
     // Header: the matching constraint file, commented out for reference.
-    let _ = writeln!(out, "# workload: {kind} steps={steps} seed={seed}");
+    let _ = writeln!(
+        out,
+        "# workload: {kind} steps={} entities={} events={} seed={}",
+        params.steps, params.entities, params.events_per_step, params.seed
+    );
     let _ = writeln!(out, "# matching constraint file:");
     for name in generated.catalog.names() {
         let Some(schema) = generated.catalog.schema_of(name) else {
@@ -1068,6 +1104,107 @@ fn generate(args: &[String], out: &mut String) -> Result<i32, String> {
     }
     let _ = writeln!(out, "# injected violations: {}", generated.expected.len());
     out.push_str(&format_log(&generated.transitions));
+    Ok(0)
+}
+
+fn smc_cmd(args: &[String], out: &mut String) -> Result<i32, String> {
+    let Some(name) = args.first() else {
+        return Err(format!(
+            "smc needs a scenario name ({}); try --help",
+            scenario_roster()
+        ));
+    };
+    // RTIC_SMC_SMOKE=1 shrinks the default shape and sample count so CI
+    // can sweep every scenario × backend in seconds; explicit flags still
+    // override the shrunken defaults.
+    let smoke = std::env::var("RTIC_SMC_SMOKE").is_ok_and(|v| v == "1");
+    let mut config = SmcConfig::new(name);
+    config.params = scenario_params(
+        args,
+        if smoke {
+            ScenarioParams {
+                steps: 30,
+                entities: 12,
+                events_per_step: 3,
+                violation_rate: 0.2,
+                seed: 42,
+            }
+        } else {
+            ScenarioParams::default()
+        },
+    )?;
+    config.samples = match flag_value(args, "--samples") {
+        None => {
+            if smoke {
+                SampleMode::Fixed(4)
+            } else {
+                SampleMode::Auto
+            }
+        }
+        Some("auto") => SampleMode::Auto,
+        Some(v) => SampleMode::Fixed(v.parse().map_err(|e| format!("bad --samples: {e}"))?),
+    };
+    let confidence: f64 = flag_value(args, "--confidence")
+        .map(|v| v.parse().map_err(|e| format!("bad --confidence: {e}")))
+        .transpose()?
+        .unwrap_or(0.95);
+    let epsilon: f64 = flag_value(args, "--epsilon")
+        .map(|v| v.parse().map_err(|e| format!("bad --epsilon: {e}")))
+        .transpose()?
+        .unwrap_or(0.05);
+    config.precision = rtic_smc::Precision::new(confidence, epsilon)?;
+    if let Some(v) = flag_value(args, "--min-samples") {
+        config.min_samples = v.parse().map_err(|e| format!("bad --min-samples: {e}"))?;
+    }
+    if let Some(v) = flag_value(args, "--backend") {
+        config.backend = rtic_smc::Backend::parse(v)?;
+    }
+    if let Some(v) = flag_value(args, "--oracle-every") {
+        config.oracle_every = v.parse().map_err(|e| format!("bad --oracle-every: {e}"))?;
+    }
+    config.soak_dir = flag_value(args, "--soak-dir").map(std::path::PathBuf::from);
+    config.soak_keep = args.iter().any(|a| a == "--soak-keep");
+    config.soak_resume = args.iter().any(|a| a == "--resume");
+    config.soak_failpoints = flag_value(args, "--failpoints").map(String::from);
+    if config.backend != rtic_smc::Backend::Soak
+        && (config.soak_dir.is_some()
+            || config.soak_keep
+            || config.soak_resume
+            || config.soak_failpoints.is_some())
+    {
+        return Err(
+            "--soak-dir/--soak-keep/--resume/--failpoints require --backend soak-serve".into(),
+        );
+    }
+
+    let metrics_path = flag_value(args, "--metrics");
+    let mut registry = MetricsRegistry::new();
+    let report = rtic_smc::run(&config, &mut registry)?;
+
+    out.push_str(&artifact::render_summary(&report));
+    if let Some(path) = flag_value(args, "--out") {
+        write_atomic(Path::new(path), artifact::render(&report).as_bytes())
+            .map_err(|e| format!("cannot write artifact `{path}`: {e}"))?;
+        let _ = writeln!(out, "artifact written to {path}");
+    }
+    if let Some(path) = metrics_path {
+        let rendered = if path.ends_with(".prom") {
+            registry.render_prometheus()
+        } else {
+            registry.render_json()
+        };
+        write_atomic(Path::new(path), rendered.as_bytes())
+            .map_err(|e| format!("cannot write metrics `{path}`: {e}"))?;
+        let _ = writeln!(out, "metrics written to {path}");
+    }
+    if report.oracle_mismatches > 0 || report.soak_mismatches > 0 {
+        let _ = writeln!(
+            out,
+            "CROSS-CHECK FAILURE: {} oracle, {} soak mismatches",
+            report.oracle_mismatches, report.soak_mismatches
+        );
+        return Ok(1);
+    }
     Ok(0)
 }
 

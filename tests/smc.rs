@@ -1,0 +1,272 @@
+//! End-to-end tests for `rtic smc`: the statistical model-checking
+//! command over the production scenario library. These drive
+//! `rtic::cli::run`, the same entry point the binary uses, and pin the
+//! acceptance guarantees: seeded runs reproduce byte-identically,
+//! adaptive stopping stays within the declared bound, and the soak
+//! backend's estimates match the batch engine's.
+
+use std::path::PathBuf;
+
+fn run(args: &[&str]) -> (Result<i32, String>, String) {
+    let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let mut out = String::new();
+    let code = rtic::cli::run(&args, &mut out);
+    (code, out)
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rtic-smc-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(tag)
+}
+
+/// A small, fast scenario shape shared by the tests; explicit flags so
+/// the tests are independent of `RTIC_SMC_SMOKE` in the environment.
+const SHAPE: &[&str] = &[
+    "--steps",
+    "30",
+    "--entities",
+    "10",
+    "--events",
+    "3",
+    "--violation-rate",
+    "0.2",
+    "--seed",
+    "7",
+];
+
+/// The `"constraints": [...]` block of an artifact — the estimates
+/// themselves, independent of which backend produced them.
+fn constraints_block(artifact: &str) -> &str {
+    let start = artifact.find("\"constraints\"").expect("constraints key");
+    let end = artifact[start..].find("\n  ],").expect("block end") + start;
+    &artifact[start..end]
+}
+
+#[test]
+fn same_seed_reproduces_the_artifact_byte_for_byte() {
+    let a = scratch("repro-a.json");
+    let b = scratch("repro-b.json");
+    let mut args = vec!["smc", "ratelimit"];
+    args.extend_from_slice(SHAPE);
+    args.extend_from_slice(&["--samples", "5", "--oracle-every", "2"]);
+
+    let mut first = args.clone();
+    first.extend_from_slice(&["--out", a.to_str().unwrap()]);
+    let (code, out_first) = run(&first);
+    assert_eq!(code.unwrap(), 0, "{out_first}");
+
+    let mut second = args.clone();
+    second.extend_from_slice(&["--out", b.to_str().unwrap()]);
+    let (code, out_second) = run(&second);
+    assert_eq!(code.unwrap(), 0, "{out_second}");
+
+    let bytes_a = std::fs::read(&a).unwrap();
+    let bytes_b = std::fs::read(&b).unwrap();
+    assert_eq!(bytes_a, bytes_b, "same seed must mean identical artifacts");
+
+    let artifact = String::from_utf8(bytes_a).unwrap();
+    assert!(artifact.contains("\"samples_used\": 5"), "{artifact}");
+    assert!(artifact.contains("\"oracle_checked\": 3"), "{artifact}");
+    assert!(artifact.contains("\"oracle_mismatches\": 0"), "{artifact}");
+
+    // The human summaries match too (both runs drew the same histories).
+    let strip = |s: &str| {
+        s.replace(a.to_str().unwrap(), "")
+            .replace(b.to_str().unwrap(), "")
+    };
+    assert_eq!(strip(&out_first), strip(&out_second));
+}
+
+#[test]
+fn a_different_seed_changes_the_sampled_histories() {
+    let a = scratch("seed-a.json");
+    let b = scratch("seed-b.json");
+    let base = [
+        "smc",
+        "fraud",
+        "--steps",
+        "30",
+        "--entities",
+        "10",
+        "--events",
+        "3",
+        "--violation-rate",
+        "0.2",
+        "--samples",
+        "4",
+        "--oracle-every",
+        "0",
+    ];
+    let mut first: Vec<&str> = base.to_vec();
+    first.extend_from_slice(&["--seed", "7", "--out", a.to_str().unwrap()]);
+    run(&first).0.unwrap();
+    let mut second: Vec<&str> = base.to_vec();
+    second.extend_from_slice(&["--seed", "8", "--out", b.to_str().unwrap()]);
+    run(&second).0.unwrap();
+    // The artifacts record their seeds, so at minimum the params differ.
+    let text_a = std::fs::read_to_string(&a).unwrap();
+    let text_b = std::fs::read_to_string(&b).unwrap();
+    assert!(text_a.contains("\"seed\": 7"), "{text_a}");
+    assert!(text_b.contains("\"seed\": 8"), "{text_b}");
+    assert_ne!(text_a, text_b);
+}
+
+#[test]
+fn adaptive_stopping_stays_within_the_declared_bound() {
+    let out_path = scratch("adaptive.json");
+    let mut args = vec!["smc", "fraud"];
+    args.extend_from_slice(SHAPE);
+    args.extend_from_slice(&[
+        "--samples",
+        "auto",
+        "--confidence",
+        "0.9",
+        "--epsilon",
+        "0.2",
+        "--min-samples",
+        "5",
+        "--oracle-every",
+        "0",
+        "--out",
+        out_path.to_str().unwrap(),
+    ]);
+    let (code, out) = run(&args);
+    assert_eq!(code.unwrap(), 0, "{out}");
+    // Okamoto(0.9, 0.2) = ⌈ln(20)/0.08⌉ = 38; the injected violations
+    // push p̂ to the edge so the Massart bound stops the run well short.
+    assert!(out.contains("(bound 38, stopped adaptively)"), "{out}");
+    let artifact = std::fs::read_to_string(&out_path).unwrap();
+    assert!(artifact.contains("\"bound\": 38"), "{artifact}");
+    assert!(
+        artifact.contains("\"stopped_adaptively\": true"),
+        "{artifact}"
+    );
+}
+
+#[test]
+fn every_production_scenario_produces_estimates_with_intervals() {
+    for scenario in ["fraud", "telemetry", "ratelimit", "access"] {
+        let mut args = vec!["smc", scenario];
+        args.extend_from_slice(SHAPE);
+        args.extend_from_slice(&["--samples", "3", "--oracle-every", "0"]);
+        let (code, out) = run(&args);
+        assert_eq!(code.unwrap(), 0, "{scenario}: {out}");
+        assert!(
+            out.contains(&format!("smc {scenario}: 3 samples")),
+            "{scenario}: {out}"
+        );
+        // Every constraint line carries a point estimate and an interval.
+        let estimates = out.lines().filter(|l| l.contains("p̂=")).count();
+        assert!(
+            estimates >= 2,
+            "{scenario} has at least 2 constraints: {out}"
+        );
+    }
+}
+
+#[test]
+fn soak_backend_estimates_match_batch_through_the_cli() {
+    let soak_art = scratch("soak.json");
+    let batch_art = scratch("soak-batch.json");
+    let soak_dir = scratch("soak-scratch");
+    let mut base = vec!["smc", "telemetry"];
+    base.extend_from_slice(SHAPE);
+    base.extend_from_slice(&["--samples", "2", "--oracle-every", "0"]);
+
+    let mut soak = base.clone();
+    soak.extend_from_slice(&[
+        "--backend",
+        "soak-serve",
+        "--soak-dir",
+        soak_dir.to_str().unwrap(),
+        "--out",
+        soak_art.to_str().unwrap(),
+    ]);
+    let (code, out) = run(&soak);
+    assert_eq!(code.unwrap(), 0, "{out}");
+    assert!(
+        out.contains("soak: 2/2 reports byte-identical to batch"),
+        "{out}"
+    );
+
+    let mut batch = base.clone();
+    batch.extend_from_slice(&["--out", batch_art.to_str().unwrap()]);
+    let (code, out) = run(&batch);
+    assert_eq!(code.unwrap(), 0, "{out}");
+
+    let soak_text = std::fs::read_to_string(&soak_art).unwrap();
+    let batch_text = std::fs::read_to_string(&batch_art).unwrap();
+    assert!(
+        soak_text.contains("\"backend\": \"soak-serve\""),
+        "{soak_text}"
+    );
+    assert!(soak_text.contains("\"soak_checked\": 2"), "{soak_text}");
+    assert!(soak_text.contains("\"soak_mismatches\": 0"), "{soak_text}");
+    assert_eq!(
+        constraints_block(&soak_text),
+        constraints_block(&batch_text),
+        "a live serve daemon and the batch engine must agree per constraint"
+    );
+    std::fs::remove_dir_all(&soak_dir).ok();
+}
+
+#[test]
+fn smc_progress_reaches_the_metrics_plane() {
+    let json_path = scratch("metrics.json");
+    let prom_path = scratch("metrics.prom");
+    let mut args = vec!["smc", "access"];
+    args.extend_from_slice(SHAPE);
+    args.extend_from_slice(&[
+        "--samples",
+        "3",
+        "--oracle-every",
+        "0",
+        "--metrics",
+        json_path.to_str().unwrap(),
+    ]);
+    let (code, out) = run(&args);
+    assert_eq!(code.unwrap(), 0, "{out}");
+    let json = std::fs::read_to_string(&json_path).unwrap();
+    assert!(json.contains("\"smc\""), "{json}");
+    assert!(json.contains("\"samples\": 3"), "{json}");
+
+    let mut args = vec!["smc", "access"];
+    args.extend_from_slice(SHAPE);
+    args.extend_from_slice(&[
+        "--samples",
+        "3",
+        "--oracle-every",
+        "0",
+        "--metrics",
+        prom_path.to_str().unwrap(),
+    ]);
+    run(&args).0.unwrap();
+    let prom = std::fs::read_to_string(&prom_path).unwrap();
+    assert!(prom.contains("rtic_smc_samples_total 3"), "{prom}");
+    assert!(prom.contains("rtic_smc_sample_bound 3"), "{prom}");
+}
+
+#[test]
+fn usage_errors_are_actionable() {
+    // Unknown scenarios get the full roster.
+    let (code, _) = run(&["smc", "nope"]);
+    let err = code.unwrap_err();
+    assert!(err.contains("unknown scenario `nope`"), "{err}");
+    assert!(err.contains("fraud"), "{err}");
+
+    // Soak-only flags without the soak backend are rejected up front.
+    let (code, _) = run(&["smc", "fraud", "--samples", "2", "--soak-keep"]);
+    assert!(
+        code.unwrap_err().contains("--backend soak-serve"),
+        "soak flags demand the soak backend"
+    );
+
+    // Zero samples cannot estimate anything.
+    let (code, _) = run(&["smc", "fraud", "--samples", "0"]);
+    assert!(code.unwrap_err().contains("at least 1"));
+
+    // Degenerate precision targets are rejected before sampling.
+    let (code, _) = run(&["smc", "fraud", "--confidence", "1.5"]);
+    assert!(code.unwrap_err().contains("confidence"));
+}
