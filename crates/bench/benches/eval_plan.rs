@@ -5,7 +5,10 @@
 //! and projection vectors across steps, memoizes database-pure relation
 //! scans by database generation, and skips idempotent window re-recording
 //! on unchanged extensions — so steady-state planned stepping beats
-//! re-interpreting the formula tree on every transition.
+//! re-interpreting the formula tree on every transition. The `vectorized`
+//! entry additionally turns on the columnar kernels with the
+//! per-relation-generation memo and monotone probe partitions
+//! (`EncodingOptions::vectorize`).
 //!
 //! `RTIC_BENCH_SMOKE=1` shrinks the sweep to one short history — used by
 //! CI to keep the bench compiling and running without paying for a full
@@ -35,6 +38,13 @@ fn bench(c: &mut Criterion) {
         .generate();
         let options = [
             ("planned", EncodingOptions::default()),
+            (
+                "vectorized",
+                EncodingOptions {
+                    vectorize: true,
+                    ..Default::default()
+                },
+            ),
             (
                 "interpreted",
                 EncodingOptions {

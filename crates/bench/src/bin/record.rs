@@ -3,6 +3,7 @@
 //! ```text
 //! record [WORKLOAD] [--steps N] [--seed N] [--out FILE]
 //!        [--compare BASELINE] [--warn-pct P]
+//! record compare-all [--current DIR] [--baselines DIR] [--warn-pct P]
 //! ```
 //!
 //! WORKLOAD defaults to `motivating` (the paper's reservations example);
@@ -10,11 +11,19 @@
 //! With `--compare`, the fresh snapshot is diffed against a committed
 //! baseline and regressions beyond `--warn-pct` (default 25%) are
 //! printed — warn-only, the exit code stays 0 so noisy CI runners never
-//! block a merge on timing jitter.
+//! block a merge on timing jitter. Every document kind participates:
+//! the curve workloads (`shard-scaling`, `scenarios`, `batch-exec`)
+//! diff point-by-point against their committed baselines.
+//!
+//! `compare-all` discovers every committed `BENCH_*.json` baseline (in
+//! `--baselines`, default `.`) and warn-diffs each against the
+//! same-named fresh snapshot in `--current` (default `bench-current`) —
+//! baselines without a fresh counterpart are reported, so coverage gaps
+//! are visible in the log.
 
 use rtic_bench::record::{
-    compare, git_rev, record, scenario_sweep, scenario_sweep_to_json, shard_curve,
-    shard_curve_to_json, to_json, WORKLOADS,
+    batch_exec_curve, batch_exec_to_json, batch_size_sweep, compare, compare_all, git_rev, record,
+    scenario_sweep, scenario_sweep_to_json, shard_curve, shard_curve_to_json, to_json, WORKLOADS,
 };
 use rtic_obs::json;
 
@@ -29,7 +38,9 @@ fn run(args: &[String]) -> Result<i32, String> {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!(
             "record [WORKLOAD] [--steps N] [--seed N] [--out FILE] \
-             [--compare BASELINE] [--warn-pct P]\nworkloads: {}, shard-scaling, scenarios",
+             [--compare BASELINE] [--warn-pct P]\n\
+             record compare-all [--current DIR] [--baselines DIR] [--warn-pct P]\n\
+             workloads: {}, shard-scaling, scenarios, batch-exec",
             WORKLOADS.join(", ")
         );
         return Ok(0);
@@ -56,10 +67,36 @@ fn run(args: &[String]) -> Result<i32, String> {
         .map(String::from)
         .unwrap_or_else(|| format!("BENCH_{}.json", workload.replace('-', "_")));
 
+    // Discovery mode: diff every committed baseline against the fresh
+    // snapshots a CI run just recorded.
+    if workload == "compare-all" {
+        let baselines = flag_value(args, "--baselines").unwrap_or(".");
+        let current = flag_value(args, "--current").unwrap_or("bench-current");
+        let reports = compare_all(
+            std::path::Path::new(baselines),
+            std::path::Path::new(current),
+            warn_pct,
+        )?;
+        if reports.is_empty() {
+            println!("no BENCH_*.json baselines found in {baselines}");
+            return Ok(0);
+        }
+        for (file, warnings) in &reports {
+            if warnings.is_empty() {
+                println!("{file}: within {warn_pct}% of every tracked metric");
+            } else {
+                for w in warnings {
+                    println!("PERF WARNING {file}: {w}");
+                }
+            }
+        }
+        return Ok(0);
+    }
+
     // The shard-scaling sweep writes a curve document, not a single
     // workload snapshot — it times the same entity-churn history with
     // the sharded data plane off and on across key counts.
-    if workload == "shard-scaling" {
+    let doc = if workload == "shard-scaling" {
         let smoke = std::env::var("RTIC_BENCH_SMOKE").is_ok();
         let key_counts: &[usize] = if smoke { &[8] } else { &[4, 16, 64, 256] };
         let points = shard_curve(key_counts, steps, seed)?;
@@ -77,13 +114,62 @@ fn run(args: &[String]) -> Result<i32, String> {
             );
         }
         println!("recorded shard-scaling ({steps} steps/point, seed {seed}) -> {out_path}");
-        return Ok(0);
-    }
-
-    // The production-scenario sweep times the whole scenario library
-    // (fraud, telemetry, ratelimit, access) through the sharded
-    // constraint set at a production-scale entity domain (default 10⁵).
-    if workload == "scenarios" {
+        doc
+    } else if workload == "batch-exec" {
+        // The batch-exec recording writes the columnar-execution
+        // document: a tuples/sec-vs-active-domain curve (scalar
+        // line-at-a-time vs vectorized batched ingestion, reports
+        // asserted byte-identical) plus a batch-size sweep at the
+        // largest domain.
+        let smoke = std::env::var("RTIC_BENCH_SMOKE").is_ok();
+        let entity_counts: &[usize] = if smoke {
+            &[256]
+        } else {
+            &[1_000, 10_000, 100_000]
+        };
+        let batches: &[usize] = if smoke { &[1, 8] } else { &[1, 4, 16, 64, 256] };
+        let curve_steps = if flag_value(args, "--steps").is_some() {
+            steps
+        } else if smoke {
+            40
+        } else {
+            400
+        };
+        let sweep_entities = *entity_counts.last().expect("entity counts are nonempty");
+        let curve = batch_exec_curve(entity_counts, curve_steps, seed)?;
+        let sweep = batch_size_sweep(sweep_entities, curve_steps, batches, seed)?;
+        let doc = batch_exec_to_json(
+            &curve,
+            &sweep,
+            sweep_entities,
+            curve_steps,
+            seed,
+            &git_rev(),
+        );
+        write_doc(&out_path, &doc)?;
+        for p in &curve {
+            println!(
+                "batch-exec entities={}: scalar {:.0} tuples/s, vectorized {:.0} tuples/s \
+                 ({:.2}x) over {} tuples",
+                p.entities,
+                p.scalar_tuples_per_sec,
+                p.vectorized_tuples_per_sec,
+                p.speedup,
+                p.tuples
+            );
+        }
+        for p in &sweep {
+            println!(
+                "batch-exec sweep batch={}: {:.0} tuples/s at {} entities",
+                p.batch, p.tuples_per_sec, sweep_entities
+            );
+        }
+        println!("recorded batch-exec ({curve_steps} steps/point, seed {seed}) -> {out_path}");
+        doc
+    } else if workload == "scenarios" {
+        // The production-scenario sweep times the whole scenario library
+        // (fraud, telemetry, ratelimit, access) through the sharded
+        // constraint set at a production-scale entity domain (default 10⁵).
         let smoke = std::env::var("RTIC_BENCH_SMOKE").is_ok();
         let entities: usize = flag_value(args, "--entities")
             .map(|v| v.parse().map_err(|e| format!("bad --entities: {e}")))
@@ -113,23 +199,24 @@ fn run(args: &[String]) -> Result<i32, String> {
             );
         }
         println!("recorded scenarios (seed {seed}) -> {out_path}");
-        return Ok(0);
-    }
-
-    let recording = record(workload, steps, seed)?;
-    let doc = to_json(&recording, &git_rev());
-    write_doc(&out_path, &doc)?;
-    println!(
-        "recorded {} ({} steps, seed {}) -> {out_path}: {:.0} steps/s, \
-         p50 {:.1}us p90 {:.1}us p99 {:.1}us",
-        recording.workload,
-        recording.steps,
-        recording.seed,
-        recording.throughput,
-        recording.latency_us.0,
-        recording.latency_us.1,
-        recording.latency_us.2,
-    );
+        doc
+    } else {
+        let recording = record(workload, steps, seed)?;
+        let doc = to_json(&recording, &git_rev());
+        write_doc(&out_path, &doc)?;
+        println!(
+            "recorded {} ({} steps, seed {}) -> {out_path}: {:.0} steps/s, \
+             p50 {:.1}us p90 {:.1}us p99 {:.1}us",
+            recording.workload,
+            recording.steps,
+            recording.seed,
+            recording.throughput,
+            recording.latency_us.0,
+            recording.latency_us.1,
+            recording.latency_us.2,
+        );
+        doc
+    };
 
     if let Some(baseline_path) = flag_value(args, "--compare") {
         let text = std::fs::read_to_string(baseline_path)

@@ -706,6 +706,52 @@ pub fn shard_stream(keys: usize, steps: usize, seed: u64) -> Vec<Transition> {
         .collect()
 }
 
+/// An ingestion stream for the batch-exec curve: per step,
+/// `events_per_step` fresh reservations land over an `entities`-sized
+/// key domain; last step's keys are confirmed, except a deterministic
+/// straggler per 64 keys that instead fires a real violation at age 2
+/// and is cancelled one step later. The live `reserved`/`confirmed`
+/// relations grow toward `entities` rows — the active domain the curve
+/// sweeps — while per-step deltas stay `O(events_per_step)`, which is
+/// exactly the shape where generation-keyed memo refresh beats the
+/// global-stamp rescan. `seed` rotates which keys straggle.
+pub fn batch_stream(
+    entities: usize,
+    steps: usize,
+    events_per_step: usize,
+    seed: u64,
+) -> Vec<Transition> {
+    let events = events_per_step.max(1);
+    let key = |i: usize| i % entities.max(1);
+    let straggler = |k: usize| (k as u64).wrapping_add(seed).is_multiple_of(64);
+    (0..steps)
+        .map(|s| {
+            let mut u = Update::new();
+            for j in 0..events {
+                let k = key(s * events + j);
+                u.insert("reserved", tuple![format!("p{k}").as_str(), k as i64]);
+            }
+            if s >= 1 {
+                for j in 0..events {
+                    let k = key((s - 1) * events + j);
+                    if !straggler(k) {
+                        u.insert("confirmed", tuple![format!("p{k}").as_str(), k as i64]);
+                    }
+                }
+            }
+            if s >= 3 {
+                for j in 0..events {
+                    let k = key((s - 3) * events + j);
+                    if straggler(k) {
+                        u.delete("reserved", tuple![format!("p{k}").as_str(), k as i64]);
+                    }
+                }
+            }
+            Transition::new((s + 1) as u64, u)
+        })
+        .collect()
+}
+
 /// T8 — fleet scaling: mean step latency vs #constraints with a fixed
 /// number of affected constraints per step, for three engines — `n`
 /// independent incremental checkers, a [`ConstraintSet`] with relevance

@@ -12,7 +12,7 @@
 use std::time::Instant;
 
 use rtic_core::{Checker, EncodingOptions, IncrementalChecker, ProfiledNode};
-use rtic_obs::json::Json;
+use rtic_obs::json::{self, Json};
 use rtic_workload::{
     library, Audit, Library, Monitor, RandomWorkload, Reservations, ScenarioParams,
 };
@@ -382,6 +382,211 @@ pub fn scenario_sweep_to_json(points: &[ScenarioPoint], seed: u64, rev: &str) ->
         .set("scenarios", Json::Arr(rows))
 }
 
+/// One point of the batch-exec throughput curve: the same ingestion
+/// stream checked scalar line-at-a-time and vectorized in micro-batches.
+#[derive(Clone, Debug)]
+pub struct BatchExecPoint {
+    /// Entity-key domain size (the active domain the stream grows to).
+    pub entities: usize,
+    /// Transitions in the stream.
+    pub steps: usize,
+    /// Total update tuples ingested.
+    pub tuples: usize,
+    /// Tuples/second through the scalar path, one line at a time.
+    pub scalar_tuples_per_sec: f64,
+    /// Tuples/second through the vectorized path, batched ingestion.
+    pub vectorized_tuples_per_sec: f64,
+    /// `vectorized / scalar`.
+    pub speedup: f64,
+}
+
+/// One point of the batch-size sweep: the vectorized path's throughput
+/// as a function of lines per `apply_batch` call, at a fixed domain.
+#[derive(Clone, Debug)]
+pub struct BatchSweepPoint {
+    /// Lines per ingestion batch (1 = line-at-a-time).
+    pub batch: usize,
+    /// Tuples/second through the vectorized path at this batch size.
+    pub tuples_per_sec: f64,
+}
+
+/// Runs a [`crate::experiments::batch_stream`] history through one
+/// [`rtic_core::ConstraintSet`], line-at-a-time when `chunk <= 1` or via
+/// [`rtic_core::ConstraintSet::apply_batch`] in `chunk`-line batches.
+/// Returns `(tuples/sec, total tuples, report lines)` — callers assert
+/// the lines byte-identical across configurations before trusting the
+/// numbers.
+fn run_batch_exec(
+    transitions: &[rtic_history::Transition],
+    options: EncodingOptions,
+    chunk: usize,
+) -> Result<(f64, usize, Vec<String>), String> {
+    use crate::experiments::{shard_catalog, shard_constraint};
+    use rtic_core::{ConstraintSet, NopObserver};
+
+    let mut set = ConstraintSet::with_options([shard_constraint()], shard_catalog(), options)
+        .map_err(|(c, e)| format!("constraint `{}`: {e}", c.name))?;
+    let tuples: usize = transitions.iter().map(|t| t.update.len()).sum();
+    let mut lines = Vec::new();
+    let start = Instant::now();
+    if chunk <= 1 {
+        for tr in transitions {
+            let reports = set
+                .step(tr.time, &tr.update)
+                .map_err(|e| format!("batch-exec step at {}: {e}", tr.time))?;
+            lines.extend(reports.iter().map(|r| r.to_string()));
+        }
+    } else {
+        let batch: Vec<_> = transitions
+            .iter()
+            .map(|t| (t.time, t.update.clone()))
+            .collect();
+        for c in batch.chunks(chunk) {
+            let per_line = set
+                .apply_batch(c, &mut NopObserver)
+                .map_err(|e| format!("batch-exec batch: {e}"))?;
+            for reports in &per_line {
+                lines.extend(reports.iter().map(|r| r.to_string()));
+            }
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let throughput = if secs > 0.0 {
+        tuples as f64 / secs
+    } else {
+        0.0
+    };
+    Ok((throughput, tuples, lines))
+}
+
+/// The tuples/sec-vs-active-domain curve: for each entity count, the
+/// same stream through the scalar line-at-a-time path and the
+/// vectorized batched path (64-line batches). Report lines are asserted
+/// byte-identical — a curve over diverging engines would be
+/// meaningless.
+pub fn batch_exec_curve(
+    entity_counts: &[usize],
+    steps: usize,
+    seed: u64,
+) -> Result<Vec<BatchExecPoint>, String> {
+    use crate::experiments::batch_stream;
+
+    let mut points = Vec::with_capacity(entity_counts.len());
+    for &entities in entity_counts {
+        let events = entities.div_ceil(steps.max(1)).max(1);
+        let transitions = batch_stream(entities, steps, events, seed);
+        let (scalar, tuples, scalar_lines) =
+            run_batch_exec(&transitions, EncodingOptions::default(), 1)?;
+        let (vectorized, _, vec_lines) = run_batch_exec(
+            &transitions,
+            EncodingOptions {
+                vectorize: true,
+                ..Default::default()
+            },
+            64,
+        )?;
+        if scalar_lines != vec_lines {
+            return Err(format!(
+                "batch-exec at {entities} entities: vectorized reports diverge from scalar"
+            ));
+        }
+        points.push(BatchExecPoint {
+            entities,
+            steps: transitions.len(),
+            tuples,
+            scalar_tuples_per_sec: scalar,
+            vectorized_tuples_per_sec: vectorized,
+            speedup: if scalar > 0.0 {
+                vectorized / scalar
+            } else {
+                0.0
+            },
+        });
+    }
+    Ok(points)
+}
+
+/// The batch-size sweep: the vectorized path's throughput at one domain
+/// size across ingestion batch sizes, each run asserted byte-identical
+/// to the scalar line-at-a-time reference.
+pub fn batch_size_sweep(
+    entities: usize,
+    steps: usize,
+    batches: &[usize],
+    seed: u64,
+) -> Result<Vec<BatchSweepPoint>, String> {
+    use crate::experiments::batch_stream;
+
+    let events = entities.div_ceil(steps.max(1)).max(1);
+    let transitions = batch_stream(entities, steps, events, seed);
+    let (_, _, reference) = run_batch_exec(&transitions, EncodingOptions::default(), 1)?;
+    let mut points = Vec::with_capacity(batches.len());
+    for &batch in batches {
+        let (tuples_per_sec, _, lines) = run_batch_exec(
+            &transitions,
+            EncodingOptions {
+                vectorize: true,
+                ..Default::default()
+            },
+            batch,
+        )?;
+        if lines != reference {
+            return Err(format!(
+                "batch-exec sweep at batch {batch}: reports diverge from scalar"
+            ));
+        }
+        points.push(BatchSweepPoint {
+            batch,
+            tuples_per_sec,
+        });
+    }
+    Ok(points)
+}
+
+/// Renders the batch-exec curve and sweep as the
+/// `BENCH_batch_exec.json` document.
+pub fn batch_exec_to_json(
+    curve: &[BatchExecPoint],
+    sweep: &[BatchSweepPoint],
+    sweep_entities: usize,
+    steps: usize,
+    seed: u64,
+    rev: &str,
+) -> Json {
+    let curve_rows: Vec<Json> = curve
+        .iter()
+        .map(|p| {
+            Json::object()
+                .set("entities", p.entities as u64)
+                .set("steps", p.steps as u64)
+                .set("tuples", p.tuples as u64)
+                .set("scalar_tuples_per_sec", round3(p.scalar_tuples_per_sec))
+                .set(
+                    "vectorized_tuples_per_sec",
+                    round3(p.vectorized_tuples_per_sec),
+                )
+                .set("speedup", round3(p.speedup))
+        })
+        .collect();
+    let sweep_rows: Vec<Json> = sweep
+        .iter()
+        .map(|p| {
+            Json::object()
+                .set("batch", p.batch as u64)
+                .set("tuples_per_sec", round3(p.tuples_per_sec))
+        })
+        .collect();
+    Json::object()
+        .set("schema_version", SCHEMA_VERSION)
+        .set("workload", "batch-exec")
+        .set("steps", steps as u64)
+        .set("seed", seed)
+        .set("git_rev", rev)
+        .set("domain_curve", Json::Arr(curve_rows))
+        .set("batch_sweep_entities", sweep_entities as u64)
+        .set("batch_sweep", Json::Arr(sweep_rows))
+}
+
 /// The short git revision of the working tree, or `"unknown"` outside a
 /// repository (snapshots must never fail on a bare export).
 pub fn git_rev() -> String {
@@ -438,51 +643,179 @@ pub fn to_json(rec: &Recording, git_rev: &str) -> Json {
         .set("plan_hot_nodes", Json::Arr(hot))
 }
 
+/// The comparable metrics of a snapshot document, flattened to
+/// `(label, value, higher_is_better)` rows. Schema-aware: curve
+/// documents (`shard-scaling`, `scenarios`, `batch-exec`) key their
+/// rows by the sweep parameter so two docs only compare points measured
+/// at the same scale — a smoke-scale run silently shares no labels with
+/// a full-scale baseline instead of producing nonsense deltas.
+fn metric_rows(doc: &Json) -> Vec<(String, f64, bool)> {
+    type Row = (String, f64, bool);
+    let mut rows: Vec<Row> = Vec::new();
+    let num = |node: &Json, key: &str| node.get(key).and_then(Json::as_f64);
+    let each = |doc: &Json, arr: &str, f: &mut dyn FnMut(&Json, &mut Vec<Row>)| {
+        let mut out = Vec::new();
+        if let Some(points) = doc.get(arr).and_then(Json::as_arr) {
+            for p in points {
+                f(p, &mut out);
+            }
+        }
+        out
+    };
+    match doc.get("workload").and_then(Json::as_str).unwrap_or("") {
+        "shard-scaling" => {
+            rows = each(doc, "shard_curve", &mut |p, out| {
+                let Some(keys) = num(p, "keys") else { return };
+                for m in [
+                    "unsharded_steps_per_sec",
+                    "sharded_steps_per_sec",
+                    "sharded_parallel_steps_per_sec",
+                ] {
+                    if let Some(v) = num(p, m) {
+                        out.push((format!("shard_curve[keys={keys}].{m}"), v, true));
+                    }
+                }
+            });
+        }
+        "scenarios" => {
+            rows = each(doc, "scenarios", &mut |p, out| {
+                let Some(name) = p.get("scenario").and_then(Json::as_str) else {
+                    return;
+                };
+                if let Some(v) = num(p, "steps_per_sec") {
+                    out.push((format!("scenarios[{name}].steps_per_sec"), v, true));
+                }
+            });
+        }
+        "batch-exec" => {
+            rows = each(doc, "domain_curve", &mut |p, out| {
+                let Some(entities) = num(p, "entities") else {
+                    return;
+                };
+                for m in [
+                    "scalar_tuples_per_sec",
+                    "vectorized_tuples_per_sec",
+                    "speedup",
+                ] {
+                    if let Some(v) = num(p, m) {
+                        out.push((format!("domain_curve[entities={entities}].{m}"), v, true));
+                    }
+                }
+            });
+            rows.extend(each(doc, "batch_sweep", &mut |p, out| {
+                let Some(batch) = num(p, "batch") else { return };
+                if let Some(v) = num(p, "tuples_per_sec") {
+                    out.push((
+                        format!("batch_sweep[batch={batch}].tuples_per_sec"),
+                        v,
+                        true,
+                    ));
+                }
+            }));
+        }
+        // Single-workload snapshots: throughput up, latency down.
+        _ => {
+            if let Some(v) = num(doc, "throughput_steps_per_sec") {
+                rows.push(("throughput_steps_per_sec".into(), v, true));
+            }
+            if let Some(lat) = doc.get("step_latency_us") {
+                for m in ["p50_us", "p99_us"] {
+                    if let Some(v) = num(lat, m) {
+                        rows.push((format!("step_latency_us.{m}"), v, false));
+                    }
+                }
+            }
+        }
+    }
+    rows
+}
+
 /// Compares a fresh snapshot against a baseline document. Returns one
 /// human-readable warning per metric that regressed by more than
 /// `warn_pct` percent — empty means within threshold. Comparison is
 /// warn-only by design: one-shot CI timings are noisy, so the trajectory
-/// is surfaced, not enforced.
+/// is surfaced, not enforced. Understands every committed `BENCH_*.json`
+/// schema (single workloads, shard-scaling, scenarios, batch-exec);
+/// metrics present in only one document are skipped.
 pub fn compare(current: &Json, baseline: &Json, warn_pct: f64) -> Vec<String> {
     let mut warnings = Vec::new();
-    let field = |doc: &Json, path: &[&str]| -> Option<f64> {
-        let mut node = doc.clone();
-        for key in path {
-            node = node.get(key)?.clone();
-        }
-        node.as_f64()
-    };
-    // (path, higher-is-better)
-    let metrics: &[(&[&str], bool)] = &[
-        (&["throughput_steps_per_sec"], true),
-        (&["step_latency_us", "p50_us"], false),
-        (&["step_latency_us", "p99_us"], false),
-    ];
-    for (path, higher_better) in metrics {
-        let (Some(cur), Some(base)) = (field(current, path), field(baseline, path)) else {
+    let cur_kind = current.get("workload").and_then(Json::as_str);
+    let base_kind = baseline.get("workload").and_then(Json::as_str);
+    if cur_kind != base_kind {
+        warnings.push(format!(
+            "workload mismatch: fresh snapshot is {:?}, baseline is {:?}",
+            cur_kind.unwrap_or("<missing>"),
+            base_kind.unwrap_or("<missing>")
+        ));
+        return warnings;
+    }
+    let base_rows: std::collections::HashMap<String, f64> = metric_rows(baseline)
+        .into_iter()
+        .map(|(label, v, _)| (label, v))
+        .collect();
+    for (label, cur, higher_better) in metric_rows(current) {
+        let Some(&base) = base_rows.get(&label) else {
             continue;
         };
         if base <= 0.0 {
             continue;
         }
         let delta_pct = (cur - base) / base * 100.0;
-        let regressed = if *higher_better {
+        let regressed = if higher_better {
             delta_pct < -warn_pct
         } else {
             delta_pct > warn_pct
         };
         if regressed {
             warnings.push(format!(
-                "{}: {:.3} vs baseline {:.3} ({:+.1}%, warn threshold {}%)",
-                path.join("."),
-                cur,
-                base,
-                delta_pct,
-                warn_pct
+                "{label}: {cur:.3} vs baseline {base:.3} ({delta_pct:+.1}%, \
+                 warn threshold {warn_pct}%)"
             ));
         }
     }
     warnings
+}
+
+/// Discovers every `BENCH_*.json` baseline in `baseline_dir` and
+/// warn-diffs each against the same-named fresh snapshot in
+/// `current_dir`. Returns `(file, warnings)` per baseline, sorted by
+/// file name; a baseline without a fresh counterpart gets a single
+/// "no fresh snapshot" note so missing coverage is visible rather than
+/// silently green.
+pub fn compare_all(
+    baseline_dir: &std::path::Path,
+    current_dir: &std::path::Path,
+    warn_pct: f64,
+) -> Result<Vec<(String, Vec<String>)>, String> {
+    let mut names: Vec<String> = std::fs::read_dir(baseline_dir)
+        .map_err(|e| format!("cannot read `{}`: {e}", baseline_dir.display()))?
+        .filter_map(|entry| entry.ok())
+        .filter_map(|entry| entry.file_name().into_string().ok())
+        .filter(|name| name.starts_with("BENCH_") && name.ends_with(".json"))
+        .collect();
+    names.sort();
+    let mut reports = Vec::with_capacity(names.len());
+    for name in names {
+        let base_text = std::fs::read_to_string(baseline_dir.join(&name))
+            .map_err(|e| format!("cannot read baseline `{name}`: {e}"))?;
+        let baseline =
+            json::parse(&base_text).map_err(|e| format!("baseline `{name}` is not JSON: {e}"))?;
+        let current_path = current_dir.join(&name);
+        let warnings = match std::fs::read_to_string(&current_path) {
+            Ok(text) => {
+                let current = json::parse(&text).map_err(|e| {
+                    format!("snapshot `{}` is not JSON: {e}", current_path.display())
+                })?;
+                compare(&current, &baseline, warn_pct)
+            }
+            Err(_) => vec![format!(
+                "no fresh snapshot at {} — baseline not covered this run",
+                current_path.display()
+            )],
+        };
+        reports.push((name, warnings));
+    }
+    Ok(reports)
 }
 
 #[cfg(test)]
@@ -563,6 +896,86 @@ mod tests {
     }
 
     #[test]
+    fn compare_understands_curve_schemas() {
+        // batch-exec: rows are keyed by sweep parameter, so only points
+        // measured at the same scale compare, and a slower vectorized
+        // path at a matching domain warns.
+        let base = json::parse(
+            r#"{"workload": "batch-exec",
+                "domain_curve": [
+                  {"entities": 1000, "scalar_tuples_per_sec": 100.0,
+                   "vectorized_tuples_per_sec": 400.0, "speedup": 4.0}],
+                "batch_sweep": [{"batch": 64, "tuples_per_sec": 400.0}]}"#,
+        )
+        .unwrap();
+        let worse = json::parse(
+            r#"{"workload": "batch-exec",
+                "domain_curve": [
+                  {"entities": 1000, "scalar_tuples_per_sec": 100.0,
+                   "vectorized_tuples_per_sec": 150.0, "speedup": 1.5}],
+                "batch_sweep": [{"batch": 64, "tuples_per_sec": 150.0}]}"#,
+        )
+        .unwrap();
+        let warnings = compare(&worse, &base, 25.0);
+        assert_eq!(warnings.len(), 3, "{warnings:?}");
+        assert!(
+            warnings
+                .iter()
+                .any(|w| w.contains("domain_curve[entities=1000].vectorized_tuples_per_sec")),
+            "{warnings:?}"
+        );
+        // A smoke-scale snapshot shares no row labels with a full-scale
+        // baseline: vacuously green, never nonsense deltas.
+        let smoke = json::parse(
+            r#"{"workload": "batch-exec",
+                "domain_curve": [
+                  {"entities": 256, "scalar_tuples_per_sec": 1.0,
+                   "vectorized_tuples_per_sec": 1.0, "speedup": 1.0}],
+                "batch_sweep": [{"batch": 8, "tuples_per_sec": 1.0}]}"#,
+        )
+        .unwrap();
+        assert!(compare(&smoke, &base, 25.0).is_empty());
+        // Mismatched document kinds warn instead of comparing.
+        let scenarios = json::parse(r#"{"workload": "scenarios", "scenarios": []}"#).unwrap();
+        let warnings = compare(&scenarios, &base, 25.0);
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("workload mismatch"), "{warnings:?}");
+    }
+
+    #[test]
+    fn compare_all_discovers_every_committed_baseline() {
+        let root = std::env::temp_dir().join(format!("rtic_compare_all_{}", std::process::id()));
+        let baselines = root.join("baselines");
+        let fresh = root.join("fresh");
+        std::fs::create_dir_all(&baselines).unwrap();
+        std::fs::create_dir_all(&fresh).unwrap();
+        let motivating = r#"{"workload": "motivating", "throughput_steps_per_sec": 1000.0}"#;
+        std::fs::write(baselines.join("BENCH_motivating.json"), motivating).unwrap();
+        std::fs::write(
+            baselines.join("BENCH_scenarios.json"),
+            r#"{"workload": "scenarios",
+                "scenarios": [{"scenario": "fraud", "steps_per_sec": 100.0}]}"#,
+        )
+        .unwrap();
+        std::fs::write(baselines.join("not_a_baseline.txt"), "ignored").unwrap();
+        // Fresh snapshot only for motivating: a regression there warns,
+        // and the uncovered scenarios baseline is reported, not skipped.
+        std::fs::write(
+            fresh.join("BENCH_motivating.json"),
+            r#"{"workload": "motivating", "throughput_steps_per_sec": 400.0}"#,
+        )
+        .unwrap();
+        let reports = compare_all(&baselines, &fresh, 25.0).unwrap();
+        std::fs::remove_dir_all(&root).unwrap();
+        assert_eq!(
+            reports.iter().map(|(f, _)| f.as_str()).collect::<Vec<_>>(),
+            vec!["BENCH_motivating.json", "BENCH_scenarios.json"]
+        );
+        assert!(reports[0].1[0].contains("throughput"), "{reports:?}");
+        assert!(reports[1].1[0].contains("no fresh snapshot"), "{reports:?}");
+    }
+
+    #[test]
     fn shard_curve_sweeps_and_serializes() {
         let points = shard_curve(&[2, 8], 120, 7).unwrap();
         assert_eq!(points.len(), 2);
@@ -625,5 +1038,61 @@ mod tests {
         assert_eq!(percentile(&v, 0.50), 2.0);
         assert_eq!(percentile(&v, 0.99), 4.0);
         assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn batch_exec_curve_measures_both_paths() {
+        // Smoke scale; the real acceptance point runs at 10⁵ entities.
+        // `batch_exec_curve` itself asserts the vectorized reports are
+        // byte-identical to the scalar ones, so a pass here is also a
+        // correctness check on the vectorized execution path.
+        let points = batch_exec_curve(&[128], 30, 11).unwrap();
+        assert_eq!(points.len(), 1);
+        let p = &points[0];
+        assert_eq!(p.entities, 128);
+        assert_eq!(p.steps, 30);
+        assert!(p.tuples > 0);
+        assert!(p.scalar_tuples_per_sec > 0.0);
+        assert!(p.vectorized_tuples_per_sec > 0.0);
+        assert!(p.speedup > 0.0);
+    }
+
+    #[test]
+    fn batch_size_sweep_holds_reports_fixed() {
+        let sweep = batch_size_sweep(128, 30, &[1, 4, 16], 11).unwrap();
+        assert_eq!(
+            sweep.iter().map(|p| p.batch).collect::<Vec<_>>(),
+            vec![1, 4, 16]
+        );
+        assert!(sweep.iter().all(|p| p.tuples_per_sec > 0.0));
+    }
+
+    #[test]
+    fn batch_exec_json_round_trips() {
+        let curve = batch_exec_curve(&[64], 20, 5).unwrap();
+        let sweep = batch_size_sweep(64, 20, &[1, 8], 5).unwrap();
+        let doc =
+            json::parse(&batch_exec_to_json(&curve, &sweep, 64, 20, 5, "abc123").render()).unwrap();
+        assert_eq!(
+            doc.get("workload").and_then(Json::as_str),
+            Some("batch-exec")
+        );
+        assert_eq!(doc.get("seed").and_then(Json::as_u64), Some(5));
+        let rows = doc
+            .get("domain_curve")
+            .and_then(Json::as_arr)
+            .expect("domain_curve array");
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("entities").and_then(Json::as_u64), Some(64));
+        assert!(rows[0]
+            .get("speedup")
+            .and_then(Json::as_f64)
+            .is_some_and(|s| s > 0.0));
+        let sweep_rows = doc
+            .get("batch_sweep")
+            .and_then(Json::as_arr)
+            .expect("batch_sweep array");
+        assert_eq!(sweep_rows.len(), 2);
+        assert_eq!(sweep_rows[0].get("batch").and_then(Json::as_u64), Some(1));
     }
 }

@@ -21,7 +21,7 @@
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 
-use rtic_relation::{Relation, Tuple, Value};
+use rtic_relation::{Relation, Symbol, Tuple, TupleBlock, Value};
 use rtic_temporal::ast::{Term, Var};
 
 /// A finite set of assignments over a sorted variable list.
@@ -47,9 +47,201 @@ pub struct Scratch {
     key: Vec<Value>,
     high_water: usize,
     ext_cache: HashMap<usize, ((u64, u64), Bindings)>,
+    /// Fine-grained memo for vectorized execution: results keyed by the
+    /// per-relation generations the cached subtree reads, so an update
+    /// touching *other* relations leaves the entry — and its row-storage
+    /// `Arc` identity — intact.
+    ext_cache_vec: HashMap<usize, VecCacheEntry>,
+    /// Per-slot record of the most recent incremental (delta) refresh,
+    /// consumed by window-maintenance fast paths.
+    refreshed: HashMap<usize, RefreshedExt>,
+    /// Per-producer-node record of the last output transition (old rows →
+    /// new rows plus the net added/removed tuples), so downstream probe
+    /// nodes can advance their cached partitions in O(|delta|).
+    deltas: HashMap<usize, RowDelta>,
+    /// Per-probe-node passed/failed partition of the node's last input,
+    /// valid only for monotone windows (see `Oracle::probe_monotone`).
+    probes: HashMap<usize, ProbePartition>,
+    /// Whether the vectorized kernels and the per-relation-stamp memo are
+    /// active on this scratch.
+    vectorize: bool,
+    /// Column blocks streamed by vectorized kernels.
+    blocks: u64,
+    /// Total rows across those blocks (`block_rows / blocks` = mean
+    /// rows-per-block).
+    block_rows: u64,
     /// Per-node profiler counters, indexed by plan node id. `None` keeps
     /// the executor's fast path a single discriminant check.
     profile: Option<Vec<crate::plan::NodeCounters>>,
+}
+
+/// One vectorized memo entry: the cached result plus the exact per-relation
+/// generations it was computed against (for the database instance `db_id`).
+#[derive(Clone, Debug)]
+pub(crate) struct VecCacheEntry {
+    /// [`rtic_relation::Database::instance_id`] of the producing database.
+    pub(crate) db_id: u64,
+    /// `(relation, rel_gen)` for every relation the subtree reads.
+    pub(crate) gens: Vec<(Symbol, u64)>,
+    /// The memoized result.
+    pub(crate) rows: Bindings,
+}
+
+/// What an incremental (delta) refresh of a memoized extension changed:
+/// the pre-refresh bindings and the rows the refresh added. Consumers that
+/// held `base` (pointer-identical) need only absorb `added`.
+#[derive(Clone, Debug)]
+pub(crate) struct RefreshedExt {
+    /// The bindings the refresh started from.
+    pub(crate) base: Bindings,
+    /// Rows present after the refresh that were not in `base`.
+    pub(crate) added: Vec<Tuple>,
+}
+
+/// One producer node's output transition: the exact net row changes that
+/// turned `from` into `to`. Consumers whose cached state was computed
+/// against `from` (pointer-identical) advance by replaying `added` and
+/// `removed` instead of rescanning `to`.
+#[derive(Clone, Debug)]
+pub(crate) struct RowDelta {
+    /// The producer's previous output (held alive so its row-storage `Arc`
+    /// identity stays valid for pointer comparisons).
+    pub(crate) from: Bindings,
+    /// The producer's current output.
+    pub(crate) to: Bindings,
+    /// Rows in `to` but not `from`.
+    pub(crate) added: Vec<Tuple>,
+    /// Rows in `from` but not `to`.
+    pub(crate) removed: Vec<Tuple>,
+}
+
+/// A probe node's input split into the rows whose key satisfied the
+/// window and the rows whose key did not. For monotone windows (key
+/// verdicts only ever flip failed → passed) the passed side never needs
+/// re-probing: advancing a partition probes only the failed rows and the
+/// input's net delta — O(|failed| + |delta|) instead of O(|input|).
+#[derive(Clone, Debug)]
+pub(crate) struct ProbePartition {
+    /// The input the partition covers (`passed ∪ failed == input`).
+    pub(crate) input: Bindings,
+    /// Rows whose projected key satisfied the window.
+    pub(crate) passed: Bindings,
+    /// Rows whose projected key did not (yet) satisfy the window.
+    pub(crate) failed: Bindings,
+}
+
+impl ProbePartition {
+    /// Partitions `input` from scratch with one probe per row.
+    pub(crate) fn full(input: &Bindings, mut holds: impl FnMut(&Tuple) -> bool) -> ProbePartition {
+        let mut passed = HashSet::new();
+        let mut failed = HashSet::new();
+        for row in input.rows() {
+            if holds(row) {
+                passed.insert(row.clone());
+            } else {
+                failed.insert(row.clone());
+            }
+        }
+        ProbePartition {
+            input: input.clone(),
+            passed: Bindings {
+                vars: input.vars.clone(),
+                rows: std::sync::Arc::new(passed),
+            },
+            failed: Bindings {
+                vars: input.vars.clone(),
+                rows: std::sync::Arc::new(failed),
+            },
+        }
+    }
+
+    /// Advances the partition to `input` (= the covered input plus
+    /// `added` minus `removed`, as net sets), re-probing only the failed
+    /// rows and the additions — sound exactly when the window's verdicts
+    /// are monotone. Returns the new partition plus the net rows the
+    /// *passed* side gained and lost (the node's own output delta).
+    ///
+    /// When nothing changed, the passed/failed row storage is returned
+    /// untouched, preserving `Arc` identity for downstream fast paths.
+    pub(crate) fn advance(
+        self,
+        input: &Bindings,
+        added: &[Tuple],
+        removed: &[Tuple],
+        mut holds: impl FnMut(&Tuple) -> bool,
+    ) -> (ProbePartition, Vec<Tuple>, Vec<Tuple>) {
+        debug_assert!(added.iter().all(|r| !self.input.contains(r)));
+        debug_assert!(removed.iter().all(|r| self.input.contains(r)));
+        if added.is_empty() && removed.is_empty() {
+            // Failed rows whose key aged into (or was newly recorded by)
+            // the window since the last probe.
+            let flips: Vec<Tuple> = self.failed.rows().filter(|r| holds(r)).cloned().collect();
+            if flips.is_empty() {
+                let part = ProbePartition {
+                    input: input.clone(),
+                    passed: self.passed,
+                    failed: self.failed,
+                };
+                return (part, Vec::new(), Vec::new());
+            }
+            let mut passed = (*self.passed.rows).clone();
+            let mut failed = (*self.failed.rows).clone();
+            for row in &flips {
+                failed.remove(row);
+                passed.insert(row.clone());
+            }
+            let part = ProbePartition {
+                input: input.clone(),
+                passed: Bindings {
+                    vars: self.passed.vars,
+                    rows: std::sync::Arc::new(passed),
+                },
+                failed: Bindings {
+                    vars: self.failed.vars,
+                    rows: std::sync::Arc::new(failed),
+                },
+            };
+            return (part, flips, Vec::new());
+        }
+        // Removals first, so a removed row can never also surface as a
+        // failed→passed flip (the output deltas must be net sets).
+        let mut passed = (*self.passed.rows).clone();
+        let mut failed = (*self.failed.rows).clone();
+        let mut passed_removed = Vec::new();
+        for row in removed {
+            if passed.remove(row) {
+                passed_removed.push(row.clone());
+            } else {
+                failed.remove(row);
+            }
+        }
+        let flips: Vec<Tuple> = failed.iter().filter(|r| holds(r)).cloned().collect();
+        let mut passed_added = flips.clone();
+        for row in &flips {
+            failed.remove(row);
+            passed.insert(row.clone());
+        }
+        for row in added {
+            if holds(row) {
+                passed.insert(row.clone());
+                passed_added.push(row.clone());
+            } else {
+                failed.insert(row.clone());
+            }
+        }
+        let part = ProbePartition {
+            input: input.clone(),
+            passed: Bindings {
+                vars: self.passed.vars,
+                rows: std::sync::Arc::new(passed),
+            },
+            failed: Bindings {
+                vars: self.failed.vars,
+                rows: std::sync::Arc::new(failed),
+            },
+        };
+        (part, passed_added, passed_removed)
+    }
 }
 
 impl Scratch {
@@ -61,6 +253,85 @@ impl Scratch {
     /// Widest probe key the buffer has ever held (plan statistics).
     pub fn high_water(&self) -> usize {
         self.high_water
+    }
+
+    /// Switches the vectorized kernels and the per-relation-stamp memo on
+    /// or off for every execution threaded through this scratch.
+    pub fn set_vectorize(&mut self, on: bool) {
+        self.vectorize = on;
+    }
+
+    /// Whether vectorized execution is active.
+    #[inline]
+    pub fn vectorize(&self) -> bool {
+        self.vectorize
+    }
+
+    /// Tallies one column block of `rows` rows streamed by a vectorized
+    /// kernel.
+    #[inline]
+    pub(crate) fn note_block(&mut self, rows: u64) {
+        self.blocks += 1;
+        self.block_rows += rows;
+    }
+
+    /// `(blocks, total rows across blocks)` streamed by vectorized kernels
+    /// so far; rows-per-block is their ratio.
+    pub fn block_counts(&self) -> (u64, u64) {
+        (self.blocks, self.block_rows)
+    }
+
+    /// The vectorized memo entry for a cache slot, if any.
+    pub(crate) fn cached_ext_vec(&self, slot: usize) -> Option<&VecCacheEntry> {
+        self.ext_cache_vec.get(&slot)
+    }
+
+    /// Removes and returns the vectorized memo entry for a cache slot.
+    pub(crate) fn take_ext_vec(&mut self, slot: usize) -> Option<VecCacheEntry> {
+        self.ext_cache_vec.remove(&slot)
+    }
+
+    /// Stores a vectorized memo entry for a cache slot.
+    pub(crate) fn store_ext_vec(&mut self, slot: usize, entry: VecCacheEntry) {
+        self.ext_cache_vec.insert(slot, entry);
+    }
+
+    /// Records what a delta refresh of `slot` changed.
+    pub(crate) fn note_refresh(&mut self, slot: usize, base: Bindings, added: Vec<Tuple>) {
+        self.refreshed.insert(slot, RefreshedExt { base, added });
+    }
+
+    /// Removes and returns the refresh record for `slot`, if one was
+    /// produced since the last take.
+    pub(crate) fn take_refresh(&mut self, slot: usize) -> Option<RefreshedExt> {
+        self.refreshed.remove(&slot)
+    }
+
+    /// Records producer node `node`'s output transition (replacing any
+    /// earlier one).
+    pub(crate) fn note_delta(&mut self, node: usize, delta: RowDelta) {
+        self.deltas.insert(node, delta);
+    }
+
+    /// The recorded transition that *produced* `to` (row storage pointer
+    /// match), if any producer left one behind.
+    pub(crate) fn delta_into(&self, to: &Bindings) -> Option<&RowDelta> {
+        self.deltas.values().find(|d| d.to.same_rows(to))
+    }
+
+    /// The cached probe partition for plan node `node`, if any.
+    pub(crate) fn probe_partition(&self, node: usize) -> Option<&ProbePartition> {
+        self.probes.get(&node)
+    }
+
+    /// Removes and returns the cached probe partition for plan node `node`.
+    pub(crate) fn take_probe_partition(&mut self, node: usize) -> Option<ProbePartition> {
+        self.probes.remove(&node)
+    }
+
+    /// Stores plan node `node`'s probe partition.
+    pub(crate) fn store_probe_partition(&mut self, node: usize, part: ProbePartition) {
+        self.probes.insert(node, part);
     }
 
     /// Turns on per-node profiling: every subsequent planned execution
@@ -85,6 +356,7 @@ impl Scratch {
 
     /// Accumulates one execution into `node_id`'s counter slot. Nodes
     /// compiled outside `EvalPlans::build` carry no id and are skipped.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn profile_record(
         &mut self,
         node_id: usize,
@@ -92,6 +364,8 @@ impl Scratch {
         rows_in: u64,
         rows_out: u64,
         cache: crate::plan::CacheTouch,
+        blocks: u64,
+        block_rows: u64,
     ) {
         let Some(profile) = self.profile.as_mut() else {
             return;
@@ -107,6 +381,8 @@ impl Scratch {
         slot.time_ns += time_ns;
         slot.rows_in += rows_in;
         slot.rows_out += rows_out;
+        slot.blocks += blocks;
+        slot.block_rows += block_rows;
         match cache {
             crate::plan::CacheTouch::Hit => slot.cache_hits += 1,
             crate::plan::CacheTouch::Miss => slot.cache_misses += 1,
@@ -356,6 +632,14 @@ impl Bindings {
         rows
     }
 
+    /// The rows as a sorted column-major [`TupleBlock`] — the boundary
+    /// representation: the block's row order is exactly
+    /// [`Bindings::sorted_rows`]' order, so anything rendered or persisted
+    /// from it is byte-identical to the row-at-a-time form.
+    pub fn sorted_block(&self) -> TupleBlock {
+        TupleBlock::from_tuples(self.rows.iter().cloned())
+    }
+
     /// Membership test for a row in this binding set's column order.
     pub fn contains(&self, row: &Tuple) -> bool {
         self.rows.contains(row)
@@ -416,11 +700,15 @@ impl Bindings {
     }
 
     /// Projection onto `keep` (must be a subset of the variables);
-    /// deduplicates.
+    /// deduplicates. Projecting onto the full variable list is the
+    /// identity and shares the row storage instead of rebuilding it.
     pub fn project(&self, keep: &[Var]) -> Bindings {
         let mut keep: Vec<Var> = keep.to_vec();
         keep.sort_unstable();
         keep.dedup();
+        if keep == self.vars {
+            return self.clone();
+        }
         let positions: Vec<usize> = keep
             .iter()
             .map(|v| self.position(*v).expect("projection variable not present"))
@@ -442,6 +730,110 @@ impl Bindings {
             .filter(|v| remove.binary_search(v).is_err())
             .collect();
         self.project(&keep)
+    }
+
+    /// Vectorized [`Bindings::project_away`]: the dropped variables become
+    /// column drops on a [`TupleBlock`] (gather the kept columns, re-unique)
+    /// instead of per-row tuple rebuilds. Falls back to the row kernel when
+    /// the scratch is not in vectorized mode. Output is logically identical
+    /// either way.
+    pub(crate) fn project_away_vec(&self, remove: &[Var], scratch: &mut Scratch) -> Bindings {
+        if !scratch.vectorize() {
+            return self.project_away(remove);
+        }
+        let mut removed: Vec<Var> = remove.to_vec();
+        removed.sort_unstable();
+        let mut keep_vars: Vec<Var> = Vec::with_capacity(self.vars.len());
+        let mut keep_pos: Vec<usize> = Vec::with_capacity(self.vars.len());
+        for (i, v) in self.vars.iter().enumerate() {
+            if removed.binary_search(v).is_err() {
+                keep_vars.push(*v);
+                keep_pos.push(i);
+            }
+        }
+        if keep_vars.len() == self.vars.len() {
+            return self.clone();
+        }
+        if self.rows.is_empty() {
+            // An empty row set materializes a zero-column block; there is
+            // nothing to gather.
+            return Bindings {
+                vars: keep_vars,
+                rows: std::sync::Arc::new(HashSet::new()),
+            };
+        }
+        let block = TupleBlock::from_tuples(self.rows.iter().cloned());
+        scratch.note_block(block.len() as u64);
+        let projected = block.project(&keep_pos);
+        Bindings {
+            vars: keep_vars,
+            rows: std::sync::Arc::new(projected.iter().collect()),
+        }
+    }
+
+    /// Incrementally refreshes a memoized **unit-input atom scan** against
+    /// the relation's recorded tuple delta, instead of rescanning and
+    /// re-hashing the whole relation.
+    ///
+    /// Sound because a unit-input atom's tuple→row mapping is injective on
+    /// the tuples that pass its constant and repeated-variable checks:
+    /// every atom position is either a constant or a new-variable position,
+    /// so the output row determines the source tuple. Replaying the delta's
+    /// add/remove events therefore reproduces exactly the rows a full
+    /// rescan would produce.
+    ///
+    /// Returns the refreshed bindings plus the **net** added and removed
+    /// rows (for window maintenance and downstream delta consumers). Net
+    /// means relative to the pre-refresh rows: a row inserted and deleted
+    /// within the same delta appears in neither list.
+    pub(crate) fn apply_atom_delta(
+        &self,
+        shape: &AtomShape,
+        events: &[(Tuple, bool)],
+    ) -> (Bindings, Vec<Tuple>, Vec<Tuple>) {
+        debug_assert!(
+            shape.bound_positions.is_empty(),
+            "delta refresh requires a unit-input atom"
+        );
+        let mut rows = (*self.rows).clone();
+        let mut added_rows: HashSet<Tuple> = HashSet::new();
+        let mut removed_rows: HashSet<Tuple> = HashSet::new();
+        for (t, added) in events {
+            if shape.const_checks.iter().any(|&(i, c)| t[i] != c) {
+                continue;
+            }
+            if shape.has_repeats
+                && shape
+                    .new_vars
+                    .iter()
+                    .any(|(_, ps)| ps.windows(2).any(|w| t[w[0]] != t[w[1]]))
+            {
+                continue;
+            }
+            let row: Tuple = shape
+                .src
+                .iter()
+                .map(|s| match *s {
+                    Ok(_) => unreachable!("unit-input atom has no bound input columns"),
+                    Err(n) => t[shape.new_vars[n].1[0]],
+                })
+                .collect();
+            if *added {
+                if rows.insert(row.clone()) && !removed_rows.remove(&row) {
+                    added_rows.insert(row);
+                }
+            } else if rows.remove(&row) && !added_rows.remove(&row) {
+                removed_rows.insert(row);
+            }
+        }
+        (
+            Bindings {
+                vars: self.vars.clone(),
+                rows: std::sync::Arc::new(rows),
+            },
+            added_rows.into_iter().collect(),
+            removed_rows.into_iter().collect(),
+        )
     }
 
     /// Extends every row with `v = value`. `v` must be new.
@@ -488,6 +880,12 @@ impl Bindings {
         shape: &JoinShape,
         scratch: &mut Scratch,
     ) -> Bindings {
+        // Vectorized single-key fast path: gather the build side's key
+        // column into one flat block and hash `Value → row ids` over it —
+        // no per-row `Vec<Value>` key allocations on either side.
+        if scratch.vectorize() && shape.lpos.len() == 1 {
+            return self.natural_join_single_key(other, shape, scratch);
+        }
         let mut table: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::with_capacity(other.rows.len());
         for r in other.rows.iter() {
             table
@@ -502,6 +900,53 @@ impl Bindings {
             scratch.key.extend(shape.lpos.iter().map(|&i| l[i]));
             if let Some(matches) = table.get(&scratch.key) {
                 for r in matches {
+                    rows.insert(
+                        shape
+                            .srcs
+                            .iter()
+                            .map(|s| match *s {
+                                Src::Left(i) => l[i],
+                                Src::Right(i) => r[i],
+                            })
+                            .collect::<Tuple>(),
+                    );
+                }
+            }
+        }
+        Bindings {
+            vars: shape.vars.clone(),
+            rows: std::sync::Arc::new(rows),
+        }
+    }
+
+    /// The columnar build/probe kernel behind [`Bindings::natural_join_shaped`]
+    /// for single-variable join keys: build once over the key column slice,
+    /// probe with bare `Value`s.
+    fn natural_join_single_key(
+        &self,
+        other: &Bindings,
+        shape: &JoinShape,
+        scratch: &mut Scratch,
+    ) -> Bindings {
+        let rkey = shape.rpos[0];
+        let lkey = shape.lpos[0];
+        // Columnar build: one pass gathers row handles and the flat key
+        // column, then the hash table maps each key value to row ids.
+        let build: Vec<&Tuple> = other.rows.iter().collect();
+        let keys: Vec<Value> = build.iter().map(|r| r[rkey]).collect();
+        let mut table: HashMap<Value, Vec<u32>> = HashMap::with_capacity(build.len());
+        for (i, k) in keys.iter().enumerate() {
+            #[allow(clippy::cast_possible_truncation)]
+            table.entry(*k).or_default().push(i as u32);
+        }
+        scratch.note_block(build.len() as u64);
+        scratch.note_block(self.rows.len() as u64);
+        scratch.note_width(1);
+        let mut rows = HashSet::with_capacity(self.rows.len());
+        for l in self.rows.iter() {
+            if let Some(matches) = table.get(&l[lkey]) {
+                for &i in matches {
+                    let r = build[i as usize];
                     rows.insert(
                         shape
                             .srcs
@@ -569,7 +1014,14 @@ impl Bindings {
         // evaluation with the same shape.
         let index = rel.index_on(&shape.index_cols);
         scratch.note_width(shape.index_cols.len());
-        let mut rows = HashSet::new();
+        let mut rows = if scratch.vectorize() {
+            // The scan streams the input rows as one block; size the output
+            // for the common one-match-per-probe case up front.
+            scratch.note_block(self.rows.len() as u64);
+            HashSet::with_capacity(self.rows.len().max(rel.len()))
+        } else {
+            HashSet::new()
+        };
         for l in self.rows.iter() {
             scratch.key.clear();
             scratch
@@ -610,9 +1062,13 @@ impl Bindings {
 }
 
 impl fmt::Display for Bindings {
+    /// Renders through the sorted column-major boundary block
+    /// ([`Bindings::sorted_block`]); its row order is exactly the sorted
+    /// row order, so the output is byte-identical to rendering
+    /// [`Bindings::sorted_rows`] directly.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str("{")?;
-        for (n, row) in self.sorted_rows().into_iter().enumerate() {
+        for (n, row) in self.sorted_block().iter().enumerate() {
             if n > 0 {
                 f.write_str(", ")?;
             }

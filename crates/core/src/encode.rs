@@ -202,6 +202,16 @@ impl WindowState {
         }
     }
 
+    /// Whether [`WindowState::satisfied`] is monotone in `t_now` for a
+    /// window that only ever *gains* stamps (i.e. a `once` node — `since`
+    /// windows drop keys via [`WindowState::retain_keys`] and must not rely
+    /// on this): with an infinite upper bound no stamp is ever pruned and
+    /// the admissible window `[0, t − lo]` only widens, so a key that
+    /// satisfies the window at some state satisfies it at every later one.
+    pub fn probe_monotone(&self) -> bool {
+        !self.interval.is_bounded()
+    }
+
     /// O(1) membership probe: whether `key` has a witness whose age lies in
     /// the interval at `t_now`. Consistent with [`WindowState::extension`].
     pub fn satisfied(&self, key: &Tuple, t_now: TimePoint) -> bool {

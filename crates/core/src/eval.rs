@@ -35,6 +35,17 @@ pub trait Oracle {
     fn contains(&self, node: &Formula, key: &Tuple) -> bool {
         self.extension(node).contains(key)
     }
+
+    /// Whether `node`'s [`Oracle::contains`] verdicts are **monotone**
+    /// across states: once a key is in the extension it stays in it at
+    /// every later state. Holds for `once[l,∞)` windows (stamps are never
+    /// pruned and the admissible window only widens as time advances), and
+    /// lets vectorized probe nodes cache their passed rows instead of
+    /// re-probing the whole input each step. The conservative default is
+    /// `false` — correctness never depends on answering `true`.
+    fn probe_monotone(&self, _node: &Formula) -> bool {
+        false
+    }
 }
 
 /// Evaluates `f` at `db`, extending `input` (candidate assignments for the

@@ -76,6 +76,14 @@ pub struct EncodingOptions {
     /// byte-identical; only [`crate::Checker::plan_profile`] gains data.
     /// Ignored under `interpret_eval` (there are no plan nodes to profile).
     pub profile_plans: bool,
+    /// Execute through the vectorized (columnar) kernels: single-key
+    /// hash joins build over flat column slices, `exists` projections
+    /// become column drops on tuple blocks, and database-pure memo
+    /// entries are keyed by per-relation generations (with O(|delta|)
+    /// refresh of single-atom scans) instead of the global cache stamp.
+    /// Reports are byte-identical to scalar execution; the differential
+    /// oracle's `*-vec` backends pin it. Ignored under `interpret_eval`.
+    pub vectorize: bool,
 }
 
 fn sorted_free_vars(f: &Formula) -> Vec<Var> {
@@ -176,6 +184,7 @@ impl NodeEngine {
                 if options.profile_plans && !options.interpret_eval {
                     s.enable_profiling();
                 }
+                s.set_vectorize(options.vectorize && !options.interpret_eval);
                 s
             },
             last_sat,
@@ -246,6 +255,17 @@ impl NodeEngine {
                         let oracle = self.oracle(t_now);
                         self.operand_extension(idx, g, db, &oracle, &mut scratch)
                     };
+                    // Drain any delta-refresh record the vectorized memo
+                    // left for the operand's root cache slot this step.
+                    let op_slot = if self.interpret {
+                        None
+                    } else {
+                        match &self.compiled.plans.node_ops[idx] {
+                            NodePlans::Operand(p) => p.cache_slot(),
+                            NodePlans::Since { .. } => None,
+                        }
+                    };
+                    let refreshed = op_slot.and_then(|slot| scratch.take_refresh(slot));
                     let NodeState::Once(w) = &mut self.states[idx] else {
                         unreachable!("node/state kind mismatch")
                     };
@@ -253,7 +273,29 @@ impl NodeEngine {
                         .as_ref()
                         .is_some_and(|prev| prev.same_rows(&sat_now));
                     if !(unchanged && w.absorb_is_noop()) {
-                        w.add_and_prune(&sat_now, t_now);
+                        // Window delta maintenance: when the operand was
+                        // delta-refreshed from exactly the extension this
+                        // window last absorbed, and re-absorbing stored
+                        // keys is a no-op, only the refresh's added rows
+                        // need recording — O(|delta|) instead of O(N).
+                        // (Removed rows are not re-added by the full path
+                        // either; their stamps expire lazily.)
+                        let delta = refreshed.filter(|r| {
+                            w.absorb_is_noop()
+                                && self.last_sat[idx]
+                                    .as_ref()
+                                    .is_some_and(|p| p.same_rows(&r.base))
+                        });
+                        match delta {
+                            Some(r) => {
+                                if !r.added.is_empty() {
+                                    let small =
+                                        Bindings::from_rows(sat_now.vars().to_vec(), r.added);
+                                    w.add_and_prune(&small, t_now);
+                                }
+                            }
+                            None => w.add_and_prune(&sat_now, t_now),
+                        }
                     }
                     self.last_sat[idx] = Some(sat_now.clone());
                     if self.fast_eligible {
@@ -626,6 +668,15 @@ impl Oracle for IncOracle<'_> {
             _ => unreachable!("hist query against non-hist node"),
         }
     }
+
+    fn probe_monotone(&self, node: &Formula) -> bool {
+        // `since` windows share `WindowState` but drop keys when the
+        // maintained formula fails, so only `once` qualifies.
+        match &self.states[self.idx(node)] {
+            NodeState::Once(w) => w.probe_monotone(),
+            _ => false,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -887,6 +938,188 @@ mod tests {
             let c = checker(src);
             assert!(!c.engine.fast_eligible, "{src} wrongly fast-eligible");
         }
+    }
+
+    #[test]
+    fn vectorized_matches_scalar_byte_for_byte() {
+        // Differential: one checker runs the columnar kernels with the
+        // per-relation-generation memo (and its atom delta refresh +
+        // window delta maintenance), the other the scalar path. Reports
+        // and aux state must agree at every step, and the rendered
+        // violations must be byte-identical.
+        for src in [
+            "deny d: reserved(p) && confirmed(p)",
+            "deny d: reserved(p) && once[0,3] confirmed(p)",
+            "deny d: reserved(p) && !once[0,*] confirmed(p)",
+            "deny u: once[2,*] reserved(p) && reserved(p) && !once confirmed(p)",
+            "deny d: reserved(p) && hist[3,*] reserved(p)",
+            "deny d: reserved(p) since[0,4] confirmed(p)",
+            "deny d: confirmed(p) && (exists q . reserved(q))",
+            "deny d: reserved(p) && prev[0,2] confirmed(p)",
+        ] {
+            let mut vectorized = IncrementalChecker::with_options(
+                parse_constraint(src).unwrap(),
+                catalog(),
+                EncodingOptions {
+                    vectorize: true,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let mut scalar = checker(src);
+            let names = ["ann", "bob", "cal", "dee"];
+            for t in 0..70u64 {
+                let i = t as usize;
+                let upd = match t % 7 {
+                    0 => Update::new().with_insert("reserved", tuple![names[i % 4]]),
+                    1 => Update::new().with_insert("confirmed", tuple![names[i % 4]]),
+                    2 => Update::new().with_delete("confirmed", tuple![names[(i + 1) % 4]]),
+                    3 => Update::new(),
+                    4 => Update::new()
+                        .with_insert("reserved", tuple!["eve"])
+                        .with_insert("confirmed", tuple!["eve"]),
+                    5 => Update::new().with_delete("reserved", tuple!["eve"]),
+                    _ => Update::new()
+                        .with_insert("confirmed", tuple![names[i % 4]])
+                        .with_delete("confirmed", tuple![names[(i + 2) % 4]]),
+                };
+                let a = vectorized.step(TimePoint(t), &upd).unwrap();
+                let b = scalar.step(TimePoint(t), &upd).unwrap();
+                assert_eq!(a, b, "{src}: vectorized diverged at t={t}");
+                assert_eq!(
+                    a.violations.to_string(),
+                    b.violations.to_string(),
+                    "{src}: rendering diverged at t={t}"
+                );
+                assert_eq!(
+                    vectorized.engine.aux_space(),
+                    scalar.engine.aux_space(),
+                    "{src}: aux state diverged at t={t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_probe_partitions_survive_adversarial_deltas() {
+        // The vectorized path caches a passed/failed partition for
+        // unbounded-once probes and advances it from row deltas. Stress
+        // the delta bookkeeping with the cases that historically break
+        // partition caches: deleting a row that already passed the
+        // probe, inserting and deleting the same row within one step,
+        // deleting and re-inserting an initially present row, and a
+        // probe input that churns every step. Bounded windows
+        // (`once[1,3]`) and `since` must fall back to per-row probing;
+        // both flavours run against the scalar path byte-for-byte.
+        for src in [
+            // Unbounded probes: partition cache engages.
+            "deny u: once[2,*] reserved(p) && reserved(p) && !once confirmed(p)",
+            "deny d: reserved(p) && once[0,*] confirmed(p)",
+            // Bounded / since: verdicts can revoke, cache must not engage.
+            "deny d: reserved(p) && once[1,3] confirmed(p)",
+            "deny d: reserved(p) since[0,4] confirmed(p)",
+        ] {
+            let mut vectorized = IncrementalChecker::with_options(
+                parse_constraint(src).unwrap(),
+                catalog(),
+                EncodingOptions {
+                    vectorize: true,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let mut scalar = checker(src);
+            let names = ["ann", "bob", "cal"];
+            for t in 0..60u64 {
+                let i = t as usize;
+                let upd = match t % 6 {
+                    // Row enters the probe input, then (two steps later,
+                    // after its probe verdict may have flipped to pass)
+                    // leaves again: a passed row must move out of the
+                    // partition without surfacing as a flip.
+                    0 => Update::new().with_insert("reserved", tuple![names[i % 3]]),
+                    1 => Update::new().with_insert("confirmed", tuple![names[i % 3]]),
+                    2 => Update::new().with_delete("reserved", tuple![names[i % 3]]),
+                    // Insert + delete of the same row in one step: the
+                    // net delta must be empty for that row.
+                    3 => Update::new()
+                        .with_insert("reserved", tuple!["eve"])
+                        .with_delete("reserved", tuple!["eve"]),
+                    // Delete then re-insert an initially present row.
+                    4 => Update::new()
+                        .with_delete("reserved", tuple![names[(i + 1) % 3]])
+                        .with_insert("reserved", tuple![names[(i + 1) % 3]]),
+                    _ => Update::new(),
+                };
+                let a = vectorized.step(TimePoint(t), &upd).unwrap();
+                let b = scalar.step(TimePoint(t), &upd).unwrap();
+                assert_eq!(a, b, "{src}: vectorized diverged at t={t}");
+                assert_eq!(
+                    a.violations.to_string(),
+                    b.violations.to_string(),
+                    "{src}: rendering diverged at t={t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn probe_monotone_only_for_unbounded_once() {
+        // Only `once[l,*]` states may certify monotone probes; bounded
+        // windows prune stamps and `since` drops keys, so a cached
+        // "passed" verdict could go stale.
+        let cases = [
+            ("deny d: reserved(p) && once[2,*] confirmed(p)", true),
+            ("deny d: reserved(p) && once[0,3] confirmed(p)", false),
+            ("deny d: reserved(p) since[0,4] confirmed(p)", false),
+        ];
+        for (src, expect) in cases {
+            let c = checker(src);
+            let oracle = c.engine.oracle(TimePoint(0));
+            let any_monotone = c
+                .engine
+                .compiled
+                .nodes
+                .iter()
+                .any(|n| oracle.probe_monotone(n));
+            assert_eq!(any_monotone, expect, "{src}");
+        }
+    }
+
+    #[test]
+    fn vectorized_quiescent_steps_replay_the_memo() {
+        // A pure tick leaves every relation generation alone, so the
+        // vectorized memo replays (cache hit) instead of rescanning; an
+        // update to an *unrelated* relation must also keep the entry.
+        let src = "deny d: reserved(p) && !once[0,*] confirmed(p)";
+        let mut c = IncrementalChecker::with_options(
+            parse_constraint(src).unwrap(),
+            catalog(),
+            EncodingOptions {
+                vectorize: true,
+                profile_plans: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        c.step(
+            TimePoint(0),
+            &Update::new().with_insert("reserved", tuple!["ann"]),
+        )
+        .unwrap();
+        // Force the full path with a no-op non-quiescent update: the body
+        // re-executes, and its db-pure subtrees must hit the memo.
+        c.step(
+            TimePoint(1),
+            &Update::new().with_delete("confirmed", tuple!["ghost"]),
+        )
+        .unwrap();
+        let profile = c.engine.plan_profile().expect("profiling enabled");
+        let hits: u64 = profile.nodes.iter().map(|n| n.counts.cache_hits).sum();
+        assert!(
+            hits > 0,
+            "per-relation-generation memo never replayed: {profile:?}"
+        );
     }
 
     #[test]

@@ -32,7 +32,9 @@ use rtic_relation::{Database, Symbol, Value};
 use rtic_temporal::ast::{CmpOp, Formula, Term, Var};
 use rtic_temporal::safety;
 
-use crate::binding::{AtomShape, Bindings, JoinShape, Scratch};
+use crate::binding::{
+    AtomShape, Bindings, JoinShape, ProbePartition, RowDelta, Scratch, VecCacheEntry,
+};
 use crate::eval::Oracle;
 
 /// Where a comparison operand's value comes from at execution time.
@@ -119,6 +121,11 @@ pub struct Plan {
     /// it in [`Scratch`] keyed by the database's cache stamp. Assigned by
     /// [`EvalPlans::build`]; plans compiled standalone never memoize.
     cache_slot: Option<usize>,
+    /// The relations this subtree reads, recorded when a cache slot is
+    /// assigned (empty otherwise). Vectorized execution keys the memo on
+    /// these relations' per-relation generations instead of the global
+    /// stamp, so updates to unrelated relations keep the entry valid.
+    cache_rels: Vec<Symbol>,
     /// Stable pre-order index used to attribute profiler counters to this
     /// node. Assigned by [`EvalPlans::build`]; standalone plans keep
     /// [`UNTRACKED`] and record nothing even when profiling is enabled.
@@ -158,6 +165,12 @@ pub struct NodeCounters {
     pub cache_hits: u64,
     /// Memo-cache fills (stamp changed or first execution).
     pub cache_misses: u64,
+    /// Column blocks streamed by vectorized kernels in this subtree
+    /// (inclusive, like `time_ns`). Zero under scalar execution.
+    pub blocks: u64,
+    /// Total rows across those blocks; `block_rows / blocks` is the mean
+    /// rows-per-block this node's kernels processed.
+    pub block_rows: u64,
 }
 
 impl NodeCounters {
@@ -169,6 +182,19 @@ impl NodeCounters {
         self.rows_out += other.rows_out;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
+        self.blocks += other.blocks;
+        self.block_rows += other.block_rows;
+    }
+
+    /// Mean rows-per-block across this node's vectorized kernel calls,
+    /// when any block was streamed.
+    pub fn rows_per_block(&self) -> Option<f64> {
+        if self.blocks == 0 {
+            None
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            Some(self.block_rows as f64 / self.blocks as f64)
+        }
     }
 
     /// Fraction of memo-cache touches that were replays, when the node
@@ -549,7 +575,32 @@ impl Plan {
             in_vars: input_vars.to_vec(),
             out_vars,
             cache_slot: None,
+            cache_rels: Vec::new(),
             node_id: UNTRACKED,
+        }
+    }
+
+    /// Collects every relation this subtree's atoms read.
+    fn collect_relations(&self, out: &mut BTreeSet<Symbol>) {
+        match &self.kind {
+            Kind::True | Kind::False | Kind::CmpFilter { .. } | Kind::CmpExtend { .. } => {}
+            Kind::Atom { relation, .. } => {
+                out.insert(*relation);
+            }
+            Kind::Not { inner, .. } | Kind::Exists { inner, .. } => inner.collect_relations(out),
+            Kind::AndChain { steps, .. } => {
+                for step in steps {
+                    step.collect_relations(out);
+                }
+            }
+            Kind::Or { a, b } => {
+                a.collect_relations(out);
+                b.collect_relations(out);
+            }
+            Kind::TemporalProbe { .. } | Kind::TemporalJoin { .. } | Kind::HistProbe { .. } => {}
+            Kind::CountFilter { body, .. } | Kind::CountJoin { body, .. } => {
+                body.collect_relations(out);
+            }
         }
     }
 
@@ -581,6 +632,9 @@ impl Plan {
         if self.in_vars.is_empty() && !trivial && self.is_db_pure() {
             self.cache_slot = Some(*next);
             *next += 1;
+            let mut rels = BTreeSet::new();
+            self.collect_relations(&mut rels);
+            self.cache_rels = rels.into_iter().collect();
             return;
         }
         match &mut self.kind {
@@ -714,6 +768,13 @@ impl Plan {
         &self.out_vars
     }
 
+    /// The memo slot this node was assigned by [`EvalPlans::build`], if
+    /// any. The incremental engine uses it to look up delta-refresh records
+    /// the vectorized cache left behind for window maintenance.
+    pub(crate) fn cache_slot(&self) -> Option<usize> {
+        self.cache_slot
+    }
+
     /// The execution order of the root conjunction, as indices into
     /// [`safety::flatten_and`] of the planned formula; `None` when the root
     /// is not a conjunction. This is what `explain` renders, so the
@@ -744,10 +805,20 @@ impl Plan {
         if scratch.profiling() {
             let start = std::time::Instant::now();
             let rows_in = input.len() as u64;
+            let (b0, br0) = scratch.block_counts();
             let mut cache = CacheTouch::Untouched;
             let result = self.execute_memo(db, oracle, input, scratch, &mut cache);
             let time_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-            scratch.profile_record(self.node_id, time_ns, rows_in, result.len() as u64, cache);
+            let (b1, br1) = scratch.block_counts();
+            scratch.profile_record(
+                self.node_id,
+                time_ns,
+                rows_in,
+                result.len() as u64,
+                cache,
+                b1 - b0,
+                br1 - br0,
+            );
             return result;
         }
         let mut cache = CacheTouch::Untouched;
@@ -769,6 +840,9 @@ impl Plan {
     ) -> Bindings {
         if let Some(slot) = self.cache_slot {
             if input.len() == 1 {
+                if scratch.vectorize() {
+                    return self.execute_memo_vec(slot, db, oracle, input, scratch, cache);
+                }
                 let stamp = db.cache_stamp();
                 if let Some(hit) = scratch.cached_ext(slot, stamp) {
                     *cache = CacheTouch::Hit;
@@ -781,6 +855,151 @@ impl Plan {
             }
         }
         self.execute_kind(db, oracle, input, scratch)
+    }
+
+    /// Vectorized memo path: keyed by the subtree's per-relation
+    /// generations rather than the global cache stamp, so updates touching
+    /// unrelated relations replay the stored result (preserving its `Arc`
+    /// identity — the incremental engine's window-maintenance skip depends
+    /// on that). A single-atom subtree whose relation moved exactly one
+    /// generation is *delta-refreshed*: the recorded tuple events replay
+    /// onto the cached rows in O(|delta|) instead of a full rescan, and the
+    /// added rows are left behind for the engine's window maintenance.
+    fn execute_memo_vec<O: Oracle + ?Sized>(
+        &self,
+        slot: usize,
+        db: &Database,
+        oracle: &O,
+        input: &Bindings,
+        scratch: &mut Scratch,
+        cache: &mut CacheTouch,
+    ) -> Bindings {
+        let db_id = db.instance_id();
+        if let Some(e) = scratch.cached_ext_vec(slot) {
+            if e.db_id == db_id && e.gens.iter().all(|&(r, g)| db.rel_gen(r) == g) {
+                *cache = CacheTouch::Hit;
+                return e.rows.clone();
+            }
+        }
+        if let Kind::Atom { relation, shape } = &self.kind {
+            if shape.bound_positions.is_empty() {
+                if let Some(e) = scratch.take_ext_vec(slot) {
+                    if e.db_id == db_id && e.gens.len() == 1 && e.gens[0].0 == *relation {
+                        if let Some(delta) = db.rel_delta(*relation) {
+                            if delta.generation == e.gens[0].1 + 1
+                                && delta.generation == db.rel_gen(*relation)
+                            {
+                                let (rows, added, removed) =
+                                    e.rows.apply_atom_delta(shape, &delta.events);
+                                scratch.note_block(rows.len() as u64);
+                                if self.node_id != UNTRACKED {
+                                    scratch.note_delta(
+                                        self.node_id,
+                                        RowDelta {
+                                            from: e.rows.clone(),
+                                            to: rows.clone(),
+                                            added: added.clone(),
+                                            removed,
+                                        },
+                                    );
+                                }
+                                scratch.note_refresh(slot, e.rows, added);
+                                scratch.store_ext_vec(
+                                    slot,
+                                    VecCacheEntry {
+                                        db_id,
+                                        gens: vec![(*relation, delta.generation)],
+                                        rows: rows.clone(),
+                                    },
+                                );
+                                *cache = CacheTouch::Miss;
+                                return rows;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let result = self.execute_kind(db, oracle, input, scratch);
+        scratch.store_ext_vec(
+            slot,
+            VecCacheEntry {
+                db_id,
+                gens: self
+                    .cache_rels
+                    .iter()
+                    .map(|&r| (r, db.rel_gen(r)))
+                    .collect(),
+                rows: result.clone(),
+            },
+        );
+        *cache = CacheTouch::Miss;
+        result
+    }
+
+    /// Probe against a **monotone** window (see [`Oracle::probe_monotone`])
+    /// with a cached passed/failed partition of the input.
+    ///
+    /// Monotonicity means a row that passed once passes at every later
+    /// state, so only the failed rows and the input's net delta need fresh
+    /// probes — O(|failed| + |delta|) per step instead of O(|input|). The
+    /// input delta comes from the producer's [`RowDelta`] record (an atom
+    /// delta-refresh or an upstream incremental probe); when no record
+    /// matches, the partition is rebuilt with a full scan, so correctness
+    /// never depends on the delta chain being intact. The node publishes
+    /// its own output transition for the next probe downstream.
+    fn execute_probe_monotone<O: Oracle + ?Sized>(
+        &self,
+        node: &Formula,
+        proj: &[usize],
+        oracle: &O,
+        input: &Bindings,
+        scratch: &mut Scratch,
+    ) -> Bindings {
+        let advanced = scratch
+            .take_probe_partition(self.node_id)
+            .and_then(|cache| {
+                if cache.input.same_rows(input) {
+                    return Some((cache, Vec::new(), Vec::new()));
+                }
+                let delta = scratch
+                    .delta_into(input)
+                    .filter(|d| d.from.same_rows(&cache.input))
+                    .map(|d| (d.added.clone(), d.removed.clone()));
+                delta.map(|(added, removed)| (cache, added, removed))
+            });
+        let (part, out_delta) = match advanced {
+            Some((cache, added, removed)) => {
+                let processed = (cache.failed.len() + added.len() + removed.len()) as u64;
+                scratch.note_block(processed);
+                let old_passed = cache.passed.clone();
+                let (part, passed_added, passed_removed) =
+                    cache.advance(input, &added, &removed, |row| {
+                        oracle.contains(node, &row.project(proj))
+                    });
+                (part, Some((old_passed, passed_added, passed_removed)))
+            }
+            None => {
+                scratch.note_block(input.len() as u64);
+                let part =
+                    ProbePartition::full(input, |row| oracle.contains(node, &row.project(proj)));
+                (part, None)
+            }
+        };
+        if let Some((from, added, removed)) = out_delta {
+            scratch.note_delta(
+                self.node_id,
+                RowDelta {
+                    from,
+                    to: part.passed.clone(),
+                    added,
+                    removed,
+                },
+            );
+        }
+        let result = part.passed.clone();
+        scratch.store_probe_partition(self.node_id, part);
+        result
     }
 
     fn execute_kind<O: Oracle + ?Sized>(
@@ -804,6 +1023,17 @@ impl Plan {
             Kind::Not { gvars, inner } => {
                 let candidates = input.project(gvars);
                 let sat = inner.execute(db, oracle, &candidates, scratch);
+                // When the projection was the identity and the inner probe
+                // just partitioned exactly this input, the antijoin *is*
+                // the partition's failed side — reuse it instead of
+                // re-hashing every input row.
+                if scratch.vectorize() && candidates.same_rows(input) {
+                    if let Some(p) = scratch.probe_partition(inner.node_id) {
+                        if p.input.same_rows(&candidates) && p.passed.same_rows(&sat) {
+                            return p.failed.clone();
+                        }
+                    }
+                }
                 input.antijoin(&sat)
             }
             Kind::AndChain { steps, .. } => {
@@ -820,10 +1050,14 @@ impl Plan {
             }
             Kind::Exists { drop, inner } => {
                 let r = inner.execute(db, oracle, input, scratch);
-                r.project_away(drop)
+                r.project_away_vec(drop, scratch)
             }
             Kind::TemporalProbe { node, proj } => {
-                input.filter(|row| oracle.contains(node, &row.project(proj)))
+                if scratch.vectorize() && self.node_id != UNTRACKED && oracle.probe_monotone(node) {
+                    self.execute_probe_monotone(node, proj, oracle, input, scratch)
+                } else {
+                    input.filter(|row| oracle.contains(node, &row.project(proj)))
+                }
             }
             Kind::TemporalJoin { node, shape } => {
                 input.natural_join_shaped(&oracle.extension(node), shape, scratch)

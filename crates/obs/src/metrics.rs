@@ -160,7 +160,7 @@ fn round3(x: f64) -> f64 {
 /// One profiled plan node as a JSON row (shared by the per-constraint
 /// profile listing and the aggregated hot-node list).
 fn profiled_node_json(node: &ProfiledNode) -> Json {
-    Json::object()
+    let mut doc = Json::object()
         .set("path", node.desc.path.clone())
         .set("label", node.desc.label.clone())
         .set("depth", node.desc.depth)
@@ -172,7 +172,14 @@ fn profiled_node_json(node: &ProfiledNode) -> Json {
         .set("rows_in", node.counts.rows_in)
         .set("rows_out", node.counts.rows_out)
         .set("cache_hits", node.counts.cache_hits)
-        .set("cache_misses", node.counts.cache_misses)
+        .set("cache_misses", node.counts.cache_misses);
+    // Vectorized nodes report their columnar batch shape.
+    if let Some(rpb) = node.counts.rows_per_block() {
+        doc = doc
+            .set("blocks", node.counts.blocks)
+            .set("rows_per_block", rpb);
+    }
+    doc
 }
 
 /// The latest ingest-plane gauges of a resident server (`rtic serve`),
@@ -235,6 +242,11 @@ pub struct MetricsRegistry {
     checkpoint_restores: u64,
     checkpoint_bytes: u64,
     checkpoint_fallbacks: u64,
+    batches: u64,
+    batch_lines: u64,
+    batch_tuples: u64,
+    /// Lines in the most recent ingest batch (0 before the first batch).
+    last_batch_size: u64,
     quarantines: u64,
     quarantined_constraints: Vec<&'static str>,
     bad_lines: u64,
@@ -296,6 +308,21 @@ impl MetricsRegistry {
     /// Malformed history lines skipped under a lenient bad-line policy.
     pub fn bad_lines(&self) -> u64 {
         self.bad_lines
+    }
+
+    /// Ingest batches applied via the amortized batch path.
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// History lines absorbed through batched ingestion.
+    pub fn batch_lines(&self) -> u64 {
+        self.batch_lines
+    }
+
+    /// Lines in the most recent ingest batch (0 before the first batch).
+    pub fn last_batch_size(&self) -> u64 {
+        self.last_batch_size
     }
 
     /// Latest observed space stats, summed across checkers.
@@ -459,6 +486,10 @@ impl MetricsRegistry {
                 ),
             )
             .set("bad_lines", self.bad_lines)
+            .set("batches", self.batches)
+            .set("batch_lines", self.batch_lines)
+            .set("batch_tuples", self.batch_tuples)
+            .set("last_batch_size", self.last_batch_size)
             .set("step_latency_us", self.step_latency.to_json())
             .set("eval_latency_us", self.eval_latency.to_json())
             .set(
@@ -619,6 +650,29 @@ impl MetricsRegistry {
             "Malformed history lines skipped under a lenient policy.",
             self.bad_lines,
         );
+        if self.batches > 0 {
+            counter(
+                "batches_total",
+                "Ingest batches applied via the amortized batch path.",
+                self.batches,
+            );
+            counter(
+                "batch_lines_total",
+                "History lines absorbed through batched ingestion.",
+                self.batch_lines,
+            );
+            counter(
+                "batch_tuples_total",
+                "Tuples absorbed through batched ingestion.",
+                self.batch_tuples,
+            );
+            let _ = writeln!(
+                out,
+                "# HELP rtic_batch_size Lines in the most recent ingest batch."
+            );
+            let _ = writeln!(out, "# TYPE rtic_batch_size gauge");
+            let _ = writeln!(out, "rtic_batch_size {}", self.last_batch_size);
+        }
 
         let _ = writeln!(out, "# HELP rtic_evals_total Constraint evaluations.");
         let _ = writeln!(out, "# TYPE rtic_evals_total counter");
@@ -1001,6 +1055,12 @@ impl StepObserver for MetricsRegistry {
                     *gauges.violated_samples.entry(name.as_str()).or_default() += 1;
                 }
             }
+            StepEvent::BatchIngest { lines, tuples } => {
+                self.batches += 1;
+                self.batch_lines += *lines as u64;
+                self.batch_tuples += *tuples as u64;
+                self.last_batch_size = *lines as u64;
+            }
             StepEvent::ShardSample {
                 constraint, stats, ..
             } => {
@@ -1362,6 +1422,35 @@ mod tests {
         assert!(text.contains(
             "rtic_smc_violated_samples_total{scenario=\"fraud\",constraint=\"structuring\"} 2"
         ));
+    }
+
+    #[test]
+    fn batch_ingest_events_reach_counters_and_expositions() {
+        let mut registry = MetricsRegistry::new();
+        // Line-at-a-time runs never emit BatchIngest: the families stay
+        // out of the Prometheus exposition entirely.
+        assert!(!registry.render_prometheus().contains("rtic_batch"));
+        registry.observe(&StepEvent::BatchIngest {
+            lines: 64,
+            tuples: 192,
+        });
+        registry.observe(&StepEvent::BatchIngest {
+            lines: 17,
+            tuples: 40,
+        });
+        assert_eq!(registry.batches(), 2);
+        assert_eq!(registry.batch_lines(), 81);
+        assert_eq!(registry.last_batch_size(), 17);
+        let doc = json::parse(&registry.render_json()).unwrap();
+        assert_eq!(doc.get("batches").and_then(Json::as_u64), Some(2));
+        assert_eq!(doc.get("batch_lines").and_then(Json::as_u64), Some(81));
+        assert_eq!(doc.get("batch_tuples").and_then(Json::as_u64), Some(232));
+        assert_eq!(doc.get("last_batch_size").and_then(Json::as_u64), Some(17));
+        let text = registry.render_prometheus();
+        assert!(text.contains("rtic_batches_total 2"));
+        assert!(text.contains("rtic_batch_lines_total 81"));
+        assert!(text.contains("rtic_batch_tuples_total 232"));
+        assert!(text.contains("rtic_batch_size 17"));
     }
 
     #[test]

@@ -73,6 +73,9 @@ pub fn event_json(seq: u64, event: &StepEvent<'_>) -> Json {
         StepEvent::BadLine { line, detail } => base
             .set("line", *line as u64)
             .set("detail", detail.as_str()),
+        StepEvent::BatchIngest { lines, tuples } => {
+            base.set("lines", *lines).set("tuples", *tuples)
+        }
         StepEvent::PlanStatsSample {
             checker,
             constraint,
@@ -101,7 +104,7 @@ pub fn event_json(seq: u64, event: &StepEvent<'_>) -> Json {
                         .nodes
                         .iter()
                         .map(|n| {
-                            Json::object()
+                            let mut node = Json::object()
                                 .set("path", n.desc.path.clone())
                                 .set("label", n.desc.label.clone())
                                 .set("calls", n.counts.calls)
@@ -109,7 +112,13 @@ pub fn event_json(seq: u64, event: &StepEvent<'_>) -> Json {
                                 .set("rows_in", n.counts.rows_in)
                                 .set("rows_out", n.counts.rows_out)
                                 .set("cache_hits", n.counts.cache_hits)
-                                .set("cache_misses", n.counts.cache_misses)
+                                .set("cache_misses", n.counts.cache_misses);
+                            if let Some(rpb) = n.counts.rows_per_block() {
+                                node = node
+                                    .set("blocks", n.counts.blocks)
+                                    .set("rows_per_block", rpb);
+                            }
+                            node
                         })
                         .collect(),
                 ),
@@ -669,6 +678,15 @@ impl StepObserver for ChromeTraceWriter {
                         .set("detail", detail.as_str()),
                 ));
             }
+            StepEvent::BatchIngest { lines, tuples } => {
+                let ts = self.cursor_us;
+                self.emit(Self::instant(
+                    "batch_ingest",
+                    ts,
+                    CHROME_STEP_TID,
+                    Json::object().set("lines", *lines).set("tuples", *tuples),
+                ));
+            }
             StepEvent::PlanStatsSample {
                 constraint, stats, ..
             } => {
@@ -768,19 +786,20 @@ impl StepObserver for ChromeTraceWriter {
                     }
                     let start = stack.last().map_or(base, |&(_, at)| at);
                     let dur = node.counts.time_ns as f64 / 1e3;
-                    self.emit(Self::span(
-                        &node.desc.label,
-                        start,
-                        dur,
-                        tid,
-                        Json::object()
-                            .set("path", node.desc.path.clone())
-                            .set("calls", node.counts.calls)
-                            .set("rows_in", node.counts.rows_in)
-                            .set("rows_out", node.counts.rows_out)
-                            .set("cache_hits", node.counts.cache_hits)
-                            .set("cache_misses", node.counts.cache_misses),
-                    ));
+                    let mut args = Json::object()
+                        .set("path", node.desc.path.clone())
+                        .set("calls", node.counts.calls)
+                        .set("rows_in", node.counts.rows_in)
+                        .set("rows_out", node.counts.rows_out)
+                        .set("cache_hits", node.counts.cache_hits)
+                        .set("cache_misses", node.counts.cache_misses);
+                    // Vectorized nodes report their columnar batch shape.
+                    if let Some(rpb) = node.counts.rows_per_block() {
+                        args = args
+                            .set("blocks", node.counts.blocks)
+                            .set("rows_per_block", rpb);
+                    }
+                    self.emit(Self::span(&node.desc.label, start, dur, tid, args));
                     if let Some(top) = stack.last_mut() {
                         top.1 += dur;
                     } else {

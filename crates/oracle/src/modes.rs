@@ -10,7 +10,7 @@ use std::sync::Arc;
 use rtic_active::ActiveChecker;
 use rtic_core::{
     checkpoint, BackendId, Checker, ConstraintSet, EncodingOptions, IncrementalChecker,
-    NaiveChecker, Parallelism, WindowedChecker,
+    NaiveChecker, NopObserver, Parallelism, WindowedChecker,
 };
 use rtic_history::Transition;
 use rtic_relation::Catalog;
@@ -46,13 +46,26 @@ pub enum Mode {
     /// per-shard checkpoint sections, so resume rematerializes exactly
     /// the live shards. Sharded must be byte-identical to everything.
     FleetSharded,
+    /// The incremental checker on the columnar (vectorized) evaluation
+    /// path (`EncodingOptions::vectorize`) — block-backed joins and
+    /// projections diffed against the interpreting reference.
+    IncrementalVectorized,
+    /// [`ConstraintSet`] on the vectorized path, ingesting the history
+    /// through [`ConstraintSet::apply_batch`] in seed-derived chunk
+    /// sizes — one run pins both columnar execution and batched
+    /// ingestion against the line-at-a-time scalar reference.
+    SetVectorizedBatched,
+    /// [`Mode::FleetSharded`]'s kill+resume stitch with the vectorized
+    /// path on across both halves: per-shard checkpoints written by a
+    /// columnar fleet must restore into a columnar fleet byte-for-byte.
+    FleetShardedVectorized,
 }
 
 impl Mode {
     /// Every mode, reference first. The naive checker re-evaluates the
     /// full stored history through the interpreting evaluator and is the
     /// semantics-defining baseline all other modes are diffed against.
-    pub const ALL: [Mode; 10] = [
+    pub const ALL: [Mode; 13] = [
         Mode::Single(BackendId::Naive),
         Mode::Single(BackendId::Incremental),
         Mode::Single(BackendId::Windowed),
@@ -63,6 +76,9 @@ impl Mode {
         Mode::SetParallel,
         Mode::Stitch,
         Mode::FleetSharded,
+        Mode::IncrementalVectorized,
+        Mode::SetVectorizedBatched,
+        Mode::FleetShardedVectorized,
     ];
 
     /// The mode's `--backends` flag name.
@@ -75,6 +91,9 @@ impl Mode {
             Mode::SetParallel => "set-par",
             Mode::Stitch => "stitch",
             Mode::FleetSharded => "fleet-sharded",
+            Mode::IncrementalVectorized => "inc-vec",
+            Mode::SetVectorizedBatched => "set-vec",
+            Mode::FleetShardedVectorized => "fleet-sharded-vec",
         }
     }
 
@@ -137,7 +156,35 @@ pub fn run_constraint(
         Mode::SetSequential => run_set(constraint, catalog, transitions, Parallelism::Sequential),
         Mode::SetParallel => run_set(constraint, catalog, transitions, Parallelism::Auto),
         Mode::Stitch => run_stitch(constraint, catalog, transitions, seed),
-        Mode::FleetSharded => run_fleet_sharded(constraint, catalog, transitions, seed),
+        Mode::FleetSharded => run_fleet_sharded(
+            constraint,
+            catalog,
+            transitions,
+            seed,
+            EncodingOptions::default(),
+        ),
+        Mode::IncrementalVectorized => {
+            let err = |e: rtic_core::CompileError| format!("constraint `{}`: {e}", constraint.name);
+            let options = EncodingOptions {
+                vectorize: true,
+                ..Default::default()
+            };
+            let checker =
+                IncrementalChecker::with_options(constraint.clone(), Arc::clone(catalog), options)
+                    .map_err(err)?;
+            run_single(Box::new(checker), transitions)
+        }
+        Mode::SetVectorizedBatched => run_set_batched(constraint, catalog, transitions, seed),
+        Mode::FleetShardedVectorized => run_fleet_sharded(
+            constraint,
+            catalog,
+            transitions,
+            seed,
+            EncodingOptions {
+                vectorize: true,
+                ..Default::default()
+            },
+        ),
     }
 }
 
@@ -187,6 +234,40 @@ fn run_set(
     for t in transitions {
         let reports = set.step(t.time, &t.update).map_err(|e| e.to_string())?;
         lines.extend(reports.iter().map(|r| r.to_string()));
+    }
+    Ok(lines)
+}
+
+/// [`Mode::SetVectorizedBatched`]: the columnar fleet fed through
+/// [`ConstraintSet::apply_batch`] in a seed-derived chunk size (1..=8 —
+/// small enough that most histories get several batches plus a ragged
+/// tail). Report lines must be byte-identical to line-at-a-time scalar
+/// stepping.
+fn run_set_batched(
+    constraint: &Constraint,
+    catalog: &Arc<Catalog>,
+    transitions: &[Transition],
+    seed: u64,
+) -> Result<Vec<String>, String> {
+    let chunk = 1 + (derive_seed(seed, 0xBA7C) % 8) as usize;
+    let options = EncodingOptions {
+        vectorize: true,
+        ..Default::default()
+    };
+    let mut set = ConstraintSet::with_options([constraint.clone()], Arc::clone(catalog), options)
+        .map_err(|(c, e)| format!("constraint `{}`: {e}", c.name))?;
+    let batch: Vec<_> = transitions
+        .iter()
+        .map(|t| (t.time, t.update.clone()))
+        .collect();
+    let mut lines = Vec::with_capacity(transitions.len());
+    for chunk in batch.chunks(chunk) {
+        let per_line = set
+            .apply_batch(chunk, &mut NopObserver)
+            .map_err(|e| e.to_string())?;
+        for reports in &per_line {
+            lines.extend(reports.iter().map(|r| r.to_string()));
+        }
     }
     Ok(lines)
 }
@@ -242,10 +323,11 @@ fn run_fleet_sharded(
     catalog: &Arc<Catalog>,
     transitions: &[Transition],
     seed: u64,
+    options: EncodingOptions,
 ) -> Result<Vec<String>, String> {
     let kill = stitch_kill_step(derive_seed(seed, 0x5A4D), transitions.len());
     let horizon = 1 + (derive_seed(seed, 0xE71C) % 4) as u32;
-    let mut set = ConstraintSet::new([constraint.clone()], Arc::clone(catalog))
+    let mut set = ConstraintSet::with_options([constraint.clone()], Arc::clone(catalog), options)
         .map_err(|(c, e)| format!("constraint `{}`: {e}", c.name))?
         .with_sharding(true);
     set.set_shard_eviction(horizon);
@@ -262,7 +344,7 @@ fn run_fleet_sharded(
     let mut resumed = checkpoint::restore_set_sharded(
         [constraint.clone()],
         Arc::clone(catalog),
-        EncodingOptions::default(),
+        options,
         &sections,
         true,
     )

@@ -1,0 +1,258 @@
+//! Column-major tuple blocks: the columnar twin of row [`Tuple`] storage.
+//!
+//! A [`TupleBlock`] holds a fixed-arity set of tuples as one `Vec<Value>`
+//! per column, with rows kept in **sorted-unique** order — the same order
+//! every output boundary (reports, checkpoints, `Display`) already uses.
+//! Values are `Copy` and strings are dictionary-interned [`crate::Symbol`]s
+//! underneath [`Value`], so a column is a flat machine-word vector that
+//! vectorized join/projection kernels can stream through without chasing
+//! per-row allocations.
+//!
+//! Conversions are lossless and order-preserving: building a block from any
+//! tuple iterator sorts and deduplicates, and [`TupleBlock::to_tuples`]
+//! yields exactly the sorted-unique row sequence back. That makes the block
+//! representation invisible at every existing sorted boundary — anything
+//! printed or persisted through a round trip stays byte-identical.
+
+use std::fmt;
+
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// A column-major block of same-arity tuples in sorted-unique row order.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TupleBlock {
+    /// Number of rows (every column has exactly this length).
+    rows: usize,
+    /// One flat vector per column.
+    cols: Vec<Vec<Value>>,
+}
+
+impl TupleBlock {
+    /// An empty block of the given arity.
+    pub fn empty(arity: usize) -> TupleBlock {
+        TupleBlock {
+            rows: 0,
+            cols: vec![Vec::new(); arity],
+        }
+    }
+
+    /// Builds a block from tuples, sorting and deduplicating rows.
+    ///
+    /// # Panics
+    /// Panics when tuples disagree on arity.
+    pub fn from_tuples(tuples: impl IntoIterator<Item = Tuple>) -> TupleBlock {
+        let mut rows: Vec<Tuple> = tuples.into_iter().collect();
+        rows.sort_unstable();
+        rows.dedup();
+        Self::from_sorted_unique(&rows)
+    }
+
+    /// Builds a block from rows already in sorted-unique order (the order
+    /// [`crate::Relation`] iterates in and `sorted_rows` boundaries emit).
+    ///
+    /// # Panics
+    /// Panics when rows disagree on arity; debug-asserts sortedness.
+    pub fn from_sorted_unique(rows: &[Tuple]) -> TupleBlock {
+        debug_assert!(
+            rows.windows(2).all(|w| w[0] < w[1]),
+            "rows must be sorted and unique"
+        );
+        let arity = rows.first().map_or(0, Tuple::arity);
+        let mut cols: Vec<Vec<Value>> =
+            (0..arity).map(|_| Vec::with_capacity(rows.len())).collect();
+        for t in rows {
+            assert_eq!(t.arity(), arity, "mixed arity in TupleBlock");
+            for (c, col) in cols.iter_mut().enumerate() {
+                col.push(t[c]);
+            }
+        }
+        TupleBlock {
+            rows: rows.len(),
+            cols,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether the block has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// The flat value vector of column `c`.
+    ///
+    /// # Panics
+    /// Panics when `c` is out of range.
+    pub fn column(&self, c: usize) -> &[Value] {
+        &self.cols[c]
+    }
+
+    /// Materializes row `i` back into a [`Tuple`].
+    ///
+    /// # Panics
+    /// Panics when `i` is out of range.
+    pub fn row(&self, i: usize) -> Tuple {
+        assert!(i < self.rows, "row index out of range");
+        self.cols.iter().map(|col| col[i]).collect()
+    }
+
+    /// Iterates rows in sorted order, materializing each as a [`Tuple`].
+    pub fn iter(&self) -> impl Iterator<Item = Tuple> + '_ {
+        (0..self.rows).map(|i| self.row(i))
+    }
+
+    /// All rows, in sorted-unique order.
+    pub fn to_tuples(&self) -> Vec<Tuple> {
+        self.iter().collect()
+    }
+
+    /// A new block keeping only the columns at `positions` (in that order),
+    /// re-sorted and deduplicated — projection as a column gather instead
+    /// of a per-row rebuild.
+    ///
+    /// # Panics
+    /// Panics on out-of-range positions.
+    pub fn project(&self, positions: &[usize]) -> TupleBlock {
+        // Gather columns first (pure memcpy of flat vectors), then restore
+        // the sorted-unique invariant over the narrower rows.
+        let gathered: Vec<&[Value]> = positions.iter().map(|&p| self.column(p)).collect();
+        let mut rows: Vec<Tuple> = (0..self.rows)
+            .map(|i| gathered.iter().map(|col| col[i]).collect())
+            .collect();
+        rows.sort_unstable();
+        rows.dedup();
+        TupleBlock::from_sorted_unique(&rows)
+    }
+
+    /// A new block without column `c` — `project_away` as a column drop.
+    ///
+    /// # Panics
+    /// Panics when `c` is out of range.
+    pub fn drop_column(&self, c: usize) -> TupleBlock {
+        assert!(c < self.arity(), "column index out of range");
+        let keep: Vec<usize> = (0..self.arity()).filter(|&i| i != c).collect();
+        self.project(&keep)
+    }
+}
+
+impl FromIterator<Tuple> for TupleBlock {
+    fn from_iter<I: IntoIterator<Item = Tuple>>(iter: I) -> TupleBlock {
+        TupleBlock::from_tuples(iter)
+    }
+}
+
+impl fmt::Display for TupleBlock {
+    /// Renders as `{ (a, 1), (b, 2) }` — byte-identical to a
+    /// [`crate::Relation`] holding the same tuples.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("{")?;
+        for i in 0..self.rows {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, " {}", self.row(i))?;
+        }
+        f.write_str(" }")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::Relation;
+    use crate::schema::Schema;
+    use crate::tuple;
+    use crate::value::Sort;
+
+    #[test]
+    fn from_tuples_sorts_and_dedups() {
+        let b = TupleBlock::from_tuples([tuple!["b", 2], tuple!["a", 1], tuple!["b", 2]]);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.arity(), 2);
+        assert_eq!(b.row(0), tuple!["a", 1]);
+        assert_eq!(b.row(1), tuple!["b", 2]);
+    }
+
+    #[test]
+    fn columns_are_flat_value_vectors() {
+        let b = TupleBlock::from_tuples([tuple!["a", 1], tuple!["b", 2]]);
+        assert_eq!(b.column(1), &[Value::Int(1), Value::Int(2)]);
+        assert_eq!(b.column(0), &[Value::str("a"), Value::str("b")]);
+    }
+
+    #[test]
+    fn round_trip_is_lossless_and_ordered() {
+        let tuples = vec![tuple![3, "c"], tuple![1, "a"], tuple![2, "b"]];
+        let b: TupleBlock = tuples.clone().into_iter().collect();
+        let mut sorted = tuples;
+        sorted.sort_unstable();
+        assert_eq!(b.to_tuples(), sorted);
+        assert_eq!(b.iter().collect::<Vec<_>>(), sorted);
+    }
+
+    #[test]
+    fn display_is_byte_identical_to_relation() {
+        let schema = Schema::of(&[("x", Sort::Str), ("n", Sort::Int)]);
+        let rows = vec![tuple!["b", 2], tuple!["a", 1]];
+        let rel = Relation::from_tuples(schema, rows.clone()).unwrap();
+        let block = TupleBlock::from_tuples(rows);
+        assert_eq!(block.to_string(), rel.to_string());
+        assert_eq!(
+            TupleBlock::empty(2).to_string(),
+            Relation::new(Schema::of(&[("x", Sort::Str), ("n", Sort::Int)])).to_string()
+        );
+    }
+
+    #[test]
+    fn sorted_boundary_conversion_preserves_row_order() {
+        // The block's row order is exactly what sorted_rows-style
+        // boundaries print, so converting at the boundary is a no-op.
+        let rows = vec![tuple![2, 20], tuple![1, 10], tuple![3, 30]];
+        let block = TupleBlock::from_tuples(rows.clone());
+        let mut sorted = rows;
+        sorted.sort_unstable();
+        let printed_rows: Vec<String> = sorted.iter().map(ToString::to_string).collect();
+        let printed_block: Vec<String> = block.iter().map(|t| t.to_string()).collect();
+        assert_eq!(printed_block, printed_rows);
+    }
+
+    #[test]
+    fn project_gathers_reorders_and_dedups() {
+        let b = TupleBlock::from_tuples([tuple![1, 10], tuple![2, 10], tuple![3, 30]]);
+        let p = b.project(&[1]);
+        assert_eq!(p.len(), 2, "deduplicated after dropping the key column");
+        assert_eq!(p.column(0), &[Value::Int(10), Value::Int(30)]);
+        let swapped = b.project(&[1, 0]);
+        assert_eq!(swapped.row(0), tuple![10, 1]);
+    }
+
+    #[test]
+    fn drop_column_matches_project_away() {
+        let b = TupleBlock::from_tuples([tuple![1, 10, 100], tuple![2, 20, 200]]);
+        assert_eq!(b.drop_column(1), b.project(&[0, 2]));
+        assert_eq!(b.drop_column(1).arity(), 2);
+    }
+
+    #[test]
+    fn empty_blocks() {
+        let b = TupleBlock::empty(3);
+        assert!(b.is_empty());
+        assert_eq!(b.arity(), 3);
+        assert_eq!(TupleBlock::from_tuples([]).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mixed arity")]
+    fn mixed_arity_rejected() {
+        let _ = TupleBlock::from_tuples([tuple![1], tuple![1, 2]]);
+    }
+}

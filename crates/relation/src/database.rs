@@ -87,6 +87,20 @@ impl Catalog {
     }
 }
 
+/// The net tuple-level change the most recent [`Database::apply`] made to
+/// one relation: events in application order, `true` for an insertion that
+/// actually added the tuple, `false` for a deletion that actually removed
+/// it. No-op operations (deleting an absent tuple, inserting a present one)
+/// produce no event, so replaying the events against the previous contents
+/// reproduces the current contents exactly.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct RelDelta {
+    /// The relation's [`Database::rel_gen`] after this change.
+    pub generation: u64,
+    /// Tuple events in application order: `(tuple, added)`.
+    pub events: Vec<(Tuple, bool)>,
+}
+
 /// A database state: one instance per catalogued relation.
 #[derive(Debug)]
 pub struct Database {
@@ -94,6 +108,14 @@ pub struct Database {
     relations: BTreeMap<Symbol, Relation>,
     id: u64,
     generation: u64,
+    /// Per-relation generation counters, bumped only when a relation's
+    /// contents actually change (unlike the conservative global
+    /// `generation`). Missing entries mean generation 0.
+    rel_gens: BTreeMap<Symbol, u64>,
+    /// The most recent actual delta per relation, for incremental cache
+    /// refresh. Cleared for a relation whenever its contents change through
+    /// a path that cannot describe the change (`relation_mut`).
+    rel_deltas: BTreeMap<Symbol, RelDelta>,
 }
 
 fn fresh_db_id() -> u64 {
@@ -112,6 +134,8 @@ impl Clone for Database {
             relations: self.relations.clone(),
             id: fresh_db_id(),
             generation: 0,
+            rel_gens: BTreeMap::new(),
+            rel_deltas: BTreeMap::new(),
         }
     }
 }
@@ -142,6 +166,8 @@ impl Database {
             relations,
             id: fresh_db_id(),
             generation: 0,
+            rel_gens: BTreeMap::new(),
+            rel_deltas: BTreeMap::new(),
         }
     }
 
@@ -152,6 +178,31 @@ impl Database {
     /// caches can key on the stamp instead of hashing tuples.
     pub fn cache_stamp(&self) -> (u64, u64) {
         (self.id, self.generation)
+    }
+
+    /// The unique identity of this instance (the first component of
+    /// [`Database::cache_stamp`]).
+    pub fn instance_id(&self) -> u64 {
+        self.id
+    }
+
+    /// Per-relation generation: bumped only when `name`'s contents actually
+    /// change (no-op inserts/deletes leave it alone), unlike the global
+    /// stamp which conservatively advances on every non-empty update.
+    /// Unknown relations report generation 0. Together with
+    /// [`Database::instance_id`] this gives finer-grained cache keys: a
+    /// cached result that reads only relations whose generations are
+    /// unchanged is still valid.
+    pub fn rel_gen(&self, name: Symbol) -> u64 {
+        self.rel_gens.get(&name).copied().unwrap_or(0)
+    }
+
+    /// The actual tuple delta of the most recent [`Database::apply`] that
+    /// changed `name`, if still known. `delta.generation == rel_gen(name)`
+    /// and replaying `delta.events` against the relation's contents at
+    /// generation `rel_gen(name) - 1` reproduces its current contents.
+    pub fn rel_delta(&self, name: Symbol) -> Option<&RelDelta> {
+        self.rel_deltas.get(&name)
     }
 
     /// The shared catalog.
@@ -170,6 +221,10 @@ impl Database {
     /// handing out `&mut` counts as a mutation.
     pub fn relation_mut(&mut self, name: Symbol) -> Result<&mut Relation, RelationError> {
         self.generation += 1;
+        // Whatever the caller does through `&mut` is invisible to us, so the
+        // per-relation generation moves and any recorded delta is dropped.
+        *self.rel_gens.entry(name).or_insert(0) += 1;
+        self.rel_deltas.remove(&name);
         self.relations
             .get_mut(&name)
             .ok_or(RelationError::UnknownRelation { name })
@@ -212,17 +267,35 @@ impl Database {
         if !update.is_empty() {
             self.generation += 1;
         }
+        // Record, per relation, the tuple events that actually changed
+        // contents (set semantics: no-op deletes/inserts record nothing).
+        let mut events: BTreeMap<Symbol, Vec<(Tuple, bool)>> = BTreeMap::new();
         for (name, tuples) in &update.deletes {
             let rel = self.relations.get_mut(name).expect("validated above");
             for t in tuples {
-                rel.remove(t);
+                if rel.remove(t) {
+                    events.entry(*name).or_default().push((t.clone(), false));
+                }
             }
         }
         for (name, tuples) in &update.inserts {
             let rel = self.relations.get_mut(name).expect("validated above");
             for t in tuples {
-                rel.insert(t.clone()).expect("validated above");
+                if rel.insert(t.clone()).expect("validated above") {
+                    events.entry(*name).or_default().push((t.clone(), true));
+                }
             }
+        }
+        for (name, events) in events {
+            let generation = self.rel_gens.entry(name).or_insert(0);
+            *generation += 1;
+            self.rel_deltas.insert(
+                name,
+                RelDelta {
+                    generation: *generation,
+                    events,
+                },
+            );
         }
         Ok(())
     }
@@ -421,6 +494,83 @@ mod tests {
             .with_delete("r", tuple!["b"]);
         assert!(!u.is_empty());
         assert_eq!(u.len(), 2);
+    }
+
+    #[test]
+    fn rel_gen_moves_only_on_actual_change() {
+        let mut db = Database::new(catalog());
+        let r = Symbol::intern("r");
+        let s = Symbol::intern("s");
+        assert_eq!(db.rel_gen(r), 0);
+
+        db.apply(&Update::new().with_insert("r", tuple!["a"]))
+            .unwrap();
+        assert_eq!(db.rel_gen(r), 1);
+        assert_eq!(db.rel_gen(s), 0, "untouched relation keeps its stamp");
+
+        // Re-inserting a present tuple is a set-semantics no-op: the global
+        // stamp conservatively advances, the per-relation one does not.
+        let before = db.cache_stamp();
+        db.apply(&Update::new().with_insert("r", tuple!["a"]))
+            .unwrap();
+        assert_ne!(db.cache_stamp(), before);
+        assert_eq!(db.rel_gen(r), 1);
+
+        db.apply(&Update::new().with_delete("r", tuple!["missing"]))
+            .unwrap();
+        assert_eq!(db.rel_gen(r), 1, "deleting an absent tuple is a no-op");
+    }
+
+    #[test]
+    fn rel_delta_replays_to_current_contents() {
+        let mut db = Database::new(catalog());
+        let r = Symbol::intern("r");
+        db.apply(&Update::new().with_insert("r", tuple!["a"]))
+            .unwrap();
+        db.apply(
+            &Update::new()
+                .with_delete("r", tuple!["a"])
+                .with_insert("r", tuple!["a"])
+                .with_insert("r", tuple!["b"]),
+        )
+        .unwrap();
+        let delta = db.rel_delta(r).unwrap();
+        assert_eq!(delta.generation, db.rel_gen(r));
+        // Replay events against the prior contents {a}.
+        let mut replay: BTreeSet<Tuple> = [tuple!["a"]].into_iter().collect();
+        for (t, added) in &delta.events {
+            if *added {
+                replay.insert(t.clone());
+            } else {
+                replay.remove(t);
+            }
+        }
+        let now: BTreeSet<Tuple> = db.relation(r).unwrap().iter().cloned().collect();
+        assert_eq!(replay, now);
+    }
+
+    #[test]
+    fn relation_mut_bumps_rel_gen_and_drops_delta() {
+        let mut db = Database::new(catalog());
+        let r = Symbol::intern("r");
+        db.apply(&Update::new().with_insert("r", tuple!["a"]))
+            .unwrap();
+        assert!(db.rel_delta(r).is_some());
+        let g = db.rel_gen(r);
+        db.relation_mut(r).unwrap();
+        assert_eq!(db.rel_gen(r), g + 1);
+        assert!(db.rel_delta(r).is_none(), "opaque mutation drops the delta");
+    }
+
+    #[test]
+    fn clone_resets_per_relation_stamps() {
+        let mut db = Database::new(catalog());
+        db.apply(&Update::new().with_insert("r", tuple!["a"]))
+            .unwrap();
+        let db2 = db.clone();
+        assert_ne!(db2.instance_id(), db.instance_id());
+        assert_eq!(db2.rel_gen(Symbol::intern("r")), 0);
+        assert!(db2.rel_delta(Symbol::intern("r")).is_none());
     }
 
     #[test]

@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod algebra;
+mod block;
 mod database;
 mod error;
 mod relation;
@@ -41,7 +42,8 @@ mod symbol;
 mod tuple;
 mod value;
 
-pub use database::{Catalog, Database, Update};
+pub use block::TupleBlock;
+pub use database::{Catalog, Database, RelDelta, Update};
 pub use error::RelationError;
 pub use relation::Relation;
 pub use schema::{Attribute, Schema};

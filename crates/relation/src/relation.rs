@@ -254,6 +254,39 @@ mod tests {
     }
 
     #[test]
+    fn index_invalidation_across_insert_delete_and_retain() {
+        let mut r =
+            Relation::from_tuples(schema(), [tuple!["a", 1], tuple!["b", 1], tuple!["a", 2]])
+                .unwrap();
+        let idx = r.index_on(&[1]);
+
+        // Delete-side invalidation: the cached index is rebuilt and the
+        // removed tuple no longer appears under its key.
+        assert!(r.remove(&tuple!["b", 1]));
+        let after_delete = r.index_on(&[1]);
+        assert!(!Arc::ptr_eq(&idx, &after_delete));
+        assert_eq!(after_delete[&vec![crate::Value::Int(1)]].len(), 1);
+
+        // Insert-side again after the delete rebuild.
+        r.insert(tuple!["c", 1]).unwrap();
+        let after_insert = r.index_on(&[1]);
+        assert!(!Arc::ptr_eq(&after_delete, &after_insert));
+        assert_eq!(after_insert[&vec![crate::Value::Int(1)]].len(), 2);
+
+        // retain() is a bulk delete: also invalidates.
+        r.retain(|t| t[1] == crate::Value::Int(2));
+        let after_retain = r.index_on(&[1]);
+        assert!(!Arc::ptr_eq(&after_insert, &after_retain));
+        assert!(!after_retain.contains_key(&vec![crate::Value::Int(1)]));
+        assert_eq!(after_retain[&vec![crate::Value::Int(2)]].len(), 1);
+
+        // A no-op remove still conservatively invalidates (cheap and safe).
+        let before = r.index_on(&[1]);
+        assert!(!r.remove(&tuple!["zzz", 9]));
+        assert!(!Arc::ptr_eq(&before, &r.index_on(&[1])));
+    }
+
+    #[test]
     fn index_on_empty_columns_groups_everything() {
         let r = Relation::from_tuples(schema(), [tuple!["a", 1], tuple!["b", 2]]).unwrap();
         let idx = r.index_on(&[]);

@@ -103,6 +103,18 @@ impl<T> IngestQueue<T> {
         }
     }
 
+    /// Dequeues the oldest item without waiting: `None` when the queue
+    /// is empty (or paused and still open). The engine's micro-batcher
+    /// uses this to drain whatever is already queued behind the first
+    /// popped job without sleeping on the condvar.
+    pub fn try_pop(&self) -> Option<T> {
+        let mut inner = self.lock();
+        if inner.paused && !inner.closed {
+            return None;
+        }
+        inner.items.pop_front()
+    }
+
     /// Stops accepting pushes; pops drain what is already queued. Wakes
     /// every waiter. Draining a closed queue un-pauses it.
     pub fn close(&self) {
@@ -189,6 +201,21 @@ mod tests {
         assert_eq!(q.pop_timeout(Duration::from_millis(1)), Some(2));
         // Closed + empty: no wait, immediate None.
         assert_eq!(q.pop_timeout(Duration::from_secs(60)), None);
+    }
+
+    #[test]
+    fn try_pop_never_waits_and_respects_pause() {
+        let q = IngestQueue::new(4);
+        assert_eq!(q.try_pop(), None);
+        q.try_push(1).ok();
+        q.try_push(2).ok();
+        q.set_paused(true);
+        assert_eq!(q.try_pop(), None, "paused queues hold their items");
+        q.set_paused(false);
+        assert_eq!(q.try_pop(), Some(1));
+        q.close();
+        assert_eq!(q.try_pop(), Some(2), "closed queues still drain");
+        assert_eq!(q.try_pop(), None);
     }
 
     #[test]

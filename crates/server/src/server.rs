@@ -98,6 +98,13 @@ pub struct ServeConfig {
     pub shard_evict: Option<u32>,
     /// Fleet worker threads.
     pub parallelism: Option<Parallelism>,
+    /// Micro-batch bound: after popping a job the engine drains up to
+    /// this many queued jobs and applies them as one ingestion unit —
+    /// one checkpoint write, one metrics sample, and one `batch_ingest`
+    /// event per batch instead of per step. 1 disables batching.
+    pub batch: usize,
+    /// Columnar (vectorized) plan execution for the fleet.
+    pub vectorize: bool,
     /// Fault-injection plan for chaos drills.
     pub faults: FailPlan,
     /// Where to write the final violation report on drain.
@@ -124,6 +131,8 @@ impl ServeConfig {
             sharding: false,
             shard_evict: None,
             parallelism: None,
+            batch: 1,
+            vectorize: false,
             faults: FailPlan::default(),
             report_path: None,
             metrics_path: None,
@@ -364,6 +373,8 @@ pub fn serve(
         sharding,
         shard_evict,
         parallelism,
+        batch,
+        vectorize,
         faults,
         report_path,
         metrics_path,
@@ -375,7 +386,11 @@ pub fn serve(
         // aimed at a sibling instance in the same process.
         signal::reset();
     }
-    let options = EncodingOptions::default();
+    let batch = batch.max(1);
+    let options = EncodingOptions {
+        vectorize,
+        ..Default::default()
+    };
     let rotation = checkpoint
         .as_ref()
         .map(|path| Rotation::new(path, checkpoint_keep));
@@ -435,7 +450,9 @@ pub fn serve(
                 restored_banner = Some((found_path, format, set.last_time()));
                 set
             }
-            None if outcome.rejected.is_empty() => fresh_set(&constraints, &catalog, sharding)?,
+            None if outcome.rejected.is_empty() => {
+                fresh_set(&constraints, &catalog, options, sharding)?
+            }
             None => {
                 return Err(
                     "cannot resume: every checkpoint candidate in the rotation set \
@@ -445,7 +462,7 @@ pub fn serve(
             }
         }
     } else {
-        fresh_set(&constraints, &catalog, sharding)?
+        fresh_set(&constraints, &catalog, options, sharding)?
     };
     if let Some(horizon) = shard_evict {
         set.set_shard_eviction(horizon);
@@ -515,6 +532,7 @@ pub fn serve(
         &mut registry,
         &shared,
         policy,
+        batch,
         shutdown.as_ref(),
         report_path.as_deref(),
         metrics_path.as_deref(),
@@ -538,15 +556,14 @@ pub fn serve(
 fn fresh_set(
     constraints: &[Constraint],
     catalog: &Arc<Catalog>,
+    options: EncodingOptions,
     sharding: bool,
 ) -> Result<ConstraintSet, String> {
-    Ok(ConstraintSet::with_options(
-        constraints.iter().cloned(),
-        Arc::clone(catalog),
-        EncodingOptions::default(),
+    Ok(
+        ConstraintSet::with_options(constraints.iter().cloned(), Arc::clone(catalog), options)
+            .map_err(|(c, e)| format!("constraint `{}`: {e}", c.name))?
+            .with_sharding(sharding),
     )
-    .map_err(|(c, e)| format!("constraint `{}`: {e}", c.name))?
-    .with_sharding(sharding))
 }
 
 fn accept_loop(listener: Listener, shared: Arc<Shared>, write_timeout: Duration) {
@@ -706,6 +723,7 @@ fn engine_loop(
     registry: &mut MetricsRegistry,
     shared: &Arc<Shared>,
     policy: CheckpointPolicy,
+    batch: usize,
     shutdown: Option<&Arc<AtomicBool>>,
     report_path: Option<&str>,
     metrics_path: Option<&str>,
@@ -726,8 +744,20 @@ fn engine_loop(
         let job = shared.queue.pop_timeout(Duration::from_millis(25));
         match job {
             Some(job) => {
-                process_job(
-                    job,
+                // Micro-batching: whatever queued up behind the first
+                // job (up to the knob) is absorbed as one ingestion
+                // unit, amortizing the checkpoint write, metrics sample
+                // and reply flushes across the batch.
+                let mut jobs = vec![job];
+                while jobs.len() < batch {
+                    match shared.queue.try_pop() {
+                        Some(next) => jobs.push(next),
+                        None => break,
+                    }
+                }
+                process_batch(
+                    jobs,
+                    batch > 1,
                     set,
                     report,
                     registry,
@@ -813,9 +843,20 @@ fn engine_loop(
     Ok(0)
 }
 
+/// Steps a drained micro-batch of jobs as one ingestion unit.
+///
+/// Per-job semantics (fault checks, replay-skip, step errors, reply
+/// lines) match the line-at-a-time path exactly; what the batch
+/// amortizes is the bookkeeping around the steps — at most one
+/// checkpoint write, one metrics sample, and (when `micro_batching`)
+/// one `batch_ingest` event per batch. Replies are deferred until
+/// after the batch checkpoint so checkpoint-before-ack still holds:
+/// no client sees OK for a step a crash could lose without also
+/// un-acking it.
 #[allow(clippy::too_many_arguments)]
-fn process_job(
-    job: Job,
+fn process_batch(
+    jobs: Vec<Job>,
+    micro_batching: bool,
     set: &mut ConstraintSet,
     report: &mut ServeReport,
     registry: &mut MetricsRegistry,
@@ -825,73 +866,98 @@ fn process_job(
     resume_cursor: Option<TimePoint>,
     replay_skipped: &mut u64,
 ) -> Result<(), String> {
-    match shared.faults.check("serve.step") {
-        Some(FailAction::Abort) => {
-            // Simulated kill -9: no reply, no checkpoint, no cleanup.
-            return Err("injected crash (failpoint `serve.step`)".into());
+    let mut replies: Vec<(Arc<ClientHandle>, Vec<String>)> = Vec::with_capacity(jobs.len());
+    let mut stepped_lines = 0usize;
+    let mut stepped_tuples = 0usize;
+    let mut ticked = false;
+    for job in jobs {
+        match shared.faults.check("serve.step") {
+            Some(FailAction::Abort) => {
+                // Simulated kill -9: no reply, no checkpoint, no
+                // cleanup. Earlier batch entries were applied but never
+                // acked — exactly the window the resume replay covers.
+                return Err("injected crash (failpoint `serve.step`)".into());
+            }
+            Some(FailAction::Panic) => panic!("injected panic (failpoint `serve.step`)"),
+            Some(FailAction::IoError) => {
+                replies.push((
+                    job.reply,
+                    vec![format!("{} injected step fault", protocol::ERR_PREFIX)],
+                ));
+                continue;
+            }
+            _ => {}
         }
-        Some(FailAction::Panic) => panic!("injected panic (failpoint `serve.step`)"),
-        Some(FailAction::IoError) => {
-            job.reply.write_line(
-                shared,
-                &format!("{} injected step fault", protocol::ERR_PREFIX),
-            );
-            return Ok(());
+        let (time, update) = match &job.cmd {
+            JobCmd::Step(tr) => (tr.time, tr.update.clone()),
+            JobCmd::Tick(t) => (*t, Update::new()),
+        };
+        // Replay window: a resumed server acks (without re-checking)
+        // transitions the checkpoint already covers, so clients can
+        // re-stream a log from the top after a crash.
+        if let Some(cursor) = resume_cursor {
+            if time <= cursor {
+                *replay_skipped += 1;
+                replies.push((job.reply, vec![format!("{} replayed", protocol::OK_PREFIX)]));
+                continue;
+            }
         }
-        _ => {}
-    }
-    let (time, update) = match &job.cmd {
-        JobCmd::Step(tr) => (tr.time, tr.update.clone()),
-        JobCmd::Tick(t) => (*t, Update::new()),
-    };
-    // Replay window: a resumed server acks (without re-checking)
-    // transitions the checkpoint already covers, so clients can
-    // re-stream a log from the top after a crash.
-    if let Some(cursor) = resume_cursor {
-        if time <= cursor {
-            *replay_skipped += 1;
-            job.reply
-                .write_line(shared, &format!("{} replayed", protocol::OK_PREFIX));
-            return Ok(());
+        let reports = match set.step_observed(time, &update, registry) {
+            Ok(reports) => reports,
+            Err(e) => {
+                replies.push((
+                    job.reply,
+                    vec![format!("{} at {time}: {e}", protocol::ERR_PREFIX)],
+                ));
+                continue;
+            }
+        };
+        stepped_lines += 1;
+        stepped_tuples += update.len();
+        let mut violations = Vec::new();
+        let mut witnesses = 0usize;
+        for step_report in &reports {
+            if !step_report.ok() {
+                witnesses += step_report.violation_count();
+                violations.push(step_report.to_string());
+            }
         }
-    }
-    let reports = match set.step_observed(time, &update, registry) {
-        Ok(reports) => reports,
-        Err(e) => {
-            job.reply
-                .write_line(shared, &format!("{} at {time}: {e}", protocol::ERR_PREFIX));
-            return Ok(());
-        }
-    };
-    let mut violations = Vec::new();
-    let mut witnesses = 0usize;
-    for step_report in &reports {
-        if !step_report.ok() {
-            witnesses += step_report.violation_count();
-            violations.push(step_report.to_string());
-        }
-    }
-    report.record_step(&violations, witnesses);
-    shared.steps.store(report.transitions, Ordering::SeqCst);
-    shared.witnesses.store(report.witnesses, Ordering::SeqCst);
-    shared
-        .quarantined
-        .store(set.health().quarantined, Ordering::SeqCst);
-    // Checkpoint *before* acking: once the client sees OK, the step is
-    // durable at the configured cadence and a crash cannot lose it
-    // without also un-acking it.
-    if let Some(rotation) = rotation {
+        report.record_step(&violations, witnesses);
+        shared.steps.store(report.transitions, Ordering::SeqCst);
+        shared.witnesses.store(report.witnesses, Ordering::SeqCst);
+        shared
+            .quarantined
+            .store(set.health().quarantined, Ordering::SeqCst);
         if ticker.step_completed() {
+            ticked = true;
+        }
+        let mut lines: Vec<String> = violations
+            .iter()
+            .map(|line| format!("{}{line}", protocol::VIOL_PREFIX))
+            .collect();
+        lines.push(format!("{} {witnesses}", protocol::OK_PREFIX));
+        replies.push((job.reply, lines));
+    }
+    if micro_batching && stepped_lines > 0 {
+        registry.observe(&StepEvent::BatchIngest {
+            lines: stepped_lines,
+            tuples: stepped_tuples,
+        });
+    }
+    // Checkpoint *before* acking: once any client sees OK, its step is
+    // durable at the configured cadence. The ticker advanced per step,
+    // but writes coalesce to one per batch.
+    if let Some(rotation) = rotation {
+        if ticked {
             write_server_checkpoint(set, report, rotation, shared, registry)?;
         }
     }
     emit_serve_sample(registry, shared, None);
-    for line in &violations {
-        job.reply
-            .write_line(shared, &format!("{}{line}", protocol::VIOL_PREFIX));
+    for (reply, lines) in replies {
+        for line in lines {
+            reply.write_line(shared, &line);
+        }
     }
-    job.reply
-        .write_line(shared, &format!("{} {witnesses}", protocol::OK_PREFIX));
     Ok(())
 }
 

@@ -7,6 +7,7 @@
 //! ```text
 //! rtic check <constraints.rtic> <log.rticlog> [--checker NAME] [--quiet] [--stats] [--explain]
 //!            [--constraints FILE]... [--parallel N|auto] [--profile]
+//!            [--batch N] [--vectorize]
 //!            [--shard auto|off] [--shard-evict N]
 //!            [--checkpoint FILE] [--resume FILE] [--checkpoint-every N]
 //!            [--checkpoint-secs T] [--checkpoint-keep K]
@@ -22,7 +23,7 @@
 //!            [--min-samples N] [--oracle-every K] [--out FILE] [--metrics FILE]
 //!            [--soak-dir DIR] [--soak-keep] [--resume] [--failpoints SPEC]
 //! rtic serve <constraints.rtic> --listen unix:PATH|tcp:ADDR [--queue N] [--checkpoint FILE]
-//!            [--resume] [--checkpoint-every N] [--report FILE] …
+//!            [--resume] [--checkpoint-every N] [--batch N] [--vectorize] [--report FILE] …
 //! rtic send <log.rticlog> --connect unix:PATH|tcp:ADDR [--drain] [--quiet]
 //! ```
 
@@ -41,7 +42,7 @@ use rtic_history::Transition;
 use rtic_obs::{
     json, report, ChromeTraceWriter, MetricsRegistry, MultiObserver, SpaceSampler, TraceWriter,
 };
-use rtic_relation::{Catalog, Symbol};
+use rtic_relation::{Catalog, Symbol, Update};
 use rtic_resilience::{
     container, write_atomic, CheckpointPolicy, CheckpointTicker, FailAction, FailPlan, Rotation,
 };
@@ -57,6 +58,7 @@ rtic — real-time integrity constraints (Chomicki, PODS 1992)
 USAGE:
   rtic check <constraints-file> <log-file> [--checker incremental|naive|windowed|active]
              [--constraints FILE]... [--parallel N|auto] [--profile]
+             [--batch N] [--vectorize]
              [--shard auto|off] [--shard-evict N]
              [--quiet] [--stats] [--explain] [--checkpoint FILE] [--resume FILE]
              [--checkpoint-every N] [--checkpoint-secs T] [--checkpoint-keep K]
@@ -76,7 +78,7 @@ USAGE:
              [--constraints FILE]... [--queue N] [--retry-ms MS] [--write-timeout-ms MS]
              [--checkpoint FILE] [--resume] [--checkpoint-every N] [--checkpoint-secs T]
              [--checkpoint-keep K] [--parallel N|auto] [--shard auto|off] [--shard-evict N]
-             [--failpoints SPEC] [--report FILE] [--metrics FILE]
+             [--batch N] [--vectorize] [--failpoints SPEC] [--report FILE] [--metrics FILE]
   rtic send <log-file> --connect unix:PATH|tcp:HOST:PORT [--drain] [--quiet]
              [--connect-timeout-ms MS]
 
@@ -110,6 +112,17 @@ worker threads; reports and telemetry are identical to the sequential
 run. Requires the incremental checker. A constraint engine that panics
 mid-step is quarantined — it stops reporting while the rest of the fleet
 keeps checking — and is listed in the summary and `--stats`.
+
+Columnar execution: `--vectorize` switches the incremental engine onto
+the block-backed evaluation path — column-sliced hash joins, columnar
+projections, and per-relation memo generations — with reports
+byte-identical to the scalar path (the differential oracle pins this).
+`--batch N` ingests the log in micro-batches of N lines: each batch is
+parsed and buffered first, then applied as one ingestion unit
+(per-line semantics preserved exactly; checkpoint ticks and space
+samples coalesce to batch boundaries). Both require the incremental
+checker and compose with `--parallel`, `--shard`, checkpoints, and
+`--resume` replay cursors.
 
 Sharding: `--shard auto` partitions each constraint's state by its
 compile-time entity key (the variable shared by every atom) and steps
@@ -157,8 +170,13 @@ daemon crash-safe (state and the violation report are sealed together);
 already-covered updates as replayed. SIGTERM or DRAIN drains
 gracefully: stop accepting, flush, final checkpoint, exit 0. `--report
 FILE` writes the final violation lines (byte-identical to `rtic check`
-on the same stream) on drain. `rtic send` streams a log to a serving
-daemon with backoff+jitter retries, printing violations as they come.
+on the same stream) on drain. `--batch N` micro-batches ingestion: the
+engine drains up to N queued updates per wakeup and applies them as one
+unit — one checkpoint write and one metrics sample per batch, replies
+deferred past the batch checkpoint so checkpoint-before-ack still holds.
+`--vectorize` serves on the columnar evaluation path. `rtic send`
+streams a log to a serving daemon with backoff+jitter retries, printing
+violations as they come.
 
 Profiling: `--profile` (incremental checker, with or without
 `--parallel`) turns on per-plan-node counters — inclusive wall time,
@@ -351,8 +369,23 @@ fn check(args: &[String], out: &mut String) -> Result<i32, String> {
     if profile && backend != BackendId::Incremental {
         return Err("--profile requires the incremental checker".into());
     }
+    let vectorize = args.iter().any(|a| a == "--vectorize");
+    if vectorize && backend != BackendId::Incremental {
+        return Err("--vectorize requires the incremental checker".into());
+    }
+    let batch_size: usize = flag_value(args, "--batch")
+        .map(|v| v.parse().map_err(|e| format!("bad --batch: {e}")))
+        .transpose()?
+        .unwrap_or(1);
+    if batch_size == 0 {
+        return Err("--batch needs at least one line per batch".into());
+    }
+    if batch_size > 1 && backend != BackendId::Incremental {
+        return Err("--batch requires the incremental checker".into());
+    }
     let options = EncodingOptions {
         profile_plans: profile,
+        vectorize,
         ..Default::default()
     };
     let checkpoint_path = flag_value(args, "--checkpoint");
@@ -508,7 +541,7 @@ fn check(args: &[String], out: &mut String) -> Result<i32, String> {
         .map(|(_, sections, _)| sections.clone())
         .unwrap_or_default();
 
-    let mut engine = if parallelism.is_some() || shard_enabled {
+    let mut engine = if parallelism.is_some() || shard_enabled || batch_size > 1 {
         let mut set = if let Some((found_path, sections, _)) = &resume_recovery {
             let set = checkpoint::restore_set_sharded(
                 file.constraints.iter().cloned(),
@@ -638,6 +671,10 @@ fn check(args: &[String], out: &mut String) -> Result<i32, String> {
     // the budget by the run that wrote the checkpoint; charging them again
     // on every resume would shrink the effective budget with each restart.
     let mut replaying = resume_cursor.is_some();
+    // Micro-batch buffer (--batch N): parsed lines wait here, with their
+    // (line, step_index) provenance, until the buffer fills.
+    let mut pending: Vec<(TimePoint, Update)> = Vec::new();
+    let mut pending_meta: Vec<(usize, u64)> = Vec::new();
     while let Some(item) = reader.next() {
         let tr: Transition = match item {
             Ok(tr) => tr,
@@ -682,6 +719,38 @@ fn check(args: &[String], out: &mut String) -> Result<i32, String> {
         let step_index = transitions as u64;
         transitions += 1;
         last_time = Some(tr.time);
+        if batch_size > 1 {
+            pending.push((tr.time, tr.update));
+            pending_meta.push((line, step_index));
+            if pending.len() >= batch_size {
+                let ticked = {
+                    let CheckEngine::Fleet(set) = &mut engine else {
+                        return Err("--batch requires the fleet engine".into());
+                    };
+                    flush_batch(
+                        set,
+                        &mut pending,
+                        &mut pending_meta,
+                        &mut registry,
+                        &mut trace,
+                        &mut sampler,
+                        &mut ticker,
+                        checkpoint_rotation.is_some(),
+                        quiet,
+                        log_path,
+                        &mut total_violations,
+                        &mut violated_states,
+                        out,
+                    )?
+                };
+                if ticked {
+                    if let Some(rotation) = &checkpoint_rotation {
+                        write_checkpoint(&engine, rotation, &faults, &mut registry, &mut trace)?;
+                    }
+                }
+            }
+            continue;
+        }
         let mut obs = MultiObserver::new().with(&mut registry);
         if let Some(t) = trace.as_mut() {
             obs.push(t);
@@ -722,6 +791,28 @@ fn check(args: &[String], out: &mut String) -> Result<i32, String> {
                 write_checkpoint(&engine, rotation, &faults, &mut registry, &mut trace)?;
             }
         }
+    }
+    if !pending.is_empty() {
+        // The final, possibly short batch. Its coalesced checkpoint ticks
+        // are covered by the unconditional end-of-run write below.
+        let CheckEngine::Fleet(set) = &mut engine else {
+            return Err("--batch requires the fleet engine".into());
+        };
+        flush_batch(
+            set,
+            &mut pending,
+            &mut pending_meta,
+            &mut registry,
+            &mut trace,
+            &mut sampler,
+            &mut ticker,
+            checkpoint_rotation.is_some(),
+            quiet,
+            log_path,
+            &mut total_violations,
+            &mut violated_states,
+            out,
+        )?;
     }
     if replay_skipped > 0 {
         let _ = writeln!(
@@ -959,6 +1050,69 @@ fn write_checkpoint(
         .write(&sealed, faults, "checkpoint.write")
         .map_err(|e| format!("cannot write checkpoint: {e}"))?;
     Ok(sealed.len())
+}
+
+/// Applies the buffered `--batch` lines as one ingestion unit and prints
+/// their reports in order, byte-identical to line-at-a-time output.
+/// Space samples due inside the batch are taken once, against the
+/// post-batch state; checkpoint ticks coalesce — the return value says
+/// whether any line's tick fired, so the caller writes at most one
+/// checkpoint per batch.
+#[allow(clippy::too_many_arguments)]
+fn flush_batch(
+    set: &mut ConstraintSet,
+    pending: &mut Vec<(TimePoint, Update)>,
+    meta: &mut Vec<(usize, u64)>,
+    registry: &mut MetricsRegistry,
+    trace: &mut Option<AnyTrace>,
+    sampler: &mut SpaceSampler,
+    ticker: &mut CheckpointTicker,
+    checkpointing: bool,
+    quiet: bool,
+    log_path: &str,
+    total_violations: &mut usize,
+    violated_states: &mut usize,
+    out: &mut String,
+) -> Result<bool, String> {
+    if pending.is_empty() {
+        return Ok(false);
+    }
+    let (first_line, last_line) = (meta[0].0, meta[meta.len() - 1].0);
+    let mut obs = MultiObserver::new().with(registry);
+    if let Some(t) = trace.as_mut() {
+        obs.push(t);
+    }
+    let per_line = set
+        .apply_batch(pending, &mut obs)
+        .map_err(|e| format!("{log_path}:lines {first_line}-{last_line} (batch): {e}"))?;
+    let mut sampled = false;
+    let mut ticked = false;
+    for (reports, (_, step_index)) in per_line.iter().zip(meta.iter()) {
+        let mut state_bad = false;
+        for report in reports {
+            if !report.ok() {
+                *total_violations += report.violation_count();
+                state_bad = true;
+                if !quiet {
+                    let _ = writeln!(out, "{report}");
+                }
+            }
+        }
+        if state_bad {
+            *violated_states += 1;
+        }
+        if !sampled && sampler.due(*step_index) {
+            set.sample_space(*step_index, &mut obs);
+            sampler.note_sampled();
+            sampled = true;
+        }
+        if checkpointing && ticker.step_completed() {
+            ticked = true;
+        }
+    }
+    pending.clear();
+    meta.clear();
+    Ok(ticked)
 }
 
 fn explain_cmd(args: &[String], out: &mut String) -> Result<i32, String> {
@@ -1289,6 +1443,13 @@ fn serve_cmd(args: &[String], out: &mut String) -> Result<i32, String> {
             Some(Parallelism::N(n))
         }
     };
+    if let Some(v) = flag_value(args, "--batch") {
+        config.batch = v.parse().map_err(|e| format!("bad --batch: {e}"))?;
+        if config.batch == 0 {
+            return Err("--batch needs at least one update per batch".into());
+        }
+    }
+    config.vectorize = args.iter().any(|a| a == "--vectorize");
     config.faults = match flag_value(args, "--failpoints") {
         Some(spec) => FailPlan::parse(spec).map_err(|e| format!("bad --failpoints: {e}"))?,
         None => {

@@ -497,6 +497,99 @@ fn shutdown_flag_drains_like_sigterm() {
         .starts_with(b"rtic-checkpoint-set v2"));
 }
 
+/// Micro-batched serving: with the engine paused, the whole log piles
+/// up in the queue; on resume a `--batch 4` engine drains it four jobs
+/// per wakeup. Every per-update reply must still match batch `rtic
+/// check` exactly, the drained totals must be unchanged, and the
+/// metrics snapshot must show the batch counters (three batches of
+/// four). `--vectorize` rides along so the columnar path serves too.
+#[test]
+fn batched_serve_replies_match_batch_check_and_record_batch_metrics() {
+    let c = temp_file("batched.rtic", CONSTRAINTS);
+    let l = temp_file("batched.rticlog", LOG);
+    let sock = temp_path("batched.sock");
+    let ckpt = temp_path("batched.ckpt");
+    let metrics = temp_path("batched.metrics.json");
+    std::fs::remove_file(&ckpt).ok();
+    let server = spawn_server(&[
+        "serve",
+        c.to_str().unwrap(),
+        "--listen",
+        &format!("unix:{}", sock.display()),
+        "--batch",
+        "4",
+        "--vectorize",
+        "--checkpoint",
+        ckpt.to_str().unwrap(),
+        "--checkpoint-every",
+        "3",
+        "--metrics",
+        metrics.to_str().unwrap(),
+    ]);
+
+    let (code, batch) = run(&["check", c.to_str().unwrap(), l.to_str().unwrap()]);
+    assert_eq!(code.unwrap(), 1, "{batch}");
+
+    // Hold the engine so all 12 updates queue up, then release: the
+    // engine sees a full backlog and drains it in micro-batches.
+    let mut raw = Raw::connect(&sock);
+    raw.send("PAUSE");
+    assert_eq!(raw.read_line(), "OK paused");
+    for line in log_lines() {
+        raw.send(line);
+    }
+    raw.send("RESUME");
+    assert_eq!(raw.read_line(), "OK resumed");
+
+    // Per-update replies arrive in order: zero or more VIOL lines, then
+    // `OK <witnesses>` — batching must not reorder or merge them.
+    let mut streamed = Vec::new();
+    for i in 0..log_lines().len() {
+        loop {
+            let reply = raw.read_line();
+            if let Some(v) = reply.strip_prefix("VIOL ") {
+                streamed.push(v.to_string());
+            } else {
+                assert!(reply.starts_with("OK "), "update {i}: {reply}");
+                break;
+            }
+        }
+    }
+    assert_eq!(
+        streamed,
+        violations(&batch),
+        "batched replies diverge from rtic check"
+    );
+
+    raw.send("DRAIN");
+    let drained = raw.read_line();
+    assert!(drained.contains("steps=12"), "{drained}");
+    assert!(drained.contains("witnesses=17"), "{drained}");
+    let (code, out) = server.join().unwrap();
+    assert_eq!(code.unwrap(), 0, "{out}");
+    assert!(out.contains("checkpoint written to"), "{out}");
+
+    let doc = rtic::obs::json::parse(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+    assert_eq!(doc.get("batches").and_then(|v| v.as_u64()), Some(3));
+    assert_eq!(doc.get("batch_lines").and_then(|v| v.as_u64()), Some(12));
+    assert_eq!(doc.get("last_batch_size").and_then(|v| v.as_u64()), Some(4));
+}
+
+/// `--batch 0` is rejected up front.
+#[test]
+fn serve_batch_flag_validation() {
+    let c = temp_file("batchval.rtic", CONSTRAINTS);
+    let (code, _) = run(&[
+        "serve",
+        c.to_str().unwrap(),
+        "--listen",
+        "unix:/tmp/never-bound-batch.sock",
+        "--batch",
+        "0",
+    ]);
+    assert!(code.unwrap_err().contains("--batch"));
+}
+
 /// `--resume` without `--checkpoint` is rejected up front; `--resume`
 /// with an empty rotation set (first boot) starts fresh instead of
 /// erroring, so operators can pass `--resume` unconditionally.
